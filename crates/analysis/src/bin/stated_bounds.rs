@@ -1,0 +1,38 @@
+//! Prints the *stated* asymptotic rows of Table 1 (the bounds quoted from the
+//! literature plus this paper's Theorem 1), evaluated shape-only at concrete
+//! sizes, so they can be read next to the measured rows of the `table1`
+//! binary.
+//!
+//! Usage: `cargo run --release -p analysis --bin stated_bounds [n...]`
+
+use analysis::report::{fmt_bits, Table};
+use constraints::bounds::{peleg_upfal_global_lower_bits, stated_rows};
+
+fn main() {
+    let ns: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("sizes must be integers"))
+        .collect();
+    let ns = if ns.is_empty() { vec![1 << 10, 1 << 14, 1 << 18] } else { ns };
+
+    println!("# Stated bounds of Table 1 (shape-only constants)\n");
+    for &n in &ns {
+        println!("## n = {n}\n");
+        let mut t = Table::new(["stretch regime", "local [bits]", "global [bits]", "source"]);
+        for row in stated_rows(n) {
+            t.push_row([
+                row.regime.to_string(),
+                fmt_bits(row.local_bits as u64),
+                fmt_bits(row.global_bits as u64),
+                row.source.to_string(),
+            ]);
+        }
+        println!("{}", t.to_markdown());
+        println!(
+            "Peleg–Upfal global lower bound at this n: s=1 → {} bits, s=3 → {} bits, s=7 → {} bits\n",
+            fmt_bits(peleg_upfal_global_lower_bits(n, 1.0) as u64),
+            fmt_bits(peleg_upfal_global_lower_bits(n, 3.0) as u64),
+            fmt_bits(peleg_upfal_global_lower_bits(n, 7.0) as u64),
+        );
+    }
+}

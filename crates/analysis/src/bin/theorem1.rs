@@ -1,0 +1,31 @@
+//! Regenerates the Theorem 1 result: the analytic lower-bound sweep and the
+//! empirical worst-case-instance measurements.
+//!
+//! Usage: `cargo run --release -p analysis --bin theorem1 [n...]`
+//! (default n: 1024 4096 16384 for the analytic part; the empirical part uses
+//! smaller instances since it routes all pairs).
+
+use analysis::theorem1::{bounds_table, empirical_table, run_bounds, run_empirical};
+
+fn main() {
+    let ns: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("sizes must be integers"))
+        .collect();
+    let analytic_ns = if ns.is_empty() {
+        vec![1024, 4096, 16384, 65536]
+    } else {
+        ns.clone()
+    };
+    let thetas = [0.25, 0.5, 0.75];
+
+    println!("# Theorem 1 reproduction — worst-case local memory for stretch < 2\n");
+    println!("## Analytic bound: log2|dM_pq| − MB − MC − O(log n), per constrained router\n");
+    let reports = run_bounds(&analytic_ns, &thetas);
+    println!("{}", bounds_table(&reports).to_markdown());
+
+    println!("## Empirical worst-case instances (forcing, routing, reconstruction, measured bits)\n");
+    let empirical_ns = if ns.is_empty() { vec![128, 256, 512] } else { ns };
+    let points = run_empirical(&empirical_ns, &[0.35, 0.5], 0xFEED);
+    println!("{}", empirical_table(&points).to_markdown());
+}

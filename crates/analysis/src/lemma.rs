@@ -1,0 +1,165 @@
+//! Reproduction of the Lemma 1 counting bound (with the exact enumeration of
+//! `dM_pq` for small parameters, the paper's Equation (2)) and of the Lemma 2
+//! forcing property on randomly generated graphs of constraints.
+
+use crate::report::{fmt_f64, Table};
+use constraints::counting::{lemma1_lower_bound_count, lemma1_lower_bound_log2};
+use constraints::enumerate::enumerate_canonical_matrices;
+use constraints::graph_of_constraints::ConstraintGraph;
+use constraints::matrix::ConstraintMatrix;
+use constraints::verify::{
+    forcing_stretch_bound, verify_forcing_structure, verify_routing_respects_constraints,
+};
+use routemodel::{TableRouting, TieBreak};
+
+/// One row of the Lemma 1 comparison: exact class count vs counting bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lemma1Row {
+    pub p: usize,
+    pub q: usize,
+    pub d: u32,
+    /// Exact `|dM_pq|` by enumeration.
+    pub exact_classes: usize,
+    /// The Lemma 1 lower bound `d^{pq}/(p!q!(d!)^p)`.
+    pub bound: f64,
+    /// `log₂` of the bound (the quantity used in Theorem 1).
+    pub bound_log2: f64,
+}
+
+/// Enumerates `dM_pq` for a grid of small parameters and compares with the
+/// Lemma 1 bound.
+pub fn run_lemma1(params: &[(usize, usize, u32)]) -> Vec<Lemma1Row> {
+    params
+        .iter()
+        .map(|&(p, q, d)| {
+            let exact = enumerate_canonical_matrices(p, q, d).len();
+            Lemma1Row {
+                p,
+                q,
+                d,
+                exact_classes: exact,
+                bound: lemma1_lower_bound_count(p, q, d),
+                bound_log2: lemma1_lower_bound_log2(p, q, d),
+            }
+        })
+        .collect()
+}
+
+/// The default parameter grid for the Lemma 1 report (kept small: the
+/// enumeration is exponential by nature).
+pub fn default_lemma1_grid() -> Vec<(usize, usize, u32)> {
+    vec![
+        (2, 2, 2),
+        (2, 3, 2),
+        (3, 2, 2),
+        (3, 3, 2),
+        (2, 2, 3),
+        (2, 3, 3),
+        (2, 4, 2),
+        (3, 4, 2),
+        (2, 4, 3),
+        (4, 4, 2),
+    ]
+}
+
+/// Renders the Lemma 1 rows.
+pub fn lemma1_table(rows: &[Lemma1Row]) -> Table {
+    let mut t = Table::new(["p", "q", "d", "|dM_pq| (exact)", "Lemma 1 bound", "bound log2"]);
+    for r in rows {
+        t.push_row([
+            r.p.to_string(),
+            r.q.to_string(),
+            r.d.to_string(),
+            r.exact_classes.to_string(),
+            fmt_f64(r.bound, 3),
+            fmt_f64(r.bound_log2, 3),
+        ]);
+    }
+    t
+}
+
+/// Summary of a Lemma 2 verification sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lemma2Report {
+    /// Number of random matrices tested.
+    pub instances: usize,
+    /// Number of tie-break rules tested per instance.
+    pub routings_per_instance: usize,
+    /// Instances whose structural forcing check passed.
+    pub structure_ok: usize,
+    /// (instance, routing) pairs in which the routing respected every forced
+    /// port.
+    pub routings_ok: usize,
+    /// The minimum forcing bound observed (must be exactly 2 on Lemma 2
+    /// graphs).
+    pub min_forcing_bound: f64,
+}
+
+/// Verifies Lemma 2 on `instances` random matrices of shape `p × q` with
+/// alphabet `d`, each against several shortest-path routing functions.
+pub fn run_lemma2(p: usize, q: usize, d: u32, instances: usize, seed: u64) -> Lemma2Report {
+    let ties = [
+        TieBreak::LowestPort,
+        TieBreak::LowestNeighbor,
+        TieBreak::HighestNeighbor,
+        TieBreak::Seeded(seed ^ 0x1111),
+        TieBreak::Seeded(seed ^ 0x2222),
+    ];
+    let mut structure_ok = 0usize;
+    let mut routings_ok = 0usize;
+    let mut min_bound = f64::INFINITY;
+    for inst in 0..instances {
+        let m = ConstraintMatrix::random(p, q, d, seed.wrapping_add(inst as u64));
+        let mut cg = ConstraintGraph::build(&m);
+        cg.pad_to_order(cg.graph.num_nodes() + 3);
+        if verify_forcing_structure(&cg).is_ok() {
+            structure_ok += 1;
+        }
+        min_bound = min_bound.min(forcing_stretch_bound(&cg));
+        for tie in ties {
+            let r = TableRouting::shortest_paths(&cg.graph, tie);
+            if verify_routing_respects_constraints(&cg, &r).is_ok() {
+                routings_ok += 1;
+            }
+        }
+    }
+    Lemma2Report {
+        instances,
+        routings_per_instance: ties.len(),
+        structure_ok,
+        routings_ok,
+        min_forcing_bound: min_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma1_exact_counts_always_meet_the_bound() {
+        let rows = run_lemma1(&default_lemma1_grid());
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            assert!(
+                r.exact_classes as f64 + 1e-9 >= r.bound,
+                "({},{},{}): exact {} < bound {}",
+                r.p,
+                r.q,
+                r.d,
+                r.exact_classes,
+                r.bound
+            );
+        }
+        // the rendered table carries every row
+        assert_eq!(lemma1_table(&rows).num_rows(), 10);
+    }
+
+    #[test]
+    fn lemma2_sweep_is_perfect() {
+        let rep = run_lemma2(4, 6, 3, 10, 42);
+        assert_eq!(rep.structure_ok, rep.instances);
+        assert_eq!(rep.routings_ok, rep.instances * rep.routings_per_instance);
+        assert!((rep.min_forcing_bound - 2.0).abs() < 1e-12);
+    }
+}

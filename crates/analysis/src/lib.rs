@@ -1,0 +1,30 @@
+//! # analysis
+//!
+//! Experiment harness reproducing every table and figure of Fraigniaud &
+//! Gavoille, *Local Memory Requirement of Universal Routing Schemes*
+//! (SPAA 1996):
+//!
+//! * [`table1`] — the state-of-the-art memory/stretch table (Table 1),
+//!   re-measured on concrete graph families with the schemes of
+//!   `routeschemes`;
+//! * [`figure1`] — the Petersen-graph matrix of constraints (Figure 1);
+//! * [`lemma`] — the enumeration of `dM_pq` against the Lemma 1 counting
+//!   bound (Equation (2)) and the empirical verification of the Lemma 2
+//!   forcing property;
+//! * [`theorem1`] — the Theorem 1 sweep: lower bound versus routing-table
+//!   upper bound across `n` and `θ`, plus the reconstruction round trip;
+//! * [`report`] — plain-text/markdown rendering shared by the report
+//!   binaries (`table1`, `figure1`, `enumerate_classes`, `lemma2_verify`,
+//!   `theorem1`).
+//!
+//! Each module returns plain data structures; the binaries under `src/bin`
+//! print them, and the Criterion benches in the `routing-bench` crate time
+//! the underlying constructions.
+
+pub mod figure1;
+pub mod lemma;
+pub mod report;
+pub mod table1;
+pub mod theorem1;
+
+pub use report::Table;

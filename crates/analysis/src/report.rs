@@ -1,0 +1,154 @@
+//! Minimal plain-text / markdown table rendering used by the report binaries.
+
+/// A simple table: a header row and data rows, rendered as GitHub-flavoured
+/// markdown or as aligned plain text.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; it must have the same arity as the header.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity must match the header"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn to_plain(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (c, h) in self.header.iter().enumerate() {
+            widths[c] = widths[c].max(h.len());
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let render = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, s)| format!("{s:<width$}", width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&render(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a bit count with a thousands separator for readability.
+pub fn fmt_bits(bits: u64) -> String {
+    let s = bits.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a float with a fixed number of decimals, trimming `-0.00`.
+pub fn fmt_f64(x: f64, decimals: usize) -> String {
+    let s = format!("{x:.decimals$}");
+    if s.starts_with("-0.") && s[1..].parse::<f64>() == Ok(0.0) {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["1", "2"]);
+        t.push_row(["x", "yy"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |\n|---|---|\n"));
+        assert!(md.contains("| x | yy |"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn plain_rendering_aligns_columns() {
+        let mut t = Table::new(["name", "v"]);
+        t.push_row(["x", "10"]);
+        t.push_row(["longer", "7"]);
+        let p = t.to_plain();
+        let lines: Vec<&str> = p.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all data lines have the same width
+        assert_eq!(lines[2].trim_end().len() >= "longer".len(), true);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn bit_formatting() {
+        assert_eq!(fmt_bits(0), "0");
+        assert_eq!(fmt_bits(999), "999");
+        assert_eq!(fmt_bits(1000), "1_000");
+        assert_eq!(fmt_bits(1234567), "1_234_567");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(-0.0001, 2), "0.00");
+        assert_eq!(fmt_f64(-1.5, 1), "-1.5");
+    }
+}

@@ -1,0 +1,177 @@
+//! Reproduction of Theorem 1: the worst-case lower bound sweep.
+//!
+//! For a grid of `(n, θ)` the sweep reports
+//!
+//! * the information-theoretic lower bound of the paper
+//!   (`log₂|dM_pq| − MB − MC − O(log n)` averaged over the `p = ⌊n^θ⌋`
+//!   constrained routers),
+//! * the matching routing-table upper bound `(n−1)⌈log₂ n⌉`,
+//! * their ratio (the theorem says it is bounded below by a constant — i.e.
+//!   routing tables cannot be compressed asymptotically for stretch `< 2`),
+//! * and the number of routers certified to need that much memory
+//!   (`Θ(n^θ)`).
+//!
+//! On top of the analytic bound, [`run_empirical`] builds actual members of
+//! the worst-case family, routes them with shortest-path tables, measures the
+//! raw-table memory of the constrained routers, and runs the reconstruction
+//! round trip of the proof.
+
+use crate::report::{fmt_bits, fmt_f64, Table};
+use constraints::reconstruct::{describe_encoding_cost, reconstruct_matrix};
+use constraints::theorem1::{build_worst_case_instance, lower_bound, LowerBoundReport};
+use constraints::verify::{verify_forcing_structure, verify_routing_respects_constraints};
+use routemodel::{TableRouting, TieBreak};
+
+/// Analytic sweep over `(n, θ)`.
+pub fn run_bounds(ns: &[usize], thetas: &[f64]) -> Vec<LowerBoundReport> {
+    let mut out = Vec::new();
+    for &n in ns {
+        for &theta in thetas {
+            out.push(lower_bound(n, theta));
+        }
+    }
+    out
+}
+
+/// Renders the analytic sweep.
+pub fn bounds_table(reports: &[LowerBoundReport]) -> Table {
+    let mut t = Table::new([
+        "n",
+        "theta",
+        "p = #constrained",
+        "d",
+        "q",
+        "per-router lower bound [bits]",
+        "routing-table upper bound [bits]",
+        "lower/upper",
+        "certified routers",
+    ]);
+    for r in reports {
+        t.push_row([
+            r.params.n.to_string(),
+            fmt_f64(r.params.theta, 2),
+            r.params.p.to_string(),
+            r.params.d.to_string(),
+            r.params.q.to_string(),
+            fmt_bits(r.per_router_lower_bits as u64),
+            fmt_bits(r.table_upper_bits_per_router),
+            fmt_f64(r.per_router_lower_bits / r.table_upper_bits_per_router as f64, 3),
+            r.guaranteed_high_memory_routers.to_string(),
+        ]);
+    }
+    t
+}
+
+/// One empirical data point: a worst-case instance, measured.
+#[derive(Debug, Clone)]
+pub struct EmpiricalPoint {
+    pub n: usize,
+    pub theta: f64,
+    /// Number of constrained routers.
+    pub p: usize,
+    /// Whether the structural forcing check passed.
+    pub structure_ok: bool,
+    /// Whether shortest-path tables respected every forced port.
+    pub routing_ok: bool,
+    /// Whether probing the constrained routers reconstructed the planted
+    /// matrix exactly.
+    pub reconstruction_ok: bool,
+    /// Raw-table bits actually stored by an *average* constrained router
+    /// (restricted to target destinations plus its own label).
+    pub measured_bits_per_constrained_router: f64,
+    /// The analytic per-router lower bound for the same `(n, θ)`.
+    pub analytic_lower_bits: f64,
+    /// The routing-table upper bound per router.
+    pub upper_bits: u64,
+}
+
+/// Builds and measures worst-case instances for each `(n, θ)`.
+pub fn run_empirical(ns: &[usize], thetas: &[f64], seed: u64) -> Vec<EmpiricalPoint> {
+    let mut out = Vec::new();
+    for &n in ns {
+        for &theta in thetas {
+            let (cg, params) = build_worst_case_instance(n, theta, seed);
+            let structure_ok = verify_forcing_structure(&cg).is_ok();
+            let r = TableRouting::shortest_paths(&cg.graph, TieBreak::LowestNeighbor);
+            let routing_ok = verify_routing_respects_constraints(&cg, &r).is_ok();
+            let reconstruction_ok = reconstruct_matrix(&cg, &r) == cg.matrix;
+            let cost = describe_encoding_cost(&cg, &r);
+            let analytic = lower_bound(n, theta);
+            out.push(EmpiricalPoint {
+                n,
+                theta,
+                p: params.p,
+                structure_ok,
+                routing_ok,
+                reconstruction_ok,
+                measured_bits_per_constrained_router: cost.constrained_router_bits as f64
+                    / params.p as f64,
+                analytic_lower_bits: analytic.per_router_lower_bits,
+                upper_bits: analytic.table_upper_bits_per_router,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the empirical sweep.
+pub fn empirical_table(points: &[EmpiricalPoint]) -> Table {
+    let mut t = Table::new([
+        "n",
+        "theta",
+        "p",
+        "forcing ok",
+        "routing ok",
+        "reconstruction ok",
+        "measured bits/router (targets only)",
+        "analytic lower bound [bits]",
+        "table upper bound [bits]",
+    ]);
+    for e in points {
+        t.push_row([
+            e.n.to_string(),
+            fmt_f64(e.theta, 2),
+            e.p.to_string(),
+            e.structure_ok.to_string(),
+            e.routing_ok.to_string(),
+            e.reconstruction_ok.to_string(),
+            fmt_bits(e.measured_bits_per_constrained_router as u64),
+            fmt_bits(e.analytic_lower_bits as u64),
+            fmt_bits(e.upper_bits),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_sweep_has_bounded_ratio_and_growing_router_count() {
+        let reports = run_bounds(&[1024, 4096], &[0.25, 0.5, 0.75]);
+        assert_eq!(reports.len(), 6);
+        for r in &reports {
+            let ratio = r.per_router_lower_bits / r.table_upper_bits_per_router as f64;
+            assert!(ratio > 0.0 && ratio <= 1.0, "ratio {ratio} out of range");
+        }
+        // fixing θ = 0.5, the certified router count grows with n
+        let a = reports.iter().find(|r| r.params.n == 1024 && (r.params.theta - 0.5).abs() < 1e-9).unwrap();
+        let b = reports.iter().find(|r| r.params.n == 4096 && (r.params.theta - 0.5).abs() < 1e-9).unwrap();
+        assert!(b.guaranteed_high_memory_routers > a.guaranteed_high_memory_routers);
+        assert_eq!(bounds_table(&reports).num_rows(), 6);
+    }
+
+    #[test]
+    fn empirical_points_pass_all_checks() {
+        let points = run_empirical(&[96, 192], &[0.35, 0.5], 7);
+        assert_eq!(points.len(), 4);
+        for e in &points {
+            assert!(e.structure_ok, "forcing structure failed at n={}", e.n);
+            assert!(e.routing_ok, "routing violated constraints at n={}", e.n);
+            assert!(e.reconstruction_ok, "reconstruction failed at n={}", e.n);
+            assert!(e.measured_bits_per_constrained_router > 0.0);
+        }
+        assert_eq!(empirical_table(&points).num_rows(), 4);
+    }
+}

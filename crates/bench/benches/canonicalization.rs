@@ -1,0 +1,44 @@
+//! Ablation bench: cost of the `MC` canonicalization routine — the exact
+//! (column-factorial) algorithm versus the invariant-sorting heuristic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use constraints::canonical::{canonical_form, canonical_form_heuristic};
+use constraints::matrix::ConstraintMatrix;
+use routing_bench::quick_criterion;
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canonicalization/exact");
+    for q in [4usize, 6, 8] {
+        let m = ConstraintMatrix::random(6, q, 4, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("q{q}")), &m, |b, m| {
+            b.iter(|| canonical_form(m).max_entry())
+        });
+    }
+    group.finish();
+}
+
+fn bench_heuristic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canonicalization/heuristic");
+    for q in [8usize, 32, 128, 512] {
+        let m = ConstraintMatrix::random(16, q, 8, 13);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("q{q}")), &m, |b, m| {
+            b.iter(|| canonical_form_heuristic(m).max_entry())
+        });
+    }
+    group.finish();
+}
+
+fn bench_equivalence_check(c: &mut Criterion) {
+    let a = ConstraintMatrix::random(5, 7, 4, 3);
+    let b_ = a.permute_columns(&[6, 0, 5, 1, 4, 2, 3]).permute_rows(&[4, 3, 2, 1, 0]);
+    c.bench_function("canonicalization/are-equivalent-5x7", |bch| {
+        bch.iter(|| constraints::canonical::are_equivalent(&a, &b_))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_exact, bench_heuristic, bench_equivalence_check
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation bench: encoding strategies for local routing information — raw
+//! fixed-width tables, run-length/interval compression, and the
+//! self-delimiting bit encoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphkit::generators;
+use routemodel::memory::PortMap;
+use routemodel::{TableRouting, TieBreak};
+use routing_bench::{quick_criterion, FAMILY_SIZES};
+
+fn port_maps_for(n: usize) -> (graphkit::Graph, TableRouting) {
+    let g = generators::random_connected(n, 8.0 / n as f64, 23);
+    let r = TableRouting::shortest_paths(&g, TieBreak::LowestNeighbor);
+    (g, r)
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoders/per-router-encodings");
+    for &n in &FAMILY_SIZES {
+        let (g, r) = port_maps_for(n);
+        let maps: Vec<PortMap> = (0..g.num_nodes()).map(|u| r.port_map(&g, u)).collect();
+        group.bench_with_input(BenchmarkId::new("raw-table", n), &maps, |b, maps| {
+            b.iter(|| maps.iter().map(|m| m.raw_table_bits()).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("interval", n), &maps, |b, maps| {
+            b.iter(|| maps.iter().map(|m| m.interval_bits()).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("self-delimiting", n), &maps, |b, maps| {
+            b.iter(|| maps.iter().map(|m| m.encoded_bits()).sum::<u64>())
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_reports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoders/whole-graph-reports");
+    for &n in &FAMILY_SIZES {
+        let (g, r) = port_maps_for(n);
+        group.bench_with_input(BenchmarkId::new("raw", n), &(g.clone(), r.clone()), |b, (g, r)| {
+            b.iter(|| r.memory_raw(g).global())
+        });
+        group.bench_with_input(BenchmarkId::new("interval", n), &(g, r), |b, (g, r)| {
+            b.iter(|| r.memory_interval(g).global())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_encoders, bench_memory_reports
+}
+criterion_main!(benches);

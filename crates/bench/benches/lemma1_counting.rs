@@ -1,0 +1,45 @@
+//! Bench for Lemma 1: exact enumeration of `dM_pq` (the paper's Equation (2)
+//! worked example) versus the closed-form counting bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use constraints::counting::{lemma1_exact_floor, lemma1_lower_bound_log2};
+use constraints::enumerate::enumerate_canonical_matrices;
+use routing_bench::quick_criterion;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma1/enumerate-classes");
+    for (p, q, d) in [(2usize, 2usize, 2u32), (3, 3, 2), (2, 4, 3), (4, 4, 2)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{p}_q{q}_d{d}")),
+            &(p, q, d),
+            |b, &(p, q, d)| b.iter(|| enumerate_canonical_matrices(p, q, d).len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_closed_form(c: &mut Criterion) {
+    c.bench_function("lemma1/closed-form-theorem1-regime", |b| {
+        b.iter(|| {
+            // the parameter regime of Theorem 1 at n = 2^20, θ = 0.5
+            let n = 1usize << 20;
+            let p = 1usize << 10;
+            let d = (n / (2 * p) - 1) as u32;
+            let q = n - p * (d as usize + 1);
+            lemma1_lower_bound_log2(p, q, d)
+        })
+    });
+    c.bench_function("lemma1/exact-rational-small", |b| {
+        b.iter(|| lemma1_exact_floor(3, 4, 3))
+    });
+    c.bench_function("lemma1/analysis-grid", |b| {
+        b.iter(|| analysis::lemma::run_lemma1(&[(2, 2, 2), (2, 3, 2), (3, 3, 2)]).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_enumeration, bench_closed_form
+}
+criterion_main!(benches);

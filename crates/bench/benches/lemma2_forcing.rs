@@ -1,0 +1,66 @@
+//! Bench for Lemma 2: building the generalized graph of constraints of a
+//! matrix and verifying the stretch-<2 forcing property.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use constraints::graph_of_constraints::ConstraintGraph;
+use constraints::matrix::ConstraintMatrix;
+use constraints::verify::{verify_forcing_structure, verify_routing_respects_constraints};
+use routemodel::{TableRouting, TieBreak};
+use routing_bench::quick_criterion;
+
+const SHAPES: [(usize, usize, u32); 3] = [(4, 16, 4), (8, 32, 6), (16, 64, 8)];
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma2/build-graph-of-constraints");
+    for (p, q, d) in SHAPES {
+        let m = ConstraintMatrix::random_full_alphabet(p, q, d, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{p}_q{q}_d{d}")),
+            &m,
+            |b, m| b.iter(|| ConstraintGraph::build(m).graph.num_nodes()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_verify_structure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma2/verify-forcing-structure");
+    for (p, q, d) in SHAPES {
+        let m = ConstraintMatrix::random_full_alphabet(p, q, d, 2);
+        let cg = ConstraintGraph::build(&m);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{p}_q{q}_d{d}")),
+            &cg,
+            |b, cg| b.iter(|| verify_forcing_structure(cg).is_ok()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_verify_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma2/verify-routing-respects-constraints");
+    for (p, q, d) in SHAPES {
+        let m = ConstraintMatrix::random_full_alphabet(p, q, d, 3);
+        let cg = ConstraintGraph::build(&m);
+        let r = TableRouting::shortest_paths(&cg.graph, TieBreak::LowestNeighbor);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{p}_q{q}_d{d}")),
+            &(cg, r),
+            |b, (cg, r)| b.iter(|| verify_routing_respects_constraints(cg, r).is_ok()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_sweep(c: &mut Criterion) {
+    c.bench_function("lemma2/analysis-sweep-5-instances", |b| {
+        b.iter(|| analysis::lemma::run_lemma2(4, 8, 3, 5, 9).routings_ok)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_build, bench_verify_structure, bench_verify_routing, bench_full_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Bench for the Theorem 1 reconstruction argument: probing the constrained
+//! routers of a worst-case instance, rebuilding the matrix, and computing the
+//! canonical representative.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use constraints::canonical::canonical_form_heuristic;
+use constraints::reconstruct::{describe_encoding_cost, reconstruct_matrix};
+use constraints::theorem1::build_worst_case_instance;
+use routemodel::{TableRouting, TieBreak};
+use routing_bench::{quick_criterion, THEOREM1_GRID};
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconstruction/probe-constrained-routers");
+    for (n, theta) in THEOREM1_GRID {
+        let (cg, _) = build_worst_case_instance(n, theta, 17);
+        let r = TableRouting::shortest_paths(&cg.graph, TieBreak::LowestPort);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_theta{theta}")),
+            &(cg, r),
+            |b, (cg, r)| b.iter(|| reconstruct_matrix(cg, r).num_cols()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_canonicalization_of_probe(c: &mut Criterion) {
+    let (cg, _) = build_worst_case_instance(256, 0.5, 17);
+    let r = TableRouting::shortest_paths(&cg.graph, TieBreak::LowestPort);
+    let probed = reconstruct_matrix(&cg, &r);
+    c.bench_function("reconstruction/heuristic-canonical-form-n256", |b| {
+        b.iter(|| canonical_form_heuristic(&probed).num_cols())
+    });
+}
+
+fn bench_encoding_cost(c: &mut Criterion) {
+    let (cg, _) = build_worst_case_instance(256, 0.5, 17);
+    let r = TableRouting::shortest_paths(&cg.graph, TieBreak::LowestPort);
+    c.bench_function("reconstruction/encoding-cost-n256", |b| {
+        b.iter(|| describe_encoding_cost(&cg, &r).constrained_router_bits)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_reconstruction, bench_canonicalization_of_probe, bench_encoding_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Bench for the stretch-factor machinery: routing every pair and comparing
+//! against the distance matrix (the measurement every table entry rests on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphkit::{generators, DistanceMatrix};
+use routemodel::stretch::{sampled_pairs, stretch_over_pairs};
+use routemodel::{stretch_factor, TableRouting, TieBreak};
+use routeschemes::LandmarkScheme;
+use routeschemes::CompactScheme;
+use routing_bench::{quick_criterion, FAMILY_SIZES};
+
+fn bench_exact_stretch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stretch/exact-all-pairs");
+    for &n in &FAMILY_SIZES {
+        let g = generators::random_connected(n, 8.0 / n as f64, 31);
+        let dm = DistanceMatrix::all_pairs(&g);
+        let tables = TableRouting::shortest_paths(&g, TieBreak::LowestPort);
+        group.bench_with_input(BenchmarkId::new("tables", n), &(), |b, _| {
+            b.iter(|| stretch_factor(&g, &dm, &tables).unwrap().max_stretch)
+        });
+        let lm = LandmarkScheme::new(5).build(&g);
+        group.bench_with_input(BenchmarkId::new("landmark", n), &(), |b, _| {
+            b.iter(|| stretch_factor(&g, &dm, lm.routing.as_ref()).unwrap().max_stretch)
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampled_stretch(c: &mut Criterion) {
+    let g = generators::random_connected(512, 0.015, 31);
+    let dm = DistanceMatrix::all_pairs(&g);
+    let tables = TableRouting::shortest_paths(&g, TieBreak::LowestPort);
+    let pairs = sampled_pairs(g.num_nodes(), 2000, 9);
+    c.bench_function("stretch/sampled-2000-pairs-n512", |b| {
+        b.iter(|| {
+            stretch_over_pairs(&g, &dm, &tables, pairs.iter().copied())
+                .unwrap()
+                .max_stretch
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_exact_stretch, bench_sampled_stretch
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Bench for the Table 1 reproduction: instantiating every routing scheme on
+//! every graph family and extracting its memory report.
+//!
+//! The printed table itself comes from `cargo run -p analysis --bin table1`;
+//! this bench tracks the cost of the scheme constructions across sizes so the
+//! `O(n log n)` (tables) versus `O(log n)` (e-cube / modular complete) versus
+//! `Õ(√n)` (landmark) behaviours are visible as build-time scaling as well.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphkit::generators;
+use routemodel::labeling::modular_complete_labeling;
+use routeschemes::{
+    CompactScheme, EcubeScheme, KIntervalScheme, LandmarkScheme, ModularCompleteScheme,
+    SpanningTreeScheme, TableScheme, TreeIntervalScheme,
+};
+use routing_bench::{quick_criterion, FAMILY_SIZES};
+
+fn bench_universal_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/universal-schemes");
+    for &n in &FAMILY_SIZES {
+        let g = generators::random_connected(n, 8.0 / n as f64, 42);
+        group.bench_with_input(BenchmarkId::new("routing-tables", n), &g, |b, g| {
+            b.iter(|| TableScheme::default().build(g).memory.global())
+        });
+        group.bench_with_input(BenchmarkId::new("k-interval", n), &g, |b, g| {
+            b.iter(|| KIntervalScheme::default().build(g).memory.global())
+        });
+        group.bench_with_input(BenchmarkId::new("landmark", n), &g, |b, g| {
+            b.iter(|| LandmarkScheme::new(7).build(g).memory.global())
+        });
+        group.bench_with_input(BenchmarkId::new("spanning-tree", n), &g, |b, g| {
+            b.iter(|| SpanningTreeScheme::default().build(g).memory.global())
+        });
+    }
+    group.finish();
+}
+
+fn bench_class_specific_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/class-specific");
+    for &n in &FAMILY_SIZES {
+        let k = (n as f64).log2().round() as usize;
+        let hyper = generators::hypercube(k);
+        group.bench_with_input(BenchmarkId::new("e-cube", hyper.num_nodes()), &hyper, |b, g| {
+            b.iter(|| EcubeScheme.build(g).memory.local())
+        });
+        let tree = generators::random_tree(n, 3);
+        group.bench_with_input(BenchmarkId::new("tree-interval", n), &tree, |b, g| {
+            b.iter(|| TreeIntervalScheme.build(g).memory.global())
+        });
+        let complete = modular_complete_labeling(n);
+        group.bench_with_input(BenchmarkId::new("complete-modular", n), &complete, |b, g| {
+            b.iter(|| ModularCompleteScheme.build(g).memory.local())
+        });
+    }
+    group.finish();
+}
+
+fn bench_table1_harness(c: &mut Criterion) {
+    // The full measurement pipeline at the smallest size (it routes every
+    // pair under every scheme, so keep it to one size here).
+    c.bench_function("table1/full-harness-n64", |b| {
+        b.iter(|| analysis::table1::run_table1(64, 11).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_universal_schemes, bench_class_specific_schemes, bench_table1_harness
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Bench for Theorem 1: the analytic lower-bound evaluation and the
+//! construction of worst-case instances of the family `G_n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use constraints::theorem1::{build_worst_case_instance, lower_bound};
+use routing_bench::{quick_criterion, THEOREM1_GRID};
+
+fn bench_analytic_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1/analytic-bound");
+    for (n, theta) in [(1usize << 12, 0.5f64), (1 << 16, 0.5), (1 << 20, 0.5), (1 << 16, 0.25)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_theta{theta}")),
+            &(n, theta),
+            |b, &(n, theta)| b.iter(|| lower_bound(n, theta).per_router_lower_bits),
+        );
+    }
+    group.finish();
+}
+
+fn bench_worst_case_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1/build-worst-case-instance");
+    for (n, theta) in THEOREM1_GRID {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_theta{theta}")),
+            &(n, theta),
+            |b, &(n, theta)| {
+                b.iter(|| build_worst_case_instance(n, theta, 5).0.graph.num_edges())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_empirical_point(c: &mut Criterion) {
+    c.bench_function("theorem1/empirical-point-n128", |b| {
+        b.iter(|| analysis::theorem1::run_empirical(&[128], &[0.5], 3).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_analytic_bound, bench_worst_case_construction, bench_empirical_point
+}
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Lemma 1: the counting lower bound on `|dM_pq|`.
+//!
+//! There are `d^{pq}` matrices with entries in `{1..d}`; at most `p! · q!`
+//! of them are pairwise equivalent through row and column permutations, and
+//! each row admits at most `d!` images under value permutations, hence at
+//! most `(d!)^p` for the whole matrix.  Therefore
+//!
+//! ```text
+//! |dM_pq|  ≥  d^{pq} / (p! · q! · (d!)^p)
+//! ```
+//!
+//! and, in bits,
+//! `log₂|dM_pq| ≥ pq·log₂ d − log₂ p! − log₂ q! − p·log₂ d!`, which behaves
+//! like `pq·log₂ d − p·d·log₂ d − q·log₂ q − p·log₂ p` (the form quoted in
+//! the paper's Section 4 and used to prove Theorem 1).
+
+use routemodel::coding::log2_factorial;
+
+/// `log₂` of the Lemma 1 lower bound on `|dM_pq|` (may be negative for tiny
+/// parameters, in which case the bound is vacuous).
+pub fn lemma1_lower_bound_log2(p: usize, q: usize, d: u32) -> f64 {
+    let p_ = p as f64;
+    let q_ = q as f64;
+    let d_ = d as f64;
+    p_ * q_ * d_.log2()
+        - log2_factorial(p as u64)
+        - log2_factorial(q as u64)
+        - p_ * log2_factorial(d as u64)
+}
+
+/// The Lemma 1 bound as a count (`2^log₂`), saturating at `f64::INFINITY`
+/// for the astronomically large values of the Theorem 1 regime.
+pub fn lemma1_lower_bound_count(p: usize, q: usize, d: u32) -> f64 {
+    lemma1_lower_bound_log2(p, q, d).exp2()
+}
+
+/// The asymptotic form used in the proof of Theorem 1:
+/// `pq·log₂ d − p·d·log₂ d − q·log₂ q − p·log₂ p`.
+///
+/// It lower-bounds [`lemma1_lower_bound_log2`] (Stirling gives
+/// `log₂ x! ≤ x·log₂ x`), so it can be substituted for it in every bound.
+pub fn lemma1_asymptotic_log2(p: usize, q: usize, d: u32) -> f64 {
+    let p_ = p as f64;
+    let q_ = q as f64;
+    let d_ = d as f64;
+    let log_d = if d <= 1 { 0.0 } else { d_.log2() };
+    let log_q = if q <= 1 { 0.0 } else { q_.log2() };
+    let log_p = if p <= 1 { 0.0 } else { p_.log2() };
+    p_ * q_ * log_d - p_ * d_ * log_d - q_ * log_q - p_ * log_p
+}
+
+/// Exact value of `d^{pq} / (p!·q!·(d!)^p)` as a rational rounded down, for
+/// tiny parameters where everything fits in `u128`.  Returns `None` when an
+/// intermediate value overflows.
+pub fn lemma1_exact_floor(p: usize, q: usize, d: u32) -> Option<u128> {
+    let num = (d as u128).checked_pow((p * q) as u32)?;
+    let fact = |x: u128| -> Option<u128> {
+        let mut acc: u128 = 1;
+        for k in 2..=x {
+            acc = acc.checked_mul(k)?;
+        }
+        Some(acc)
+    };
+    let mut den = fact(p as u128)?.checked_mul(fact(q as u128)?)?;
+    let dfact = fact(d as u128)?;
+    for _ in 0..p {
+        den = den.checked_mul(dfact)?;
+    }
+    Some(num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_floor_matches_hand_computation() {
+        // 2^4 / (2!·2!·(2!)^2) = 16/16 = 1
+        assert_eq!(lemma1_exact_floor(2, 2, 2), Some(1));
+        // 2^9 / (3!·3!·(2!)^3) = 512 / 288 = 1 (floor)
+        assert_eq!(lemma1_exact_floor(3, 3, 2), Some(1));
+        // 3^4 / (2!·2!·(3!)^2) = 81 / 144 = 0 (floor, vacuous bound)
+        assert_eq!(lemma1_exact_floor(2, 2, 3), Some(0));
+        // 4^6 / (2!·3!·(4!)^2) = 4096 / 6912 = 0
+        assert_eq!(lemma1_exact_floor(2, 3, 4), Some(0));
+    }
+
+    #[test]
+    fn log2_form_agrees_with_exact_floor_when_representable() {
+        for (p, q, d) in [(2usize, 2usize, 2u32), (3, 3, 2), (2, 4, 2), (4, 4, 2), (2, 6, 3)] {
+            let log_bound = lemma1_lower_bound_log2(p, q, d);
+            let count = lemma1_lower_bound_count(p, q, d);
+            assert!((count.log2() - log_bound).abs() < 1e-9);
+            if let Some(exact) = lemma1_exact_floor(p, q, d) {
+                // the floor is within one unit below the real value
+                assert!((exact as f64) <= count + 1e-9);
+                assert!((exact as f64) + 1.0 > count - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bound_grows_with_q() {
+        // For fixed p and d >= 2, adding columns multiplies the bound by
+        // roughly d per column (divided by the q! growth).
+        let a = lemma1_lower_bound_log2(4, 16, 8);
+        let b = lemma1_lower_bound_log2(4, 32, 8);
+        assert!(b > a + 16.0, "doubling q must add many bits");
+    }
+
+    #[test]
+    fn asymptotic_form_is_a_lower_bound() {
+        for (p, q, d) in [
+            (2usize, 2usize, 2u32),
+            (4, 100, 8),
+            (16, 1000, 32),
+            (100, 100_000, 500),
+        ] {
+            assert!(
+                lemma1_asymptotic_log2(p, q, d) <= lemma1_lower_bound_log2(p, q, d) + 1e-6,
+                "asymptotic form must not exceed the exact Lemma 1 bound ({p},{q},{d})"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem1_regime_scaling() {
+        // In the Theorem 1 regime (p = n^θ, d ≈ n^{1−θ}/2, q ≈ n/2) the bound
+        // must scale like p · n · log n.  Check the ratio between n and 2n.
+        let setup = |n: usize| {
+            let theta = 0.5f64;
+            let p = (n as f64).powf(theta).floor() as usize;
+            let d = (n / (2 * p)).max(2) as u32;
+            let q = n - p * (d as usize + 1);
+            lemma1_lower_bound_log2(p, q, d)
+        };
+        let b1 = setup(1 << 12);
+        let b2 = setup(1 << 13);
+        // p grows by sqrt(2) and n by 2: the product p*n*log n grows by ~2.9x.
+        let ratio = b2 / b1;
+        assert!(ratio > 2.3 && ratio < 3.5, "unexpected scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn degenerate_parameters() {
+        assert_eq!(lemma1_lower_bound_log2(1, 1, 1), 0.0);
+        assert!(lemma1_lower_bound_count(1, 1, 1) >= 1.0 - 1e-12);
+        assert_eq!(lemma1_asymptotic_log2(1, 1, 1), 0.0);
+    }
+}

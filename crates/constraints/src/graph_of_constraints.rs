@@ -1,0 +1,323 @@
+//! Generalized graphs of constraints (Lemma 2 of the paper).
+//!
+//! For every matrix `M ∈ dM_pq` there is a graph `G` of order at most
+//! `p(d + 1) + q` having `M` as a matrix of constraints of stretch factor
+//! `< 2`.  The construction has three levels:
+//!
+//! * level `A` — the constrained vertices `a_1 … a_p` (one per row);
+//! * level `C` — the middle vertices `c_{i,k}`, one for every value `k`
+//!   appearing in row `i`;
+//! * level `B` — the target vertices `b_1 … b_q` (one per column);
+//!
+//! with edges `{a_i, c_{i,k}}` whenever `k` appears in row `i` and
+//! `{c_{i,k}, b_j}` whenever `m_ij = k`.  The port of `a_i` towards `c_{i,k}`
+//! is labeled `k` (1-based in the paper, `k − 1` internally).
+//!
+//! The key property (verified exhaustively by [`crate::verify`]): the unique
+//! path of length 2 from `a_i` to `b_j` goes through `c_{i, m_ij}`, and every
+//! other `a_i`–`b_j` path has length at least 4, so **any** routing function
+//! of stretch `< 2` must leave `a_i` through port `m_ij` when routing
+//! towards `b_j`.
+//!
+//! Theorem 1 then pads such a graph with a path of `n − n'` extra vertices
+//! attached to a middle vertex ([`ConstraintGraph::pad_to_order`]) to reach
+//! order exactly `n` without touching `A`, `B`, or the forcing structure.
+
+use crate::matrix::ConstraintMatrix;
+use graphkit::{Graph, NodeId, Port};
+
+/// A graph of constraints together with the embedding data of its matrix.
+#[derive(Debug, Clone)]
+pub struct ConstraintGraph {
+    /// The underlying network.
+    pub graph: Graph,
+    /// The matrix this graph realizes.
+    pub matrix: ConstraintMatrix,
+    /// Constrained vertices `a_1 … a_p` (level `A`).
+    pub constrained: Vec<NodeId>,
+    /// Target vertices `b_1 … b_q` (level `B`).
+    pub targets: Vec<NodeId>,
+    /// `middle[i][k − 1]` = the vertex `c_{i,k}`, if value `k` appears in
+    /// row `i`.
+    pub middle: Vec<Vec<Option<NodeId>>>,
+    /// Vertices of the padding path appended by [`ConstraintGraph::pad_to_order`].
+    pub padding: Vec<NodeId>,
+}
+
+impl ConstraintGraph {
+    /// Lemma 2 construction.  The matrix must be row-normalized (a
+    /// Definition 1 matrix); panics otherwise.
+    pub fn build(matrix: &ConstraintMatrix) -> Self {
+        assert!(
+            matrix.is_row_normalized(),
+            "the graph of constraints is defined for row-normalized matrices"
+        );
+        let p = matrix.num_rows();
+        let q = matrix.num_cols();
+        let d = matrix.max_entry() as usize;
+
+        // Vertex layout: a_i = i, b_j = p + j, then the used c_{i,k}.
+        let mut g = Graph::new(p + q);
+        let constrained: Vec<NodeId> = (0..p).collect();
+        let targets: Vec<NodeId> = (p..p + q).collect();
+        let mut middle: Vec<Vec<Option<NodeId>>> = vec![vec![None; d]; p];
+
+        for i in 0..p {
+            let k_i = matrix.row_alphabet_size(i);
+            // Create c_{i,1} … c_{i,k_i} and connect a_i to them in value
+            // order, so that the port of a_i towards c_{i,k} is exactly k − 1.
+            let c_nodes = g.add_nodes(k_i);
+            for (offset, &c) in c_nodes.iter().enumerate() {
+                middle[i][offset] = Some(c);
+                g.add_edge(constrained[i], c);
+            }
+        }
+        // Connect targets: b_j — c_{i, m_ij}.
+        for i in 0..p {
+            for j in 0..q {
+                let k = matrix.get(i, j) as usize;
+                let c = middle[i][k - 1].expect("row-normalized matrix uses value k");
+                g.add_edge_if_absent(c, targets[j]);
+            }
+        }
+
+        let cg = ConstraintGraph {
+            graph: g,
+            matrix: matrix.clone(),
+            constrained,
+            targets,
+            middle,
+            padding: Vec::new(),
+        };
+        debug_assert!(cg.check_port_labels().is_ok());
+        cg
+    }
+
+    /// Number of rows `p`.
+    pub fn p(&self) -> usize {
+        self.matrix.num_rows()
+    }
+
+    /// Number of columns `q`.
+    pub fn q(&self) -> usize {
+        self.matrix.num_cols()
+    }
+
+    /// The middle vertex `c_{i, k}` (1-based `k`).
+    pub fn middle_vertex(&self, i: usize, k: u32) -> Option<NodeId> {
+        self.middle[i].get(k as usize - 1).copied().flatten()
+    }
+
+    /// The port the forcing argument pins down for the pair `(a_i, b_j)`:
+    /// internally `m_ij − 1` (the paper's label is `m_ij`).
+    pub fn forced_port(&self, i: usize, j: usize) -> Port {
+        self.matrix.get(i, j) as usize - 1
+    }
+
+    /// Theorem 1's padding step: attach a path of `n − |V|` fresh vertices to
+    /// a middle vertex so the graph has order exactly `n`.  The matrix stays
+    /// a matrix of constraints of stretch `< 2` of the padded graph because
+    /// the path only hangs off level `C` and cannot create new short
+    /// `a_i`–`b_j` routes.
+    ///
+    /// Panics if `n` is smaller than the current order.
+    pub fn pad_to_order(&mut self, n: usize) {
+        let current = self.graph.num_nodes();
+        assert!(
+            n >= current,
+            "cannot pad to order {n}: the graph already has {current} vertices"
+        );
+        if n == current {
+            return;
+        }
+        let anchor = self
+            .middle
+            .iter()
+            .flatten()
+            .flatten()
+            .copied()
+            .next()
+            .expect("a non-trivial matrix always produces middle vertices");
+        let new_nodes = self.graph.add_nodes(n - current);
+        let mut prev = anchor;
+        for &v in &new_nodes {
+            self.graph.add_edge(prev, v);
+            prev = v;
+        }
+        self.padding.extend(new_nodes);
+    }
+
+    /// Checks that the port of `a_i` towards `c_{i,k}` is `k − 1` for every
+    /// value `k` of row `i` — the labeling Lemma 2 fixes.
+    pub fn check_port_labels(&self) -> Result<(), String> {
+        for i in 0..self.p() {
+            for (k0, c) in self.middle[i].iter().enumerate() {
+                if let Some(c) = c {
+                    let port = self
+                        .graph
+                        .port_to(self.constrained[i], *c)
+                        .ok_or_else(|| format!("missing edge a_{i} - c_({i},{})", k0 + 1))?;
+                    if port != k0 {
+                        return Err(format!(
+                            "port of a_{i} towards c_({i},{}) is {port}, expected {k0}",
+                            k0 + 1
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The order bound of Lemma 2: `p(d + 1) + q`.
+    pub fn lemma2_order_bound(&self) -> usize {
+        let d = self.matrix.max_entry() as usize;
+        self.p() * (d + 1) + self.q()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::traversal::{bfs_distances, is_connected};
+
+    fn example_matrix() -> ConstraintMatrix {
+        ConstraintMatrix::from_rows(vec![vec![1, 2, 1, 3], vec![1, 1, 2, 2], vec![1, 2, 3, 1]])
+    }
+
+    #[test]
+    fn construction_has_three_levels_and_right_order() {
+        let m = example_matrix();
+        let cg = ConstraintGraph::build(&m);
+        let p = 3;
+        let q = 4;
+        let used_middle: usize = (0..p).map(|i| m.row_alphabet_size(i)).sum();
+        assert_eq!(cg.graph.num_nodes(), p + q + used_middle);
+        assert!(cg.graph.num_nodes() <= cg.lemma2_order_bound());
+        assert_eq!(cg.constrained.len(), p);
+        assert_eq!(cg.targets.len(), q);
+        // Every target is adjacent to one middle vertex of every row block, so
+        // the three-level graph is connected.
+        assert!(is_connected(&cg.graph));
+        assert!(cg.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn constrained_vertex_degree_equals_row_alphabet() {
+        let m = example_matrix();
+        let cg = ConstraintGraph::build(&m);
+        for i in 0..cg.p() {
+            assert_eq!(cg.graph.degree(cg.constrained[i]), m.row_alphabet_size(i));
+        }
+    }
+
+    #[test]
+    fn port_labels_encode_matrix_values() {
+        let m = example_matrix();
+        let cg = ConstraintGraph::build(&m);
+        assert!(cg.check_port_labels().is_ok());
+        for i in 0..cg.p() {
+            for j in 0..cg.q() {
+                let k = m.get(i, j);
+                let c = cg.middle_vertex(i, k).unwrap();
+                assert_eq!(
+                    cg.graph.port_target(cg.constrained[i], cg.forced_port(i, j)),
+                    c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distances_a_to_b_are_two_via_unique_middle_vertex() {
+        let m = example_matrix();
+        let cg = ConstraintGraph::build(&m);
+        for i in 0..cg.p() {
+            let dist = bfs_distances(&cg.graph, cg.constrained[i]);
+            for j in 0..cg.q() {
+                assert_eq!(dist[cg.targets[j]], 2, "d(a_{i}, b_{j}) must be 2");
+            }
+        }
+    }
+
+    #[test]
+    fn alternative_first_hops_lead_far_from_the_target() {
+        // Every neighbour of a_i other than c_{i, m_ij} is at distance >= 3
+        // from b_j, so any path avoiding the forced arc has length >= 4.
+        let m = example_matrix();
+        let cg = ConstraintGraph::build(&m);
+        for j in 0..cg.q() {
+            let dist_from_b = bfs_distances(&cg.graph, cg.targets[j]);
+            for i in 0..cg.p() {
+                let forced = cg.graph.port_target(cg.constrained[i], cg.forced_port(i, j));
+                for &x in cg.graph.neighbors(cg.constrained[i]) {
+                    if x != forced {
+                        assert!(
+                            dist_from_b[x] >= 3,
+                            "neighbour {x} of a_{i} is too close to b_{j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_value_matrix_builds_a_double_star() {
+        let m = ConstraintMatrix::from_rows(vec![vec![1, 1, 1]]);
+        let cg = ConstraintGraph::build(&m);
+        // a_1, b_1..b_3, c_{1,1}: 5 vertices; a_1-c, c-b_j
+        assert_eq!(cg.graph.num_nodes(), 5);
+        assert_eq!(cg.graph.num_edges(), 4);
+        assert_eq!(cg.graph.degree(cg.constrained[0]), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_normalized_matrix_rejected() {
+        let m = ConstraintMatrix::from_rows(vec![vec![2, 2, 2]]);
+        let _ = ConstraintGraph::build(&m);
+    }
+
+    #[test]
+    fn padding_reaches_exact_order_and_preserves_structure() {
+        let m = example_matrix();
+        let mut cg = ConstraintGraph::build(&m);
+        let before = cg.graph.num_nodes();
+        cg.pad_to_order(before + 17);
+        assert_eq!(cg.graph.num_nodes(), before + 17);
+        assert_eq!(cg.padding.len(), 17);
+        assert!(cg.graph.validate().is_ok());
+        assert!(cg.check_port_labels().is_ok());
+        // forcing distances unchanged
+        for i in 0..cg.p() {
+            let dist = bfs_distances(&cg.graph, cg.constrained[i]);
+            for j in 0..cg.q() {
+                assert_eq!(dist[cg.targets[j]], 2);
+            }
+        }
+        // padding to the current order is a no-op
+        let now = cg.graph.num_nodes();
+        cg.pad_to_order(now);
+        assert_eq!(cg.graph.num_nodes(), now);
+    }
+
+    #[test]
+    #[should_panic]
+    fn padding_below_current_order_panics() {
+        let m = example_matrix();
+        let mut cg = ConstraintGraph::build(&m);
+        cg.pad_to_order(3);
+    }
+
+    #[test]
+    fn random_matrices_produce_valid_constraint_graphs() {
+        for seed in 0..6u64 {
+            let m = ConstraintMatrix::random(4, 6, 4, seed);
+            let cg = ConstraintGraph::build(&m);
+            assert!(cg.graph.validate().is_ok());
+            assert!(cg.check_port_labels().is_ok());
+            assert!(cg.graph.num_nodes() <= cg.lemma2_order_bound());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # constraints
+//!
+//! The primary contribution of Fraigniaud & Gavoille, *Local Memory
+//! Requirement of Universal Routing Schemes* (SPAA 1996): generalized
+//! matrices of constraints, generalized graphs of constraints, the counting
+//! lower bound (Lemma 1), the gadget construction (Lemma 2), and the main
+//! lower bound (Theorem 1) stating that for every stretch factor `s < 2`,
+//! every constant `0 < θ < 1` and every large enough `n`, some `n`-node
+//! network has `Θ(n^θ)` routers that each need `Ω(n log n)` memory bits.
+//!
+//! Module map (paper section → module):
+//!
+//! * Section 2, Definition 1 (generalized matrix of constraints) →
+//!   [`matrix::ConstraintMatrix`];
+//! * Section 2, Definition 2 (the equivalence `≡` and canonical
+//!   representatives / index minimization) → [`canonical`];
+//! * Section 2, the family `dM_pq` and the example `|2M_2,2| = 7` →
+//!   [`enumerate`];
+//! * Section 2, Lemma 1 (`|dM_pq| ≥ d^{pq}/(p!·q!·(d!)^p)`) → [`counting`];
+//! * Section 3, Lemma 2 (generalized graphs of constraints of stretch `< 2`)
+//!   → [`graph_of_constraints`], checked by [`verify`];
+//! * Section 4, Theorem 1 (parameter choice, padding to order `n`, the
+//!   information-theoretic bound `Σ_A MEM ≥ log|dM_pq| − MB − MC − O(log n)`)
+//!   → [`theorem1`], with the reconstruction procedure of the proof in
+//!   [`reconstruct`];
+//! * Figure 1 (a shortest-path matrix of constraints on the Petersen graph)
+//!   → [`petersen`].
+
+pub mod bounds;
+pub mod canonical;
+pub mod counting;
+pub mod enumerate;
+pub mod graph_of_constraints;
+pub mod matrix;
+pub mod petersen;
+pub mod reconstruct;
+pub mod theorem1;
+pub mod verify;
+
+pub use canonical::{are_equivalent, canonical_form};
+pub use counting::lemma1_lower_bound_log2;
+pub use enumerate::enumerate_canonical_matrices;
+pub use graph_of_constraints::ConstraintGraph;
+pub use matrix::ConstraintMatrix;
+pub use theorem1::{LowerBoundReport, Theorem1Params};

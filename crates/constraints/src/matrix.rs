@@ -1,0 +1,346 @@
+//! Generalized matrices of constraints (Definition 1 of the paper).
+//!
+//! A generalized matrix of constraints of a graph `G` and stretch factor `s`
+//! is a `p × q` integer matrix `M = (m_ij)` whose row `i` only uses the
+//! values `{1, …, |∪_j {m_ij}|}` (we call such a row *normalized*), together
+//! with constrained vertices `A = {a_1..a_p}`, target vertices
+//! `B = {b_1..b_q}` and per-row arc-labeling functions `λ_i` such that every
+//! routing function of stretch at most `s` on `G` must leave `a_i` through
+//! the arc `λ_i(m_ij)` when routing towards `b_j`.
+//!
+//! This module implements the *matrix* side of the definition: storage,
+//! validation, per-row normalization, random generation, and the index used
+//! to pick canonical representatives.  The *graph* side (how a matrix is
+//! attached to an actual network) lives in
+//! [`crate::graph_of_constraints`] and [`crate::verify`].
+
+use graphkit::Xoshiro256;
+use std::fmt;
+
+/// A `p × q` matrix of positive integers (the paper's 1-based port labels).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConstraintMatrix {
+    p: usize,
+    q: usize,
+    /// Row-major entries, all `≥ 1`.
+    entries: Vec<u32>,
+}
+
+impl fmt::Debug for ConstraintMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ConstraintMatrix {}x{} [", self.p, self.q)?;
+        for i in 0..self.p {
+            write!(f, "  ")?;
+            for j in 0..self.q {
+                write!(f, "{} ", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for ConstraintMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.p {
+            for j in 0..self.q {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self.get(i, j))?;
+            }
+            if i + 1 < self.p {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ConstraintMatrix {
+    /// Builds a matrix from row-major entries.  Panics if the dimensions do
+    /// not match or some entry is zero (the paper's values are `≥ 1`).
+    pub fn new(p: usize, q: usize, entries: Vec<u32>) -> Self {
+        assert!(p >= 1 && q >= 1, "matrix dimensions must be positive");
+        assert_eq!(entries.len(), p * q, "entry count must be p*q");
+        assert!(entries.iter().all(|&x| x >= 1), "entries are 1-based, must be >= 1");
+        ConstraintMatrix { p, q, entries }
+    }
+
+    /// Builds a matrix from rows.
+    pub fn from_rows(rows: Vec<Vec<u32>>) -> Self {
+        let p = rows.len();
+        assert!(p >= 1);
+        let q = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == q), "ragged rows");
+        ConstraintMatrix::new(p, q, rows.into_iter().flatten().collect())
+    }
+
+    /// Number of rows (constrained vertices).
+    pub fn num_rows(&self) -> usize {
+        self.p
+    }
+
+    /// Number of columns (target vertices).
+    pub fn num_cols(&self) -> usize {
+        self.q
+    }
+
+    /// Entry `m_ij` (0-based indices, 1-based value).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u32 {
+        self.entries[i * self.q + j]
+    }
+
+    /// Sets entry `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, value: u32) {
+        assert!(value >= 1);
+        self.entries[i * self.q + j] = value;
+    }
+
+    /// The row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.entries[i * self.q..(i + 1) * self.q]
+    }
+
+    /// Row-major entries.
+    pub fn entries(&self) -> &[u32] {
+        &self.entries
+    }
+
+    /// Largest entry of the matrix.
+    pub fn max_entry(&self) -> u32 {
+        *self.entries.iter().max().unwrap()
+    }
+
+    /// Number of distinct values used in row `i` — the paper's
+    /// `|∪_j {m_ij}|`, i.e. the degree of the constrained vertex `a_i` in the
+    /// graph of constraints.
+    pub fn row_alphabet_size(&self, i: usize) -> usize {
+        let mut vals: Vec<u32> = self.row(i).to_vec();
+        vals.sort_unstable();
+        vals.dedup();
+        vals.len()
+    }
+
+    /// Whether every row uses exactly the values `{1, …, k_i}` for some `k_i`
+    /// (Definition 1's requirement on the entries).
+    pub fn is_row_normalized(&self) -> bool {
+        (0..self.p).all(|i| {
+            let k = self.row_alphabet_size(i) as u32;
+            self.row(i).iter().all(|&x| x <= k)
+        })
+    }
+
+    /// Returns the matrix with every row relabeled by first occurrence:
+    /// the first distinct value of the row becomes 1, the second 2, etc.
+    ///
+    /// The result is row-normalized and equivalent (in the sense of
+    /// Definition 2) to the original, since per-row value permutations are
+    /// part of the equivalence.
+    pub fn normalize_rows(&self) -> ConstraintMatrix {
+        let mut out = Vec::with_capacity(self.entries.len());
+        for i in 0..self.p {
+            let mut mapping: Vec<(u32, u32)> = Vec::new();
+            for &x in self.row(i) {
+                let mapped = match mapping.iter().find(|&&(orig, _)| orig == x) {
+                    Some(&(_, m)) => m,
+                    None => {
+                        let m = mapping.len() as u32 + 1;
+                        mapping.push((x, m));
+                        m
+                    }
+                };
+                out.push(mapped);
+            }
+        }
+        ConstraintMatrix::new(self.p, self.q, out)
+    }
+
+    /// Applies a column permutation: column `j` of the result is column
+    /// `perm[j]` of `self`.
+    pub fn permute_columns(&self, perm: &[usize]) -> ConstraintMatrix {
+        assert_eq!(perm.len(), self.q);
+        let mut out = Vec::with_capacity(self.entries.len());
+        for i in 0..self.p {
+            for &j in perm {
+                out.push(self.get(i, j));
+            }
+        }
+        ConstraintMatrix::new(self.p, self.q, out)
+    }
+
+    /// Applies a row permutation: row `i` of the result is row `perm[i]` of
+    /// `self`.
+    pub fn permute_rows(&self, perm: &[usize]) -> ConstraintMatrix {
+        assert_eq!(perm.len(), self.p);
+        let mut out = Vec::with_capacity(self.entries.len());
+        for &i in perm {
+            out.extend_from_slice(self.row(i));
+        }
+        ConstraintMatrix::new(self.p, self.q, out)
+    }
+
+    /// Applies a value permutation to row `i`: value `v` becomes
+    /// `perm[v − 1] + 1` (perm is 0-based over the row's alphabet size).
+    pub fn permute_row_values(&self, i: usize, perm: &[u32]) -> ConstraintMatrix {
+        let mut out = self.clone();
+        for j in 0..self.q {
+            let v = self.get(i, j) as usize;
+            assert!(v <= perm.len(), "permutation too short for row values");
+            out.set(i, j, perm[v - 1] + 1);
+        }
+        out
+    }
+
+    /// A uniformly random matrix with entries in `{1..=d}`, then
+    /// row-normalized (so it is a valid Definition 1 matrix with per-row
+    /// alphabet at most `d`).
+    pub fn random(p: usize, q: usize, d: u32, seed: u64) -> ConstraintMatrix {
+        assert!(d >= 1);
+        let mut rng = Xoshiro256::new(seed);
+        let entries = (0..p * q)
+            .map(|_| rng.gen_range(d as usize) as u32 + 1)
+            .collect();
+        ConstraintMatrix::new(p, q, entries).normalize_rows()
+    }
+
+    /// A random matrix whose every row uses the **full** alphabet `{1..=d}`
+    /// (requires `q ≥ d`): the first `d` entries of each row are a random
+    /// permutation of `1..=d` and the rest are uniform, after which columns
+    /// are left untouched (the graph-of-constraints construction then gives
+    /// every constrained vertex degree exactly `d`).
+    pub fn random_full_alphabet(p: usize, q: usize, d: u32, seed: u64) -> ConstraintMatrix {
+        assert!(q >= d as usize, "need q >= d to use the full alphabet in a row");
+        let mut rng = Xoshiro256::new(seed);
+        let mut entries = Vec::with_capacity(p * q);
+        for _ in 0..p {
+            let mut prefix: Vec<u32> = (1..=d).collect();
+            // shuffle the prefix
+            for i in (1..prefix.len()).rev() {
+                let j = rng.gen_range(i + 1);
+                prefix.swap(i, j);
+            }
+            entries.extend_from_slice(&prefix);
+            for _ in d as usize..q {
+                entries.push(rng.gen_range(d as usize) as u32 + 1);
+            }
+        }
+        ConstraintMatrix::new(p, q, entries)
+    }
+
+    /// The row-major word of the matrix, used as the index for canonical
+    /// representative selection: comparing two words lexicographically
+    /// corresponds to comparing the paper's integer indices
+    /// `Σ_ij m_ij · q^{pq − ((i−1)q + j)}` whenever the entries are digits,
+    /// and is in any case a total order invariant under nothing — which is
+    /// all a canonical-representative choice needs.
+    pub fn index_word(&self) -> &[u32] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = ConstraintMatrix::from_rows(vec![vec![1, 2, 1], vec![2, 2, 1]]);
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.num_cols(), 3);
+        assert_eq!(m.get(0, 1), 2);
+        assert_eq!(m.row(1), &[2, 2, 1]);
+        assert_eq!(m.max_entry(), 2);
+        assert_eq!(m.row_alphabet_size(0), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_entries_rejected() {
+        let _ = ConstraintMatrix::from_rows(vec![vec![1, 0]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_rejected() {
+        let _ = ConstraintMatrix::from_rows(vec![vec![1, 2], vec![1]]);
+    }
+
+    #[test]
+    fn row_normalization_detection() {
+        let good = ConstraintMatrix::from_rows(vec![vec![1, 2, 2], vec![1, 1, 1]]);
+        assert!(good.is_row_normalized());
+        let bad = ConstraintMatrix::from_rows(vec![vec![1, 3, 3]]); // misses value 2
+        assert!(!bad.is_row_normalized());
+        let bad2 = ConstraintMatrix::from_rows(vec![vec![2, 2, 2]]); // misses value 1
+        assert!(!bad2.is_row_normalized());
+    }
+
+    #[test]
+    fn normalize_rows_first_occurrence() {
+        let m = ConstraintMatrix::from_rows(vec![vec![5, 3, 5, 7], vec![2, 2, 9, 2]]);
+        let n = m.normalize_rows();
+        assert_eq!(n.row(0), &[1, 2, 1, 3]);
+        assert_eq!(n.row(1), &[1, 1, 2, 1]);
+        assert!(n.is_row_normalized());
+        // normalizing twice is idempotent
+        assert_eq!(n.normalize_rows(), n);
+    }
+
+    #[test]
+    fn permutations_behave() {
+        let m = ConstraintMatrix::from_rows(vec![vec![1, 2, 3], vec![3, 2, 1]]);
+        let c = m.permute_columns(&[2, 0, 1]);
+        assert_eq!(c.row(0), &[3, 1, 2]);
+        assert_eq!(c.row(1), &[1, 3, 2]);
+        let r = m.permute_rows(&[1, 0]);
+        assert_eq!(r.row(0), &[3, 2, 1]);
+        let v = m.permute_row_values(0, &[2, 1, 0]); // 1->3, 2->2, 3->1
+        assert_eq!(v.row(0), &[3, 2, 1]);
+        assert_eq!(v.row(1), &[3, 2, 1], "other rows untouched");
+    }
+
+    #[test]
+    fn random_matrices_are_normalized_and_bounded() {
+        for seed in 0..5u64 {
+            let m = ConstraintMatrix::random(4, 7, 5, seed);
+            assert!(m.is_row_normalized());
+            assert!(m.max_entry() <= 5);
+            assert_eq!(m.num_rows(), 4);
+            assert_eq!(m.num_cols(), 7);
+        }
+        assert_eq!(
+            ConstraintMatrix::random(3, 3, 3, 9),
+            ConstraintMatrix::random(3, 3, 3, 9)
+        );
+    }
+
+    #[test]
+    fn random_full_alphabet_uses_every_value() {
+        for seed in 0..5u64 {
+            let d = 4u32;
+            let m = ConstraintMatrix::random_full_alphabet(3, 8, d, seed);
+            for i in 0..3 {
+                assert_eq!(m.row_alphabet_size(i), d as usize, "row {i} seed {seed}");
+            }
+            assert!(m.is_row_normalized());
+        }
+    }
+
+    #[test]
+    fn display_and_debug_render_entries() {
+        let m = ConstraintMatrix::from_rows(vec![vec![1, 2], vec![2, 1]]);
+        let s = format!("{m}");
+        assert!(s.contains("1 2"));
+        assert!(s.contains("2 1"));
+        let d = format!("{m:?}");
+        assert!(d.contains("2x2"));
+    }
+
+    #[test]
+    fn index_word_is_row_major() {
+        let m = ConstraintMatrix::from_rows(vec![vec![1, 2], vec![3, 4]]);
+        assert_eq!(m.index_word(), &[1, 2, 3, 4]);
+    }
+}

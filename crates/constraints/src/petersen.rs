@@ -1,0 +1,153 @@
+//! Figure 1 of the paper: a matrix of constraints of shortest paths on the
+//! Petersen graph.
+//!
+//! The Petersen graph has diameter 2 and girth 5, so every ordered pair of
+//! distinct vertices has a *unique* shortest path (adjacent pairs trivially,
+//! non-adjacent pairs because two vertices of a girth-5 graph share at most
+//! one neighbour).  Consequently **every** choice of disjoint vertex sets
+//! `A`, `B` yields a shortest-path matrix of constraints: the port of the
+//! unique first arc is forced for every stretch-1 routing function.  The
+//! paper's Figure 1 displays one such matrix with `|A| = |B| = 5`; this
+//! module regenerates a canonical instance (outer cycle as `A`, inner
+//! pentagram as `B`) and verifies the forcing property by routing.
+
+use crate::matrix::ConstraintMatrix;
+use crate::verify::constraint_matrix_of_shortest_paths;
+use graphkit::{generators, Graph, NodeId};
+use routemodel::simulate::first_port;
+use routemodel::RoutingFunction;
+
+/// The Figure 1 reproduction: the Petersen graph, the constrained set `A`
+/// (outer 5-cycle), the target set `B` (inner pentagram) and the forced
+/// shortest-path matrix of constraints.
+#[derive(Debug, Clone)]
+pub struct PetersenFigure {
+    pub graph: Graph,
+    pub constrained: Vec<NodeId>,
+    pub targets: Vec<NodeId>,
+    pub matrix: ConstraintMatrix,
+}
+
+/// Builds the Figure 1 instance with `A = {0..5}` (outer cycle) and
+/// `B = {5..10}` (inner pentagram).
+pub fn petersen_figure() -> PetersenFigure {
+    petersen_figure_for(&(0..5).collect::<Vec<_>>(), &(5..10).collect::<Vec<_>>())
+        .expect("the Petersen graph forces every pair")
+}
+
+/// Builds a Figure 1-style instance for arbitrary disjoint vertex subsets of
+/// the Petersen graph; returns `None` if the sets overlap.
+pub fn petersen_figure_for(a: &[NodeId], b: &[NodeId]) -> Option<PetersenFigure> {
+    let graph = generators::petersen();
+    if a.iter().any(|x| b.contains(x)) {
+        return None;
+    }
+    let matrix = constraint_matrix_of_shortest_paths(&graph, a, b)?;
+    Some(PetersenFigure {
+        graph,
+        constrained: a.to_vec(),
+        targets: b.to_vec(),
+        matrix,
+    })
+}
+
+/// Checks that every unique-shortest-path constraint of the figure is obeyed
+/// by a concrete shortest-path routing function.
+pub fn verify_figure_against_routing<R: RoutingFunction + ?Sized>(
+    fig: &PetersenFigure,
+    r: &R,
+) -> Result<(), String> {
+    for (i, &a) in fig.constrained.iter().enumerate() {
+        for (j, &b) in fig.targets.iter().enumerate() {
+            let used = first_port(r, a, b).ok_or("routing did not forward")?;
+            let forced = fig.matrix.get(i, j) as usize - 1;
+            if used != forced {
+                return Err(format!(
+                    "pair ({a}, {b}): routing used port {used}, figure forces {forced}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Every ordered pair of distinct vertices of the Petersen graph has a unique
+/// shortest path (girth 5 + diameter 2).  Exposed as a function so the
+/// experiment binaries can report it.
+pub fn all_pairs_forced() -> bool {
+    let g = generators::petersen();
+    for u in 0..g.num_nodes() {
+        for v in 0..g.num_nodes() {
+            if u != v {
+                let paths = graphkit::traversal::all_shortest_paths(&g, u, v);
+                if paths.len() != 1 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routemodel::{TableRouting, TieBreak};
+
+    #[test]
+    fn petersen_has_unique_shortest_paths_between_all_pairs() {
+        assert!(all_pairs_forced());
+    }
+
+    #[test]
+    fn figure_matrix_is_5_by_5_with_degree_bounded_entries() {
+        let fig = petersen_figure();
+        assert_eq!(fig.matrix.num_rows(), 5);
+        assert_eq!(fig.matrix.num_cols(), 5);
+        assert!(fig.matrix.max_entry() <= 3, "ports on a cubic graph are 1..3");
+        // each row uses at least 2 distinct ports (a_i has one spoke and two
+        // cycle neighbours; its five targets cannot all sit behind one port)
+        for i in 0..5 {
+            assert!(fig.matrix.row_alphabet_size(i) >= 2);
+        }
+    }
+
+    #[test]
+    fn spoke_entries_point_at_the_spoke_port() {
+        // a_i = outer vertex i; b = inner vertex i + 5 is adjacent through the
+        // spoke, so the forced port is the spoke port.
+        let fig = petersen_figure();
+        for i in 0..5usize {
+            let spoke_port = fig.graph.port_to(i, i + 5).unwrap();
+            assert_eq!(fig.matrix.get(i, i) as usize - 1, spoke_port);
+        }
+    }
+
+    #[test]
+    fn every_shortest_path_routing_obeys_the_figure() {
+        let fig = petersen_figure();
+        for tie in [
+            TieBreak::LowestPort,
+            TieBreak::LowestNeighbor,
+            TieBreak::HighestNeighbor,
+            TieBreak::Seeded(4),
+        ] {
+            let r = TableRouting::shortest_paths(&fig.graph, tie);
+            assert!(verify_figure_against_routing(&fig, &r).is_ok(), "{tie:?}");
+        }
+    }
+
+    #[test]
+    fn alternative_vertex_subsets_also_yield_figures() {
+        let fig = petersen_figure_for(&[0, 2, 7], &[4, 6, 9]).unwrap();
+        assert_eq!(fig.matrix.num_rows(), 3);
+        assert_eq!(fig.matrix.num_cols(), 3);
+        let r = TableRouting::shortest_paths(&fig.graph, TieBreak::LowestPort);
+        assert!(verify_figure_against_routing(&fig, &r).is_ok());
+    }
+
+    #[test]
+    fn overlapping_sets_are_rejected() {
+        assert!(petersen_figure_for(&[0, 1], &[1, 2]).is_none());
+    }
+}

@@ -1,0 +1,237 @@
+//! The reconstruction argument behind Theorem 1.
+//!
+//! "To rebuild `M`, it is sufficient to test all routers of the vertices in
+//! `A` on all the labels of the target vertices, and to store the results in
+//! a matrix `M'`.  To do that, it is enough to know the routing functions at
+//! the vertices of `A`, the labels of the vertices in `B`, and a way to find
+//! the canonical representative of the equivalence class of the matrix `M'`
+//! obtained."  (Paper, Section 4.)
+//!
+//! This module runs that procedure literally:
+//!
+//! * [`reconstruct_matrix`] probes an arbitrary routing function on every
+//!   `(a_i, b_j)` pair and assembles the matrix of first ports used;
+//! * [`reconstruct_canonical`] canonicalizes the probe result — together with
+//!   `log₂ C(n, q)` bits for the target labels (`MB`) and an `O(log n)`-bit
+//!   canonicalization routine (`MC`), the routers of `A` therefore encode the
+//!   class of `M`, which is where the `Σ_A MEM ≥ log|dM_pq| − MB − MC`
+//!   inequality comes from;
+//! * [`describe_encoding_cost`] makes the information accounting concrete for
+//!   one instance, returning the number of bits of each term.
+
+use crate::canonical::{canonical_form, canonical_form_heuristic};
+use crate::graph_of_constraints::ConstraintGraph;
+use crate::matrix::ConstraintMatrix;
+use routemodel::coding::log2_binomial;
+use routemodel::memory::PortMap;
+use routemodel::simulate::first_port;
+use routemodel::RoutingFunction;
+
+/// Probes `r` on every `(a_i, b_j)` pair of the constraint graph and returns
+/// the matrix of (1-based) first ports used.
+///
+/// When `r` has stretch `< 2`, Lemma 2 guarantees the result *is* the
+/// original matrix (up to the port relabelings the adversary may have applied
+/// at the constrained vertices, i.e. up to `≡`).
+pub fn reconstruct_matrix<R: RoutingFunction + ?Sized>(
+    cg: &ConstraintGraph,
+    r: &R,
+) -> ConstraintMatrix {
+    let rows = cg
+        .constrained
+        .iter()
+        .map(|&a| {
+            cg.targets
+                .iter()
+                .map(|&b| {
+                    let p = first_port(r, a, b)
+                        .expect("a routing function must forward between distinct vertices");
+                    p as u32 + 1
+                })
+                .collect::<Vec<u32>>()
+        })
+        .collect::<Vec<_>>();
+    ConstraintMatrix::from_rows(rows)
+}
+
+/// Reconstructs the matrix and reduces it to its canonical representative
+/// (exact when `q ≤ 10`, heuristic otherwise — the heuristic is still a
+/// deterministic class member, which is all the encoding argument needs).
+pub fn reconstruct_canonical<R: RoutingFunction + ?Sized>(
+    cg: &ConstraintGraph,
+    r: &R,
+) -> ConstraintMatrix {
+    let m = reconstruct_matrix(cg, r);
+    if m.num_cols() <= 10 {
+        canonical_form(&m)
+    } else {
+        canonical_form_heuristic(&m)
+    }
+}
+
+/// The concrete information accounting of the Theorem 1 proof for one
+/// instance and one routing function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodingCost {
+    /// Bits actually used by the probe tables of the constrained routers,
+    /// restricted to the target destinations (an upper bound realization of
+    /// `Σ_{a∈A} MEM(a)` for this particular coding strategy).
+    pub constrained_router_bits: u64,
+    /// `MB = ⌈log₂ C(n, q)⌉` — describing which labels are targets.
+    pub mb_bits: u64,
+    /// `MC` — the canonicalization routine, charged at `4⌈log₂ n⌉` bits.
+    pub mc_bits: u64,
+    /// `log₂|dM_pq|` from Lemma 1: what the three items above must jointly
+    /// exceed.
+    pub class_information_bits: f64,
+}
+
+/// Computes the encoding cost of the reconstruction argument on `cg` for the
+/// routing function `r`: how many bits the constrained routers' local tables
+/// use (raw encoding restricted to the targets), and the `MB`/`MC` terms.
+pub fn describe_encoding_cost<R: RoutingFunction + ?Sized>(
+    cg: &ConstraintGraph,
+    r: &R,
+) -> EncodingCost {
+    let g = &cg.graph;
+    let n = g.num_nodes() as u64;
+    let q = cg.q() as u64;
+    let constrained_router_bits: u64 = cg
+        .constrained
+        .iter()
+        .map(|&a| {
+            // the local table of a restricted to the q target labels
+            let full = PortMap::from_routing(g, r, a);
+            let restricted: Vec<Option<usize>> = cg
+                .targets
+                .iter()
+                .map(|&b| full.ports[b])
+                .collect();
+            PortMap::new(a, g.degree(a), restricted).raw_table_bits()
+                + routemodel::coding::bits_for_values(n) as u64 // its own label
+        })
+        .sum();
+    let mb_bits = log2_binomial(n, q).ceil() as u64;
+    let mc_bits = 4 * routemodel::coding::bits_for_values(n) as u64;
+    let class_information_bits = crate::counting::lemma1_lower_bound_log2(
+        cg.p(),
+        cg.q(),
+        cg.matrix.max_entry(),
+    );
+    EncodingCost {
+        constrained_router_bits,
+        mb_bits,
+        mc_bits,
+        class_information_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theorem1::build_worst_case_instance;
+    use crate::verify::verify_forcing_structure;
+    use graphkit::Xoshiro256;
+    use routemodel::{TableRouting, TieBreak};
+
+    fn small_instance(seed: u64) -> ConstraintGraph {
+        let m = ConstraintMatrix::random_full_alphabet(4, 8, 3, seed);
+        let mut cg = ConstraintGraph::build(&m);
+        cg.pad_to_order(cg.graph.num_nodes() + 5);
+        cg
+    }
+
+    #[test]
+    fn any_shortest_path_routing_reconstructs_the_matrix_exactly() {
+        // With the Lemma 2 port labeling untouched, the probe returns the
+        // matrix itself — not merely an equivalent one.
+        for seed in 0..5u64 {
+            let cg = small_instance(seed);
+            for tie in [TieBreak::LowestPort, TieBreak::HighestNeighbor, TieBreak::Seeded(9)] {
+                let r = TableRouting::shortest_paths(&cg.graph, tie);
+                let rebuilt = reconstruct_matrix(&cg, &r);
+                assert_eq!(rebuilt, cg.matrix, "seed {seed}, tie {tie:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_after_adversarial_port_relabeling_is_equivalent() {
+        // Relabel the ports of every constrained vertex with a random
+        // permutation: the probe now returns a *different* matrix, but one in
+        // the same ≡-class (the per-row value permutations λ_i of
+        // Definition 2 are exactly these relabelings).
+        for seed in 0..5u64 {
+            let cg = small_instance(seed);
+            let mut g2 = cg.graph.clone();
+            let mut rng = Xoshiro256::new(seed ^ 0xABCD);
+            for &a in &cg.constrained {
+                let d = g2.degree(a);
+                let perm = rng.permutation(d);
+                g2.permute_ports(a, &perm);
+            }
+            let mut cg2 = cg.clone();
+            cg2.graph = g2;
+            let r = TableRouting::shortest_paths(&cg2.graph, TieBreak::LowestNeighbor);
+            let rebuilt = reconstruct_matrix(&cg2, &r);
+            // usually different entry-wise...
+            // ...but always the same canonical representative:
+            assert_eq!(
+                canonical_form(&rebuilt),
+                canonical_form(&cg.matrix),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn reconstruction_canonical_uses_exact_form_for_narrow_matrices() {
+        let cg = small_instance(11);
+        let r = TableRouting::shortest_paths(&cg.graph, TieBreak::LowestPort);
+        let canon = reconstruct_canonical(&cg, &r);
+        assert_eq!(canon, canonical_form(&cg.matrix));
+    }
+
+    #[test]
+    fn worst_case_instance_reconstruction_round_trip() {
+        // A mid-sized Theorem 1 instance: probing the constrained routers of
+        // the padded n-vertex network recovers the planted matrix.
+        let (cg, params) = build_worst_case_instance(192, 0.4, 21);
+        assert!(verify_forcing_structure(&cg).is_ok());
+        let r = TableRouting::shortest_paths(&cg.graph, TieBreak::Seeded(5));
+        let rebuilt = reconstruct_matrix(&cg, &r);
+        assert_eq!(rebuilt, cg.matrix);
+        assert_eq!(rebuilt.num_rows(), params.p);
+        assert_eq!(rebuilt.num_cols(), params.q);
+    }
+
+    #[test]
+    fn encoding_cost_is_consistent_with_the_information_bound() {
+        // The bits held by the constrained routers plus MB plus MC must be at
+        // least the class information (Lemma 1 bound) — the inequality at the
+        // heart of Theorem 1, here checked on an actual encoding.
+        let (cg, _) = build_worst_case_instance(256, 0.5, 3);
+        let r = TableRouting::shortest_paths(&cg.graph, TieBreak::LowestPort);
+        let cost = describe_encoding_cost(&cg, &r);
+        let lhs = (cost.constrained_router_bits + cost.mb_bits + cost.mc_bits) as f64;
+        assert!(
+            lhs >= cost.class_information_bits,
+            "encoding ({lhs} bits) cannot be below the information content \
+             ({} bits)",
+            cost.class_information_bits
+        );
+        assert!(cost.class_information_bits > 0.0);
+    }
+
+    #[test]
+    fn encoding_cost_scales_with_instance_size() {
+        let (small, _) = build_worst_case_instance(128, 0.5, 3);
+        let (large, _) = build_worst_case_instance(512, 0.5, 3);
+        let r_small = TableRouting::shortest_paths(&small.graph, TieBreak::LowestPort);
+        let r_large = TableRouting::shortest_paths(&large.graph, TieBreak::LowestPort);
+        let c_small = describe_encoding_cost(&small, &r_small);
+        let c_large = describe_encoding_cost(&large, &r_large);
+        assert!(c_large.constrained_router_bits > c_small.constrained_router_bits);
+        assert!(c_large.class_information_bits > c_small.class_information_bits);
+    }
+}

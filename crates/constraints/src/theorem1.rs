@@ -1,0 +1,288 @@
+//! Theorem 1 — the main lower bound of the paper.
+//!
+//! *For any stretch factor `s < 2`, for any constant `0 < θ < 1`, and for any
+//! (large enough) `n`, there exists an `n`-node network `G_n` in which
+//! `Θ(n^θ)` routers require `Ω(n log n)` bits each to code any routing
+//! function of stretch at most `s`.*
+//!
+//! The proof pipeline, reproduced here:
+//!
+//! 1. choose `p = ⌊n^θ⌋`, `d ≈ n^{1−θ}/2` and `q = n − p(d+1)` so the
+//!    Lemma 2 graph of a `p × q` matrix with entries in `{1..d}` fits in `n`
+//!    vertices ([`Theorem1Params::choose`]);
+//! 2. for *some* matrix `M ∈ dM_pq`, the routers of the constrained vertices
+//!    of its (padded) graph of constraints must jointly store at least
+//!    `log₂|dM_pq| − MB − MC − O(log n)` bits, where `MB = ⌈log₂ C(n, q)⌉`
+//!    describes the target labels and `MC = O(log n)` the canonicalization
+//!    routine — because those routers, probed on every target label, allow
+//!    rebuilding `M` up to `≡` (see [`crate::reconstruct`]);
+//! 3. with Lemma 1, the right-hand side is `Ω(n^θ · n · log n)`, so the
+//!    average constrained router stores `Ω(n log n)` bits; since routing
+//!    tables cap every router at `O(n log n)` bits, a constant fraction of
+//!    the `p = ⌊n^θ⌋` constrained routers must each store `Ω(n log n)` bits.
+//!
+//! [`lower_bound`] evaluates every term of that chain for concrete `(n, θ)`
+//! and reports the per-router bound next to the routing-table upper bound;
+//! [`build_worst_case_instance`] materializes an actual `n`-vertex network of
+//! the family (with a random representative matrix) for the empirical
+//! reconstruction and measurement experiments.
+
+use crate::counting::lemma1_lower_bound_log2;
+use crate::graph_of_constraints::ConstraintGraph;
+use crate::matrix::ConstraintMatrix;
+use routemodel::coding::{bits_for_values, log2_binomial};
+
+/// The parameters `(p, d, q)` of the Theorem 1 construction for a given
+/// `(n, θ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Theorem1Params {
+    /// Total number of vertices of the final network.
+    pub n: usize,
+    /// The constant `θ` (number of constrained routers `≈ n^θ`).
+    pub theta: f64,
+    /// Number of constrained vertices (rows), `⌊n^θ⌋`.
+    pub p: usize,
+    /// Alphabet size (maximum degree of a constrained vertex).
+    pub d: u32,
+    /// Number of target vertices (columns).
+    pub q: usize,
+}
+
+impl Theorem1Params {
+    /// Chooses `(p, d, q)` for the given order and exponent.
+    ///
+    /// `p = ⌊n^θ⌋`, `d = max(2, ⌊n / (2p)⌋ − 1)`, and `q = n − p(d+1)`
+    /// (every remaining vertex becomes a target, so no extra padding is
+    /// needed; [`build_worst_case_instance`] still pads because isolated
+    /// middle values may be unused by a random matrix).
+    ///
+    /// The theorem is asymptotic ("for any `n` large enough"); for small `n`
+    /// combined with `θ` close to 1 the value `⌊n^θ⌋` can exceed what fits in
+    /// `n` vertices, in which case `p` is clamped to `⌊n/6⌋` (the clamp is
+    /// inactive once `n^θ ≤ n/6`, i.e. for all large `n`).
+    ///
+    /// Panics if `n < 16` or `θ ∉ (0, 1)`.
+    pub fn choose(n: usize, theta: f64) -> Self {
+        assert!(theta > 0.0 && theta < 1.0, "theta must lie strictly in (0, 1)");
+        assert!(n >= 16, "the construction needs a minimum of 16 vertices");
+        let p = ((n as f64).powf(theta).floor() as usize)
+            .max(1)
+            .min((n / 6).max(1));
+        let d_raw = (n / (2 * p)).saturating_sub(1).max(2);
+        let d = d_raw as u32;
+        let used = p * (d as usize + 1);
+        assert!(
+            used < n,
+            "n = {n} too small for theta = {theta}: the middle level alone needs {used} vertices"
+        );
+        let q = n - used;
+        assert!(
+            q >= d as usize,
+            "n = {n} too small for theta = {theta}: q = {q} < d = {d}"
+        );
+        Theorem1Params { n, theta, p, d, q }
+    }
+
+    /// Order of the un-padded Lemma 2 graph in the worst case
+    /// (`p(d+1) + q = n` by construction).
+    pub fn lemma2_order(&self) -> usize {
+        self.p * (self.d as usize + 1) + self.q
+    }
+}
+
+/// Every term of the Theorem 1 bound, evaluated for concrete parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerBoundReport {
+    /// The parameters used.
+    pub params: Theorem1Params,
+    /// `log₂|dM_pq|` from Lemma 1 (bits needed to name the matrix class).
+    pub log2_classes: f64,
+    /// `MB`: bits to describe the set of target labels, `⌈log₂ C(n, q)⌉`.
+    pub mb_bits: f64,
+    /// `MC`: bits for the canonicalization routine, charged as `c·log₂ n`.
+    pub mc_bits: f64,
+    /// Additional `O(log n)` bookkeeping (the integers `p`, `q`, `d`).
+    pub overhead_bits: f64,
+    /// Total bits that the constrained routers must jointly store:
+    /// `max(0, log₂|dM_pq| − MB − MC − overhead)`.
+    pub total_lower_bits: f64,
+    /// Average per constrained router (`total / p`).
+    pub per_router_lower_bits: f64,
+    /// The routing-table upper bound for one router: `(n−1)·⌈log₂ n⌉` bits
+    /// (a degree can never exceed `n − 1`).
+    pub table_upper_bits_per_router: u64,
+    /// How many routers are guaranteed to store at least
+    /// `per_router_lower_bits / 2` bits, i.e. the `Θ(n^θ)` of the theorem:
+    /// `⌈total / (2 · upper)⌉` by a Markov-style argument.
+    pub guaranteed_high_memory_routers: usize,
+    /// `per_router_lower_bits / (n · log₂ n)`: the constant in front of
+    /// `n log n` certified by the bound (≈ `(1 − θ)/2` asymptotically).
+    pub n_log_n_fraction: f64,
+}
+
+/// Evaluates the Theorem 1 lower bound for `(n, θ)`.
+pub fn lower_bound(n: usize, theta: f64) -> LowerBoundReport {
+    let params = Theorem1Params::choose(n, theta);
+    lower_bound_for_params(params)
+}
+
+/// Evaluates the Theorem 1 lower bound for explicit parameters.
+pub fn lower_bound_for_params(params: Theorem1Params) -> LowerBoundReport {
+    let Theorem1Params { n, p, d, q, .. } = params;
+    let log2_classes = lemma1_lower_bound_log2(p, q, d);
+    let log_n = (n as f64).log2();
+    let mb_bits = log2_binomial(n as u64, q as u64).ceil();
+    let mc_bits = 4.0 * log_n; // a constant-size program plus p, q, d
+    let overhead_bits = 3.0 * log_n;
+    let total_lower_bits = (log2_classes - mb_bits - mc_bits - overhead_bits).max(0.0);
+    let per_router_lower_bits = total_lower_bits / p as f64;
+    let table_upper_bits_per_router =
+        (n as u64 - 1) * bits_for_values(n as u64 - 1).max(1) as u64;
+    let guaranteed_high_memory_routers = if table_upper_bits_per_router == 0 {
+        0
+    } else {
+        (total_lower_bits / (2.0 * table_upper_bits_per_router as f64)).ceil() as usize
+    };
+    let n_log_n_fraction = per_router_lower_bits / (n as f64 * log_n);
+    LowerBoundReport {
+        params,
+        log2_classes,
+        mb_bits,
+        mc_bits,
+        overhead_bits,
+        total_lower_bits,
+        per_router_lower_bits,
+        table_upper_bits_per_router,
+        guaranteed_high_memory_routers,
+        n_log_n_fraction,
+    }
+}
+
+/// Builds one `n`-vertex member of the worst-case family: a random
+/// representative matrix in `dM_pq`, its Lemma 2 graph, padded to order
+/// exactly `n`.
+pub fn build_worst_case_instance(n: usize, theta: f64, seed: u64) -> (ConstraintGraph, Theorem1Params) {
+    let params = Theorem1Params::choose(n, theta);
+    // Every row uses its full alphabet so every constrained vertex has degree
+    // exactly d (q >= d is guaranteed by `choose`).
+    let m = ConstraintMatrix::random_full_alphabet(params.p, params.q, params.d, seed);
+    let mut cg = ConstraintGraph::build(&m);
+    assert!(cg.graph.num_nodes() <= n);
+    cg.pad_to_order(n);
+    (cg, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_forcing_structure;
+
+    #[test]
+    fn parameter_choice_satisfies_the_constraints() {
+        for n in [64usize, 256, 1024, 4096] {
+            for theta in [0.25, 0.5, 0.75] {
+                let p = Theorem1Params::choose(n, theta);
+                assert!(p.p >= 1);
+                assert!(p.d >= 2);
+                assert!(p.q >= p.d as usize);
+                assert_eq!(p.lemma2_order(), n, "p(d+1)+q must equal n");
+                // p is ⌊n^θ⌋ whenever the asymptotic regime has kicked in
+                // (the clamp p ≤ n/6 only matters for small n with large θ)
+                let expected = (n as f64).powf(theta);
+                if expected <= (n / 6) as f64 {
+                    assert!((p.p as f64) <= expected && (p.p as f64) > expected - 1.0);
+                } else {
+                    assert_eq!(p.p, (n / 6).max(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_small_n_is_rejected() {
+        let _ = Theorem1Params::choose(8, 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn theta_out_of_range_is_rejected() {
+        let _ = Theorem1Params::choose(1024, 1.0);
+    }
+
+    #[test]
+    fn lower_bound_is_positive_and_below_upper_bound_for_moderate_n() {
+        for n in [512usize, 1024, 4096] {
+            let rep = lower_bound(n, 0.5);
+            assert!(rep.total_lower_bits > 0.0, "n = {n}");
+            assert!(rep.per_router_lower_bits > 0.0);
+            // the lower bound can never exceed what routing tables achieve
+            assert!(
+                rep.per_router_lower_bits <= rep.table_upper_bits_per_router as f64,
+                "n = {n}: lower bound {} above the upper bound {}",
+                rep.per_router_lower_bits,
+                rep.table_upper_bits_per_router
+            );
+            assert!(rep.guaranteed_high_memory_routers >= 1);
+            assert!(rep.guaranteed_high_memory_routers <= rep.params.p);
+        }
+    }
+
+    #[test]
+    fn per_router_bound_grows_like_n_log_n() {
+        // Doubling n should roughly double (times log factor) the per-router
+        // lower bound: check the certified n·log n fraction stays bounded
+        // away from zero and does not explode.
+        let f1 = lower_bound(2048, 0.5).n_log_n_fraction;
+        let f2 = lower_bound(8192, 0.5).n_log_n_fraction;
+        assert!(f1 > 0.05, "fraction too small at n=2048: {f1}");
+        assert!(f2 > 0.10, "fraction too small at n=8192: {f2}");
+        assert!(f2 < 1.0);
+        // asymptotically the fraction approaches (1-θ)/2 = 0.25
+        assert!((f2 - 0.25).abs() < 0.15, "fraction {f2} far from (1-θ)/2");
+    }
+
+    #[test]
+    fn guaranteed_router_count_scales_with_n_to_theta() {
+        let a = lower_bound(4096, 0.5).guaranteed_high_memory_routers;
+        let b = lower_bound(16384, 0.5).guaranteed_high_memory_routers;
+        assert!(b > a, "more routers must be pinned down at larger n ({a} vs {b})");
+        // and it is Θ(n^θ): within a constant factor of p
+        let rep = lower_bound(16384, 0.5);
+        assert!(rep.guaranteed_high_memory_routers * 20 >= rep.params.p);
+    }
+
+    #[test]
+    fn smaller_theta_gives_larger_per_router_bound() {
+        // With fewer constrained routers (smaller θ), each of them must hold
+        // more of the total information.
+        let lo = lower_bound(8192, 0.25);
+        let hi = lower_bound(8192, 0.75);
+        assert!(lo.per_router_lower_bits > hi.per_router_lower_bits);
+        // but the *total* is larger for larger θ (more routers pinned down)
+        assert!(hi.params.p > lo.params.p);
+    }
+
+    #[test]
+    fn worst_case_instance_has_exact_order_and_is_forcing() {
+        let (cg, params) = build_worst_case_instance(512, 0.5, 7);
+        assert_eq!(cg.graph.num_nodes(), 512);
+        assert_eq!(cg.p(), params.p);
+        assert_eq!(cg.q(), params.q);
+        assert!(verify_forcing_structure(&cg).is_ok());
+        // every constrained vertex has degree exactly d
+        for &a in &cg.constrained {
+            assert_eq!(cg.graph.degree(a), params.d as usize);
+        }
+    }
+
+    #[test]
+    fn worst_case_instance_is_deterministic_per_seed() {
+        let (a, _) = build_worst_case_instance(256, 0.5, 3);
+        let (b, _) = build_worst_case_instance(256, 0.5, 3);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.matrix, b.matrix);
+        let (c, _) = build_worst_case_instance(256, 0.5, 4);
+        assert_ne!(a.matrix, c.matrix);
+    }
+}

@@ -1,0 +1,164 @@
+//! A convenience builder for assembling graphs edge by edge.
+//!
+//! The builder tolerates duplicate edge insertions and self-loops (it silently
+//! drops them), which makes randomized generators much easier to write, and it
+//! can optionally shuffle the port order of every vertex with a deterministic
+//! seed — the "random port labeling chosen by an adversary" that the paper
+//! uses on the complete graph.
+
+use crate::graph::{Graph, NodeId};
+use crate::rng::Xoshiro256;
+use std::collections::BTreeSet;
+
+/// Incremental graph builder.
+///
+/// Edges are accumulated in a set (so duplicates are ignored) and the final
+/// [`Graph`] is produced by [`GraphBuilder::build`].  By default ports follow
+/// the insertion order of [`Graph::add_edge`] applied in sorted edge order,
+/// which is deterministic; [`GraphBuilder::shuffled_ports`] applies a random
+/// but seed-deterministic port permutation at every vertex instead.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: BTreeSet<(NodeId, NodeId)>,
+    port_shuffle_seed: Option<u64>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: BTreeSet::new(),
+            port_shuffle_seed: None,
+        }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct edges currently recorded.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Records the undirected edge `{u, v}`.  Self-loops and duplicates are
+    /// ignored.  Returns `&mut self` for chaining.
+    pub fn edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        if u != v {
+            let key = if u < v { (u, v) } else { (v, u) };
+            self.edges.insert(key);
+        }
+        self
+    }
+
+    /// Records many edges at once.
+    pub fn edges<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, it: I) -> &mut Self {
+        for (u, v) in it {
+            self.edge(u, v);
+        }
+        self
+    }
+
+    /// Returns whether the edge `{u, v}` has already been recorded.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains(&key)
+    }
+
+    /// Requests that the port order of every vertex be shuffled with the given
+    /// seed when the graph is built.
+    pub fn shuffled_ports(&mut self, seed: u64) -> &mut Self {
+        self.port_shuffle_seed = Some(seed);
+        self
+    }
+
+    /// Builds the final graph.
+    pub fn build(&self) -> Graph {
+        let mut g = Graph::new(self.n);
+        for &(u, v) in &self.edges {
+            g.add_edge(u, v);
+        }
+        if let Some(seed) = self.port_shuffle_seed {
+            let mut rng = Xoshiro256::new(seed);
+            for u in 0..self.n {
+                let d = g.degree(u);
+                if d >= 2 {
+                    let perm = rng.permutation(d);
+                    g.permute_ports(u, &perm);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_dedups_and_ignores_loops() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1).edge(1, 0).edge(2, 2).edge(1, 2);
+        assert_eq!(b.num_edges(), 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn edges_bulk_insert() {
+        let mut b = GraphBuilder::new(5);
+        b.edges([(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(b.num_edges(), 4);
+        assert!(b.has_edge(2, 1));
+        assert!(!b.has_edge(0, 4));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let mut b = GraphBuilder::new(6);
+        b.edges([(0, 1), (0, 2), (0, 3), (4, 5)]);
+        let g1 = b.build();
+        let g2 = b.build();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn shuffled_ports_is_seed_deterministic_and_valid() {
+        let mut b = GraphBuilder::new(8);
+        for u in 0..8usize {
+            for v in (u + 1)..8 {
+                b.edge(u, v);
+            }
+        }
+        let g1 = b.clone().shuffled_ports(7).build();
+        let g2 = {
+            let mut b2 = b.clone();
+            b2.shuffled_ports(7);
+            b2.build()
+        };
+        assert_eq!(g1, g2);
+        assert!(g1.validate().is_ok());
+        // A different seed should (almost surely) give a different labeling.
+        let g3 = {
+            let mut b3 = b.clone();
+            b3.shuffled_ports(8);
+            b3.build()
+        };
+        assert_ne!(g1, g3);
+        // Same underlying edge set regardless of labeling.
+        assert_eq!(g1.num_edges(), g3.num_edges());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 5);
+    }
+}

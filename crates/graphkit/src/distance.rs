@@ -1,0 +1,266 @@
+//! All-pairs shortest-path distances.
+//!
+//! Everything in the paper is expressed relative to the distance function
+//! `d_G`: the stretch factor divides routing-path lengths by distances, and
+//! the constraint verification checks `d(a_i, b_j) = 2`.  This module stores
+//! the full `n × n` distance matrix and computes it with one BFS per source,
+//! fanning the sources out over the available CPU cores with
+//! `std::thread::scope` — no external parallelism crate is needed.
+
+use crate::graph::{Graph, NodeId};
+use crate::traversal::bfs_distances;
+use crate::{Dist, INFINITY};
+
+/// A dense `n × n` matrix of hop distances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major distances; `data[u * n + v] = d(u, v)`.
+    data: Vec<Dist>,
+}
+
+impl DistanceMatrix {
+    /// Computes all-pairs distances sequentially (one BFS per source).
+    pub fn all_pairs_sequential(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut data = vec![INFINITY; n * n];
+        for u in 0..n {
+            let row = bfs_distances(g, u);
+            data[u * n..(u + 1) * n].copy_from_slice(&row);
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Computes all-pairs distances, parallelising over source vertices.
+    ///
+    /// The number of worker threads defaults to `std::thread::available_parallelism`
+    /// and is capped by the number of sources.  Falls back to the sequential
+    /// code for small graphs where thread startup would dominate.
+    pub fn all_pairs(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let threads = std::thread::available_parallelism()
+            .map(|x| x.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if n < 256 || threads <= 1 {
+            return Self::all_pairs_sequential(g);
+        }
+        let mut data = vec![INFINITY; n * n];
+        // Split the output buffer into per-source row chunks and hand
+        // contiguous blocks of sources to each worker.
+        let chunk_rows = n.div_ceil(threads);
+        let mut chunks: Vec<&mut [Dist]> = data.chunks_mut(chunk_rows * n).collect();
+        std::thread::scope(|scope| {
+            for (t, chunk) in chunks.iter_mut().enumerate() {
+                let start = t * chunk_rows;
+                let g = &g;
+                scope.spawn(move || {
+                    for (i, row) in chunk.chunks_mut(n).enumerate() {
+                        let u = start + i;
+                        if u >= n {
+                            break;
+                        }
+                        let d = bfs_distances(g, u);
+                        row.copy_from_slice(&d);
+                    }
+                });
+            }
+        });
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between `u` and `v` ([`INFINITY`] if unreachable).
+    #[inline]
+    pub fn dist(&self, u: NodeId, v: NodeId) -> Dist {
+        self.data[u * self.n + v]
+    }
+
+    /// Whether `v` is reachable from `u`.
+    #[inline]
+    pub fn reachable(&self, u: NodeId, v: NodeId) -> bool {
+        self.dist(u, v) != INFINITY
+    }
+
+    /// The row of distances from `u`.
+    pub fn row(&self, u: NodeId) -> &[Dist] {
+        &self.data[u * self.n..(u + 1) * self.n]
+    }
+
+    /// Eccentricity of `u`, or `None` if some vertex is unreachable.
+    pub fn eccentricity(&self, u: NodeId) -> Option<Dist> {
+        let mut ecc = 0;
+        for &d in self.row(u) {
+            if d == INFINITY {
+                return None;
+            }
+            ecc = ecc.max(d);
+        }
+        Some(ecc)
+    }
+
+    /// Diameter, or `None` on empty/disconnected graphs.
+    pub fn diameter(&self) -> Option<Dist> {
+        if self.n == 0 {
+            return None;
+        }
+        let mut best = 0;
+        for u in 0..self.n {
+            best = best.max(self.eccentricity(u)?);
+        }
+        Some(best)
+    }
+
+    /// Whether the distance matrix corresponds to a connected graph.
+    pub fn is_connected(&self) -> bool {
+        self.n == 0 || self.data.iter().all(|&d| d != INFINITY)
+    }
+
+    /// Average distance over ordered pairs of *distinct* vertices, ignoring
+    /// unreachable pairs.  Returns `None` if there are no such pairs.
+    pub fn average_distance(&self) -> Option<f64> {
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for u in 0..self.n {
+            for v in 0..self.n {
+                if u != v {
+                    let d = self.dist(u, v);
+                    if d != INFINITY {
+                        sum += d as u64;
+                        count += 1;
+                    }
+                }
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum as f64 / count as f64)
+        }
+    }
+
+    /// Checks metric consistency against the graph: `d(u,u) = 0`, symmetry,
+    /// `d(u,v) = 1` exactly on edges, and the triangle inequality over edges
+    /// (`|d(u,w) - d(v,w)| <= 1` for every edge `{u,v}`).  Used by tests.
+    pub fn validate_against(&self, g: &Graph) -> Result<(), String> {
+        let n = self.n;
+        if n != g.num_nodes() {
+            return Err("size mismatch".into());
+        }
+        for u in 0..n {
+            if self.dist(u, u) != 0 {
+                return Err(format!("d({u},{u}) != 0"));
+            }
+        }
+        for u in 0..n {
+            for v in 0..n {
+                if self.dist(u, v) != self.dist(v, u) {
+                    return Err(format!("asymmetric distance between {u} and {v}"));
+                }
+            }
+        }
+        for (u, v) in g.edges() {
+            if self.dist(u, v) != 1 {
+                return Err(format!("edge ({u},{v}) but d = {}", self.dist(u, v)));
+            }
+            for w in 0..n {
+                let du = self.dist(u, w);
+                let dv = self.dist(v, w);
+                if du != INFINITY && dv != INFINITY {
+                    let diff = du.abs_diff(dv);
+                    if diff > 1 {
+                        return Err(format!(
+                            "edge ({u},{v}) but |d({u},{w}) - d({v},{w})| = {diff}"
+                        ));
+                    }
+                } else if du != dv {
+                    return Err(format!("edge ({u},{v}) with mixed reachability to {w}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn sequential_matches_bfs_rows() {
+        let g = generators::random_connected(60, 0.08, 42);
+        let m = DistanceMatrix::all_pairs_sequential(&g);
+        for u in 0..g.num_nodes() {
+            assert_eq!(m.row(u), &bfs_distances(&g, u)[..]);
+        }
+        assert!(m.validate_against(&g).is_ok());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_large_graph() {
+        let g = generators::random_connected(400, 0.02, 7);
+        let seq = DistanceMatrix::all_pairs_sequential(&g);
+        let par = DistanceMatrix::all_pairs(&g);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn hypercube_distances_are_hamming() {
+        let k = 5;
+        let g = generators::hypercube(k);
+        let m = DistanceMatrix::all_pairs(&g);
+        for u in 0..g.num_nodes() {
+            for v in 0..g.num_nodes() {
+                assert_eq!(m.dist(u, v), (u ^ v).count_ones());
+            }
+        }
+        assert_eq!(m.diameter(), Some(k as Dist));
+    }
+
+    #[test]
+    fn complete_graph_distances() {
+        let g = generators::complete(12);
+        let m = DistanceMatrix::all_pairs(&g);
+        assert_eq!(m.diameter(), Some(1));
+        assert!((m.average_distance().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_graph_reported() {
+        let h = generators::path(4).disjoint_union(&generators::cycle(3));
+        let m = DistanceMatrix::all_pairs(&h);
+        assert!(!m.is_connected());
+        assert_eq!(m.diameter(), None);
+        assert!(!m.reachable(0, 5));
+        assert!(m.reachable(0, 3));
+    }
+
+    #[test]
+    fn cycle_average_distance() {
+        // On C_6 the distances from any vertex are 0,1,1,2,2,3: average over
+        // ordered distinct pairs is (1+1+2+2+3)/5 = 9/5.
+        let m = DistanceMatrix::all_pairs(&generators::cycle(6));
+        assert!((m.average_distance().unwrap() - 9.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let m = DistanceMatrix::all_pairs(&Graph::new(0));
+        assert_eq!(m.diameter(), None);
+        assert!(m.is_connected());
+        assert_eq!(m.average_distance(), None);
+    }
+
+    #[test]
+    fn validate_catches_tampering() {
+        let g = generators::cycle(5);
+        let mut m = DistanceMatrix::all_pairs(&g);
+        m.data[1] = 3; // corrupt d(0,1)
+        assert!(m.validate_against(&g).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Elementary graph families: paths, cycles, stars, wheels, complete and
+//! complete bipartite graphs, and barbells.
+
+use crate::graph::Graph;
+
+/// The path `P_n` on `n ≥ 1` vertices (`0 — 1 — … — n-1`).
+///
+/// Paths are the "padding" device of Theorem 1: a graph of constraints of
+/// order `n' ≤ n` is completed to order exactly `n` by attaching a path of
+/// `n − n'` extra vertices.
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1, "path requires at least one vertex");
+    let mut g = Graph::new(n);
+    for i in 0..n.saturating_sub(1) {
+        g.add_edge(i, i + 1);
+    }
+    g
+}
+
+/// The cycle `C_n` on `n ≥ 3` vertices.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires at least three vertices");
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_edge(i, (i + 1) % n);
+    }
+    g
+}
+
+/// The complete graph `K_n` on `n ≥ 1` vertices.
+///
+/// Ports at vertex `u` follow increasing neighbour order; the paper's
+/// complete-graph discussion (a good port labeling needs `O(log n)` bits, an
+/// adversarial one forces `Θ(n log n)` bits) is exercised by combining this
+/// generator with [`crate::graph::Graph::permute_ports`].
+pub fn complete(n: usize) -> Graph {
+    assert!(n >= 1, "complete graph requires at least one vertex");
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// The star `K_{1,k}`: centre `0` and leaves `1..=k` (`k ≥ 1`), `k + 1`
+/// vertices in total.
+pub fn star(k: usize) -> Graph {
+    assert!(k >= 1, "star requires at least one leaf");
+    let mut g = Graph::new(k + 1);
+    for leaf in 1..=k {
+        g.add_edge(0, leaf);
+    }
+    g
+}
+
+/// The wheel `W_k`: a hub (vertex `0`) connected to every vertex of a cycle on
+/// `k ≥ 3` vertices (`1..=k`).
+pub fn wheel(k: usize) -> Graph {
+    assert!(k >= 3, "wheel requires a rim of at least three vertices");
+    let mut g = Graph::new(k + 1);
+    for i in 1..=k {
+        g.add_edge(0, i);
+    }
+    for i in 1..=k {
+        let next = if i == k { 1 } else { i + 1 };
+        g.add_edge(i, next);
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}` with parts `0..a` and `a..a+b`.
+///
+/// The graphs of constraints of the paper are "almost" unions of complete
+/// bipartite gadgets between the constrained level and the middle level.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    assert!(a >= 1 && b >= 1, "both parts must be non-empty");
+    let mut g = Graph::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            g.add_edge(u, a + v);
+        }
+    }
+    g
+}
+
+/// A barbell: two cliques `K_k` joined by a path of `bridge` intermediate
+/// vertices (0 means the two cliques share an edge between their designated
+/// endpoints).  Useful as a high-diameter, locally dense stress test.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 2, "each bell needs at least two vertices");
+    let n = 2 * k + bridge;
+    let mut g = Graph::new(n);
+    // first clique on 0..k, second on k+bridge..n
+    for u in 0..k {
+        for v in (u + 1)..k {
+            g.add_edge(u, v);
+        }
+    }
+    let second = k + bridge;
+    for u in second..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    // bridge path from vertex k-1 to vertex `second`
+    let mut prev = k - 1;
+    for b in 0..bridge {
+        g.add_edge(prev, k + b);
+        prev = k + b;
+    }
+    g.add_edge(prev, second);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter, is_connected};
+
+    #[test]
+    fn path_shape() {
+        let g = path(1);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+        let g = path(6);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(3), 2);
+        assert_eq!(diameter(&g), Some(5));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.nodes().all(|u| g.degree(u) == 2));
+        assert_eq!(diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(7);
+        assert_eq!(g.num_edges(), 21);
+        assert!(g.nodes().all(|u| g.degree(u) == 6));
+        assert_eq!(diameter(&g), Some(1));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn complete_single_vertex() {
+        let g = complete(1);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.degree(0), 6);
+        assert!((1..=6).all(|u| g.degree(u) == 1));
+        assert_eq!(diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(5);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.degree(0), 5);
+        assert!((1..=5).all(|u| g.degree(u) == 3));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert!((0..3).all(|u| g.degree(u) == 4));
+        assert!((3..7).all(|u| g.degree(u) == 3));
+        assert_eq!(diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 3);
+        assert_eq!(g.num_nodes(), 11);
+        assert!(is_connected(&g));
+        // two K_4 (6 edges each) + path with 3 internal vertices (4 edges)
+        assert_eq!(g.num_edges(), 6 + 6 + 4);
+        assert_eq!(diameter(&g), Some(1 + 4 + 1));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn barbell_without_bridge_vertices() {
+        let g = barbell(3, 0);
+        assert_eq!(g.num_nodes(), 6);
+        assert!(is_connected(&g));
+        assert_eq!(g.num_edges(), 3 + 3 + 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Structured graph classes cited in Table 1 of the paper: outerplanar
+//! graphs, chordal graphs (k-trees) and unit interval / unit circular-arc
+//! graphs.  On these classes the interval routing scheme achieves one interval
+//! per arc (outerplanar, unit circular-arc) or `O(n log² n)` global memory
+//! (chordal), which the Table 1 reproduction measures empirically.
+
+use crate::graph::Graph;
+use crate::rng::Xoshiro256;
+
+/// A maximal outerplanar graph on `n ≥ 3` vertices: the boundary cycle
+/// `0 — 1 — … — n-1 — 0` triangulated by a deterministic fan-plus-random
+/// ear decomposition.
+///
+/// Construction: start from the triangle `{0,1,2}` and repeatedly "stack" the
+/// next vertex onto a randomly chosen edge of the current outer boundary.
+/// Every stacked vertex keeps degree 2 at insertion time, which yields a
+/// maximal outerplanar graph (`2n − 3` edges) by induction.
+pub fn maximal_outerplanar(n: usize, seed: u64) -> Graph {
+    assert!(n >= 3, "outerplanar generator requires n >= 3");
+    let mut rng = Xoshiro256::new(seed);
+    let mut g = Graph::new(n);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    // `boundary` holds the outer face as a cyclic list of vertices.
+    let mut boundary = vec![0usize, 1, 2];
+    for v in 3..n {
+        // pick a boundary edge (boundary[i], boundary[i+1]) and stack v on it
+        let i = rng.gen_range(boundary.len());
+        let a = boundary[i];
+        let b = boundary[(i + 1) % boundary.len()];
+        g.add_edge(v, a);
+        g.add_edge(v, b);
+        boundary.insert(i + 1, v);
+    }
+    g
+}
+
+/// A random `k`-tree on `n ≥ k + 1` vertices: the canonical family of chordal
+/// graphs of treewidth `k`.
+///
+/// Start from the clique `{0..k}` and attach each new vertex to a uniformly
+/// random existing `k`-clique.  We track the set of `k`-cliques explicitly.
+pub fn chordal_ktree(n: usize, k: usize, seed: u64) -> Graph {
+    assert!(k >= 1, "k must be positive");
+    assert!(n >= k + 1, "need at least k + 1 vertices");
+    let mut rng = Xoshiro256::new(seed);
+    let mut g = Graph::new(n);
+    for u in 0..=k {
+        for v in (u + 1)..=k {
+            g.add_edge(u, v);
+        }
+    }
+    // all k-subsets of the initial (k+1)-clique are k-cliques
+    let mut cliques: Vec<Vec<usize>> = Vec::new();
+    let base: Vec<usize> = (0..=k).collect();
+    for omit in 0..=k {
+        let c: Vec<usize> = base.iter().copied().filter(|&x| x != omit).collect();
+        cliques.push(c);
+    }
+    for v in (k + 1)..n {
+        let c = cliques[rng.gen_range(cliques.len())].clone();
+        for &u in &c {
+            g.add_edge(u, v);
+        }
+        // the new k-cliques are c with one vertex replaced by v
+        for omit in 0..k {
+            let mut nc = c.clone();
+            nc[omit] = v;
+            nc.sort_unstable();
+            cliques.push(nc);
+        }
+    }
+    g
+}
+
+/// A connected unit interval graph on `n ≥ 1` vertices.
+///
+/// Vertices are points on a line (sorted random offsets with bounded gaps);
+/// two vertices are adjacent iff their points are within distance 1.  Gaps are
+/// drawn in `(0, 1)` so the graph is connected.
+pub fn unit_interval(n: usize, seed: u64) -> Graph {
+    assert!(n >= 1);
+    let mut rng = Xoshiro256::new(seed);
+    let mut pos = Vec::with_capacity(n);
+    let mut x = 0.0f64;
+    for _ in 0..n {
+        pos.push(x);
+        // gap strictly less than 1 keeps consecutive points adjacent
+        x += 0.05 + 0.9 * rng.next_f64();
+    }
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if pos[v] - pos[u] <= 1.0 {
+                g.add_edge(u, v);
+            } else {
+                break;
+            }
+        }
+    }
+    g
+}
+
+/// A connected unit circular-arc graph on `n ≥ 3` vertices.
+///
+/// Vertices are arcs of fixed angular length on a circle with random (sorted)
+/// starting angles; two vertices are adjacent iff their arcs intersect.  The
+/// arc length is chosen as `1.5 × (2π / n)` so that consecutive arcs always
+/// overlap (connectivity) while the graph stays sparse.
+pub fn unit_circular_arc(n: usize, seed: u64) -> Graph {
+    assert!(n >= 3);
+    let mut rng = Xoshiro256::new(seed);
+    let tau = std::f64::consts::TAU;
+    let spacing = tau / n as f64;
+    let len = 1.5 * spacing;
+    // jittered but sorted starting angles, at most 0.4*spacing of jitter so
+    // that start[i+1] - start[i] < spacing + 0.4*spacing < len
+    let mut starts: Vec<f64> = (0..n)
+        .map(|i| i as f64 * spacing + 0.4 * spacing * rng.next_f64())
+        .collect();
+    starts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let overlaps = |i: usize, j: usize| -> bool {
+        // arcs [s_i, s_i + len) and [s_j, s_j + len) on a circle of length tau
+        let d = (starts[j] - starts[i]).rem_euclid(tau);
+        d < len || (tau - d) < len
+    };
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if overlaps(u, v) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{is_chordal_via_peo, is_tree};
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn outerplanar_edge_count_and_connectivity() {
+        for (n, seed) in [(3usize, 1u64), (4, 2), (10, 3), (50, 4), (200, 5)] {
+            let g = maximal_outerplanar(n, seed);
+            assert_eq!(g.num_nodes(), n);
+            assert_eq!(g.num_edges(), 2 * n - 3, "maximal outerplanar has 2n-3 edges");
+            assert!(is_connected(&g));
+            assert!(g.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn outerplanar_is_deterministic_per_seed() {
+        assert_eq!(maximal_outerplanar(30, 7), maximal_outerplanar(30, 7));
+    }
+
+    #[test]
+    fn ktree_edge_count_and_chordality() {
+        for (n, k, seed) in [(10usize, 2usize, 1u64), (30, 3, 2), (60, 1, 3), (40, 5, 4)] {
+            let g = chordal_ktree(n, k, seed);
+            assert_eq!(g.num_nodes(), n);
+            // k-tree has C(k+1,2) + (n-k-1)*k edges
+            let expected = k * (k + 1) / 2 + (n - k - 1) * k;
+            assert_eq!(g.num_edges(), expected);
+            assert!(is_connected(&g));
+            assert!(is_chordal_via_peo(&g), "k-tree must be chordal");
+        }
+    }
+
+    #[test]
+    fn ktree_with_k1_is_tree() {
+        let g = chordal_ktree(25, 1, 11);
+        assert!(is_tree(&g));
+    }
+
+    #[test]
+    fn unit_interval_connected_and_chordal() {
+        for (n, seed) in [(1usize, 1u64), (2, 2), (20, 3), (100, 4)] {
+            let g = unit_interval(n, seed);
+            assert_eq!(g.num_nodes(), n);
+            assert!(is_connected(&g));
+            if n >= 3 {
+                assert!(is_chordal_via_peo(&g), "interval graphs are chordal");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_circular_arc_connected() {
+        for (n, seed) in [(3usize, 1u64), (10, 2), (64, 3), (200, 4)] {
+            let g = unit_circular_arc(n, seed);
+            assert_eq!(g.num_nodes(), n);
+            assert!(is_connected(&g));
+            assert!(g.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn unit_circular_arc_is_sparse() {
+        let g = unit_circular_arc(100, 9);
+        // arc length 1.5 * spacing means each arc meets only a handful of
+        // neighbours: the graph must be far from complete.
+        assert!(g.num_edges() < 100 * 8);
+    }
+}

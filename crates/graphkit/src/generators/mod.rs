@@ -1,0 +1,26 @@
+//! Graph families used throughout the paper.
+//!
+//! Table 1 of the paper states memory bounds for specific graph classes
+//! (hypercubes, acyclic graphs, outerplanar graphs, unit circular-arc graphs,
+//! chordal graphs, the complete graph), the running example of Figure 1 is the
+//! Petersen graph, and the lower-bound construction of Lemma 2 / Theorem 1 is
+//! a three-level layered graph.  This module provides deterministic
+//! constructors for all of them, plus random graphs and trees for the
+//! experiment sweeps.
+//!
+//! All constructors return connected graphs (unless stated otherwise) and all
+//! randomized constructors take an explicit `u64` seed.
+
+mod basic;
+mod classes;
+mod product;
+mod random;
+mod special;
+mod trees;
+
+pub use basic::{barbell, complete, complete_bipartite, cycle, path, star, wheel};
+pub use classes::{chordal_ktree, maximal_outerplanar, unit_circular_arc, unit_interval};
+pub use product::{grid, hypercube, torus};
+pub use random::{gnp, random_connected, random_regular_like};
+pub use special::{generalized_petersen, petersen};
+pub use trees::{balanced_tree, caterpillar, random_tree, spider};

@@ -1,0 +1,140 @@
+//! Product-like topologies: hypercubes, grids and tori.
+//!
+//! The hypercube is the paper's flagship example of a graph with tiny local
+//! memory requirement: e-cube (dimension-order) routing needs only
+//! `O(log n)` bits per router, in stark contrast with the `Θ(n log n)`
+//! worst-case of Theorem 1.
+
+use crate::graph::Graph;
+
+/// The binary hypercube `H_k` on `2^k` vertices (`k ≥ 1`).
+///
+/// Vertex `u` is adjacent to `u ^ (1 << i)` for every dimension `i < k`, and
+/// the port leading across dimension `i` is exactly `i` — the "nice" port
+/// labeling assumed by e-cube routing.
+pub fn hypercube(k: usize) -> Graph {
+    assert!((1..=30).contains(&k), "hypercube dimension out of range");
+    let n = 1usize << k;
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for i in 0..k {
+            let v = u ^ (1 << i);
+            if u < v {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    // Re-order the ports of every vertex so that port i crosses dimension i
+    // (the labeling assumed by e-cube routing).
+    for u in 0..n {
+        let mut perm = vec![0usize; k];
+        for i in 0..k {
+            let p = g.port_to(u, u ^ (1 << i)).expect("hypercube edge missing");
+            perm[p] = i;
+        }
+        g.permute_ports(u, &perm);
+    }
+    debug_assert!((0..n).all(|u| (0..k).all(|i| g.port_target(u, i) == u ^ (1 << i))));
+    g
+}
+
+/// The `rows × cols` grid (mesh).  Vertex `(r, c)` has index `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+    let mut g = Graph::new(rows * cols);
+    let idx = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// The `rows × cols` torus (wrap-around grid).  Requires `rows, cols ≥ 3` so
+/// that the graph stays simple.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
+    let mut g = Graph::new(rows * cols);
+    let idx = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge_if_absent(idx(r, c), idx(r, (c + 1) % cols));
+            g.add_edge_if_absent(idx(r, c), idx((r + 1) % rows, c));
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter, is_connected};
+
+    #[test]
+    fn hypercube_structure() {
+        for k in 1..=6usize {
+            let g = hypercube(k);
+            let n = 1usize << k;
+            assert_eq!(g.num_nodes(), n);
+            assert_eq!(g.num_edges(), k * n / 2);
+            assert!(g.nodes().all(|u| g.degree(u) == k));
+            assert!(g.validate().is_ok());
+            assert_eq!(diameter(&g), Some(k as u32));
+        }
+    }
+
+    #[test]
+    fn hypercube_ports_match_dimensions() {
+        let g = hypercube(4);
+        for u in 0..16usize {
+            for i in 0..4usize {
+                assert_eq!(g.port_target(u, i), u ^ (1 << i));
+                assert_eq!(g.port_to(u, u ^ (1 << i)), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        // edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8
+        assert_eq!(g.num_edges(), 17);
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(2 + 3));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let g = grid(1, 7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(diameter(&g), Some(6));
+        let g = grid(1, 1);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn torus_structure() {
+        let g = torus(3, 5);
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.num_edges(), 2 * 15);
+        assert!(g.nodes().all(|u| g.degree(u) == 4));
+        assert!(g.validate().is_ok());
+        assert_eq!(diameter(&g), Some(1 + 2));
+    }
+
+    #[test]
+    fn torus_is_vertex_transitive_in_degree_and_diameter() {
+        let g = torus(4, 4);
+        assert!(g.nodes().all(|u| g.degree(u) == 4));
+        assert_eq!(diameter(&g), Some(4));
+    }
+}

@@ -1,0 +1,158 @@
+//! Random graph generators used as experiment workloads.
+
+use crate::graph::Graph;
+use crate::rng::Xoshiro256;
+use crate::traversal::connected_components;
+
+/// Erdős–Rényi `G(n, p)`: every pair becomes an edge independently with
+/// probability `p`.  May be disconnected; see [`random_connected`] when a
+/// connected instance is required.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n >= 1);
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut rng = Xoshiro256::new(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A connected Erdős–Rényi-style graph: draw `G(n, p)` and then add the
+/// minimum number of extra edges required to join the connected components
+/// (one random vertex from each component is linked to a random vertex of the
+/// first component).  The result is always connected and has at least the
+/// edges of the underlying `G(n, p)` sample.
+pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
+    let mut g = gnp(n, p, seed);
+    let mut rng = Xoshiro256::new(seed ^ 0x5DEE_CE66_D1CE_5EED);
+    let (comp, count) = connected_components(&g);
+    if count <= 1 {
+        return g;
+    }
+    // pick a representative of each component
+    let mut reps = vec![usize::MAX; count];
+    for v in 0..n {
+        if reps[comp[v]] == usize::MAX {
+            reps[comp[v]] = v;
+        }
+    }
+    // collect the members of component 0 so links land on random anchors
+    let members0: Vec<usize> = (0..n).filter(|&v| comp[v] == 0).collect();
+    for c in 1..count {
+        let anchor = *rng.choose(&members0);
+        g.add_edge_if_absent(anchor, reps[c]);
+    }
+    g
+}
+
+/// A near-`d`-regular random graph on `n` vertices, built by superposing `d`
+/// random perfect matchings / permutations (configuration-model style with
+/// collision dropping).  Degrees are `≤ d` and concentrate near `d`; the graph
+/// is then patched to be connected like [`random_connected`].
+///
+/// This is *not* a uniform random regular graph; it is a workload generator
+/// for bounded-degree experiments (the paper's discussion of the
+/// Awerbuch–Bar-Noy–Linial–Peleg scheme is about bounded-degree networks).
+pub fn random_regular_like(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    assert!(d >= 1 && d < n, "degree must satisfy 1 <= d < n");
+    let mut rng = Xoshiro256::new(seed);
+    let mut g = Graph::new(n);
+    for _round in 0..d {
+        let perm = rng.permutation(n);
+        // pair consecutive entries of the permutation
+        for pair in perm.chunks_exact(2) {
+            g.add_edge_if_absent(pair[0], pair[1]);
+        }
+    }
+    // patch connectivity
+    let (comp, count) = connected_components(&g);
+    if count > 1 {
+        let mut reps = vec![usize::MAX; count];
+        for v in 0..n {
+            if reps[comp[v]] == usize::MAX {
+                reps[comp[v]] = v;
+            }
+        }
+        for c in 1..count {
+            g.add_edge_if_absent(reps[0], reps[c]);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn gnp_extremes() {
+        let g = gnp(20, 0.0, 1);
+        assert_eq!(g.num_edges(), 0);
+        let g = gnp(20, 1.0, 1);
+        assert_eq!(g.num_edges(), 190);
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let n = 200;
+        let p = 0.1;
+        let g = gnp(n, p, 123);
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let actual = g.num_edges() as f64;
+        assert!(
+            (actual - expected).abs() < 0.25 * expected,
+            "edge count {actual} too far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_deterministic_per_seed() {
+        assert_eq!(gnp(50, 0.2, 5), gnp(50, 0.2, 5));
+        assert_ne!(gnp(50, 0.2, 5), gnp(50, 0.2, 6));
+    }
+
+    #[test]
+    fn random_connected_is_connected_even_when_sparse() {
+        for seed in 0..5u64 {
+            let g = random_connected(100, 0.005, seed);
+            assert!(is_connected(&g), "seed {seed} produced a disconnected graph");
+            assert!(g.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn random_connected_keeps_gnp_edges() {
+        let base = gnp(80, 0.05, 9);
+        let conn = random_connected(80, 0.05, 9);
+        assert!(conn.num_edges() >= base.num_edges());
+        for (u, v) in base.edges() {
+            assert!(conn.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn random_regular_like_degree_bounds() {
+        let d = 6;
+        let g = random_regular_like(150, d, 77);
+        assert!(is_connected(&g));
+        // superposition of d matchings gives max degree <= d (+ tiny patching)
+        assert!(g.max_degree() <= d + 2);
+        let avg = g.degree_sum() as f64 / g.num_nodes() as f64;
+        assert!(avg > d as f64 * 0.5, "average degree {avg} too small");
+    }
+
+    #[test]
+    fn random_regular_like_small_cases() {
+        let g = random_regular_like(2, 1, 3);
+        assert!(is_connected(&g));
+        let g = random_regular_like(5, 2, 4);
+        assert!(is_connected(&g));
+    }
+}

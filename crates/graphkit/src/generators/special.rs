@@ -1,0 +1,92 @@
+//! Named special graphs: the Petersen graph and its generalisation.
+//!
+//! Figure 1 of the paper exhibits a matrix of constraints of shortest paths on
+//! the Petersen graph; the reproduction (module `constraints::petersen`)
+//! rediscovers such matrices by exhaustive search over this generator's
+//! output.
+
+use crate::graph::Graph;
+
+/// The Petersen graph: 10 vertices, 15 edges, 3-regular, girth 5, diameter 2.
+///
+/// Vertices `0..5` form the outer 5-cycle, vertices `5..10` the inner
+/// pentagram; spoke `i` connects `i` to `i + 5`.
+pub fn petersen() -> Graph {
+    generalized_petersen(5, 2)
+}
+
+/// The generalised Petersen graph `GP(n, k)` with `n ≥ 3` and `1 ≤ k < n/2`.
+///
+/// Outer cycle `0..n`, inner vertices `n..2n` where inner vertex `n + i` is
+/// joined to `n + ((i + k) mod n)`, and spokes `i — n+i`.
+pub fn generalized_petersen(n: usize, k: usize) -> Graph {
+    assert!(n >= 3, "generalized Petersen graph requires n >= 3");
+    assert!(k >= 1 && 2 * k < n, "requires 1 <= k < n/2");
+    let mut g = Graph::new(2 * n);
+    for i in 0..n {
+        g.add_edge(i, (i + 1) % n); // outer cycle
+    }
+    for i in 0..n {
+        g.add_edge(i, n + i); // spokes
+    }
+    for i in 0..n {
+        g.add_edge_if_absent(n + i, n + ((i + k) % n)); // inner star polygon
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter, girth, is_connected};
+
+    #[test]
+    fn petersen_invariants() {
+        let g = petersen();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.nodes().all(|u| g.degree(u) == 3));
+        assert_eq!(diameter(&g), Some(2));
+        assert_eq!(girth(&g), Some(5));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn petersen_has_no_triangles_or_squares() {
+        let g = petersen();
+        // girth 5 already implies it, but check explicitly via adjacency.
+        for (u, v) in g.edges() {
+            for &w in g.neighbors(u) {
+                if w != v {
+                    assert!(!g.has_edge(w, v), "triangle {u},{v},{w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generalized_petersen_prism() {
+        // GP(3,1) is the triangular prism: 6 vertices, 9 edges, girth 3.
+        let g = generalized_petersen(3, 1);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 9);
+        assert!(g.nodes().all(|u| g.degree(u) == 3));
+        assert_eq!(girth(&g), Some(3));
+    }
+
+    #[test]
+    fn generalized_petersen_desargues_like() {
+        // GP(10, 3) is the Desargues graph: 20 vertices, 30 edges, girth 6.
+        let g = generalized_petersen(10, 3);
+        assert_eq!(g.num_nodes(), 20);
+        assert_eq!(g.num_edges(), 30);
+        assert!(is_connected(&g));
+        assert_eq!(girth(&g), Some(6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn generalized_petersen_rejects_bad_k() {
+        let _ = generalized_petersen(6, 3);
+    }
+}

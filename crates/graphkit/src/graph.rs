@@ -1,0 +1,445 @@
+//! The central [`Graph`] type: a finite connected symmetric digraph with
+//! locally labeled output ports.
+//!
+//! The paper's model (Section 1): nodes are labeled `1..n`, and the output
+//! ports of node `x` are labeled `1..deg(x)`.  Each undirected edge `{u, v}`
+//! corresponds to the two symmetric arcs `(u, v)` and `(v, u)`.  Routing
+//! decisions are expressed as *port numbers*, i.e. positions in the adjacency
+//! list of a node — which is precisely why the port labeling (the order of the
+//! adjacency lists) carries information and why an adversarial labeling can
+//! force `Θ(n log n)` bits of routing table even on the complete graph.
+//!
+//! Internally everything is 0-based; [`Graph::paper_node_label`] and
+//! [`Graph::paper_port_label`] translate to the paper's 1-based conventions
+//! for display purposes.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// Identifier of a vertex: an index in `0..n`.
+pub type NodeId = usize;
+
+/// A local output-port number at some vertex: an index in `0..deg(x)`.
+pub type Port = usize;
+
+/// A finite symmetric digraph (an undirected multigraph without parallel
+/// edges or self-loops) whose adjacency lists define the local port labeling.
+///
+/// `adj[u][p]` is the neighbour reached from `u` through port `p`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph {{ n: {}, m: {}, max_deg: {} }}",
+            self.num_nodes(),
+            self.num_edges(),
+            self.max_degree()
+        )
+    }
+}
+
+impl Graph {
+    /// Creates an empty graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of arcs (twice the number of edges).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        2 * self.num_edges
+    }
+
+    /// Degree of vertex `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all vertices (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Neighbours of `u` in port order.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u]
+    }
+
+    /// Iterator over all vertices.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes()
+    }
+
+    /// Iterator over all undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| (u, v))
+        })
+    }
+
+    /// Iterator over all arcs `(u, port, v)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, Port, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter().enumerate().map(move |(p, &v)| (u, p, v))
+        })
+    }
+
+    /// The vertex reached from `u` through port `p`.
+    ///
+    /// Panics if `p >= deg(u)`.
+    #[inline]
+    pub fn port_target(&self, u: NodeId, p: Port) -> NodeId {
+        self.adj[u][p]
+    }
+
+    /// The port of `u` leading to `v`, if `{u, v}` is an edge.
+    pub fn port_to(&self, u: NodeId, v: NodeId) -> Option<Port> {
+        self.adj[u].iter().position(|&w| w == v)
+    }
+
+    /// Whether `{u, v}` is an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        // scan the smaller adjacency list
+        if self.degree(u) <= self.degree(v) {
+            self.adj[u].contains(&v)
+        } else {
+            self.adj[v].contains(&u)
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// Panics on self-loops, out-of-range endpoints, or duplicate edges: the
+    /// paper's graphs are simple.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        let n = self.num_nodes();
+        assert!(u < n && v < n, "edge endpoint out of range: ({u},{v}) with n={n}");
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(
+            !self.adj[u].contains(&v),
+            "duplicate edge ({u},{v}): graphs are simple"
+        );
+        self.adj[u].push(v);
+        self.adj[v].push(u);
+        self.num_edges += 1;
+    }
+
+    /// Adds the edge `{u, v}` if it is not already present; returns whether it
+    /// was added.
+    pub fn add_edge_if_absent(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v || self.has_edge(u, v) {
+            false
+        } else {
+            self.add_edge(u, v);
+            true
+        }
+    }
+
+    /// Appends `k` fresh isolated vertices and returns their ids.
+    pub fn add_nodes(&mut self, k: usize) -> Vec<NodeId> {
+        let start = self.num_nodes();
+        self.adj.extend(std::iter::repeat_with(Vec::new).take(k));
+        (start..start + k).collect()
+    }
+
+    /// The paper labels nodes `1..n`; this converts an internal 0-based id.
+    #[inline]
+    pub fn paper_node_label(&self, u: NodeId) -> usize {
+        u + 1
+    }
+
+    /// The paper labels ports `1..deg(x)`; this converts an internal 0-based
+    /// port.
+    #[inline]
+    pub fn paper_port_label(&self, p: Port) -> usize {
+        p + 1
+    }
+
+    /// Applies a port relabeling at vertex `u`: `perm` must be a permutation
+    /// of `0..deg(u)`, and after the call the neighbour previously reached
+    /// through port `p` is reached through port `perm[p]`.
+    ///
+    /// Port labelings are the adversary's lever in the paper: on the complete
+    /// graph, a suitable permutation of the port labels forces a router to
+    /// store the entire permutation (`Θ(n log n)` bits), whereas the identity
+    /// labeling allows an `O(log n)`-bit routing function.
+    pub fn permute_ports(&mut self, u: NodeId, perm: &[Port]) {
+        let d = self.degree(u);
+        assert_eq!(perm.len(), d, "permutation length must equal degree");
+        debug_assert!(is_permutation(perm));
+        let mut new_adj = vec![usize::MAX; d];
+        for (p, &target) in self.adj[u].iter().enumerate() {
+            new_adj[perm[p]] = target;
+        }
+        assert!(new_adj.iter().all(|&x| x != usize::MAX));
+        self.adj[u] = new_adj;
+    }
+
+    /// Relabels the vertices: `perm[u]` is the new id of the vertex currently
+    /// called `u`.  Adjacency-list orders (hence port labels) are preserved.
+    pub fn relabel_nodes(&self, perm: &[NodeId]) -> Graph {
+        let n = self.num_nodes();
+        assert_eq!(perm.len(), n);
+        debug_assert!(is_permutation(perm));
+        let mut adj = vec![Vec::new(); n];
+        for u in 0..n {
+            adj[perm[u]] = self.adj[u].iter().map(|&v| perm[v]).collect();
+        }
+        Graph {
+            adj,
+            num_edges: self.num_edges,
+        }
+    }
+
+    /// Returns the disjoint union of `self` and `other`; vertices of `other`
+    /// are shifted by `self.num_nodes()`.
+    pub fn disjoint_union(&self, other: &Graph) -> Graph {
+        let offset = self.num_nodes();
+        let mut adj = self.adj.clone();
+        adj.extend(
+            other
+                .adj
+                .iter()
+                .map(|nbrs| nbrs.iter().map(|&v| v + offset).collect::<Vec<_>>()),
+        );
+        Graph {
+            adj,
+            num_edges: self.num_edges + other.num_edges,
+        }
+    }
+
+    /// Checks the structural invariants of the symmetric-digraph
+    /// representation: no self loops, no duplicate neighbours, and symmetry
+    /// (`v ∈ adj[u]` iff `u ∈ adj[v]`).  Returns an error string describing
+    /// the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut counted_edges = 0usize;
+        for u in 0..self.num_nodes() {
+            let mut seen = HashSet::new();
+            for &v in &self.adj[u] {
+                if v >= self.num_nodes() {
+                    return Err(format!("vertex {u} has out-of-range neighbour {v}"));
+                }
+                if v == u {
+                    return Err(format!("vertex {u} has a self-loop"));
+                }
+                if !seen.insert(v) {
+                    return Err(format!("vertex {u} has duplicate neighbour {v}"));
+                }
+                if !self.adj[v].contains(&u) {
+                    return Err(format!("arc ({u},{v}) present but ({v},{u}) missing"));
+                }
+                if u < v {
+                    counted_edges += 1;
+                }
+            }
+        }
+        if counted_edges != self.num_edges {
+            return Err(format!(
+                "edge counter {} does not match adjacency ({} edges found)",
+                self.num_edges, counted_edges
+            ));
+        }
+        Ok(())
+    }
+
+    /// Sum of degrees (equals twice the number of edges on valid graphs).
+    pub fn degree_sum(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+}
+
+fn is_permutation(perm: &[usize]) -> bool {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p >= n || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g
+    }
+
+    #[test]
+    fn empty_graph_basics() {
+        let g = Graph::new(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree_sum(), 6);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 0));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn ports_follow_insertion_order() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 3);
+        assert_eq!(g.port_target(0, 0), 2);
+        assert_eq!(g.port_target(0, 1), 1);
+        assert_eq!(g.port_target(0, 2), 3);
+        assert_eq!(g.port_to(0, 3), Some(2));
+        assert_eq!(g.port_to(0, 1), Some(1));
+        assert_eq!(g.port_to(1, 3), None);
+    }
+
+    #[test]
+    fn paper_labels_are_one_based() {
+        let g = triangle();
+        assert_eq!(g.paper_node_label(0), 1);
+        assert_eq!(g.paper_port_label(1), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_edge_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    fn add_edge_if_absent_dedups() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge_if_absent(0, 1));
+        assert!(!g.add_edge_if_absent(1, 0));
+        assert!(!g.add_edge_if_absent(2, 2));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn add_nodes_returns_fresh_ids() {
+        let mut g = triangle();
+        let ids = g.add_nodes(2);
+        assert_eq!(ids, vec![3, 4]);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = triangle();
+        let mut e: Vec<_> = g.edges().collect();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn arcs_iterator_lists_both_directions() {
+        let g = triangle();
+        assert_eq!(g.arcs().count(), 6);
+        for (u, p, v) in g.arcs() {
+            assert_eq!(g.port_target(u, p), v);
+        }
+    }
+
+    #[test]
+    fn permute_ports_changes_targets_consistently() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        // move port 0 -> 2, 1 -> 0, 2 -> 1
+        g.permute_ports(0, &[2, 0, 1]);
+        assert_eq!(g.port_target(0, 2), 1);
+        assert_eq!(g.port_target(0, 0), 2);
+        assert_eq!(g.port_target(0, 1), 3);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn relabel_nodes_preserves_structure() {
+        let g = triangle();
+        let h = g.relabel_nodes(&[2, 0, 1]);
+        assert_eq!(h.num_edges(), 3);
+        assert!(h.validate().is_ok());
+        assert!(h.has_edge(2, 0)); // image of (0,1)
+        assert!(h.has_edge(0, 1)); // image of (1,2)
+        assert!(h.has_edge(1, 2)); // image of (2,0)
+    }
+
+    #[test]
+    fn disjoint_union_offsets_second_graph() {
+        let g = triangle();
+        let h = triangle();
+        let u = g.disjoint_union(&h);
+        assert_eq!(u.num_nodes(), 6);
+        assert_eq!(u.num_edges(), 6);
+        assert!(u.has_edge(3, 4));
+        assert!(!u.has_edge(0, 3));
+        assert!(u.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_detects_asymmetry() {
+        // Construct an invalid graph by hand via relabel of internals:
+        let mut g = triangle();
+        // break symmetry through the private field (white-box test)
+        g.adj[0].pop();
+        assert!(g.validate().is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Plain-text import/export of graphs.
+//!
+//! Two formats are supported:
+//!
+//! * an **edge list** (`n` on the first line, then one `u v` pair per line,
+//!   0-based), which round-trips through [`to_edge_list`]/[`from_edge_list`],
+//!   and
+//! * Graphviz **DOT** output for eyeballing the small gadget graphs (the
+//!   Petersen example, the graphs of constraints of Equation (3)).
+
+use crate::graph::{Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Serialises the graph as an edge list: first line `n`, then `u v` per edge.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", g.num_nodes());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parses the edge-list format produced by [`to_edge_list`].
+///
+/// Lines that are empty or start with `#` are ignored.  Ports follow the
+/// order in which edges appear in the file, mirroring [`Graph::add_edge`].
+pub fn from_edge_list(text: &str) -> Result<Graph, String> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let first = lines.next().ok_or_else(|| "empty input".to_string())?;
+    let n: usize = first
+        .parse()
+        .map_err(|_| format!("invalid vertex count {first:?}"))?;
+    let mut g = Graph::new(n);
+    for (lineno, line) in lines.enumerate() {
+        let mut it = line.split_whitespace();
+        let u: NodeId = it
+            .next()
+            .ok_or_else(|| format!("line {}: missing endpoint", lineno + 2))?
+            .parse()
+            .map_err(|_| format!("line {}: invalid endpoint", lineno + 2))?;
+        let v: NodeId = it
+            .next()
+            .ok_or_else(|| format!("line {}: missing endpoint", lineno + 2))?
+            .parse()
+            .map_err(|_| format!("line {}: invalid endpoint", lineno + 2))?;
+        if it.next().is_some() {
+            return Err(format!("line {}: trailing tokens", lineno + 2));
+        }
+        if u >= n || v >= n {
+            return Err(format!("line {}: endpoint out of range", lineno + 2));
+        }
+        if u == v {
+            return Err(format!("line {}: self-loop", lineno + 2));
+        }
+        if g.has_edge(u, v) {
+            return Err(format!("line {}: duplicate edge", lineno + 2));
+        }
+        g.add_edge(u, v);
+    }
+    Ok(g)
+}
+
+/// Renders the graph as an (undirected) Graphviz DOT document.  Optional
+/// labels are applied to the vertices whose ids appear in `labels`.
+pub fn to_dot(g: &Graph, name: &str, labels: &[(NodeId, String)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    for (v, label) in labels {
+        let _ = writeln!(out, "  {v} [label=\"{label}\"];");
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  {u} -- {v};");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = generators::petersen();
+        let text = to_edge_list(&g);
+        let h = from_edge_list(&text).unwrap();
+        assert_eq!(g.num_nodes(), h.num_nodes());
+        assert_eq!(g.num_edges(), h.num_edges());
+        for (u, v) in g.edges() {
+            assert!(h.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn edge_list_ignores_comments_and_blank_lines() {
+        let text = "4\n# a comment\n0 1\n\n1 2\n2 3\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn edge_list_error_cases() {
+        assert!(from_edge_list("").is_err());
+        assert!(from_edge_list("abc").is_err());
+        assert!(from_edge_list("3\n0").is_err());
+        assert!(from_edge_list("3\n0 5").is_err());
+        assert!(from_edge_list("3\n1 1").is_err());
+        assert!(from_edge_list("3\n0 1\n1 0").is_err());
+        assert!(from_edge_list("3\n0 1 2").is_err());
+    }
+
+    #[test]
+    fn dot_output_contains_edges_and_labels() {
+        let g = generators::path(3);
+        let dot = to_dot(&g, "p3", &[(0, "start".to_string())]);
+        assert!(dot.contains("graph p3 {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("1 -- 2;"));
+        assert!(dot.contains("label=\"start\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

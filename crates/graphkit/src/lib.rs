@@ -1,0 +1,54 @@
+//! # graphkit
+//!
+//! Graph substrate for the reproduction of Fraigniaud & Gavoille,
+//! *Local Memory Requirement of Universal Routing Schemes* (SPAA 1996).
+//!
+//! The paper models point-to-point communication networks as finite connected
+//! symmetric digraphs: every node is labeled by an integer in `{1..n}` and the
+//! output ports of a node `x` are labeled by integers in `{1..deg(x)}`.  This
+//! crate provides exactly that object — [`Graph`] — together with
+//!
+//! * deterministic pseudo-random generation ([`rng`]),
+//! * the graph families used throughout the paper's Table 1 and its proofs
+//!   ([`generators`]): paths, cycles, trees, hypercubes, grids/tori, the
+//!   Petersen graph, complete graphs, outerplanar graphs, chordal graphs,
+//!   unit circular-arc graphs and random graphs,
+//! * breadth-first traversals, eccentricities and diameters ([`traversal`]),
+//! * all-pairs shortest-path distances, computed in parallel ([`distance`]),
+//! * structural predicates and statistics ([`properties`]),
+//! * plain-text import/export ([`io`]).
+//!
+//! Nodes are `0`-based [`NodeId`]s internally; the paper's `1`-based labels are
+//! only used when formatting reports.  Ports are `0`-based positions into the
+//! adjacency list of a node; see [`Port`].
+//!
+//! ```
+//! use graphkit::generators;
+//! use graphkit::distance::DistanceMatrix;
+//!
+//! let g = generators::petersen();
+//! assert_eq!(g.num_nodes(), 10);
+//! assert_eq!(g.num_edges(), 15);
+//! let d = DistanceMatrix::all_pairs(&g);
+//! assert_eq!(d.diameter(), Some(2));
+//! ```
+
+pub mod builder;
+pub mod distance;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod properties;
+pub mod rng;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use distance::DistanceMatrix;
+pub use graph::{Graph, NodeId, Port};
+pub use rng::Xoshiro256;
+
+/// Distance value used throughout the crate. `u32::MAX` encodes "unreachable".
+pub type Dist = u32;
+
+/// Sentinel for an unreachable vertex in distance computations.
+pub const INFINITY: Dist = u32::MAX;

@@ -1,0 +1,230 @@
+//! Structural predicates and statistics about graphs.
+
+use crate::graph::{Graph, NodeId};
+use crate::traversal::is_connected;
+use std::collections::HashSet;
+
+/// Summary statistics of the degree sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+}
+
+/// Computes degree statistics; returns `None` for the empty graph.
+pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    Some(DegreeStats {
+        min: g.min_degree(),
+        max: g.max_degree(),
+        mean: g.degree_sum() as f64 / n as f64,
+    })
+}
+
+/// Whether the graph is a tree (connected and `m = n − 1`).
+pub fn is_tree(g: &Graph) -> bool {
+    g.num_nodes() >= 1 && g.num_edges() == g.num_nodes() - 1 && is_connected(g)
+}
+
+/// Whether every vertex has the same degree.
+pub fn is_regular(g: &Graph) -> bool {
+    g.num_nodes() == 0 || g.min_degree() == g.max_degree()
+}
+
+/// Whether the graph is bipartite (2-colourable).
+pub fn is_bipartite(g: &Graph) -> bool {
+    let n = g.num_nodes();
+    let mut color = vec![u8::MAX; n];
+    for s in 0..n {
+        if color[s] != u8::MAX {
+            continue;
+        }
+        color[s] = 0;
+        let mut stack = vec![s];
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if color[v] == u8::MAX {
+                    color[v] = 1 - color[u];
+                    stack.push(v);
+                } else if color[v] == color[u] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Chordality test via maximum cardinality search (MCS) and verification of
+/// the resulting perfect elimination ordering.
+///
+/// A graph is chordal iff MCS produces a perfect elimination ordering; the
+/// verification checks, for every vertex `v`, that the earlier neighbours of
+/// `v` that appear latest in the order are adjacent to all other earlier
+/// neighbours of `v`.  Runs in `O(n + m)` expected time with hash sets, which
+/// is plenty for the experiment sizes.
+pub fn is_chordal_via_peo(g: &Graph) -> bool {
+    let n = g.num_nodes();
+    if n == 0 {
+        return true;
+    }
+    // Maximum cardinality search.
+    let mut weight = vec![0usize; n];
+    let mut visited = vec![false; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n); // MCS order (first..last)
+    for _ in 0..n {
+        // pick unvisited vertex of maximum weight
+        let u = (0..n)
+            .filter(|&v| !visited[v])
+            .max_by_key(|&v| weight[v])
+            .unwrap();
+        visited[u] = true;
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if !visited[v] {
+                weight[v] += 1;
+            }
+        }
+    }
+    // position in the elimination ordering: reverse of MCS order
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v] = i;
+    }
+    // For every v, let Nv = neighbours with larger pos (i.e. earlier in MCS).
+    // Let w be the one with the smallest pos among those.  Then all of
+    // Nv \ {w} must be adjacent to w.
+    let adj: Vec<HashSet<NodeId>> = (0..n)
+        .map(|u| g.neighbors(u).iter().copied().collect())
+        .collect();
+    for &v in &order {
+        let later: Vec<NodeId> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| pos[u] < pos[v])
+            .collect();
+        if later.len() <= 1 {
+            continue;
+        }
+        let w = *later.iter().max_by_key(|&&u| pos[u]).unwrap();
+        for &u in &later {
+            if u != w && !adj[w].contains(&u) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Density: `2m / (n (n − 1))`, or 0 for graphs with fewer than 2 vertices.
+pub fn density(g: &Graph) -> f64 {
+    let n = g.num_nodes();
+    if n < 2 {
+        return 0.0;
+    }
+    2.0 * g.num_edges() as f64 / (n as f64 * (n as f64 - 1.0))
+}
+
+/// Number of triangles in the graph (each triangle counted once).
+pub fn triangle_count(g: &Graph) -> usize {
+    let n = g.num_nodes();
+    let adj: Vec<HashSet<NodeId>> = (0..n)
+        .map(|u| g.neighbors(u).iter().copied().collect())
+        .collect();
+    let mut count = 0usize;
+    for u in 0..n {
+        for &v in g.neighbors(u) {
+            if v <= u {
+                continue;
+            }
+            for &w in g.neighbors(v) {
+                if w > v && adj[u].contains(&w) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn degree_stats_basic() {
+        let g = generators::star(4);
+        let s = degree_stats(&g).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(degree_stats(&Graph::new(0)), None);
+    }
+
+    #[test]
+    fn tree_detection() {
+        assert!(is_tree(&generators::path(5)));
+        assert!(is_tree(&generators::balanced_tree(3, 2)));
+        assert!(!is_tree(&generators::cycle(5)));
+        assert!(!is_tree(
+            &generators::path(3).disjoint_union(&generators::path(3))
+        ));
+        assert!(is_tree(&generators::path(1)));
+    }
+
+    #[test]
+    fn regularity() {
+        assert!(is_regular(&generators::cycle(7)));
+        assert!(is_regular(&generators::petersen()));
+        assert!(is_regular(&generators::hypercube(4)));
+        assert!(!is_regular(&generators::star(3)));
+    }
+
+    #[test]
+    fn bipartite_detection() {
+        assert!(is_bipartite(&generators::hypercube(4)));
+        assert!(is_bipartite(&generators::cycle(6)));
+        assert!(!is_bipartite(&generators::cycle(5)));
+        assert!(!is_bipartite(&generators::petersen()));
+        assert!(is_bipartite(&generators::complete_bipartite(3, 4)));
+        assert!(is_bipartite(&generators::balanced_tree(2, 3)));
+    }
+
+    #[test]
+    fn chordality() {
+        assert!(is_chordal_via_peo(&generators::complete(6)));
+        assert!(is_chordal_via_peo(&generators::path(8)));
+        assert!(is_chordal_via_peo(&generators::balanced_tree(2, 3)));
+        assert!(is_chordal_via_peo(&generators::chordal_ktree(20, 3, 1)));
+        assert!(!is_chordal_via_peo(&generators::cycle(4)));
+        assert!(!is_chordal_via_peo(&generators::cycle(6)));
+        assert!(!is_chordal_via_peo(&generators::petersen()));
+        assert!(!is_chordal_via_peo(&generators::hypercube(3)));
+    }
+
+    #[test]
+    fn density_values() {
+        assert!((density(&generators::complete(10)) - 1.0).abs() < 1e-12);
+        assert!((density(&generators::path(2)) - 1.0).abs() < 1e-12);
+        assert_eq!(density(&Graph::new(1)), 0.0);
+        let d = density(&generators::cycle(10));
+        assert!((d - 2.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_counts() {
+        assert_eq!(triangle_count(&generators::complete(5)), 10);
+        assert_eq!(triangle_count(&generators::cycle(5)), 0);
+        assert_eq!(triangle_count(&generators::petersen()), 0);
+        assert_eq!(triangle_count(&generators::wheel(5)), 5);
+        // maximal outerplanar graph on n vertices has n-2 triangles
+        let g = generators::maximal_outerplanar(12, 3);
+        assert_eq!(triangle_count(&g), 10);
+    }
+}

@@ -1,0 +1,372 @@
+//! Breadth-first traversals, connectivity, eccentricities and diameters.
+//!
+//! Shortest paths are the yardstick of the whole paper: the stretch factor of
+//! a routing function compares its routing paths against BFS distances, and
+//! the graphs of constraints are engineered so that the unique shortest path
+//! between a constrained vertex and a target vertex has length 2 while every
+//! detour has length at least 4.
+
+use crate::graph::{Graph, NodeId, Port};
+use crate::{Dist, INFINITY};
+use std::collections::VecDeque;
+
+/// Result of a single-source BFS: distances, BFS-tree parents and the parent
+/// ports (the port of `parent[v]` that leads to `v` is not stored; instead we
+/// store, for each `v`, the port *of `v`* leading to its parent, which is what
+/// tree-routing schemes need, and the parent id itself).
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// Source vertex of the traversal.
+    pub source: NodeId,
+    /// `dist[v]` = number of edges on a shortest path from `source` to `v`,
+    /// or [`INFINITY`] if unreachable.
+    pub dist: Vec<Dist>,
+    /// `parent[v]` = predecessor of `v` on the BFS tree, `None` for the
+    /// source and for unreachable vertices.
+    pub parent: Vec<Option<NodeId>>,
+    /// `parent_port[v]` = the port of `v` leading back to `parent[v]`.
+    pub parent_port: Vec<Option<Port>>,
+}
+
+impl BfsTree {
+    /// Whether `v` was reached by the traversal.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.dist[v] != INFINITY
+    }
+
+    /// Reconstructs the tree path from the source to `v` (inclusive), or
+    /// `None` if `v` is unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reached(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The children of `u` in the BFS tree.
+    pub fn children(&self, u: NodeId) -> Vec<NodeId> {
+        (0..self.parent.len())
+            .filter(|&v| self.parent[v] == Some(u))
+            .collect()
+    }
+}
+
+/// Single-source breadth-first search from `source`.
+pub fn bfs(g: &Graph, source: NodeId) -> BfsTree {
+    let n = g.num_nodes();
+    assert!(source < n, "BFS source out of range");
+    let mut dist = vec![INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut parent_port = vec![None; n];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v] == INFINITY {
+                dist[v] = dist[u] + 1;
+                parent[v] = Some(u);
+                parent_port[v] = g.port_to(v, u);
+                queue.push_back(v);
+            }
+        }
+    }
+    BfsTree {
+        source,
+        dist,
+        parent,
+        parent_port,
+    }
+}
+
+/// Distances from `source` only (slightly cheaper than [`bfs`]).
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Dist> {
+    let n = g.num_nodes();
+    let mut dist = vec![INFINITY; n];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        for &v in g.neighbors(u) {
+            if dist[v] == INFINITY {
+                dist[v] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the graph is connected (the empty graph is considered connected).
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.num_nodes();
+    if n == 0 {
+        return true;
+    }
+    let dist = bfs_distances(g, 0);
+    dist.iter().all(|&d| d != INFINITY)
+}
+
+/// Connected components: returns `(component_id, count)` where
+/// `component_id[v]` identifies the component of `v` (ids are `0..count`,
+/// numbered by smallest contained vertex).
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.num_nodes();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        comp[s] = count;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v] == usize::MAX {
+                    comp[v] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Eccentricity of `v`: the maximum distance from `v` to any reachable vertex.
+/// Returns `None` if some vertex is unreachable from `v`.
+pub fn eccentricity(g: &Graph, v: NodeId) -> Option<Dist> {
+    let dist = bfs_distances(g, v);
+    let mut ecc = 0;
+    for &d in &dist {
+        if d == INFINITY {
+            return None;
+        }
+        ecc = ecc.max(d);
+    }
+    Some(ecc)
+}
+
+/// Diameter of the graph (maximum eccentricity).  Returns `None` on
+/// disconnected or empty graphs.
+pub fn diameter(g: &Graph) -> Option<Dist> {
+    if g.num_nodes() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in g.nodes() {
+        best = best.max(eccentricity(g, v)?);
+    }
+    Some(best)
+}
+
+/// Girth of the graph: the length of a shortest cycle, or `None` if the graph
+/// is acyclic.  Uses one BFS per vertex, which is adequate for the graph
+/// sizes exercised by the experiments.
+pub fn girth(g: &Graph) -> Option<Dist> {
+    let n = g.num_nodes();
+    let mut best: Option<Dist> = None;
+    for s in 0..n {
+        // BFS from s; a non-tree edge (u,v) closes a cycle of length
+        // dist[u] + dist[v] + 1 through s (an upper bound on the cycle through
+        // that edge, and the minimum over all s and edges is the girth).
+        let mut dist = vec![INFINITY; n];
+        let mut parent = vec![usize::MAX; n];
+        let mut queue = VecDeque::new();
+        dist[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if dist[v] == INFINITY {
+                    dist[v] = dist[u] + 1;
+                    parent[v] = u;
+                    queue.push_back(v);
+                } else if parent[u] != v {
+                    let cycle = dist[u] + dist[v] + 1;
+                    best = Some(best.map_or(cycle, |b| b.min(cycle)));
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Returns some shortest path from `u` to `v` (inclusive of both endpoints),
+/// or `None` if `v` is unreachable from `u`.
+pub fn shortest_path(g: &Graph, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+    bfs(g, u).path_to(v)
+}
+
+/// Enumerates **all** shortest paths from `u` to `v`.  Exponential in the
+/// worst case; intended for the small gadget graphs (Petersen graph, graphs of
+/// constraints) where the number of shortest paths is tiny.
+pub fn all_shortest_paths(g: &Graph, u: NodeId, v: NodeId) -> Vec<Vec<NodeId>> {
+    let dist_from_v = bfs_distances(g, v);
+    if dist_from_v[u] == INFINITY {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut stack = vec![u];
+    collect_paths(g, &dist_from_v, v, &mut stack, &mut out);
+    out
+}
+
+fn collect_paths(
+    g: &Graph,
+    dist_from_v: &[Dist],
+    v: NodeId,
+    stack: &mut Vec<NodeId>,
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    let cur = *stack.last().unwrap();
+    if cur == v {
+        out.push(stack.clone());
+        return;
+    }
+    for &w in g.neighbors(cur) {
+        if dist_from_v[w] + 1 == dist_from_v[cur] {
+            stack.push(w);
+            collect_paths(g, dist_from_v, v, stack, out);
+            stack.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = generators::path(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d2 = bfs_distances(&g, 2);
+        assert_eq!(d2, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_tree_paths_are_shortest() {
+        let g = generators::cycle(7);
+        let t = bfs(&g, 0);
+        for v in 0..7 {
+            let p = t.path_to(v).unwrap();
+            assert_eq!(p.len() as Dist - 1, t.dist[v]);
+            assert_eq!(*p.first().unwrap(), 0);
+            assert_eq!(*p.last().unwrap(), v);
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_parent_ports_point_back() {
+        let g = generators::hypercube(3);
+        let t = bfs(&g, 0);
+        for v in 1..g.num_nodes() {
+            let parent = t.parent[v].unwrap();
+            let port = t.parent_port[v].unwrap();
+            assert_eq!(g.port_target(v, port), parent);
+        }
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let g = generators::path(4);
+        assert!(is_connected(&g));
+        let h = g.disjoint_union(&generators::path(3));
+        assert!(!is_connected(&h));
+        let (comp, count) = connected_components(&h);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[3]);
+        assert_ne!(comp[0], comp[4]);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_connected(&Graph::new(0)));
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(diameter(&generators::path(6)), Some(5));
+        assert_eq!(diameter(&generators::cycle(8)), Some(4));
+        assert_eq!(diameter(&generators::complete(9)), Some(1));
+        assert_eq!(diameter(&generators::petersen()), Some(2));
+        assert_eq!(diameter(&generators::hypercube(4)), Some(4));
+    }
+
+    #[test]
+    fn diameter_of_disconnected_graph_is_none() {
+        let h = generators::path(3).disjoint_union(&generators::path(3));
+        assert_eq!(diameter(&h), None);
+        assert_eq!(eccentricity(&h, 0), None);
+    }
+
+    #[test]
+    fn girth_of_known_graphs() {
+        assert_eq!(girth(&generators::cycle(5)), Some(5));
+        assert_eq!(girth(&generators::complete(4)), Some(3));
+        assert_eq!(girth(&generators::petersen()), Some(5));
+        assert_eq!(girth(&generators::path(10)), None);
+        assert_eq!(girth(&generators::balanced_tree(2, 3)), None);
+    }
+
+    #[test]
+    fn single_shortest_path_endpoints_and_length() {
+        let g = generators::grid(4, 5);
+        let p = shortest_path(&g, 0, g.num_nodes() - 1).unwrap();
+        assert_eq!(p.len(), 1 + 3 + 4); // Manhattan distance 7, 8 vertices
+        assert_eq!(p[0], 0);
+        assert_eq!(*p.last().unwrap(), g.num_nodes() - 1);
+    }
+
+    #[test]
+    fn all_shortest_paths_on_cycle() {
+        // On an even cycle the two antipodal vertices have exactly two
+        // shortest paths.
+        let g = generators::cycle(6);
+        let paths = all_shortest_paths(&g, 0, 3);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p.len(), 4);
+            assert_eq!(p[0], 0);
+            assert_eq!(p[3], 3);
+        }
+    }
+
+    #[test]
+    fn all_shortest_paths_unreachable_is_empty() {
+        let h = generators::path(2).disjoint_union(&generators::path(2));
+        assert!(all_shortest_paths(&h, 0, 3).is_empty());
+    }
+
+    #[test]
+    fn all_shortest_paths_count_on_grid() {
+        // Number of monotone lattice paths from (0,0) to (2,2) is C(4,2)=6.
+        let g = generators::grid(3, 3);
+        let paths = all_shortest_paths(&g, 0, 8);
+        assert_eq!(paths.len(), 6);
+    }
+
+    #[test]
+    fn children_listed_correctly() {
+        let g = generators::star(5);
+        let t = bfs(&g, 0);
+        let mut c = t.children(0);
+        c.sort_unstable();
+        assert_eq!(c, vec![1, 2, 3, 4, 5]);
+        assert!(t.children(1).is_empty());
+    }
+}

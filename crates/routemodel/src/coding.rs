@@ -1,0 +1,400 @@
+//! Bit-level coding primitives and `log₂`-arithmetic.
+//!
+//! The paper's memory requirement is Kolmogorov complexity with respect to a
+//! fixed coding strategy.  This module supplies the concrete coding strategies
+//! used by the reproduction:
+//!
+//! * a [`BitWriter`]/[`BitReader`] pair for fixed-width and Elias-coded
+//!   integer streams — these realize actual encodings whose lengths are the
+//!   *upper bounds* reported in the experiments;
+//! * exact `log₂ n!`, `log₂ C(n, k)` and `log₂` of the Lemma 1 counting
+//!   formula — these are the *lower bounds* (`MB = ⌈log C(n,q)⌉` bits to
+//!   describe the target set, `log |dM_pq|` bits to describe the matrix).
+
+/// Number of bits needed to write any value in `{0, …, m − 1}` in binary
+/// (`⌈log₂ m⌉`, and 0 when `m ≤ 1`).
+pub fn bits_for_values(m: u64) -> u32 {
+    if m <= 1 {
+        0
+    } else {
+        64 - (m - 1).leading_zeros()
+    }
+}
+
+/// `⌈log₂ m⌉` as a convenience alias of [`bits_for_values`].
+pub fn ceil_log2(m: u64) -> u32 {
+    bits_for_values(m)
+}
+
+/// Exact `log₂(n!)` computed as a sum of logarithms (`O(n)` time, `n ≤ 10^7`
+/// comfortably) — beyond that the Stirling approximation is used, whose error
+/// is far below a bit at that magnitude.
+pub fn log2_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if n <= 1_000_000 {
+        (2..=n).map(|k| (k as f64).log2()).sum()
+    } else {
+        // Stirling with the 1/(12n) correction, converted to base 2.
+        let n = n as f64;
+        let ln = n * n.ln() - n + 0.5 * (2.0 * std::f64::consts::PI * n).ln() + 1.0 / (12.0 * n);
+        ln / std::f64::consts::LN_2
+    }
+}
+
+/// `log₂ C(n, k)` (0 when `k > n`).
+pub fn log2_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    log2_factorial(n) - log2_factorial(k) - log2_factorial(n - k)
+}
+
+/// An append-only bit buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bits: Vec<bool>,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn len(&self) -> u64 {
+        self.bits.len() as u64
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Appends a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        self.bits.push(bit);
+    }
+
+    /// Appends `width` bits of `value`, most significant first.
+    /// Panics if the value does not fit.
+    pub fn push_uint(&mut self, value: u64, width: u32) {
+        assert!(width <= 64);
+        if width < 64 {
+            assert!(
+                value < (1u64 << width),
+                "value {value} does not fit in {width} bits"
+            );
+        }
+        for i in (0..width).rev() {
+            self.bits.push((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends `value ≥ 1` in Elias gamma coding.
+    pub fn push_elias_gamma(&mut self, value: u64) {
+        assert!(value >= 1, "Elias gamma encodes positive integers");
+        let nbits = 64 - value.leading_zeros();
+        for _ in 0..nbits - 1 {
+            self.bits.push(false);
+        }
+        self.push_uint(value, nbits);
+    }
+
+    /// Appends `value ≥ 1` in Elias delta coding.
+    pub fn push_elias_delta(&mut self, value: u64) {
+        assert!(value >= 1, "Elias delta encodes positive integers");
+        let nbits = 64 - value.leading_zeros();
+        self.push_elias_gamma(nbits as u64);
+        if nbits > 1 {
+            // remaining nbits-1 low bits of value
+            let low = value & ((1u64 << (nbits - 1)) - 1);
+            self.push_uint(low, nbits - 1);
+        }
+    }
+
+    /// Consumes the writer and returns the bit vector.
+    pub fn into_bits(self) -> Vec<bool> {
+        self.bits
+    }
+}
+
+/// A sequential reader over a bit vector produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bits: &'a [bool],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at the first bit.
+    pub fn new(bits: &'a [bool]) -> Self {
+        BitReader { bits, pos: 0 }
+    }
+
+    /// Number of bits not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+
+    /// Reads one bit.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        let b = self.bits.get(self.pos).copied();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    /// Reads `width` bits as an unsigned integer (MSB first).
+    pub fn read_uint(&mut self, width: u32) -> Option<u64> {
+        if self.remaining() < width as usize {
+            return None;
+        }
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | (self.read_bit()? as u64);
+        }
+        Some(v)
+    }
+
+    /// Reads an Elias-gamma-coded positive integer.
+    pub fn read_elias_gamma(&mut self) -> Option<u64> {
+        let mut zeros = 0u32;
+        loop {
+            match self.read_bit()? {
+                false => zeros += 1,
+                true => break,
+            }
+            if zeros > 64 {
+                return None;
+            }
+        }
+        let rest = self.read_uint(zeros)?;
+        Some((1u64 << zeros) | rest)
+    }
+
+    /// Reads an Elias-delta-coded positive integer.
+    pub fn read_elias_delta(&mut self) -> Option<u64> {
+        let nbits = self.read_elias_gamma()? as u32;
+        if nbits == 0 || nbits > 64 {
+            return None;
+        }
+        if nbits == 1 {
+            return Some(1);
+        }
+        let low = self.read_uint(nbits - 1)?;
+        Some((1u64 << (nbits - 1)) | low)
+    }
+}
+
+/// Length in bits of the Elias gamma code of `value ≥ 1` (without writing it).
+pub fn elias_gamma_len(value: u64) -> u64 {
+    assert!(value >= 1);
+    let nbits = 64 - value.leading_zeros() as u64;
+    2 * nbits - 1
+}
+
+/// Cost in bits of describing a `k`-subset of an `n`-universe by enumerative
+/// coding: `⌈log₂ C(n, k)⌉`.  This is the paper's `MB` term (the description
+/// of the target-vertex label set `B`).
+pub fn subset_code_bits(n: u64, k: u64) -> u64 {
+    log2_binomial(n, k).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_values_table() {
+        assert_eq!(bits_for_values(0), 0);
+        assert_eq!(bits_for_values(1), 0);
+        assert_eq!(bits_for_values(2), 1);
+        assert_eq!(bits_for_values(3), 2);
+        assert_eq!(bits_for_values(4), 2);
+        assert_eq!(bits_for_values(5), 3);
+        assert_eq!(bits_for_values(1024), 10);
+        assert_eq!(bits_for_values(1025), 11);
+    }
+
+    #[test]
+    fn log2_factorial_small_exact() {
+        assert_eq!(log2_factorial(0), 0.0);
+        assert_eq!(log2_factorial(1), 0.0);
+        assert!((log2_factorial(2) - 1.0).abs() < 1e-12);
+        assert!((log2_factorial(4) - (24f64).log2()).abs() < 1e-9);
+        assert!((log2_factorial(10) - (3_628_800f64).log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log2_factorial_stirling_continuity() {
+        // The exact sum and the Stirling branch should agree to well under a
+        // bit around the switch-over point.
+        let exact: f64 = (2..=1_000_000u64).map(|k| (k as f64).log2()).sum();
+        let n = 1_000_001u64;
+        let approx = log2_factorial(n);
+        let exact_next = exact + (n as f64).log2();
+        assert!((approx - exact_next).abs() < 0.01);
+    }
+
+    #[test]
+    fn log2_binomial_values() {
+        assert!((log2_binomial(4, 2) - (6f64).log2()).abs() < 1e-9);
+        assert!((log2_binomial(10, 3) - (120f64).log2()).abs() < 1e-9);
+        assert_eq!(log2_binomial(3, 5), 0.0);
+        assert!((log2_binomial(100, 0)).abs() < 1e-9);
+        assert!((log2_binomial(100, 100)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subset_code_bits_monotone_in_k_up_to_half() {
+        let n = 64;
+        let mut prev = 0;
+        for k in 0..=32u64 {
+            let b = subset_code_bits(n, k);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn uint_round_trip() {
+        let mut w = BitWriter::new();
+        w.push_uint(0b1011, 4);
+        w.push_uint(7, 3);
+        w.push_uint(0, 0);
+        w.push_uint(u64::MAX, 64);
+        let bits = w.into_bits();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(r.read_uint(4), Some(0b1011));
+        assert_eq!(r.read_uint(3), Some(7));
+        assert_eq!(r.read_uint(0), Some(0));
+        assert_eq!(r.read_uint(64), Some(u64::MAX));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_uint_overflow_panics() {
+        let mut w = BitWriter::new();
+        w.push_uint(8, 3);
+    }
+
+    #[test]
+    fn elias_gamma_round_trip() {
+        let values = [1u64, 2, 3, 4, 5, 17, 100, 255, 256, 1 << 20, u32::MAX as u64];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.push_elias_gamma(v);
+        }
+        let bits = w.into_bits();
+        let mut r = BitReader::new(&bits);
+        for &v in &values {
+            assert_eq!(r.read_elias_gamma(), Some(v));
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn elias_delta_round_trip() {
+        let values = [1u64, 2, 3, 7, 8, 9, 1000, 65_535, 65_536, 1 << 40];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.push_elias_delta(v);
+        }
+        let bits = w.into_bits();
+        let mut r = BitReader::new(&bits);
+        for &v in &values {
+            assert_eq!(r.read_elias_delta(), Some(v));
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn elias_gamma_len_matches_writer() {
+        for v in [1u64, 2, 3, 10, 100, 12345] {
+            let mut w = BitWriter::new();
+            w.push_elias_gamma(v);
+            assert_eq!(w.len(), elias_gamma_len(v));
+        }
+    }
+
+    #[test]
+    fn reader_handles_truncated_input() {
+        let mut w = BitWriter::new();
+        w.push_uint(5, 3);
+        let bits = w.into_bits();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(r.read_uint(4), None, "not enough bits");
+    }
+
+    #[test]
+    fn writer_len_and_empty() {
+        let mut w = BitWriter::new();
+        assert!(w.is_empty());
+        w.push_bit(true);
+        w.push_uint(2, 2);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_uint_roundtrip(values in proptest::collection::vec(0u64..u32::MAX as u64, 1..50)) {
+            let mut w = BitWriter::new();
+            for &v in &values {
+                w.push_uint(v, 32);
+            }
+            let bits = w.into_bits();
+            let mut r = BitReader::new(&bits);
+            for &v in &values {
+                prop_assert_eq!(r.read_uint(32), Some(v));
+            }
+        }
+
+        #[test]
+        fn prop_elias_roundtrip(values in proptest::collection::vec(1u64..1_000_000u64, 1..50)) {
+            let mut w = BitWriter::new();
+            for &v in &values {
+                w.push_elias_gamma(v);
+                w.push_elias_delta(v);
+            }
+            let bits = w.into_bits();
+            let mut r = BitReader::new(&bits);
+            for &v in &values {
+                prop_assert_eq!(r.read_elias_gamma(), Some(v));
+                prop_assert_eq!(r.read_elias_delta(), Some(v));
+            }
+        }
+
+        #[test]
+        fn prop_binomial_symmetry(n in 1u64..200, k in 0u64..200) {
+            prop_assume!(k <= n);
+            let a = log2_binomial(n, k);
+            let b = log2_binomial(n, n - k);
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_pascal_identity(n in 2u64..120, k in 1u64..119) {
+            prop_assume!(k < n);
+            // C(n,k) = C(n-1,k-1) + C(n-1,k): check in log space within tolerance.
+            let lhs = log2_binomial(n, k);
+            let a = log2_binomial(n - 1, k - 1);
+            let b = log2_binomial(n - 1, k);
+            let sum = (2f64.powf(a - lhs) + 2f64.powf(b - lhs)).log2() + lhs;
+            prop_assert!((sum - lhs).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Errors raised while simulating a routing function.
+
+use graphkit::{NodeId, Port};
+use std::fmt;
+
+/// A violation of the routing model detected while simulating `R`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutingError {
+    /// The message exceeded the hop budget; the routing function loops.
+    Loop {
+        source: NodeId,
+        dest: NodeId,
+        hops: usize,
+    },
+    /// `P` returned `Deliver` at a node that is not the destination.
+    WrongDelivery {
+        source: NodeId,
+        dest: NodeId,
+        delivered_at: NodeId,
+    },
+    /// `P` returned a port number that does not exist at the node.
+    PortOutOfRange {
+        node: NodeId,
+        port: Port,
+        degree: usize,
+    },
+    /// The stretch bound requested by the caller is violated.
+    StretchExceeded {
+        source: NodeId,
+        dest: NodeId,
+        route_len: u32,
+        distance: u32,
+        bound: f64,
+    },
+    /// A pair of vertices is disconnected, so no routing path can exist.
+    Unreachable { source: NodeId, dest: NodeId },
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::Loop { source, dest, hops } => write!(
+                f,
+                "routing from {source} to {dest} did not terminate within {hops} hops"
+            ),
+            RoutingError::WrongDelivery {
+                source,
+                dest,
+                delivered_at,
+            } => write!(
+                f,
+                "message from {source} to {dest} was delivered at {delivered_at}"
+            ),
+            RoutingError::PortOutOfRange { node, port, degree } => write!(
+                f,
+                "port {port} requested at node {node} of degree {degree}"
+            ),
+            RoutingError::StretchExceeded {
+                source,
+                dest,
+                route_len,
+                distance,
+                bound,
+            } => write!(
+                f,
+                "route {source}->{dest} has length {route_len} > {bound} * distance {distance}"
+            ),
+            RoutingError::Unreachable { source, dest } => {
+                write!(f, "{dest} is unreachable from {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_vertices() {
+        let e = RoutingError::Loop {
+            source: 1,
+            dest: 2,
+            hops: 40,
+        };
+        let s = e.to_string();
+        assert!(s.contains('1') && s.contains('2') && s.contains("40"));
+
+        let e = RoutingError::WrongDelivery {
+            source: 0,
+            dest: 9,
+            delivered_at: 4,
+        };
+        assert!(e.to_string().contains("delivered at 4"));
+
+        let e = RoutingError::PortOutOfRange {
+            node: 3,
+            port: 7,
+            degree: 3,
+        };
+        assert!(e.to_string().contains("port 7"));
+
+        let e = RoutingError::StretchExceeded {
+            source: 0,
+            dest: 1,
+            route_len: 6,
+            distance: 2,
+            bound: 2.0,
+        };
+        assert!(e.to_string().contains("length 6"));
+
+        let e = RoutingError::Unreachable { source: 5, dest: 6 };
+        assert!(e.to_string().contains("unreachable"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = RoutingError::Unreachable { source: 1, dest: 2 };
+        let b = RoutingError::Unreachable { source: 1, dest: 2 };
+        assert_eq!(a, b);
+    }
+}

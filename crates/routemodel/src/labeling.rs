@@ -1,0 +1,149 @@
+//! Vertex and port labelings.
+//!
+//! The paper stresses that "vertex and arc labeling of `G` have significant
+//! implications on the size of the coding of a routing function `R` on `G`"
+//! (Section 2), and illustrates it on the complete graph `K_n`: with a port
+//! labeling chosen by an adversary, reaching a neighbour requires knowing a
+//! full permutation of `{1..n−1}` — `log₂((n−1)!) ≈ n log n` bits — whereas a
+//! suitable labeling admits an `O(log n)`-bit local routing function.
+//!
+//! This module provides both sides of the coin as graph transformations:
+//! every generator of `graphkit` produces a "natural" labeling, and these
+//! functions re-label ports adversarially or conveniently.
+
+use graphkit::{Graph, NodeId, Xoshiro256};
+
+/// Applies an independent uniformly random port permutation at every vertex.
+/// This is the adversary of the complete-graph example (and, more generally,
+/// the worst-case labeling model under which routing tables cannot be
+/// compressed).
+pub fn adversarial_port_labeling(g: &Graph, seed: u64) -> Graph {
+    let mut out = g.clone();
+    let mut rng = Xoshiro256::new(seed);
+    for u in 0..out.num_nodes() {
+        let d = out.degree(u);
+        if d >= 2 {
+            let perm = rng.permutation(d);
+            out.permute_ports(u, &perm);
+        }
+    }
+    out
+}
+
+/// Applies a random permutation of the *vertex labels* (the node ids).
+/// Vertex labels are the other lever the adversary controls; the canonical
+/// form machinery of the `constraints` crate quotienting by row/column
+/// permutations corresponds exactly to this freedom.
+pub fn random_vertex_labeling(g: &Graph, seed: u64) -> Graph {
+    let mut rng = Xoshiro256::new(seed);
+    let perm = rng.permutation(g.num_nodes());
+    g.relabel_nodes(&perm)
+}
+
+/// Relabels the ports of the complete graph `K_n` into the "good" labeling:
+/// at vertex `u`, port `p` leads to vertex `(u + p + 1) mod n`.
+///
+/// Under this labeling the local routing function at `u` is the closed form
+/// `port(v) = (v − u − 1) mod n`, which needs only `O(log n)` bits (the value
+/// of `u` and the formula) — the matching upper bound in the paper's
+/// complete-graph discussion.
+pub fn modular_complete_labeling(n: usize) -> Graph {
+    assert!(n >= 2, "complete graph labeling needs n >= 2");
+    let mut g = graphkit::generators::complete(n);
+    for u in 0..n {
+        // current port of the neighbour (u + p + 1) mod n must become p
+        let mut perm = vec![0usize; n - 1];
+        for p in 0..n - 1 {
+            let target = (u + p + 1) % n;
+            let current = g.port_to(u, target).expect("complete graph edge");
+            perm[current] = p;
+        }
+        g.permute_ports(u, &perm);
+    }
+    g
+}
+
+/// Checks whether the port labeling of a complete graph is the modular one
+/// produced by [`modular_complete_labeling`].
+pub fn is_modular_complete_labeling(g: &Graph) -> bool {
+    let n = g.num_nodes();
+    if n < 2 || g.num_edges() != n * (n - 1) / 2 {
+        return false;
+    }
+    (0..n).all(|u: NodeId| {
+        g.degree(u) == n - 1
+            && (0..n - 1).all(|p| g.port_target(u, p) == (u + p + 1) % n)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::generators;
+
+    #[test]
+    fn adversarial_labeling_preserves_structure() {
+        let g = generators::complete(10);
+        let h = adversarial_port_labeling(&g, 99);
+        assert_eq!(g.num_nodes(), h.num_nodes());
+        assert_eq!(g.num_edges(), h.num_edges());
+        assert!(h.validate().is_ok());
+        for (u, v) in g.edges() {
+            assert!(h.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn adversarial_labeling_actually_changes_ports() {
+        let g = generators::complete(12);
+        let h = adversarial_port_labeling(&g, 5);
+        let changed = g
+            .nodes()
+            .any(|u| (0..g.degree(u)).any(|p| g.port_target(u, p) != h.port_target(u, p)));
+        assert!(changed);
+        assert_eq!(
+            adversarial_port_labeling(&g, 5),
+            adversarial_port_labeling(&g, 5),
+            "deterministic per seed"
+        );
+    }
+
+    #[test]
+    fn random_vertex_labeling_is_isomorphic_relabeling() {
+        let g = generators::petersen();
+        let h = random_vertex_labeling(&g, 3);
+        assert_eq!(h.num_nodes(), 10);
+        assert_eq!(h.num_edges(), 15);
+        assert!(h.validate().is_ok());
+        assert!(h.nodes().all(|u| h.degree(u) == 3));
+    }
+
+    #[test]
+    fn modular_labeling_satisfies_closed_form() {
+        for n in [2usize, 3, 5, 8, 16] {
+            let g = modular_complete_labeling(n);
+            assert!(is_modular_complete_labeling(&g), "n = {n}");
+            assert!(g.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn natural_complete_labeling_is_not_modular_for_large_n() {
+        // The generator's insertion-order labeling differs from the modular one
+        // (e.g. at vertex 2, port 0 leads to 0, not to 3).
+        let g = generators::complete(6);
+        assert!(!is_modular_complete_labeling(&g));
+    }
+
+    #[test]
+    fn adversarial_labeling_of_modular_graph_is_detected() {
+        let g = modular_complete_labeling(9);
+        let h = adversarial_port_labeling(&g, 1);
+        assert!(!is_modular_complete_labeling(&h));
+    }
+
+    #[test]
+    fn non_complete_graph_is_never_modular() {
+        assert!(!is_modular_complete_labeling(&generators::cycle(5)));
+    }
+}

@@ -1,0 +1,50 @@
+//! # routemodel
+//!
+//! The routing model of Fraigniaud & Gavoille, *Local Memory Requirement of
+//! Universal Routing Schemes* (SPAA 1996), Section 1.
+//!
+//! A **routing function** on a graph `G` is a triple `R = (I, H, P)` of
+//! initialization, header and port functions.  For any two distinct nodes
+//! `u, v`, `R` produces a path `u = u₀, u₁, …, u_k = v` and a sequence of
+//! headers `h₀ = I(u, v)`, `h_{i+1} = H(u_i, h_i)`, with
+//! `P(u_i, h_i) = (u_i, u_{i+1})` for `i < k` and `P(u_k, h_k) = ⊥`
+//! (delivery).  The trait [`RoutingFunction`] mirrors this triple; headers may
+//! be of unbounded size, exactly as in the paper.
+//!
+//! Derived quantities provided by this crate:
+//!
+//! * [`simulate::route`] runs `R` on a source/destination pair and returns the
+//!   routing path (or a routing error: loop, wrong delivery, dead end);
+//! * [`stretch`] computes the **stretch factor**
+//!   `s(R, G) = max_{x≠y} d_R(x, y) / d_G(x, y)`;
+//! * [`memory`] measures the **memory requirement** `MEM_G(R, x)` of each
+//!   router under explicit encodings (the paper uses Kolmogorov complexity,
+//!   which our concrete encoders upper-bound and our counting arguments lower
+//!   bound), and aggregates it into the global (sum) and local (max)
+//!   memory requirements;
+//! * [`coding`] contains the bit-level encoders (fixed width, Elias gamma and
+//!   delta, enumerative coding of subsets) and the `log₂`-arithmetic helpers
+//!   (`log₂ n!`, `log₂ C(n, k)`) used both by the encoders and by the
+//!   counting lower bounds of the paper;
+//! * [`table`] is the canonical universal routing function — the full routing
+//!   table — built from shortest-path trees with pluggable tie-breaking;
+//! * [`labeling`] produces the "good" and "adversarial" port labelings whose
+//!   contrast on the complete graph motivates the whole problem.
+
+pub mod coding;
+pub mod error;
+pub mod function;
+pub mod header;
+pub mod labeling;
+pub mod memory;
+pub mod simulate;
+pub mod stretch;
+pub mod table;
+
+pub use error::RoutingError;
+pub use function::{Action, RoutingFunction};
+pub use header::Header;
+pub use memory::{MemoryReport, PortMap};
+pub use simulate::{route, RouteTrace};
+pub use stretch::{stretch_factor, verify_stretch, StretchReport};
+pub use table::{TableRouting, TieBreak};

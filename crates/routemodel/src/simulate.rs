@@ -1,0 +1,273 @@
+//! Executing a routing function on a graph.
+//!
+//! [`route`] replays the paper's definition step by step: start with the
+//! header `I(u, v)`, repeatedly apply the port function `P` and the header
+//! function `H`, and record the traversed path.  A hop budget (default
+//! `2 n + 8`... scaled by the caller) guards against non-terminating routing
+//! functions, which are reported as [`RoutingError::Loop`].
+
+use crate::error::RoutingError;
+use crate::function::{Action, RoutingFunction};
+use graphkit::{Graph, NodeId, Port};
+
+/// The trace of one routed message: the visited vertices and the ports taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteTrace {
+    /// Visited vertices, starting at the source and ending at the destination.
+    pub path: Vec<NodeId>,
+    /// Port taken at each non-final vertex (`ports.len() == path.len() - 1`).
+    pub ports: Vec<Port>,
+}
+
+impl RouteTrace {
+    /// Number of edges traversed.
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Whether the route has length zero (source equals destination).
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+
+    /// First port taken, i.e. `P(source, I(source, dest))` — the quantity the
+    /// matrices of constraints pin down.
+    pub fn first_port(&self) -> Option<Port> {
+        self.ports.first().copied()
+    }
+}
+
+/// Default hop budget for a graph on `n` vertices: generous enough for any
+/// reasonable stretch, small enough to detect loops quickly.
+pub fn default_hop_limit(n: usize) -> usize {
+    4 * n + 16
+}
+
+/// Simulates routing one message from `source` to `dest` under `r`.
+///
+/// Returns the trace, or the model violation encountered.  `source == dest`
+/// yields an empty trace without consulting the routing function.
+pub fn route<R: RoutingFunction + ?Sized>(
+    g: &Graph,
+    r: &R,
+    source: NodeId,
+    dest: NodeId,
+) -> Result<RouteTrace, RoutingError> {
+    route_with_limit(g, r, source, dest, default_hop_limit(g.num_nodes()))
+}
+
+/// Like [`route`], with an explicit hop budget.
+pub fn route_with_limit<R: RoutingFunction + ?Sized>(
+    g: &Graph,
+    r: &R,
+    source: NodeId,
+    dest: NodeId,
+    hop_limit: usize,
+) -> Result<RouteTrace, RoutingError> {
+    let mut path = vec![source];
+    let mut ports = Vec::new();
+    if source == dest {
+        return Ok(RouteTrace { path, ports });
+    }
+    let mut node = source;
+    let mut header = r.init(source, dest);
+    loop {
+        match r.port(node, &header) {
+            Action::Deliver => {
+                if node == dest {
+                    return Ok(RouteTrace { path, ports });
+                }
+                return Err(RoutingError::WrongDelivery {
+                    source,
+                    dest,
+                    delivered_at: node,
+                });
+            }
+            Action::Forward(p) => {
+                let deg = g.degree(node);
+                if p >= deg {
+                    return Err(RoutingError::PortOutOfRange {
+                        node,
+                        port: p,
+                        degree: deg,
+                    });
+                }
+                let next = g.port_target(node, p);
+                header = r.next_header(node, &header);
+                node = next;
+                path.push(node);
+                ports.push(p);
+                if ports.len() > hop_limit {
+                    return Err(RoutingError::Loop {
+                        source,
+                        dest,
+                        hops: ports.len(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Routes every ordered pair of distinct vertices and returns the matrix of
+/// route lengths (`u32::MAX` never appears: an error aborts the computation).
+pub fn all_pairs_route_lengths<R: RoutingFunction + ?Sized>(
+    g: &Graph,
+    r: &R,
+) -> Result<Vec<Vec<u32>>, RoutingError> {
+    let n = g.num_nodes();
+    let mut out = vec![vec![0u32; n]; n];
+    for s in 0..n {
+        for t in 0..n {
+            if s != t {
+                let trace = route(g, r, s, t)?;
+                out[s][t] = trace.len() as u32;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The first port used when routing from `source` to `dest`, i.e.
+/// `P(source, I(source, dest))`.  This is the observable that the generalized
+/// matrices of constraints control.  Returns `None` when `source == dest`.
+pub fn first_port<R: RoutingFunction + ?Sized>(
+    r: &R,
+    source: NodeId,
+    dest: NodeId,
+) -> Option<Port> {
+    if source == dest {
+        return None;
+    }
+    match r.port(source, &r.init(source, dest)) {
+        Action::Deliver => None,
+        Action::Forward(p) => Some(p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{dest_address_routing, Action};
+    use crate::header::Header;
+    use graphkit::generators;
+
+    /// Greedy clockwise routing on a cycle: always take port toward the
+    /// successor (port to node (u+1)%n is discoverable from the generator's
+    /// construction order).
+    fn clockwise_on_cycle(n: usize) -> (graphkit::Graph, impl RoutingFunction) {
+        let g = generators::cycle(n);
+        let g2 = g.clone();
+        let r = dest_address_routing("clockwise", move |node, h: &Header| {
+            if node == h.dest {
+                Action::Deliver
+            } else {
+                let next = (node + 1) % n;
+                Action::Forward(g2.port_to(node, next).unwrap())
+            }
+        });
+        (g, r)
+    }
+
+    #[test]
+    fn trivial_route_source_equals_dest() {
+        let (g, r) = clockwise_on_cycle(5);
+        let t = route(&g, &r, 3, 3).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.path, vec![3]);
+        assert_eq!(t.first_port(), None);
+    }
+
+    #[test]
+    fn clockwise_routing_lengths() {
+        let (g, r) = clockwise_on_cycle(6);
+        let t = route(&g, &r, 0, 3).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.path, vec![0, 1, 2, 3]);
+        let t = route(&g, &r, 4, 1).unwrap();
+        assert_eq!(t.len(), 3); // 4 -> 5 -> 0 -> 1
+    }
+
+    #[test]
+    fn ports_in_trace_are_consistent_with_graph() {
+        let (g, r) = clockwise_on_cycle(7);
+        let t = route(&g, &r, 2, 0).unwrap();
+        for (i, &p) in t.ports.iter().enumerate() {
+            assert_eq!(g.port_target(t.path[i], p), t.path[i + 1]);
+        }
+    }
+
+    #[test]
+    fn looping_function_detected() {
+        let g = generators::cycle(4);
+        // Never deliver: always forward through port 0.
+        let r = dest_address_routing("loopy", |_node, _h: &Header| Action::Forward(0));
+        match route(&g, &r, 0, 2) {
+            Err(RoutingError::Loop { source: 0, dest: 2, .. }) => {}
+            other => panic!("expected a loop error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_delivery_detected() {
+        let g = generators::path(4);
+        let r = dest_address_routing("lazy", |_node, _h: &Header| Action::Deliver);
+        match route(&g, &r, 0, 3) {
+            Err(RoutingError::WrongDelivery { delivered_at: 0, .. }) => {}
+            other => panic!("expected wrong delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn port_out_of_range_detected() {
+        let g = generators::path(3);
+        let r = dest_address_routing("bad-port", |node, h: &Header| {
+            if node == h.dest {
+                Action::Deliver
+            } else {
+                Action::Forward(5)
+            }
+        });
+        match route(&g, &r, 0, 2) {
+            Err(RoutingError::PortOutOfRange { node: 0, port: 5, degree: 1 }) => {}
+            other => panic!("expected port error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_pairs_route_lengths_on_cycle() {
+        let (g, r) = clockwise_on_cycle(5);
+        let lens = all_pairs_route_lengths(&g, &r).unwrap();
+        for s in 0..5usize {
+            for t in 0..5usize {
+                let expected = ((t + 5) - s) % 5;
+                assert_eq!(lens[s][t], expected as u32, "pair ({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn first_port_matches_route() {
+        let (g, r) = clockwise_on_cycle(6);
+        for s in 0..6usize {
+            for t in 0..6usize {
+                if s == t {
+                    assert_eq!(first_port(&r, s, t), None);
+                } else {
+                    let trace = route(&g, &r, s, t).unwrap();
+                    assert_eq!(first_port(&r, s, t), trace.first_port());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn custom_hop_limit_respected() {
+        let (g, r) = clockwise_on_cycle(10);
+        // 0 -> 9 clockwise needs 9 hops; a limit of 3 must trigger the loop error.
+        match route_with_limit(&g, &r, 0, 9, 3) {
+            Err(RoutingError::Loop { hops, .. }) => assert!(hops > 3),
+            other => panic!("expected loop error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Stretch factors.
+//!
+//! The stretch factor of a routing function `R` on `G` is
+//! `s(R, G) = max_{x ≠ y} d_R(x, y) / d_G(x, y)` where `d_R` is the length of
+//! the routing path produced by `R`.  The paper's Theorem 1 concerns routing
+//! functions of stretch `< 2` ("each routing path is of length at most twice
+//! the distance" — strictly below twice in the forcing argument, since the
+//! alternative paths in the graphs of constraints have length `4 = 2·2`).
+
+use crate::error::RoutingError;
+use crate::function::RoutingFunction;
+use crate::simulate::route;
+use graphkit::{DistanceMatrix, Graph, NodeId};
+
+/// Summary of the stretch behaviour of a routing function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StretchReport {
+    /// The stretch factor `s(R, G)`.
+    pub max_stretch: f64,
+    /// A pair attaining the maximum stretch.
+    pub max_pair: (NodeId, NodeId),
+    /// Average stretch over ordered pairs of distinct, reachable vertices.
+    pub avg_stretch: f64,
+    /// The longest routing path observed.
+    pub max_route_len: u32,
+    /// Number of ordered pairs examined.
+    pub pairs: usize,
+}
+
+/// Computes the exact stretch factor by routing every ordered pair.
+///
+/// Fails with the first model violation encountered (loop, wrong delivery,
+/// out-of-range port).  Unreachable pairs are skipped, matching the paper's
+/// restriction to connected graphs.
+pub fn stretch_factor<R: RoutingFunction + ?Sized>(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    r: &R,
+) -> Result<StretchReport, RoutingError> {
+    stretch_over_pairs(g, dm, r, all_ordered_pairs(g.num_nodes()))
+}
+
+/// Computes the stretch over an explicit list of ordered pairs.
+pub fn stretch_over_pairs<R: RoutingFunction + ?Sized>(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    r: &R,
+    pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
+) -> Result<StretchReport, RoutingError> {
+    let mut max_stretch = 1.0f64;
+    let mut max_pair = (0, 0);
+    let mut sum_stretch = 0.0f64;
+    let mut count = 0usize;
+    let mut max_route_len = 0u32;
+    let mut any = false;
+    for (s, t) in pairs {
+        if s == t || !dm.reachable(s, t) {
+            continue;
+        }
+        let trace = route(g, r, s, t)?;
+        let len = trace.len() as u32;
+        let d = dm.dist(s, t);
+        let stretch = len as f64 / d as f64;
+        sum_stretch += stretch;
+        count += 1;
+        max_route_len = max_route_len.max(len);
+        if !any || stretch > max_stretch {
+            max_stretch = stretch;
+            max_pair = (s, t);
+            any = true;
+        }
+    }
+    Ok(StretchReport {
+        max_stretch: if any { max_stretch } else { 1.0 },
+        max_pair,
+        avg_stretch: if count == 0 {
+            1.0
+        } else {
+            sum_stretch / count as f64
+        },
+        max_route_len,
+        pairs: count,
+    })
+}
+
+/// Verifies that the stretch factor of `r` is at most `bound`; returns the
+/// first violating pair as an error.
+pub fn verify_stretch<R: RoutingFunction + ?Sized>(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    r: &R,
+    bound: f64,
+) -> Result<(), RoutingError> {
+    for s in 0..g.num_nodes() {
+        for t in 0..g.num_nodes() {
+            if s == t || !dm.reachable(s, t) {
+                continue;
+            }
+            let trace = route(g, r, s, t)?;
+            let len = trace.len() as u32;
+            let d = dm.dist(s, t);
+            if (len as f64) > bound * (d as f64) + 1e-9 {
+                return Err(RoutingError::StretchExceeded {
+                    source: s,
+                    dest: t,
+                    route_len: len,
+                    distance: d,
+                    bound,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A deterministic sample of `k` ordered pairs of distinct vertices,
+/// used for cheap stretch estimation on large graphs.
+pub fn sampled_pairs(n: usize, k: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    assert!(n >= 2, "need at least two vertices to form a pair");
+    let mut rng = graphkit::Xoshiro256::new(seed);
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let s = rng.gen_range(n);
+        let t = rng.gen_range(n);
+        if s != t {
+            out.push((s, t));
+        }
+    }
+    out
+}
+
+fn all_ordered_pairs(n: usize) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)));
+    for s in 0..n {
+        for t in 0..n {
+            if s != t {
+                out.push((s, t));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{dest_address_routing, Action};
+    use crate::header::Header;
+    use crate::table::{TableRouting, TieBreak};
+    use graphkit::generators;
+
+    #[test]
+    fn shortest_path_tables_have_stretch_one() {
+        for g in [
+            generators::petersen(),
+            generators::hypercube(4),
+            generators::random_connected(50, 0.1, 3),
+            generators::balanced_tree(2, 4),
+        ] {
+            let dm = DistanceMatrix::all_pairs(&g);
+            let r = TableRouting::from_distances(&g, &dm, TieBreak::LowestPort);
+            let rep = stretch_factor(&g, &dm, &r).unwrap();
+            assert!((rep.max_stretch - 1.0).abs() < 1e-12);
+            assert!((rep.avg_stretch - 1.0).abs() < 1e-12);
+            assert!(verify_stretch(&g, &dm, &r, 1.0).is_ok());
+        }
+    }
+
+    #[test]
+    fn clockwise_cycle_routing_has_known_stretch() {
+        let n = 8usize;
+        let g = generators::cycle(n);
+        let g2 = g.clone();
+        let r = dest_address_routing("cw", move |node, h: &Header| {
+            if node == h.dest {
+                Action::Deliver
+            } else {
+                Action::Forward(g2.port_to(node, (node + 1) % n).unwrap())
+            }
+        });
+        let dm = DistanceMatrix::all_pairs(&g);
+        let rep = stretch_factor(&g, &dm, &r).unwrap();
+        // worst pair: neighbour reached the wrong way round: length n-1 vs 1
+        assert!((rep.max_stretch - (n as f64 - 1.0)).abs() < 1e-12);
+        assert_eq!(rep.max_route_len, (n - 1) as u32);
+        assert!(verify_stretch(&g, &dm, &r, n as f64 - 1.0).is_ok());
+        assert!(verify_stretch(&g, &dm, &r, 2.0).is_err());
+    }
+
+    #[test]
+    fn verify_stretch_reports_the_offending_pair() {
+        let n = 6usize;
+        let g = generators::cycle(n);
+        let g2 = g.clone();
+        let r = dest_address_routing("cw", move |node, h: &Header| {
+            if node == h.dest {
+                Action::Deliver
+            } else {
+                Action::Forward(g2.port_to(node, (node + 1) % n).unwrap())
+            }
+        });
+        let dm = DistanceMatrix::all_pairs(&g);
+        match verify_stretch(&g, &dm, &r, 1.5) {
+            Err(RoutingError::StretchExceeded { route_len, distance, .. }) => {
+                assert!(route_len as f64 > 1.5 * distance as f64);
+            }
+            other => panic!("expected stretch violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stretch_over_sampled_pairs_close_to_exact_for_tables() {
+        let g = generators::random_connected(60, 0.08, 9);
+        let dm = DistanceMatrix::all_pairs(&g);
+        let r = TableRouting::from_distances(&g, &dm, TieBreak::LowestNeighbor);
+        let pairs = sampled_pairs(g.num_nodes(), 200, 4);
+        let rep = stretch_over_pairs(&g, &dm, &r, pairs).unwrap();
+        assert!((rep.max_stretch - 1.0).abs() < 1e-12);
+        assert_eq!(rep.pairs, 200);
+    }
+
+    #[test]
+    fn sampled_pairs_are_valid() {
+        let pairs = sampled_pairs(10, 50, 7);
+        assert_eq!(pairs.len(), 50);
+        assert!(pairs.iter().all(|&(s, t)| s != t && s < 10 && t < 10));
+        assert_eq!(sampled_pairs(10, 50, 7), pairs, "deterministic per seed");
+    }
+
+    #[test]
+    fn stretch_on_two_vertex_graph() {
+        let g = generators::path(2);
+        let dm = DistanceMatrix::all_pairs(&g);
+        let r = TableRouting::from_distances(&g, &dm, TieBreak::LowestPort);
+        let rep = stretch_factor(&g, &dm, &r).unwrap();
+        assert_eq!(rep.pairs, 2);
+        assert!((rep.max_stretch - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,317 @@
+//! Full routing tables: the canonical universal routing scheme.
+//!
+//! A routing table stores, at every router and for every destination label,
+//! the output port of a shortest path (or, more generally, of a path within
+//! the requested stretch).  This is the `O(n log n)`-bits-per-router upper
+//! bound against which the paper's Theorem 1 lower bound is tight.
+//!
+//! [`TableRouting`] is also the workhorse used to *realize* routing functions
+//! on the graphs of constraints: the tables are built from shortest-path
+//! (BFS) trees, with a pluggable [`TieBreak`] rule so the adversarial
+//! experiments can explore different — but all shortest-path — routing
+//! functions on the same graph.
+
+use crate::function::{Action, RoutingFunction};
+use crate::header::Header;
+use crate::memory::{MemoryReport, PortMap};
+use graphkit::{DistanceMatrix, Graph, NodeId, Port};
+
+/// How to choose among several shortest-path next hops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Choose the neighbour reachable through the smallest port number.
+    LowestPort,
+    /// Choose the neighbour with the smallest vertex label.
+    LowestNeighbor,
+    /// Choose the neighbour with the largest vertex label.
+    HighestNeighbor,
+    /// Choose pseudo-randomly (but deterministically) based on the pair
+    /// `(node, dest)` and the given seed — used to generate many distinct
+    /// shortest-path routing functions on the same graph.
+    Seeded(u64),
+}
+
+/// A complete next-port table for every (router, destination) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRouting {
+    /// `next_port[u][v]` = port used at `u` towards destination `v`
+    /// (`usize::MAX` on the diagonal and for unreachable pairs).
+    next_port: Vec<Vec<Port>>,
+    name: String,
+}
+
+const NO_PORT: Port = usize::MAX;
+
+impl TableRouting {
+    /// Builds shortest-path routing tables for `g` using the given tie-break
+    /// rule.  The distance matrix is recomputed; use
+    /// [`TableRouting::from_distances`] to reuse one.
+    pub fn shortest_paths(g: &Graph, tie: TieBreak) -> Self {
+        let dm = DistanceMatrix::all_pairs(g);
+        Self::from_distances(g, &dm, tie)
+    }
+
+    /// Builds shortest-path routing tables from a precomputed distance matrix.
+    pub fn from_distances(g: &Graph, dm: &DistanceMatrix, tie: TieBreak) -> Self {
+        let n = g.num_nodes();
+        let mut next_port = vec![vec![NO_PORT; n]; n];
+        for u in 0..n {
+            for v in 0..n {
+                if u == v || !dm.reachable(u, v) {
+                    continue;
+                }
+                next_port[u][v] = Self::pick_port(g, dm, u, v, tie);
+            }
+        }
+        TableRouting {
+            next_port,
+            name: format!("routing-tables({tie:?})"),
+        }
+    }
+
+    fn pick_port(g: &Graph, dm: &DistanceMatrix, u: NodeId, v: NodeId, tie: TieBreak) -> Port {
+        let duv = dm.dist(u, v);
+        let candidates: Vec<(Port, NodeId)> = g
+            .neighbors(u)
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| dm.dist(w, v) + 1 == duv)
+            .map(|(p, &w)| (p, w))
+            .collect();
+        debug_assert!(!candidates.is_empty(), "no shortest-path neighbour found");
+        match tie {
+            TieBreak::LowestPort => candidates.iter().map(|&(p, _)| p).min().unwrap(),
+            TieBreak::LowestNeighbor => {
+                candidates.iter().min_by_key(|&&(_, w)| w).unwrap().0
+            }
+            TieBreak::HighestNeighbor => {
+                candidates.iter().max_by_key(|&&(_, w)| w).unwrap().0
+            }
+            TieBreak::Seeded(seed) => {
+                // A small hash of (u, v, seed) selects the candidate.
+                let mut h = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(u as u64)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                    .wrapping_add(v as u64);
+                h ^= h >> 31;
+                h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+                h ^= h >> 29;
+                candidates[(h % candidates.len() as u64) as usize].0
+            }
+        }
+    }
+
+    /// Builds a table routing from an explicit next-port matrix.  Entries on
+    /// the diagonal are ignored; every other entry must be a valid port.
+    pub fn from_next_ports(g: &Graph, next_port: Vec<Vec<Port>>, name: impl Into<String>) -> Self {
+        let n = g.num_nodes();
+        assert_eq!(next_port.len(), n);
+        for (u, row) in next_port.iter().enumerate() {
+            assert_eq!(row.len(), n);
+            for (v, &p) in row.iter().enumerate() {
+                if u != v && p != NO_PORT {
+                    assert!(p < g.degree(u), "invalid port {p} at node {u} towards {v}");
+                }
+            }
+        }
+        TableRouting {
+            next_port,
+            name: name.into(),
+        }
+    }
+
+    /// The port stored for `(u, v)`, if any.
+    pub fn next_port(&self, u: NodeId, v: NodeId) -> Option<Port> {
+        let p = self.next_port[u][v];
+        if p == NO_PORT {
+            None
+        } else {
+            Some(p)
+        }
+    }
+
+    /// Overrides a single table entry (used by the adversarial experiments to
+    /// produce *near*-shortest-path functions).
+    pub fn set_next_port(&mut self, u: NodeId, v: NodeId, p: Port) {
+        self.next_port[u][v] = p;
+    }
+
+    /// The local behaviour of router `u` as a [`PortMap`].
+    pub fn port_map(&self, g: &Graph, u: NodeId) -> PortMap {
+        let ports = self.next_port[u]
+            .iter()
+            .map(|&p| if p == NO_PORT { None } else { Some(p) })
+            .collect();
+        PortMap::new(u, g.degree(u), ports)
+    }
+
+    /// Memory report under the raw routing-table encoding
+    /// (`(n−1)⌈log₂ deg⌉` bits per router).
+    pub fn memory_raw(&self, g: &Graph) -> MemoryReport {
+        MemoryReport::from_fn(g.num_nodes(), |u| self.port_map(g, u).raw_table_bits())
+    }
+
+    /// Memory report under the interval (run-length) encoding.
+    pub fn memory_interval(&self, g: &Graph) -> MemoryReport {
+        MemoryReport::from_fn(g.num_nodes(), |u| self.port_map(g, u).interval_bits())
+    }
+}
+
+impl RoutingFunction for TableRouting {
+    fn init(&self, _source: NodeId, dest: NodeId) -> Header {
+        Header::to_dest(dest)
+    }
+
+    fn port(&self, node: NodeId, header: &Header) -> Action {
+        if node == header.dest {
+            return Action::Deliver;
+        }
+        match self.next_port(node, header.dest) {
+            Some(p) => Action::Forward(p),
+            // No entry: deliver locally (will be flagged as WrongDelivery by
+            // the simulator, which is the honest thing to do for unreachable
+            // destinations).
+            None => Action::Deliver,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{all_pairs_route_lengths, route};
+    use graphkit::generators;
+
+    #[test]
+    fn tables_route_along_shortest_paths_on_petersen() {
+        let g = generators::petersen();
+        let dm = DistanceMatrix::all_pairs(&g);
+        for tie in [
+            TieBreak::LowestPort,
+            TieBreak::LowestNeighbor,
+            TieBreak::HighestNeighbor,
+            TieBreak::Seeded(3),
+        ] {
+            let r = TableRouting::from_distances(&g, &dm, tie);
+            let lens = all_pairs_route_lengths(&g, &r).unwrap();
+            for u in 0..g.num_nodes() {
+                for v in 0..g.num_nodes() {
+                    if u != v {
+                        assert_eq!(lens[u][v], dm.dist(u, v), "pair ({u},{v}) under {tie:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tables_route_along_shortest_paths_on_random_graph() {
+        let g = generators::random_connected(80, 0.06, 5);
+        let dm = DistanceMatrix::all_pairs(&g);
+        let r = TableRouting::from_distances(&g, &dm, TieBreak::LowestPort);
+        let lens = all_pairs_route_lengths(&g, &r).unwrap();
+        for u in 0..g.num_nodes() {
+            for v in 0..g.num_nodes() {
+                if u != v {
+                    assert_eq!(lens[u][v], dm.dist(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_tie_breaks_may_differ_but_stay_shortest() {
+        let g = generators::cycle(4); // antipodal pairs have two shortest paths
+        let dm = DistanceMatrix::all_pairs(&g);
+        let a = TableRouting::from_distances(&g, &dm, TieBreak::LowestNeighbor);
+        let b = TableRouting::from_distances(&g, &dm, TieBreak::HighestNeighbor);
+        // they must disagree somewhere on the antipodal pair (0,2)
+        assert_ne!(
+            a.next_port(0, 2),
+            b.next_port(0, 2),
+            "tie-break rules should pick different shortest-path ports on C4"
+        );
+    }
+
+    #[test]
+    fn seeded_tiebreak_is_deterministic() {
+        let g = generators::grid(5, 5);
+        let dm = DistanceMatrix::all_pairs(&g);
+        let a = TableRouting::from_distances(&g, &dm, TieBreak::Seeded(11));
+        let b = TableRouting::from_distances(&g, &dm, TieBreak::Seeded(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn next_port_none_on_diagonal() {
+        let g = generators::path(4);
+        let r = TableRouting::shortest_paths(&g, TieBreak::LowestPort);
+        assert_eq!(r.next_port(2, 2), None);
+        assert!(r.next_port(0, 3).is_some());
+    }
+
+    #[test]
+    fn port_map_and_memory_reports() {
+        let g = generators::star(6); // centre 0 with 6 leaves
+        let r = TableRouting::shortest_paths(&g, TieBreak::LowestPort);
+        let centre = r.port_map(&g, 0);
+        assert_eq!(centre.degree, 6);
+        assert_eq!(centre.ports.iter().flatten().count(), 6);
+        let mem = r.memory_raw(&g);
+        // centre: 6 entries * ceil(log2 6)=3 bits = 18; leaves: 6 entries * 0 bits
+        assert_eq!(mem.per_node[0], 18);
+        assert_eq!(mem.local(), 18);
+        assert_eq!(mem.global(), 18);
+        let mem_int = r.memory_interval(&g);
+        assert!(mem_int.local() > 0);
+    }
+
+    #[test]
+    fn from_next_ports_round_trips() {
+        let g = generators::path(3);
+        let r = TableRouting::shortest_paths(&g, TieBreak::LowestPort);
+        let mut next = vec![vec![NO_PORT; 3]; 3];
+        for u in 0..3usize {
+            for v in 0..3usize {
+                if let Some(p) = r.next_port(u, v) {
+                    next[u][v] = p;
+                }
+            }
+        }
+        let r2 = TableRouting::from_next_ports(&g, next, "copy");
+        for u in 0..3usize {
+            for v in 0..3usize {
+                assert_eq!(r.next_port(u, v), r2.next_port(u, v));
+            }
+        }
+        assert_eq!(r2.name(), "copy");
+    }
+
+    #[test]
+    fn set_next_port_changes_route() {
+        // On C4 both directions around the cycle reach the antipode in two
+        // hops; overriding the first port steers the route the other way.
+        let g = generators::cycle(4);
+        let mut r = TableRouting::shortest_paths(&g, TieBreak::LowestNeighbor);
+        let before = route(&g, &r, 0, 2).unwrap();
+        assert_eq!(before.path, vec![0, 1, 2]);
+        let p_back = g.port_to(0, 3).unwrap();
+        r.set_next_port(0, 2, p_back);
+        let after = route(&g, &r, 0, 2).unwrap();
+        assert_eq!(after.path, vec![0, 3, 2]);
+        assert_eq!(after.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_next_ports_rejects_invalid_port() {
+        let g = generators::path(3);
+        let next = vec![vec![7usize; 3]; 3];
+        let _ = TableRouting::from_next_ports(&g, next, "bad");
+    }
+}

@@ -1,0 +1,177 @@
+//! Dimension-order (XY) routing on grids.
+//!
+//! Like e-cube on the hypercube, a mesh router can compute the outgoing port
+//! from its own coordinates and the destination's coordinates, so the local
+//! memory requirement is `O(log n)` bits (its coordinates and the grid
+//! dimensions).  This gives another Table 1-style data point of a graph class
+//! whose local memory requirement is exponentially below the Theorem 1
+//! worst case.
+
+use crate::scheme::{CompactScheme, SchemeInstance};
+use graphkit::{Graph, NodeId};
+use routemodel::coding::bits_for_values;
+use routemodel::{Action, Header, MemoryReport, RoutingFunction};
+
+/// XY dimension-order routing on a `rows × cols` grid whose vertex `(r, c)`
+/// has index `r·cols + c` (the labeling of [`graphkit::generators::grid`]).
+#[derive(Debug, Clone)]
+pub struct DimensionOrderRouting {
+    cols: usize,
+    /// Ports toward (east, west, south, north) neighbours for every vertex,
+    /// resolved once from the graph so the routing function itself is pure
+    /// arithmetic.  Conceptually each router derives these from its
+    /// coordinates; they are not charged as table memory.
+    ports: Vec<[Option<usize>; 4]>,
+    name: String,
+}
+
+const EAST: usize = 0;
+const WEST: usize = 1;
+const SOUTH: usize = 2;
+const NORTH: usize = 3;
+
+impl DimensionOrderRouting {
+    /// Builds XY routing for the given grid graph.
+    pub fn build(g: &Graph, rows: usize, cols: usize) -> Self {
+        assert_eq!(g.num_nodes(), rows * cols, "grid dimensions mismatch");
+        let idx = |r: usize, c: usize| r * cols + c;
+        let mut ports = vec![[None; 4]; g.num_nodes()];
+        for r in 0..rows {
+            for c in 0..cols {
+                let u = idx(r, c);
+                if c + 1 < cols {
+                    ports[u][EAST] = g.port_to(u, idx(r, c + 1));
+                }
+                if c > 0 {
+                    ports[u][WEST] = g.port_to(u, idx(r, c - 1));
+                }
+                if r + 1 < rows {
+                    ports[u][SOUTH] = g.port_to(u, idx(r + 1, c));
+                }
+                if r > 0 {
+                    ports[u][NORTH] = g.port_to(u, idx(r - 1, c));
+                }
+            }
+        }
+        DimensionOrderRouting {
+            cols,
+            ports,
+            name: "dimension-order(XY)".to_string(),
+        }
+    }
+
+    fn coords(&self, v: NodeId) -> (usize, usize) {
+        (v / self.cols, v % self.cols)
+    }
+}
+
+impl RoutingFunction for DimensionOrderRouting {
+    fn init(&self, _source: NodeId, dest: NodeId) -> Header {
+        Header::to_dest(dest)
+    }
+
+    fn port(&self, node: NodeId, header: &Header) -> Action {
+        if node == header.dest {
+            return Action::Deliver;
+        }
+        let (r, c) = self.coords(node);
+        let (dr, dc) = self.coords(header.dest);
+        // correct the column first (X), then the row (Y)
+        let dir = if dc > c {
+            EAST
+        } else if dc < c {
+            WEST
+        } else if dr > r {
+            SOUTH
+        } else {
+            NORTH
+        };
+        match self.ports[node][dir] {
+            Some(p) => Action::Forward(p),
+            None => Action::Deliver, // impossible on well-formed grids
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The dimension-order routing scheme for grids: the caller supplies the grid
+/// dimensions since they are not recoverable from an arbitrary isomorphic
+/// copy cheaply.
+#[derive(Debug, Clone, Copy)]
+pub struct DimensionOrderScheme {
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl DimensionOrderScheme {
+    pub fn new(rows: usize, cols: usize) -> Self {
+        DimensionOrderScheme { rows, cols }
+    }
+}
+
+impl CompactScheme for DimensionOrderScheme {
+    fn name(&self) -> &str {
+        "dimension-order"
+    }
+
+    fn applies_to(&self, g: &Graph) -> bool {
+        g.num_nodes() == self.rows * self.cols
+    }
+
+    fn build(&self, g: &Graph) -> SchemeInstance {
+        assert!(self.applies_to(g), "grid dimensions mismatch");
+        let routing = DimensionOrderRouting::build(g, self.rows, self.cols);
+        // Each router stores its coordinates and the grid dimensions.
+        let bits = 2 * bits_for_values(self.rows as u64) as u64
+            + 2 * bits_for_values(self.cols as u64) as u64;
+        let memory = MemoryReport::from_fn(g.num_nodes(), |_| bits.max(1));
+        SchemeInstance::new(Box::new(routing), memory, Some(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::{generators, DistanceMatrix};
+    use routemodel::{route, stretch_factor};
+
+    #[test]
+    fn xy_routing_is_shortest_path_on_grids() {
+        for (rows, cols) in [(1usize, 8usize), (3, 4), (5, 5), (7, 2)] {
+            let g = generators::grid(rows, cols);
+            let r = DimensionOrderRouting::build(&g, rows, cols);
+            let dm = DistanceMatrix::all_pairs(&g);
+            let rep = stretch_factor(&g, &dm, &r).unwrap();
+            assert!((rep.max_stretch - 1.0).abs() < 1e-12, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn xy_routing_goes_column_first() {
+        let g = generators::grid(3, 4);
+        let r = DimensionOrderRouting::build(&g, 3, 4);
+        // from (0,0)=0 to (2,3)=11: expect 0,1,2,3 then 7, 11
+        let trace = route(&g, &r, 0, 11).unwrap();
+        assert_eq!(trace.path, vec![0, 1, 2, 3, 7, 11]);
+    }
+
+    #[test]
+    fn memory_is_logarithmic_and_positive() {
+        let g = generators::grid(16, 16);
+        let inst = DimensionOrderScheme::new(16, 16).build(&g);
+        assert!(inst.memory.local() <= 4 * 4);
+        assert!(inst.memory.local() >= 1);
+        let tables = crate::table_scheme::TableScheme::default().build(&g);
+        assert!(inst.memory.local() * 10 < tables.memory.local());
+    }
+
+    #[test]
+    fn scheme_rejects_wrong_sizes() {
+        let g = generators::grid(3, 4);
+        assert!(DimensionOrderScheme::new(4, 4).try_build(&g).is_none());
+        assert!(DimensionOrderScheme::new(3, 4).try_build(&g).is_some());
+    }
+}

@@ -1,0 +1,168 @@
+//! Interval routing schemes.
+//!
+//! The *interval routing scheme* (Santoro–Khatib, van Leeuwen–Tan) relabels
+//! the vertices with integers `0..n` and associates with every output arc a
+//! set of destination labels grouped into cyclic intervals; a message for
+//! destination `v` is forwarded through the arc whose interval set contains
+//! the label of `v`.  A scheme using at most `k` intervals per arc is a
+//! `k`-IRS and needs `O(k · d · log n)` bits on a router of degree `d`.
+//!
+//! * [`tree`] — the classical 1-interval scheme on trees (and, via a spanning
+//!   tree, the substrate of the single-tree scheme of
+//!   [`crate::tree_routing`]): exactly one interval per arc, stretch 1 on
+//!   trees.
+//! * [`general`] — the universal shortest-path `k`-IRS: the number of
+//!   intervals per arc is measured (it may be large — the scheme is universal
+//!   but not compact on every graph, which is exactly the phenomenon the
+//!   paper's lower bounds formalize).
+
+pub mod general;
+pub mod tree;
+
+use graphkit::NodeId;
+
+/// A cyclic interval of vertex labels `[lo, hi]` (inclusive, modulo `n`).
+///
+/// When `lo <= hi` it denotes `{lo, lo+1, …, hi}`; when `lo > hi` it wraps
+/// around: `{lo, …, n−1, 0, …, hi}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CyclicInterval {
+    pub lo: NodeId,
+    pub hi: NodeId,
+}
+
+impl CyclicInterval {
+    /// Whether `x` belongs to the interval in the cyclic order of `0..n`.
+    pub fn contains(&self, x: NodeId) -> bool {
+        if self.lo <= self.hi {
+            self.lo <= x && x <= self.hi
+        } else {
+            x >= self.lo || x <= self.hi
+        }
+    }
+
+    /// Number of labels covered, given the size `n` of the label space.
+    pub fn len(&self, n: usize) -> usize {
+        if self.lo <= self.hi {
+            self.hi - self.lo + 1
+        } else {
+            (n - self.lo) + self.hi + 1
+        }
+    }
+
+    /// An interval is never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Groups a sorted set of labels into maximal cyclic intervals over `0..n`.
+///
+/// The greedy grouping is optimal: the number of maximal cyclic runs is the
+/// minimum number of cyclic intervals covering the set exactly.
+pub fn group_into_cyclic_intervals(labels: &[NodeId], n: usize) -> Vec<CyclicInterval> {
+    assert!(labels.windows(2).all(|w| w[0] < w[1]), "labels must be sorted and distinct");
+    assert!(labels.iter().all(|&x| x < n));
+    if labels.is_empty() {
+        return Vec::new();
+    }
+    if labels.len() == n {
+        return vec![CyclicInterval { lo: 0, hi: n - 1 }];
+    }
+    // Linear runs first.
+    let mut runs: Vec<(NodeId, NodeId)> = Vec::new();
+    for &x in labels {
+        match runs.last_mut() {
+            Some((_, hi)) if *hi + 1 == x => *hi = x,
+            _ => runs.push((x, x)),
+        }
+    }
+    // Merge the wrap-around: if the first run starts at 0 and the last ends at
+    // n-1 they form a single cyclic interval.
+    if runs.len() >= 2 {
+        let first = runs[0];
+        let last = *runs.last().unwrap();
+        if first.0 == 0 && last.1 == n - 1 {
+            runs[0] = (last.0, first.1);
+            runs.pop();
+        }
+    }
+    runs.into_iter()
+        .map(|(lo, hi)| CyclicInterval { lo, hi })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_linear_and_wrapping() {
+        let i = CyclicInterval { lo: 2, hi: 5 };
+        assert!(i.contains(2) && i.contains(4) && i.contains(5));
+        assert!(!i.contains(1) && !i.contains(6));
+        let w = CyclicInterval { lo: 7, hi: 1 };
+        assert!(w.contains(7) && w.contains(9) && w.contains(0) && w.contains(1));
+        assert!(!w.contains(3));
+    }
+
+    #[test]
+    fn interval_lengths() {
+        assert_eq!(CyclicInterval { lo: 2, hi: 5 }.len(10), 4);
+        assert_eq!(CyclicInterval { lo: 8, hi: 1 }.len(10), 4);
+        assert_eq!(CyclicInterval { lo: 0, hi: 9 }.len(10), 10);
+        assert_eq!(CyclicInterval { lo: 3, hi: 3 }.len(10), 1);
+    }
+
+    #[test]
+    fn grouping_simple_runs() {
+        let iv = group_into_cyclic_intervals(&[1, 2, 3, 7, 8], 10);
+        assert_eq!(iv.len(), 2);
+        assert_eq!(iv[0], CyclicInterval { lo: 1, hi: 3 });
+        assert_eq!(iv[1], CyclicInterval { lo: 7, hi: 8 });
+    }
+
+    #[test]
+    fn grouping_merges_wrap_around() {
+        let iv = group_into_cyclic_intervals(&[0, 1, 8, 9], 10);
+        assert_eq!(iv.len(), 1);
+        assert_eq!(iv[0], CyclicInterval { lo: 8, hi: 1 });
+        assert!(iv[0].contains(9) && iv[0].contains(0));
+        assert!(!iv[0].contains(5));
+    }
+
+    #[test]
+    fn grouping_full_and_empty_sets() {
+        assert!(group_into_cyclic_intervals(&[], 5).is_empty());
+        let all: Vec<usize> = (0..5).collect();
+        let iv = group_into_cyclic_intervals(&all, 5);
+        assert_eq!(iv.len(), 1);
+        assert_eq!(iv[0].len(5), 5);
+    }
+
+    #[test]
+    fn grouping_singletons() {
+        let iv = group_into_cyclic_intervals(&[0, 2, 4, 6], 8);
+        assert_eq!(iv.len(), 4);
+        for i in &iv {
+            assert_eq!(i.len(8), 1);
+        }
+    }
+
+    #[test]
+    fn grouped_intervals_cover_exactly_the_input() {
+        let labels = [0usize, 1, 4, 5, 6, 11];
+        let n = 12;
+        let iv = group_into_cyclic_intervals(&labels, n);
+        for x in 0..n {
+            let covered = iv.iter().any(|i| i.contains(x));
+            assert_eq!(covered, labels.contains(&x), "label {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn grouping_rejects_unsorted_input() {
+        let _ = group_into_cyclic_intervals(&[3, 1], 5);
+    }
+}

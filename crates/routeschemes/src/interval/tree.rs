@@ -1,0 +1,271 @@
+//! The classical 1-interval routing scheme on trees.
+//!
+//! Vertices are relabeled by a DFS preorder of the tree; the subtree rooted at
+//! `v` then occupies the contiguous label range `[label(v), label(v) + |T_v| − 1]`.
+//! At a router, each child arc is annotated with its subtree's interval and
+//! every other label is sent to the parent — one interval per arc, hence
+//! `O(d log n)` bits on a router of degree `d`, with stretch 1 on the tree.
+//! This is the Table 1 entry for acyclic graphs.
+
+use crate::scheme::{CompactScheme, SchemeInstance};
+use graphkit::{Graph, NodeId, Port};
+use routemodel::coding::bits_for_values;
+use routemodel::{Action, Header, MemoryReport, RoutingFunction};
+
+/// The 1-interval routing function on a tree (or on a spanning tree of a
+/// general graph, in which case routes follow tree paths).
+#[derive(Debug, Clone)]
+pub struct TreeIntervalRouting {
+    /// DFS preorder label of every vertex.
+    label: Vec<usize>,
+    /// `children[u]` = `(port, interval_lo, interval_hi)` for every tree child.
+    children: Vec<Vec<(Port, usize, usize)>>,
+    /// Port of `u` leading to its tree parent (`None` at the root).
+    parent_port: Vec<Option<Port>>,
+    root: NodeId,
+    name: String,
+}
+
+impl TreeIntervalRouting {
+    /// Builds the scheme over the tree edges of `g` reachable from `root`,
+    /// following a DFS.  `g` itself need not be a tree: non-tree edges are
+    /// simply never used (see [`crate::tree_routing`]).
+    pub fn build(g: &Graph, root: NodeId) -> Self {
+        let n = g.num_nodes();
+        assert!(root < n);
+        let mut label = vec![usize::MAX; n];
+        let mut subtree = vec![0usize; n];
+        let mut parent = vec![None; n];
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        // Iterative DFS assigning preorder labels over a spanning tree.
+        let mut next_label = 0usize;
+        let mut stack = vec![root];
+        let mut visited = vec![false; n];
+        visited[root] = true;
+        while let Some(u) = stack.pop() {
+            label[u] = next_label;
+            next_label += 1;
+            order.push(u);
+            // push neighbours in reverse port order so that low ports are
+            // explored first (deterministic labeling)
+            for p in (0..g.degree(u)).rev() {
+                let v = g.port_target(u, p);
+                if !visited[v] {
+                    visited[v] = true;
+                    parent[v] = Some(u);
+                    stack.push(v);
+                }
+            }
+        }
+        assert!(
+            order.len() == n,
+            "graph must be connected to build a tree interval scheme"
+        );
+        // subtree sizes by processing vertices in reverse preorder
+        for &u in order.iter().rev() {
+            subtree[u] += 1;
+            if let Some(p) = parent[u] {
+                subtree[p] += subtree[u];
+            }
+        }
+        let mut children = vec![Vec::new(); n];
+        let mut parent_port = vec![None; n];
+        for &u in &order {
+            if let Some(p) = parent[u] {
+                parent_port[u] = g.port_to(u, p);
+                let port_at_parent = g.port_to(p, u).expect("tree edge must exist");
+                children[p].push((port_at_parent, label[u], label[u] + subtree[u] - 1));
+            }
+        }
+        TreeIntervalRouting {
+            label,
+            children,
+            parent_port,
+            root,
+            name: "tree-interval-routing".to_string(),
+        }
+    }
+
+    /// The DFS label of a vertex.
+    pub fn label_of(&self, v: NodeId) -> usize {
+        self.label[v]
+    }
+
+    /// The root used by the construction.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of intervals stored at `u` (one per child arc).
+    pub fn intervals_at(&self, u: NodeId) -> usize {
+        self.children[u].len()
+    }
+
+    /// Memory report: every router stores its own label, one interval
+    /// (two labels) per child arc and the parent port.
+    pub fn memory(&self, g: &Graph) -> MemoryReport {
+        let n = g.num_nodes();
+        let label_bits = bits_for_values(n as u64) as u64;
+        MemoryReport::from_fn(n, |u| {
+            let port_bits = bits_for_values(g.degree(u) as u64) as u64;
+            let child_bits = self.children[u].len() as u64 * (2 * label_bits + port_bits);
+            let parent_bits = if self.parent_port[u].is_some() {
+                port_bits
+            } else {
+                0
+            };
+            label_bits + child_bits + parent_bits
+        })
+    }
+}
+
+impl RoutingFunction for TreeIntervalRouting {
+    fn init(&self, _source: NodeId, dest: NodeId) -> Header {
+        // The header carries the destination's DFS label; vertex labels are
+        // part of the scheme, exactly as in interval routing.
+        Header::with_data(dest, vec![self.label[dest] as u64])
+    }
+
+    fn port(&self, node: NodeId, header: &Header) -> Action {
+        if node == header.dest {
+            return Action::Deliver;
+        }
+        let target = header.data[0] as usize;
+        for &(port, lo, hi) in &self.children[node] {
+            if lo <= target && target <= hi {
+                return Action::Forward(port);
+            }
+        }
+        match self.parent_port[node] {
+            Some(p) => Action::Forward(p),
+            // The root with no matching child: the destination does not exist
+            // in the tree; deliver (flagged as WrongDelivery by the simulator).
+            None => Action::Deliver,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The 1-interval routing *scheme* for trees: applies to trees only (use
+/// [`crate::tree_routing::SpanningTreeScheme`] on general graphs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeIntervalScheme;
+
+impl CompactScheme for TreeIntervalScheme {
+    fn name(&self) -> &str {
+        "tree-1-interval-routing"
+    }
+
+    fn applies_to(&self, g: &Graph) -> bool {
+        graphkit::properties::is_tree(g)
+    }
+
+    fn build(&self, g: &Graph) -> SchemeInstance {
+        assert!(
+            self.applies_to(g),
+            "TreeIntervalScheme only applies to trees"
+        );
+        let routing = TreeIntervalRouting::build(g, 0);
+        let memory = routing.memory(g);
+        SchemeInstance::new(Box::new(routing), memory, Some(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::{generators, DistanceMatrix};
+    use routemodel::{route, stretch_factor};
+
+    #[test]
+    fn labels_are_a_permutation() {
+        let g = generators::balanced_tree(2, 4);
+        let r = TreeIntervalRouting::build(&g, 0);
+        let mut labels: Vec<usize> = (0..g.num_nodes()).map(|v| r.label_of(v)).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, (0..g.num_nodes()).collect::<Vec<_>>());
+        assert_eq!(r.label_of(r.root()), 0);
+    }
+
+    #[test]
+    fn routes_are_shortest_on_trees() {
+        for g in [
+            generators::balanced_tree(3, 3),
+            generators::random_tree(80, 11),
+            generators::caterpillar(10, 3),
+            generators::spider(5, 6),
+            generators::path(40),
+        ] {
+            let r = TreeIntervalRouting::build(&g, 0);
+            let dm = DistanceMatrix::all_pairs(&g);
+            let rep = stretch_factor(&g, &dm, &r).unwrap();
+            assert!(
+                (rep.max_stretch - 1.0).abs() < 1e-12,
+                "tree routing must be shortest-path"
+            );
+        }
+    }
+
+    #[test]
+    fn each_arc_carries_at_most_one_interval() {
+        let g = generators::random_tree(60, 3);
+        let r = TreeIntervalRouting::build(&g, 0);
+        for u in 0..g.num_nodes() {
+            // #children intervals + (parent arc has no explicit interval)
+            assert!(r.intervals_at(u) <= g.degree(u));
+        }
+    }
+
+    #[test]
+    fn memory_is_o_of_degree_log_n() {
+        let g = generators::star(63); // centre of degree 63, n = 64
+        let scheme = TreeIntervalScheme;
+        let inst = scheme.build(&g);
+        let n = g.num_nodes() as u64;
+        let log_n = 64 - (n - 1).leading_zeros() as u64;
+        // centre: 63 child intervals * (2*6 + 6) bits + own label
+        assert_eq!(inst.memory.per_node[0], log_n + 63 * (2 * log_n + 6));
+        // a leaf stores only its label and the parent port (degree 1 -> 0 bits)
+        assert_eq!(inst.memory.per_node[1], log_n);
+        // On bounded-degree trees the interval scheme crushes raw tables:
+        // O(log n) per router versus Θ(n) on the path.
+        let p = generators::path(64);
+        let tree_inst = TreeIntervalScheme.build(&p);
+        let table_inst = crate::table_scheme::TableScheme::default().build(&p);
+        assert!(tree_inst.memory.local() * 3 < table_inst.memory.local());
+    }
+
+    #[test]
+    fn scheme_rejects_non_trees() {
+        let scheme = TreeIntervalScheme;
+        assert!(!scheme.applies_to(&generators::cycle(5)));
+        assert!(scheme.try_build(&generators::cycle(5)).is_none());
+        assert!(scheme.try_build(&generators::random_tree(20, 1)).is_some());
+    }
+
+    #[test]
+    fn routing_on_spanning_tree_of_general_graph_stays_in_tree() {
+        let g = generators::petersen();
+        let r = TreeIntervalRouting::build(&g, 0);
+        // All routes must terminate correctly even though g has non-tree edges.
+        for s in 0..g.num_nodes() {
+            for t in 0..g.num_nodes() {
+                let trace = route(&g, &r, s, t).unwrap();
+                assert_eq!(*trace.path.last().unwrap(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn path_tree_interval_routing_goes_straight() {
+        let g = generators::path(10);
+        let r = TreeIntervalRouting::build(&g, 0);
+        let trace = route(&g, &r, 2, 9).unwrap();
+        assert_eq!(trace.len(), 7);
+        let trace = route(&g, &r, 9, 0).unwrap();
+        assert_eq!(trace.len(), 9);
+    }
+}

@@ -1,0 +1,324 @@
+//! Landmark (cluster) routing: trading stretch for memory.
+//!
+//! Table 1 of the paper shows that once the stretch factor is allowed to grow
+//! beyond 2, the local memory requirement can drop well below `n` bits
+//! (`Õ(√(s) n^(1+1/…)})`-style bounds from Awerbuch–Peleg and Peleg–Upfal).
+//! This module implements a concrete universal scheme in that regime — a
+//! landmark/cluster scheme in the spirit of those hierarchical schemes (and of
+//! Thorup–Zwick stretch-3 routing) — so the reproduction can *measure* the
+//! memory/stretch trade-off rather than only quote it:
+//!
+//! * a set `L` of `⌈√n⌉` landmarks is sampled;
+//! * every vertex `v` has a *home landmark* `ℓ(v)` (a nearest landmark) and
+//!   the enhanced address `(v, ℓ(v))` — addresses of `O(log n)` bits, carried
+//!   in headers, which the model does not charge to router memory;
+//! * every router `w` stores a port towards every landmark, plus a direct
+//!   next-hop for every vertex of its *cluster*
+//!   `S(w) = { v : d(w, v) ≤ d(v, L) }` (expected size `O(√n)` under random
+//!   landmarks);
+//! * a message for `v` is forwarded directly while the current router has `v`
+//!   in its cluster, and towards `ℓ(v)` otherwise.  Once it reaches a router
+//!   whose cluster contains `v` — at latest `ℓ(v)` itself — every subsequent
+//!   router is strictly closer to `v`, hence also has `v` in its cluster.
+//!
+//! The resulting stretch is `< 3` and the measured per-router memory on
+//! random graphs is `Õ(√n)`, reproducing the "large stretch ⇒ strong
+//! compression" row of Table 1.
+
+use crate::scheme::{CompactScheme, SchemeInstance};
+use graphkit::{DistanceMatrix, Graph, NodeId, Port, Xoshiro256};
+use routemodel::coding::bits_for_values;
+use routemodel::{Action, Header, MemoryReport, RoutingFunction};
+use std::collections::HashMap;
+
+/// The landmark routing function produced by [`LandmarkScheme`].
+#[derive(Debug, Clone)]
+pub struct LandmarkRouting {
+    /// The sampled landmark set.
+    landmarks: Vec<NodeId>,
+    /// Home landmark of every vertex.
+    home: Vec<NodeId>,
+    /// `toward_landmark[w]`: for every landmark index, the port of `w` on a
+    /// shortest path to that landmark (`usize::MAX` when `w` is the landmark).
+    toward_landmark: Vec<Vec<Port>>,
+    /// Landmark id → landmark index.
+    landmark_index: HashMap<NodeId, usize>,
+    /// `direct[w]`: next-hop port for every vertex in the cluster `S(w)`.
+    direct: Vec<HashMap<NodeId, Port>>,
+    name: String,
+}
+
+impl LandmarkRouting {
+    /// Builds the scheme with `⌈√n⌉` landmarks sampled with the given seed.
+    pub fn build(g: &Graph, seed: u64) -> Self {
+        let n = g.num_nodes();
+        assert!(n >= 1);
+        let dm = DistanceMatrix::all_pairs(g);
+        assert!(dm.is_connected(), "landmark routing requires a connected graph");
+        let k = (n as f64).sqrt().ceil() as usize;
+        let mut rng = Xoshiro256::new(seed);
+        let mut landmarks = rng.sample_indices(n, k.min(n));
+        landmarks.sort_unstable();
+        let landmark_index: HashMap<NodeId, usize> = landmarks
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, i))
+            .collect();
+
+        // Home landmark and distance to the landmark set.
+        let mut home = vec![0usize; n];
+        let mut dist_to_set = vec![u32::MAX; n];
+        for v in 0..n {
+            for &l in &landmarks {
+                let d = dm.dist(v, l);
+                if d < dist_to_set[v] {
+                    dist_to_set[v] = d;
+                    home[v] = l;
+                }
+            }
+        }
+
+        // Port towards every landmark (first shortest-path port).
+        let first_port_towards = |w: NodeId, target: NodeId| -> Port {
+            let dwt = dm.dist(w, target);
+            g.neighbors(w)
+                .iter()
+                .enumerate()
+                .find(|(_, &x)| dm.dist(x, target) + 1 == dwt)
+                .map(|(p, _)| p)
+                .expect("connected graph: some neighbour is closer to the target")
+        };
+        let mut toward_landmark = vec![Vec::new(); n];
+        for w in 0..n {
+            toward_landmark[w] = landmarks
+                .iter()
+                .map(|&l| {
+                    if l == w {
+                        usize::MAX
+                    } else {
+                        first_port_towards(w, l)
+                    }
+                })
+                .collect();
+        }
+
+        // Clusters: S(w) = { v != w : d(w, v) <= d(v, L) }.
+        let mut direct = vec![HashMap::new(); n];
+        for w in 0..n {
+            for v in 0..n {
+                if v != w && dm.dist(w, v) <= dist_to_set[v] {
+                    direct[w].insert(v, first_port_towards(w, v));
+                }
+            }
+        }
+
+        LandmarkRouting {
+            landmarks,
+            home,
+            toward_landmark,
+            landmark_index,
+            direct,
+            name: "landmark-routing".to_string(),
+        }
+    }
+
+    /// The landmark set used by the scheme.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// The home landmark of a vertex (part of its enhanced address).
+    pub fn home_of(&self, v: NodeId) -> NodeId {
+        self.home[v]
+    }
+
+    /// Size of the cluster stored at `w`.
+    pub fn cluster_size(&self, w: NodeId) -> usize {
+        self.direct[w].len()
+    }
+
+    /// Average cluster size over all routers.
+    pub fn average_cluster_size(&self) -> f64 {
+        let total: usize = self.direct.iter().map(HashMap::len).sum();
+        total as f64 / self.direct.len().max(1) as f64
+    }
+
+    /// Memory report: landmark table + cluster table + own address.
+    pub fn memory(&self, g: &Graph) -> MemoryReport {
+        let n = g.num_nodes();
+        let label_bits = bits_for_values(n as u64) as u64;
+        MemoryReport::from_fn(n, |w| {
+            let port_bits = bits_for_values(g.degree(w) as u64) as u64;
+            let landmark_entries = self.landmarks.len() as u64 * (label_bits + port_bits);
+            let cluster_entries = self.direct[w].len() as u64 * (label_bits + port_bits);
+            label_bits + landmark_entries + cluster_entries
+        })
+    }
+}
+
+impl RoutingFunction for LandmarkRouting {
+    fn init(&self, _source: NodeId, dest: NodeId) -> Header {
+        // Enhanced address of the destination: (dest, home landmark).
+        Header::with_data(dest, vec![self.home[dest] as u64])
+    }
+
+    fn port(&self, node: NodeId, header: &Header) -> Action {
+        let dest = header.dest;
+        if node == dest {
+            return Action::Deliver;
+        }
+        if let Some(&p) = self.direct[node].get(&dest) {
+            return Action::Forward(p);
+        }
+        let home = header.data[0] as usize;
+        let idx = self.landmark_index[&home];
+        let p = self.toward_landmark[node][idx];
+        debug_assert_ne!(p, usize::MAX, "home landmark always has dest in its cluster");
+        Action::Forward(p)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The landmark routing scheme (universal, stretch `< 3`).
+#[derive(Debug, Clone, Copy)]
+pub struct LandmarkScheme {
+    pub seed: u64,
+}
+
+impl Default for LandmarkScheme {
+    fn default() -> Self {
+        LandmarkScheme { seed: 0xC0FFEE }
+    }
+}
+
+impl LandmarkScheme {
+    pub fn new(seed: u64) -> Self {
+        LandmarkScheme { seed }
+    }
+}
+
+impl CompactScheme for LandmarkScheme {
+    fn name(&self) -> &str {
+        "landmark-routing"
+    }
+
+    fn applies_to(&self, g: &Graph) -> bool {
+        graphkit::traversal::is_connected(g) && g.num_nodes() >= 1
+    }
+
+    fn build(&self, g: &Graph) -> SchemeInstance {
+        let routing = LandmarkRouting::build(g, self.seed);
+        let memory = routing.memory(g);
+        SchemeInstance::new(Box::new(routing), memory, Some(3.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::generators;
+    use routemodel::{route, stretch_factor, verify_stretch};
+
+    #[test]
+    fn landmark_routing_delivers_everywhere() {
+        for g in [
+            generators::random_connected(70, 0.06, 3),
+            generators::cycle(30),
+            generators::grid(6, 7),
+            generators::petersen(),
+        ] {
+            let r = LandmarkRouting::build(&g, 17);
+            for s in 0..g.num_nodes() {
+                for t in 0..g.num_nodes() {
+                    let trace = route(&g, &r, s, t).unwrap();
+                    assert_eq!(*trace.path.last().unwrap(), t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stretch_is_below_three() {
+        for (g, seed) in [
+            (generators::random_connected(80, 0.05, 5), 1u64),
+            (generators::grid(8, 8), 2),
+            (generators::hypercube(6), 3),
+            (generators::random_tree(60, 8), 4),
+        ] {
+            let dm = DistanceMatrix::all_pairs(&g);
+            let r = LandmarkRouting::build(&g, seed);
+            let rep = stretch_factor(&g, &dm, &r).unwrap();
+            assert!(
+                rep.max_stretch < 3.0 + 1e-9,
+                "stretch {} exceeds the guarantee",
+                rep.max_stretch
+            );
+            assert!(verify_stretch(&g, &dm, &r, 3.0).is_ok());
+        }
+    }
+
+    #[test]
+    fn landmarks_have_their_whole_home_set_in_cluster() {
+        let g = generators::random_connected(60, 0.08, 9);
+        let r = LandmarkRouting::build(&g, 33);
+        for v in 0..g.num_nodes() {
+            let home = r.home_of(v);
+            if v != home {
+                assert!(
+                    r.direct[home].contains_key(&v),
+                    "home landmark {home} must know a direct route to {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_grows_sublinearly_on_random_graphs() {
+        // Compare the landmark scheme against full tables at two sizes: the
+        // ratio (tables / landmark) must grow with n, showing the sub-linear
+        // per-router memory of the landmark scheme.
+        let small = generators::random_connected(64, 0.15, 1);
+        let large = generators::random_connected(256, 0.05, 1);
+        let ratio = |g: &Graph| {
+            let lm = LandmarkScheme::default().build(g);
+            let tables = crate::table_scheme::TableScheme::default().build(g);
+            tables.memory.average() / lm.memory.average()
+        };
+        let r_small = ratio(&small);
+        let r_large = ratio(&large);
+        assert!(
+            r_large > r_small,
+            "landmark advantage must grow with n (small {r_small:.2}, large {r_large:.2})"
+        );
+    }
+
+    #[test]
+    fn cluster_sizes_are_reported() {
+        let g = generators::random_connected(100, 0.07, 21);
+        let r = LandmarkRouting::build(&g, 5);
+        let avg = r.average_cluster_size();
+        assert!(avg > 0.0);
+        let max = (0..g.num_nodes()).map(|w| r.cluster_size(w)).max().unwrap();
+        assert!(max >= avg as usize);
+        assert_eq!(r.landmarks().len(), 10);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = generators::path(1);
+        let r = LandmarkRouting::build(&g, 3);
+        let trace = route(&g, &r, 0, 0).unwrap();
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn scheme_trait_plumbs_through() {
+        let g = generators::grid(5, 5);
+        let inst = LandmarkScheme::new(9).build(&g);
+        assert_eq!(inst.guaranteed_stretch, Some(3.0));
+        assert!(inst.memory.local() > 0);
+    }
+}

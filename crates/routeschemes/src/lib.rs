@@ -1,0 +1,42 @@
+//! # routeschemes
+//!
+//! Universal and specialized compact routing schemes — the *upper bound* side
+//! of Fraigniaud & Gavoille's Table 1.
+//!
+//! A **routing scheme** is a function that returns a routing function for
+//! *any* network (universal) or for every network of some class (partial).
+//! This crate implements, with explicit memory accounting:
+//!
+//! | module | scheme | class | stretch | local memory |
+//! |---|---|---|---|---|
+//! | [`table_scheme`] | full routing tables | universal | 1 | `O(n log n)` |
+//! | [`interval::tree`] | 1-interval routing | trees | 1 | `O(d log n)` |
+//! | [`interval::general`] | k-interval routing | universal | 1 | `O(k·d log n)` |
+//! | [`hypercube`] | e-cube (dimension order) | hypercubes | 1 | `O(log n)` |
+//! | [`grid`] | dimension-order | grids | 1 | `O(log n)` |
+//! | [`complete`] | modular labeling vs adversarial labeling | complete graphs | 1 | `O(log n)` vs `Θ(n log n)` |
+//! | [`landmark`] | landmark/cluster routing | universal | `< 3` | `Õ(√n)` (expected) |
+//! | [`tree_routing`] | single spanning tree | universal | unbounded (≤ 2·depth) | `O(d log n)` |
+//!
+//! Every scheme implements the [`CompactScheme`] trait so the experiment
+//! harness (`analysis` crate) can sweep schemes × graph families × sizes and
+//! regenerate the shape of Table 1.
+
+pub mod complete;
+pub mod grid;
+pub mod hypercube;
+pub mod interval;
+pub mod landmark;
+pub mod scheme;
+pub mod table_scheme;
+pub mod tree_routing;
+
+pub use complete::{AdversarialCompleteScheme, ModularCompleteScheme};
+pub use grid::DimensionOrderScheme;
+pub use hypercube::EcubeScheme;
+pub use interval::general::KIntervalScheme;
+pub use interval::tree::TreeIntervalScheme;
+pub use landmark::LandmarkScheme;
+pub use scheme::{CompactScheme, SchemeInstance};
+pub use table_scheme::TableScheme;
+pub use tree_routing::SpanningTreeScheme;

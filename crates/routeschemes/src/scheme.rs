@@ -1,0 +1,130 @@
+//! The [`CompactScheme`] trait: a routing scheme in the paper's sense.
+
+use graphkit::Graph;
+use routemodel::{MemoryReport, RoutingFunction};
+
+/// The result of instantiating a scheme on one graph: a routing function plus
+/// the memory report of the encoding the scheme commits to.
+pub struct SchemeInstance {
+    /// The routing function `R` produced by the scheme for this graph.
+    pub routing: Box<dyn RoutingFunction + Send + Sync>,
+    /// Bits stored by each router under the scheme's own encoding.
+    pub memory: MemoryReport,
+    /// The stretch bound guaranteed by the scheme's analysis (`None` when the
+    /// scheme gives no uniform guarantee, e.g. single-spanning-tree routing).
+    pub guaranteed_stretch: Option<f64>,
+}
+
+impl SchemeInstance {
+    /// Convenience constructor.
+    pub fn new(
+        routing: Box<dyn RoutingFunction + Send + Sync>,
+        memory: MemoryReport,
+        guaranteed_stretch: Option<f64>,
+    ) -> Self {
+        SchemeInstance {
+            routing,
+            memory,
+            guaranteed_stretch,
+        }
+    }
+}
+
+impl std::fmt::Debug for SchemeInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchemeInstance")
+            .field("routing", &self.routing.name())
+            .field("local_bits", &self.memory.local())
+            .field("global_bits", &self.memory.global())
+            .field("guaranteed_stretch", &self.guaranteed_stretch)
+            .finish()
+    }
+}
+
+/// A routing scheme: a recipe that, given a network, produces a routing
+/// function together with the memory its implementation requires on every
+/// router.
+///
+/// Universal schemes accept every connected graph; partial schemes (e-cube,
+/// dimension-order, the modular complete-graph scheme) panic or return an
+/// error through [`CompactScheme::try_build`] when handed a graph outside
+/// their class.
+pub trait CompactScheme {
+    /// Human-readable scheme name (used in reports and benchmarks).
+    fn name(&self) -> &str;
+
+    /// Instantiates the scheme on `g`.
+    ///
+    /// Panics if `g` is outside the scheme's class; use
+    /// [`CompactScheme::try_build`] to probe.
+    fn build(&self, g: &Graph) -> SchemeInstance;
+
+    /// Whether the scheme applies to `g` (universal schemes return `true` for
+    /// every connected graph).
+    fn applies_to(&self, _g: &Graph) -> bool {
+        true
+    }
+
+    /// Fallible instantiation: `None` when the scheme does not apply.
+    fn try_build(&self, g: &Graph) -> Option<SchemeInstance> {
+        if self.applies_to(g) {
+            Some(self.build(g))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::generators;
+    use routemodel::{Header, MemoryReport};
+
+    struct TrivialScheme;
+    struct TrivialRouting;
+
+    impl RoutingFunction for TrivialRouting {
+        fn init(&self, _s: usize, d: usize) -> Header {
+            Header::to_dest(d)
+        }
+        fn port(&self, _n: usize, _h: &Header) -> routemodel::Action {
+            routemodel::Action::Deliver
+        }
+        fn name(&self) -> &str {
+            "trivial"
+        }
+    }
+
+    impl CompactScheme for TrivialScheme {
+        fn name(&self) -> &str {
+            "trivial-scheme"
+        }
+        fn build(&self, g: &Graph) -> SchemeInstance {
+            SchemeInstance::new(
+                Box::new(TrivialRouting),
+                MemoryReport::from_fn(g.num_nodes(), |_| 1),
+                None,
+            )
+        }
+        fn applies_to(&self, g: &Graph) -> bool {
+            g.num_nodes() == 1
+        }
+    }
+
+    #[test]
+    fn try_build_respects_applies_to() {
+        let s = TrivialScheme;
+        assert!(s.try_build(&generators::path(1)).is_some());
+        assert!(s.try_build(&generators::path(5)).is_none());
+    }
+
+    #[test]
+    fn debug_format_mentions_name_and_bits() {
+        let s = TrivialScheme;
+        let inst = s.build(&generators::path(1));
+        let dbg = format!("{inst:?}");
+        assert!(dbg.contains("trivial"));
+        assert!(dbg.contains("local_bits"));
+    }
+}

@@ -1,0 +1,68 @@
+//! The two extremes of Table 1 on one graph: e-cube routing on the hypercube
+//! needs `O(log n)` bits per router, while an adversarially port-labeled
+//! complete graph forces `Θ(n log n)` bits — and the Theorem 1 family shows
+//! the latter behaviour is unavoidable for *every* universal scheme of
+//! stretch `< 2`.
+//!
+//! Run with `cargo run --release --example hypercube_vs_table [k]`.
+
+use routemodel::labeling::{adversarial_port_labeling, modular_complete_labeling};
+use routeschemes::complete::adversarial_lower_bound_bits;
+use universal_routing::prelude::*;
+
+fn main() {
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    let n = 1usize << k;
+
+    println!("== Hypercube H_{k} ({n} vertices) ==");
+    let h = generators::hypercube(k);
+    let ecube = EcubeScheme.build(&h);
+    let tables_h = TableScheme::default().build(&h);
+    let dm_h = DistanceMatrix::all_pairs(&h);
+    let s = stretch_factor(&h, &dm_h, ecube.routing.as_ref()).unwrap();
+    println!(
+        "e-cube        : {:>8} bits/router, stretch {:.2}",
+        ecube.memory.local(),
+        s.max_stretch
+    );
+    println!(
+        "routing tables: {:>8} bits/router, stretch 1.00",
+        tables_h.memory.local()
+    );
+    println!(
+        "compression factor of e-cube over tables: {:.0}x\n",
+        tables_h.memory.local() as f64 / ecube.memory.local() as f64
+    );
+
+    println!("== Complete graph K_{n} ==");
+    let good = modular_complete_labeling(n);
+    let modular = routeschemes::ModularCompleteScheme.build(&good);
+    println!(
+        "modular port labeling     : {:>8} bits/router (closed-form routing)",
+        modular.memory.local()
+    );
+    let bad = adversarial_port_labeling(&generators::complete(n), 99);
+    let adv = routeschemes::AdversarialCompleteScheme.build(&bad);
+    println!(
+        "adversarial port labeling : {:>8} bits/router (full table)",
+        adv.memory.local()
+    );
+    println!(
+        "information-theoretic floor for the worst labeling: log2((n-1)!) = {:.0} bits\n",
+        adversarial_lower_bound_bits(n)
+    );
+
+    println!("== Theorem 1 worst case at the same order ==");
+    let rep = constraints::theorem1::lower_bound(n.max(64), 0.5);
+    println!(
+        "for stretch < 2, at least {} routers of some {}-vertex network need {:.0} bits each \
+         (routing tables: {} bits)",
+        rep.guaranteed_high_memory_routers,
+        rep.params.n,
+        rep.per_router_lower_bits,
+        rep.table_upper_bits_per_router
+    );
+}

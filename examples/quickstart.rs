@@ -1,0 +1,62 @@
+//! Quickstart: build a network, route on it, measure stretch and memory.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use universal_routing::prelude::*;
+
+fn main() {
+    // 1. A network: the Petersen graph (10 vertices, 3-regular, diameter 2).
+    let g = generators::petersen();
+    println!(
+        "Petersen graph: {} vertices, {} edges, max degree {}",
+        g.num_nodes(),
+        g.num_edges(),
+        g.max_degree()
+    );
+
+    // 2. A universal routing scheme: full shortest-path routing tables.
+    let scheme = TableScheme::default();
+    let instance = scheme.build(&g);
+    println!(
+        "routing tables: MEM_local = {} bits, MEM_global = {} bits",
+        instance.memory.local(),
+        instance.memory.global()
+    );
+
+    // 3. Route a message and inspect the path it takes.
+    let trace = route(&g, instance.routing.as_ref(), 0, 7).expect("routable");
+    println!("route 0 -> 7: {:?} ({} hops)", trace.path, trace.len());
+
+    // 4. The stretch factor compares every route against the distance.
+    let dm = DistanceMatrix::all_pairs(&g);
+    let stretch = stretch_factor(&g, &dm, instance.routing.as_ref()).expect("no routing errors");
+    println!(
+        "stretch factor: {:.2} (worst pair {:?}), average {:.3}",
+        stretch.max_stretch, stretch.max_pair, stretch.avg_stretch
+    );
+
+    // 5. Contrast with a compact scheme: landmark routing trades stretch < 3
+    //    for much smaller tables on large networks.
+    let big = generators::random_connected(400, 0.02, 7);
+    let tables = TableScheme::default().build(&big);
+    let landmark = LandmarkScheme::default().build(&big);
+    let dm_big = DistanceMatrix::all_pairs(&big);
+    let s_tables = stretch_factor(&big, &dm_big, tables.routing.as_ref()).unwrap();
+    let s_landmark = stretch_factor(&big, &dm_big, landmark.routing.as_ref()).unwrap();
+    println!("\nrandom connected graph on {} vertices:", big.num_nodes());
+    println!(
+        "  routing tables : {:>8} bits/router (max), stretch {:.2}",
+        tables.memory.local(),
+        s_tables.max_stretch
+    );
+    println!(
+        "  landmark scheme: {:>8} bits/router (max), stretch {:.2}",
+        landmark.memory.local(),
+        s_landmark.max_stretch
+    );
+    println!(
+        "  average bits/router: tables {:.0}, landmark {:.0}",
+        tables.memory.average(),
+        landmark.memory.average()
+    );
+}

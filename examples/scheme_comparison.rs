@@ -1,0 +1,25 @@
+//! Table 1 in miniature: compare every implemented routing scheme on a set of
+//! graph families, printing memory and measured stretch side by side.
+//!
+//! Run with `cargo run --release --example scheme_comparison [size]`.
+
+use analysis::table1::{check_table1_shape, run_table1, to_table};
+
+fn main() {
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(128);
+    println!("Scheme comparison (Table 1 reproduction) at n ≈ {size}\n");
+    let entries = run_table1(size, 0xDECAF);
+    println!("{}", to_table(&entries).to_plain());
+    let violations = check_table1_shape(&entries);
+    if violations.is_empty() {
+        println!("All of the paper's qualitative separations hold on these instances.");
+    } else {
+        println!("Shape violations:");
+        for v in violations {
+            println!("  - {v}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Theorem 1 end to end: build a worst-case network, check the forcing
+//! property, reconstruct the planted matrix by probing the constrained
+//! routers, and compare the information-theoretic lower bound against the
+//! routing-table upper bound.
+//!
+//! Run with `cargo run --release --example worst_case_family [n] [theta]`.
+
+use universal_routing::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(512);
+    let theta: f64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.5);
+
+    println!("Theorem 1 worst-case family: n = {n}, theta = {theta}\n");
+
+    // Analytic side: every term of the paper's bound.
+    let report = constraints::theorem1::lower_bound(n, theta);
+    println!("parameters: p = {}, d = {}, q = {}", report.params.p, report.params.d, report.params.q);
+    println!("log2 |dM_pq|              = {:>14.1} bits (Lemma 1)", report.log2_classes);
+    println!("MB  (target labels)       = {:>14.1} bits", report.mb_bits);
+    println!("MC  (canonicalization)    = {:>14.1} bits", report.mc_bits);
+    println!("total over constrained A  = {:>14.1} bits", report.total_lower_bits);
+    println!("per constrained router    = {:>14.1} bits (lower bound)", report.per_router_lower_bits);
+    println!("routing-table upper bound = {:>14} bits per router", report.table_upper_bits_per_router);
+    println!(
+        "=> at least {} routers need ~{:.0}% of a full routing table each\n",
+        report.guaranteed_high_memory_routers,
+        100.0 * report.per_router_lower_bits / report.table_upper_bits_per_router as f64
+    );
+
+    // Constructive side: an actual member of the family.
+    let (cg, params) = constraints::theorem1::build_worst_case_instance(n, theta, 2024);
+    println!(
+        "built instance: {} vertices, {} edges, {} constrained routers of degree {}",
+        cg.graph.num_nodes(),
+        cg.graph.num_edges(),
+        params.p,
+        params.d
+    );
+    println!(
+        "forcing structure verified: {}",
+        constraints::verify::verify_forcing_structure(&cg).is_ok()
+    );
+
+    let routing = TableRouting::shortest_paths(&cg.graph, TieBreak::Seeded(7));
+    println!(
+        "a shortest-path routing respects every forced port: {}",
+        constraints::verify::verify_routing_respects_constraints(&cg, &routing).is_ok()
+    );
+
+    let rebuilt = constraints::reconstruct::reconstruct_matrix(&cg, &routing);
+    println!(
+        "probing the constrained routers reconstructs the planted matrix: {}",
+        rebuilt == cg.matrix
+    );
+
+    let cost = constraints::reconstruct::describe_encoding_cost(&cg, &routing);
+    println!("\ninformation accounting on this instance:");
+    println!(
+        "  bits held by the constrained routers (tables restricted to targets): {}",
+        cost.constrained_router_bits
+    );
+    println!("  + MB = {} bits, + MC = {} bits", cost.mb_bits, cost.mc_bits);
+    println!(
+        "  >= class information (Lemma 1) = {:.1} bits : {}",
+        cost.class_information_bits,
+        (cost.constrained_router_bits + cost.mb_bits + cost.mc_bits) as f64
+            >= cost.class_information_bits
+    );
+}

@@ -1,0 +1,97 @@
+//! Integration test: every routing scheme, built through the facade crate,
+//! delivers every message, honours its stretch guarantee and reports
+//! consistent memory numbers on a spread of graph families.
+
+use universal_routing::prelude::*;
+
+fn check_scheme(g: &Graph, scheme: &dyn CompactScheme) {
+    let Some(inst) = scheme.try_build(g) else {
+        return;
+    };
+    let dm = DistanceMatrix::all_pairs(g);
+    // every pair is delivered
+    for s in 0..g.num_nodes() {
+        for t in 0..g.num_nodes() {
+            let trace = route(g, inst.routing.as_ref(), s, t)
+                .unwrap_or_else(|e| panic!("{} failed on ({s},{t}): {e}", scheme.name()));
+            assert_eq!(*trace.path.last().unwrap(), t);
+        }
+    }
+    // stretch guarantee holds
+    let rep = stretch_factor(g, &dm, inst.routing.as_ref()).unwrap();
+    if let Some(bound) = inst.guaranteed_stretch {
+        assert!(
+            rep.max_stretch <= bound + 1e-9,
+            "{} exceeded stretch {bound}: {}",
+            scheme.name(),
+            rep.max_stretch
+        );
+    }
+    // memory report covers every router and is internally consistent
+    assert_eq!(inst.memory.per_node.len(), g.num_nodes());
+    assert!(inst.memory.local() <= inst.memory.global());
+}
+
+#[test]
+fn universal_schemes_work_on_every_family() {
+    let families: Vec<Graph> = vec![
+        generators::petersen(),
+        generators::cycle(17),
+        generators::grid(5, 7),
+        generators::hypercube(5),
+        generators::random_tree(40, 8),
+        generators::maximal_outerplanar(30, 2),
+        generators::chordal_ktree(30, 3, 2),
+        generators::unit_circular_arc(30, 2),
+        generators::random_connected(48, 0.1, 2),
+        generators::complete(20),
+    ];
+    let schemes: Vec<Box<dyn CompactScheme>> = vec![
+        Box::new(TableScheme::default()),
+        Box::new(KIntervalScheme::default()),
+        Box::new(LandmarkScheme::new(77)),
+        Box::new(routeschemes::SpanningTreeScheme::default()),
+    ];
+    for g in &families {
+        for s in &schemes {
+            check_scheme(g, s.as_ref());
+        }
+    }
+}
+
+#[test]
+fn class_specific_schemes_work_on_their_class() {
+    check_scheme(&generators::hypercube(6), &EcubeScheme);
+    check_scheme(&generators::random_tree(60, 5), &TreeIntervalScheme);
+    check_scheme(&generators::balanced_tree(3, 3), &TreeIntervalScheme);
+    let grid = generators::grid(6, 9);
+    check_scheme(&grid, &routeschemes::DimensionOrderScheme::new(6, 9));
+    let good = routemodel::labeling::modular_complete_labeling(24);
+    check_scheme(&good, &routeschemes::ModularCompleteScheme);
+    check_scheme(&generators::complete(24), &routeschemes::AdversarialCompleteScheme);
+}
+
+#[test]
+fn memory_hierarchy_on_the_hypercube() {
+    // On the hypercube, Table 1's headline separation is the O(log n) e-cube
+    // scheme against everything that stores per-destination information: it
+    // must be far below both routing tables and the landmark scheme.  (The
+    // landmark-versus-tables comparison is asymptotic and is exercised at
+    // larger sizes by the routeschemes tests and the table1_memory bench.)
+    let g = generators::hypercube(7);
+    let ecube = EcubeScheme.build(&g).memory.local();
+    let tables = TableScheme::default().build(&g).memory.local();
+    let landmark = LandmarkScheme::new(3).build(&g).memory.local();
+    assert!(ecube * 5 < landmark);
+    assert!(ecube * 10 < tables);
+}
+
+#[test]
+fn facade_prelude_exposes_the_paper_pipeline() {
+    // The doc-test of the facade in miniature, as a plain integration test.
+    let (cg, params) = constraints::theorem1::build_worst_case_instance(64, 0.5, 1);
+    assert_eq!(cg.graph.num_nodes(), 64);
+    assert_eq!(params.n, 64);
+    let r = TableRouting::shortest_paths(&cg.graph, TieBreak::LowestPort);
+    assert!(constraints::verify::verify_routing_respects_constraints(&cg, &r).is_ok());
+}

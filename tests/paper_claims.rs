@@ -1,0 +1,109 @@
+//! Integration test: the headline quantitative claims of the paper, checked
+//! end to end on concrete instances.
+
+use universal_routing::prelude::*;
+
+#[test]
+fn claim_lemma1_bound_never_exceeds_exact_counts() {
+    for (p, q, d) in [(2usize, 2usize, 2u32), (3, 3, 2), (2, 3, 3), (3, 4, 2), (2, 4, 3)] {
+        let exact = constraints::enumerate::enumerate_canonical_matrices(p, q, d).len() as f64;
+        let bound = constraints::counting::lemma1_lower_bound_count(p, q, d);
+        assert!(exact + 1e-9 >= bound, "({p},{q},{d})");
+    }
+}
+
+#[test]
+fn claim_lemma2_every_matrix_has_a_small_forcing_graph() {
+    for seed in 0..10u64 {
+        let m = ConstraintMatrix::random(3 + (seed % 4) as usize, 6, 4, seed);
+        let cg = ConstraintGraph::build(&m);
+        // order <= p(d+1) + q
+        assert!(cg.graph.num_nodes() <= cg.lemma2_order_bound());
+        // stretch-<2 forcing holds
+        assert!(constraints::verify::verify_forcing_structure(&cg).is_ok());
+        assert!((constraints::verify::forcing_stretch_bound(&cg) - 2.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn claim_theorem1_tables_cannot_be_compressed_for_stretch_below_two() {
+    // The certified per-router lower bound is a constant fraction of the
+    // routing-table upper bound, and that fraction does not vanish as n grows
+    // — which is exactly "routing tables can not be locally compressed
+    // asymptotically in the worst-case".
+    let fractions: Vec<f64> = [4096usize, 16384, 65536]
+        .iter()
+        .map(|&n| {
+            let rep = constraints::theorem1::lower_bound(n, 0.5);
+            rep.per_router_lower_bits / rep.table_upper_bits_per_router as f64
+        })
+        .collect();
+    for (i, f) in fractions.iter().enumerate() {
+        assert!(*f > 0.1, "fraction too small at index {i}: {f}");
+    }
+    // ... and it is non-decreasing towards its asymptotic constant.
+    assert!(fractions[2] >= fractions[0] - 0.02);
+}
+
+#[test]
+fn claim_theorem1_certifies_n_to_theta_routers() {
+    // The number of certified high-memory routers grows roughly like n^θ.
+    let a = constraints::theorem1::lower_bound(4096, 0.5).guaranteed_high_memory_routers as f64;
+    let b = constraints::theorem1::lower_bound(65536, 0.5).guaranteed_high_memory_routers as f64;
+    // n grows by 16, n^0.5 by 4: accept a generous window around 4.
+    let growth = b / a;
+    assert!(growth > 2.0 && growth < 8.0, "growth {growth} not ~ n^theta");
+}
+
+#[test]
+fn claim_upper_bound_routing_tables_match_on_the_worst_case_family() {
+    // On an actual worst-case instance the raw routing tables of the
+    // constrained routers stay within the O(n log n) upper bound, and the
+    // scheme achieves stretch 1 — so the lower bound of Theorem 1 is tight up
+    // to the constant factor.
+    let (cg, params) = constraints::theorem1::build_worst_case_instance(256, 0.5, 13);
+    let tables = TableScheme::default().build(&cg.graph);
+    let n = cg.graph.num_nodes() as u64;
+    let upper = (n - 1) * (64 - (n - 1).leading_zeros() as u64);
+    for &a in &cg.constrained {
+        assert!(tables.memory.per_node[a] <= upper);
+    }
+    assert_eq!(params.n as u64, n);
+    let dm = DistanceMatrix::all_pairs(&cg.graph);
+    let s = stretch_factor(&cg.graph, &dm, tables.routing.as_ref()).unwrap();
+    assert!((s.max_stretch - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn claim_complete_graph_labels_matter() {
+    // MEM_local(K_n, 1) = O(log n) for a good labeling, but an adversarial
+    // port labeling forces ~ log2((n-1)!) bits at a router.
+    let n = 96usize;
+    let good = routemodel::labeling::modular_complete_labeling(n);
+    let modular = routeschemes::ModularCompleteScheme.build(&good);
+    let floor = routeschemes::complete::adversarial_lower_bound_bits(n);
+    assert!(modular.memory.local() < 20);
+    assert!(floor > 400.0, "log2(95!) is about 490 bits");
+    let bad = routemodel::labeling::adversarial_port_labeling(&generators::complete(n), 5);
+    let adv = routeschemes::AdversarialCompleteScheme.build(&bad);
+    assert!(adv.memory.local() as f64 >= floor * 0.9);
+}
+
+#[test]
+fn claim_hypercube_needs_only_logarithmic_memory() {
+    let g = generators::hypercube(8);
+    let inst = EcubeScheme.build(&g);
+    let n = g.num_nodes() as f64;
+    assert!((inst.memory.local() as f64) <= 3.0 * n.log2());
+    let dm = DistanceMatrix::all_pairs(&g);
+    let s = stretch_factor(&g, &dm, inst.routing.as_ref()).unwrap();
+    assert!((s.max_stretch - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn claim_figure1_matrix_exists_and_is_forced() {
+    let fig = constraints::petersen::petersen_figure();
+    assert_eq!((fig.matrix.num_rows(), fig.matrix.num_cols()), (5, 5));
+    let r = TableRouting::shortest_paths(&fig.graph, TieBreak::Seeded(31));
+    assert!(constraints::petersen::verify_figure_against_routing(&fig, &r).is_ok());
+}
