@@ -13,7 +13,11 @@ fn main() {
         .skip(1)
         .map(|a| a.parse().expect("sizes must be integers"))
         .collect();
-    let ns = if ns.is_empty() { vec![1 << 10, 1 << 14, 1 << 18] } else { ns };
+    let ns = if ns.is_empty() {
+        vec![1 << 10, 1 << 14, 1 << 18]
+    } else {
+        ns
+    };
 
     println!("# Stated bounds of Table 1 (shape-only constants)\n");
     for &n in &ns {

@@ -24,8 +24,14 @@ fn main() {
     let reports = run_bounds(&analytic_ns, &thetas);
     println!("{}", bounds_table(&reports).to_markdown());
 
-    println!("## Empirical worst-case instances (forcing, routing, reconstruction, measured bits)\n");
-    let empirical_ns = if ns.is_empty() { vec![128, 256, 512] } else { ns };
+    println!(
+        "## Empirical worst-case instances (forcing, routing, reconstruction, measured bits)\n"
+    );
+    let empirical_ns = if ns.is_empty() {
+        vec![128, 256, 512]
+    } else {
+        ns
+    };
     let points = run_empirical(&empirical_ns, &[0.35, 0.5], 0xFEED);
     println!("{}", empirical_table(&points).to_markdown());
 }

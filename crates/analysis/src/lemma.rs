@@ -64,7 +64,14 @@ pub fn default_lemma1_grid() -> Vec<(usize, usize, u32)> {
 
 /// Renders the Lemma 1 rows.
 pub fn lemma1_table(rows: &[Lemma1Row]) -> Table {
-    let mut t = Table::new(["p", "q", "d", "|dM_pq| (exact)", "Lemma 1 bound", "bound log2"]);
+    let mut t = Table::new([
+        "p",
+        "q",
+        "d",
+        "|dM_pq| (exact)",
+        "Lemma 1 bound",
+        "bound log2",
+    ]);
     for r in rows {
         t.push_row([
             r.p.to_string(),

@@ -39,7 +39,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.header.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
@@ -85,7 +89,7 @@ pub fn fmt_bits(bits: u64) -> String {
     let s = bits.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push('_');
         }
         out.push(c);
@@ -127,7 +131,7 @@ mod tests {
         let lines: Vec<&str> = p.lines().collect();
         assert_eq!(lines.len(), 4);
         // all data lines have the same width
-        assert_eq!(lines[2].trim_end().len() >= "longer".len(), true);
+        assert!(lines[2].trim_end().len() >= "longer".len());
     }
 
     #[test]

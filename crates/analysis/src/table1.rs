@@ -84,13 +84,23 @@ pub fn run_table1(size: usize, seed: u64) -> Vec<Table1Entry> {
     // -- hypercube ---------------------------------------------------------
     let k = (size as f64).log2().round().max(2.0) as usize;
     let hyper = generators::hypercube(k);
-    for s in [&tables as &dyn CompactScheme, &kirs, &landmark, &EcubeScheme] {
+    for s in [
+        &tables as &dyn CompactScheme,
+        &kirs,
+        &landmark,
+        &EcubeScheme,
+    ] {
         out.extend(measure("hypercube", &hyper, s));
     }
 
     // -- tree (random) -----------------------------------------------------
     let tree = generators::random_tree(size, seed);
-    for s in [&tables as &dyn CompactScheme, &kirs, &TreeIntervalScheme, &landmark] {
+    for s in [
+        &tables as &dyn CompactScheme,
+        &kirs,
+        &TreeIntervalScheme,
+        &landmark,
+    ] {
         out.extend(measure("random-tree", &tree, s));
     }
 
@@ -114,7 +124,11 @@ pub fn run_table1(size: usize, seed: u64) -> Vec<Table1Entry> {
 
     // -- complete graph: good vs adversarial labeling -----------------------
     let good = modular_complete_labeling(size);
-    out.extend(measure("complete(modular ports)", &good, &ModularCompleteScheme));
+    out.extend(measure(
+        "complete(modular ports)",
+        &good,
+        &ModularCompleteScheme,
+    ));
     out.extend(measure("complete(modular ports)", &good, &kirs));
     let bad = adversarial_port_labeling(&generators::complete(size), seed);
     out.extend(measure(
@@ -171,7 +185,10 @@ pub fn check_table1_shape(entries: &[Table1Entry]) -> Vec<String> {
             .find(|e| e.family == family && e.scheme == scheme)
     };
     // e-cube beats tables on the hypercube by a large factor
-    if let (Some(ecube), Some(tables)) = (find("hypercube", "e-cube"), find("hypercube", "routing-tables")) {
+    if let (Some(ecube), Some(tables)) = (
+        find("hypercube", "e-cube"),
+        find("hypercube", "routing-tables"),
+    ) {
         if ecube.local_bits * 8 >= tables.local_bits {
             violations.push(format!(
                 "hypercube: e-cube local memory {} not far below tables {}",
@@ -233,7 +250,11 @@ mod tests {
     #[test]
     fn table1_runs_and_respects_the_papers_shape() {
         let entries = run_table1(64, 3);
-        assert!(entries.len() >= 20, "expected a full sweep, got {}", entries.len());
+        assert!(
+            entries.len() >= 20,
+            "expected a full sweep, got {}",
+            entries.len()
+        );
         let violations = check_table1_shape(&entries);
         assert!(violations.is_empty(), "shape violations: {violations:?}");
     }

@@ -55,7 +55,10 @@ pub fn bounds_table(reports: &[LowerBoundReport]) -> Table {
             r.params.q.to_string(),
             fmt_bits(r.per_router_lower_bits as u64),
             fmt_bits(r.table_upper_bits_per_router),
-            fmt_f64(r.per_router_lower_bits / r.table_upper_bits_per_router as f64, 3),
+            fmt_f64(
+                r.per_router_lower_bits / r.table_upper_bits_per_router as f64,
+                3,
+            ),
             r.guaranteed_high_memory_routers.to_string(),
         ]);
     }
@@ -156,8 +159,14 @@ mod tests {
             assert!(ratio > 0.0 && ratio <= 1.0, "ratio {ratio} out of range");
         }
         // fixing θ = 0.5, the certified router count grows with n
-        let a = reports.iter().find(|r| r.params.n == 1024 && (r.params.theta - 0.5).abs() < 1e-9).unwrap();
-        let b = reports.iter().find(|r| r.params.n == 4096 && (r.params.theta - 0.5).abs() < 1e-9).unwrap();
+        let a = reports
+            .iter()
+            .find(|r| r.params.n == 1024 && (r.params.theta - 0.5).abs() < 1e-9)
+            .unwrap();
+        let b = reports
+            .iter()
+            .find(|r| r.params.n == 4096 && (r.params.theta - 0.5).abs() < 1e-9)
+            .unwrap();
         assert!(b.guaranteed_high_memory_routers > a.guaranteed_high_memory_routers);
         assert_eq!(bounds_table(&reports).num_rows(), 6);
     }

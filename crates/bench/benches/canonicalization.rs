@@ -1,9 +1,9 @@
 //! Ablation bench: cost of the `MC` canonicalization routine — the exact
 //! (column-factorial) algorithm versus the invariant-sorting heuristic.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use constraints::canonical::{canonical_form, canonical_form_heuristic};
 use constraints::matrix::ConstraintMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use routing_bench::quick_criterion;
 
 fn bench_exact(c: &mut Criterion) {
@@ -30,7 +30,9 @@ fn bench_heuristic(c: &mut Criterion) {
 
 fn bench_equivalence_check(c: &mut Criterion) {
     let a = ConstraintMatrix::random(5, 7, 4, 3);
-    let b_ = a.permute_columns(&[6, 0, 5, 1, 4, 2, 3]).permute_rows(&[4, 3, 2, 1, 0]);
+    let b_ = a
+        .permute_columns(&[6, 0, 5, 1, 4, 2, 3])
+        .permute_rows(&[4, 3, 2, 1, 0]);
     c.bench_function("canonicalization/are-equivalent-5x7", |bch| {
         bch.iter(|| constraints::canonical::are_equivalent(&a, &b_))
     });

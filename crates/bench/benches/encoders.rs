@@ -36,9 +36,11 @@ fn bench_memory_reports(c: &mut Criterion) {
     let mut group = c.benchmark_group("encoders/whole-graph-reports");
     for &n in &FAMILY_SIZES {
         let (g, r) = port_maps_for(n);
-        group.bench_with_input(BenchmarkId::new("raw", n), &(g.clone(), r.clone()), |b, (g, r)| {
-            b.iter(|| r.memory_raw(g).global())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("raw", n),
+            &(g.clone(), r.clone()),
+            |b, (g, r)| b.iter(|| r.memory_raw(g).global()),
+        );
         group.bench_with_input(BenchmarkId::new("interval", n), &(g, r), |b, (g, r)| {
             b.iter(|| r.memory_interval(g).global())
         });

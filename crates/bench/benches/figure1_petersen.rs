@@ -1,9 +1,9 @@
 //! Bench for the Figure 1 reproduction: extracting the forced shortest-path
 //! constraint matrix of the Petersen graph and verifying it against routing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use constraints::petersen::{petersen_figure, petersen_figure_for};
 use constraints::verify::constraint_matrix_of_shortest_paths;
+use criterion::{criterion_group, criterion_main, Criterion};
 use graphkit::generators;
 use routemodel::{TableRouting, TieBreak};
 use routing_bench::quick_criterion;
@@ -15,8 +15,7 @@ fn bench_figure1(c: &mut Criterion) {
 
     c.bench_function("figure1/extract-arbitrary-subsets", |b| {
         b.iter(|| {
-            petersen_figure_for(&[0, 2, 4, 6, 8], &[1, 3, 5, 7, 9])
-                .map(|f| f.matrix.max_entry())
+            petersen_figure_for(&[0, 2, 4, 6, 8], &[1, 3, 5, 7, 9]).map(|f| f.matrix.max_entry())
         })
     });
 

@@ -1,9 +1,9 @@
 //! Bench for Lemma 1: exact enumeration of `dM_pq` (the paper's Equation (2)
 //! worked example) versus the closed-form counting bound.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use constraints::counting::{lemma1_exact_floor, lemma1_lower_bound_log2};
 use constraints::enumerate::enumerate_canonical_matrices;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use routing_bench::quick_criterion;
 
 fn bench_enumeration(c: &mut Criterion) {

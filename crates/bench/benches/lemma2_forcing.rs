@@ -1,10 +1,10 @@
 //! Bench for Lemma 2: building the generalized graph of constraints of a
 //! matrix and verifying the stretch-<2 forcing property.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use constraints::graph_of_constraints::ConstraintGraph;
 use constraints::matrix::ConstraintMatrix;
 use constraints::verify::{verify_forcing_structure, verify_routing_respects_constraints};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use routemodel::{TableRouting, TieBreak};
 use routing_bench::quick_criterion;
 

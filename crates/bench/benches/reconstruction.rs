@@ -2,10 +2,10 @@
 //! routers of a worst-case instance, rebuilding the matrix, and computing the
 //! canonical representative.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use constraints::canonical::canonical_form_heuristic;
 use constraints::reconstruct::{describe_encoding_cost, reconstruct_matrix};
 use constraints::theorem1::build_worst_case_instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use routemodel::{TableRouting, TieBreak};
 use routing_bench::{quick_criterion, THEOREM1_GRID};
 

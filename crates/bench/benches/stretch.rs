@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphkit::{generators, DistanceMatrix};
 use routemodel::stretch::{sampled_pairs, stretch_over_pairs};
 use routemodel::{stretch_factor, TableRouting, TieBreak};
-use routeschemes::LandmarkScheme;
 use routeschemes::CompactScheme;
+use routeschemes::LandmarkScheme;
 use routing_bench::{quick_criterion, FAMILY_SIZES};
 
 fn bench_exact_stretch(c: &mut Criterion) {
@@ -20,7 +20,11 @@ fn bench_exact_stretch(c: &mut Criterion) {
         });
         let lm = LandmarkScheme::new(5).build(&g);
         group.bench_with_input(BenchmarkId::new("landmark", n), &(), |b, _| {
-            b.iter(|| stretch_factor(&g, &dm, lm.routing.as_ref()).unwrap().max_stretch)
+            b.iter(|| {
+                stretch_factor(&g, &dm, lm.routing.as_ref())
+                    .unwrap()
+                    .max_stretch
+            })
         });
     }
     group.finish();

@@ -40,17 +40,21 @@ fn bench_class_specific_schemes(c: &mut Criterion) {
     for &n in &FAMILY_SIZES {
         let k = (n as f64).log2().round() as usize;
         let hyper = generators::hypercube(k);
-        group.bench_with_input(BenchmarkId::new("e-cube", hyper.num_nodes()), &hyper, |b, g| {
-            b.iter(|| EcubeScheme.build(g).memory.local())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("e-cube", hyper.num_nodes()),
+            &hyper,
+            |b, g| b.iter(|| EcubeScheme.build(g).memory.local()),
+        );
         let tree = generators::random_tree(n, 3);
         group.bench_with_input(BenchmarkId::new("tree-interval", n), &tree, |b, g| {
             b.iter(|| TreeIntervalScheme.build(g).memory.global())
         });
         let complete = modular_complete_labeling(n);
-        group.bench_with_input(BenchmarkId::new("complete-modular", n), &complete, |b, g| {
-            b.iter(|| ModularCompleteScheme.build(g).memory.local())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("complete-modular", n),
+            &complete,
+            |b, g| b.iter(|| ModularCompleteScheme.build(g).memory.local()),
+        );
     }
     group.finish();
 }

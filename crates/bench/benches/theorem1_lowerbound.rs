@@ -1,13 +1,18 @@
 //! Bench for Theorem 1: the analytic lower-bound evaluation and the
 //! construction of worst-case instances of the family `G_n`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use constraints::theorem1::{build_worst_case_instance, lower_bound};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use routing_bench::{quick_criterion, THEOREM1_GRID};
 
 fn bench_analytic_bound(c: &mut Criterion) {
     let mut group = c.benchmark_group("theorem1/analytic-bound");
-    for (n, theta) in [(1usize << 12, 0.5f64), (1 << 16, 0.5), (1 << 20, 0.5), (1 << 16, 0.25)] {
+    for (n, theta) in [
+        (1usize << 12, 0.5f64),
+        (1 << 16, 0.5),
+        (1 << 20, 0.5),
+        (1 << 16, 0.25),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_theta{theta}")),
             &(n, theta),
@@ -23,9 +28,7 @@ fn bench_worst_case_construction(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_theta{theta}")),
             &(n, theta),
-            |b, &(n, theta)| {
-                b.iter(|| build_worst_case_instance(n, theta, 5).0.graph.num_edges())
-            },
+            |b, &(n, theta)| b.iter(|| build_worst_case_instance(n, theta, 5).0.graph.num_edges()),
         );
     }
     group.finish();

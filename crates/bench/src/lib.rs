@@ -35,7 +35,9 @@ mod tests {
     #[test]
     fn constants_are_sane() {
         assert!(FAMILY_SIZES.windows(2).all(|w| w[0] < w[1]));
-        assert!(THEOREM1_GRID.iter().all(|&(n, t)| n >= 16 && t > 0.0 && t < 1.0));
+        assert!(THEOREM1_GRID
+            .iter()
+            .all(|&(n, t)| n >= 16 && t > 0.0 && t < 1.0));
     }
 
     #[test]

@@ -142,7 +142,10 @@ mod tests {
         // The paper's contribution: the s = 1 local bound already holds for
         // every s < 2, so the two formulas coincide.
         for n in [256usize, 4096, 1 << 16] {
-            assert_eq!(theorem1_local_lower_bits(n), shortest_path_local_lower_bits(n));
+            assert_eq!(
+                theorem1_local_lower_bits(n),
+                shortest_path_local_lower_bits(n)
+            );
         }
     }
 
@@ -161,9 +164,7 @@ mod tests {
         // that the paper's Table 1 and conclusion describe.
         assert!(hierarchical_local_upper_bits(n, 3.0) * 10.0 < theorem1_local_lower_bits(n));
         // and it keeps shrinking as the allowed stretch grows
-        assert!(
-            hierarchical_local_upper_bits(n, 8.0) < hierarchical_local_upper_bits(n, 3.0)
-        );
+        assert!(hierarchical_local_upper_bits(n, 8.0) < hierarchical_local_upper_bits(n, 3.0));
     }
 
     #[test]

@@ -87,7 +87,13 @@ mod tests {
 
     #[test]
     fn log2_form_agrees_with_exact_floor_when_representable() {
-        for (p, q, d) in [(2usize, 2usize, 2u32), (3, 3, 2), (2, 4, 2), (4, 4, 2), (2, 6, 3)] {
+        for (p, q, d) in [
+            (2usize, 2usize, 2u32),
+            (3, 3, 2),
+            (2, 4, 2),
+            (4, 4, 2),
+            (2, 6, 3),
+        ] {
             let log_bound = lemma1_lower_bound_log2(p, q, d);
             let count = lemma1_lower_bound_count(p, q, d);
             assert!((count.log2() - log_bound).abs() < 1e-9);
@@ -138,7 +144,10 @@ mod tests {
         let b2 = setup(1 << 13);
         // p grows by sqrt(2) and n by 2: the product p*n*log n grows by ~2.9x.
         let ratio = b2 / b1;
-        assert!(ratio > 2.3 && ratio < 3.5, "unexpected scaling ratio {ratio}");
+        assert!(
+            ratio > 2.3 && ratio < 3.5,
+            "unexpected scaling ratio {ratio}"
+        );
     }
 
     #[test]

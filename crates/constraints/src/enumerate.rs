@@ -19,7 +19,9 @@ use std::collections::BTreeSet;
 pub fn enumerate_canonical_matrices(p: usize, q: usize, d: u32) -> Vec<ConstraintMatrix> {
     assert!(p >= 1 && q >= 1 && d >= 1);
     let cells = p * q;
-    let total = (d as u128).checked_pow(cells as u32).expect("d^(pq) overflow");
+    let total = (d as u128)
+        .checked_pow(cells as u32)
+        .expect("d^(pq) overflow");
     assert!(
         total <= 20_000_000,
         "enumeration of {total} matrices is too large; use counting::lemma1_lower_bound_log2"
@@ -123,7 +125,14 @@ mod tests {
 
     #[test]
     fn lemma1_bound_is_respected_by_exact_counts() {
-        for (p, q, d) in [(2usize, 2usize, 2u32), (2, 3, 2), (3, 2, 2), (2, 2, 3), (2, 4, 2), (3, 3, 2)] {
+        for (p, q, d) in [
+            (2usize, 2usize, 2u32),
+            (2, 3, 2),
+            (3, 2, 2),
+            (2, 2, 3),
+            (2, 4, 2),
+            (3, 3, 2),
+        ] {
             let exact = count_classes(p, q, d) as f64;
             let bound = lemma1_lower_bound_log2(p, q, d).exp2();
             assert!(

@@ -57,32 +57,39 @@ impl ConstraintGraph {
         let d = matrix.max_entry() as usize;
 
         // Vertex layout: a_i = i, b_j = p + j, then the used c_{i,k}.
-        let mut g = Graph::new(p + q);
         let constrained: Vec<NodeId> = (0..p).collect();
         let targets: Vec<NodeId> = (p..p + q).collect();
         let mut middle: Vec<Vec<Option<NodeId>>> = vec![vec![None; d]; p];
 
+        // Collect the whole edge list up front and build the CSR graph in one
+        // pass; the insertion order reproduces the Lemma 2 port labeling
+        // (the port of a_i towards c_{i,k} is exactly k − 1).
+        let mut next_middle = p + q;
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
         for i in 0..p {
             let k_i = matrix.row_alphabet_size(i);
             // Create c_{i,1} … c_{i,k_i} and connect a_i to them in value
-            // order, so that the port of a_i towards c_{i,k} is exactly k − 1.
-            let c_nodes = g.add_nodes(k_i);
-            for (offset, &c) in c_nodes.iter().enumerate() {
+            // order.
+            for offset in 0..k_i {
+                let c = next_middle;
+                next_middle += 1;
                 middle[i][offset] = Some(c);
-                g.add_edge(constrained[i], c);
+                edges.push((constrained[i], c));
             }
         }
-        // Connect targets: b_j — c_{i, m_ij}.
+        // Connect targets: b_j — c_{i, m_ij}.  Every (c, b_j) pair is distinct
+        // (c is a function of the row and b_j of the column), so no dedup is
+        // needed.
         for i in 0..p {
             for j in 0..q {
                 let k = matrix.get(i, j) as usize;
                 let c = middle[i][k - 1].expect("row-normalized matrix uses value k");
-                g.add_edge_if_absent(c, targets[j]);
+                edges.push((c, targets[j]));
             }
         }
 
         let cg = ConstraintGraph {
-            graph: g,
+            graph: Graph::from_edges(next_middle, &edges),
             matrix: matrix.clone(),
             constrained,
             targets,
@@ -139,11 +146,14 @@ impl ConstraintGraph {
             .next()
             .expect("a non-trivial matrix always produces middle vertices");
         let new_nodes = self.graph.add_nodes(n - current);
+        let mut path_edges = Vec::with_capacity(new_nodes.len());
         let mut prev = anchor;
         for &v in &new_nodes {
-            self.graph.add_edge(prev, v);
+            path_edges.push((prev, v));
             prev = v;
         }
+        // One batch append instead of per-edge CSR rebuilds.
+        self.graph.add_edges(&path_edges);
         self.padding.extend(new_nodes);
     }
 
@@ -221,7 +231,8 @@ mod tests {
                 let k = m.get(i, j);
                 let c = cg.middle_vertex(i, k).unwrap();
                 assert_eq!(
-                    cg.graph.port_target(cg.constrained[i], cg.forced_port(i, j)),
+                    cg.graph
+                        .port_target(cg.constrained[i], cg.forced_port(i, j)),
                     c
                 );
             }
@@ -249,8 +260,11 @@ mod tests {
         for j in 0..cg.q() {
             let dist_from_b = bfs_distances(&cg.graph, cg.targets[j]);
             for i in 0..cg.p() {
-                let forced = cg.graph.port_target(cg.constrained[i], cg.forced_port(i, j));
+                let forced = cg
+                    .graph
+                    .port_target(cg.constrained[i], cg.forced_port(i, j));
                 for &x in cg.graph.neighbors(cg.constrained[i]) {
+                    let x = x as usize;
                     if x != forced {
                         assert!(
                             dist_from_b[x] >= 3,

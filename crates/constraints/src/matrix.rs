@@ -63,7 +63,10 @@ impl ConstraintMatrix {
     pub fn new(p: usize, q: usize, entries: Vec<u32>) -> Self {
         assert!(p >= 1 && q >= 1, "matrix dimensions must be positive");
         assert_eq!(entries.len(), p * q, "entry count must be p*q");
-        assert!(entries.iter().all(|&x| x >= 1), "entries are 1-based, must be >= 1");
+        assert!(
+            entries.iter().all(|&x| x >= 1),
+            "entries are 1-based, must be >= 1"
+        );
         ConstraintMatrix { p, q, entries }
     }
 
@@ -211,7 +214,10 @@ impl ConstraintMatrix {
     /// are left untouched (the graph-of-constraints construction then gives
     /// every constrained vertex degree exactly `d`).
     pub fn random_full_alphabet(p: usize, q: usize, d: u32, seed: u64) -> ConstraintMatrix {
-        assert!(q >= d as usize, "need q >= d to use the full alphabet in a row");
+        assert!(
+            q >= d as usize,
+            "need q >= d to use the full alphabet in a row"
+        );
         let mut rng = Xoshiro256::new(seed);
         let mut entries = Vec::with_capacity(p * q);
         for _ in 0..p {

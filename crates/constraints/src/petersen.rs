@@ -104,7 +104,10 @@ mod tests {
         let fig = petersen_figure();
         assert_eq!(fig.matrix.num_rows(), 5);
         assert_eq!(fig.matrix.num_cols(), 5);
-        assert!(fig.matrix.max_entry() <= 3, "ports on a cubic graph are 1..3");
+        assert!(
+            fig.matrix.max_entry() <= 3,
+            "ports on a cubic graph are 1..3"
+        );
         // each row uses at least 2 distinct ports (a_i has one spoke and two
         // cycle neighbours; its five targets cannot all sit behind one port)
         for i in 0..5 {

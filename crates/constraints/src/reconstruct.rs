@@ -102,22 +102,16 @@ pub fn describe_encoding_cost<R: RoutingFunction + ?Sized>(
         .map(|&a| {
             // the local table of a restricted to the q target labels
             let full = PortMap::from_routing(g, r, a);
-            let restricted: Vec<Option<usize>> = cg
-                .targets
-                .iter()
-                .map(|&b| full.ports[b])
-                .collect();
+            let restricted: Vec<Option<usize>> =
+                cg.targets.iter().map(|&b| full.ports[b]).collect();
             PortMap::new(a, g.degree(a), restricted).raw_table_bits()
                 + routemodel::coding::bits_for_values(n) as u64 // its own label
         })
         .sum();
     let mb_bits = log2_binomial(n, q).ceil() as u64;
     let mc_bits = 4 * routemodel::coding::bits_for_values(n) as u64;
-    let class_information_bits = crate::counting::lemma1_lower_bound_log2(
-        cg.p(),
-        cg.q(),
-        cg.matrix.max_entry(),
-    );
+    let class_information_bits =
+        crate::counting::lemma1_lower_bound_log2(cg.p(), cg.q(), cg.matrix.max_entry());
     EncodingCost {
         constrained_router_bits,
         mb_bits,
@@ -147,7 +141,11 @@ mod tests {
         // matrix itself — not merely an equivalent one.
         for seed in 0..5u64 {
             let cg = small_instance(seed);
-            for tie in [TieBreak::LowestPort, TieBreak::HighestNeighbor, TieBreak::Seeded(9)] {
+            for tie in [
+                TieBreak::LowestPort,
+                TieBreak::HighestNeighbor,
+                TieBreak::Seeded(9),
+            ] {
                 let r = TableRouting::shortest_paths(&cg.graph, tie);
                 let rebuilt = reconstruct_matrix(&cg, &r);
                 assert_eq!(rebuilt, cg.matrix, "seed {seed}, tie {tie:?}");

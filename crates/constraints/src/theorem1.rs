@@ -63,7 +63,10 @@ impl Theorem1Params {
     ///
     /// Panics if `n < 16` or `θ ∉ (0, 1)`.
     pub fn choose(n: usize, theta: f64) -> Self {
-        assert!(theta > 0.0 && theta < 1.0, "theta must lie strictly in (0, 1)");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must lie strictly in (0, 1)"
+        );
         assert!(n >= 16, "the construction needs a minimum of 16 vertices");
         let p = ((n as f64).powf(theta).floor() as usize)
             .max(1)
@@ -136,8 +139,7 @@ pub fn lower_bound_for_params(params: Theorem1Params) -> LowerBoundReport {
     let overhead_bits = 3.0 * log_n;
     let total_lower_bits = (log2_classes - mb_bits - mc_bits - overhead_bits).max(0.0);
     let per_router_lower_bits = total_lower_bits / p as f64;
-    let table_upper_bits_per_router =
-        (n as u64 - 1) * bits_for_values(n as u64 - 1).max(1) as u64;
+    let table_upper_bits_per_router = (n as u64 - 1) * bits_for_values(n as u64 - 1).max(1) as u64;
     let guaranteed_high_memory_routers = if table_upper_bits_per_router == 0 {
         0
     } else {
@@ -161,7 +163,11 @@ pub fn lower_bound_for_params(params: Theorem1Params) -> LowerBoundReport {
 /// Builds one `n`-vertex member of the worst-case family: a random
 /// representative matrix in `dM_pq`, its Lemma 2 graph, padded to order
 /// exactly `n`.
-pub fn build_worst_case_instance(n: usize, theta: f64, seed: u64) -> (ConstraintGraph, Theorem1Params) {
+pub fn build_worst_case_instance(
+    n: usize,
+    theta: f64,
+    seed: u64,
+) -> (ConstraintGraph, Theorem1Params) {
     let params = Theorem1Params::choose(n, theta);
     // Every row uses its full alphabet so every constrained vertex has degree
     // exactly d (q >= d is guaranteed by `choose`).
@@ -246,7 +252,10 @@ mod tests {
     fn guaranteed_router_count_scales_with_n_to_theta() {
         let a = lower_bound(4096, 0.5).guaranteed_high_memory_routers;
         let b = lower_bound(16384, 0.5).guaranteed_high_memory_routers;
-        assert!(b > a, "more routers must be pinned down at larger n ({a} vs {b})");
+        assert!(
+            b > a,
+            "more routers must be pinned down at larger n ({a} vs {b})"
+        );
         // and it is Θ(n^θ): within a constant factor of p
         let rep = lower_bound(16384, 0.5);
         assert!(rep.guaranteed_high_memory_routers * 20 >= rep.params.p);

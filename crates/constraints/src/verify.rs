@@ -36,10 +36,7 @@ pub fn verify_forcing_structure(cg: &ConstraintGraph) -> Result<(), String> {
         for i in 0..cg.p() {
             let a = cg.constrained[i];
             if dist_from_b[a] != 2 {
-                return Err(format!(
-                    "d(a_{i}, b_{j}) = {} instead of 2",
-                    dist_from_b[a]
-                ));
+                return Err(format!("d(a_{i}, b_{j}) = {} instead of 2", dist_from_b[a]));
             }
             let forced_middle = g.port_target(a, cg.forced_port(i, j));
             if dist_from_b[forced_middle] != 1 {
@@ -48,6 +45,7 @@ pub fn verify_forcing_structure(cg: &ConstraintGraph) -> Result<(), String> {
                 ));
             }
             for &x in g.neighbors(a) {
+                let x = x as usize;
                 if x != forced_middle && dist_from_b[x] < 3 {
                     return Err(format!(
                         "alternative neighbour {x} of a_{i} is at distance {} < 3 from b_{j}: \
@@ -77,6 +75,7 @@ pub fn forcing_stretch_bound(cg: &ConstraintGraph) -> f64 {
             let forced_middle = g.port_target(a, cg.forced_port(i, j));
             let d = dist_from_b[a] as f64;
             for &x in g.neighbors(a) {
+                let x = x as usize;
                 if x != forced_middle {
                     let alt = 1.0 + dist_from_b[x] as f64;
                     bound = bound.min(alt / d);

@@ -1,0 +1,360 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] benchmarking
+//! crate, implementing exactly the API surface used by this workspace's bench
+//! targets: [`Criterion`], [`BenchmarkId`], benchmark groups,
+//! [`criterion_group!`] and [`criterion_main!`].
+//!
+//! The workspace builds in offline environments without crates.io access, so
+//! the real criterion crate cannot be fetched; these benches still need to
+//! run (`cargo bench`) and compile under `cargo test --benches`.  The shim
+//! measures wall-clock time with [`std::time::Instant`]: after a warm-up
+//! window it runs up to `sample_size` timed samples (stopping early when the
+//! measurement window is exhausted) and reports min/mean/max per benchmark.
+//! Results are also collected in the [`Criterion`] value so bench targets can
+//! export machine-readable snapshots (see the `csr_pipeline` bench).
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group name provides the context).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Fastest observed sample.
+    pub min_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+    /// Slowest observed sample.
+    pub max_ns: f64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
+/// The benchmark runner/configuration object.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples to aim for per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on the time spent measuring one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent running the routine before measuring it.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim never plots.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let m = run_one(
+            id,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        self.results.push(m);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// All measurements collected so far (shim extension, used by bench
+    /// targets that export JSON snapshots).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// A named group of benchmarks sharing the runner's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let m = run_one(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            &mut f,
+        );
+        self.criterion.results.push(m);
+        self
+    }
+
+    /// Runs one benchmark of the group with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let m = run_one(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self.criterion.results.push(m);
+        self
+    }
+
+    /// Ends the group (printing is done per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Handed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, preventing the optimizer from discarding its result.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run untimed until the warm-up window is spent.
+        let warm_start = Instant::now();
+        loop {
+            std_black_box(routine());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Timed samples: one call per sample, stop early when the
+        // measurement window is exhausted (but always take one sample).
+        let window_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.samples_ns.push(t0.elapsed().as_nanos() as f64);
+            if window_start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F>(
+    id: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut F,
+) -> Measurement
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        sample_size,
+        warm_up,
+        measurement,
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    let samples = b.samples_ns;
+    let n = samples.len().max(1);
+    let (mut min, mut max, mut sum) = (f64::INFINITY, 0.0f64, 0.0f64);
+    for &s in &samples {
+        min = min.min(s);
+        max = max.max(s);
+        sum += s;
+    }
+    if samples.is_empty() {
+        min = 0.0;
+    }
+    let m = Measurement {
+        id: id.to_string(),
+        min_ns: min,
+        mean_ns: sum / n as f64,
+        max_ns: max,
+        samples: samples.len(),
+    };
+    println!(
+        "{:<60} time: [{} {} {}]  ({} samples)",
+        m.id,
+        fmt_ns(m.min_ns),
+        fmt_ns(m.mean_ns),
+        fmt_ns(m.max_ns),
+        m.samples
+    );
+    m
+}
+
+/// Human formatting of a nanosecond figure (criterion-style units).
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() -> $crate::Criterion {
+            let mut c = $config;
+            $( $target(&mut c); )+
+            c
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( let _ = $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        c.bench_function("shim/smoke", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let ms = c.measurements();
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].samples >= 1);
+        assert!(ms[0].min_ns <= ms[0].mean_ns && ms[0].mean_ns <= ms[0].max_ns);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("p4_q6").to_string(), "p4_q6");
+    }
+
+    #[test]
+    fn groups_prefix_their_name() {
+        let mut c = Criterion::default()
+            .sample_size(1)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("f", 1), &2u64, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        assert_eq!(c.measurements()[0].id, "grp/f/1");
+    }
+
+    #[test]
+    fn ns_formatting_units() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(12_000_000_000.0).contains('s'));
+    }
+}

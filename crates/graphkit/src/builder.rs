@@ -8,19 +8,24 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::rng::Xoshiro256;
-use std::collections::BTreeSet;
+use std::collections::HashSet;
 
 /// Incremental graph builder.
 ///
-/// Edges are accumulated in a set (so duplicates are ignored) and the final
-/// [`Graph`] is produced by [`GraphBuilder::build`].  By default ports follow
-/// the insertion order of [`Graph::add_edge`] applied in sorted edge order,
-/// which is deterministic; [`GraphBuilder::shuffled_ports`] applies a random
-/// but seed-deterministic port permutation at every vertex instead.
-#[derive(Debug, Clone)]
+/// Edges are accumulated in insertion order (duplicates and self-loops are
+/// ignored) and the final CSR [`Graph`] is produced in one pass by
+/// [`GraphBuilder::build`].  Ports follow the insertion order and endpoint
+/// orientation of the recorded edges, exactly as the same sequence of
+/// [`Graph::add_edge`] calls would, which is deterministic;
+/// [`GraphBuilder::shuffled_ports`] applies a random but seed-deterministic
+/// port permutation at every vertex instead.
+#[derive(Debug, Clone, Default)]
 pub struct GraphBuilder {
     n: usize,
-    edges: BTreeSet<(NodeId, NodeId)>,
+    /// Recorded edges in insertion order, orientation preserved.
+    edges: Vec<(NodeId, NodeId)>,
+    /// Normalized `(min, max)` pairs for duplicate detection.
+    seen: HashSet<(NodeId, NodeId)>,
     port_shuffle_seed: Option<u64>,
 }
 
@@ -29,7 +34,8 @@ impl GraphBuilder {
     pub fn new(n: usize) -> Self {
         GraphBuilder {
             n,
-            edges: BTreeSet::new(),
+            edges: Vec::new(),
+            seen: HashSet::new(),
             port_shuffle_seed: None,
         }
     }
@@ -50,7 +56,9 @@ impl GraphBuilder {
         assert!(u < self.n && v < self.n, "edge endpoint out of range");
         if u != v {
             let key = if u < v { (u, v) } else { (v, u) };
-            self.edges.insert(key);
+            if self.seen.insert(key) {
+                self.edges.push((u, v));
+            }
         }
         self
     }
@@ -66,7 +74,7 @@ impl GraphBuilder {
     /// Returns whether the edge `{u, v}` has already been recorded.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         let key = if u < v { (u, v) } else { (v, u) };
-        self.edges.contains(&key)
+        self.seen.contains(&key)
     }
 
     /// Requests that the port order of every vertex be shuffled with the given
@@ -76,12 +84,9 @@ impl GraphBuilder {
         self
     }
 
-    /// Builds the final graph.
+    /// Builds the final graph (`O(n + m)` plus the optional shuffle).
     pub fn build(&self) -> Graph {
-        let mut g = Graph::new(self.n);
-        for &(u, v) in &self.edges {
-            g.add_edge(u, v);
-        }
+        let mut g = Graph::from_edges(self.n, &self.edges);
         if let Some(seed) = self.port_shuffle_seed {
             let mut rng = Xoshiro256::new(seed);
             for u in 0..self.n {
@@ -129,6 +134,19 @@ mod tests {
     }
 
     #[test]
+    fn build_replays_insertion_order_ports() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 2).edge(3, 0).edge(0, 1);
+        let g = b.build();
+        let mut expected = Graph::new(4);
+        expected.add_edge(0, 2);
+        expected.add_edge(3, 0);
+        expected.add_edge(0, 1);
+        assert_eq!(g, expected);
+        assert_eq!(g.neighbors(0), &[2, 3, 1]);
+    }
+
+    #[test]
     fn shuffled_ports_is_seed_deterministic_and_valid() {
         let mut b = GraphBuilder::new(8);
         for u in 0..8usize {
@@ -136,7 +154,11 @@ mod tests {
                 b.edge(u, v);
             }
         }
-        let g1 = b.clone().shuffled_ports(7).build();
+        let g1 = {
+            let mut b1 = b.clone();
+            b1.shuffled_ports(7);
+            b1.build()
+        };
         let g2 = {
             let mut b2 = b.clone();
             b2.shuffled_ports(7);

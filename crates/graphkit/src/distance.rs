@@ -6,9 +6,13 @@
 //! the full `n × n` distance matrix and computes it with one BFS per source,
 //! fanning the sources out over the available CPU cores with
 //! `std::thread::scope` — no external parallelism crate is needed.
+//!
+//! Each worker owns one [`BfsScratch`] and writes every source's distances
+//! straight into its row of the output buffer, so the whole sweep performs a
+//! constant number of allocations regardless of `n`.
 
 use crate::graph::{Graph, NodeId};
-use crate::traversal::bfs_distances;
+use crate::traversal::{bfs_distances_into, BfsScratch};
 use crate::{Dist, INFINITY};
 
 /// A dense `n × n` matrix of hop distances.
@@ -20,15 +24,10 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Computes all-pairs distances sequentially (one BFS per source).
+    /// Computes all-pairs distances sequentially (one BFS per source, zero
+    /// allocations per source).
     pub fn all_pairs_sequential(g: &Graph) -> Self {
-        let n = g.num_nodes();
-        let mut data = vec![INFINITY; n * n];
-        for u in 0..n {
-            let row = bfs_distances(g, u);
-            data[u * n..(u + 1) * n].copy_from_slice(&row);
-        }
-        DistanceMatrix { n, data }
+        Self::all_pairs_with_threads(g, 1)
     }
 
     /// Computes all-pairs distances, parallelising over source vertices.
@@ -42,10 +41,27 @@ impl DistanceMatrix {
             .map(|x| x.get())
             .unwrap_or(1)
             .min(n.max(1));
-        if n < 256 || threads <= 1 {
-            return Self::all_pairs_sequential(g);
+        if n < 256 {
+            return Self::all_pairs_with_threads(g, 1);
         }
+        Self::all_pairs_with_threads(g, threads)
+    }
+
+    /// Computes all-pairs distances with an explicit worker count
+    /// (`threads <= 1` runs on the calling thread).  The result does not
+    /// depend on `threads`; tests use this to exercise the parallel path on
+    /// any machine.
+    pub fn all_pairs_with_threads(g: &Graph, threads: usize) -> Self {
+        let n = g.num_nodes();
         let mut data = vec![INFINITY; n * n];
+        let threads = threads.clamp(1, n.max(1));
+        if threads == 1 {
+            let mut scratch = BfsScratch::with_capacity(n);
+            for (u, row) in data.chunks_mut(n.max(1)).enumerate().take(n) {
+                bfs_distances_into(g, u, &mut scratch, row);
+            }
+            return DistanceMatrix { n, data };
+        }
         // Split the output buffer into per-source row chunks and hand
         // contiguous blocks of sources to each worker.
         let chunk_rows = n.div_ceil(threads);
@@ -55,13 +71,13 @@ impl DistanceMatrix {
                 let start = t * chunk_rows;
                 let g = &g;
                 scope.spawn(move || {
+                    let mut scratch = BfsScratch::with_capacity(n);
                     for (i, row) in chunk.chunks_mut(n).enumerate() {
                         let u = start + i;
                         if u >= n {
                             break;
                         }
-                        let d = bfs_distances(g, u);
-                        row.copy_from_slice(&d);
+                        bfs_distances_into(g, u, &mut scratch, row);
                     }
                 });
             }
@@ -190,6 +206,7 @@ impl DistanceMatrix {
 mod tests {
     use super::*;
     use crate::generators;
+    use crate::traversal::bfs_distances;
 
     #[test]
     fn sequential_matches_bfs_rows() {
@@ -207,6 +224,18 @@ mod tests {
         let seq = DistanceMatrix::all_pairs_sequential(&g);
         let par = DistanceMatrix::all_pairs(&g);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn explicit_thread_counts_all_agree() {
+        // Forces the multi-threaded code path regardless of the machine's
+        // core count, including more threads than sources.
+        let g = generators::random_connected(97, 0.05, 13);
+        let seq = DistanceMatrix::all_pairs_with_threads(&g, 1);
+        for threads in [2, 3, 8, 200] {
+            let par = DistanceMatrix::all_pairs_with_threads(&g, threads);
+            assert_eq!(seq, par, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! Elementary graph families: paths, cycles, stars, wheels, complete and
 //! complete bipartite graphs, and barbells.
+//!
+//! All constructors collect their edge list in the documented insertion
+//! order and build the CSR graph in one [`Graph::from_edges`] pass.
 
 use crate::graph::Graph;
 
@@ -10,21 +13,15 @@ use crate::graph::Graph;
 /// `n − n'` extra vertices.
 pub fn path(n: usize) -> Graph {
     assert!(n >= 1, "path requires at least one vertex");
-    let mut g = Graph::new(n);
-    for i in 0..n.saturating_sub(1) {
-        g.add_edge(i, i + 1);
-    }
-    g
+    let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Graph::from_edges(n, &edges)
 }
 
 /// The cycle `C_n` on `n ≥ 3` vertices.
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle requires at least three vertices");
-    let mut g = Graph::new(n);
-    for i in 0..n {
-        g.add_edge(i, (i + 1) % n);
-    }
-    g
+    let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Graph::from_edges(n, &edges)
 }
 
 /// The complete graph `K_n` on `n ≥ 1` vertices.
@@ -35,39 +32,36 @@ pub fn cycle(n: usize) -> Graph {
 /// generator with [`crate::graph::Graph::permute_ports`].
 pub fn complete(n: usize) -> Graph {
     assert!(n >= 1, "complete graph requires at least one vertex");
-    let mut g = Graph::new(n);
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
     for u in 0..n {
         for v in (u + 1)..n {
-            g.add_edge(u, v);
+            edges.push((u, v));
         }
     }
-    g
+    Graph::from_edges(n, &edges)
 }
 
 /// The star `K_{1,k}`: centre `0` and leaves `1..=k` (`k ≥ 1`), `k + 1`
 /// vertices in total.
 pub fn star(k: usize) -> Graph {
     assert!(k >= 1, "star requires at least one leaf");
-    let mut g = Graph::new(k + 1);
-    for leaf in 1..=k {
-        g.add_edge(0, leaf);
-    }
-    g
+    let edges: Vec<_> = (1..=k).map(|leaf| (0, leaf)).collect();
+    Graph::from_edges(k + 1, &edges)
 }
 
 /// The wheel `W_k`: a hub (vertex `0`) connected to every vertex of a cycle on
 /// `k ≥ 3` vertices (`1..=k`).
 pub fn wheel(k: usize) -> Graph {
     assert!(k >= 3, "wheel requires a rim of at least three vertices");
-    let mut g = Graph::new(k + 1);
+    let mut edges = Vec::with_capacity(2 * k);
     for i in 1..=k {
-        g.add_edge(0, i);
+        edges.push((0, i));
     }
     for i in 1..=k {
         let next = if i == k { 1 } else { i + 1 };
-        g.add_edge(i, next);
+        edges.push((i, next));
     }
-    g
+    Graph::from_edges(k + 1, &edges)
 }
 
 /// The complete bipartite graph `K_{a,b}` with parts `0..a` and `a..a+b`.
@@ -76,13 +70,13 @@ pub fn wheel(k: usize) -> Graph {
 /// bipartite gadgets between the constrained level and the middle level.
 pub fn complete_bipartite(a: usize, b: usize) -> Graph {
     assert!(a >= 1 && b >= 1, "both parts must be non-empty");
-    let mut g = Graph::new(a + b);
+    let mut edges = Vec::with_capacity(a * b);
     for u in 0..a {
         for v in 0..b {
-            g.add_edge(u, a + v);
+            edges.push((u, a + v));
         }
     }
-    g
+    Graph::from_edges(a + b, &edges)
 }
 
 /// A barbell: two cliques `K_k` joined by a path of `bridge` intermediate
@@ -91,27 +85,27 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
 pub fn barbell(k: usize, bridge: usize) -> Graph {
     assert!(k >= 2, "each bell needs at least two vertices");
     let n = 2 * k + bridge;
-    let mut g = Graph::new(n);
+    let mut edges = Vec::new();
     // first clique on 0..k, second on k+bridge..n
     for u in 0..k {
         for v in (u + 1)..k {
-            g.add_edge(u, v);
+            edges.push((u, v));
         }
     }
     let second = k + bridge;
     for u in second..n {
         for v in (u + 1)..n {
-            g.add_edge(u, v);
+            edges.push((u, v));
         }
     }
     // bridge path from vertex k-1 to vertex `second`
     let mut prev = k - 1;
     for b in 0..bridge {
-        g.add_edge(prev, k + b);
+        edges.push((prev, k + b));
         prev = k + b;
     }
-    g.add_edge(prev, second);
-    g
+    edges.push((prev, second));
+    Graph::from_edges(n, &edges)
 }
 
 #[cfg(test)]
@@ -202,5 +196,14 @@ mod tests {
         assert_eq!(g.num_nodes(), 6);
         assert!(is_connected(&g));
         assert_eq!(g.num_edges(), 3 + 3 + 1);
+    }
+
+    #[test]
+    fn cycle_ports_match_historical_insertion_order() {
+        // Port semantics are part of the public contract: the CSR migration
+        // must reproduce the per-edge insertion order of the constructors.
+        let g = cycle(5);
+        assert_eq!(g.neighbors(0), &[1, 4]); // edge (0,1) first, then (4,0)
+        assert_eq!(g.neighbors(4), &[3, 0]); // edge (3,4) first, then (4,0)
     }
 }

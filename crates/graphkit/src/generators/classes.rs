@@ -18,10 +18,10 @@ use crate::rng::Xoshiro256;
 pub fn maximal_outerplanar(n: usize, seed: u64) -> Graph {
     assert!(n >= 3, "outerplanar generator requires n >= 3");
     let mut rng = Xoshiro256::new(seed);
-    let mut g = Graph::new(n);
-    g.add_edge(0, 1);
-    g.add_edge(1, 2);
-    g.add_edge(2, 0);
+    let mut edges = Vec::with_capacity(2 * n);
+    edges.push((0, 1));
+    edges.push((1, 2));
+    edges.push((2, 0));
     // `boundary` holds the outer face as a cyclic list of vertices.
     let mut boundary = vec![0usize, 1, 2];
     for v in 3..n {
@@ -29,11 +29,11 @@ pub fn maximal_outerplanar(n: usize, seed: u64) -> Graph {
         let i = rng.gen_range(boundary.len());
         let a = boundary[i];
         let b = boundary[(i + 1) % boundary.len()];
-        g.add_edge(v, a);
-        g.add_edge(v, b);
+        edges.push((v, a));
+        edges.push((v, b));
         boundary.insert(i + 1, v);
     }
-    g
+    Graph::from_edges(n, &edges)
 }
 
 /// A random `k`-tree on `n ≥ k + 1` vertices: the canonical family of chordal
@@ -43,12 +43,12 @@ pub fn maximal_outerplanar(n: usize, seed: u64) -> Graph {
 /// random existing `k`-clique.  We track the set of `k`-cliques explicitly.
 pub fn chordal_ktree(n: usize, k: usize, seed: u64) -> Graph {
     assert!(k >= 1, "k must be positive");
-    assert!(n >= k + 1, "need at least k + 1 vertices");
+    assert!(n > k, "need at least k + 1 vertices");
     let mut rng = Xoshiro256::new(seed);
-    let mut g = Graph::new(n);
+    let mut edges = Vec::with_capacity(k * (k + 1) / 2 + (n - k - 1) * k);
     for u in 0..=k {
         for v in (u + 1)..=k {
-            g.add_edge(u, v);
+            edges.push((u, v));
         }
     }
     // all k-subsets of the initial (k+1)-clique are k-cliques
@@ -61,7 +61,7 @@ pub fn chordal_ktree(n: usize, k: usize, seed: u64) -> Graph {
     for v in (k + 1)..n {
         let c = cliques[rng.gen_range(cliques.len())].clone();
         for &u in &c {
-            g.add_edge(u, v);
+            edges.push((u, v));
         }
         // the new k-cliques are c with one vertex replaced by v
         for omit in 0..k {
@@ -71,7 +71,7 @@ pub fn chordal_ktree(n: usize, k: usize, seed: u64) -> Graph {
             cliques.push(nc);
         }
     }
-    g
+    Graph::from_edges(n, &edges)
 }
 
 /// A connected unit interval graph on `n ≥ 1` vertices.
@@ -89,17 +89,17 @@ pub fn unit_interval(n: usize, seed: u64) -> Graph {
         // gap strictly less than 1 keeps consecutive points adjacent
         x += 0.05 + 0.9 * rng.next_f64();
     }
-    let mut g = Graph::new(n);
+    let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
             if pos[v] - pos[u] <= 1.0 {
-                g.add_edge(u, v);
+                edges.push((u, v));
             } else {
                 break;
             }
         }
     }
-    g
+    Graph::from_edges(n, &edges)
 }
 
 /// A connected unit circular-arc graph on `n ≥ 3` vertices.
@@ -125,15 +125,15 @@ pub fn unit_circular_arc(n: usize, seed: u64) -> Graph {
         let d = (starts[j] - starts[i]).rem_euclid(tau);
         d < len || (tau - d) < len
     };
-    let mut g = Graph::new(n);
+    let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
             if overlaps(u, v) {
-                g.add_edge(u, v);
+                edges.push((u, v));
             }
         }
     }
-    g
+    Graph::from_edges(n, &edges)
 }
 
 #[cfg(test)]
@@ -147,7 +147,11 @@ mod tests {
         for (n, seed) in [(3usize, 1u64), (4, 2), (10, 3), (50, 4), (200, 5)] {
             let g = maximal_outerplanar(n, seed);
             assert_eq!(g.num_nodes(), n);
-            assert_eq!(g.num_edges(), 2 * n - 3, "maximal outerplanar has 2n-3 edges");
+            assert_eq!(
+                g.num_edges(),
+                2 * n - 3,
+                "maximal outerplanar has 2n-3 edges"
+            );
             assert!(is_connected(&g));
             assert!(g.validate().is_ok());
         }

@@ -5,6 +5,7 @@
 //! `O(log n)` bits per router, in stark contrast with the `Θ(n log n)`
 //! worst-case of Theorem 1.
 
+use crate::builder::GraphBuilder;
 use crate::graph::Graph;
 
 /// The binary hypercube `H_k` on `2^k` vertices (`k ≥ 1`).
@@ -15,19 +16,20 @@ use crate::graph::Graph;
 pub fn hypercube(k: usize) -> Graph {
     assert!((1..=30).contains(&k), "hypercube dimension out of range");
     let n = 1usize << k;
-    let mut g = Graph::new(n);
+    let mut edges = Vec::with_capacity(k * n / 2);
     for u in 0..n {
         for i in 0..k {
             let v = u ^ (1 << i);
             if u < v {
-                g.add_edge(u, v);
+                edges.push((u, v));
             }
         }
     }
+    let mut g = Graph::from_edges(n, &edges);
     // Re-order the ports of every vertex so that port i crosses dimension i
     // (the labeling assumed by e-cube routing).
+    let mut perm = vec![0usize; k];
     for u in 0..n {
-        let mut perm = vec![0usize; k];
         for i in 0..k {
             let p = g.port_to(u, u ^ (1 << i)).expect("hypercube edge missing");
             perm[p] = i;
@@ -41,34 +43,37 @@ pub fn hypercube(k: usize) -> Graph {
 /// The `rows × cols` grid (mesh).  Vertex `(r, c)` has index `r * cols + c`.
 pub fn grid(rows: usize, cols: usize) -> Graph {
     assert!(rows >= 1 && cols >= 1, "grid dimensions must be positive");
-    let mut g = Graph::new(rows * cols);
     let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                g.add_edge(idx(r, c), idx(r, c + 1));
+                edges.push((idx(r, c), idx(r, c + 1)));
             }
             if r + 1 < rows {
-                g.add_edge(idx(r, c), idx(r + 1, c));
+                edges.push((idx(r, c), idx(r + 1, c)));
             }
         }
     }
-    g
+    Graph::from_edges(rows * cols, &edges)
 }
 
 /// The `rows × cols` torus (wrap-around grid).  Requires `rows, cols ≥ 3` so
 /// that the graph stays simple.
 pub fn torus(rows: usize, cols: usize) -> Graph {
-    assert!(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
-    let mut g = Graph::new(rows * cols);
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus dimensions must be at least 3"
+    );
     let idx = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
         for c in 0..cols {
-            g.add_edge_if_absent(idx(r, c), idx(r, (c + 1) % cols));
-            g.add_edge_if_absent(idx(r, c), idx((r + 1) % rows, c));
+            b.edge(idx(r, c), idx(r, (c + 1) % cols));
+            b.edge(idx(r, c), idx((r + 1) % rows, c));
         }
     }
-    g
+    b.build()
 }
 
 #[cfg(test)]

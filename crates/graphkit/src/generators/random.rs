@@ -1,5 +1,6 @@
 //! Random graph generators used as experiment workloads.
 
+use crate::builder::GraphBuilder;
 use crate::graph::Graph;
 use crate::rng::Xoshiro256;
 use crate::traversal::connected_components;
@@ -10,16 +11,21 @@ use crate::traversal::connected_components;
 pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
     assert!(n >= 1);
     assert!((0.0..=1.0).contains(&p), "probability out of range");
+    Graph::from_edges(n, &gnp_edges(n, p, seed))
+}
+
+/// The edge list that [`gnp`] builds from, in generation order.
+fn gnp_edges(n: usize, p: f64, seed: u64) -> Vec<(usize, usize)> {
     let mut rng = Xoshiro256::new(seed);
-    let mut g = Graph::new(n);
+    let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
             if rng.gen_bool(p) {
-                g.add_edge(u, v);
+                edges.push((u, v));
             }
         }
     }
-    g
+    edges
 }
 
 /// A connected Erdős–Rényi-style graph: draw `G(n, p)` and then add the
@@ -28,7 +34,10 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
 /// first component).  The result is always connected and has at least the
 /// edges of the underlying `G(n, p)` sample.
 pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
-    let mut g = gnp(n, p, seed);
+    assert!(n >= 1);
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut edges = gnp_edges(n, p, seed);
+    let g = Graph::from_edges(n, &edges);
     let mut rng = Xoshiro256::new(seed ^ 0x5DEE_CE66_D1CE_5EED);
     let (comp, count) = connected_components(&g);
     if count <= 1 {
@@ -41,13 +50,15 @@ pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
             reps[comp[v]] = v;
         }
     }
-    // collect the members of component 0 so links land on random anchors
+    // collect the members of component 0 so links land on random anchors;
+    // an anchor and a representative lie in different components, so the
+    // patch edges can never duplicate an existing edge.
     let members0: Vec<usize> = (0..n).filter(|&v| comp[v] == 0).collect();
-    for c in 1..count {
+    for &rep in &reps[1..] {
         let anchor = *rng.choose(&members0);
-        g.add_edge_if_absent(anchor, reps[c]);
+        edges.push((anchor, rep));
     }
-    g
+    Graph::from_edges(n, &edges)
 }
 
 /// A near-`d`-regular random graph on `n` vertices, built by superposing `d`
@@ -62,28 +73,30 @@ pub fn random_regular_like(n: usize, d: usize, seed: u64) -> Graph {
     assert!(n >= 2);
     assert!(d >= 1 && d < n, "degree must satisfy 1 <= d < n");
     let mut rng = Xoshiro256::new(seed);
-    let mut g = Graph::new(n);
+    let mut b = GraphBuilder::new(n);
     for _round in 0..d {
         let perm = rng.permutation(n);
         // pair consecutive entries of the permutation
         for pair in perm.chunks_exact(2) {
-            g.add_edge_if_absent(pair[0], pair[1]);
+            b.edge(pair[0], pair[1]);
         }
     }
     // patch connectivity
+    let g = b.build();
     let (comp, count) = connected_components(&g);
-    if count > 1 {
-        let mut reps = vec![usize::MAX; count];
-        for v in 0..n {
-            if reps[comp[v]] == usize::MAX {
-                reps[comp[v]] = v;
-            }
-        }
-        for c in 1..count {
-            g.add_edge_if_absent(reps[0], reps[c]);
+    if count <= 1 {
+        return g;
+    }
+    let mut reps = vec![usize::MAX; count];
+    for v in 0..n {
+        if reps[comp[v]] == usize::MAX {
+            reps[comp[v]] = v;
         }
     }
-    g
+    for c in 1..count {
+        b.edge(reps[0], reps[c]);
+    }
+    b.build()
 }
 
 #[cfg(test)]
@@ -122,7 +135,10 @@ mod tests {
     fn random_connected_is_connected_even_when_sparse() {
         for seed in 0..5u64 {
             let g = random_connected(100, 0.005, seed);
-            assert!(is_connected(&g), "seed {seed} produced a disconnected graph");
+            assert!(
+                is_connected(&g),
+                "seed {seed} produced a disconnected graph"
+            );
             assert!(g.validate().is_ok());
         }
     }

@@ -5,6 +5,7 @@
 //! rediscovers such matrices by exhaustive search over this generator's
 //! output.
 
+use crate::builder::GraphBuilder;
 use crate::graph::Graph;
 
 /// The Petersen graph: 10 vertices, 15 edges, 3-regular, girth 5, diameter 2.
@@ -22,17 +23,17 @@ pub fn petersen() -> Graph {
 pub fn generalized_petersen(n: usize, k: usize) -> Graph {
     assert!(n >= 3, "generalized Petersen graph requires n >= 3");
     assert!(k >= 1 && 2 * k < n, "requires 1 <= k < n/2");
-    let mut g = Graph::new(2 * n);
+    let mut b = GraphBuilder::new(2 * n);
     for i in 0..n {
-        g.add_edge(i, (i + 1) % n); // outer cycle
+        b.edge(i, (i + 1) % n); // outer cycle
     }
     for i in 0..n {
-        g.add_edge(i, n + i); // spokes
+        b.edge(i, n + i); // spokes
     }
     for i in 0..n {
-        g.add_edge_if_absent(n + i, n + ((i + k) % n)); // inner star polygon
+        b.edge(n + i, n + ((i + k) % n)); // inner star polygon
     }
-    g
+    b.build()
 }
 
 #[cfg(test)]
@@ -57,11 +58,23 @@ mod tests {
         // girth 5 already implies it, but check explicitly via adjacency.
         for (u, v) in g.edges() {
             for &w in g.neighbors(u) {
+                let w = w as usize;
                 if w != v {
                     assert!(!g.has_edge(w, v), "triangle {u},{v},{w}");
                 }
             }
         }
+    }
+
+    #[test]
+    fn petersen_ports_match_historical_insertion_order() {
+        // The figure-matrix machinery in `constraints::petersen` reads
+        // concrete port numbers off this generator, so the CSR migration must
+        // keep the insertion-order labeling: outer edges, spokes, pentagram.
+        let g = petersen();
+        assert_eq!(g.neighbors(0), &[1, 4, 5]);
+        assert_eq!(g.neighbors(4), &[3, 0, 9]);
+        assert_eq!(g.neighbors(5), &[0, 7, 8]);
     }
 
     #[test]

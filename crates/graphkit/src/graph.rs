@@ -1,5 +1,6 @@
 //! The central [`Graph`] type: a finite connected symmetric digraph with
-//! locally labeled output ports.
+//! locally labeled output ports, stored in **compressed sparse row** (CSR)
+//! form.
 //!
 //! The paper's model (Section 1): nodes are labeled `1..n`, and the output
 //! ports of node `x` are labeled `1..deg(x)`.  Each undirected edge `{u, v}`
@@ -9,11 +10,47 @@
 //! adjacency lists) carries information and why an adversarial labeling can
 //! force `Θ(n log n)` bits of routing table even on the complete graph.
 //!
+//! # CSR layout and invariants
+//!
+//! The adjacency structure lives in two flat arrays:
+//!
+//! * `offsets` — `n + 1` monotone `u32` values; the neighbours of vertex `u`
+//!   occupy `targets[offsets[u] .. offsets[u + 1]]`;
+//! * `targets` — `2 m` vertex ids (`u32`), one per arc.
+//!
+//! Invariants maintained by every constructor and mutator:
+//!
+//! 1. `offsets.len() == n + 1`, `offsets[0] == 0`,
+//!    `offsets[n] as usize == targets.len() == 2 * num_edges`;
+//! 2. the slice of `u` contains no duplicates and never `u` itself (graphs
+//!    are simple);
+//! 3. symmetry: `v` appears in the slice of `u` iff `u` appears in the slice
+//!    of `v`;
+//! 4. `n` and `2 m` both fit in `u32` (asserted on construction).
+//!
+//! # Port-labeling guarantee
+//!
+//! **Port `p` of vertex `u` is the index `p` into `u`'s CSR slice**, and
+//! batch construction assigns slice positions by *arc insertion order*:
+//! [`Graph::from_edges`] (and [`Graph::add_edges`]) processes the edge list
+//! in order, appending arc `(u, v)` to `u`'s slice and arc `(v, u)` to `v`'s
+//! slice as each edge `(u, v)` is encountered.  This reproduces exactly the
+//! port labeling that a sequence of [`Graph::add_edge`] calls in the same
+//! order (and with the same endpoint orientation) would produce, so every
+//! generator's documented port semantics — e.g. the hypercube's
+//! dimension-port labeling, or Lemma 2's "port of `a_i` towards `c_{i,k}` is
+//! `k − 1`" — survives the CSR migration bit-for-bit.  [`Graph::permute_ports`]
+//! relabels ports in place within a single slice; no other operation reorders
+//! a slice.
+//!
+//! [`Graph::neighbors`] exposes a node's slice directly (`&[u32]`), which is
+//! what makes the BFS/stretch hot loops in [`crate::traversal`] and
+//! [`crate::distance`] allocation- and pointer-chasing-free.
+//!
 //! Internally everything is 0-based; [`Graph::paper_node_label`] and
 //! [`Graph::paper_port_label`] translate to the paper's 1-based conventions
 //! for display purposes.
 
-use std::collections::HashSet;
 use std::fmt;
 
 /// Identifier of a vertex: an index in `0..n`.
@@ -23,12 +60,19 @@ pub type NodeId = usize;
 pub type Port = usize;
 
 /// A finite symmetric digraph (an undirected multigraph without parallel
-/// edges or self-loops) whose adjacency lists define the local port labeling.
+/// edges or self-loops) in CSR form; the order of each vertex's CSR slice
+/// defines its local port labeling.
 ///
-/// `adj[u][p]` is the neighbour reached from `u` through port `p`.
+/// The neighbour reached from `u` through port `p` is
+/// `targets[offsets[u] + p]`; see the module docs for the full invariant
+/// list.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
-    adj: Vec<Vec<NodeId>>,
+    /// `n + 1` monotone arc offsets; slice of `u` is
+    /// `targets[offsets[u]..offsets[u + 1]]`.
+    offsets: Vec<u32>,
+    /// Arc targets, `2 m` entries.
+    targets: Vec<u32>,
     num_edges: usize,
 }
 
@@ -47,16 +91,113 @@ impl fmt::Debug for Graph {
 impl Graph {
     /// Creates an empty graph with `n` isolated vertices.
     pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "vertex count must fit in u32");
         Graph {
-            adj: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
             num_edges: 0,
+        }
+    }
+
+    /// Builds a graph on `n` vertices from an edge list in one pass.
+    ///
+    /// Ports follow the insertion order of the list, with the orientation of
+    /// each pair preserved: edge `(u, v)` appends `v` to `u`'s slice *and
+    /// then* `u` to `v`'s slice, exactly as the equivalent sequence of
+    /// [`Graph::add_edge`] calls would.  This is the constructor every
+    /// generator uses; it runs in `O(n + m)`.
+    ///
+    /// Panics on self-loops, out-of-range endpoints, or duplicate edges: the
+    /// paper's graphs are simple.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut g = Graph::new(n);
+        g.add_edges(edges);
+        g
+    }
+
+    /// Appends a batch of edges; ports of the new arcs come after every
+    /// existing port of the touched vertices, in list order.
+    ///
+    /// Rebuilds the CSR arrays once, so the cost is `O(n + m + k)` for `k`
+    /// new edges — prefer this (or [`Graph::from_edges`]) over repeated
+    /// [`Graph::add_edge`] calls anywhere performance matters.
+    ///
+    /// Panics on self-loops, out-of-range endpoints, or duplicate edges
+    /// (including duplicates of edges already present).
+    pub fn add_edges(&mut self, edges: &[(NodeId, NodeId)]) {
+        if edges.is_empty() {
+            return;
+        }
+        let n = self.num_nodes();
+        let mut extra = vec![0u32; n];
+        for &(u, v) in edges {
+            assert!(
+                u < n && v < n,
+                "edge endpoint out of range: ({u},{v}) with n={n}"
+            );
+            assert_ne!(u, v, "self-loops are not allowed");
+            extra[u] += 1;
+            extra[v] += 1;
+        }
+        let new_arcs = self
+            .targets
+            .len()
+            .checked_add(2 * edges.len())
+            .expect("arc count overflow");
+        assert!(new_arcs < u32::MAX as usize, "arc count must fit in u32");
+
+        // New offsets: old degree + extra degree, prefix-summed.
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for u in 0..n {
+            acc += self.degree(u) as u32 + extra[u];
+            offsets.push(acc);
+        }
+
+        // Copy existing slices into place, then append the new arcs in edge
+        // order behind each vertex's existing ports.
+        let mut targets = vec![0u32; new_arcs];
+        let mut cursor = vec![0u32; n];
+        for u in 0..n {
+            let old = self.neighbors(u);
+            let start = offsets[u] as usize;
+            targets[start..start + old.len()].copy_from_slice(old);
+            cursor[u] = offsets[u] + old.len() as u32;
+        }
+        for &(u, v) in edges {
+            targets[cursor[u] as usize] = v as u32;
+            cursor[u] += 1;
+            targets[cursor[v] as usize] = u as u32;
+            cursor[v] += 1;
+        }
+
+        self.offsets = offsets;
+        self.targets = targets;
+        self.num_edges += edges.len();
+        self.assert_simple();
+    }
+
+    /// Panics if some vertex has a duplicate neighbour (`O(n + m)` via a
+    /// per-vertex stamp array).
+    fn assert_simple(&self) {
+        let n = self.num_nodes();
+        let mut stamp = vec![u32::MAX; n];
+        for u in 0..n {
+            for &v in self.neighbors(u) {
+                assert!(
+                    stamp[v as usize] != u as u32,
+                    "duplicate edge ({u},{v}): graphs are simple"
+                );
+                stamp[v as usize] = u as u32;
+            }
         }
     }
 
     /// Number of vertices.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges.
@@ -74,23 +215,34 @@ impl Graph {
     /// Degree of vertex `u`.
     #[inline]
     pub fn degree(&self, u: NodeId) -> usize {
-        self.adj[u].len()
+        (self.offsets[u + 1] - self.offsets[u]) as usize
     }
 
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree over all vertices (0 for the empty graph).
     pub fn min_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|u| self.degree(u))
+            .min()
+            .unwrap_or(0)
     }
 
-    /// Neighbours of `u` in port order.
+    /// Neighbours of `u` in port order, as the raw CSR slice: the neighbour
+    /// behind port `p` is `neighbors(u)[p]`.
+    ///
+    /// Entries are `u32` vertex ids (cast with `as usize` to index other
+    /// arrays); exposing the flat slice keeps BFS and routing sweeps free of
+    /// per-node indirection.
     #[inline]
-    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
-        &self.adj[u]
+    pub fn neighbors(&self, u: NodeId) -> &[u32] {
+        &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
     }
 
     /// Iterator over all vertices.
@@ -100,17 +252,21 @@ impl Graph {
 
     /// Iterator over all undirected edges as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
-            nbrs.iter()
-                .filter(move |&&v| u < v)
-                .map(move |&v| (u, v))
+        (0..self.num_nodes()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| u < v as usize)
+                .map(move |&v| (u, v as usize))
         })
     }
 
     /// Iterator over all arcs `(u, port, v)`.
     pub fn arcs(&self) -> impl Iterator<Item = (NodeId, Port, NodeId)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
-            nbrs.iter().enumerate().map(move |(p, &v)| (u, p, v))
+        (0..self.num_nodes()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .enumerate()
+                .map(move |(p, &v)| (u, p, v as usize))
         })
     }
 
@@ -119,21 +275,21 @@ impl Graph {
     /// Panics if `p >= deg(u)`.
     #[inline]
     pub fn port_target(&self, u: NodeId, p: Port) -> NodeId {
-        self.adj[u][p]
+        self.neighbors(u)[p] as usize
     }
 
     /// The port of `u` leading to `v`, if `{u, v}` is an edge.
     pub fn port_to(&self, u: NodeId, v: NodeId) -> Option<Port> {
-        self.adj[u].iter().position(|&w| w == v)
+        self.neighbors(u).iter().position(|&w| w as usize == v)
     }
 
     /// Whether `{u, v}` is an edge.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         // scan the smaller adjacency list
         if self.degree(u) <= self.degree(v) {
-            self.adj[u].contains(&v)
+            self.neighbors(u).contains(&(v as u32))
         } else {
-            self.adj[v].contains(&u)
+            self.neighbors(v).contains(&(u as u32))
         }
     }
 
@@ -141,21 +297,17 @@ impl Graph {
     ///
     /// Panics on self-loops, out-of-range endpoints, or duplicate edges: the
     /// paper's graphs are simple.
+    ///
+    /// This rebuilds the CSR arrays and therefore costs `O(n + m)` *per
+    /// call*; it is a convenience for tests and for small gadget surgery.
+    /// Bulk construction must use [`Graph::from_edges`] /
+    /// [`Graph::add_edges`] or [`crate::builder::GraphBuilder`].
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
-        let n = self.num_nodes();
-        assert!(u < n && v < n, "edge endpoint out of range: ({u},{v}) with n={n}");
-        assert_ne!(u, v, "self-loops are not allowed");
-        assert!(
-            !self.adj[u].contains(&v),
-            "duplicate edge ({u},{v}): graphs are simple"
-        );
-        self.adj[u].push(v);
-        self.adj[v].push(u);
-        self.num_edges += 1;
+        self.add_edges(&[(u, v)]);
     }
 
-    /// Adds the edge `{u, v}` if it is not already present; returns whether it
-    /// was added.
+    /// Adds the edge `{u, v}` if it is not already present; returns whether
+    /// it was added.  Same `O(n + m)`-per-call caveat as [`Graph::add_edge`].
     pub fn add_edge_if_absent(&mut self, u: NodeId, v: NodeId) -> bool {
         if u == v || self.has_edge(u, v) {
             false
@@ -168,7 +320,12 @@ impl Graph {
     /// Appends `k` fresh isolated vertices and returns their ids.
     pub fn add_nodes(&mut self, k: usize) -> Vec<NodeId> {
         let start = self.num_nodes();
-        self.adj.extend(std::iter::repeat_with(Vec::new).take(k));
+        assert!(
+            start + k < u32::MAX as usize,
+            "vertex count must fit in u32"
+        );
+        let end = *self.offsets.last().expect("offsets never empty");
+        self.offsets.extend(std::iter::repeat_n(end, k));
         (start..start + k).collect()
     }
 
@@ -193,30 +350,45 @@ impl Graph {
     /// graph, a suitable permutation of the port labels forces a router to
     /// store the entire permutation (`Θ(n log n)` bits), whereas the identity
     /// labeling allows an `O(log n)`-bit routing function.
+    ///
+    /// In CSR form this permutes `u`'s slice in place: `O(deg(u))`.
     pub fn permute_ports(&mut self, u: NodeId, perm: &[Port]) {
         let d = self.degree(u);
         assert_eq!(perm.len(), d, "permutation length must equal degree");
         debug_assert!(is_permutation(perm));
-        let mut new_adj = vec![usize::MAX; d];
-        for (p, &target) in self.adj[u].iter().enumerate() {
-            new_adj[perm[p]] = target;
+        let start = self.offsets[u] as usize;
+        let slice = &mut self.targets[start..start + d];
+        let mut relabeled = vec![u32::MAX; d];
+        for (p, &target) in slice.iter().enumerate() {
+            relabeled[perm[p]] = target;
         }
-        assert!(new_adj.iter().all(|&x| x != usize::MAX));
-        self.adj[u] = new_adj;
+        assert!(relabeled.iter().all(|&x| x != u32::MAX));
+        slice.copy_from_slice(&relabeled);
     }
 
     /// Relabels the vertices: `perm[u]` is the new id of the vertex currently
-    /// called `u`.  Adjacency-list orders (hence port labels) are preserved.
+    /// called `u`.  Slice orders (hence port labels) are preserved.
     pub fn relabel_nodes(&self, perm: &[NodeId]) -> Graph {
         let n = self.num_nodes();
         assert_eq!(perm.len(), n);
         debug_assert!(is_permutation(perm));
-        let mut adj = vec![Vec::new(); n];
+        let mut offsets = vec![0u32; n + 1];
         for u in 0..n {
-            adj[perm[u]] = self.adj[u].iter().map(|&v| perm[v]).collect();
+            offsets[perm[u] + 1] = self.degree(u) as u32;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![0u32; self.targets.len()];
+        for u in 0..n {
+            let dst = offsets[perm[u]] as usize;
+            for (i, &v) in self.neighbors(u).iter().enumerate() {
+                targets[dst + i] = perm[v as usize] as u32;
+            }
         }
         Graph {
-            adj,
+            offsets,
+            targets,
             num_edges: self.num_edges,
         }
     }
@@ -224,39 +396,47 @@ impl Graph {
     /// Returns the disjoint union of `self` and `other`; vertices of `other`
     /// are shifted by `self.num_nodes()`.
     pub fn disjoint_union(&self, other: &Graph) -> Graph {
-        let offset = self.num_nodes();
-        let mut adj = self.adj.clone();
-        adj.extend(
-            other
-                .adj
-                .iter()
-                .map(|nbrs| nbrs.iter().map(|&v| v + offset).collect::<Vec<_>>()),
-        );
+        let shift = self.num_nodes() as u32;
+        let arc_shift = *self.offsets.last().expect("offsets never empty");
+        let mut offsets = self.offsets.clone();
+        offsets.extend(other.offsets[1..].iter().map(|&o| o + arc_shift));
+        let mut targets = self.targets.clone();
+        targets.extend(other.targets.iter().map(|&v| v + shift));
         Graph {
-            adj,
+            offsets,
+            targets,
             num_edges: self.num_edges + other.num_edges,
         }
     }
 
-    /// Checks the structural invariants of the symmetric-digraph
-    /// representation: no self loops, no duplicate neighbours, and symmetry
-    /// (`v ∈ adj[u]` iff `u ∈ adj[v]`).  Returns an error string describing
-    /// the first violation found.
+    /// Checks the structural invariants of the CSR representation: monotone
+    /// offsets, no self loops, no duplicate neighbours, and symmetry
+    /// (`v ∈ slice(u)` iff `u ∈ slice(v)`).  Returns an error string
+    /// describing the first violation found.
     pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_nodes();
+        if self.offsets[0] != 0 || self.offsets[n] as usize != self.targets.len() {
+            return Err("offset array inconsistent with arc array".into());
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offset array is not monotone".into());
+        }
         let mut counted_edges = 0usize;
-        for u in 0..self.num_nodes() {
-            let mut seen = HashSet::new();
-            for &v in &self.adj[u] {
-                if v >= self.num_nodes() {
+        let mut stamp = vec![u32::MAX; n];
+        for u in 0..n {
+            for &v32 in self.neighbors(u) {
+                let v = v32 as usize;
+                if v >= n {
                     return Err(format!("vertex {u} has out-of-range neighbour {v}"));
                 }
                 if v == u {
                     return Err(format!("vertex {u} has a self-loop"));
                 }
-                if !seen.insert(v) {
+                if stamp[v] == u as u32 {
                     return Err(format!("vertex {u} has duplicate neighbour {v}"));
                 }
-                if !self.adj[v].contains(&u) {
+                stamp[v] = u as u32;
+                if !self.neighbors(v).contains(&(u as u32)) {
                     return Err(format!("arc ({u},{v}) present but ({v},{u}) missing"));
                 }
                 if u < v {
@@ -275,7 +455,7 @@ impl Graph {
 
     /// Sum of degrees (equals twice the number of edges on valid graphs).
     pub fn degree_sum(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum()
+        self.targets.len()
     }
 }
 
@@ -296,11 +476,7 @@ mod tests {
     use super::*;
 
     fn triangle() -> Graph {
-        let mut g = Graph::new(3);
-        g.add_edge(0, 1);
-        g.add_edge(1, 2);
-        g.add_edge(2, 0);
-        g
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])
     }
 
     #[test]
@@ -328,16 +504,41 @@ mod tests {
 
     #[test]
     fn ports_follow_insertion_order() {
-        let mut g = Graph::new(4);
-        g.add_edge(0, 2);
-        g.add_edge(0, 1);
-        g.add_edge(0, 3);
+        let g = Graph::from_edges(4, &[(0, 2), (0, 1), (0, 3)]);
         assert_eq!(g.port_target(0, 0), 2);
         assert_eq!(g.port_target(0, 1), 1);
         assert_eq!(g.port_target(0, 2), 3);
         assert_eq!(g.port_to(0, 3), Some(2));
         assert_eq!(g.port_to(0, 1), Some(1));
         assert_eq!(g.port_to(1, 3), None);
+    }
+
+    #[test]
+    fn from_edges_matches_incremental_add_edge() {
+        // The batch constructor must replay the per-edge insertion-order
+        // semantics exactly, including the orientation of each pair.
+        let edges = [(2usize, 0usize), (0, 1), (3, 0), (1, 3), (4, 1)];
+        let batch = Graph::from_edges(5, &edges);
+        let mut incr = Graph::new(5);
+        for &(u, v) in &edges {
+            incr.add_edge(u, v);
+        }
+        assert_eq!(batch, incr);
+        // orientation matters: (2,0) appends 0 to slice(2) first
+        assert_eq!(batch.port_target(2, 0), 0);
+        assert_eq!(batch.port_target(0, 0), 2);
+        assert_eq!(batch.port_target(0, 1), 1);
+        assert_eq!(batch.port_target(0, 2), 3);
+    }
+
+    #[test]
+    fn add_edges_appends_ports_behind_existing_ones() {
+        let mut g = Graph::from_edges(5, &[(0, 1), (0, 2)]);
+        g.add_edges(&[(0, 3), (3, 4)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.neighbors(3), &[0, 4]);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.validate().is_ok());
     }
 
     #[test]
@@ -363,6 +564,12 @@ mod tests {
     }
 
     #[test]
+    #[should_panic]
+    fn duplicate_edge_in_batch_panics() {
+        let _ = Graph::from_edges(3, &[(0, 1), (1, 2), (1, 0)]);
+    }
+
+    #[test]
     fn add_edge_if_absent_dedups() {
         let mut g = Graph::new(3);
         assert!(g.add_edge_if_absent(0, 1));
@@ -378,6 +585,7 @@ mod tests {
         assert_eq!(ids, vec![3, 4]);
         assert_eq!(g.num_nodes(), 5);
         assert_eq!(g.degree(3), 0);
+        assert!(g.validate().is_ok());
     }
 
     #[test]
@@ -399,10 +607,7 @@ mod tests {
 
     #[test]
     fn permute_ports_changes_targets_consistently() {
-        let mut g = Graph::new(4);
-        g.add_edge(0, 1);
-        g.add_edge(0, 2);
-        g.add_edge(0, 3);
+        let mut g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
         // move port 0 -> 2, 1 -> 0, 2 -> 1
         g.permute_ports(0, &[2, 0, 1]);
         assert_eq!(g.port_target(0, 2), 1);
@@ -423,6 +628,17 @@ mod tests {
     }
 
     #[test]
+    fn relabel_nodes_preserves_port_order() {
+        let g = Graph::from_edges(4, &[(0, 2), (0, 1), (0, 3)]);
+        let perm = [3usize, 1, 0, 2];
+        let h = g.relabel_nodes(&perm);
+        // vertex 0 became 3; its ports still lead to the images of 2, 1, 3
+        assert_eq!(h.port_target(3, 0), perm[2]);
+        assert_eq!(h.port_target(3, 1), perm[1]);
+        assert_eq!(h.port_target(3, 2), perm[3]);
+    }
+
+    #[test]
     fn disjoint_union_offsets_second_graph() {
         let g = triangle();
         let h = triangle();
@@ -436,10 +652,21 @@ mod tests {
 
     #[test]
     fn validate_detects_asymmetry() {
-        // Construct an invalid graph by hand via relabel of internals:
+        // Construct an invalid graph by hand via the private CSR fields
+        // (white-box test): drop the last arc of vertex 0's slice.
         let mut g = triangle();
-        // break symmetry through the private field (white-box test)
-        g.adj[0].pop();
+        let end = g.offsets[1] as usize;
+        g.targets.remove(end - 1);
+        for o in &mut g.offsets[1..] {
+            *o -= 1;
+        }
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_detects_wrong_edge_count() {
+        let mut g = triangle();
+        g.num_edges = 2;
         assert!(g.validate().is_err());
     }
 }

@@ -9,6 +9,7 @@
 //!   Petersen example, the graphs of constraints of Equation (3)).
 
 use crate::graph::{Graph, NodeId};
+use std::collections::HashSet;
 use std::fmt::Write as _;
 
 /// Serialises the graph as an edge list: first line `n`, then `u v` per edge.
@@ -34,7 +35,8 @@ pub fn from_edge_list(text: &str) -> Result<Graph, String> {
     let n: usize = first
         .parse()
         .map_err(|_| format!("invalid vertex count {first:?}"))?;
-    let mut g = Graph::new(n);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
     for (lineno, line) in lines.enumerate() {
         let mut it = line.split_whitespace();
         let u: NodeId = it
@@ -56,12 +58,12 @@ pub fn from_edge_list(text: &str) -> Result<Graph, String> {
         if u == v {
             return Err(format!("line {}: self-loop", lineno + 2));
         }
-        if g.has_edge(u, v) {
+        if !seen.insert(if u < v { (u, v) } else { (v, u) }) {
             return Err(format!("line {}: duplicate edge", lineno + 2));
         }
-        g.add_edge(u, v);
+        edges.push((u, v));
     }
-    Ok(g)
+    Ok(Graph::from_edges(n, &edges))
 }
 
 /// Renders the graph as an (undirected) Graphviz DOT document.  Optional

@@ -6,7 +6,9 @@
 //! The paper models point-to-point communication networks as finite connected
 //! symmetric digraphs: every node is labeled by an integer in `{1..n}` and the
 //! output ports of a node `x` are labeled by integers in `{1..deg(x)}`.  This
-//! crate provides exactly that object — [`Graph`] — together with
+//! crate provides exactly that object — [`Graph`], a compressed-sparse-row
+//! structure whose per-node slice order *is* the port labeling (see the
+//! [`graph`] module docs for the invariants) — together with
 //!
 //! * deterministic pseudo-random generation ([`rng`]),
 //! * the graph families used throughout the paper's Table 1 and its proofs
@@ -14,6 +16,7 @@
 //!   Petersen graph, complete graphs, outerplanar graphs, chordal graphs,
 //!   unit circular-arc graphs and random graphs,
 //! * breadth-first traversals, eccentricities and diameters ([`traversal`]),
+//!   built on a reusable zero-allocation workspace ([`BfsScratch`]),
 //! * all-pairs shortest-path distances, computed in parallel ([`distance`]),
 //! * structural predicates and statistics ([`properties`]),
 //! * plain-text import/export ([`io`]).
@@ -46,6 +49,7 @@ pub use builder::GraphBuilder;
 pub use distance::DistanceMatrix;
 pub use graph::{Graph, NodeId, Port};
 pub use rng::Xoshiro256;
+pub use traversal::BfsScratch;
 
 /// Distance value used throughout the crate. `u32::MAX` encodes "unreachable".
 pub type Dist = u32;

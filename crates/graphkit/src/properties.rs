@@ -47,6 +47,7 @@ pub fn is_bipartite(g: &Graph) -> bool {
         let mut stack = vec![s];
         while let Some(u) = stack.pop() {
             for &v in g.neighbors(u) {
+                let v = v as usize;
                 if color[v] == u8::MAX {
                     color[v] = 1 - color[u];
                     stack.push(v);
@@ -85,6 +86,7 @@ pub fn is_chordal_via_peo(g: &Graph) -> bool {
         visited[u] = true;
         order.push(u);
         for &v in g.neighbors(u) {
+            let v = v as usize;
             if !visited[v] {
                 weight[v] += 1;
             }
@@ -99,13 +101,13 @@ pub fn is_chordal_via_peo(g: &Graph) -> bool {
     // Let w be the one with the smallest pos among those.  Then all of
     // Nv \ {w} must be adjacent to w.
     let adj: Vec<HashSet<NodeId>> = (0..n)
-        .map(|u| g.neighbors(u).iter().copied().collect())
+        .map(|u| g.neighbors(u).iter().map(|&v| v as usize).collect())
         .collect();
     for &v in &order {
         let later: Vec<NodeId> = g
             .neighbors(v)
             .iter()
-            .copied()
+            .map(|&u| u as usize)
             .filter(|&u| pos[u] < pos[v])
             .collect();
         if later.len() <= 1 {
@@ -134,15 +136,17 @@ pub fn density(g: &Graph) -> f64 {
 pub fn triangle_count(g: &Graph) -> usize {
     let n = g.num_nodes();
     let adj: Vec<HashSet<NodeId>> = (0..n)
-        .map(|u| g.neighbors(u).iter().copied().collect())
+        .map(|u| g.neighbors(u).iter().map(|&v| v as usize).collect())
         .collect();
     let mut count = 0usize;
     for u in 0..n {
         for &v in g.neighbors(u) {
+            let v = v as usize;
             if v <= u {
                 continue;
             }
             for &w in g.neighbors(v) {
+                let w = w as usize;
                 if w > v && adj[u].contains(&w) {
                     count += 1;
                 }

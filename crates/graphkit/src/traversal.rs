@@ -5,15 +5,105 @@
 //! the graphs of constraints are engineered so that the unique shortest path
 //! between a constrained vertex and a target vertex has length 2 while every
 //! detour has length at least 4.
+//!
+//! The BFS core is written for the CSR [`Graph`] hot path: a flat `Vec<u32>`
+//! queue walked by a head index (no `VecDeque` ring arithmetic), and a
+//! reusable [`BfsScratch`] workspace so that sweeps such as
+//! [`crate::distance::DistanceMatrix::all_pairs`] perform **zero heap
+//! allocations per source** after the first.
 
 use crate::graph::{Graph, NodeId, Port};
 use crate::{Dist, INFINITY};
-use std::collections::VecDeque;
+
+/// Reusable BFS workspace: a flat queue plus the distance buffer.
+///
+/// One `BfsScratch` supports any number of consecutive traversals (of graphs
+/// of any size); buffers grow to the high-water mark and are then recycled.
+#[derive(Debug, Default, Clone)]
+pub struct BfsScratch {
+    /// Flat FIFO; consumed by advancing a head index instead of popping.
+    queue: Vec<u32>,
+    /// Distance buffer for entry points that do not borrow one from the
+    /// caller ([`bfs_distances_scratch`]).
+    dist: Vec<Dist>,
+}
+
+impl BfsScratch {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a workspace pre-sized for graphs on `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        BfsScratch {
+            queue: Vec::with_capacity(n),
+            dist: Vec::with_capacity(n),
+        }
+    }
+}
+
+/// Single-source BFS distances written into a caller-provided buffer.
+///
+/// `dist` must have length `g.num_nodes()`; it is fully overwritten
+/// (unreached vertices get [`INFINITY`]).  Allocation-free once `scratch` has
+/// warmed up, which is what makes the all-pairs sweep cheap.
+pub fn bfs_distances_into(g: &Graph, source: NodeId, scratch: &mut BfsScratch, dist: &mut [Dist]) {
+    let n = g.num_nodes();
+    assert!(source < n, "BFS source out of range");
+    assert_eq!(dist.len(), n, "distance buffer has the wrong length");
+    dist.fill(INFINITY);
+    let queue = &mut scratch.queue;
+    queue.clear();
+    queue.reserve(n);
+    dist[source] = 0;
+    queue.push(source as u32);
+    let mut head = 0usize;
+    while head < queue.len() {
+        let u = queue[head] as usize;
+        head += 1;
+        let du = dist[u] + 1;
+        for &v in g.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == INFINITY {
+                dist[v] = du;
+                queue.push(v as u32);
+            }
+        }
+    }
+}
+
+/// Like [`bfs_distances_into`], but reusing the scratch's own distance
+/// buffer; returns a borrow of it.
+pub fn bfs_distances_scratch<'a>(
+    g: &Graph,
+    source: NodeId,
+    scratch: &'a mut BfsScratch,
+) -> &'a [Dist] {
+    let n = g.num_nodes();
+    scratch.dist.resize(n, INFINITY);
+    let mut dist = std::mem::take(&mut scratch.dist);
+    bfs_distances_into(g, source, scratch, &mut dist);
+    scratch.dist = dist;
+    &scratch.dist
+}
+
+/// Distances from `source` only (slightly cheaper than [`bfs`]).
+///
+/// Convenience wrapper allocating fresh buffers; sweeps should use
+/// [`bfs_distances_into`] with a [`BfsScratch`] instead.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Dist> {
+    let mut dist = vec![INFINITY; g.num_nodes()];
+    let mut scratch = BfsScratch::new();
+    bfs_distances_into(g, source, &mut scratch, &mut dist);
+    dist
+}
 
 /// Result of a single-source BFS: distances, BFS-tree parents and the parent
 /// ports (the port of `parent[v]` that leads to `v` is not stored; instead we
 /// store, for each `v`, the port *of `v`* leading to its parent, which is what
-/// tree-routing schemes need, and the parent id itself).
+/// tree-routing schemes need, and the parent id itself).  Child lists are
+/// precomputed in CSR form so [`BfsTree::children`] is `O(1)`.
 #[derive(Debug, Clone)]
 pub struct BfsTree {
     /// Source vertex of the traversal.
@@ -26,6 +116,11 @@ pub struct BfsTree {
     pub parent: Vec<Option<NodeId>>,
     /// `parent_port[v]` = the port of `v` leading back to `parent[v]`.
     pub parent_port: Vec<Option<Port>>,
+    /// CSR offsets into `child_targets`, one slice per vertex.
+    child_offsets: Vec<u32>,
+    /// Children of every vertex in the BFS tree, grouped by parent and
+    /// ascending within each group.
+    child_targets: Vec<u32>,
 }
 
 impl BfsTree {
@@ -50,11 +145,12 @@ impl BfsTree {
         Some(path)
     }
 
-    /// The children of `u` in the BFS tree.
-    pub fn children(&self, u: NodeId) -> Vec<NodeId> {
-        (0..self.parent.len())
-            .filter(|&v| self.parent[v] == Some(u))
-            .collect()
+    /// The children of `u` in the BFS tree, in ascending vertex order.
+    ///
+    /// Precomputed at construction; this is a slice borrow, not an `O(n)`
+    /// scan.
+    pub fn children(&self, u: NodeId) -> &[u32] {
+        &self.child_targets[self.child_offsets[u] as usize..self.child_offsets[u + 1] as usize]
     }
 }
 
@@ -63,19 +159,41 @@ pub fn bfs(g: &Graph, source: NodeId) -> BfsTree {
     let n = g.num_nodes();
     assert!(source < n, "BFS source out of range");
     let mut dist = vec![INFINITY; n];
-    let mut parent = vec![None; n];
-    let mut parent_port = vec![None; n];
-    let mut queue = VecDeque::new();
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut parent_port: Vec<Option<Port>> = vec![None; n];
+    let mut queue: Vec<u32> = Vec::with_capacity(n);
     dist[source] = 0;
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
+    queue.push(source as u32);
+    let mut head = 0usize;
+    while head < queue.len() {
+        let u = queue[head] as usize;
+        head += 1;
+        let du = dist[u] + 1;
         for &v in g.neighbors(u) {
+            let v = v as usize;
             if dist[v] == INFINITY {
-                dist[v] = dist[u] + 1;
+                dist[v] = du;
                 parent[v] = Some(u);
                 parent_port[v] = g.port_to(v, u);
-                queue.push_back(v);
+                queue.push(v as u32);
             }
+        }
+    }
+    // Child lists in CSR form: counting sort keyed by parent, filled in
+    // ascending child order.
+    let mut child_offsets = vec![0u32; n + 1];
+    for &p in parent.iter().flatten() {
+        child_offsets[p + 1] += 1;
+    }
+    for i in 0..n {
+        child_offsets[i + 1] += child_offsets[i];
+    }
+    let mut cursor = child_offsets.clone();
+    let mut child_targets = vec![0u32; child_offsets[n] as usize];
+    for (v, &p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            child_targets[cursor[p] as usize] = v as u32;
+            cursor[p] += 1;
         }
     }
     BfsTree {
@@ -83,26 +201,9 @@ pub fn bfs(g: &Graph, source: NodeId) -> BfsTree {
         dist,
         parent,
         parent_port,
+        child_offsets,
+        child_targets,
     }
-}
-
-/// Distances from `source` only (slightly cheaper than [`bfs`]).
-pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Dist> {
-    let n = g.num_nodes();
-    let mut dist = vec![INFINITY; n];
-    let mut queue = VecDeque::new();
-    dist[source] = 0;
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u];
-        for &v in g.neighbors(u) {
-            if dist[v] == INFINITY {
-                dist[v] = du + 1;
-                queue.push_back(v);
-            }
-        }
-    }
-    dist
 }
 
 /// Whether the graph is connected (the empty graph is considered connected).
@@ -122,18 +223,23 @@ pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
     let n = g.num_nodes();
     let mut comp = vec![usize::MAX; n];
     let mut count = 0;
+    let mut queue: Vec<u32> = Vec::with_capacity(n);
     for s in 0..n {
         if comp[s] != usize::MAX {
             continue;
         }
-        let mut queue = VecDeque::new();
+        queue.clear();
         comp[s] = count;
-        queue.push_back(s);
-        while let Some(u) = queue.pop_front() {
+        queue.push(s as u32);
+        let mut head = 0usize;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
             for &v in g.neighbors(u) {
+                let v = v as usize;
                 if comp[v] == usize::MAX {
                     comp[v] = count;
-                    queue.push_back(v);
+                    queue.push(v as u32);
                 }
             }
         }
@@ -145,9 +251,14 @@ pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
 /// Eccentricity of `v`: the maximum distance from `v` to any reachable vertex.
 /// Returns `None` if some vertex is unreachable from `v`.
 pub fn eccentricity(g: &Graph, v: NodeId) -> Option<Dist> {
-    let dist = bfs_distances(g, v);
+    let mut scratch = BfsScratch::with_capacity(g.num_nodes());
+    eccentricity_scratch(g, v, &mut scratch)
+}
+
+fn eccentricity_scratch(g: &Graph, v: NodeId, scratch: &mut BfsScratch) -> Option<Dist> {
+    let dist = bfs_distances_scratch(g, v, scratch);
     let mut ecc = 0;
-    for &d in &dist {
+    for &d in dist {
         if d == INFINITY {
             return None;
         }
@@ -157,40 +268,49 @@ pub fn eccentricity(g: &Graph, v: NodeId) -> Option<Dist> {
 }
 
 /// Diameter of the graph (maximum eccentricity).  Returns `None` on
-/// disconnected or empty graphs.
+/// disconnected or empty graphs.  One BFS per vertex, all sharing a single
+/// scratch workspace.
 pub fn diameter(g: &Graph) -> Option<Dist> {
     if g.num_nodes() == 0 {
         return None;
     }
+    let mut scratch = BfsScratch::with_capacity(g.num_nodes());
     let mut best = 0;
     for v in g.nodes() {
-        best = best.max(eccentricity(g, v)?);
+        best = best.max(eccentricity_scratch(g, v, &mut scratch)?);
     }
     Some(best)
 }
 
 /// Girth of the graph: the length of a shortest cycle, or `None` if the graph
-/// is acyclic.  Uses one BFS per vertex, which is adequate for the graph
-/// sizes exercised by the experiments.
+/// is acyclic.  Uses one BFS per vertex with shared buffers, which is
+/// adequate for the graph sizes exercised by the experiments.
 pub fn girth(g: &Graph) -> Option<Dist> {
     let n = g.num_nodes();
     let mut best: Option<Dist> = None;
+    let mut dist = vec![INFINITY; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut queue: Vec<u32> = Vec::with_capacity(n);
     for s in 0..n {
         // BFS from s; a non-tree edge (u,v) closes a cycle of length
         // dist[u] + dist[v] + 1 through s (an upper bound on the cycle through
         // that edge, and the minimum over all s and edges is the girth).
-        let mut dist = vec![INFINITY; n];
-        let mut parent = vec![usize::MAX; n];
-        let mut queue = VecDeque::new();
+        dist.fill(INFINITY);
+        parent.fill(u32::MAX);
+        queue.clear();
         dist[s] = 0;
-        queue.push_back(s);
-        while let Some(u) = queue.pop_front() {
-            for &v in g.neighbors(u) {
+        queue.push(s as u32);
+        let mut head = 0usize;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
+            for &v32 in g.neighbors(u) {
+                let v = v32 as usize;
                 if dist[v] == INFINITY {
                     dist[v] = dist[u] + 1;
-                    parent[v] = u;
-                    queue.push_back(v);
-                } else if parent[u] != v {
+                    parent[v] = u as u32;
+                    queue.push(v32);
+                } else if parent[u] != v32 {
                     let cycle = dist[u] + dist[v] + 1;
                     best = Some(best.map_or(cycle, |b| b.min(cycle)));
                 }
@@ -233,6 +353,7 @@ fn collect_paths(
         return;
     }
     for &w in g.neighbors(cur) {
+        let w = w as usize;
         if dist_from_v[w] + 1 == dist_from_v[cur] {
             stack.push(w);
             collect_paths(g, dist_from_v, v, stack, out);
@@ -253,6 +374,22 @@ mod tests {
         assert_eq!(d, vec![0, 1, 2, 3, 4]);
         let d2 = bfs_distances(&g, 2);
         assert_eq!(d2, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_distances_into_reuses_buffers_across_graphs() {
+        let mut scratch = BfsScratch::new();
+        let mut dist = vec![0 as Dist; 7];
+        let g = generators::cycle(7);
+        bfs_distances_into(&g, 0, &mut scratch, &mut dist);
+        assert_eq!(dist, vec![0, 1, 2, 3, 3, 2, 1]);
+        // Same scratch, different (smaller) graph: buffer contents must not
+        // leak between traversals.
+        let h = generators::path(3);
+        let mut dist2 = vec![99 as Dist; 3];
+        bfs_distances_into(&h, 2, &mut scratch, &mut dist2);
+        assert_eq!(dist2, vec![2, 1, 0]);
+        assert_eq!(bfs_distances_scratch(&h, 0, &mut scratch), &[0, 1, 2]);
     }
 
     #[test]
@@ -364,9 +501,21 @@ mod tests {
     fn children_listed_correctly() {
         let g = generators::star(5);
         let t = bfs(&g, 0);
-        let mut c = t.children(0);
-        c.sort_unstable();
-        assert_eq!(c, vec![1, 2, 3, 4, 5]);
+        assert_eq!(t.children(0), &[1, 2, 3, 4, 5]);
         assert!(t.children(1).is_empty());
+    }
+
+    #[test]
+    fn children_match_parent_pointers_on_random_graph() {
+        let g = generators::random_connected(60, 0.08, 17);
+        let t = bfs(&g, 3);
+        for u in 0..g.num_nodes() {
+            for &c in t.children(u) {
+                assert_eq!(t.parent[c as usize], Some(u));
+            }
+        }
+        let listed: usize = (0..g.num_nodes()).map(|u| t.children(u).len()).sum();
+        let with_parent = t.parent.iter().filter(|p| p.is_some()).count();
+        assert_eq!(listed, with_parent);
     }
 }

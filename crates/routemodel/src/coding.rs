@@ -164,11 +164,8 @@ impl<'a> BitReader<'a> {
     /// Reads an Elias-gamma-coded positive integer.
     pub fn read_elias_gamma(&mut self) -> Option<u64> {
         let mut zeros = 0u32;
-        loop {
-            match self.read_bit()? {
-                false => zeros += 1,
-                true => break,
-            }
+        while !self.read_bit()? {
+            zeros += 1;
             if zeros > 64 {
                 return None;
             }
@@ -287,7 +284,19 @@ mod tests {
 
     #[test]
     fn elias_gamma_round_trip() {
-        let values = [1u64, 2, 3, 4, 5, 17, 100, 255, 256, 1 << 20, u32::MAX as u64];
+        let values = [
+            1u64,
+            2,
+            3,
+            4,
+            5,
+            17,
+            100,
+            255,
+            256,
+            1 << 20,
+            u32::MAX as u64,
+        ];
         let mut w = BitWriter::new();
         for &v in &values {
             w.push_elias_gamma(v);
@@ -346,12 +355,20 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Randomized round-trip properties, driven by the repository's seeded
+    //! RNG (no external property-testing framework is available offline).
 
-    proptest! {
-        #[test]
-        fn prop_uint_roundtrip(values in proptest::collection::vec(0u64..u32::MAX as u64, 1..50)) {
+    use super::*;
+    use graphkit::Xoshiro256;
+
+    const CASES: usize = 32;
+
+    #[test]
+    fn prop_uint_roundtrip() {
+        let mut rng = Xoshiro256::new(0x0DD5);
+        for case in 0..CASES {
+            let len = rng.gen_range_inclusive(1, 49);
+            let values: Vec<u64> = (0..len).map(|_| rng.next_u64() % u32::MAX as u64).collect();
             let mut w = BitWriter::new();
             for &v in &values {
                 w.push_uint(v, 32);
@@ -359,12 +376,17 @@ mod proptests {
             let bits = w.into_bits();
             let mut r = BitReader::new(&bits);
             for &v in &values {
-                prop_assert_eq!(r.read_uint(32), Some(v));
+                assert_eq!(r.read_uint(32), Some(v), "case {case}");
             }
         }
+    }
 
-        #[test]
-        fn prop_elias_roundtrip(values in proptest::collection::vec(1u64..1_000_000u64, 1..50)) {
+    #[test]
+    fn prop_elias_roundtrip() {
+        let mut rng = Xoshiro256::new(0xE11A5);
+        for case in 0..CASES {
+            let len = rng.gen_range_inclusive(1, 49);
+            let values: Vec<u64> = (0..len).map(|_| 1 + rng.next_u64() % 999_999).collect();
             let mut w = BitWriter::new();
             for &v in &values {
                 w.push_elias_gamma(v);
@@ -373,28 +395,36 @@ mod proptests {
             let bits = w.into_bits();
             let mut r = BitReader::new(&bits);
             for &v in &values {
-                prop_assert_eq!(r.read_elias_gamma(), Some(v));
-                prop_assert_eq!(r.read_elias_delta(), Some(v));
+                assert_eq!(r.read_elias_gamma(), Some(v), "case {case}");
+                assert_eq!(r.read_elias_delta(), Some(v), "case {case}");
             }
         }
+    }
 
-        #[test]
-        fn prop_binomial_symmetry(n in 1u64..200, k in 0u64..200) {
-            prop_assume!(k <= n);
+    #[test]
+    fn prop_binomial_symmetry() {
+        let mut rng = Xoshiro256::new(0xB1A5);
+        for _ in 0..CASES {
+            let n = 1 + rng.next_u64() % 199;
+            let k = rng.next_u64() % (n + 1);
             let a = log2_binomial(n, k);
             let b = log2_binomial(n, n - k);
-            prop_assert!((a - b).abs() < 1e-6);
+            assert!((a - b).abs() < 1e-6, "n={n} k={k}");
         }
+    }
 
-        #[test]
-        fn prop_pascal_identity(n in 2u64..120, k in 1u64..119) {
-            prop_assume!(k < n);
+    #[test]
+    fn prop_pascal_identity() {
+        let mut rng = Xoshiro256::new(0x9A5CA1);
+        for _ in 0..CASES {
+            let n = 2 + rng.next_u64() % 118;
+            let k = 1 + rng.next_u64() % (n - 1);
             // C(n,k) = C(n-1,k-1) + C(n-1,k): check in log space within tolerance.
             let lhs = log2_binomial(n, k);
             let a = log2_binomial(n - 1, k - 1);
             let b = log2_binomial(n - 1, k);
             let sum = (2f64.powf(a - lhs) + 2f64.powf(b - lhs)).log2() + lhs;
-            prop_assert!((sum - lhs).abs() < 1e-6);
+            assert!((sum - lhs).abs() < 1e-6, "n={n} k={k}");
         }
     }
 }

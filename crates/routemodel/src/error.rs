@@ -51,10 +51,9 @@ impl fmt::Display for RoutingError {
                 f,
                 "message from {source} to {dest} was delivered at {delivered_at}"
             ),
-            RoutingError::PortOutOfRange { node, port, degree } => write!(
-                f,
-                "port {port} requested at node {node} of degree {degree}"
-            ),
+            RoutingError::PortOutOfRange { node, port, degree } => {
+                write!(f, "port {port} requested at node {node} of degree {degree}")
+            }
             RoutingError::StretchExceeded {
                 source,
                 dest,

@@ -79,11 +79,7 @@ where
 pub fn dest_address_routing<FP>(
     name: impl Into<String>,
     port_fn: FP,
-) -> FnRouting<
-    impl Fn(NodeId, NodeId) -> Header,
-    FP,
-    impl Fn(NodeId, &Header) -> Header,
->
+) -> FnRouting<impl Fn(NodeId, NodeId) -> Header, FP, impl Fn(NodeId, &Header) -> Header>
 where
     FP: Fn(NodeId, &Header) -> Action,
 {

@@ -71,8 +71,7 @@ pub fn is_modular_complete_labeling(g: &Graph) -> bool {
         return false;
     }
     (0..n).all(|u: NodeId| {
-        g.degree(u) == n - 1
-            && (0..n - 1).all(|p| g.port_target(u, p) == (u + p + 1) % n)
+        g.degree(u) == n - 1 && (0..n - 1).all(|p| g.port_target(u, p) == (u + p + 1) % n)
     })
 }
 

@@ -45,6 +45,9 @@ pub use error::RoutingError;
 pub use function::{Action, RoutingFunction};
 pub use header::Header;
 pub use memory::{MemoryReport, PortMap};
-pub use simulate::{route, RouteTrace};
-pub use stretch::{stretch_factor, verify_stretch, StretchReport};
+pub use simulate::{route, route_with_limit_into, RouteTrace};
+pub use stretch::{
+    stretch_factor, stretch_factor_with_threads, stretch_over_pairs, stretch_sampled,
+    stretch_sampled_with_threads, verify_stretch, StretchReport,
+};
 pub use table::{TableRouting, TieBreak};

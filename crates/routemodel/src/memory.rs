@@ -37,10 +37,7 @@ impl PortMap {
     /// Builds a port map, checking that every port is within `0..degree`.
     pub fn new(node: NodeId, degree: usize, ports: Vec<Option<Port>>) -> Self {
         assert!(
-            ports
-                .iter()
-                .flatten()
-                .all(|&p| p < degree.max(1)),
+            ports.iter().flatten().all(|&p| p < degree.max(1)),
             "port out of range in PortMap"
         );
         PortMap {

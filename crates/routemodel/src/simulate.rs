@@ -3,15 +3,21 @@
 //! [`route`] replays the paper's definition step by step: start with the
 //! header `I(u, v)`, repeatedly apply the port function `P` and the header
 //! function `H`, and record the traversed path.  A hop budget (default
-//! `2 n + 8`... scaled by the caller) guards against non-terminating routing
-//! functions, which are reported as [`RoutingError::Loop`].
+//! `4 n + 16`, scaled by the caller when needed) guards against
+//! non-terminating routing functions, which are reported as
+//! [`RoutingError::Loop`].
+//!
+//! Sweep loops (all-pairs stretch, route-length matrices) should use
+//! [`route_with_limit_into`], which records the trace into a caller-owned
+//! [`RouteTrace`] buffer so that routing `n²` pairs costs zero allocations
+//! per pair.
 
 use crate::error::RoutingError;
 use crate::function::{Action, RoutingFunction};
 use graphkit::{Graph, NodeId, Port};
 
 /// The trace of one routed message: the visited vertices and the ports taken.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RouteTrace {
     /// Visited vertices, starting at the source and ending at the destination.
     pub path: Vec<NodeId>,
@@ -20,6 +26,11 @@ pub struct RouteTrace {
 }
 
 impl RouteTrace {
+    /// An empty trace buffer, ready to be passed to [`route_with_limit_into`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Number of edges traversed.
     pub fn len(&self) -> usize {
         self.ports.len()
@@ -37,8 +48,8 @@ impl RouteTrace {
     }
 }
 
-/// Default hop budget for a graph on `n` vertices: generous enough for any
-/// reasonable stretch, small enough to detect loops quickly.
+/// Default hop budget for a graph on `n` vertices: `4 n + 16` — generous
+/// enough for any reasonable stretch, small enough to detect loops quickly.
 pub fn default_hop_limit(n: usize) -> usize {
     4 * n + 16
 }
@@ -64,10 +75,30 @@ pub fn route_with_limit<R: RoutingFunction + ?Sized>(
     dest: NodeId,
     hop_limit: usize,
 ) -> Result<RouteTrace, RoutingError> {
-    let mut path = vec![source];
-    let mut ports = Vec::new();
+    let mut trace = RouteTrace::new();
+    route_with_limit_into(g, r, source, dest, hop_limit, &mut trace)?;
+    Ok(trace)
+}
+
+/// Like [`route_with_limit`], but recording into a caller-provided trace
+/// buffer whose capacity is reused across calls — the allocation-free
+/// workhorse behind the stretch sweeps.
+///
+/// The buffer is cleared first; on error its contents are the partial trace
+/// walked so far.
+pub fn route_with_limit_into<R: RoutingFunction + ?Sized>(
+    g: &Graph,
+    r: &R,
+    source: NodeId,
+    dest: NodeId,
+    hop_limit: usize,
+    trace: &mut RouteTrace,
+) -> Result<(), RoutingError> {
+    trace.path.clear();
+    trace.ports.clear();
+    trace.path.push(source);
     if source == dest {
-        return Ok(RouteTrace { path, ports });
+        return Ok(());
     }
     let mut node = source;
     let mut header = r.init(source, dest);
@@ -75,7 +106,7 @@ pub fn route_with_limit<R: RoutingFunction + ?Sized>(
         match r.port(node, &header) {
             Action::Deliver => {
                 if node == dest {
-                    return Ok(RouteTrace { path, ports });
+                    return Ok(());
                 }
                 return Err(RoutingError::WrongDelivery {
                     source,
@@ -95,13 +126,13 @@ pub fn route_with_limit<R: RoutingFunction + ?Sized>(
                 let next = g.port_target(node, p);
                 header = r.next_header(node, &header);
                 node = next;
-                path.push(node);
-                ports.push(p);
-                if ports.len() > hop_limit {
+                trace.path.push(node);
+                trace.ports.push(p);
+                if trace.ports.len() > hop_limit {
                     return Err(RoutingError::Loop {
                         source,
                         dest,
-                        hops: ports.len(),
+                        hops: trace.ports.len(),
                     });
                 }
             }
@@ -116,11 +147,13 @@ pub fn all_pairs_route_lengths<R: RoutingFunction + ?Sized>(
     r: &R,
 ) -> Result<Vec<Vec<u32>>, RoutingError> {
     let n = g.num_nodes();
+    let limit = default_hop_limit(n);
+    let mut trace = RouteTrace::new();
     let mut out = vec![vec![0u32; n]; n];
     for s in 0..n {
         for t in 0..n {
             if s != t {
-                let trace = route(g, r, s, t)?;
+                route_with_limit_into(g, r, s, t, limit, &mut trace)?;
                 out[s][t] = trace.len() as u32;
             }
         }
@@ -198,12 +231,28 @@ mod tests {
     }
 
     #[test]
+    fn reused_trace_buffer_matches_fresh_routes() {
+        let (g, r) = clockwise_on_cycle(9);
+        let limit = default_hop_limit(9);
+        let mut buf = RouteTrace::new();
+        for s in 0..9usize {
+            for t in 0..9usize {
+                route_with_limit_into(&g, &r, s, t, limit, &mut buf).unwrap();
+                let fresh = route(&g, &r, s, t).unwrap();
+                assert_eq!(buf, fresh, "pair ({s},{t})");
+            }
+        }
+    }
+
+    #[test]
     fn looping_function_detected() {
         let g = generators::cycle(4);
         // Never deliver: always forward through port 0.
         let r = dest_address_routing("loopy", |_node, _h: &Header| Action::Forward(0));
         match route(&g, &r, 0, 2) {
-            Err(RoutingError::Loop { source: 0, dest: 2, .. }) => {}
+            Err(RoutingError::Loop {
+                source: 0, dest: 2, ..
+            }) => {}
             other => panic!("expected a loop error, got {other:?}"),
         }
     }
@@ -213,7 +262,9 @@ mod tests {
         let g = generators::path(4);
         let r = dest_address_routing("lazy", |_node, _h: &Header| Action::Deliver);
         match route(&g, &r, 0, 3) {
-            Err(RoutingError::WrongDelivery { delivered_at: 0, .. }) => {}
+            Err(RoutingError::WrongDelivery {
+                delivered_at: 0, ..
+            }) => {}
             other => panic!("expected wrong delivery, got {other:?}"),
         }
     }
@@ -229,7 +280,11 @@ mod tests {
             }
         });
         match route(&g, &r, 0, 2) {
-            Err(RoutingError::PortOutOfRange { node: 0, port: 5, degree: 1 }) => {}
+            Err(RoutingError::PortOutOfRange {
+                node: 0,
+                port: 5,
+                degree: 1,
+            }) => {}
             other => panic!("expected port error, got {other:?}"),
         }
     }

@@ -6,10 +6,25 @@
 //! functions of stretch `< 2` ("each routing path is of length at most twice
 //! the distance" — strictly below twice in the forcing argument, since the
 //! alternative paths in the graphs of constraints have length `4 = 2·2`).
+//!
+//! # Parallel sweep
+//!
+//! [`stretch_factor`] routes all `n (n − 1)` ordered pairs, fanning the
+//! source vertices out over the available cores with `std::thread::scope`
+//! (mirroring `graphkit::distance`).  Every worker reuses one [`RouteTrace`]
+//! buffer, so the sweep allocates nothing per pair.  Per-source partial
+//! results are folded **in source order**, so the report — `max`, the
+//! argmax pair, the running `f64` average, everything — is bit-identical
+//! regardless of the worker count; [`stretch_factor_with_threads`] pins the
+//! count explicitly (1 = run on the calling thread), which tests use to
+//! compare the parallel and sequential paths exactly.
+//!
+//! For large `n`, routing every pair is quadratic; [`stretch_sampled`]
+//! estimates the same report over a deterministic pair sample.
 
 use crate::error::RoutingError;
 use crate::function::RoutingFunction;
-use crate::simulate::route;
+use crate::simulate::{default_hop_limit, route_with_limit_into, RouteTrace};
 use graphkit::{DistanceMatrix, Graph, NodeId};
 
 /// Summary of the stretch behaviour of a routing function.
@@ -27,60 +42,252 @@ pub struct StretchReport {
     pub pairs: usize,
 }
 
-/// Computes the exact stretch factor by routing every ordered pair.
+/// Partial stretch accumulation over a deterministic slice of the pair space
+/// (one source, or one block of sampled pairs).  Folding the partials in
+/// slice order reproduces the sequential result exactly.
+#[derive(Debug, Clone, Copy, Default)]
+struct StretchAccum {
+    sum: f64,
+    count: usize,
+    max: f64,
+    max_pair: (NodeId, NodeId),
+    max_len: u32,
+    any: bool,
+}
+
+impl StretchAccum {
+    /// Feeds one routed pair; the first strictly greater stretch wins, so
+    /// iteration order decides the reported argmax pair.
+    fn record(&mut self, s: NodeId, t: NodeId, len: u32, dist: u32) {
+        let stretch = len as f64 / dist as f64;
+        self.sum += stretch;
+        self.count += 1;
+        self.max_len = self.max_len.max(len);
+        if !self.any || stretch > self.max {
+            self.max = stretch;
+            self.max_pair = (s, t);
+            self.any = true;
+        }
+    }
+
+    /// Appends a later slice's partial (order matters: `self` must cover the
+    /// earlier part of the pair space).
+    fn merge_after(&mut self, later: &StretchAccum) {
+        self.sum += later.sum;
+        self.count += later.count;
+        self.max_len = self.max_len.max(later.max_len);
+        if later.any && (!self.any || later.max > self.max) {
+            self.max = later.max;
+            self.max_pair = later.max_pair;
+            self.any = true;
+        }
+    }
+
+    fn into_report(self) -> StretchReport {
+        StretchReport {
+            max_stretch: if self.any { self.max } else { 1.0 },
+            max_pair: self.max_pair,
+            avg_stretch: if self.count == 0 {
+                1.0
+            } else {
+                self.sum / self.count as f64
+            },
+            max_route_len: self.max_len,
+            pairs: self.count,
+        }
+    }
+}
+
+/// Routes every target of one source into the accumulator.
+fn accumulate_source<R: RoutingFunction + ?Sized>(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    r: &R,
+    s: NodeId,
+    hop_limit: usize,
+    buf: &mut RouteTrace,
+) -> Result<StretchAccum, RoutingError> {
+    let mut acc = StretchAccum::default();
+    for t in 0..g.num_nodes() {
+        if s == t || !dm.reachable(s, t) {
+            continue;
+        }
+        route_with_limit_into(g, r, s, t, hop_limit, buf)?;
+        acc.record(s, t, buf.len() as u32, dm.dist(s, t));
+    }
+    Ok(acc)
+}
+
+/// Folds per-slice partials in order; on errors, the one for the earliest
+/// slice wins (matching what a sequential sweep would hit first).
+fn fold_accums(
+    partials: Vec<Option<Result<StretchAccum, RoutingError>>>,
+) -> Result<StretchReport, RoutingError> {
+    let mut total = StretchAccum::default();
+    for partial in partials.into_iter().flatten() {
+        total.merge_after(&partial?);
+    }
+    Ok(total.into_report())
+}
+
+/// Computes the exact stretch factor by routing every ordered pair,
+/// parallelising over source vertices (worker count from
+/// `std::thread::available_parallelism`).
 ///
 /// Fails with the first model violation encountered (loop, wrong delivery,
 /// out-of-range port).  Unreachable pairs are skipped, matching the paper's
 /// restriction to connected graphs.
-pub fn stretch_factor<R: RoutingFunction + ?Sized>(
+pub fn stretch_factor<R: RoutingFunction + Sync + ?Sized>(
     g: &Graph,
     dm: &DistanceMatrix,
     r: &R,
 ) -> Result<StretchReport, RoutingError> {
-    stretch_over_pairs(g, dm, r, all_ordered_pairs(g.num_nodes()))
+    let n = g.num_nodes();
+    let threads = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(1);
+    // Under ~64 sources the per-pair work cannot amortize thread startup.
+    let threads = if n < 64 { 1 } else { threads };
+    stretch_factor_with_threads(g, dm, r, threads)
 }
 
-/// Computes the stretch over an explicit list of ordered pairs.
+/// [`stretch_factor`] with an explicit worker count (`threads <= 1` runs on
+/// the calling thread).  The report is bit-identical for every `threads`
+/// value — the per-source partials are folded in source order either way.
+pub fn stretch_factor_with_threads<R: RoutingFunction + Sync + ?Sized>(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    r: &R,
+    threads: usize,
+) -> Result<StretchReport, RoutingError> {
+    let n = g.num_nodes();
+    let hop_limit = default_hop_limit(n);
+    let threads = threads.clamp(1, n.max(1));
+    let mut partials: Vec<Option<Result<StretchAccum, RoutingError>>> = Vec::new();
+    if threads == 1 {
+        let mut buf = RouteTrace::new();
+        for s in 0..n {
+            partials.push(Some(accumulate_source(g, dm, r, s, hop_limit, &mut buf)));
+        }
+    } else {
+        partials.resize_with(n, || None);
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, block) in partials.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                scope.spawn(move || {
+                    let mut buf = RouteTrace::new();
+                    for (i, slot) in block.iter_mut().enumerate() {
+                        *slot = Some(accumulate_source(g, dm, r, start + i, hop_limit, &mut buf));
+                    }
+                });
+            }
+        });
+    }
+    fold_accums(partials)
+}
+
+/// Fixed accumulation-block size of the sampled sweep.  Per-pair stretches
+/// are summed within blocks of this many pairs and the block partials are
+/// folded in sample order, so the `f64` fold tree — hence every report
+/// field, including the average — is independent of the worker count and of
+/// the machine's core count.
+const SAMPLE_BLOCK: usize = 1024;
+
+/// Estimates the stretch report over `k` deterministically sampled ordered
+/// pairs (see [`sampled_pairs`]), routing the sample in parallel (worker
+/// count from `std::thread::available_parallelism`).
+///
+/// The max/argmax/average are those *of the sample*: `max_stretch` is a
+/// lower bound on the true stretch factor, and the report is bit-identical
+/// for every worker count and machine (fixed-size blocks folded in sample
+/// order).  Intended for graphs too large for the quadratic exact sweep.
+pub fn stretch_sampled<R: RoutingFunction + Sync + ?Sized>(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    r: &R,
+    k: usize,
+    seed: u64,
+) -> Result<StretchReport, RoutingError> {
+    let threads = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(1);
+    stretch_sampled_with_threads(g, dm, r, k, seed, threads)
+}
+
+/// [`stretch_sampled`] with an explicit worker count (`threads <= 1` runs on
+/// the calling thread); the report is bit-identical for every value.
+pub fn stretch_sampled_with_threads<R: RoutingFunction + Sync + ?Sized>(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    r: &R,
+    k: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<StretchReport, RoutingError> {
+    let n = g.num_nodes();
+    let pairs = sampled_pairs(n, k, seed);
+    let hop_limit = default_hop_limit(n);
+    let accumulate_block = |block: &[(NodeId, NodeId)], buf: &mut RouteTrace| {
+        let mut acc = StretchAccum::default();
+        for &(s, t) in block {
+            if s == t || !dm.reachable(s, t) {
+                continue;
+            }
+            route_with_limit_into(g, r, s, t, hop_limit, buf)?;
+            acc.record(s, t, buf.len() as u32, dm.dist(s, t));
+        }
+        Ok(acc)
+    };
+    // One partial per fixed-size block, regardless of the worker count.
+    let blocks: Vec<&[(NodeId, NodeId)]> = pairs.chunks(SAMPLE_BLOCK.max(1)).collect();
+    let threads = threads.clamp(1, blocks.len().max(1));
+    let mut partials: Vec<Option<Result<StretchAccum, RoutingError>>> = Vec::new();
+    if threads == 1 {
+        let mut buf = RouteTrace::new();
+        for block in &blocks {
+            partials.push(Some(accumulate_block(block, &mut buf)));
+        }
+    } else {
+        partials.resize_with(blocks.len(), || None);
+        let per_worker = blocks.len().div_ceil(threads);
+        let accumulate_block = &accumulate_block;
+        std::thread::scope(|scope| {
+            for (slots, worker_blocks) in partials
+                .chunks_mut(per_worker)
+                .zip(blocks.chunks(per_worker))
+            {
+                scope.spawn(move || {
+                    let mut buf = RouteTrace::new();
+                    for (slot, block) in slots.iter_mut().zip(worker_blocks) {
+                        *slot = Some(accumulate_block(block, &mut buf));
+                    }
+                });
+            }
+        });
+    }
+    fold_accums(partials)
+}
+
+/// Computes the stretch over an explicit list of ordered pairs
+/// (sequentially, in list order).
 pub fn stretch_over_pairs<R: RoutingFunction + ?Sized>(
     g: &Graph,
     dm: &DistanceMatrix,
     r: &R,
     pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
 ) -> Result<StretchReport, RoutingError> {
-    let mut max_stretch = 1.0f64;
-    let mut max_pair = (0, 0);
-    let mut sum_stretch = 0.0f64;
-    let mut count = 0usize;
-    let mut max_route_len = 0u32;
-    let mut any = false;
+    let hop_limit = default_hop_limit(g.num_nodes());
+    let mut buf = RouteTrace::new();
+    let mut acc = StretchAccum::default();
     for (s, t) in pairs {
         if s == t || !dm.reachable(s, t) {
             continue;
         }
-        let trace = route(g, r, s, t)?;
-        let len = trace.len() as u32;
-        let d = dm.dist(s, t);
-        let stretch = len as f64 / d as f64;
-        sum_stretch += stretch;
-        count += 1;
-        max_route_len = max_route_len.max(len);
-        if !any || stretch > max_stretch {
-            max_stretch = stretch;
-            max_pair = (s, t);
-            any = true;
-        }
+        route_with_limit_into(g, r, s, t, hop_limit, &mut buf)?;
+        acc.record(s, t, buf.len() as u32, dm.dist(s, t));
     }
-    Ok(StretchReport {
-        max_stretch: if any { max_stretch } else { 1.0 },
-        max_pair,
-        avg_stretch: if count == 0 {
-            1.0
-        } else {
-            sum_stretch / count as f64
-        },
-        max_route_len,
-        pairs: count,
-    })
+    Ok(acc.into_report())
 }
 
 /// Verifies that the stretch factor of `r` is at most `bound`; returns the
@@ -91,13 +298,15 @@ pub fn verify_stretch<R: RoutingFunction + ?Sized>(
     r: &R,
     bound: f64,
 ) -> Result<(), RoutingError> {
+    let hop_limit = default_hop_limit(g.num_nodes());
+    let mut buf = RouteTrace::new();
     for s in 0..g.num_nodes() {
         for t in 0..g.num_nodes() {
             if s == t || !dm.reachable(s, t) {
                 continue;
             }
-            let trace = route(g, r, s, t)?;
-            let len = trace.len() as u32;
+            route_with_limit_into(g, r, s, t, hop_limit, &mut buf)?;
+            let len = buf.len() as u32;
             let d = dm.dist(s, t);
             if (len as f64) > bound * (d as f64) + 1e-9 {
                 return Err(RoutingError::StretchExceeded {
@@ -124,18 +333,6 @@ pub fn sampled_pairs(n: usize, k: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
         let t = rng.gen_range(n);
         if s != t {
             out.push((s, t));
-        }
-    }
-    out
-}
-
-fn all_ordered_pairs(n: usize) -> Vec<(NodeId, NodeId)> {
-    let mut out = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)));
-    for s in 0..n {
-        for t in 0..n {
-            if s != t {
-                out.push((s, t));
-            }
         }
     }
     out
@@ -188,6 +385,53 @@ mod tests {
     }
 
     #[test]
+    fn parallel_report_is_bit_identical_to_sequential() {
+        // A non-trivial stretch profile (spanning-tree-ish routing on a
+        // cycle plus chords) exercises max/argmax/average merging.
+        let n = 96usize;
+        let g = generators::cycle(n);
+        let g2 = g.clone();
+        let r = dest_address_routing("cw", move |node, h: &Header| {
+            if node == h.dest {
+                Action::Deliver
+            } else {
+                Action::Forward(g2.port_to(node, (node + 1) % n).unwrap())
+            }
+        });
+        let dm = DistanceMatrix::all_pairs(&g);
+        let seq = stretch_factor_with_threads(&g, &dm, &r, 1).unwrap();
+        for threads in [2, 3, 7, 64] {
+            let par = stretch_factor_with_threads(&g, &dm, &r, threads).unwrap();
+            assert_eq!(par.max_stretch.to_bits(), seq.max_stretch.to_bits());
+            assert_eq!(par.avg_stretch.to_bits(), seq.avg_stretch.to_bits());
+            assert_eq!(par.max_pair, seq.max_pair);
+            assert_eq!(par.max_route_len, seq.max_route_len);
+            assert_eq!(par.pairs, seq.pairs);
+        }
+    }
+
+    #[test]
+    fn parallel_reports_first_source_error() {
+        // Every route through an intermediate vertex != 0 dies with a port
+        // error; both paths must report the error of the lexicographically
+        // first failing pair.
+        let g = generators::cycle(12);
+        let r = dest_address_routing("half-loopy", |node, h: &Header| {
+            if node == h.dest {
+                Action::Deliver
+            } else if node == 0 {
+                Action::Forward(0)
+            } else {
+                Action::Forward(usize::MAX) // out of range, flagged at once
+            }
+        });
+        let dm = DistanceMatrix::all_pairs(&g);
+        let seq = stretch_factor_with_threads(&g, &dm, &r, 1).unwrap_err();
+        let par = stretch_factor_with_threads(&g, &dm, &r, 4).unwrap_err();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
     fn verify_stretch_reports_the_offending_pair() {
         let n = 6usize;
         let g = generators::cycle(n);
@@ -201,7 +445,11 @@ mod tests {
         });
         let dm = DistanceMatrix::all_pairs(&g);
         match verify_stretch(&g, &dm, &r, 1.5) {
-            Err(RoutingError::StretchExceeded { route_len, distance, .. }) => {
+            Err(RoutingError::StretchExceeded {
+                route_len,
+                distance,
+                ..
+            }) => {
                 assert!(route_len as f64 > 1.5 * distance as f64);
             }
             other => panic!("expected stretch violation, got {other:?}"),
@@ -214,9 +462,53 @@ mod tests {
         let dm = DistanceMatrix::all_pairs(&g);
         let r = TableRouting::from_distances(&g, &dm, TieBreak::LowestNeighbor);
         let pairs = sampled_pairs(g.num_nodes(), 200, 4);
-        let rep = stretch_over_pairs(&g, &dm, &r, pairs).unwrap();
+        let rep = stretch_over_pairs(&g, &dm, &r, pairs.iter().copied()).unwrap();
         assert!((rep.max_stretch - 1.0).abs() < 1e-12);
         assert_eq!(rep.pairs, 200);
+    }
+
+    #[test]
+    fn stretch_sampled_matches_stretch_over_pairs() {
+        let g = generators::random_connected(80, 0.06, 21);
+        let dm = DistanceMatrix::all_pairs(&g);
+        let r = TableRouting::from_distances(&g, &dm, TieBreak::LowestPort);
+        let k = 500;
+        let seed = 11;
+        let direct = stretch_over_pairs(&g, &dm, &r, sampled_pairs(80, k, seed)).unwrap();
+        let sampled = stretch_sampled(&g, &dm, &r, k, seed).unwrap();
+        assert_eq!(sampled.pairs, direct.pairs);
+        assert_eq!(sampled.max_stretch.to_bits(), direct.max_stretch.to_bits());
+        assert_eq!(sampled.max_route_len, direct.max_route_len);
+    }
+
+    #[test]
+    fn sampled_report_bit_identical_across_thread_counts() {
+        // Enough pairs for several SAMPLE_BLOCK blocks, a routing function
+        // with non-trivial per-pair stretches, and explicit worker counts:
+        // the fixed-block fold must make every field (including the f64
+        // average) independent of the parallelism.
+        let n = 64usize;
+        let g = generators::cycle(n);
+        let g2 = g.clone();
+        let r = dest_address_routing("cw", move |node, h: &Header| {
+            if node == h.dest {
+                Action::Deliver
+            } else {
+                Action::Forward(g2.port_to(node, (node + 1) % n).unwrap())
+            }
+        });
+        let dm = DistanceMatrix::all_pairs(&g);
+        let k = 3 * super::SAMPLE_BLOCK + 123;
+        let seq = stretch_sampled_with_threads(&g, &dm, &r, k, 5, 1).unwrap();
+        for threads in [2, 3, 8, 100] {
+            let par = stretch_sampled_with_threads(&g, &dm, &r, k, 5, threads).unwrap();
+            assert_eq!(par.avg_stretch.to_bits(), seq.avg_stretch.to_bits());
+            assert_eq!(par.max_stretch.to_bits(), seq.max_stretch.to_bits());
+            assert_eq!(par.max_pair, seq.max_pair);
+            assert_eq!(par.max_route_len, seq.max_route_len);
+            assert_eq!(par.pairs, seq.pairs);
+        }
+        assert_eq!(seq.pairs, k);
     }
 
     #[test]

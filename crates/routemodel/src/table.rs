@@ -71,22 +71,26 @@ impl TableRouting {
 
     fn pick_port(g: &Graph, dm: &DistanceMatrix, u: NodeId, v: NodeId, tie: TieBreak) -> Port {
         let duv = dm.dist(u, v);
-        let candidates: Vec<(Port, NodeId)> = g
-            .neighbors(u)
-            .iter()
-            .enumerate()
-            .filter(|(_, &w)| dm.dist(w, v) + 1 == duv)
-            .map(|(p, &w)| (p, w))
-            .collect();
-        debug_assert!(!candidates.is_empty(), "no shortest-path neighbour found");
+        // Iterate the CSR slice directly instead of collecting a candidate
+        // vector: this runs for all n² (router, destination) pairs, so it
+        // must not allocate.
+        let candidates = || {
+            g.neighbors(u)
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| dm.dist(w as usize, v) + 1 == duv)
+                .map(|(p, &w)| (p, w as usize))
+        };
+        debug_assert!(
+            candidates().next().is_some(),
+            "no shortest-path neighbour found"
+        );
         match tie {
-            TieBreak::LowestPort => candidates.iter().map(|&(p, _)| p).min().unwrap(),
-            TieBreak::LowestNeighbor => {
-                candidates.iter().min_by_key(|&&(_, w)| w).unwrap().0
-            }
-            TieBreak::HighestNeighbor => {
-                candidates.iter().max_by_key(|&&(_, w)| w).unwrap().0
-            }
+            // candidates arrive in increasing port order, so the first one
+            // carries the lowest port.
+            TieBreak::LowestPort => candidates().next().unwrap().0,
+            TieBreak::LowestNeighbor => candidates().min_by_key(|&(_, w)| w).unwrap().0,
+            TieBreak::HighestNeighbor => candidates().max_by_key(|&(_, w)| w).unwrap().0,
             TieBreak::Seeded(seed) => {
                 // A small hash of (u, v, seed) selects the candidate.
                 let mut h = seed
@@ -97,7 +101,8 @@ impl TableRouting {
                 h ^= h >> 31;
                 h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
                 h ^= h >> 29;
-                candidates[(h % candidates.len() as u64) as usize].0
+                let count = candidates().count() as u64;
+                candidates().nth((h % count) as usize).unwrap().0
             }
         }
     }

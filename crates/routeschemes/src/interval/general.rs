@@ -196,7 +196,10 @@ mod tests {
         let r = KIntervalRouting::build(&generators::path(20), TieBreak::LowestNeighbor);
         assert_eq!(r.max_intervals_per_arc(), 1);
         let r = KIntervalRouting::build(&generators::cycle(9), TieBreak::LowestNeighbor);
-        assert!(r.max_intervals_per_arc() <= 2, "cycles are 1-IRS up to rounding of even antipodes");
+        assert!(
+            r.max_intervals_per_arc() <= 2,
+            "cycles are 1-IRS up to rounding of even antipodes"
+        );
     }
 
     #[test]
@@ -225,7 +228,11 @@ mod tests {
         labels.sort_unstable();
         assert_eq!(labels, (0..16).collect::<Vec<_>>());
         let total: usize = (0..16)
-            .map(|u| (0..g.degree(u)).map(|p| r.intervals_on_arc(u, p)).sum::<usize>())
+            .map(|u| {
+                (0..g.degree(u))
+                    .map(|p| r.intervals_on_arc(u, p))
+                    .sum::<usize>()
+            })
             .sum();
         assert_eq!(total, r.total_intervals());
         assert!(r.max_intervals_per_arc() >= 1);

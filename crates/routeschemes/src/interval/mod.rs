@@ -61,7 +61,10 @@ impl CyclicInterval {
 /// The greedy grouping is optimal: the number of maximal cyclic runs is the
 /// minimum number of cyclic intervals covering the set exactly.
 pub fn group_into_cyclic_intervals(labels: &[NodeId], n: usize) -> Vec<CyclicInterval> {
-    assert!(labels.windows(2).all(|w| w[0] < w[1]), "labels must be sorted and distinct");
+    assert!(
+        labels.windows(2).all(|w| w[0] < w[1]),
+        "labels must be sorted and distinct"
+    );
     assert!(labels.iter().all(|&x| x < n));
     if labels.is_empty() {
         return Vec::new();

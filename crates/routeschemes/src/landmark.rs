@@ -54,16 +54,16 @@ impl LandmarkRouting {
         let n = g.num_nodes();
         assert!(n >= 1);
         let dm = DistanceMatrix::all_pairs(g);
-        assert!(dm.is_connected(), "landmark routing requires a connected graph");
+        assert!(
+            dm.is_connected(),
+            "landmark routing requires a connected graph"
+        );
         let k = (n as f64).sqrt().ceil() as usize;
         let mut rng = Xoshiro256::new(seed);
         let mut landmarks = rng.sample_indices(n, k.min(n));
         landmarks.sort_unstable();
-        let landmark_index: HashMap<NodeId, usize> = landmarks
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| (l, i))
-            .collect();
+        let landmark_index: HashMap<NodeId, usize> =
+            landmarks.iter().enumerate().map(|(i, &l)| (l, i)).collect();
 
         // Home landmark and distance to the landmark set.
         let mut home = vec![0usize; n];
@@ -84,7 +84,7 @@ impl LandmarkRouting {
             g.neighbors(w)
                 .iter()
                 .enumerate()
-                .find(|(_, &x)| dm.dist(x, target) + 1 == dwt)
+                .find(|(_, &x)| dm.dist(x as usize, target) + 1 == dwt)
                 .map(|(p, _)| p)
                 .expect("connected graph: some neighbour is closer to the target")
         };
@@ -173,7 +173,11 @@ impl RoutingFunction for LandmarkRouting {
         let home = header.data[0] as usize;
         let idx = self.landmark_index[&home];
         let p = self.toward_landmark[node][idx];
-        debug_assert_ne!(p, usize::MAX, "home landmark always has dest in its cluster");
+        debug_assert_ne!(
+            p,
+            usize::MAX,
+            "home landmark always has dest in its cluster"
+        );
         Action::Forward(p)
     }
 

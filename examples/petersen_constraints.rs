@@ -24,7 +24,11 @@ fn main() {
     println!("{}\n", fig.matrix);
 
     // Every shortest-path routing function must agree with the matrix.
-    for tie in [TieBreak::LowestPort, TieBreak::HighestNeighbor, TieBreak::Seeded(3)] {
+    for tie in [
+        TieBreak::LowestPort,
+        TieBreak::HighestNeighbor,
+        TieBreak::Seeded(3),
+    ] {
         let r = TableRouting::shortest_paths(&fig.graph, tie);
         let ok = constraints::petersen::verify_figure_against_routing(&fig, &r).is_ok();
         println!("shortest-path routing with tie-break {tie:?} obeys the matrix: {ok}");

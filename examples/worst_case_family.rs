@@ -21,13 +21,28 @@ fn main() {
 
     // Analytic side: every term of the paper's bound.
     let report = constraints::theorem1::lower_bound(n, theta);
-    println!("parameters: p = {}, d = {}, q = {}", report.params.p, report.params.d, report.params.q);
-    println!("log2 |dM_pq|              = {:>14.1} bits (Lemma 1)", report.log2_classes);
+    println!(
+        "parameters: p = {}, d = {}, q = {}",
+        report.params.p, report.params.d, report.params.q
+    );
+    println!(
+        "log2 |dM_pq|              = {:>14.1} bits (Lemma 1)",
+        report.log2_classes
+    );
     println!("MB  (target labels)       = {:>14.1} bits", report.mb_bits);
     println!("MC  (canonicalization)    = {:>14.1} bits", report.mc_bits);
-    println!("total over constrained A  = {:>14.1} bits", report.total_lower_bits);
-    println!("per constrained router    = {:>14.1} bits (lower bound)", report.per_router_lower_bits);
-    println!("routing-table upper bound = {:>14} bits per router", report.table_upper_bits_per_router);
+    println!(
+        "total over constrained A  = {:>14.1} bits",
+        report.total_lower_bits
+    );
+    println!(
+        "per constrained router    = {:>14.1} bits (lower bound)",
+        report.per_router_lower_bits
+    );
+    println!(
+        "routing-table upper bound = {:>14} bits per router",
+        report.table_upper_bits_per_router
+    );
     println!(
         "=> at least {} routers need ~{:.0}% of a full routing table each\n",
         report.guaranteed_high_memory_routers,
@@ -66,7 +81,10 @@ fn main() {
         "  bits held by the constrained routers (tables restricted to targets): {}",
         cost.constrained_router_bits
     );
-    println!("  + MB = {} bits, + MC = {} bits", cost.mb_bits, cost.mc_bits);
+    println!(
+        "  + MB = {} bits, + MC = {} bits",
+        cost.mb_bits, cost.mc_bits
+    );
     println!(
         "  >= class information (Lemma 1) = {:.1} bits : {}",
         cost.class_information_bits,

@@ -68,7 +68,10 @@ fn class_specific_schemes_work_on_their_class() {
     check_scheme(&grid, &routeschemes::DimensionOrderScheme::new(6, 9));
     let good = routemodel::labeling::modular_complete_labeling(24);
     check_scheme(&good, &routeschemes::ModularCompleteScheme);
-    check_scheme(&generators::complete(24), &routeschemes::AdversarialCompleteScheme);
+    check_scheme(
+        &generators::complete(24),
+        &routeschemes::AdversarialCompleteScheme,
+    );
 }
 
 #[test]

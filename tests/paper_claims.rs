@@ -5,7 +5,13 @@ use universal_routing::prelude::*;
 
 #[test]
 fn claim_lemma1_bound_never_exceeds_exact_counts() {
-    for (p, q, d) in [(2usize, 2usize, 2u32), (3, 3, 2), (2, 3, 3), (3, 4, 2), (2, 4, 3)] {
+    for (p, q, d) in [
+        (2usize, 2usize, 2u32),
+        (3, 3, 2),
+        (2, 3, 3),
+        (3, 4, 2),
+        (2, 4, 3),
+    ] {
         let exact = constraints::enumerate::enumerate_canonical_matrices(p, q, d).len() as f64;
         let bound = constraints::counting::lemma1_lower_bound_count(p, q, d);
         assert!(exact + 1e-9 >= bound, "({p},{q},{d})");
@@ -52,7 +58,10 @@ fn claim_theorem1_certifies_n_to_theta_routers() {
     let b = constraints::theorem1::lower_bound(65536, 0.5).guaranteed_high_memory_routers as f64;
     // n grows by 16, n^0.5 by 4: accept a generous window around 4.
     let growth = b / a;
-    assert!(growth > 2.0 && growth < 8.0, "growth {growth} not ~ n^theta");
+    assert!(
+        growth > 2.0 && growth < 8.0,
+        "growth {growth} not ~ n^theta"
+    );
 }
 
 #[test]

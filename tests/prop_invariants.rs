@@ -1,104 +1,174 @@
 //! Property-based integration tests over randomized inputs: the core
 //! invariants of the reproduction must hold for *every* generated instance,
 //! not just the hand-picked ones.
+//!
+//! The random cases are driven by the repository's own deterministic
+//! [`graphkit::Xoshiro256`] generator (this workspace builds offline, so no
+//! external property-testing framework is available): each property draws a
+//! fixed number of cases from seeded parameter ranges, and every failure
+//! message carries the case's parameters so it can be replayed exactly.
 
-use proptest::prelude::*;
+use graphkit::Xoshiro256;
 use universal_routing::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    /// Shortest-path routing tables achieve stretch exactly 1 on every
-    /// connected random graph, under every tie-break.
-    #[test]
-    fn prop_tables_have_stretch_one(n in 8usize..40, p in 0.05f64..0.4, seed in 0u64..1000) {
+/// Draws `CASES` pseudo-random case indices; the closure receives a
+/// per-case RNG to sample its parameters from.
+fn for_each_case(property_seed: u64, mut body: impl FnMut(usize, &mut Xoshiro256)) {
+    let mut rng = Xoshiro256::new(property_seed);
+    for case in 0..CASES {
+        let mut case_rng = rng.split();
+        body(case, &mut case_rng);
+    }
+}
+
+/// Shortest-path routing tables achieve stretch exactly 1 on every connected
+/// random graph, under every tie-break.
+#[test]
+fn prop_tables_have_stretch_one() {
+    for_each_case(0xA11CE, |case, rng| {
+        let n = rng.gen_range_inclusive(8, 39);
+        let p = 0.05 + 0.35 * rng.next_f64();
+        let seed = rng.next_u64() % 1000;
         let g = generators::random_connected(n, p, seed);
         let dm = DistanceMatrix::all_pairs(&g);
         let r = TableRouting::from_distances(&g, &dm, TieBreak::Seeded(seed));
         let rep = stretch_factor(&g, &dm, &r).unwrap();
-        prop_assert!((rep.max_stretch - 1.0).abs() < 1e-12);
-    }
+        assert!(
+            (rep.max_stretch - 1.0).abs() < 1e-12,
+            "case {case}: n={n} p={p} seed={seed}"
+        );
+    });
+}
 
-    /// The Lemma 2 construction is forcing for every random row-normalized
-    /// matrix, and every shortest-path routing respects the forced ports.
-    #[test]
-    fn prop_constraint_graphs_force_every_routing(
-        p in 1usize..6, q in 2usize..10, d in 2u32..5, seed in 0u64..1000
-    ) {
+/// The Lemma 2 construction is forcing for every random row-normalized
+/// matrix, and every shortest-path routing respects the forced ports.
+#[test]
+fn prop_constraint_graphs_force_every_routing() {
+    for_each_case(0xB0B, |case, rng| {
+        let p = rng.gen_range_inclusive(1, 5);
+        let q = rng.gen_range_inclusive(2, 9);
+        let d = rng.gen_range_inclusive(2, 4) as u32;
+        let seed = rng.next_u64() % 1000;
         let m = ConstraintMatrix::random(p, q, d, seed);
         let cg = ConstraintGraph::build(&m);
-        prop_assert!(constraints::verify::verify_forcing_structure(&cg).is_ok());
+        assert!(
+            constraints::verify::verify_forcing_structure(&cg).is_ok(),
+            "case {case}: p={p} q={q} d={d} seed={seed}"
+        );
         let r = TableRouting::shortest_paths(&cg.graph, TieBreak::Seeded(seed ^ 7));
-        prop_assert!(constraints::verify::verify_routing_respects_constraints(&cg, &r).is_ok());
-        prop_assert!(cg.graph.num_nodes() <= cg.lemma2_order_bound());
-    }
+        assert!(
+            constraints::verify::verify_routing_respects_constraints(&cg, &r).is_ok(),
+            "case {case}: p={p} q={q} d={d} seed={seed}"
+        );
+        assert!(cg.graph.num_nodes() <= cg.lemma2_order_bound());
+    });
+}
 
-    /// Probing the constrained routers of a constraint graph always
-    /// reconstructs the planted matrix (the Theorem 1 argument).
-    #[test]
-    fn prop_reconstruction_round_trip(
-        p in 1usize..5, q in 2usize..9, d in 2u32..5, seed in 0u64..1000
-    ) {
+/// Probing the constrained routers of a constraint graph always reconstructs
+/// the planted matrix (the Theorem 1 argument).
+#[test]
+fn prop_reconstruction_round_trip() {
+    for_each_case(0xC0DE, |case, rng| {
+        let p = rng.gen_range_inclusive(1, 4);
+        let q = rng.gen_range_inclusive(2, 8);
+        let d = rng.gen_range_inclusive(2, 4) as u32;
+        let seed = rng.next_u64() % 1000;
         let m = ConstraintMatrix::random(p, q, d, seed);
         let mut cg = ConstraintGraph::build(&m);
         cg.pad_to_order(cg.graph.num_nodes() + (seed % 7) as usize);
         let r = TableRouting::shortest_paths(&cg.graph, TieBreak::LowestNeighbor);
         let rebuilt = constraints::reconstruct::reconstruct_matrix(&cg, &r);
-        prop_assert_eq!(rebuilt, cg.matrix);
-    }
+        assert_eq!(
+            rebuilt, cg.matrix,
+            "case {case}: p={p} q={q} d={d} seed={seed}"
+        );
+    });
+}
 
-    /// Canonicalization is a class invariant: applying random row, column and
-    /// per-row value permutations never changes the canonical form.
-    #[test]
-    fn prop_canonical_form_is_orbit_invariant(
-        p in 1usize..5, q in 2usize..7, d in 2u32..4, seed in 0u64..1000
-    ) {
+/// Canonicalization is a class invariant: applying random row, column and
+/// per-row value permutations never changes the canonical form.
+#[test]
+fn prop_canonical_form_is_orbit_invariant() {
+    for_each_case(0xFACE, |case, rng| {
+        let p = rng.gen_range_inclusive(1, 4);
+        let q = rng.gen_range_inclusive(2, 6);
+        let d = rng.gen_range_inclusive(2, 3) as u32;
+        let seed = rng.next_u64() % 1000;
         let m = ConstraintMatrix::random(p, q, d, seed);
-        let mut rng = graphkit::Xoshiro256::new(seed ^ 0xFACE);
         let rp = rng.permutation(p);
         let cp = rng.permutation(q);
         let mut x = m.permute_rows(&rp).permute_columns(&cp);
         for i in 0..p {
             let alphabet = x.row(i).iter().map(|&v| v as usize).max().unwrap();
-            let vp: Vec<u32> = rng.permutation(alphabet).into_iter().map(|v| v as u32).collect();
+            let vp: Vec<u32> = rng
+                .permutation(alphabet)
+                .into_iter()
+                .map(|v| v as u32)
+                .collect();
             x = x.permute_row_values(i, &vp);
         }
-        prop_assert_eq!(
+        assert_eq!(
             constraints::canonical::canonical_form(&m),
-            constraints::canonical::canonical_form(&x)
+            constraints::canonical::canonical_form(&x),
+            "case {case}: p={p} q={q} d={d} seed={seed}"
         );
-    }
+    });
+}
 
-    /// The landmark scheme never exceeds stretch 3 and always delivers, on
-    /// random connected graphs.
-    #[test]
-    fn prop_landmark_scheme_guarantee(n in 8usize..36, p in 0.08f64..0.35, seed in 0u64..500) {
+/// The landmark scheme never exceeds stretch 3 and always delivers, on
+/// random connected graphs.
+#[test]
+fn prop_landmark_scheme_guarantee() {
+    for_each_case(0x1A2B, |case, rng| {
+        let n = rng.gen_range_inclusive(8, 35);
+        let p = 0.08 + 0.27 * rng.next_f64();
+        let seed = rng.next_u64() % 500;
         let g = generators::random_connected(n, p, seed);
         let inst = LandmarkScheme::new(seed).build(&g);
         let dm = DistanceMatrix::all_pairs(&g);
         let rep = stretch_factor(&g, &dm, inst.routing.as_ref()).unwrap();
-        prop_assert!(rep.max_stretch <= 3.0 + 1e-9);
-    }
+        assert!(
+            rep.max_stretch <= 3.0 + 1e-9,
+            "case {case}: n={n} p={p} seed={seed} stretch={}",
+            rep.max_stretch
+        );
+    });
+}
 
-    /// The k-interval scheme is shortest-path and its memory never exceeds
-    /// the raw table encoding by more than the per-interval overhead factor.
-    #[test]
-    fn prop_interval_scheme_consistency(n in 8usize..32, seed in 0u64..500) {
+/// The k-interval scheme is shortest-path and its memory never exceeds the
+/// raw table encoding by more than the per-interval overhead factor.
+#[test]
+fn prop_interval_scheme_consistency() {
+    for_each_case(0x2B3C, |case, rng| {
+        let n = rng.gen_range_inclusive(8, 31);
+        let seed = rng.next_u64() % 500;
         let g = generators::random_connected(n, 0.15, seed);
         let kirs = KIntervalScheme::default().build(&g);
         let dm = DistanceMatrix::all_pairs(&g);
         let rep = stretch_factor(&g, &dm, kirs.routing.as_ref()).unwrap();
-        prop_assert!((rep.max_stretch - 1.0).abs() < 1e-12);
-        prop_assert!(kirs.memory.local() >= 1);
-    }
+        assert!(
+            (rep.max_stretch - 1.0).abs() < 1e-12,
+            "case {case}: n={n} seed={seed}"
+        );
+        assert!(kirs.memory.local() >= 1);
+    });
+}
 
-    /// Graph invariants: every generated connected family really is connected
-    /// and its distance matrix is a metric consistent with the edges.
-    #[test]
-    fn prop_distance_matrix_is_consistent(n in 4usize..40, seed in 0u64..500) {
+/// Graph invariants: every generated connected family really is connected
+/// and its distance matrix is a metric consistent with the edges.
+#[test]
+fn prop_distance_matrix_is_consistent() {
+    for_each_case(0x3C4D, |case, rng| {
+        let n = rng.gen_range_inclusive(4, 39);
+        let seed = rng.next_u64() % 500;
         let g = generators::random_connected(n, 0.1, seed);
         let dm = DistanceMatrix::all_pairs(&g);
-        prop_assert!(dm.is_connected());
-        prop_assert!(dm.validate_against(&g).is_ok());
-    }
+        assert!(dm.is_connected(), "case {case}: n={n} seed={seed}");
+        assert!(
+            dm.validate_against(&g).is_ok(),
+            "case {case}: n={n} seed={seed}"
+        );
+    });
 }

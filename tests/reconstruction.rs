@@ -47,7 +47,10 @@ fn different_routing_functions_reconstruct_the_same_matrix() {
         matrices.push(constraints::reconstruct::reconstruct_matrix(&cg, &r));
     }
     for m in &matrices {
-        assert_eq!(m, &cg.matrix, "every stretch-1 routing reconstructs the same matrix");
+        assert_eq!(
+            m, &cg.matrix,
+            "every stretch-1 routing reconstructs the same matrix"
+        );
     }
 }
 
@@ -66,11 +69,9 @@ fn k_interval_and_landmark_schemes_on_the_worst_case_graph() {
         .map(|&a| {
             cg.targets
                 .iter()
-                .map(|&b| {
-                    match kirs.routing.port(a, &kirs.routing.init(a, b)) {
-                        Action::Forward(p) => p as u32 + 1,
-                        Action::Deliver => panic!("must forward"),
-                    }
+                .map(|&b| match kirs.routing.port(a, &kirs.routing.init(a, b)) {
+                    Action::Forward(p) => p as u32 + 1,
+                    Action::Deliver => panic!("must forward"),
                 })
                 .collect()
         })
