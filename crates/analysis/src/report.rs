@@ -1,4 +1,7 @@
-//! Minimal plain-text / markdown table rendering used by the report binaries.
+//! Minimal plain-text / markdown table rendering used by the report
+//! binaries, plus the hand-rolled JSON primitives shared by the snapshot
+//! emitters (`BENCH_csr.json`, `BENCH_trafficlab.json`, the `trafficlab`
+//! scenario reports) — the workspace builds offline, so there is no serde.
 
 /// A simple table: a header row and data rows, rendered as GitHub-flavoured
 /// markdown or as aligned plain text.
@@ -97,6 +100,34 @@ pub fn fmt_bits(bits: u64) -> String {
     out
 }
 
+/// Escapes a string for inclusion in a JSON string literal (quotes not
+/// included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float as a JSON value: finite values as decimals, NaN and
+/// infinities (which JSON cannot carry) as `null`.
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Formats a float with a fixed number of decimals, trimming `-0.00`.
 pub fn fmt_f64(x: f64, decimals: usize) -> String {
     let s = format!("{x:.decimals$}");
@@ -110,6 +141,22 @@ pub fn fmt_f64(x: f64, decimals: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_f64_is_valid_json() {
+        assert_eq!(json_f64(2.0), "2");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
 
     #[test]
     fn markdown_rendering() {

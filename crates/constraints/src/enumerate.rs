@@ -6,29 +6,107 @@
 //! are Equation (3).  This module enumerates `dM_pq` exactly for small
 //! parameters — both to regenerate those equations and to validate the
 //! counting bound of Lemma 1 against exact class counts.
+//!
+//! The `d^{pq}` matrix indices are swept in parallel: the index space is cut
+//! into one contiguous range per worker (`std::thread::scope`, mirroring the
+//! `stretch_factor` fold pattern), every worker canonicalizes its range with
+//! its own scratch counter into a worker-local set, and the per-worker sets
+//! are folded in worker order.  Set union is order-insensitive, so the result
+//! is identical for every worker count — which the tests pin.
 
 use crate::canonical::canonical_form;
 use crate::matrix::ConstraintMatrix;
 use std::collections::BTreeSet;
 
+/// Largest `d^{pq}` the exhaustive sweep accepts.
+const MAX_ENUMERATION: u128 = 20_000_000;
+
+/// Below this many matrices per worker, extra threads cost more than they
+/// save (thread startup ≈ thousands of canonicalizations).
+const MIN_MATRICES_PER_WORKER: u64 = 1 << 14;
+
 /// Enumerates the canonical representatives of all `≡`-classes of `p × q`
-/// matrices with entries in `{1..=d}`, in increasing index order.
+/// matrices with entries in `{1..=d}`, in increasing index order,
+/// parallelising over contiguous ranges of matrix indices (worker count from
+/// `std::thread::available_parallelism`).
 ///
 /// The search iterates over all `d^{pq}` matrices, so it is only meant for
 /// the small parameters of the paper's worked examples (`d^{pq} ≤ ~10^7`).
 pub fn enumerate_canonical_matrices(p: usize, q: usize, d: u32) -> Vec<ConstraintMatrix> {
+    let threads = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(1);
+    // Don't spin up workers that would each see only a handful of matrices.
+    let total = (d as u128).saturating_pow((p * q) as u32);
+    let cap = (total / MIN_MATRICES_PER_WORKER as u128).max(1);
+    let threads = threads.min(cap.min(usize::MAX as u128) as usize);
+    enumerate_canonical_matrices_with_threads(p, q, d, threads)
+}
+
+/// [`enumerate_canonical_matrices`] with an explicit worker count
+/// (`threads <= 1` runs on the calling thread).  The result does not depend
+/// on `threads`.
+pub fn enumerate_canonical_matrices_with_threads(
+    p: usize,
+    q: usize,
+    d: u32,
+    threads: usize,
+) -> Vec<ConstraintMatrix> {
     assert!(p >= 1 && q >= 1 && d >= 1);
     let cells = p * q;
     let total = (d as u128)
         .checked_pow(cells as u32)
         .expect("d^(pq) overflow");
     assert!(
-        total <= 20_000_000,
+        total <= MAX_ENUMERATION,
         "enumeration of {total} matrices is too large; use counting::lemma1_lower_bound_log2"
     );
+    let total = total as u64;
+    let threads = threads.clamp(1, total.max(1) as usize);
+    if threads == 1 {
+        let classes = enumerate_range(p, q, d, 0, total);
+        return classes.into_iter().collect();
+    }
+    let per_worker = total.div_ceil(threads as u64);
+    let mut partials: Vec<BTreeSet<ConstraintMatrix>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t as u64 * per_worker;
+                let hi = (lo + per_worker).min(total);
+                scope.spawn(move || enumerate_range(p, q, d, lo, hi))
+            })
+            .collect();
+        // Fold in worker order (deterministic; union is order-insensitive
+        // anyway, so every thread count yields the same set).
+        for h in handles {
+            partials.push(h.join().expect("enumeration worker panicked"));
+        }
+    });
+    let mut classes = partials.pop().unwrap_or_default();
+    for partial in partials {
+        classes.extend(partial);
+    }
+    classes.into_iter().collect()
+}
+
+/// Canonicalizes the matrices with indices in `[lo, hi)` (little-endian
+/// base-`d` encoding of the entries) into a set, reusing one scratch digit
+/// counter for the whole range.
+fn enumerate_range(p: usize, q: usize, d: u32, lo: u64, hi: u64) -> BTreeSet<ConstraintMatrix> {
+    let cells = p * q;
     let mut classes: BTreeSet<ConstraintMatrix> = BTreeSet::new();
+    if lo >= hi {
+        return classes;
+    }
+    // Decode `lo` into digits once, then step the counter.
     let mut digits = vec![0u32; cells];
-    loop {
+    let mut rest = lo;
+    for slot in digits.iter_mut() {
+        *slot = (rest % d as u64) as u32;
+        rest /= d as u64;
+    }
+    for _ in lo..hi {
         let entries: Vec<u32> = digits.iter().map(|&x| x + 1).collect();
         let m = ConstraintMatrix::new(p, q, entries);
         classes.insert(canonical_form(&m));
@@ -44,17 +122,21 @@ pub fn enumerate_canonical_matrices(p: usize, q: usize, d: u32) -> Vec<Constrain
                 }
             }
         }
-        if carry {
-            break;
-        }
     }
-    classes.into_iter().collect()
+    classes
 }
 
 /// The exact number of `≡`-classes of `p × q` matrices with entries in
-/// `{1..=d}` — i.e. `|dM_pq|` — computed by exhaustive enumeration.
+/// `{1..=d}` — i.e. `|dM_pq|` — computed by exhaustive (parallel)
+/// enumeration.
 pub fn count_classes(p: usize, q: usize, d: u32) -> usize {
     enumerate_canonical_matrices(p, q, d).len()
+}
+
+/// [`count_classes`] with an explicit worker count; the count does not
+/// depend on `threads`.
+pub fn count_classes_with_threads(p: usize, q: usize, d: u32, threads: usize) -> usize {
+    enumerate_canonical_matrices_with_threads(p, q, d, threads).len()
 }
 
 #[cfg(test)]
@@ -139,6 +221,35 @@ mod tests {
                 exact + 1e-9 >= bound,
                 "exact {exact} < bound {bound} for ({p},{q},{d})"
             );
+        }
+    }
+
+    #[test]
+    fn thread_counts_all_agree() {
+        // Forces the multi-threaded code path regardless of the machine's
+        // core count, including more threads than matrices.
+        for (p, q, d) in [(2usize, 2usize, 2u32), (3, 3, 2), (2, 2, 3), (2, 4, 2)] {
+            let seq = enumerate_canonical_matrices_with_threads(p, q, d, 1);
+            for threads in [2, 3, 8, 1000] {
+                let par = enumerate_canonical_matrices_with_threads(p, q, d, threads);
+                assert_eq!(seq, par, "({p},{q},{d}) threads={threads}");
+            }
+            assert_eq!(count_classes_with_threads(p, q, d, 7), seq.len());
+        }
+    }
+
+    #[test]
+    fn worker_ranges_partition_the_index_space() {
+        // The union of the per-range sweeps over any split must equal the
+        // full sweep — the invariant behind the parallel decomposition.
+        let (p, q, d) = (2usize, 3usize, 2u32);
+        let full = enumerate_canonical_matrices_with_threads(p, q, d, 1);
+        let total = (d as u64).pow((p * q) as u32);
+        for split in [1u64, 7, 13, total - 1] {
+            let mut acc = super::enumerate_range(p, q, d, 0, split);
+            acc.extend(super::enumerate_range(p, q, d, split, total));
+            let merged: Vec<_> = acc.into_iter().collect();
+            assert_eq!(merged, full, "split at {split}");
         }
     }
 

@@ -39,7 +39,7 @@ pub mod verify;
 
 pub use canonical::{are_equivalent, canonical_form};
 pub use counting::lemma1_lower_bound_log2;
-pub use enumerate::enumerate_canonical_matrices;
+pub use enumerate::{enumerate_canonical_matrices, enumerate_canonical_matrices_with_threads};
 pub use graph_of_constraints::ConstraintGraph;
 pub use matrix::ConstraintMatrix;
 pub use theorem1::{LowerBoundReport, Theorem1Params};

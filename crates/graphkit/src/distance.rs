@@ -1,19 +1,229 @@
-//! All-pairs shortest-path distances.
+//! All-pairs shortest-path distances: dense and block-streamed.
 //!
 //! Everything in the paper is expressed relative to the distance function
 //! `d_G`: the stretch factor divides routing-path lengths by distances, and
-//! the constraint verification checks `d(a_i, b_j) = 2`.  This module stores
-//! the full `n × n` distance matrix and computes it with one BFS per source,
-//! fanning the sources out over the available CPU cores with
-//! `std::thread::scope` — no external parallelism crate is needed.
+//! the constraint verification checks `d(a_i, b_j) = 2`.  Two representations
+//! are provided:
+//!
+//! * [`DistanceMatrix`] — the dense `n × n` buffer, computed with one BFS per
+//!   source, fanning the sources out over the available CPU cores with
+//!   `std::thread::scope`.  Convenient up to a few thousand vertices; at
+//!   `n ≳ 50_000` the `n²` buffer alone is tens of gigabytes.
+//! * [`DistanceBlock`] — a contiguous **block of source rows**
+//!   `[start, start + rows)`, the unit of the sharded evaluation pipeline
+//!   (`trafficlab` and the block-streamed stretch sweeps): consumers walk the
+//!   source space block by block, so peak memory is `O(rows · n)` per worker
+//!   and the dense matrix is never materialized.  Blocks store rows in a
+//!   **narrow `u8` representation** whenever every distance fits below 255
+//!   (eccentricities on all current workloads do), quartering the memory
+//!   traffic of the sweep, and fall back to wide `u32` rows otherwise —
+//!   behind the same [`DistanceBlock::dist`] / [`DistanceRow`] accessors.
 //!
 //! Each worker owns one [`BfsScratch`] and writes every source's distances
-//! straight into its row of the output buffer, so the whole sweep performs a
-//! constant number of allocations regardless of `n`.
+//! straight into its rows of the output buffer, so both sweeps perform a
+//! constant number of allocations regardless of `n` (and
+//! [`DistanceBlock::recompute`] recycles block buffers across blocks).
 
 use crate::graph::{Graph, NodeId};
-use crate::traversal::{bfs_distances_into, BfsScratch};
+use crate::traversal::{bfs_distances_into, bfs_distances_u8_into, BfsScratch, NARROW_INFINITY};
 use crate::{Dist, INFINITY};
+
+/// Widens one narrow (`u8`) distance cell to the canonical [`Dist`] value.
+#[inline]
+fn widen(b: u8) -> Dist {
+    if b == NARROW_INFINITY {
+        INFINITY
+    } else {
+        b as Dist
+    }
+}
+
+/// A borrowed view of one BFS distance row, narrow (`u8`) or wide (`u32`).
+///
+/// [`DistanceRow::dist`] hides the representation: narrow cells widen to the
+/// exact same [`Dist`] values a wide row would hold, so every consumer —
+/// stretch accumulation in particular — is bit-identical across the two.
+#[derive(Debug, Clone, Copy)]
+pub enum DistanceRow<'a> {
+    /// One byte per vertex; [`NARROW_INFINITY`] encodes "unreachable".
+    Narrow(&'a [u8]),
+    /// Four bytes per vertex; [`INFINITY`] encodes "unreachable".
+    Wide(&'a [Dist]),
+}
+
+impl DistanceRow<'_> {
+    /// Distance to `v` ([`INFINITY`] if unreachable).
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> Dist {
+        match self {
+            DistanceRow::Narrow(r) => widen(r[v]),
+            DistanceRow::Wide(r) => r[v],
+        }
+    }
+
+    /// Number of vertices covered by the row.
+    pub fn len(&self) -> usize {
+        match self {
+            DistanceRow::Narrow(r) => r.len(),
+            DistanceRow::Wide(r) => r.len(),
+        }
+    }
+
+    /// Whether the row covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the row into a freshly allocated wide vector.
+    pub fn to_vec(&self) -> Vec<Dist> {
+        match self {
+            DistanceRow::Narrow(r) => r.iter().map(|&b| widen(b)).collect(),
+            DistanceRow::Wide(r) => r.to_vec(),
+        }
+    }
+}
+
+/// One shard of the all-pairs distance computation: the BFS rows of the
+/// contiguous source range `[start, start + rows)`.
+///
+/// This is the unit the sharded stretch/congestion pipeline streams over
+/// (ROADMAP "distance-matrix sharding"): a worker computes a block, consumes
+/// its rows, then [`DistanceBlock::recompute`]s the same buffers for the next
+/// block — the dense `n²` matrix never exists.  Rows are stored narrow (`u8`)
+/// when every distance of the block fits below 255 and wide (`u32`)
+/// otherwise; the fallback is per block and automatic.  Both buffers persist
+/// inside the block, so a sweep that alternates representations still
+/// reaches an allocation-free steady state.
+#[derive(Debug, Clone)]
+pub struct DistanceBlock {
+    start: usize,
+    rows: usize,
+    n: usize,
+    /// `rows * n` bytes, row-major, valid when `narrow_active`.
+    narrow: Vec<u8>,
+    /// `rows * n` words, row-major, valid when `!narrow_active`.
+    wide: Vec<Dist>,
+    narrow_active: bool,
+}
+
+impl DistanceBlock {
+    /// An empty block (recompute it before use).
+    pub fn new() -> Self {
+        DistanceBlock {
+            start: 0,
+            rows: 0,
+            n: 0,
+            narrow: Vec::new(),
+            wide: Vec::new(),
+            narrow_active: true,
+        }
+    }
+
+    /// Computes the rows of sources `[start, start + rows)` of `g`.
+    pub fn compute(g: &Graph, start: usize, rows: usize) -> Self {
+        let mut block = DistanceBlock::new();
+        let mut scratch = BfsScratch::with_capacity(g.num_nodes());
+        block.recompute(g, start, rows, &mut scratch);
+        block
+    }
+
+    /// Recomputes this block in place for a (possibly different) source
+    /// range, reusing the existing buffers.
+    ///
+    /// The narrow representation is attempted first on every call; if some
+    /// row holds a finite distance `>= 255` the whole block falls back to
+    /// wide rows (already-computed narrow rows are widened by copy, only the
+    /// overflowing row and the remaining rows are re-traversed).
+    pub fn recompute(&mut self, g: &Graph, start: usize, rows: usize, scratch: &mut BfsScratch) {
+        let n = g.num_nodes();
+        assert!(
+            start + rows <= n,
+            "source block [{start}, {}) out of range for n = {n}",
+            start + rows
+        );
+        self.start = start;
+        self.rows = rows;
+        self.n = n;
+        // The narrow representation is attempted first on every call — the
+        // choice is per block, independent of what previous blocks needed,
+        // so counts of narrow blocks are deterministic for every worker
+        // count.  Both buffers are recycled across calls.
+        self.narrow.clear();
+        self.narrow.resize(rows * n, NARROW_INFINITY);
+        self.narrow_active = true;
+        for i in 0..rows {
+            if !bfs_distances_u8_into(g, start + i, scratch, &mut self.narrow[i * n..(i + 1) * n]) {
+                // Widen: copy the finished narrow rows, recompute the rest.
+                self.wide.clear();
+                self.wide.resize(rows * n, INFINITY);
+                for (w, &b) in self.wide[..i * n].iter_mut().zip(&self.narrow[..i * n]) {
+                    *w = widen(b);
+                }
+                for j in i..rows {
+                    bfs_distances_into(g, start + j, scratch, &mut self.wide[j * n..(j + 1) * n]);
+                }
+                self.narrow_active = false;
+                return;
+            }
+        }
+    }
+
+    /// First source covered by the block.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of source rows in the block.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of vertices per row.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Whether source `u` has a row in this block.
+    pub fn contains(&self, u: NodeId) -> bool {
+        (self.start..self.start + self.rows).contains(&u)
+    }
+
+    /// The distance row of source `u` (absolute vertex id; panics unless
+    /// [`DistanceBlock::contains`]).
+    pub fn row(&self, u: NodeId) -> DistanceRow<'_> {
+        assert!(self.contains(u), "source {u} outside block");
+        let i = u - self.start;
+        if self.narrow_active {
+            DistanceRow::Narrow(&self.narrow[i * self.n..(i + 1) * self.n])
+        } else {
+            DistanceRow::Wide(&self.wide[i * self.n..(i + 1) * self.n])
+        }
+    }
+
+    /// Distance from `u` (a source of this block) to `v`.
+    #[inline]
+    pub fn dist(&self, u: NodeId, v: NodeId) -> Dist {
+        self.row(u).dist(v)
+    }
+
+    /// Whether the block is currently stored in the narrow representation.
+    pub fn is_narrow(&self) -> bool {
+        self.narrow_active
+    }
+
+    /// Bytes held by the row storage (both recycled buffers) — the
+    /// per-worker memory footprint the sharded pipeline reports instead of
+    /// the dense matrix's `4 n²`.
+    pub fn bytes(&self) -> usize {
+        self.narrow.capacity() + self.wide.capacity() * std::mem::size_of::<Dist>()
+    }
+}
+
+impl Default for DistanceBlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// A dense `n × n` matrix of hop distances.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -283,6 +493,129 @@ mod tests {
         assert_eq!(m.diameter(), None);
         assert!(m.is_connected());
         assert_eq!(m.average_distance(), None);
+    }
+
+    #[test]
+    fn blocks_match_dense_matrix_for_every_block_size() {
+        let g = generators::random_connected(90, 0.05, 19);
+        let n = g.num_nodes();
+        let m = DistanceMatrix::all_pairs_sequential(&g);
+        for block_rows in [1usize, 3, 7, 32, 90, 200] {
+            let mut start = 0;
+            while start < n {
+                let rows = block_rows.min(n - start);
+                let b = DistanceBlock::compute(&g, start, rows);
+                assert!(b.is_narrow(), "small graph must use narrow rows");
+                for u in start..start + rows {
+                    assert!(b.contains(u));
+                    assert_eq!(b.row(u).to_vec(), m.row(u), "source {u}");
+                }
+                start += rows;
+            }
+        }
+    }
+
+    #[test]
+    fn block_recompute_reuses_buffers_across_blocks() {
+        let g = generators::grid(9, 11);
+        let m = DistanceMatrix::all_pairs_sequential(&g);
+        let mut scratch = BfsScratch::new();
+        let mut b = DistanceBlock::new();
+        for start in (0..g.num_nodes()).step_by(16) {
+            let rows = 16.min(g.num_nodes() - start);
+            b.recompute(&g, start, rows, &mut scratch);
+            for u in start..start + rows {
+                for v in 0..g.num_nodes() {
+                    assert_eq!(b.dist(u, v), m.dist(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_falls_back_to_wide_rows_on_long_paths() {
+        // Distances from vertex 0 of P_300 reach 299 > 254: the block must
+        // silently widen and still agree with the dense matrix.
+        let g = generators::path(300);
+        let m = DistanceMatrix::all_pairs_sequential(&g);
+        let b = DistanceBlock::compute(&g, 0, 4);
+        assert!(!b.is_narrow());
+        for u in 0..4 {
+            assert_eq!(b.row(u).to_vec(), m.row(u));
+        }
+        // A middle block fits narrow on the very same graph.
+        let mid = DistanceBlock::compute(&g, 148, 4);
+        assert!(mid.is_narrow());
+        for u in 148..152 {
+            assert_eq!(mid.row(u).to_vec(), m.row(u));
+        }
+    }
+
+    #[test]
+    fn block_widening_mid_block_keeps_earlier_rows() {
+        // On P_400 the row of source u fits narrow iff max(u, 399 − u) ≤ 254,
+        // i.e. u ∈ [145, 254].  A block over 250..260 therefore computes five
+        // narrow rows before row 255 overflows (distance 255 back to vertex
+        // 0), exercising the widen-and-copy path.
+        let g = generators::path(400);
+        let m = DistanceMatrix::all_pairs_sequential(&g);
+        let b = DistanceBlock::compute(&g, 250, 10);
+        assert!(!b.is_narrow());
+        for u in 250..260 {
+            assert_eq!(b.row(u).to_vec(), m.row(u), "source {u}");
+        }
+    }
+
+    #[test]
+    fn recompute_alternating_representations_reuses_buffers() {
+        // P_400: blocks at the ends go wide, blocks in the middle stay
+        // narrow (see `block_widening_mid_block_keeps_earlier_rows`).  One
+        // DistanceBlock cycled through wide -> narrow -> wide must stay
+        // correct, and after the first round of each representation the
+        // buffer capacities must stop growing (steady state).
+        let g = generators::path(400);
+        let m = DistanceMatrix::all_pairs_sequential(&g);
+        let mut scratch = BfsScratch::new();
+        let mut b = DistanceBlock::new();
+        let schedule = [(0usize, false), (190, true), (390, false), (200, true)];
+        let mut steady_bytes = 0usize;
+        for (round, &(start, narrow)) in schedule.iter().enumerate() {
+            b.recompute(&g, start, 10, &mut scratch);
+            assert_eq!(b.is_narrow(), narrow, "start {start}");
+            for u in start..start + 10 {
+                assert_eq!(b.row(u).to_vec(), m.row(u), "source {u}");
+            }
+            if round == 2 {
+                steady_bytes = b.bytes();
+            } else if round == 3 {
+                assert_eq!(b.bytes(), steady_bytes, "buffers must be recycled");
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_and_wide_rows_expose_identical_values() {
+        let g = generators::cycle(12);
+        let b = DistanceBlock::compute(&g, 0, 12);
+        let m = DistanceMatrix::all_pairs_sequential(&g);
+        for u in 0..12 {
+            let row = b.row(u);
+            assert_eq!(row.len(), 12);
+            assert!(!row.is_empty());
+            for v in 0..12 {
+                assert_eq!(row.dist(v), m.dist(u, v));
+            }
+        }
+        assert!(b.bytes() >= 12 * 12);
+    }
+
+    #[test]
+    fn disconnected_blocks_report_infinity() {
+        let h = generators::path(4).disjoint_union(&generators::cycle(3));
+        let b = DistanceBlock::compute(&h, 0, h.num_nodes());
+        assert_eq!(b.dist(0, 5), INFINITY);
+        assert_eq!(b.dist(0, 3), 3);
+        assert_eq!(b.dist(5, 6), 1);
     }
 
     #[test]

@@ -16,8 +16,12 @@
 //!   Petersen graph, complete graphs, outerplanar graphs, chordal graphs,
 //!   unit circular-arc graphs and random graphs,
 //! * breadth-first traversals, eccentricities and diameters ([`traversal`]),
-//!   built on a reusable zero-allocation workspace ([`BfsScratch`]),
-//! * all-pairs shortest-path distances, computed in parallel ([`distance`]),
+//!   built on a reusable zero-allocation workspace ([`BfsScratch`]), with
+//!   narrow `u8` distance rows for memory-bound sweeps,
+//! * all-pairs shortest-path distances ([`distance`]), computed in parallel —
+//!   dense ([`DistanceMatrix`]) or sharded into block-streamed source rows
+//!   ([`DistanceBlock`]) so sweeps scale past what one `n²` allocation can
+//!   hold,
 //! * structural predicates and statistics ([`properties`]),
 //! * plain-text import/export ([`io`]).
 //!
@@ -46,7 +50,7 @@ pub mod rng;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
-pub use distance::DistanceMatrix;
+pub use distance::{DistanceBlock, DistanceMatrix, DistanceRow};
 pub use graph::{Graph, NodeId, Port};
 pub use rng::Xoshiro256;
 pub use traversal::BfsScratch;

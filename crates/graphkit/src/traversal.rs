@@ -73,6 +73,62 @@ pub fn bfs_distances_into(g: &Graph, source: NodeId, scratch: &mut BfsScratch, d
     }
 }
 
+/// Sentinel for "unreachable" in the narrow (`u8`) distance representation.
+///
+/// Narrow rows store finite distances `0..=254` directly; `255` means the
+/// vertex was not reached.  A finite distance of 255 or more cannot be
+/// represented — [`bfs_distances_u8_into`] detects that case and reports it so
+/// callers can fall back to the wide (`u32`) representation.
+pub const NARROW_INFINITY: u8 = u8::MAX;
+
+/// Single-source BFS distances written into a caller-provided **`u8`** buffer.
+///
+/// The narrow representation quarters the memory traffic of a distance sweep
+/// (one byte per vertex instead of four), which is what the block-streamed
+/// all-pairs pipelines in [`crate::distance`] ride on: on every workload in
+/// this repository the eccentricities fit comfortably below 255.
+///
+/// Returns `true` on success.  Returns `false` — with the buffer contents
+/// unspecified — as soon as some vertex would need a finite distance `>= 255`;
+/// the caller must then redo the row with [`bfs_distances_into`].  Unreached
+/// vertices are left at [`NARROW_INFINITY`].  Allocation-free once `scratch`
+/// has warmed up.
+pub fn bfs_distances_u8_into(
+    g: &Graph,
+    source: NodeId,
+    scratch: &mut BfsScratch,
+    dist: &mut [u8],
+) -> bool {
+    let n = g.num_nodes();
+    assert!(source < n, "BFS source out of range");
+    assert_eq!(dist.len(), n, "distance buffer has the wrong length");
+    dist.fill(NARROW_INFINITY);
+    let queue = &mut scratch.queue;
+    queue.clear();
+    queue.reserve(n);
+    dist[source] = 0;
+    queue.push(source as u32);
+    let mut head = 0usize;
+    while head < queue.len() {
+        let u = queue[head] as usize;
+        head += 1;
+        // Visited vertices always hold a *finite* value < 255, so the
+        // sentinel test below is unambiguous.
+        let du = dist[u] as u16 + 1;
+        for &v in g.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == NARROW_INFINITY {
+                if du >= NARROW_INFINITY as u16 {
+                    return false;
+                }
+                dist[v] = du as u8;
+                queue.push(v as u32);
+            }
+        }
+    }
+    true
+}
+
 /// Like [`bfs_distances_into`], but reusing the scratch's own distance
 /// buffer; returns a borrow of it.
 pub fn bfs_distances_scratch<'a>(
@@ -390,6 +446,57 @@ mod tests {
         bfs_distances_into(&h, 2, &mut scratch, &mut dist2);
         assert_eq!(dist2, vec![2, 1, 0]);
         assert_eq!(bfs_distances_scratch(&h, 0, &mut scratch), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn narrow_bfs_matches_wide_bfs() {
+        let mut scratch = BfsScratch::new();
+        for g in [
+            generators::cycle(40),
+            generators::random_connected(80, 0.06, 5),
+            generators::hypercube(5),
+            generators::path(4).disjoint_union(&generators::cycle(3)),
+        ] {
+            let n = g.num_nodes();
+            let mut narrow = vec![0u8; n];
+            for s in 0..n {
+                assert!(bfs_distances_u8_into(&g, s, &mut scratch, &mut narrow));
+                let wide = bfs_distances(&g, s);
+                for v in 0..n {
+                    let widened = if narrow[v] == NARROW_INFINITY {
+                        INFINITY
+                    } else {
+                        narrow[v] as Dist
+                    };
+                    assert_eq!(widened, wide[v], "source {s}, vertex {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_bfs_reports_overflow_on_long_paths() {
+        // A path with 300 vertices has eccentricity 299 > 254 from its ends.
+        let g = generators::path(300);
+        let mut scratch = BfsScratch::new();
+        let mut narrow = vec![0u8; 300];
+        assert!(!bfs_distances_u8_into(&g, 0, &mut scratch, &mut narrow));
+        // From the middle every distance is <= 150: the narrow row fits.
+        assert!(bfs_distances_u8_into(&g, 150, &mut scratch, &mut narrow));
+        assert_eq!(narrow[0], 150);
+        assert_eq!(narrow[299], 149);
+    }
+
+    #[test]
+    fn narrow_bfs_distance_254_fits_255_does_not() {
+        let g = generators::path(256);
+        let mut scratch = BfsScratch::new();
+        let mut narrow = vec![0u8; 256];
+        // Eccentricity of vertex 1 is 254: representable.
+        assert!(bfs_distances_u8_into(&g, 1, &mut scratch, &mut narrow));
+        assert_eq!(narrow[255], 254);
+        // Eccentricity of vertex 0 is 255: the first unrepresentable value.
+        assert!(!bfs_distances_u8_into(&g, 0, &mut scratch, &mut narrow));
     }
 
     #[test]

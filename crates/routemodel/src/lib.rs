@@ -15,8 +15,13 @@
 //!
 //! * [`simulate::route`] runs `R` on a source/destination pair and returns the
 //!   routing path (or a routing error: loop, wrong delivery, dead end);
+//!   [`simulate::route_block_into`] is the batched, allocation-free variant
+//!   that drives one source to many destinations (the entry point of the
+//!   `trafficlab` sharded workload engine);
 //! * [`stretch`] computes the **stretch factor**
-//!   `s(R, G) = max_{x≠y} d_R(x, y) / d_G(x, y)`;
+//!   `s(R, G) = max_{x≠y} d_R(x, y) / d_G(x, y)` — dense sweeps here, and a
+//!   public [`StretchAccumulator`] so block-streamed engines can reproduce
+//!   the dense report bit-for-bit without an `n²` distance matrix;
 //! * [`memory`] measures the **memory requirement** `MEM_G(R, x)` of each
 //!   router under explicit encodings (the paper uses Kolmogorov complexity,
 //!   which our concrete encoders upper-bound and our counting arguments lower
@@ -45,9 +50,9 @@ pub use error::RoutingError;
 pub use function::{Action, RoutingFunction};
 pub use header::Header;
 pub use memory::{MemoryReport, PortMap};
-pub use simulate::{route, route_with_limit_into, RouteTrace};
+pub use simulate::{default_hop_limit, route, route_block_into, route_with_limit_into, RouteTrace};
 pub use stretch::{
     stretch_factor, stretch_factor_with_threads, stretch_over_pairs, stretch_sampled,
-    stretch_sampled_with_threads, verify_stretch, StretchReport,
+    stretch_sampled_with_threads, verify_stretch, StretchAccumulator, StretchReport,
 };
 pub use table::{TableRouting, TieBreak};

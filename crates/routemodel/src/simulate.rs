@@ -140,6 +140,39 @@ pub fn route_with_limit_into<R: RoutingFunction + ?Sized>(
     }
 }
 
+/// Routes one source to a **batch** of destinations, invoking `on_route` with
+/// each completed trace — the batched entry point behind the sharded
+/// workload engine (`trafficlab`).
+///
+/// Destinations equal to `source` are skipped (a message to yourself routes
+/// over zero edges and carries no information).  The trace buffer is reused
+/// across the whole batch, so the batch performs zero allocations once `buf`
+/// has warmed up.  On the first routing error the batch stops and the error
+/// is returned; earlier destinations have already been delivered to
+/// `on_route` at that point.
+///
+/// The callback receives the destination and the trace (borrowed — copy out
+/// what you need; the next iteration overwrites it).
+pub fn route_block_into<R: RoutingFunction + ?Sized>(
+    g: &Graph,
+    r: &R,
+    source: NodeId,
+    dests: &[u32],
+    hop_limit: usize,
+    buf: &mut RouteTrace,
+    mut on_route: impl FnMut(NodeId, &RouteTrace),
+) -> Result<(), RoutingError> {
+    for &t in dests {
+        let t = t as usize;
+        if t == source {
+            continue;
+        }
+        route_with_limit_into(g, r, source, t, hop_limit, buf)?;
+        on_route(t, buf);
+    }
+    Ok(())
+}
+
 /// Routes every ordered pair of distinct vertices and returns the matrix of
 /// route lengths (`u32::MAX` never appears: an error aborts the computation).
 pub fn all_pairs_route_lengths<R: RoutingFunction + ?Sized>(
@@ -287,6 +320,45 @@ mod tests {
             }) => {}
             other => panic!("expected port error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn route_block_matches_individual_routes() {
+        let (g, r) = clockwise_on_cycle(8);
+        let limit = default_hop_limit(8);
+        let mut buf = RouteTrace::new();
+        let dests: Vec<u32> = vec![3, 0, 5, 7, 1]; // includes the source itself
+        let mut seen = Vec::new();
+        route_block_into(&g, &r, 3, &dests, limit, &mut buf, |t, trace| {
+            seen.push((t, trace.len()));
+        })
+        .unwrap();
+        // Destination 3 == source is skipped; the rest arrive in batch order.
+        let expected: Vec<(usize, usize)> = [0usize, 5, 7, 1]
+            .iter()
+            .map(|&t| (t, route(&g, &r, 3, t).unwrap().len()))
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn route_block_stops_at_first_error() {
+        let g = generators::cycle(6);
+        let r = dest_address_routing("loopy", |_node, _h: &Header| Action::Forward(0));
+        let mut buf = RouteTrace::new();
+        let mut delivered = 0usize;
+        let err = route_block_into(
+            &g,
+            &r,
+            0,
+            &[1, 2],
+            default_hop_limit(6),
+            &mut buf,
+            |_, _| delivered += 1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RoutingError::Loop { dest: 1, .. }));
+        assert_eq!(delivered, 0);
     }
 
     #[test]

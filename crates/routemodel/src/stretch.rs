@@ -20,7 +20,11 @@
 //! compare the parallel and sequential paths exactly.
 //!
 //! For large `n`, routing every pair is quadratic; [`stretch_sampled`]
-//! estimates the same report over a deterministic pair sample.
+//! estimates the same report over a deterministic pair sample.  The sweeps in
+//! this module read distances from a dense [`DistanceMatrix`]; graphs too big
+//! for the `n²` buffer are handled by the `trafficlab` engine, which streams
+//! block-local BFS rows through a [`StretchAccumulator`] and reproduces the
+//! all-pairs report of [`stretch_factor`] bit-for-bit.
 
 use crate::error::RoutingError;
 use crate::function::RoutingFunction;
@@ -44,9 +48,16 @@ pub struct StretchReport {
 
 /// Partial stretch accumulation over a deterministic slice of the pair space
 /// (one source, or one block of sampled pairs).  Folding the partials in
-/// slice order reproduces the sequential result exactly.
+/// slice order reproduces the sequential result exactly — bit-for-bit,
+/// including the `f64` sum behind the average.
+///
+/// This type is public so external sweep engines (the `trafficlab` sharded
+/// executor in particular) can accumulate stretch against block-local BFS
+/// rows and still produce the exact report a dense [`stretch_factor`] sweep
+/// over the same pairs would: record the same pairs in the same order within
+/// each slice, then [`StretchAccumulator::merge_after`] the slices in order.
 #[derive(Debug, Clone, Copy, Default)]
-struct StretchAccum {
+pub struct StretchAccumulator {
     sum: f64,
     count: usize,
     max: f64,
@@ -55,10 +66,17 @@ struct StretchAccum {
     any: bool,
 }
 
-impl StretchAccum {
+impl StretchAccumulator {
+    /// An empty accumulator (yields the neutral report: stretch 1.0, zero
+    /// pairs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Feeds one routed pair; the first strictly greater stretch wins, so
-    /// iteration order decides the reported argmax pair.
-    fn record(&mut self, s: NodeId, t: NodeId, len: u32, dist: u32) {
+    /// iteration order decides the reported argmax pair.  `dist` must be the
+    /// true distance `d_G(s, t)` (finite and positive).
+    pub fn record(&mut self, s: NodeId, t: NodeId, len: u32, dist: u32) {
         let stretch = len as f64 / dist as f64;
         self.sum += stretch;
         self.count += 1;
@@ -72,7 +90,7 @@ impl StretchAccum {
 
     /// Appends a later slice's partial (order matters: `self` must cover the
     /// earlier part of the pair space).
-    fn merge_after(&mut self, later: &StretchAccum) {
+    pub fn merge_after(&mut self, later: &StretchAccumulator) {
         self.sum += later.sum;
         self.count += later.count;
         self.max_len = self.max_len.max(later.max_len);
@@ -83,7 +101,13 @@ impl StretchAccum {
         }
     }
 
-    fn into_report(self) -> StretchReport {
+    /// Number of pairs recorded so far.
+    pub fn pairs(&self) -> usize {
+        self.count
+    }
+
+    /// Finalizes the accumulated pairs into a [`StretchReport`].
+    pub fn into_report(self) -> StretchReport {
         StretchReport {
             max_stretch: if self.any { self.max } else { 1.0 },
             max_pair: self.max_pair,
@@ -106,8 +130,8 @@ fn accumulate_source<R: RoutingFunction + ?Sized>(
     s: NodeId,
     hop_limit: usize,
     buf: &mut RouteTrace,
-) -> Result<StretchAccum, RoutingError> {
-    let mut acc = StretchAccum::default();
+) -> Result<StretchAccumulator, RoutingError> {
+    let mut acc = StretchAccumulator::default();
     for t in 0..g.num_nodes() {
         if s == t || !dm.reachable(s, t) {
             continue;
@@ -121,9 +145,9 @@ fn accumulate_source<R: RoutingFunction + ?Sized>(
 /// Folds per-slice partials in order; on errors, the one for the earliest
 /// slice wins (matching what a sequential sweep would hit first).
 fn fold_accums(
-    partials: Vec<Option<Result<StretchAccum, RoutingError>>>,
+    partials: Vec<Option<Result<StretchAccumulator, RoutingError>>>,
 ) -> Result<StretchReport, RoutingError> {
-    let mut total = StretchAccum::default();
+    let mut total = StretchAccumulator::default();
     for partial in partials.into_iter().flatten() {
         total.merge_after(&partial?);
     }
@@ -163,7 +187,7 @@ pub fn stretch_factor_with_threads<R: RoutingFunction + Sync + ?Sized>(
     let n = g.num_nodes();
     let hop_limit = default_hop_limit(n);
     let threads = threads.clamp(1, n.max(1));
-    let mut partials: Vec<Option<Result<StretchAccum, RoutingError>>> = Vec::new();
+    let mut partials: Vec<Option<Result<StretchAccumulator, RoutingError>>> = Vec::new();
     if threads == 1 {
         let mut buf = RouteTrace::new();
         for s in 0..n {
@@ -229,7 +253,7 @@ pub fn stretch_sampled_with_threads<R: RoutingFunction + Sync + ?Sized>(
     let pairs = sampled_pairs(n, k, seed);
     let hop_limit = default_hop_limit(n);
     let accumulate_block = |block: &[(NodeId, NodeId)], buf: &mut RouteTrace| {
-        let mut acc = StretchAccum::default();
+        let mut acc = StretchAccumulator::default();
         for &(s, t) in block {
             if s == t || !dm.reachable(s, t) {
                 continue;
@@ -242,7 +266,7 @@ pub fn stretch_sampled_with_threads<R: RoutingFunction + Sync + ?Sized>(
     // One partial per fixed-size block, regardless of the worker count.
     let blocks: Vec<&[(NodeId, NodeId)]> = pairs.chunks(SAMPLE_BLOCK.max(1)).collect();
     let threads = threads.clamp(1, blocks.len().max(1));
-    let mut partials: Vec<Option<Result<StretchAccum, RoutingError>>> = Vec::new();
+    let mut partials: Vec<Option<Result<StretchAccumulator, RoutingError>>> = Vec::new();
     if threads == 1 {
         let mut buf = RouteTrace::new();
         for block in &blocks {
@@ -279,7 +303,7 @@ pub fn stretch_over_pairs<R: RoutingFunction + ?Sized>(
 ) -> Result<StretchReport, RoutingError> {
     let hop_limit = default_hop_limit(g.num_nodes());
     let mut buf = RouteTrace::new();
-    let mut acc = StretchAccum::default();
+    let mut acc = StretchAccumulator::default();
     for (s, t) in pairs {
         if s == t || !dm.reachable(s, t) {
             continue;

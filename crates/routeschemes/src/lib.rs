@@ -19,14 +19,18 @@
 //! | [`tree_routing`] | single spanning tree | universal | unbounded (≤ 2·depth) | `O(d log n)` |
 //!
 //! Every scheme implements the [`CompactScheme`] trait so the experiment
-//! harness (`analysis` crate) can sweep schemes × graph families × sizes and
-//! regenerate the shape of Table 1.
+//! harnesses (`analysis`, `trafficlab`) can sweep schemes × graph families ×
+//! sizes and regenerate the shape of Table 1.  The [`registry`] module names
+//! the schemes with stable short keys (`table`, `tree`, `interval`,
+//! `landmark`, `hypercube`, `grid`, `complete`) so sweeps can enumerate or
+//! parse them without touching the concrete types.
 
 pub mod complete;
 pub mod grid;
 pub mod hypercube;
 pub mod interval;
 pub mod landmark;
+pub mod registry;
 pub mod scheme;
 pub mod table_scheme;
 pub mod tree_routing;
@@ -37,6 +41,7 @@ pub use hypercube::EcubeScheme;
 pub use interval::general::KIntervalScheme;
 pub use interval::tree::TreeIntervalScheme;
 pub use landmark::LandmarkScheme;
+pub use registry::{applicable_schemes, GraphHints, SchemeKind};
 pub use scheme::{CompactScheme, SchemeInstance};
 pub use table_scheme::TableScheme;
 pub use tree_routing::SpanningTreeScheme;

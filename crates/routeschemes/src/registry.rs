@@ -1,0 +1,220 @@
+//! A registry of the compact routing schemes, addressable by short keys.
+//!
+//! Sweep harnesses — the `trafficlab` scenario runner foremost — need to
+//! enumerate "every scheme that applies to this graph" and to instantiate a
+//! scheme from a name found in a config file or on a command line, without
+//! hard-coding the concrete types.  [`SchemeKind`] is that indirection: one
+//! variant per scheme of the crate, a stable string key per variant, and a
+//! uniform fallible constructor.
+//!
+//! Two schemes need information the bare [`Graph`] does not carry: the
+//! dimension-order scheme must know the grid shape, and (for clarity of
+//! intent) hypercube detection can be pinned instead of inferred.
+//! [`GraphHints`] transports those facts from whoever generated the graph.
+
+use crate::complete::ModularCompleteScheme;
+use crate::grid::DimensionOrderScheme;
+use crate::hypercube::EcubeScheme;
+use crate::interval::general::KIntervalScheme;
+use crate::landmark::LandmarkScheme;
+use crate::scheme::{CompactScheme, SchemeInstance};
+use crate::table_scheme::TableScheme;
+use crate::tree_routing::SpanningTreeScheme;
+use graphkit::Graph;
+
+/// Structural facts about a graph that its generator knows but the [`Graph`]
+/// value does not expose (or only expensively).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphHints {
+    /// `(rows, cols)` when the graph was generated as a grid.
+    pub grid_dims: Option<(usize, usize)>,
+}
+
+impl GraphHints {
+    /// No hints: only hint-free schemes can be built.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Hints for a `rows × cols` grid.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        GraphHints {
+            grid_dims: Some((rows, cols)),
+        }
+    }
+}
+
+/// Every scheme of the crate, as a value.
+///
+/// The per-variant keys (see [`SchemeKind::key`]) are the vocabulary used by
+/// scenario configs and reports: `table`, `tree`, `interval`, `landmark`,
+/// `hypercube`, `grid` and `complete`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Full shortest-path routing tables ([`TableScheme`]): universal,
+    /// stretch 1, `O(n log n)` bits per router.
+    Table,
+    /// Single spanning tree ([`SpanningTreeScheme`]): universal, unbounded
+    /// stretch, `O(d log n)` bits — and the only scheme whose construction is
+    /// near-linear, hence the default at `n ≥ 10^5`.
+    SpanningTree,
+    /// Universal `k`-interval routing ([`KIntervalScheme`]): stretch 1,
+    /// compresses tables on label-coherent topologies.
+    KInterval,
+    /// Landmark/cluster routing ([`LandmarkScheme`]): universal, stretch
+    /// `< 3`, `Õ(√n)` bits expected.
+    Landmark,
+    /// Dimension-order routing on hypercubes ([`EcubeScheme`]).
+    Ecube,
+    /// Dimension-order routing on grids ([`DimensionOrderScheme`]); requires
+    /// [`GraphHints::grid_dims`].
+    DimensionOrder,
+    /// The `O(log n)`-bit modular scheme on complete graphs
+    /// ([`ModularCompleteScheme`]); requires the modular port labeling.
+    ModularComplete,
+}
+
+impl SchemeKind {
+    /// Every scheme, in report order.
+    pub const ALL: [SchemeKind; 7] = [
+        SchemeKind::Table,
+        SchemeKind::SpanningTree,
+        SchemeKind::KInterval,
+        SchemeKind::Landmark,
+        SchemeKind::Ecube,
+        SchemeKind::DimensionOrder,
+        SchemeKind::ModularComplete,
+    ];
+
+    /// The stable short key of the scheme (scenario vocabulary).
+    pub fn key(&self) -> &'static str {
+        match self {
+            SchemeKind::Table => "table",
+            SchemeKind::SpanningTree => "tree",
+            SchemeKind::KInterval => "interval",
+            SchemeKind::Landmark => "landmark",
+            SchemeKind::Ecube => "hypercube",
+            SchemeKind::DimensionOrder => "grid",
+            SchemeKind::ModularComplete => "complete",
+        }
+    }
+
+    /// Parses a short key back into a scheme kind.
+    pub fn parse(key: &str) -> Option<SchemeKind> {
+        SchemeKind::ALL.iter().copied().find(|k| k.key() == key)
+    }
+
+    /// Whether the scheme's construction cost is near-linear in the graph
+    /// size.  Schemes where this is `false` build an `n × n` distance matrix
+    /// (or per-router full tables) and are unusable at `n ≳ 10^4`.
+    pub fn scales_to_large_graphs(&self) -> bool {
+        matches!(
+            self,
+            SchemeKind::SpanningTree | SchemeKind::Ecube | SchemeKind::DimensionOrder
+        )
+    }
+
+    /// Instantiates the scheme on `g`, or `None` when it does not apply (or
+    /// a required hint is missing).
+    pub fn build(&self, g: &Graph, hints: &GraphHints) -> Option<SchemeInstance> {
+        match self {
+            SchemeKind::Table => TableScheme::default().try_build(g),
+            SchemeKind::SpanningTree => SpanningTreeScheme::default().try_build(g),
+            SchemeKind::KInterval => KIntervalScheme::default().try_build(g),
+            SchemeKind::Landmark => LandmarkScheme::new(0x7AFF1C).try_build(g),
+            SchemeKind::Ecube => EcubeScheme.try_build(g),
+            SchemeKind::DimensionOrder => {
+                let (rows, cols) = hints.grid_dims?;
+                DimensionOrderScheme::new(rows, cols).try_build(g)
+            }
+            SchemeKind::ModularComplete => ModularCompleteScheme.try_build(g),
+        }
+    }
+}
+
+/// Builds every scheme of [`SchemeKind::ALL`] that applies to `g`, paired
+/// with its key, in report order.
+pub fn applicable_schemes(g: &Graph, hints: &GraphHints) -> Vec<(SchemeKind, SchemeInstance)> {
+    SchemeKind::ALL
+        .iter()
+        .filter_map(|kind| kind.build(g, hints).map(|inst| (*kind, inst)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::generators;
+    use routemodel::labeling::modular_complete_labeling;
+
+    #[test]
+    fn keys_round_trip() {
+        for kind in SchemeKind::ALL {
+            assert_eq!(SchemeKind::parse(kind.key()), Some(kind));
+        }
+        assert_eq!(SchemeKind::parse("no-such-scheme"), None);
+    }
+
+    #[test]
+    fn universal_schemes_apply_to_a_random_graph() {
+        let g = generators::random_connected(48, 0.1, 3);
+        let built = applicable_schemes(&g, &GraphHints::none());
+        let keys: Vec<&str> = built.iter().map(|(k, _)| k.key()).collect();
+        for key in ["table", "tree", "interval", "landmark"] {
+            assert!(keys.contains(&key), "{key} missing from {keys:?}");
+        }
+        // No hints, not a hypercube, not a modular complete graph.
+        for key in ["hypercube", "grid", "complete"] {
+            assert!(!keys.contains(&key), "{key} wrongly built");
+        }
+    }
+
+    #[test]
+    fn specialized_schemes_need_their_graphs() {
+        let h = generators::hypercube(4);
+        assert!(SchemeKind::Ecube.build(&h, &GraphHints::none()).is_some());
+
+        let g = generators::grid(4, 6);
+        assert!(SchemeKind::DimensionOrder
+            .build(&g, &GraphHints::none())
+            .is_none());
+        assert!(SchemeKind::DimensionOrder
+            .build(&g, &GraphHints::grid(4, 6))
+            .is_some());
+
+        let k = modular_complete_labeling(9);
+        assert!(SchemeKind::ModularComplete
+            .build(&k, &GraphHints::none())
+            .is_some());
+        // A complete graph with the *generator's* (non-modular) labeling is
+        // refused by the modular scheme.
+        let plain = generators::complete(9);
+        assert!(SchemeKind::ModularComplete
+            .build(&plain, &GraphHints::none())
+            .is_none());
+    }
+
+    #[test]
+    fn scaling_classification_matches_the_constructors() {
+        // Near-linear builders: one BFS/DFS (tree) or closed-form labels
+        // (e-cube, dimension-order).  Everything else touches an n × n
+        // distance matrix or per-router full tables.
+        use SchemeKind::*;
+        for kind in SchemeKind::ALL {
+            let expected = matches!(kind, SpanningTree | Ecube | DimensionOrder);
+            assert_eq!(kind.scales_to_large_graphs(), expected, "{}", kind.key());
+        }
+    }
+
+    #[test]
+    fn built_instances_report_memory() {
+        let g = generators::random_connected(32, 0.15, 9);
+        for (kind, inst) in applicable_schemes(&g, &GraphHints::none()) {
+            assert!(
+                inst.memory.local() > 0,
+                "{} reports zero local memory",
+                kind.key()
+            );
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The `trafficlab` scenario runner.
+//!
+//! ```text
+//! trafficlab list                       # show the scenario book
+//! trafficlab run <name> [options]       # run one scenario
+//! trafficlab smoke [options]            # alias for `run smoke`
+//!
+//! options:
+//!   --threads <t>    worker count (default: all cores)
+//!   --json <path>    also write the report as JSON ('-' = stdout; the
+//!                    table then moves to stderr so stdout stays parseable)
+//! ```
+//!
+//! Exit status is non-zero when any scheme violates its guaranteed stretch,
+//! when any (case, scheme) cell fails with a routing error, or when nothing
+//! ran at all — so CI can gate on the smoke scenario.
+
+use std::process::ExitCode;
+use trafficlab::{find_scenario, named_scenarios, run_scenario};
+
+fn usage() {
+    eprintln!("usage: trafficlab <list | run <scenario> | smoke> [--threads t] [--json path]");
+    eprintln!("scenarios:");
+    for s in named_scenarios() {
+        eprintln!("  {:<18} {}", s.name, s.description);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = 0usize;
+    let mut json_path: Option<String> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--threads needs an integer argument");
+                    return ExitCode::FAILURE;
+                };
+                threads = v;
+            }
+            "--json" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--json needs a path argument ('-' for stdout)");
+                    return ExitCode::FAILURE;
+                };
+                json_path = Some(v.clone());
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown option '{flag}'");
+                usage();
+                return ExitCode::FAILURE;
+            }
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+
+    match positional.as_slice() {
+        ["list"] => {
+            for s in named_scenarios() {
+                println!(
+                    "{:<18} {} ({} case(s))",
+                    s.name,
+                    s.description,
+                    s.cases.len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        ["run", name] => run_named(name, threads, json_path),
+        ["smoke"] => run_named("smoke", threads, json_path),
+        other => {
+            if !other.is_empty() {
+                eprintln!("unrecognized arguments: {}", other.join(" "));
+            }
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_named(name: &str, threads: usize, json_path: Option<String>) -> ExitCode {
+    let Some(scenario) = find_scenario(name) else {
+        eprintln!("unknown scenario '{name}' (try `trafficlab list`)");
+        return ExitCode::FAILURE;
+    };
+    eprintln!("scenario {name}: {}", scenario.description);
+    let report = run_scenario(&scenario, threads);
+    let json_to_stdout = json_path.as_deref() == Some("-");
+    let table = report.to_table().to_plain();
+    if json_to_stdout {
+        // Keep stdout pure JSON for piping; the table is status output.
+        eprintln!("{table}");
+    } else {
+        println!("{table}");
+    }
+    for s in &report.skipped {
+        eprintln!("note: {s}");
+    }
+    for e in &report.errors {
+        eprintln!("ERROR: {e}");
+    }
+    if let Some(path) = json_path {
+        let json = report.to_json();
+        if json_to_stdout {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        } else {
+            eprintln!("report written to {path}");
+        }
+    }
+    // Routing-model failures and broken stretch promises are regressions the
+    // exit status must surface (CI gates on this).
+    if !report.errors.is_empty() {
+        eprintln!(
+            "FAILURE: {} scheme(s) hit routing errors",
+            report.errors.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let violated = report
+        .results
+        .iter()
+        .any(|r| r.within_guarantee == Some(false));
+    if violated {
+        eprintln!("FAILURE: some scheme exceeded its guaranteed stretch");
+        return ExitCode::FAILURE;
+    }
+    if report.results.is_empty() {
+        eprintln!("FAILURE: no (case, scheme) cell produced a result");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

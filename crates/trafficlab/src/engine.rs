@@ -1,0 +1,526 @@
+//! The sharded, parallel workload executor.
+//!
+//! [`run_workload`] drives one routing function over one compiled
+//! [`WorkloadPlan`]:
+//!
+//! 1. the sources that actually send messages are grouped into **blocks** of
+//!    consecutive vertex ids (at most [`EngineConfig::block_rows`] per
+//!    block);
+//! 2. blocks are handed out to `std::thread::scope` workers in contiguous
+//!    chunks; every worker owns one [`BfsScratch`], one reusable
+//!    [`DistanceBlock`] of block-local BFS rows, one [`RouteTrace`] and its
+//!    own metric counters — after warm-up the inner loop performs **zero
+//!    allocations per message**, and peak memory is
+//!    `O(workers · block_rows · n)` instead of the dense matrix's `n²`;
+//! 3. stretch is accumulated into **one [`StretchAccumulator`] per source**
+//!    and the per-source partials are folded in source order, so for the
+//!    all-pairs workload the resulting [`StretchReport`] is **bit-identical**
+//!    to `routemodel::stretch_factor` over the dense [`DistanceMatrix`] — for
+//!    every worker count and block size (the property tests pin this);
+//! 4. congestion counters and route-length histograms are merged by integer
+//!    addition, which is order-insensitive, so the whole
+//!    [`WorkloadReport`] is deterministic.
+//!
+//! [`DistanceMatrix`]: graphkit::DistanceMatrix
+
+use crate::metrics::{CongestionCounters, CongestionReport, LengthHistogram};
+use crate::workload::{SourceDests, WorkloadPlan};
+use graphkit::{BfsScratch, DistanceBlock, Graph, INFINITY};
+use routemodel::{
+    default_hop_limit, route_block_into, RouteTrace, RoutingError, RoutingFunction,
+    StretchAccumulator, StretchReport,
+};
+
+/// Tuning knobs of the executor.  The defaults are right for tests and
+/// moderate graphs; large sweeps mostly tune `block_rows` (smaller blocks for
+/// sparse-source workloads, so no BFS row is computed for a silent source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker count; `0` uses `std::thread::available_parallelism`.
+    pub threads: usize,
+    /// Maximum source rows per distance block; `0` picks 64.
+    pub block_rows: usize,
+    /// Whether to count per-arc congestion (costs `2m` `u64`s per worker).
+    pub track_congestion: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            block_rows: 0,
+            track_congestion: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn effective_threads(&self, blocks: usize) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|x| x.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        t.clamp(1, blocks.max(1))
+    }
+
+    fn effective_block_rows(&self) -> usize {
+        if self.block_rows == 0 {
+            64
+        } else {
+            self.block_rows
+        }
+    }
+}
+
+/// Everything one workload run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadReport {
+    /// Stretch over the delivered messages (for the all-pairs workload:
+    /// bit-identical to the dense `stretch_factor` report).
+    pub stretch: StretchReport,
+    /// Messages actually routed and delivered.
+    pub routed_messages: u64,
+    /// Planned messages dropped because the destination was unreachable.
+    pub skipped_unreachable: u64,
+    /// Per-arc congestion summary (when tracking was enabled).
+    pub congestion: Option<CongestionReport>,
+    /// Route-length histogram over delivered messages.
+    pub lengths: LengthHistogram,
+    /// Number of source blocks processed.
+    pub blocks: usize,
+    /// Blocks whose BFS rows fit the narrow `u8` representation.
+    pub narrow_blocks: usize,
+    /// Peak-memory proxy: bytes of the workload plan plus, per worker, the
+    /// largest distance block, the metric counters and the BFS scratch.
+    /// This is what replaces the dense matrix's `4 n²` bytes.
+    pub peak_tracked_bytes: u64,
+}
+
+/// One contiguous run of message-sending sources.
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    /// Range of indices into the active-source list.
+    rank_lo: usize,
+    rank_hi: usize,
+    /// Range of vertex ids covered by the distance block.
+    src_lo: usize,
+    rows: usize,
+}
+
+/// Per-worker accumulation of everything except the ordered stretch fold.
+struct WorkerOut {
+    congestion: Option<CongestionCounters>,
+    lengths: LengthHistogram,
+    routed: u64,
+    skipped: u64,
+    narrow_blocks: usize,
+    max_block_bytes: u64,
+}
+
+type SourcePartial = Option<Result<StretchAccumulator, RoutingError>>;
+
+/// Runs `plan` against routing function `r` on `g`.
+///
+/// Fails with the earliest (in source order, then batch order) routing-model
+/// violation, exactly like the dense stretch sweep.  Unreachable
+/// destinations are skipped and counted, matching the paper's restriction to
+/// connected graphs.
+pub fn run_workload<R: RoutingFunction + Sync + ?Sized>(
+    g: &Graph,
+    r: &R,
+    plan: &WorkloadPlan,
+    cfg: &EngineConfig,
+) -> Result<WorkloadReport, RoutingError> {
+    let n = g.num_nodes();
+    assert_eq!(plan.num_nodes(), n, "plan compiled for a different graph");
+    let hop_limit = default_hop_limit(n);
+
+    // Sources that send at least one message, ascending.
+    let active: Vec<u32> = (0..n as u32)
+        .filter(|&s| match plan.dests(s as usize) {
+            SourceDests::AllOthers => true,
+            SourceDests::List(l) => !l.is_empty(),
+        })
+        .collect();
+
+    // Group runs of consecutive active sources into blocks, so sparse
+    // workloads never BFS a silent source and dense ones share full blocks.
+    let block_rows = cfg.effective_block_rows();
+    let mut blocks: Vec<Block> = Vec::new();
+    for (rank, &s) in active.iter().enumerate() {
+        let extend = blocks
+            .last()
+            .is_some_and(|b| b.src_lo + b.rows == s as usize && b.rank_hi - b.rank_lo < block_rows);
+        if extend {
+            let b = blocks.last_mut().unwrap();
+            b.rank_hi += 1;
+            b.rows += 1;
+        } else {
+            blocks.push(Block {
+                rank_lo: rank,
+                rank_hi: rank + 1,
+                src_lo: s as usize,
+                rows: 1,
+            });
+        }
+    }
+
+    let threads = cfg.effective_threads(blocks.len());
+    let mut partials: Vec<SourcePartial> = Vec::new();
+    partials.resize_with(active.len(), || None);
+    let mut worker_outs: Vec<Option<WorkerOut>> = Vec::new();
+
+    if threads <= 1 {
+        let out = run_blocks(g, r, plan, &active, &blocks, &mut partials, hop_limit, cfg);
+        worker_outs.push(Some(out));
+    } else {
+        worker_outs.resize_with(threads, || None);
+        let per_worker = blocks.len().div_ceil(threads);
+        // Slice the per-source partials into the contiguous rank ranges the
+        // block chunks cover.
+        let mut jobs: Vec<(&[Block], &mut [SourcePartial])> = Vec::with_capacity(threads);
+        let mut rest: &mut [SourcePartial] = &mut partials;
+        for chunk in blocks.chunks(per_worker) {
+            let ranks: usize = chunk.iter().map(|b| b.rank_hi - b.rank_lo).sum();
+            let (head, tail) = rest.split_at_mut(ranks);
+            jobs.push((chunk, head));
+            rest = tail;
+        }
+        std::thread::scope(|scope| {
+            for ((chunk, slots), out_slot) in jobs.into_iter().zip(worker_outs.iter_mut()) {
+                let active = &active;
+                scope.spawn(move || {
+                    *out_slot = Some(run_blocks(g, r, plan, active, chunk, slots, hop_limit, cfg));
+                });
+            }
+        });
+    }
+
+    // Ordered fold of the per-source stretch partials — the step that makes
+    // the report bit-identical to the dense sweep.
+    let mut total = StretchAccumulator::new();
+    for partial in partials.into_iter().flatten() {
+        total.merge_after(&partial?);
+    }
+
+    let mut congestion = cfg
+        .track_congestion
+        .then(|| CongestionCounters::for_graph(g));
+    let mut lengths = LengthHistogram::new();
+    let mut routed = 0u64;
+    let mut skipped = 0u64;
+    let mut narrow_blocks = 0usize;
+    let mut peak = plan.bytes();
+    for out in worker_outs.into_iter().flatten() {
+        if let (Some(total_c), Some(worker_c)) = (&mut congestion, &out.congestion) {
+            total_c.merge(worker_c);
+        }
+        lengths.merge(&out.lengths);
+        routed += out.routed;
+        skipped += out.skipped;
+        narrow_blocks += out.narrow_blocks;
+        peak += out.max_block_bytes
+            + out.congestion.as_ref().map_or(0, |c| c.bytes())
+            + out.lengths.bytes()
+            + 4 * n as u64; // BFS scratch queue
+    }
+
+    Ok(WorkloadReport {
+        stretch: total.into_report(),
+        routed_messages: routed,
+        skipped_unreachable: skipped,
+        congestion: congestion.map(|c| c.summarize()),
+        lengths,
+        blocks: blocks.len(),
+        narrow_blocks,
+        peak_tracked_bytes: peak,
+    })
+}
+
+/// Processes one worker's chunk of blocks, filling that chunk's per-source
+/// partial slots (in rank order).
+#[allow(clippy::too_many_arguments)]
+fn run_blocks<R: RoutingFunction + Sync + ?Sized>(
+    g: &Graph,
+    r: &R,
+    plan: &WorkloadPlan,
+    active: &[u32],
+    blocks: &[Block],
+    slots: &mut [SourcePartial],
+    hop_limit: usize,
+    cfg: &EngineConfig,
+) -> WorkerOut {
+    let n = g.num_nodes();
+    let mut scratch = BfsScratch::with_capacity(n);
+    let mut rows = DistanceBlock::new();
+    let mut trace = RouteTrace::new();
+    let mut routable: Vec<u32> = Vec::new();
+    let mut out = WorkerOut {
+        congestion: cfg
+            .track_congestion
+            .then(|| CongestionCounters::for_graph(g)),
+        lengths: LengthHistogram::new(),
+        routed: 0,
+        skipped: 0,
+        narrow_blocks: 0,
+        max_block_bytes: 0,
+    };
+    let mut slot_idx = 0usize;
+    for b in blocks {
+        rows.recompute(g, b.src_lo, b.rows, &mut scratch);
+        if rows.is_narrow() {
+            out.narrow_blocks += 1;
+        }
+        out.max_block_bytes = out.max_block_bytes.max(rows.bytes() as u64);
+        for rank in b.rank_lo..b.rank_hi {
+            let s = active[rank] as usize;
+            let row = rows.row(s);
+            // Keep only reachable destinations, preserving plan order (the
+            // dense sweep skips the same pairs at the same positions).
+            routable.clear();
+            match plan.dests(s) {
+                SourceDests::AllOthers => {
+                    for t in 0..n {
+                        if t == s {
+                            continue;
+                        }
+                        if row.dist(t) == INFINITY {
+                            out.skipped += 1;
+                        } else {
+                            routable.push(t as u32);
+                        }
+                    }
+                }
+                SourceDests::List(list) => {
+                    for &t in list {
+                        if t as usize == s {
+                            continue;
+                        }
+                        if row.dist(t as usize) == INFINITY {
+                            out.skipped += 1;
+                        } else {
+                            routable.push(t);
+                        }
+                    }
+                }
+            }
+            let mut acc = StretchAccumulator::new();
+            let lengths = &mut out.lengths;
+            let congestion = &mut out.congestion;
+            let routed = &mut out.routed;
+            let result = route_block_into(g, r, s, &routable, hop_limit, &mut trace, |t, tr| {
+                let len = tr.len();
+                acc.record(s, t, len as u32, row.dist(t));
+                lengths.record(len);
+                *routed += 1;
+                if let Some(c) = congestion {
+                    for (i, &p) in tr.ports.iter().enumerate() {
+                        c.record_hop(tr.path[i], p);
+                    }
+                }
+            });
+            slots[slot_idx] = Some(result.map(|()| acc));
+            slot_idx += 1;
+        }
+    }
+    out
+}
+
+/// Convenience wrapper: the exact stretch factor over **all pairs**, computed
+/// block-by-block without ever materializing the dense distance matrix.
+///
+/// Bit-identical to `routemodel::stretch_factor` for every `threads` and
+/// `block_rows` value; peak memory `O(threads · block_rows · n)`.
+pub fn stretch_factor_blocked<R: RoutingFunction + Sync + ?Sized>(
+    g: &Graph,
+    r: &R,
+    threads: usize,
+    block_rows: usize,
+) -> Result<StretchReport, RoutingError> {
+    let plan = crate::workload::Workload::AllPairs.compile(g.num_nodes());
+    let cfg = EngineConfig {
+        threads,
+        block_rows,
+        track_congestion: false,
+    };
+    run_workload(g, r, &plan, &cfg).map(|rep| rep.stretch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use graphkit::{generators, DistanceMatrix};
+    use routemodel::{stretch_factor_with_threads, Action, Header, TableRouting, TieBreak};
+
+    fn table_routing(g: &Graph) -> TableRouting {
+        let dm = DistanceMatrix::all_pairs_sequential(g);
+        TableRouting::from_distances(g, &dm, TieBreak::LowestPort)
+    }
+
+    fn assert_reports_bit_identical(a: &StretchReport, b: &StretchReport) {
+        assert_eq!(a.max_stretch.to_bits(), b.max_stretch.to_bits());
+        assert_eq!(a.avg_stretch.to_bits(), b.avg_stretch.to_bits());
+        assert_eq!(a.max_pair, b.max_pair);
+        assert_eq!(a.max_route_len, b.max_route_len);
+        assert_eq!(a.pairs, b.pairs);
+    }
+
+    #[test]
+    fn all_pairs_block_stretch_is_bit_identical_to_dense() {
+        let g = generators::random_connected(72, 0.07, 33);
+        let r = table_routing(&g);
+        let dm = DistanceMatrix::all_pairs_sequential(&g);
+        let dense = stretch_factor_with_threads(&g, &dm, &r, 1).unwrap();
+        for threads in [1usize, 2, 3, 7] {
+            for block_rows in [1usize, 5, 16, 100] {
+                let blocked = stretch_factor_blocked(&g, &r, threads, block_rows).unwrap();
+                assert_reports_bit_identical(&blocked, &dense);
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_totals_equal_route_length_sum() {
+        // Flow conservation: every hop of every delivered message is counted
+        // on exactly one arc.
+        let n = 48usize;
+        let g = generators::cycle(n);
+        let g2 = g.clone();
+        let r = routemodel::function::dest_address_routing("cw", move |node, h: &Header| {
+            if node == h.dest {
+                Action::Deliver
+            } else {
+                Action::Forward(g2.port_to(node, (node + 1) % n).unwrap())
+            }
+        });
+        let plan = Workload::Uniform {
+            messages: 5_000,
+            seed: 5,
+        }
+        .compile(n);
+        let rep = run_workload(&g, &r, &plan, &EngineConfig::default()).unwrap();
+        let cong = rep.congestion.as_ref().unwrap();
+        assert_eq!(cong.total_load, rep.lengths.total_hops());
+        assert_eq!(rep.lengths.total(), rep.routed_messages);
+        assert_eq!(rep.routed_messages, 5_000);
+        assert_eq!(rep.skipped_unreachable, 0);
+    }
+
+    #[test]
+    fn whole_report_is_identical_across_thread_and_block_choices() {
+        let g = generators::random_connected(60, 0.08, 8);
+        let r = table_routing(&g);
+        let plan = Workload::Zipf {
+            messages: 3_000,
+            exponent: 1.0,
+            seed: 2,
+        }
+        .compile(60);
+        let base = run_workload(
+            &g,
+            &r,
+            &plan,
+            &EngineConfig {
+                threads: 1,
+                block_rows: 4,
+                track_congestion: true,
+            },
+        )
+        .unwrap();
+        for (threads, block_rows) in [(2usize, 4usize), (3, 1), (5, 17), (2, 64)] {
+            let rep = run_workload(
+                &g,
+                &r,
+                &plan,
+                &EngineConfig {
+                    threads,
+                    block_rows,
+                    track_congestion: true,
+                },
+            )
+            .unwrap();
+            assert_reports_bit_identical(&rep.stretch, &base.stretch);
+            assert_eq!(rep.congestion, base.congestion);
+            assert_eq!(rep.lengths, base.lengths);
+            assert_eq!(rep.routed_messages, base.routed_messages);
+        }
+    }
+
+    #[test]
+    fn sparse_sources_process_few_blocks() {
+        let g = generators::random_connected(400, 0.02, 4);
+        let r = table_routing(&g);
+        let plan = Workload::SampledSources {
+            sources: 5,
+            dests_per_source: 8,
+            seed: 13,
+        }
+        .compile(400);
+        let rep = run_workload(
+            &g,
+            &r,
+            &plan,
+            &EngineConfig {
+                threads: 2,
+                block_rows: 8,
+                track_congestion: false,
+            },
+        )
+        .unwrap();
+        // 5 scattered sources can need at most 5 blocks — not 400/8 = 50.
+        assert!(rep.blocks <= 5, "{} blocks for 5 sources", rep.blocks);
+        assert_eq!(rep.routed_messages, 40);
+        assert!(rep.congestion.is_none());
+        assert!(rep.peak_tracked_bytes > 0);
+    }
+
+    #[test]
+    fn unreachable_destinations_are_skipped_and_counted() {
+        let h = generators::path(4).disjoint_union(&generators::path(4));
+        let r = table_routing(&h);
+        let plan = Workload::AllPairs.compile(8);
+        let rep = run_workload(&h, &r, &plan, &EngineConfig::default()).unwrap();
+        // 8·7 ordered pairs, half of them cross the component boundary.
+        assert_eq!(rep.routed_messages + rep.skipped_unreachable, 56);
+        assert_eq!(rep.skipped_unreachable, 32);
+        assert_eq!(rep.stretch.pairs, 24);
+    }
+
+    #[test]
+    fn errors_report_the_earliest_source() {
+        let g = generators::cycle(12);
+        let r = routemodel::function::dest_address_routing("half-loopy", |node, h: &Header| {
+            if node == h.dest {
+                Action::Deliver
+            } else if node == 0 {
+                Action::Forward(0)
+            } else {
+                Action::Forward(usize::MAX)
+            }
+        });
+        let dm = DistanceMatrix::all_pairs_sequential(&g);
+        let dense = stretch_factor_with_threads(&g, &dm, &r, 1).unwrap_err();
+        for threads in [1usize, 4] {
+            let blocked = stretch_factor_blocked(&g, &r, threads, 3).unwrap_err();
+            assert_eq!(blocked, dense, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn broadcast_congestion_concentrates_at_the_root() {
+        let g = generators::star(16);
+        let r = table_routing(&g);
+        let plan = Workload::Broadcast { roots: vec![0] }.compile(17);
+        let rep = run_workload(&g, &r, &plan, &EngineConfig::default()).unwrap();
+        let cong = rep.congestion.unwrap();
+        // The root sends one message down each of its 16 arcs.
+        assert_eq!(rep.routed_messages, 16);
+        assert_eq!(cong.max_arc_load, 1);
+        assert_eq!(cong.loaded_arcs, 16);
+        assert_eq!(rep.stretch.max_stretch, 1.0);
+    }
+}

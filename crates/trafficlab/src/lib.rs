@@ -1,0 +1,41 @@
+//! # trafficlab
+//!
+//! A sharded, parallel routing-**workload engine**: drive any
+//! `routeschemes::CompactScheme` under configurable traffic scenarios and
+//! measure what the paper's theory bounds — stretch, per-router memory — plus
+//! what it abstracts away: per-arc congestion, route-length distributions,
+//! sustained messages per second.
+//!
+//! The paper studies the cost of routing when *every* pair of nodes may
+//! exchange messages.  A dense `n × n` distance matrix caps that experiment
+//! at a few thousand nodes; `trafficlab` instead streams the evaluation in
+//! bounded per-block memory (in the delay/space spirit of enumeration
+//! complexity): source nodes are sharded into blocks, every worker computes
+//! the block's BFS rows (narrow `u8` rows where they fit), routes the
+//! block's messages with zero per-message allocations, and per-source
+//! stretch partials are folded in source order — so the all-pairs report is
+//! **bit-identical** to the dense sweep while peak memory stays
+//! `O(workers · block_rows · n)`.
+//!
+//! Layers:
+//!
+//! * [`workload`] — scenario generators: `all-pairs`, `uniform`, `zipf`,
+//!   `permutations`, `broadcast`, `sampled-sources`, explicit pair lists
+//!   (Theorem 1 probes);
+//! * [`engine`] — the batched parallel executor and its [`WorkloadReport`];
+//! * [`metrics`] — streaming congestion counters and length histograms;
+//! * [`scenario`] — named scenarios over the scheme registry, with table and
+//!   JSON reports (see the `trafficlab` binary).
+
+pub mod engine;
+pub mod metrics;
+pub mod scenario;
+pub mod workload;
+
+pub use engine::{run_workload, stretch_factor_blocked, EngineConfig, WorkloadReport};
+pub use metrics::{CongestionCounters, CongestionReport, LengthHistogram};
+pub use scenario::{
+    find_scenario, named_scenarios, run_scenario, Case, CaseResult, CaseWorkload, GraphSpec,
+    Scenario, ScenarioReport,
+};
+pub use workload::{SourceDests, Workload, WorkloadPlan};

@@ -1,0 +1,697 @@
+//! Named scenarios: graph family × traffic pattern × scheme set, and the
+//! runner that turns one into a comparative report.
+//!
+//! A [`Scenario`] is a list of [`Case`]s.  Each case names a graph family
+//! ([`GraphSpec`]), a traffic pattern (the scenario vocabulary of
+//! [`Workload`]), and the registry schemes to drive over it.  The runner
+//! instantiates every applicable scheme, pushes the workload through the
+//! sharded engine, and reports **measured** stretch/congestion next to the
+//! scheme's **promised** `guaranteed_stretch` and `MemoryReport` — the
+//! upper-bound side of the paper's Table 1, observed under load instead of
+//! quoted.
+//!
+//! Reports render as an [`analysis::Table`] for the console and as JSON for
+//! snapshots (`ScenarioReport::to_json`).
+
+use crate::engine::{run_workload, EngineConfig, WorkloadReport};
+use crate::workload::Workload;
+use analysis::report::{fmt_f64, json_escape, json_f64, Table};
+use constraints::theorem1::build_worst_case_instance;
+use graphkit::{generators, Graph, NodeId};
+use routemodel::labeling::modular_complete_labeling;
+use routeschemes::{GraphHints, SchemeKind};
+use std::time::Instant;
+
+/// A graph family, concretely parameterized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSpec {
+    /// `random_connected(n, avg_deg / n, seed)` — the default workload graph.
+    /// Generation is `O(n²)` Bernoulli trials: keep `n ≲ 10^4`.
+    RandomConnected { n: usize, avg_deg: f64, seed: u64 },
+    /// `random_regular_like(n, degree, seed)` — `O(n · degree)` generation,
+    /// the family for the `n ≥ 10^5` sharded points.
+    RandomRegular { n: usize, degree: usize, seed: u64 },
+    /// `rows × cols` grid (dimension-order routing applies).
+    Grid { rows: usize, cols: usize },
+    /// The `dim`-dimensional hypercube (e-cube routing applies).
+    Hypercube { dim: usize },
+    /// `K_n` with the modular port labeling (the `O(log n)` scheme applies).
+    CompleteModular { n: usize },
+    /// A random tree (tree schemes are stretch-1 here).
+    RandomTree { n: usize, seed: u64 },
+    /// A Theorem 1 worst-case instance: the padded graph of constraints of a
+    /// random representative matrix.
+    Theorem1 { n: usize, theta: f64, seed: u64 },
+}
+
+/// A graph spec materialized: the graph, registry hints, and (for Theorem 1
+/// instances) the constrained/target vertex sets.
+pub struct BuiltGraph {
+    pub graph: Graph,
+    pub hints: GraphHints,
+    /// Constrained vertices of a Theorem 1 instance (empty otherwise).
+    pub constrained: Vec<NodeId>,
+    /// Target vertices of a Theorem 1 instance (empty otherwise).
+    pub targets: Vec<NodeId>,
+}
+
+impl GraphSpec {
+    /// Builds the graph (deterministic per spec).
+    pub fn build(&self) -> BuiltGraph {
+        let plain = |graph: Graph| BuiltGraph {
+            graph,
+            hints: GraphHints::none(),
+            constrained: Vec::new(),
+            targets: Vec::new(),
+        };
+        match *self {
+            GraphSpec::RandomConnected { n, avg_deg, seed } => {
+                plain(generators::random_connected(n, avg_deg / n as f64, seed))
+            }
+            GraphSpec::RandomRegular { n, degree, seed } => {
+                plain(generators::random_regular_like(n, degree, seed))
+            }
+            GraphSpec::Grid { rows, cols } => BuiltGraph {
+                graph: generators::grid(rows, cols),
+                hints: GraphHints::grid(rows, cols),
+                constrained: Vec::new(),
+                targets: Vec::new(),
+            },
+            GraphSpec::Hypercube { dim } => plain(generators::hypercube(dim)),
+            GraphSpec::CompleteModular { n } => plain(modular_complete_labeling(n)),
+            GraphSpec::RandomTree { n, seed } => plain(generators::random_tree(n, seed)),
+            GraphSpec::Theorem1 { n, theta, seed } => {
+                let (cg, _params) = build_worst_case_instance(n, theta, seed);
+                BuiltGraph {
+                    graph: cg.graph,
+                    hints: GraphHints::none(),
+                    constrained: cg.constrained,
+                    targets: cg.targets,
+                }
+            }
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            GraphSpec::RandomConnected { n, avg_deg, .. } => {
+                format!("random(n={n},deg={avg_deg})")
+            }
+            GraphSpec::RandomRegular { n, degree, .. } => format!("regular(n={n},d={degree})"),
+            GraphSpec::Grid { rows, cols } => format!("grid({rows}x{cols})"),
+            GraphSpec::Hypercube { dim } => format!("hypercube({dim})"),
+            GraphSpec::CompleteModular { n } => format!("complete(n={n})"),
+            GraphSpec::RandomTree { n, .. } => format!("tree(n={n})"),
+            GraphSpec::Theorem1 { n, theta, .. } => format!("theorem1(n={n},theta={theta})"),
+        }
+    }
+}
+
+/// The traffic of one case: a standard pattern, or the Theorem 1 probe set
+/// (every constrained vertex sends to every target vertex — the pairs whose
+/// first ports the planted matrix forces).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaseWorkload {
+    Pattern(Workload),
+    ConstrainedProbes,
+}
+
+impl CaseWorkload {
+    fn key(&self) -> &'static str {
+        match self {
+            CaseWorkload::Pattern(w) => w.key(),
+            CaseWorkload::ConstrainedProbes => "constrained-probes",
+        }
+    }
+}
+
+/// One graph × workload × scheme-set cell of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Case {
+    pub graph: GraphSpec,
+    pub workload: CaseWorkload,
+    pub schemes: Vec<SchemeKind>,
+    /// Engine block size override (`0` = engine default).
+    pub block_rows: usize,
+}
+
+/// A named, reproducible experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    pub name: String,
+    pub description: String,
+    pub cases: Vec<Case>,
+}
+
+/// The built-in scenario book.
+///
+/// * `smoke` — n = 1024 graphs covering **every** registry scheme; quick.
+/// * `uniform-1m` — 10^6 uniform messages on an n = 4096 random graph.
+/// * `sharded-130k` — an n = 131072 graph swept block-by-block (sampled
+///   sources); the point that cannot exist with a dense matrix (64 GiB).
+/// * `zipf-hotspot` — skewed destinations vs. uniform, congestion focus.
+/// * `broadcast` — one-to-all tree traffic.
+/// * `permutation-cube` — permutation rounds on the hypercube.
+/// * `theorem1` — constrained-vertex probes on a worst-case instance.
+pub fn named_scenarios() -> Vec<Scenario> {
+    let universal = vec![
+        SchemeKind::Table,
+        SchemeKind::SpanningTree,
+        SchemeKind::KInterval,
+        SchemeKind::Landmark,
+    ];
+    vec![
+        Scenario {
+            name: "smoke".into(),
+            description: "every registry scheme exercised once at n = 1024".into(),
+            cases: vec![
+                Case {
+                    graph: GraphSpec::RandomConnected {
+                        n: 1024,
+                        avg_deg: 8.0,
+                        seed: 0xC5A,
+                    },
+                    workload: CaseWorkload::Pattern(Workload::Uniform {
+                        messages: 20_000,
+                        seed: 1,
+                    }),
+                    schemes: universal.clone(),
+                    block_rows: 0,
+                },
+                Case {
+                    graph: GraphSpec::Hypercube { dim: 10 },
+                    workload: CaseWorkload::Pattern(Workload::Uniform {
+                        messages: 20_000,
+                        seed: 2,
+                    }),
+                    schemes: vec![SchemeKind::Ecube, SchemeKind::SpanningTree],
+                    block_rows: 0,
+                },
+                Case {
+                    graph: GraphSpec::Grid { rows: 32, cols: 32 },
+                    workload: CaseWorkload::Pattern(Workload::Uniform {
+                        messages: 20_000,
+                        seed: 3,
+                    }),
+                    schemes: vec![SchemeKind::DimensionOrder, SchemeKind::SpanningTree],
+                    block_rows: 0,
+                },
+                Case {
+                    graph: GraphSpec::CompleteModular { n: 256 },
+                    workload: CaseWorkload::Pattern(Workload::Uniform {
+                        messages: 20_000,
+                        seed: 4,
+                    }),
+                    schemes: vec![SchemeKind::ModularComplete, SchemeKind::Table],
+                    block_rows: 0,
+                },
+            ],
+        },
+        Scenario {
+            name: "uniform-1m".into(),
+            description: "one million uniform messages on an n = 4096 random graph".into(),
+            cases: vec![Case {
+                graph: GraphSpec::RandomConnected {
+                    n: 4096,
+                    avg_deg: 8.0,
+                    seed: 0xC5A,
+                },
+                workload: CaseWorkload::Pattern(Workload::Uniform {
+                    messages: 1_000_000,
+                    seed: 7,
+                }),
+                schemes: vec![SchemeKind::SpanningTree],
+                block_rows: 0,
+            }],
+        },
+        Scenario {
+            name: "sharded-130k".into(),
+            description: "block-streamed sweep at n = 131072 — no dense matrix can exist".into(),
+            cases: vec![Case {
+                graph: GraphSpec::RandomRegular {
+                    n: 131_072,
+                    degree: 8,
+                    seed: 0xB16,
+                },
+                workload: CaseWorkload::Pattern(Workload::SampledSources {
+                    sources: 64,
+                    dests_per_source: 256,
+                    seed: 11,
+                }),
+                schemes: vec![SchemeKind::SpanningTree],
+                block_rows: 1,
+            }],
+        },
+        Scenario {
+            name: "zipf-hotspot".into(),
+            description: "Zipf-skewed destinations vs uniform on the same graph".into(),
+            cases: vec![
+                Case {
+                    graph: GraphSpec::RandomConnected {
+                        n: 2048,
+                        avg_deg: 8.0,
+                        seed: 0xC5A,
+                    },
+                    workload: CaseWorkload::Pattern(Workload::Zipf {
+                        messages: 200_000,
+                        exponent: 1.1,
+                        seed: 5,
+                    }),
+                    schemes: universal.clone(),
+                    block_rows: 0,
+                },
+                Case {
+                    graph: GraphSpec::RandomConnected {
+                        n: 2048,
+                        avg_deg: 8.0,
+                        seed: 0xC5A,
+                    },
+                    workload: CaseWorkload::Pattern(Workload::Uniform {
+                        messages: 200_000,
+                        seed: 5,
+                    }),
+                    schemes: universal,
+                    block_rows: 0,
+                },
+            ],
+        },
+        Scenario {
+            name: "broadcast".into(),
+            description: "one-to-all broadcasts; congestion concentrates near the roots".into(),
+            cases: vec![Case {
+                graph: GraphSpec::RandomTree { n: 4096, seed: 9 },
+                workload: CaseWorkload::Pattern(Workload::Broadcast {
+                    roots: vec![0, 1, 2, 3],
+                }),
+                schemes: vec![SchemeKind::SpanningTree],
+                block_rows: 1,
+            }],
+        },
+        Scenario {
+            name: "permutation-cube".into(),
+            description: "random permutation rounds on the 10-cube".into(),
+            cases: vec![Case {
+                graph: GraphSpec::Hypercube { dim: 10 },
+                workload: CaseWorkload::Pattern(Workload::Permutations {
+                    rounds: 64,
+                    seed: 13,
+                }),
+                schemes: vec![SchemeKind::Ecube, SchemeKind::Table],
+                block_rows: 0,
+            }],
+        },
+        Scenario {
+            name: "theorem1".into(),
+            description: "constrained-vertex probes on a Theorem 1 worst-case instance".into(),
+            cases: vec![Case {
+                graph: GraphSpec::Theorem1 {
+                    n: 1024,
+                    theta: 0.5,
+                    seed: 17,
+                },
+                workload: CaseWorkload::ConstrainedProbes,
+                schemes: vec![SchemeKind::Table, SchemeKind::SpanningTree],
+                block_rows: 0,
+            }],
+        },
+    ]
+}
+
+/// Looks a scenario up by name.
+pub fn find_scenario(name: &str) -> Option<Scenario> {
+    named_scenarios().into_iter().find(|s| s.name == name)
+}
+
+/// One (case, scheme) measurement.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    pub graph_label: String,
+    pub n: usize,
+    pub edges: usize,
+    pub workload_key: String,
+    pub scheme_key: String,
+    pub scheme_name: String,
+    /// The scheme's local (max per router) memory, in bits.
+    pub local_bits: u64,
+    /// The scheme's global (sum) memory, in bits.
+    pub global_bits: u64,
+    /// The stretch bound the scheme promises (`None` = no guarantee).
+    pub guaranteed_stretch: Option<f64>,
+    /// Whether the measured max stretch respects the promise (`None` when no
+    /// promise was made).
+    pub within_guarantee: Option<bool>,
+    pub report: WorkloadReport,
+    /// Wall-clock seconds to build the scheme instance.
+    pub build_secs: f64,
+    /// Wall-clock seconds to run the workload.
+    pub run_secs: f64,
+    /// Delivered messages per second of run time.
+    pub messages_per_sec: f64,
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioReport {
+    pub scenario: String,
+    pub results: Vec<CaseResult>,
+    /// Routing-model failures (loops, wrong deliveries, ...) — a non-empty
+    /// list means a scheme is broken, and the CLI exits non-zero on it.
+    pub errors: Vec<String>,
+    /// Benign notes: cells skipped because the scheme does not apply to the
+    /// case's graph.
+    pub skipped: Vec<String>,
+}
+
+/// Above this vertex count, schemes whose construction is quadratic (see
+/// [`SchemeKind::scales_to_large_graphs`]) are skipped with a note instead
+/// of being built.
+pub const LARGE_GRAPH_THRESHOLD: usize = 50_000;
+
+/// Runs every (case, scheme) cell of a scenario.
+///
+/// Inapplicable schemes — and schemes whose construction cannot scale to the
+/// case's graph — become [`ScenarioReport::skipped`] notes; routing failures
+/// become [`ScenarioReport::errors`] entries instead of aborting the sweep.
+pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioReport {
+    let mut out = ScenarioReport {
+        scenario: scenario.name.clone(),
+        ..Default::default()
+    };
+    for case in &scenario.cases {
+        let built = case.graph.build();
+        let n = built.graph.num_nodes();
+        let graph_label = case.graph.label();
+        let plan = match &case.workload {
+            CaseWorkload::Pattern(w) => w.compile(n),
+            CaseWorkload::ConstrainedProbes => {
+                let mut pairs = Vec::with_capacity(built.constrained.len() * built.targets.len());
+                for &a in &built.constrained {
+                    for &b in &built.targets {
+                        pairs.push((a, b));
+                    }
+                }
+                crate::workload::WorkloadPlan::from_pairs(n, pairs)
+            }
+        };
+        let cfg = EngineConfig {
+            threads,
+            block_rows: case.block_rows,
+            track_congestion: true,
+        };
+        for kind in &case.schemes {
+            // Schemes with O(n²) construction would hang (or OOM) a large
+            // case long before the engine runs; skip them up front.
+            if n >= LARGE_GRAPH_THRESHOLD && !kind.scales_to_large_graphs() {
+                out.skipped.push(format!(
+                    "{}: scheme '{}' skipped (O(n²) construction at n = {n})",
+                    graph_label,
+                    kind.key()
+                ));
+                continue;
+            }
+            let t0 = Instant::now();
+            let Some(instance) = kind.build(&built.graph, &built.hints) else {
+                out.skipped.push(format!(
+                    "{}: scheme '{}' does not apply",
+                    graph_label,
+                    kind.key()
+                ));
+                continue;
+            };
+            let build_secs = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            match run_workload(&built.graph, instance.routing.as_ref(), &plan, &cfg) {
+                Ok(report) => {
+                    let run_secs = t1.elapsed().as_secs_f64();
+                    let within_guarantee = instance
+                        .guaranteed_stretch
+                        .map(|bound| report.stretch.max_stretch <= bound + 1e-9);
+                    out.results.push(CaseResult {
+                        graph_label: graph_label.clone(),
+                        n,
+                        edges: built.graph.num_edges(),
+                        workload_key: case.workload.key().to_string(),
+                        scheme_key: kind.key().to_string(),
+                        scheme_name: instance.routing.name().to_string(),
+                        local_bits: instance.memory.local(),
+                        global_bits: instance.memory.global(),
+                        guaranteed_stretch: instance.guaranteed_stretch,
+                        within_guarantee,
+                        messages_per_sec: if run_secs > 0.0 {
+                            report.routed_messages as f64 / run_secs
+                        } else {
+                            0.0
+                        },
+                        report,
+                        build_secs,
+                        run_secs,
+                    });
+                }
+                Err(e) => out.errors.push(format!(
+                    "{}: scheme '{}' failed: {e}",
+                    graph_label,
+                    kind.key()
+                )),
+            }
+        }
+    }
+    out
+}
+
+impl ScenarioReport {
+    /// Console rendering: one row per (case, scheme).
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new([
+            "graph",
+            "workload",
+            "scheme",
+            "msgs",
+            "max_stretch",
+            "avg_stretch",
+            "guarantee",
+            "max_arc_load",
+            "p99_len",
+            "local_bits",
+            "narrow/blocks",
+            "msgs/s",
+        ]);
+        for r in &self.results {
+            t.push_row([
+                r.graph_label.clone(),
+                r.workload_key.clone(),
+                r.scheme_key.clone(),
+                r.report.routed_messages.to_string(),
+                fmt_f64(r.report.stretch.max_stretch, 3),
+                fmt_f64(r.report.stretch.avg_stretch, 3),
+                match (r.guaranteed_stretch, r.within_guarantee) {
+                    (Some(b), Some(true)) => format!("<={} ok", fmt_f64(b, 1)),
+                    (Some(b), Some(false)) => format!("<={} VIOLATED", fmt_f64(b, 1)),
+                    _ => "none".to_string(),
+                },
+                r.report
+                    .congestion
+                    .as_ref()
+                    .map_or("-".into(), |c| c.max_arc_load.to_string()),
+                r.report
+                    .lengths
+                    .quantile(0.99)
+                    .map_or("-".into(), |l| l.to_string()),
+                r.local_bits.to_string(),
+                format!("{}/{}", r.report.narrow_blocks, r.report.blocks),
+                format!("{:.0}", r.messages_per_sec),
+            ]);
+        }
+        t
+    }
+
+    /// JSON rendering for snapshots and CI artifacts.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"scenario\": \"{}\",\n",
+            json_escape(&self.scenario)
+        ));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let cong = r.report.congestion.as_ref();
+            out.push_str(&format!(
+                concat!(
+                    "    {{\"graph\": \"{}\", \"n\": {}, \"edges\": {}, ",
+                    "\"workload\": \"{}\", \"scheme\": \"{}\", \"scheme_name\": \"{}\", ",
+                    "\"messages\": {}, \"skipped_unreachable\": {}, ",
+                    "\"max_stretch\": {}, \"avg_stretch\": {}, \"max_route_len\": {}, ",
+                    "\"guaranteed_stretch\": {}, \"within_guarantee\": {}, ",
+                    "\"max_arc_load\": {}, \"mean_arc_load\": {}, ",
+                    "\"local_bits\": {}, \"global_bits\": {}, ",
+                    "\"blocks\": {}, \"narrow_blocks\": {}, \"peak_tracked_bytes\": {}, ",
+                    "\"build_secs\": {}, \"run_secs\": {}, \"messages_per_sec\": {}}}{}\n"
+                ),
+                json_escape(&r.graph_label),
+                r.n,
+                r.edges,
+                json_escape(&r.workload_key),
+                json_escape(&r.scheme_key),
+                json_escape(&r.scheme_name),
+                r.report.routed_messages,
+                r.report.skipped_unreachable,
+                json_f64(r.report.stretch.max_stretch),
+                json_f64(r.report.stretch.avg_stretch),
+                r.report.stretch.max_route_len,
+                r.guaranteed_stretch.map_or("null".into(), json_f64),
+                r.within_guarantee
+                    .map_or("null".to_string(), |b| b.to_string()),
+                cong.map_or("null".into(), |c| c.max_arc_load.to_string()),
+                cong.map_or("null".into(), |c| json_f64(c.mean_arc_load)),
+                r.local_bits,
+                r.global_bits,
+                r.report.blocks,
+                r.report.narrow_blocks,
+                r.report.peak_tracked_bytes,
+                json_f64(r.build_secs),
+                json_f64(r.run_secs),
+                json_f64(r.messages_per_sec),
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        let string_list = |items: &[String]| {
+            items
+                .iter()
+                .map(|e| format!("\"{}\"", json_escape(e)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        out.push_str(&format!("  \"errors\": [{}],\n", string_list(&self.errors)));
+        out.push_str(&format!(
+            "  \"skipped\": [{}]\n",
+            string_list(&self.skipped)
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_are_unique_and_findable() {
+        let all = named_scenarios();
+        for s in &all {
+            assert_eq!(find_scenario(&s.name).map(|x| x.name), Some(s.name.clone()));
+            assert!(!s.cases.is_empty());
+        }
+        let mut names: Vec<String> = all.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        assert!(find_scenario("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn graph_specs_build_and_label() {
+        for spec in [
+            GraphSpec::RandomConnected {
+                n: 64,
+                avg_deg: 6.0,
+                seed: 1,
+            },
+            GraphSpec::RandomRegular {
+                n: 64,
+                degree: 4,
+                seed: 1,
+            },
+            GraphSpec::Grid { rows: 5, cols: 7 },
+            GraphSpec::Hypercube { dim: 5 },
+            GraphSpec::CompleteModular { n: 16 },
+            GraphSpec::RandomTree { n: 40, seed: 2 },
+        ] {
+            let built = spec.build();
+            assert!(built.graph.num_nodes() >= 16, "{}", spec.label());
+            assert!(built.constrained.is_empty());
+            assert!(!spec.label().is_empty());
+        }
+        let t1 = GraphSpec::Theorem1 {
+            n: 128,
+            theta: 0.5,
+            seed: 3,
+        }
+        .build();
+        assert_eq!(t1.graph.num_nodes(), 128);
+        assert!(!t1.constrained.is_empty());
+        assert!(!t1.targets.is_empty());
+    }
+
+    #[test]
+    fn mini_scenario_runs_end_to_end() {
+        let scenario = Scenario {
+            name: "mini".into(),
+            description: "test".into(),
+            cases: vec![Case {
+                graph: GraphSpec::RandomConnected {
+                    n: 48,
+                    avg_deg: 6.0,
+                    seed: 4,
+                },
+                workload: CaseWorkload::Pattern(Workload::Uniform {
+                    messages: 400,
+                    seed: 6,
+                }),
+                schemes: vec![
+                    SchemeKind::Table,
+                    SchemeKind::SpanningTree,
+                    SchemeKind::Ecube, // does not apply: becomes an error note
+                ],
+                block_rows: 8,
+            }],
+        };
+        let rep = run_scenario(&scenario, 2);
+        assert_eq!(rep.results.len(), 2);
+        // e-cube does not apply to a random graph: a skip note, not an error.
+        assert_eq!(rep.skipped.len(), 1);
+        assert!(rep.errors.is_empty());
+        let table_row = &rep.results[0];
+        assert_eq!(table_row.scheme_key, "table");
+        assert_eq!(table_row.report.routed_messages, 400);
+        // stretch-1 promise of tables must hold under measurement
+        assert_eq!(table_row.within_guarantee, Some(true));
+        let rendered = rep.to_table().to_plain();
+        assert!(rendered.contains("table"));
+        let json = rep.to_json();
+        assert!(json.contains("\"scenario\": \"mini\""));
+        assert!(json.contains("\"within_guarantee\": true"));
+    }
+
+    #[test]
+    fn theorem1_probes_route_constrained_pairs() {
+        let scenario = Scenario {
+            name: "t1-mini".into(),
+            description: "test".into(),
+            cases: vec![Case {
+                graph: GraphSpec::Theorem1 {
+                    n: 128,
+                    theta: 0.5,
+                    seed: 3,
+                },
+                workload: CaseWorkload::ConstrainedProbes,
+                schemes: vec![SchemeKind::Table],
+                block_rows: 4,
+            }],
+        };
+        let built = GraphSpec::Theorem1 {
+            n: 128,
+            theta: 0.5,
+            seed: 3,
+        }
+        .build();
+        let rep = run_scenario(&scenario, 1);
+        assert_eq!(rep.results.len(), 1);
+        assert_eq!(
+            rep.results[0].report.routed_messages,
+            (built.constrained.len() * built.targets.len()) as u64
+        );
+    }
+}

@@ -1,0 +1,494 @@
+//! Traffic-scenario generators: who sends how many messages to whom.
+//!
+//! A [`Workload`] describes a traffic pattern symbolically; compiling it
+//! against a vertex count yields a [`WorkloadPlan`] — the per-source
+//! destination lists the sharded engine streams over.  Compilation is
+//! deterministic per seed: the same workload on the same graph produces the
+//! same messages on every machine and for every worker count, which is what
+//! makes the engine's reports reproducible.
+//!
+//! All patterns except [`Workload::AllPairs`] compile to an explicit
+//! CSR-shaped plan (`offsets` + flat destination array, grouped by source in
+//! source order).  `AllPairs` stays implicit — materializing `n (n − 1)`
+//! pairs would defeat the point of block streaming.
+
+use graphkit::{NodeId, Xoshiro256};
+
+/// A traffic pattern, described symbolically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// Every ordered pair of distinct vertices exactly once — the paper's
+    /// "universal" regime, and the pattern whose block-streamed stretch
+    /// report is bit-identical to `routemodel::stretch_factor`.
+    AllPairs,
+    /// `messages` source/destination pairs drawn uniformly (sources spread
+    /// evenly, destinations uniform per message).
+    Uniform { messages: u64, seed: u64 },
+    /// Uniform sources, Zipf-popular destinations: destination popularity
+    /// follows `rank^(-exponent)` over a seeded random ranking of the
+    /// vertices — the classic hotspot skew of datacenter/web traffic.
+    Zipf {
+        messages: u64,
+        exponent: f64,
+        seed: u64,
+    },
+    /// `rounds` random permutations: in each round every vertex sends one
+    /// message to its image (fixed points skipped) — the all-to-all pattern
+    /// of parallel-machine traffic studies.
+    Permutations { rounds: u32, seed: u64 },
+    /// Every root broadcasts one message to every other vertex (one-to-all
+    /// tree traffic; congestion concentrates near the roots).
+    Broadcast { roots: Vec<NodeId> },
+    /// `sources` distinct random sources, each sending to `dests_per_source`
+    /// uniform destinations (duplicates allowed).  The pattern for graphs too
+    /// large to touch every source: BFS cost scales with `sources`, not `n`.
+    SampledSources {
+        sources: usize,
+        dests_per_source: usize,
+        seed: u64,
+    },
+    /// An explicit pair list (used e.g. for the Theorem 1 constrained-vertex
+    /// probes); grouped by source at compile time, list order kept within
+    /// each source.
+    Pairs(Vec<(NodeId, NodeId)>),
+}
+
+impl Workload {
+    /// Short key for reports.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Workload::AllPairs => "all-pairs",
+            Workload::Uniform { .. } => "uniform",
+            Workload::Zipf { .. } => "zipf",
+            Workload::Permutations { .. } => "permutations",
+            Workload::Broadcast { .. } => "broadcast",
+            Workload::SampledSources { .. } => "sampled-sources",
+            Workload::Pairs(_) => "pairs",
+        }
+    }
+
+    /// Compiles the pattern against a graph on `n` vertices.
+    pub fn compile(&self, n: usize) -> WorkloadPlan {
+        assert!(n >= 2, "traffic needs at least two vertices");
+        match self {
+            Workload::AllPairs => WorkloadPlan {
+                n,
+                messages: (n as u64) * (n as u64 - 1),
+                kind: PlanKind::AllPairs,
+            },
+            Workload::Uniform { messages, seed } => {
+                compile_per_source_rng(n, *messages, *seed, |rng, s| {
+                    // uniform destination != source
+                    loop {
+                        let t = rng.gen_range(n);
+                        if t != s {
+                            return t as u32;
+                        }
+                    }
+                })
+            }
+            Workload::Zipf {
+                messages,
+                exponent,
+                seed,
+            } => {
+                // Popularity rank -> vertex via a seeded permutation, then a
+                // CDF over rank^(-exponent); one binary search per message.
+                let mut rng = Xoshiro256::new(seed ^ 0x0021_D7AC_AC0F_u64);
+                let by_rank = rng.permutation(n);
+                let mut cdf = Vec::with_capacity(n);
+                let mut acc = 0.0f64;
+                for rank in 0..n {
+                    acc += ((rank + 1) as f64).powf(-exponent);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                compile_per_source_rng(n, *messages, *seed, move |rng, s| loop {
+                    let x = rng.next_f64() * total;
+                    let rank = cdf.partition_point(|&c| c < x).min(n - 1);
+                    let t = by_rank[rank];
+                    if t != s {
+                        return t as u32;
+                    }
+                })
+            }
+            Workload::Permutations { rounds, seed } => {
+                let mut rng = Xoshiro256::new(*seed);
+                let mut pairs = Vec::with_capacity(*rounds as usize * n);
+                for _ in 0..*rounds {
+                    let perm = rng.permutation(n);
+                    for (u, &t) in perm.iter().enumerate() {
+                        if u != t {
+                            pairs.push((u, t));
+                        }
+                    }
+                }
+                WorkloadPlan::from_pairs(n, pairs)
+            }
+            Workload::Broadcast { roots } => {
+                let mut pairs = Vec::with_capacity(roots.len() * (n - 1));
+                for &root in roots {
+                    assert!(root < n, "broadcast root {root} out of range");
+                    for v in 0..n {
+                        if v != root {
+                            pairs.push((root, v));
+                        }
+                    }
+                }
+                WorkloadPlan::from_pairs(n, pairs)
+            }
+            Workload::SampledSources {
+                sources,
+                dests_per_source,
+                seed,
+            } => {
+                let mut rng = Xoshiro256::new(*seed);
+                let mut srcs = rng.sample_indices(n, (*sources).min(n));
+                srcs.sort_unstable();
+                let mut pairs = Vec::with_capacity(srcs.len() * dests_per_source);
+                for &s in &srcs {
+                    let mut local = per_source_rng(*seed, s);
+                    for _ in 0..*dests_per_source {
+                        loop {
+                            let t = local.gen_range(n);
+                            if t != s {
+                                pairs.push((s, t));
+                                break;
+                            }
+                        }
+                    }
+                }
+                WorkloadPlan::from_pairs(n, pairs)
+            }
+            Workload::Pairs(pairs) => WorkloadPlan::from_pairs(n, pairs.clone()),
+        }
+    }
+}
+
+/// A deterministic per-source random stream: mixing the source id into the
+/// seed keeps the plan independent of how sources are sharded over workers.
+fn per_source_rng(seed: u64, s: usize) -> Xoshiro256 {
+    Xoshiro256::new(seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Spreads `messages` over the sources (source `s` gets `⌊m/n⌋ + 1` messages
+/// when `s < m mod n`) and draws each destination from the source's own
+/// stream.
+fn compile_per_source_rng(
+    n: usize,
+    messages: u64,
+    seed: u64,
+    mut draw: impl FnMut(&mut Xoshiro256, usize) -> u32,
+) -> WorkloadPlan {
+    let base = messages / n as u64;
+    let extra = (messages % n as u64) as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut dests = Vec::with_capacity(messages as usize);
+    offsets.push(0u64);
+    for s in 0..n {
+        let count = base + u64::from(s < extra);
+        let mut rng = per_source_rng(seed, s);
+        for _ in 0..count {
+            dests.push(draw(&mut rng, s));
+        }
+        offsets.push(dests.len() as u64);
+    }
+    WorkloadPlan {
+        n,
+        messages,
+        kind: PlanKind::Explicit { offsets, dests },
+    }
+}
+
+/// Backing of a compiled plan.
+#[derive(Debug, Clone, PartialEq)]
+enum PlanKind {
+    AllPairs,
+    /// CSR over sources: destinations of `s` are
+    /// `dests[offsets[s]..offsets[s + 1]]`.
+    Explicit {
+        offsets: Vec<u64>,
+        dests: Vec<u32>,
+    },
+}
+
+/// The destinations of one source, as the engine consumes them.
+#[derive(Debug, Clone, Copy)]
+pub enum SourceDests<'a> {
+    /// Every vertex except the source itself.
+    AllOthers,
+    /// An explicit list (may contain the source; the engine skips it).
+    List(&'a [u32]),
+}
+
+/// A compiled traffic pattern: per-source destination lists over `n`
+/// vertices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadPlan {
+    n: usize,
+    messages: u64,
+    kind: PlanKind,
+}
+
+impl WorkloadPlan {
+    /// Groups an explicit pair list by source (stable within each source) —
+    /// a counting sort, `O(n + messages)`.
+    ///
+    /// Self-pairs `(s, s)` are dropped here, like every generated pattern
+    /// drops them, so [`WorkloadPlan::messages`] counts exactly the messages
+    /// the engine will attempt (`routed + skipped_unreachable == messages`).
+    pub fn from_pairs(n: usize, pairs: Vec<(NodeId, NodeId)>) -> Self {
+        let mut counts = vec![0u64; n + 1];
+        let mut kept = 0usize;
+        for &(s, t) in &pairs {
+            assert!(s < n && t < n, "pair ({s},{t}) out of range for n={n}");
+            if s != t {
+                counts[s + 1] += 1;
+                kept += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut dests = vec![0u32; kept];
+        for &(s, t) in &pairs {
+            if s != t {
+                dests[cursor[s] as usize] = t as u32;
+                cursor[s] += 1;
+            }
+        }
+        WorkloadPlan {
+            n,
+            messages: kept as u64,
+            kind: PlanKind::Explicit { offsets, dests },
+        }
+    }
+
+    /// Number of vertices the plan was compiled for.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Total planned messages.  Self-pairs are excluded at compile time for
+    /// every plan, and unreachable destinations are only discovered — and
+    /// counted — by the engine, so a run always satisfies
+    /// `routed_messages + skipped_unreachable == messages`.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// The destinations of source `s`.
+    pub fn dests(&self, s: NodeId) -> SourceDests<'_> {
+        match &self.kind {
+            PlanKind::AllPairs => SourceDests::AllOthers,
+            PlanKind::Explicit { offsets, dests } => {
+                SourceDests::List(&dests[offsets[s] as usize..offsets[s + 1] as usize])
+            }
+        }
+    }
+
+    /// Whether the plan is the implicit all-pairs sweep.
+    pub fn is_all_pairs(&self) -> bool {
+        matches!(self.kind, PlanKind::AllPairs)
+    }
+
+    /// Heap bytes held by the plan (the engine reports this as part of its
+    /// peak-memory proxy).
+    pub fn bytes(&self) -> u64 {
+        match &self.kind {
+            PlanKind::AllPairs => 0,
+            PlanKind::Explicit { offsets, dests } => {
+                (offsets.capacity() * 8 + dests.capacity() * 4) as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn explicit_pairs(plan: &WorkloadPlan) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for s in 0..plan.num_nodes() {
+            match plan.dests(s) {
+                SourceDests::AllOthers => panic!("expected explicit plan"),
+                SourceDests::List(list) => out.extend(list.iter().map(|&t| (s, t as usize))),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn all_pairs_plan_counts_every_ordered_pair() {
+        let plan = Workload::AllPairs.compile(10);
+        assert!(plan.is_all_pairs());
+        assert_eq!(plan.messages(), 90);
+        assert!(matches!(plan.dests(3), SourceDests::AllOthers));
+    }
+
+    #[test]
+    fn uniform_plan_spreads_sources_and_avoids_self_loops() {
+        let plan = Workload::Uniform {
+            messages: 103,
+            seed: 7,
+        }
+        .compile(10);
+        let pairs = explicit_pairs(&plan);
+        assert_eq!(pairs.len(), 103);
+        assert_eq!(plan.messages(), 103);
+        for &(s, t) in &pairs {
+            assert_ne!(s, t);
+            assert!(t < 10);
+        }
+        // 103 = 10*10 + 3: sources 0..3 get 11 messages, the rest 10.
+        for s in 0..10usize {
+            let count = pairs.iter().filter(|&&(a, _)| a == s).count();
+            assert_eq!(count, if s < 3 { 11 } else { 10 });
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        for w in [
+            Workload::Uniform {
+                messages: 500,
+                seed: 3,
+            },
+            Workload::Zipf {
+                messages: 500,
+                exponent: 1.1,
+                seed: 3,
+            },
+            Workload::Permutations { rounds: 4, seed: 3 },
+            Workload::SampledSources {
+                sources: 12,
+                dests_per_source: 9,
+                seed: 3,
+            },
+        ] {
+            assert_eq!(w.compile(40), w.compile(40), "{}", w.key());
+        }
+        let a = Workload::Uniform {
+            messages: 500,
+            seed: 3,
+        }
+        .compile(40);
+        let b = Workload::Uniform {
+            messages: 500,
+            seed: 4,
+        }
+        .compile(40);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zipf_concentrates_on_popular_destinations() {
+        let n = 64;
+        let plan = Workload::Zipf {
+            messages: 20_000,
+            exponent: 1.2,
+            seed: 11,
+        }
+        .compile(n);
+        let mut hits = vec![0u64; n];
+        for (_, t) in explicit_pairs(&plan) {
+            hits[t] += 1;
+        }
+        let mut sorted = hits.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top4: u64 = sorted[..4].iter().sum();
+        let total: u64 = sorted.iter().sum();
+        assert_eq!(total, 20_000);
+        assert!(
+            top4 as f64 > 0.3 * total as f64,
+            "top-4 destinations got only {top4}/{total}"
+        );
+    }
+
+    #[test]
+    fn permutation_rounds_send_at_most_one_message_per_source() {
+        let n = 30;
+        let rounds = 5;
+        let plan = Workload::Permutations { rounds, seed: 9 }.compile(n);
+        let pairs = explicit_pairs(&plan);
+        // Each round is a permutation minus its fixed points.
+        assert!(pairs.len() <= rounds as usize * n);
+        assert!(
+            pairs.len() >= rounds as usize * (n - 5),
+            "too many fixed points"
+        );
+        for s in 0..n {
+            let sent = pairs.iter().filter(|&&(a, _)| a == s).count();
+            assert!(sent <= rounds as usize);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_once_per_root() {
+        let plan = Workload::Broadcast { roots: vec![2, 5] }.compile(8);
+        let pairs = explicit_pairs(&plan);
+        assert_eq!(pairs.len(), 14);
+        for root in [2usize, 5] {
+            let mut dests: Vec<usize> = pairs
+                .iter()
+                .filter(|&&(s, _)| s == root)
+                .map(|&(_, t)| t)
+                .collect();
+            dests.sort_unstable();
+            let expected: Vec<usize> = (0..8).filter(|&v| v != root).collect();
+            assert_eq!(dests, expected);
+        }
+    }
+
+    #[test]
+    fn sampled_sources_touch_few_sources() {
+        let plan = Workload::SampledSources {
+            sources: 6,
+            dests_per_source: 11,
+            seed: 21,
+        }
+        .compile(200);
+        let pairs = explicit_pairs(&plan);
+        assert_eq!(pairs.len(), 66);
+        let mut srcs: Vec<usize> = pairs.iter().map(|&(s, _)| s).collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        assert_eq!(srcs.len(), 6);
+    }
+
+    #[test]
+    fn from_pairs_drops_self_pairs_from_the_message_count() {
+        let plan = WorkloadPlan::from_pairs(4, vec![(2, 2), (0, 1), (3, 3)]);
+        assert_eq!(plan.messages(), 1);
+        match plan.dests(2) {
+            SourceDests::List(l) => assert!(l.is_empty()),
+            _ => panic!(),
+        }
+        match plan.dests(0) {
+            SourceDests::List(l) => assert_eq!(l, &[1]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn from_pairs_groups_by_source_keeping_order() {
+        let plan = WorkloadPlan::from_pairs(5, vec![(3, 1), (0, 4), (3, 2), (0, 1), (3, 1)]);
+        match plan.dests(3) {
+            SourceDests::List(l) => assert_eq!(l, &[1, 2, 1]),
+            _ => panic!(),
+        }
+        match plan.dests(0) {
+            SourceDests::List(l) => assert_eq!(l, &[4, 1]),
+            _ => panic!(),
+        }
+        match plan.dests(1) {
+            SourceDests::List(l) => assert!(l.is_empty()),
+            _ => panic!(),
+        }
+        assert_eq!(plan.messages(), 5);
+        assert!(plan.bytes() > 0);
+    }
+}

@@ -26,7 +26,11 @@
 //!   constraints, the counting bound, Theorem 1 and the reconstruction
 //!   argument;
 //! * [`analysis`] — the experiment harness that regenerates every table and
-//!   figure.
+//!   figure;
+//! * [`trafficlab`] — the sharded routing-workload engine: traffic scenarios
+//!   (uniform, Zipf, permutations, broadcast, Theorem 1 probes) driven over
+//!   the scheme registry with block-streamed stretch/congestion evaluation
+//!   that never materializes a dense `n²` distance matrix.
 //!
 //! ## Quick start
 //!
@@ -54,19 +58,21 @@ pub use constraints;
 pub use graphkit;
 pub use routemodel;
 pub use routeschemes;
+pub use trafficlab;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use analysis;
     pub use constraints;
     pub use constraints::{ConstraintGraph, ConstraintMatrix};
-    pub use graphkit::{generators, DistanceMatrix, Graph, NodeId, Port};
+    pub use graphkit::{generators, DistanceBlock, DistanceMatrix, Graph, NodeId, Port};
     pub use routemodel::{
         route, stretch_factor, Action, Header, MemoryReport, RoutingFunction, TableRouting,
         TieBreak,
     };
     pub use routeschemes::{
-        CompactScheme, EcubeScheme, KIntervalScheme, LandmarkScheme, SchemeInstance, TableScheme,
-        TreeIntervalScheme,
+        CompactScheme, EcubeScheme, GraphHints, KIntervalScheme, LandmarkScheme, SchemeInstance,
+        SchemeKind, TableScheme, TreeIntervalScheme,
     };
+    pub use trafficlab::{run_workload, EngineConfig, Workload};
 }
