@@ -1,0 +1,129 @@
+//! Landmark-scheme construction bench: dense `n²` builder vs. the sparse
+//! BFS pipeline.
+//!
+//! Criterion timings compare the two builders head to head at a size where
+//! the dense one still fits, and a hand-timed snapshot written to
+//! `BENCH_landmark.json` in the workspace root records the dense-vs-sparse
+//! build at `n = 4096` plus the sparse-only point at `n = 131072` — the
+//! graph on which the dense builder cannot run at all (its distance matrix
+//! alone is 64 GiB).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphkit::{generators, Graph};
+use routeschemes::landmark::LandmarkRouting;
+use routing_bench::quick_criterion;
+use std::time::Instant;
+
+const SEED: u64 = 0x7AFF1C;
+
+fn workload_graph(n: usize) -> Graph {
+    if n >= 16_384 {
+        generators::random_regular_like(n, 8, 0xB16)
+    } else {
+        generators::random_connected(n, 8.0 / n as f64, 0xC5A)
+    }
+}
+
+fn bench_dense_vs_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("landmark/build-1024");
+    let g = workload_graph(1024);
+    group.bench_with_input(BenchmarkId::new("dense", 1024), &(), |b, ()| {
+        b.iter(|| LandmarkRouting::build_dense(&g, SEED).landmarks().len())
+    });
+    group.bench_with_input(BenchmarkId::new("sparse", 1024), &(), |b, ()| {
+        b.iter(|| LandmarkRouting::build(&g, SEED).landmarks().len())
+    });
+    group.finish();
+}
+
+/// One snapshot entry.
+struct Entry {
+    name: &'static str,
+    n: usize,
+    edges: usize,
+    secs: f64,
+    avg_cluster: f64,
+    landmarks: usize,
+}
+
+fn run_entry(name: &'static str, g: &Graph, build: impl Fn(&Graph) -> LandmarkRouting) -> Entry {
+    let t0 = Instant::now();
+    let r = build(g);
+    let secs = t0.elapsed().as_secs_f64();
+    Entry {
+        name,
+        n: g.num_nodes(),
+        edges: g.num_edges(),
+        secs,
+        avg_cluster: r.average_cluster_size(),
+        landmarks: r.landmarks().len(),
+    }
+}
+
+/// Hand-timed snapshot written to `BENCH_landmark.json`.
+fn bench_snapshot(_c: &mut Criterion) {
+    let mut entries = Vec::new();
+
+    // Head-to-head at a size the dense builder can still afford.
+    {
+        let g = workload_graph(4096);
+        entries.push(run_entry("dense-4096", &g, |g| {
+            LandmarkRouting::build_dense(g, SEED)
+        }));
+        entries.push(run_entry("sparse-4096", &g, |g| {
+            LandmarkRouting::build(g, SEED)
+        }));
+    }
+
+    // The sparse-only point: n >= 10^5, impossible for the dense builder.
+    {
+        let g = workload_graph(131_072);
+        entries.push(run_entry("sparse-131072", &g, |g| {
+            LandmarkRouting::build(g, SEED)
+        }));
+    }
+
+    let speedup_4096 = entries[0].secs / entries[1].secs.max(1e-9);
+    let mut json = String::from("{\n  \"bench\": \"landmark_build\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"n\": {}, \"edges\": {}, \"secs\": {:.3}, ",
+                "\"landmarks\": {}, \"avg_cluster\": {:.1}}}{}\n"
+            ),
+            e.name,
+            e.n,
+            e.edges,
+            e.secs,
+            e.landmarks,
+            e.avg_cluster,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+        println!(
+            "snapshot: {:<14} n={:<7} edges={:<8} {:>8.3}s  landmarks {:<4} avg cluster {:.1}",
+            e.name, e.n, e.edges, e.secs, e.landmarks, e.avg_cluster
+        );
+    }
+    json.push_str(&format!(
+        "  ],\n  \"dense_over_sparse_speedup_4096\": {speedup_4096:.2}\n}}\n"
+    ));
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let out = root.join("BENCH_landmark.json");
+    std::fs::write(&out, json).expect("write BENCH_landmark.json");
+    println!(
+        "snapshot written to {} (dense/sparse at n=4096: {speedup_4096:.2}x)",
+        out.display()
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_dense_vs_sparse, bench_snapshot
+}
+criterion_main!(benches);

@@ -17,7 +17,10 @@
 //!   unit circular-arc graphs and random graphs,
 //! * breadth-first traversals, eccentricities and diameters ([`traversal`]),
 //!   built on a reusable zero-allocation workspace ([`BfsScratch`]), with
-//!   narrow `u8` distance rows for memory-bound sweeps,
+//!   narrow `u8` distance rows for memory-bound sweeps, multi-source BFS
+//!   ([`traversal::bfs_from_sources_into`]) and pruned/bounded BFS
+//!   ([`traversal::bfs_bounded_into`]) for landmark-style sparse scheme
+//!   construction,
 //! * all-pairs shortest-path distances ([`distance`]), computed in parallel —
 //!   dense ([`DistanceMatrix`]) or sharded into block-streamed source rows
 //!   ([`DistanceBlock`]) so sweeps scale past what one `n²` allocation can
@@ -53,7 +56,7 @@ pub use builder::GraphBuilder;
 pub use distance::{DistanceBlock, DistanceMatrix, DistanceRow};
 pub use graph::{Graph, NodeId, Port};
 pub use rng::Xoshiro256;
-pub use traversal::BfsScratch;
+pub use traversal::{bfs_bounded_into, bfs_from_sources_into, BfsScratch, BoundedBfsScratch};
 
 /// Distance value used throughout the crate. `u32::MAX` encodes "unreachable".
 pub type Dist = u32;

@@ -129,6 +129,164 @@ pub fn bfs_distances_u8_into(
     true
 }
 
+/// Multi-source BFS: distances to the **nearest source** and the identity of
+/// that source, written into caller-provided buffers.
+///
+/// `dist[v]` becomes the distance from `v` to the closest vertex of
+/// `sources` ([`INFINITY`] when none is reachable) and `origin[v]` the id of
+/// a closest source (`u32::MAX` when unreachable).  Ties are broken towards
+/// the source listed **earliest in `sources`**: sources are enqueued in list
+/// order, and a straightforward induction shows that at every BFS level the
+/// queue stays sorted by origin position, so each vertex is claimed by the
+/// earliest-listed source among its minimizers.  With `sources` sorted
+/// ascending this makes `origin[v]` the *smallest-id* nearest source — the
+/// exact tie-break a dense `for l in sources { if d(v,l) < best }` sweep
+/// performs, which is what lets the landmark scheme's sparse builder
+/// reproduce the dense builder's home-landmark table bit for bit.
+///
+/// Duplicate sources are ignored after the first occurrence.  One BFS over
+/// the whole graph: `O(n + m)`, allocation-free once `scratch` is warm.
+pub fn bfs_from_sources_into(
+    g: &Graph,
+    sources: &[NodeId],
+    scratch: &mut BfsScratch,
+    dist: &mut [Dist],
+    origin: &mut [u32],
+) {
+    let n = g.num_nodes();
+    assert_eq!(dist.len(), n, "distance buffer has the wrong length");
+    assert_eq!(origin.len(), n, "origin buffer has the wrong length");
+    dist.fill(INFINITY);
+    origin.fill(u32::MAX);
+    let queue = &mut scratch.queue;
+    queue.clear();
+    queue.reserve(n);
+    for &s in sources {
+        assert!(s < n, "BFS source out of range");
+        if dist[s] == INFINITY {
+            dist[s] = 0;
+            origin[s] = s as u32;
+            queue.push(s as u32);
+        }
+    }
+    let mut head = 0usize;
+    while head < queue.len() {
+        let u = queue[head] as usize;
+        head += 1;
+        let du = dist[u] + 1;
+        for &v in g.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == INFINITY {
+                dist[v] = du;
+                origin[v] = origin[u];
+                queue.push(v as u32);
+            }
+        }
+    }
+}
+
+/// Workspace for [`bfs_bounded_into`]: queue, lazily-reset distance buffer
+/// and the per-vertex first-hop port of the discovery path.
+///
+/// The distance buffer is reset **only for the vertices a traversal touched**
+/// (they are all on the queue), so a sweep of `n` pruned BFSes costs
+/// `O(Σ touched)` — not `O(n²)` — and performs zero allocations after
+/// warm-up.
+#[derive(Debug, Default, Clone)]
+pub struct BoundedBfsScratch {
+    queue: Vec<u32>,
+    dist: Vec<Dist>,
+    first_hop: Vec<u32>,
+}
+
+impl BoundedBfsScratch {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a workspace pre-sized for graphs on `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        BoundedBfsScratch {
+            queue: Vec::with_capacity(n),
+            dist: Vec::with_capacity(n),
+            first_hop: Vec::with_capacity(n),
+        }
+    }
+}
+
+/// Pruned (truncated) BFS from `source`: expands a vertex `v` only while
+/// `d(source, v) <= bound[v]`, and reports every such vertex (except the
+/// source itself) through `visit(v, d(source, v), first_hop_port)`.
+///
+/// `first_hop_port` is the port **of `source`** on the discovery path to `v`.
+/// Neighbours are scanned in port order and each vertex inherits the
+/// first-hop of the queue entry that discovered it, so — by the same
+/// level-monotonicity induction as [`bfs_from_sources_into`] — the reported
+/// port is the *smallest* port `p` of `source` with
+/// `d(target(source, p), v) + 1 = d(source, v)`: exactly the port a dense
+/// "first shortest-path port" scan over a full distance matrix would pick.
+///
+/// The pruning is sound for *downward-closed* bounds, i.e. whenever
+/// `d(source, v) <= bound[v]` implies `d(source, u) <= bound[u]` for every
+/// `u` on every shortest `source → v` path.  The landmark clusters
+/// `S(w) = { v : d(w, v) <= d(v, L) }` have this property (triangle
+/// inequality on `d(·, L)`), which is what makes the sparse cluster builder
+/// run in `O(Σ_w vol(S(w)))` instead of `O(n · m)`.
+///
+/// Vertices just outside the frontier are *touched* (discovered, never
+/// expanded, not reported); the traversal cost is the volume of the explored
+/// cluster plus its boundary.  Visit order is BFS (non-decreasing distance).
+pub fn bfs_bounded_into(
+    g: &Graph,
+    source: NodeId,
+    bound: &[Dist],
+    scratch: &mut BoundedBfsScratch,
+    mut visit: impl FnMut(NodeId, Dist, Port),
+) {
+    let n = g.num_nodes();
+    assert!(source < n, "BFS source out of range");
+    assert_eq!(bound.len(), n, "bound buffer has the wrong length");
+    scratch.dist.resize(n, INFINITY);
+    scratch.first_hop.resize(n, 0);
+    let BoundedBfsScratch {
+        queue,
+        dist,
+        first_hop,
+    } = scratch;
+    debug_assert!(dist.iter().all(|&d| d == INFINITY), "stale scratch");
+    queue.clear();
+    dist[source] = 0;
+    queue.push(source as u32);
+    let mut head = 0usize;
+    while head < queue.len() {
+        let u = queue[head] as usize;
+        head += 1;
+        let du = dist[u];
+        if du > bound[u] {
+            // Touched but outside the cluster: recorded (for the reset
+            // sweep) yet never expanded nor reported.
+            continue;
+        }
+        if u != source {
+            visit(u, du, first_hop[u] as usize);
+        }
+        let dv = du + 1;
+        for (p, &v) in g.neighbors(u).iter().enumerate() {
+            let v = v as usize;
+            if dist[v] == INFINITY {
+                dist[v] = dv;
+                first_hop[v] = if u == source { p as u32 } else { first_hop[u] };
+                queue.push(v as u32);
+            }
+        }
+    }
+    // Lazy reset: only what this traversal wrote.
+    for &u in queue.iter() {
+        dist[u as usize] = INFINITY;
+    }
+}
+
 /// Like [`bfs_distances_into`], but reusing the scratch's own distance
 /// buffer; returns a borrow of it.
 pub fn bfs_distances_scratch<'a>(
@@ -497,6 +655,108 @@ mod tests {
         assert_eq!(narrow[255], 254);
         // Eccentricity of vertex 0 is 255: the first unrepresentable value.
         assert!(!bfs_distances_u8_into(&g, 0, &mut scratch, &mut narrow));
+    }
+
+    #[test]
+    fn multi_source_bfs_matches_per_source_minimum() {
+        for g in [
+            generators::cycle(17),
+            generators::grid(5, 9),
+            generators::random_connected(80, 0.06, 23),
+        ] {
+            let n = g.num_nodes();
+            let sources: Vec<usize> = (0..n).step_by(7).collect();
+            let mut scratch = BfsScratch::new();
+            let mut dist = vec![0 as Dist; n];
+            let mut origin = vec![0u32; n];
+            bfs_from_sources_into(&g, &sources, &mut scratch, &mut dist, &mut origin);
+            let per_source: Vec<Vec<Dist>> =
+                sources.iter().map(|&s| bfs_distances(&g, s)).collect();
+            for v in 0..n {
+                // Distance to the set, and the smallest-id source among the
+                // minimizers (sources are listed ascending).
+                let mut best = INFINITY;
+                let mut who = u32::MAX;
+                for (i, &s) in sources.iter().enumerate() {
+                    if per_source[i][v] < best {
+                        best = per_source[i][v];
+                        who = s as u32;
+                    }
+                }
+                assert_eq!(dist[v], best, "vertex {v}");
+                assert_eq!(origin[v], who, "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_bfs_handles_duplicates_and_disconnection() {
+        let g = generators::path(4).disjoint_union(&generators::cycle(3));
+        let mut scratch = BfsScratch::new();
+        let mut dist = vec![0 as Dist; 7];
+        let mut origin = vec![0u32; 7];
+        bfs_from_sources_into(&g, &[1, 1, 1], &mut scratch, &mut dist, &mut origin);
+        assert_eq!(dist[..4], [1, 0, 1, 2]);
+        assert_eq!(&dist[4..], &[INFINITY; 3]);
+        assert_eq!(&origin[..4], &[1, 1, 1, 1]);
+        assert_eq!(&origin[4..], &[u32::MAX; 3]);
+    }
+
+    #[test]
+    fn bounded_bfs_with_infinite_bounds_is_plain_bfs_with_first_ports() {
+        for g in [
+            generators::cycle(12),
+            generators::grid(4, 6),
+            generators::random_connected(60, 0.08, 31),
+        ] {
+            let n = g.num_nodes();
+            let bound = vec![INFINITY; n];
+            let mut scratch = BoundedBfsScratch::with_capacity(n);
+            for w in 0..n {
+                let dw = bfs_distances(&g, w);
+                let mut seen = vec![false; n];
+                bfs_bounded_into(&g, w, &bound, &mut scratch, |v, d, p| {
+                    assert_eq!(d, dw[v], "distance of {v} from {w}");
+                    // Reported port must be the first shortest-path port.
+                    let dv = bfs_distances(&g, v);
+                    let expected = g
+                        .neighbors(w)
+                        .iter()
+                        .position(|&x| dv[x as usize] + 1 == dw[v])
+                        .unwrap();
+                    assert_eq!(p, expected, "first port of {w} towards {v}");
+                    seen[v] = true;
+                });
+                assert!((0..n).filter(|&v| v != w).all(|v| seen[v]));
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_bfs_prunes_at_the_bound_and_resets_its_scratch() {
+        // On a path with bound 2 everywhere, only vertices within distance 2
+        // are reported, and consecutive traversals do not leak state.
+        let g = generators::path(10);
+        let bound = vec![2 as Dist; 10];
+        let mut scratch = BoundedBfsScratch::new();
+        for w in 0..10usize {
+            let mut got = Vec::new();
+            bfs_bounded_into(&g, w, &bound, &mut scratch, |v, d, _| got.push((v, d)));
+            let mut expected: Vec<(usize, Dist)> = (0..10)
+                .filter(|&v| v != w && v.abs_diff(w) <= 2)
+                .map(|v| (v, v.abs_diff(w) as Dist))
+                .collect();
+            expected.sort_by_key(|&(_, d)| d);
+            let mut got_sorted = got.clone();
+            got_sorted.sort_by_key(|&(_, d)| d);
+            assert_eq!(got_sorted.len(), expected.len(), "source {w}");
+            let key = |list: &[(usize, Dist)]| {
+                let mut l = list.to_vec();
+                l.sort_unstable();
+                l
+            };
+            assert_eq!(key(&got), key(&expected), "source {w}");
+        }
     }
 
     #[test]

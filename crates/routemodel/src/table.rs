@@ -14,7 +14,7 @@
 use crate::function::{Action, RoutingFunction};
 use crate::header::Header;
 use crate::memory::{MemoryReport, PortMap};
-use graphkit::{DistanceMatrix, Graph, NodeId, Port};
+use graphkit::{BfsScratch, Dist, DistanceBlock, DistanceMatrix, Graph, NodeId, Port, INFINITY};
 
 /// How to choose among several shortest-path next hops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,11 +44,49 @@ const NO_PORT: Port = usize::MAX;
 
 impl TableRouting {
     /// Builds shortest-path routing tables for `g` using the given tie-break
-    /// rule.  The distance matrix is recomputed; use
-    /// [`TableRouting::from_distances`] to reuse one.
+    /// rule.
+    ///
+    /// Construction streams [`DistanceBlock`]s instead of materializing a
+    /// dense [`DistanceMatrix`]: BFS rows are computed for one block of
+    /// destinations at a time (distances from `v` equal distances *to* `v`
+    /// by symmetry) and each row fills one column of the table before the
+    /// block buffer is recycled.  Peak transient memory is
+    /// `O(block_rows · n)` on top of the table itself; the result is
+    /// bit-identical to [`TableRouting::from_distances`] over the dense
+    /// matrix (pinned by a test).
     pub fn shortest_paths(g: &Graph, tie: TieBreak) -> Self {
-        let dm = DistanceMatrix::all_pairs(g);
-        Self::from_distances(g, &dm, tie)
+        let n = g.num_nodes();
+        let mut next_port = vec![vec![NO_PORT; n]; n];
+        let mut scratch = BfsScratch::with_capacity(n);
+        let mut block = DistanceBlock::new();
+        const BLOCK_ROWS: usize = 64;
+        let mut v0 = 0usize;
+        while v0 < n {
+            let rows = BLOCK_ROWS.min(n - v0);
+            block.recompute(g, v0, rows, &mut scratch);
+            // Routers outer, block destinations inner: writes into
+            // `next_port[u]` stay sequential while the block's BFS rows stay
+            // cache-resident, instead of striding one scattered column per
+            // destination across all n row allocations.
+            for (u, row_u) in next_port.iter_mut().enumerate() {
+                for v in v0..v0 + rows {
+                    if u == v {
+                        continue;
+                    }
+                    let row = block.row(v);
+                    let duv = row.dist(u);
+                    if duv == INFINITY {
+                        continue;
+                    }
+                    row_u[v] = Self::pick_port_with(g, |x| row.dist(x), u, v, duv, tie);
+                }
+            }
+            v0 += rows;
+        }
+        TableRouting {
+            next_port,
+            name: format!("routing-tables({tie:?})"),
+        }
     }
 
     /// Builds shortest-path routing tables from a precomputed distance matrix.
@@ -60,7 +98,8 @@ impl TableRouting {
                 if u == v || !dm.reachable(u, v) {
                     continue;
                 }
-                next_port[u][v] = Self::pick_port(g, dm, u, v, tie);
+                next_port[u][v] =
+                    Self::pick_port_with(g, |x| dm.dist(x, v), u, v, dm.dist(u, v), tie);
             }
         }
         TableRouting {
@@ -69,8 +108,18 @@ impl TableRouting {
         }
     }
 
-    fn pick_port(g: &Graph, dm: &DistanceMatrix, u: NodeId, v: NodeId, tie: TieBreak) -> Port {
-        let duv = dm.dist(u, v);
+    /// Picks the tie-broken shortest-path port of `u` towards `v`, given any
+    /// oracle for distances **to `v`** (a dense-matrix column or a streamed
+    /// BFS row — both produce the same [`Dist`] values, so the choice is
+    /// representation-independent).
+    fn pick_port_with(
+        g: &Graph,
+        dist_to_dest: impl Fn(NodeId) -> Dist,
+        u: NodeId,
+        v: NodeId,
+        duv: Dist,
+        tie: TieBreak,
+    ) -> Port {
         // Iterate the CSR slice directly instead of collecting a candidate
         // vector: this runs for all n² (router, destination) pairs, so it
         // must not allocate.
@@ -78,7 +127,7 @@ impl TableRouting {
             g.neighbors(u)
                 .iter()
                 .enumerate()
-                .filter(|(_, &w)| dm.dist(w as usize, v) + 1 == duv)
+                .filter(|(_, &w)| dist_to_dest(w as usize) + 1 == duv)
                 .map(|(p, &w)| (p, w as usize))
         };
         debug_assert!(
@@ -250,6 +299,32 @@ mod tests {
         let a = TableRouting::from_distances(&g, &dm, TieBreak::Seeded(11));
         let b = TableRouting::from_distances(&g, &dm, TieBreak::Seeded(11));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streamed_build_matches_dense_build_for_every_tiebreak() {
+        // `shortest_paths` streams DistanceBlocks; it must agree bit for bit
+        // with `from_distances` over the dense matrix — including on a
+        // disconnected graph, where the unreachable entries stay empty.
+        for g in [
+            generators::petersen(),
+            generators::cycle(4),
+            generators::random_connected(97, 0.06, 9),
+            generators::path(70), // spans two 64-row blocks
+            generators::path(5).disjoint_union(&generators::cycle(4)),
+        ] {
+            let dm = DistanceMatrix::all_pairs(&g);
+            for tie in [
+                TieBreak::LowestPort,
+                TieBreak::LowestNeighbor,
+                TieBreak::HighestNeighbor,
+                TieBreak::Seeded(21),
+            ] {
+                let streamed = TableRouting::shortest_paths(&g, tie);
+                let dense = TableRouting::from_distances(&g, &dm, tie);
+                assert_eq!(streamed, dense, "n = {}, {tie:?}", g.num_nodes());
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //! memory.  The paper cites this as the universal scheme whose interval count
 //! "may be large but exists" — its measured memory on the worst-case families
 //! is exactly what Theorem 1 says cannot be avoided.
+//!
+//! Construction rides on the block-streamed [`TableRouting::shortest_paths`]
+//! (no dense `DistanceMatrix` is ever materialized); the table itself is the
+//! scheme's own `n²` payload, which is what keeps this scheme out of the
+//! `n ≥ 10^5` scenarios even though its transient memory is small.
 
 use crate::interval::group_into_cyclic_intervals;
 use crate::scheme::{CompactScheme, SchemeInstance};

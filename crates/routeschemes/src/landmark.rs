@@ -14,8 +14,9 @@
 //!   in headers, which the model does not charge to router memory;
 //! * every router `w` stores a port towards every landmark, plus a direct
 //!   next-hop for every vertex of its *cluster*
-//!   `S(w) = { v : d(w, v) ≤ d(v, L) }` (expected size `O(√n)` under random
-//!   landmarks);
+//!   `S(w) = { v ≠ w : d(w, v) ≤ d(v, L) }` (the router itself is excluded —
+//!   a message already at `w` is delivered, not forwarded; expected size
+//!   `O(√n)` under random landmarks);
 //! * a message for `v` is forwarded directly while the current router has `v`
 //!   in its cluster, and towards `ℓ(v)` otherwise.  Once it reaches a router
 //!   whose cluster contains `v` — at latest `ℓ(v)` itself — every subsequent
@@ -24,33 +25,153 @@
 //! The resulting stretch is `< 3` and the measured per-router memory on
 //! random graphs is `Õ(√n)`, reproducing the "large stretch ⇒ strong
 //! compression" row of Table 1.
+//!
+//! # Construction cost
+//!
+//! [`LandmarkRouting::build`] is **sparse**: it never materializes an `n × n`
+//! distance matrix.  One multi-source BFS assigns home landmarks and the
+//! distances `d(v, L)`, one BFS per landmark fills the toward-landmark ports
+//! (`O(m√n)` total), and one *pruned* BFS per vertex — truncated at radius
+//! `d(v, L)` via [`graphkit::bfs_bounded_into`] — enumerates exactly the
+//! cluster `S(w)`, in `O(Σ_w vol(S(w))) = Õ(m√n)` expected.  The result is
+//! **bit-identical** to the dense reference builder
+//! [`LandmarkRouting::build_dense`] (kept for equivalence tests and the
+//! `landmark_build` bench): the multi-source BFS claims each vertex for the
+//! smallest-id nearest landmark, and the port-order BFS reports the first
+//! shortest-path port, exactly as the dense scans do.  This is what lets the
+//! scheme join the `n ≥ 10^5` trafficlab scenarios at stretch `< 3`.
 
 use crate::scheme::{CompactScheme, SchemeInstance};
-use graphkit::{DistanceMatrix, Graph, NodeId, Port, Xoshiro256};
+use graphkit::traversal::bfs_distances_into;
+use graphkit::{
+    bfs_bounded_into, bfs_from_sources_into, BfsScratch, BoundedBfsScratch, Dist, DistanceMatrix,
+    Graph, NodeId, Port, Xoshiro256, INFINITY,
+};
 use routemodel::coding::bits_for_values;
 use routemodel::{Action, Header, MemoryReport, RoutingFunction};
 use std::collections::HashMap;
 
+/// Sentinel in the flat toward-landmark table: "this router *is* the
+/// landmark" (no port exists; a valid header never asks for it).
+const NO_PORT: u32 = u32::MAX;
+
 /// The landmark routing function produced by [`LandmarkScheme`].
-#[derive(Debug, Clone)]
+///
+/// Tables are stored flat/CSR so the `n ≥ 10^5` instances stay compact:
+/// `toward_landmark` is an `n × k` matrix of `u32` ports, and the clusters
+/// live in one CSR triple (`direct_offsets`/`direct_targets`/`direct_ports`)
+/// with members sorted by vertex id — `O(log √n)` binary-search lookups on
+/// the routing hot path instead of per-router hash maps.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LandmarkRouting {
-    /// The sampled landmark set.
+    /// The sampled landmark set, ascending.
     landmarks: Vec<NodeId>,
-    /// Home landmark of every vertex.
+    /// Home landmark of every vertex (smallest-id nearest landmark).
     home: Vec<NodeId>,
-    /// `toward_landmark[w]`: for every landmark index, the port of `w` on a
-    /// shortest path to that landmark (`usize::MAX` when `w` is the landmark).
-    toward_landmark: Vec<Vec<Port>>,
+    /// Flat `n × k` row-major table: `toward_landmark[w * k + i]` is the port
+    /// of `w` on a shortest path to landmark `i` ([`NO_PORT`] when `w` is
+    /// that landmark).
+    toward_landmark: Vec<u32>,
     /// Landmark id → landmark index.
     landmark_index: HashMap<NodeId, usize>,
-    /// `direct[w]`: next-hop port for every vertex in the cluster `S(w)`.
-    direct: Vec<HashMap<NodeId, Port>>,
+    /// CSR offsets into `direct_targets`/`direct_ports`, one slice per
+    /// router.
+    direct_offsets: Vec<u32>,
+    /// Cluster members of every router, ascending within each router.
+    direct_targets: Vec<u32>,
+    /// `direct_ports[e]`: next-hop port towards `direct_targets[e]`.
+    direct_ports: Vec<u32>,
     name: String,
 }
 
 impl LandmarkRouting {
     /// Builds the scheme with `⌈√n⌉` landmarks sampled with the given seed.
+    ///
+    /// Sparse construction: no `n × n` matrix, `Õ(m√n)` work (see the module
+    /// docs).  Connectivity is checked by one cheap BFS — no dense-matrix
+    /// scan.
     pub fn build(g: &Graph, seed: u64) -> Self {
+        let n = g.num_nodes();
+        assert!(n >= 1);
+        let (landmarks, landmark_index) = Self::sample_landmarks(n, seed);
+        let k = landmarks.len();
+        let mut scratch = BfsScratch::with_capacity(n);
+        let mut dist_l = vec![0 as Dist; n];
+
+        // One cheap single-source BFS is the whole connectivity check (the
+        // dense builder scanned its n × n matrix for this).  Note the
+        // multi-source sweep below cannot stand in for it: with landmarks
+        // sampled in two components every vertex still reaches *some*
+        // landmark.
+        bfs_distances_into(g, landmarks[0], &mut scratch, &mut dist_l);
+        assert!(
+            dist_l.iter().all(|&d| d != INFINITY),
+            "landmark routing requires a connected graph"
+        );
+
+        // Home landmark and distance to the landmark set, in one BFS.
+        let mut dist_to_set = vec![INFINITY; n];
+        let mut origin = vec![0u32; n];
+        bfs_from_sources_into(g, &landmarks, &mut scratch, &mut dist_to_set, &mut origin);
+        let home: Vec<NodeId> = origin.iter().map(|&o| o as usize).collect();
+
+        // Port towards every landmark: one BFS per landmark, then a scan of
+        // every arc — O(k (n + m)) total.
+        let mut toward_landmark = vec![NO_PORT; n * k];
+        for (i, &l) in landmarks.iter().enumerate() {
+            bfs_distances_into(g, l, &mut scratch, &mut dist_l);
+            for w in 0..n {
+                if w == l {
+                    continue;
+                }
+                let dwl = dist_l[w];
+                let port = g
+                    .neighbors(w)
+                    .iter()
+                    .position(|&x| dist_l[x as usize] + 1 == dwl)
+                    .expect("connected graph: some neighbour is closer to the landmark");
+                toward_landmark[w * k + i] = port as u32;
+            }
+        }
+
+        // Clusters S(w) = { v ≠ w : d(w, v) ≤ d(v, L) } by pruned BFS: the
+        // bound d(·, L) is downward-closed along shortest paths, so the
+        // traversal only ever walks the cluster and its boundary.
+        let mut bounded = BoundedBfsScratch::with_capacity(n);
+        let mut members: Vec<(u32, u32)> = Vec::new();
+        let mut direct_offsets = vec![0u32; n + 1];
+        let mut direct_targets: Vec<u32> = Vec::new();
+        let mut direct_ports: Vec<u32> = Vec::new();
+        for w in 0..n {
+            members.clear();
+            bfs_bounded_into(g, w, &dist_to_set, &mut bounded, |v, _d, p| {
+                members.push((v as u32, p as u32));
+            });
+            members.sort_unstable();
+            direct_offsets[w + 1] = direct_offsets[w] + members.len() as u32;
+            for &(v, p) in &members {
+                direct_targets.push(v);
+                direct_ports.push(p);
+            }
+        }
+
+        LandmarkRouting {
+            landmarks,
+            home,
+            toward_landmark,
+            landmark_index,
+            direct_offsets,
+            direct_targets,
+            direct_ports,
+            name: "landmark-routing".to_string(),
+        }
+    }
+
+    /// Dense reference builder: identical output to [`LandmarkRouting::build`]
+    /// bit for bit, computed the quadratic way (full [`DistanceMatrix`] plus
+    /// `O(n²)` scans).  Kept for the seed-for-seed equivalence tests and the
+    /// dense-vs-sparse `landmark_build` benchmark; unusable at `n ≳ 10^4`.
+    pub fn build_dense(g: &Graph, seed: u64) -> Self {
         let n = g.num_nodes();
         assert!(n >= 1);
         let dm = DistanceMatrix::all_pairs(g);
@@ -58,16 +179,12 @@ impl LandmarkRouting {
             dm.is_connected(),
             "landmark routing requires a connected graph"
         );
-        let k = (n as f64).sqrt().ceil() as usize;
-        let mut rng = Xoshiro256::new(seed);
-        let mut landmarks = rng.sample_indices(n, k.min(n));
-        landmarks.sort_unstable();
-        let landmark_index: HashMap<NodeId, usize> =
-            landmarks.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+        let (landmarks, landmark_index) = Self::sample_landmarks(n, seed);
+        let k = landmarks.len();
 
         // Home landmark and distance to the landmark set.
         let mut home = vec![0usize; n];
-        let mut dist_to_set = vec![u32::MAX; n];
+        let mut dist_to_set = vec![INFINITY; n];
         for v in 0..n {
             for &l in &landmarks {
                 let d = dm.dist(v, l);
@@ -79,37 +196,35 @@ impl LandmarkRouting {
         }
 
         // Port towards every landmark (first shortest-path port).
-        let first_port_towards = |w: NodeId, target: NodeId| -> Port {
+        let first_port_towards = |w: NodeId, target: NodeId| -> u32 {
             let dwt = dm.dist(w, target);
             g.neighbors(w)
                 .iter()
-                .enumerate()
-                .find(|(_, &x)| dm.dist(x as usize, target) + 1 == dwt)
-                .map(|(p, _)| p)
+                .position(|&x| dm.dist(x as usize, target) + 1 == dwt)
                 .expect("connected graph: some neighbour is closer to the target")
+                as u32
         };
-        let mut toward_landmark = vec![Vec::new(); n];
+        let mut toward_landmark = vec![NO_PORT; n * k];
         for w in 0..n {
-            toward_landmark[w] = landmarks
-                .iter()
-                .map(|&l| {
-                    if l == w {
-                        usize::MAX
-                    } else {
-                        first_port_towards(w, l)
-                    }
-                })
-                .collect();
+            for (i, &l) in landmarks.iter().enumerate() {
+                if l != w {
+                    toward_landmark[w * k + i] = first_port_towards(w, l);
+                }
+            }
         }
 
-        // Clusters: S(w) = { v != w : d(w, v) <= d(v, L) }.
-        let mut direct = vec![HashMap::new(); n];
+        // Clusters: S(w) = { v ≠ w : d(w, v) ≤ d(v, L) }, ascending by v.
+        let mut direct_offsets = vec![0u32; n + 1];
+        let mut direct_targets: Vec<u32> = Vec::new();
+        let mut direct_ports: Vec<u32> = Vec::new();
         for w in 0..n {
             for v in 0..n {
                 if v != w && dm.dist(w, v) <= dist_to_set[v] {
-                    direct[w].insert(v, first_port_towards(w, v));
+                    direct_targets.push(v as u32);
+                    direct_ports.push(first_port_towards(w, v));
                 }
             }
+            direct_offsets[w + 1] = direct_targets.len() as u32;
         }
 
         LandmarkRouting {
@@ -117,9 +232,21 @@ impl LandmarkRouting {
             home,
             toward_landmark,
             landmark_index,
-            direct,
+            direct_offsets,
+            direct_targets,
+            direct_ports,
             name: "landmark-routing".to_string(),
         }
+    }
+
+    /// Samples `⌈√n⌉` landmarks (ascending) and their index map.
+    fn sample_landmarks(n: usize, seed: u64) -> (Vec<NodeId>, HashMap<NodeId, usize>) {
+        let k = (n as f64).sqrt().ceil() as usize;
+        let mut rng = Xoshiro256::new(seed);
+        let mut landmarks = rng.sample_indices(n, k.min(n));
+        landmarks.sort_unstable();
+        let index = landmarks.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+        (landmarks, index)
     }
 
     /// The landmark set used by the scheme.
@@ -132,15 +259,27 @@ impl LandmarkRouting {
         self.home[v]
     }
 
+    /// The next-hop port stored at `w` for a cluster member `v`, or `None`
+    /// when `v ∉ S(w)`.
+    pub fn direct_port(&self, w: NodeId, v: NodeId) -> Option<Port> {
+        let lo = self.direct_offsets[w] as usize;
+        let hi = self.direct_offsets[w + 1] as usize;
+        let members = &self.direct_targets[lo..hi];
+        members
+            .binary_search(&(v as u32))
+            .ok()
+            .map(|e| self.direct_ports[lo + e] as Port)
+    }
+
     /// Size of the cluster stored at `w`.
     pub fn cluster_size(&self, w: NodeId) -> usize {
-        self.direct[w].len()
+        (self.direct_offsets[w + 1] - self.direct_offsets[w]) as usize
     }
 
     /// Average cluster size over all routers.
     pub fn average_cluster_size(&self) -> f64 {
-        let total: usize = self.direct.iter().map(HashMap::len).sum();
-        total as f64 / self.direct.len().max(1) as f64
+        let n = self.home.len();
+        self.direct_targets.len() as f64 / n.max(1) as f64
     }
 
     /// Memory report: landmark table + cluster table + own address.
@@ -148,9 +287,18 @@ impl LandmarkRouting {
         let n = g.num_nodes();
         let label_bits = bits_for_values(n as u64) as u64;
         MemoryReport::from_fn(n, |w| {
-            let port_bits = bits_for_values(g.degree(w) as u64) as u64;
+            // A port names one of `degree` values; an isolated router (the
+            // single-vertex graph is the one connected case) has no ports at
+            // all, so its port fields cost 0 bits and the whole report stays
+            // well-defined instead of charging phantom entries.
+            let degree = g.degree(w) as u64;
+            let port_bits = if degree == 0 {
+                0
+            } else {
+                bits_for_values(degree) as u64
+            };
             let landmark_entries = self.landmarks.len() as u64 * (label_bits + port_bits);
-            let cluster_entries = self.direct[w].len() as u64 * (label_bits + port_bits);
+            let cluster_entries = self.cluster_size(w) as u64 * (label_bits + port_bits);
             label_bits + landmark_entries + cluster_entries
         })
     }
@@ -167,18 +315,27 @@ impl RoutingFunction for LandmarkRouting {
         if node == dest {
             return Action::Deliver;
         }
-        if let Some(&p) = self.direct[node].get(&dest) {
+        if let Some(p) = self.direct_port(node, dest) {
             return Action::Forward(p);
         }
-        let home = header.data[0] as usize;
-        let idx = self.landmark_index[&home];
-        let p = self.toward_landmark[node][idx];
-        debug_assert_ne!(
-            p,
-            usize::MAX,
-            "home landmark always has dest in its cluster"
-        );
-        Action::Forward(p)
+        // Fall back to the home landmark carried in the header.  Headers are
+        // produced by `init`, but a stale or corrupted one must surface as a
+        // routing error (the simulator flags a non-destination `Deliver` as
+        // `WrongDelivery`), not as a table-lookup panic: validate the carried
+        // landmark before indexing.
+        let Some(&home) = header.data.first() else {
+            return Action::Deliver;
+        };
+        let Some(&idx) = self.landmark_index.get(&(home as usize)) else {
+            return Action::Deliver;
+        };
+        let p = self.toward_landmark[node * self.landmarks.len() + idx];
+        if p == NO_PORT {
+            // `node` is the claimed home landmark yet `dest` is not in its
+            // cluster: the header lies about the destination's home.
+            return Action::Deliver;
+        }
+        Action::Forward(p as Port)
     }
 
     fn name(&self) -> &str {
@@ -224,7 +381,7 @@ impl CompactScheme for LandmarkScheme {
 mod tests {
     use super::*;
     use graphkit::generators;
-    use routemodel::{route, stretch_factor, verify_stretch};
+    use routemodel::{route, stretch_factor, verify_stretch, RoutingError};
 
     #[test]
     fn landmark_routing_delivers_everywhere() {
@@ -265,6 +422,42 @@ mod tests {
     }
 
     #[test]
+    fn sparse_build_matches_dense_reference() {
+        for (g, seed) in [
+            (generators::cycle(33), 7u64),
+            (generators::cycle(34), 8),
+            (generators::grid(7, 9), 9),
+            (generators::random_connected(90, 0.06, 11), 10),
+            (generators::petersen(), 11),
+            (generators::path(1), 12),
+        ] {
+            let sparse = LandmarkRouting::build(&g, seed);
+            let dense = LandmarkRouting::build_dense(&g, seed);
+            assert_eq!(sparse, dense, "n = {}", g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_rejected_even_with_landmarks_in_both_components() {
+        // Landmarks sampled in two components would satisfy "every vertex
+        // reaches some landmark", so the connectivity check must be a real
+        // single-source BFS, not the multi-source sweep.
+        for seed in 0..8u64 {
+            let g = generators::path(5).disjoint_union(&generators::cycle(4));
+            let err = std::panic::catch_unwind(|| LandmarkRouting::build(&g, seed)).unwrap_err();
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(
+                msg.contains("connected"),
+                "seed {seed}: wrong panic: {msg:?}"
+            );
+        }
+    }
+
+    #[test]
     fn landmarks_have_their_whole_home_set_in_cluster() {
         let g = generators::random_connected(60, 0.08, 9);
         let r = LandmarkRouting::build(&g, 33);
@@ -272,10 +465,42 @@ mod tests {
             let home = r.home_of(v);
             if v != home {
                 assert!(
-                    r.direct[home].contains_key(&v),
+                    r.direct_port(home, v).is_some(),
                     "home landmark {home} must know a direct route to {v}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn stale_home_landmark_surfaces_as_routing_error_not_panic() {
+        let g = generators::random_connected(60, 0.07, 13);
+        let r = LandmarkRouting::build(&g, 3);
+        // Pick a destination and a router that must fall back to the
+        // landmark table (dest outside the router's cluster).
+        let (w, dest) = (0..g.num_nodes())
+            .flat_map(|w| (0..g.num_nodes()).map(move |t| (w, t)))
+            .find(|&(w, t)| w != t && r.direct_port(w, t).is_none())
+            .expect("some pair must need the landmark fallback");
+        // A header whose home landmark is not a landmark at all.
+        let not_a_landmark = (0..g.num_nodes())
+            .find(|v| !r.landmarks().contains(v))
+            .unwrap();
+        let stale = Header::with_data(dest, vec![not_a_landmark as u64]);
+        assert_eq!(r.port(w, &stale), Action::Deliver);
+        // An empty-data header degrades the same way.
+        assert_eq!(r.port(w, &Header::to_dest(dest)), Action::Deliver);
+        // End to end: a wrapper that injects the stale header yields a
+        // WrongDelivery error from the simulator instead of a panic.
+        let stale_routing = routemodel::function::FnRouting::new(
+            "stale-landmark",
+            |_s, d| Header::with_data(d, vec![u64::MAX]),
+            |node, h: &Header| r.port(node, h),
+            |_n, h: &Header| h.clone(),
+        );
+        match route(&g, &stale_routing, w, dest) {
+            Err(RoutingError::WrongDelivery { .. }) => {}
+            other => panic!("expected WrongDelivery, got {other:?}"),
         }
     }
 
@@ -316,6 +541,12 @@ mod tests {
         let r = LandmarkRouting::build(&g, 3);
         let trace = route(&g, &r, 0, 0).unwrap();
         assert!(trace.is_empty());
+        // Degenerate memory report: one router of degree 0 stores 0-bit
+        // labels and 0-bit ports — well-defined, not a phantom charge.
+        let mem = r.memory(&g);
+        assert_eq!(mem.local(), 0);
+        assert_eq!(mem.global(), 0);
+        assert!(mem.average().is_finite());
     }
 
     #[test]

@@ -55,14 +55,15 @@ pub enum SchemeKind {
     /// stretch 1, `O(n log n)` bits per router.
     Table,
     /// Single spanning tree ([`SpanningTreeScheme`]): universal, unbounded
-    /// stretch, `O(d log n)` bits — and the only scheme whose construction is
-    /// near-linear, hence the default at `n ≥ 10^5`.
+    /// stretch, `O(d log n)` bits, near-linear construction.
     SpanningTree,
     /// Universal `k`-interval routing ([`KIntervalScheme`]): stretch 1,
     /// compresses tables on label-coherent topologies.
     KInterval,
     /// Landmark/cluster routing ([`LandmarkScheme`]): universal, stretch
-    /// `< 3`, `Õ(√n)` bits expected.
+    /// `< 3`, `Õ(√n)` bits expected — built sparsely (one BFS per landmark
+    /// plus one pruned BFS per vertex, `Õ(m√n)`), so it joins the spanning
+    /// tree in the `n ≥ 10^5` scenarios.
     Landmark,
     /// Dimension-order routing on hypercubes ([`EcubeScheme`]).
     Ecube,
@@ -104,13 +105,17 @@ impl SchemeKind {
         SchemeKind::ALL.iter().copied().find(|k| k.key() == key)
     }
 
-    /// Whether the scheme's construction cost is near-linear in the graph
-    /// size.  Schemes where this is `false` build an `n × n` distance matrix
-    /// (or per-router full tables) and are unusable at `n ≳ 10^4`.
+    /// Whether the scheme's construction cost is near-linear (`Õ(m√n)` or
+    /// better) in the graph size.  Schemes where this is `false` fill
+    /// per-router full tables (`n²` entries, streamed but still quadratic)
+    /// and are unusable at `n ≳ 10^4`.
     pub fn scales_to_large_graphs(&self) -> bool {
         matches!(
             self,
-            SchemeKind::SpanningTree | SchemeKind::Ecube | SchemeKind::DimensionOrder
+            SchemeKind::SpanningTree
+                | SchemeKind::Landmark
+                | SchemeKind::Ecube
+                | SchemeKind::DimensionOrder
         )
     }
 
@@ -196,12 +201,13 @@ mod tests {
 
     #[test]
     fn scaling_classification_matches_the_constructors() {
-        // Near-linear builders: one BFS/DFS (tree) or closed-form labels
-        // (e-cube, dimension-order).  Everything else touches an n × n
-        // distance matrix or per-router full tables.
+        // Near-linear builders: one BFS/DFS (tree), closed-form labels
+        // (e-cube, dimension-order), or the sparse landmark pipeline
+        // (Õ(m√n), no dense matrix).  Everything else fills per-router full
+        // tables of n² entries.
         use SchemeKind::*;
         for kind in SchemeKind::ALL {
-            let expected = matches!(kind, SpanningTree | Ecube | DimensionOrder);
+            let expected = matches!(kind, SpanningTree | Landmark | Ecube | DimensionOrder);
             assert_eq!(kind.scales_to_large_graphs(), expected, "{}", kind.key());
         }
     }

@@ -150,10 +150,15 @@ pub struct Scenario {
 /// * `uniform-1m` — 10^6 uniform messages on an n = 4096 random graph.
 /// * `sharded-130k` — an n = 131072 graph swept block-by-block (sampled
 ///   sources); the point that cannot exist with a dense matrix (64 GiB).
+/// * `landmark-130k` — the stretch `< 3` scheme at n = 131072: landmark
+///   routing built sparsely (no dense matrix) next to the spanning tree.
 /// * `zipf-hotspot` — skewed destinations vs. uniform, congestion focus.
 /// * `broadcast` — one-to-all tree traffic.
 /// * `permutation-cube` — permutation rounds on the hypercube.
-/// * `theorem1` — constrained-vertex probes on a worst-case instance.
+/// * `theorem1` — constrained-vertex probes on worst-case instances, at
+///   n = 1024 under every universal scheme and at n = 16384 under the
+///   near-linear ones (the former n = 1024 cap came from the probe
+///   evaluation building full tables).
 pub fn named_scenarios() -> Vec<Scenario> {
     let universal = vec![
         SchemeKind::Table,
@@ -244,6 +249,24 @@ pub fn named_scenarios() -> Vec<Scenario> {
             }],
         },
         Scenario {
+            name: "landmark-130k".into(),
+            description: "landmark routing (stretch < 3) built sparsely at n = 131072".into(),
+            cases: vec![Case {
+                graph: GraphSpec::RandomRegular {
+                    n: 131_072,
+                    degree: 8,
+                    seed: 0xB16,
+                },
+                workload: CaseWorkload::Pattern(Workload::SampledSources {
+                    sources: 64,
+                    dests_per_source: 256,
+                    seed: 11,
+                }),
+                schemes: vec![SchemeKind::Landmark, SchemeKind::SpanningTree],
+                block_rows: 1,
+            }],
+        },
+        Scenario {
             name: "zipf-hotspot".into(),
             description: "Zipf-skewed destinations vs uniform on the same graph".into(),
             cases: vec![
@@ -303,17 +326,38 @@ pub fn named_scenarios() -> Vec<Scenario> {
         },
         Scenario {
             name: "theorem1".into(),
-            description: "constrained-vertex probes on a Theorem 1 worst-case instance".into(),
-            cases: vec![Case {
-                graph: GraphSpec::Theorem1 {
-                    n: 1024,
-                    theta: 0.5,
-                    seed: 17,
+            description: "constrained-vertex probes on Theorem 1 worst-case instances".into(),
+            cases: vec![
+                Case {
+                    graph: GraphSpec::Theorem1 {
+                        n: 1024,
+                        theta: 0.5,
+                        seed: 17,
+                    },
+                    workload: CaseWorkload::ConstrainedProbes,
+                    schemes: vec![
+                        SchemeKind::Table,
+                        SchemeKind::SpanningTree,
+                        SchemeKind::Landmark,
+                    ],
+                    block_rows: 0,
                 },
-                workload: CaseWorkload::ConstrainedProbes,
-                schemes: vec![SchemeKind::Table, SchemeKind::SpanningTree],
-                block_rows: 0,
-            }],
+                // Past the former n = 1024 cap: probe evaluation used to
+                // build full tables; the near-linear schemes (sparse
+                // landmark + spanning tree) lift it.  Worst-case instances
+                // have tiny diameter, which inflates the `≤`-rule clusters —
+                // n = 16384 keeps the landmark build in the tens of seconds.
+                Case {
+                    graph: GraphSpec::Theorem1 {
+                        n: 16384,
+                        theta: 0.5,
+                        seed: 17,
+                    },
+                    workload: CaseWorkload::ConstrainedProbes,
+                    schemes: vec![SchemeKind::Landmark, SchemeKind::SpanningTree],
+                    block_rows: 8,
+                },
+            ],
         },
     ]
 }
