@@ -22,8 +22,8 @@ use graphkit::{generators, DistanceMatrix, Graph};
 use routemodel::labeling::{adversarial_port_labeling, modular_complete_labeling};
 use routemodel::stretch_factor;
 use routeschemes::{
-    AdversarialCompleteScheme, CompactScheme, EcubeScheme, KIntervalScheme, LandmarkScheme,
-    ModularCompleteScheme, SpanningTreeScheme, TableScheme, TreeIntervalScheme,
+    AdversarialCompleteScheme, CompactScheme, EcubeScheme, GraphHints, KIntervalScheme,
+    LandmarkScheme, ModularCompleteScheme, SpanningTreeScheme, TableScheme, TreeIntervalScheme,
 };
 
 /// One measured cell of the reproduced Table 1.
@@ -48,7 +48,7 @@ pub struct Table1Entry {
 }
 
 fn measure(family: &str, g: &Graph, scheme: &dyn CompactScheme) -> Option<Table1Entry> {
-    let inst = scheme.try_build(g)?;
+    let inst = scheme.try_build(g, &GraphHints::none()).ok()?;
     let dm = DistanceMatrix::all_pairs(g);
     let stretch = stretch_factor(g, &dm, inst.routing.as_ref()).ok()?;
     let n = g.num_nodes();

@@ -13,7 +13,7 @@
 //! their memory to reproduce the `MEM_local(K_n, 1) = O(log n)` vs
 //! `Θ(n log n)`-for-bad-labelings contrast.
 
-use crate::scheme::{CompactScheme, SchemeInstance};
+use crate::scheme::{BuildError, CompactScheme, GraphHints, SchemeInstance};
 use graphkit::Graph;
 use routemodel::coding::{bits_for_values, log2_factorial};
 use routemodel::labeling::is_modular_complete_labeling;
@@ -62,21 +62,23 @@ impl CompactScheme for ModularCompleteScheme {
         "complete-modular"
     }
 
-    fn applies_to(&self, g: &Graph) -> bool {
+    fn applies_to(&self, g: &Graph, _hints: &GraphHints) -> bool {
         is_modular_complete_labeling(g)
     }
 
-    fn build(&self, g: &Graph) -> SchemeInstance {
-        assert!(
-            self.applies_to(g),
-            "ModularCompleteScheme requires the modular port labeling"
-        );
+    fn try_build(&self, g: &Graph, _hints: &GraphHints) -> Result<SchemeInstance, BuildError> {
+        if !is_modular_complete_labeling(g) {
+            return Err(BuildError::NotApplicable {
+                scheme: "complete-modular",
+                reason: "requires a complete graph with the modular port labeling".into(),
+            });
+        }
         let n = g.num_nodes();
         let routing = ModularCompleteRouting::new(n);
         // Each router stores its own label and n.
         let bits = 2 * bits_for_values(n as u64) as u64;
         let memory = MemoryReport::from_fn(n, |_| bits);
-        SchemeInstance::new(Box::new(routing), memory, Some(1.0))
+        Ok(SchemeInstance::new(Box::new(routing), memory, Some(1.0)))
     }
 }
 
@@ -102,16 +104,21 @@ impl CompactScheme for AdversarialCompleteScheme {
         "complete-adversarial-tables"
     }
 
-    fn applies_to(&self, g: &Graph) -> bool {
+    fn applies_to(&self, g: &Graph, _hints: &GraphHints) -> bool {
         let n = g.num_nodes();
         n >= 2 && g.num_edges() == n * (n - 1) / 2
     }
 
-    fn build(&self, g: &Graph) -> SchemeInstance {
-        assert!(self.applies_to(g), "requires a complete graph");
+    fn try_build(&self, g: &Graph, hints: &GraphHints) -> Result<SchemeInstance, BuildError> {
+        if !self.applies_to(g, hints) {
+            return Err(BuildError::NotApplicable {
+                scheme: "complete-adversarial-tables",
+                reason: "requires a complete graph on >= 2 vertices".into(),
+            });
+        }
         let table = TableRouting::shortest_paths(g, TieBreak::LowestPort);
         let memory = table.memory_raw(g);
-        SchemeInstance::new(Box::new(table), memory, Some(1.0))
+        Ok(SchemeInstance::new(Box::new(table), memory, Some(1.0)))
     }
 }
 
@@ -136,12 +143,13 @@ mod tests {
 
     #[test]
     fn modular_scheme_requires_modular_labeling() {
+        let hints = GraphHints::none();
         let natural = generators::complete(8);
-        assert!(ModularCompleteScheme.try_build(&natural).is_none());
+        assert!(ModularCompleteScheme.try_build(&natural, &hints).is_err());
         let shuffled = adversarial_port_labeling(&modular_complete_labeling(8), 1);
-        assert!(ModularCompleteScheme.try_build(&shuffled).is_none());
+        assert!(ModularCompleteScheme.try_build(&shuffled, &hints).is_err());
         let good = modular_complete_labeling(8);
-        assert!(ModularCompleteScheme.try_build(&good).is_some());
+        assert!(ModularCompleteScheme.try_build(&good, &hints).is_ok());
     }
 
     #[test]
@@ -180,9 +188,10 @@ mod tests {
 
     #[test]
     fn adversarial_scheme_rejects_non_complete_graphs() {
-        assert!(AdversarialCompleteScheme
-            .try_build(&generators::cycle(6))
-            .is_none());
+        assert!(matches!(
+            AdversarialCompleteScheme.try_build(&generators::cycle(6), &GraphHints::none()),
+            Err(BuildError::NotApplicable { .. })
+        ));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! whose local memory requirement is exponentially below the Theorem 1
 //! worst case.
 
-use crate::scheme::{CompactScheme, SchemeInstance};
+use crate::scheme::{BuildError, CompactScheme, GraphHints, SchemeInstance};
 use graphkit::{Graph, NodeId};
 use routemodel::coding::bits_for_values;
 use routemodel::{Action, Header, MemoryReport, RoutingFunction};
@@ -117,18 +117,29 @@ impl CompactScheme for DimensionOrderScheme {
         "dimension-order"
     }
 
-    fn applies_to(&self, g: &Graph) -> bool {
+    fn applies_to(&self, g: &Graph, _hints: &GraphHints) -> bool {
         g.num_nodes() == self.rows * self.cols
     }
 
-    fn build(&self, g: &Graph) -> SchemeInstance {
-        assert!(self.applies_to(g), "grid dimensions mismatch");
+    fn try_build(&self, g: &Graph, _hints: &GraphHints) -> Result<SchemeInstance, BuildError> {
+        if g.num_nodes() != self.rows * self.cols {
+            return Err(BuildError::NotApplicable {
+                scheme: "dimension-order",
+                reason: format!(
+                    "{}x{} grid needs {} vertices, graph has {}",
+                    self.rows,
+                    self.cols,
+                    self.rows * self.cols,
+                    g.num_nodes()
+                ),
+            });
+        }
         let routing = DimensionOrderRouting::build(g, self.rows, self.cols);
         // Each router stores its coordinates and the grid dimensions.
         let bits = 2 * bits_for_values(self.rows as u64) as u64
             + 2 * bits_for_values(self.cols as u64) as u64;
         let memory = MemoryReport::from_fn(g.num_nodes(), |_| bits.max(1));
-        SchemeInstance::new(Box::new(routing), memory, Some(1.0))
+        Ok(SchemeInstance::new(Box::new(routing), memory, Some(1.0)))
     }
 }
 
@@ -171,7 +182,13 @@ mod tests {
     #[test]
     fn scheme_rejects_wrong_sizes() {
         let g = generators::grid(3, 4);
-        assert!(DimensionOrderScheme::new(4, 4).try_build(&g).is_none());
-        assert!(DimensionOrderScheme::new(3, 4).try_build(&g).is_some());
+        let hints = GraphHints::none();
+        assert!(matches!(
+            DimensionOrderScheme::new(4, 4).try_build(&g, &hints),
+            Err(BuildError::NotApplicable { .. })
+        ));
+        assert!(DimensionOrderScheme::new(3, 4)
+            .try_build(&g, &hints)
+            .is_ok());
     }
 }

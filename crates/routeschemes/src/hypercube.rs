@@ -6,7 +6,7 @@
 //! towards destination `v` is simply the index of the lowest bit in which the
 //! router's address and `v` differ.
 
-use crate::scheme::{CompactScheme, SchemeInstance};
+use crate::scheme::{BuildError, CompactScheme, GraphHints, SchemeInstance};
 use graphkit::{Graph, NodeId};
 use routemodel::coding::bits_for_values;
 use routemodel::{Action, Header, MemoryReport, RoutingFunction};
@@ -78,27 +78,61 @@ pub fn hypercube_dimension(g: &Graph) -> Option<usize> {
 
 /// The e-cube routing *scheme*: applies only to dimension-port-labeled
 /// hypercubes, where it stores `O(log n)` bits per router.
+///
+/// Detection prefers the [`GraphHints::hypercube_dim`] pin — generators that
+/// set it vouch for the labeling, so the `O(n log n)` structural scan of
+/// [`hypercube_dimension`] is skipped (only the vertex count is
+/// sanity-checked against the pinned dimension).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EcubeScheme;
+
+impl EcubeScheme {
+    /// The dimension to route with: the pinned hint when present and
+    /// consistent with the vertex count, otherwise the full structural scan.
+    fn dimension(&self, g: &Graph, hints: &GraphHints) -> Option<usize> {
+        if let Some(dim) = hints.hypercube_dim {
+            // A pin is untrusted input from a hints struct anyone can fill:
+            // `checked_shl` keeps an absurd dimension a typed refusal
+            // instead of a shift overflow.
+            if dim >= 1 && 1usize.checked_shl(dim) == Some(g.num_nodes()) {
+                return Some(dim as usize);
+            }
+            return None;
+        }
+        hypercube_dimension(g)
+    }
+}
 
 impl CompactScheme for EcubeScheme {
     fn name(&self) -> &str {
         "e-cube"
     }
 
-    fn applies_to(&self, g: &Graph) -> bool {
-        hypercube_dimension(g).is_some()
+    fn applies_to(&self, g: &Graph, hints: &GraphHints) -> bool {
+        self.dimension(g, hints).is_some()
     }
 
-    fn build(&self, g: &Graph) -> SchemeInstance {
-        let k = hypercube_dimension(g)
-            .expect("EcubeScheme applies only to dimension-labeled hypercubes");
+    fn try_build(&self, g: &Graph, hints: &GraphHints) -> Result<SchemeInstance, BuildError> {
+        let Some(k) = self.dimension(g, hints) else {
+            return Err(BuildError::NotApplicable {
+                scheme: "e-cube",
+                reason: if hints.hypercube_dim.is_some() {
+                    format!(
+                        "pinned dimension {:?} inconsistent with n = {}",
+                        hints.hypercube_dim,
+                        g.num_nodes()
+                    )
+                } else {
+                    "not a dimension-port-labeled hypercube".to_string()
+                },
+            });
+        };
         let routing = EcubeRouting::new(k);
         // Each router stores its own k-bit address plus the value of k.
         let n = g.num_nodes();
         let bits = k as u64 + bits_for_values(k as u64 + 1) as u64;
         let memory = MemoryReport::from_fn(n, |_| bits);
-        SchemeInstance::new(Box::new(routing), memory, Some(1.0))
+        Ok(SchemeInstance::new(Box::new(routing), memory, Some(1.0)))
     }
 }
 
@@ -152,7 +186,52 @@ mod tests {
 
     #[test]
     fn scheme_refuses_non_hypercubes() {
-        assert!(EcubeScheme.try_build(&generators::petersen()).is_none());
-        assert!(EcubeScheme.try_build(&generators::hypercube(3)).is_some());
+        let hints = GraphHints::none();
+        assert!(EcubeScheme
+            .try_build(&generators::petersen(), &hints)
+            .is_err());
+        assert!(EcubeScheme
+            .try_build(&generators::hypercube(3), &hints)
+            .is_ok());
+    }
+
+    #[test]
+    fn pinned_dimension_hint_skips_the_structural_scan() {
+        let g = generators::hypercube(5);
+        // Pin consistent with n: accepted, routes shortest paths.
+        let inst = EcubeScheme
+            .try_build(&g, &GraphHints::hypercube(5))
+            .unwrap();
+        let dm = DistanceMatrix::all_pairs(&g);
+        let rep = stretch_factor(&g, &dm, inst.routing.as_ref()).unwrap();
+        assert!((rep.max_stretch - 1.0).abs() < 1e-12);
+        // Pin inconsistent with n: typed refusal, even though the graph IS a
+        // hypercube (the pin is authoritative, not a fallback).
+        let err = EcubeScheme
+            .try_build(&g, &GraphHints::hypercube(6))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::scheme::BuildError::NotApplicable { .. }
+        ));
+        // applies_to consults the pin the same way.
+        assert!(EcubeScheme.applies_to(&g, &GraphHints::hypercube(5)));
+        assert!(!EcubeScheme.applies_to(&g, &GraphHints::hypercube(6)));
+    }
+
+    #[test]
+    fn absurd_pinned_dimensions_are_refused_not_overflowed() {
+        // dim >= usize::BITS would overflow a bare shift (panic in debug,
+        // wrap to 1 in release — wrongly accepting a 1-vertex "hypercube").
+        let one = generators::path(1);
+        for dim in [64u32, 65, u32::MAX] {
+            assert!(
+                !EcubeScheme.applies_to(&one, &GraphHints::hypercube(dim)),
+                "dim {dim} must be refused"
+            );
+            assert!(EcubeScheme
+                .try_build(&one, &GraphHints::hypercube(dim))
+                .is_err());
+        }
     }
 }

@@ -16,7 +16,7 @@
 //! `n ≥ 10^5` scenarios even though its transient memory is small.
 
 use crate::interval::group_into_cyclic_intervals;
-use crate::scheme::{CompactScheme, SchemeInstance};
+use crate::scheme::{BuildError, CompactScheme, GraphHints, SchemeInstance};
 use graphkit::{Graph, NodeId, Port};
 use routemodel::coding::bits_for_values;
 use routemodel::{Action, Header, MemoryReport, RoutingFunction, TableRouting, TieBreak};
@@ -138,16 +138,44 @@ impl RoutingFunction for KIntervalRouting {
     }
 }
 
-/// The universal `k`-interval routing scheme.
-#[derive(Debug, Clone, Copy)]
-pub struct KIntervalScheme {
+/// Typed construction parameters of the `k`-interval scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KIntervalConfig {
+    /// Optional cap on the measured `k` (max intervals per arc): when the
+    /// built scheme needs more intervals on some arc, construction fails
+    /// with [`BuildError::CapExceeded`] instead of silently paying the
+    /// memory.  `None` accepts whatever `k` the graph demands (the paper's
+    /// "may be large but exists" universal scheme).
+    pub k: Option<usize>,
+    /// How to break ties among shortest-path next hops.
     pub tie: TieBreak,
 }
 
-impl Default for KIntervalScheme {
+impl Default for KIntervalConfig {
     fn default() -> Self {
-        KIntervalScheme {
+        KIntervalConfig {
+            k: None,
             tie: TieBreak::LowestNeighbor,
+        }
+    }
+}
+
+/// The universal `k`-interval routing scheme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KIntervalScheme {
+    pub config: KIntervalConfig,
+}
+
+impl KIntervalScheme {
+    /// A fully parameterized scheme.
+    pub fn with_config(config: KIntervalConfig) -> Self {
+        KIntervalScheme { config }
+    }
+
+    /// The historical constructor: no `k` cap, explicit tie-break.
+    pub fn new(tie: TieBreak) -> Self {
+        KIntervalScheme {
+            config: KIntervalConfig { k: None, tie },
         }
     }
 }
@@ -157,10 +185,30 @@ impl CompactScheme for KIntervalScheme {
         "k-interval-routing"
     }
 
-    fn build(&self, g: &Graph) -> SchemeInstance {
-        let routing = KIntervalRouting::build(g, self.tie);
+    fn applies_to(&self, g: &Graph, _hints: &GraphHints) -> bool {
+        g.num_nodes() == 0 || graphkit::traversal::is_connected(g)
+    }
+
+    fn try_build(&self, g: &Graph, _hints: &GraphHints) -> Result<SchemeInstance, BuildError> {
+        if g.num_nodes() > 0 && !graphkit::traversal::is_connected(g) {
+            return Err(BuildError::Disconnected {
+                scheme: "k-interval-routing",
+            });
+        }
+        let routing = KIntervalRouting::build(g, self.config.tie);
+        if let Some(cap) = self.config.k {
+            let measured = routing.max_intervals_per_arc();
+            if measured > cap {
+                return Err(BuildError::CapExceeded {
+                    scheme: "k-interval-routing",
+                    cap: "k",
+                    limit: cap as u64,
+                    measured: measured as u64,
+                });
+            }
+        }
         let memory = routing.memory(g);
-        SchemeInstance::new(Box::new(routing), memory, Some(1.0))
+        Ok(SchemeInstance::new(Box::new(routing), memory, Some(1.0)))
     }
 }
 
@@ -247,5 +295,50 @@ mod tests {
     fn scheme_reports_stretch_one() {
         let inst = KIntervalScheme::default().build(&generators::petersen());
         assert_eq!(inst.guaranteed_stretch, Some(1.0));
+    }
+
+    #[test]
+    fn k_cap_accepts_trees_and_rejects_interval_hungry_graphs() {
+        use crate::scheme::{BuildError, GraphHints};
+        let hints = GraphHints::none();
+        // Trees are 1-IRS under DFS labels: the tightest cap succeeds.
+        let tree = generators::random_tree(40, 3);
+        let capped = KIntervalScheme::with_config(KIntervalConfig {
+            k: Some(1),
+            ..KIntervalConfig::default()
+        });
+        assert!(capped.try_build(&tree, &hints).is_ok());
+        // A graph whose measured k exceeds the cap fails with the typed
+        // error carrying both numbers.
+        let g = generators::random_connected(60, 0.08, 2);
+        let measured =
+            KIntervalRouting::build(&g, TieBreak::LowestNeighbor).max_intervals_per_arc();
+        assert!(measured > 1, "test graph must need >1 interval somewhere");
+        let err = capped.try_build(&g, &hints).unwrap_err();
+        match err {
+            BuildError::CapExceeded {
+                cap: "k",
+                limit: 1,
+                measured: m,
+                ..
+            } => assert_eq!(m, measured as u64),
+            other => panic!("expected CapExceeded, got {other:?}"),
+        }
+        // An exactly-fitting cap succeeds.
+        let fitting = KIntervalScheme::with_config(KIntervalConfig {
+            k: Some(measured),
+            ..KIntervalConfig::default()
+        });
+        assert!(fitting.try_build(&g, &hints).is_ok());
+    }
+
+    #[test]
+    fn disconnected_graph_is_a_typed_error() {
+        use crate::scheme::{BuildError, GraphHints};
+        let g = generators::path(4).disjoint_union(&generators::cycle(3));
+        let err = KIntervalScheme::default()
+            .try_build(&g, &GraphHints::none())
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Disconnected { .. }));
     }
 }

@@ -7,7 +7,7 @@
 //! `O(d log n)` bits on a router of degree `d`, with stretch 1 on the tree.
 //! This is the Table 1 entry for acyclic graphs.
 
-use crate::scheme::{CompactScheme, SchemeInstance};
+use crate::scheme::{BuildError, CompactScheme, GraphHints, SchemeInstance};
 use graphkit::{Graph, NodeId, Port};
 use routemodel::coding::bits_for_values;
 use routemodel::{Action, Header, MemoryReport, RoutingFunction};
@@ -159,18 +159,20 @@ impl CompactScheme for TreeIntervalScheme {
         "tree-1-interval-routing"
     }
 
-    fn applies_to(&self, g: &Graph) -> bool {
+    fn applies_to(&self, g: &Graph, _hints: &GraphHints) -> bool {
         graphkit::properties::is_tree(g)
     }
 
-    fn build(&self, g: &Graph) -> SchemeInstance {
-        assert!(
-            self.applies_to(g),
-            "TreeIntervalScheme only applies to trees"
-        );
+    fn try_build(&self, g: &Graph, _hints: &GraphHints) -> Result<SchemeInstance, BuildError> {
+        if !graphkit::properties::is_tree(g) {
+            return Err(BuildError::NotApplicable {
+                scheme: "tree-1-interval-routing",
+                reason: "only applies to trees".into(),
+            });
+        }
         let routing = TreeIntervalRouting::build(g, 0);
         let memory = routing.memory(g);
-        SchemeInstance::new(Box::new(routing), memory, Some(1.0))
+        Ok(SchemeInstance::new(Box::new(routing), memory, Some(1.0)))
     }
 }
 
@@ -241,9 +243,15 @@ mod tests {
     #[test]
     fn scheme_rejects_non_trees() {
         let scheme = TreeIntervalScheme;
-        assert!(!scheme.applies_to(&generators::cycle(5)));
-        assert!(scheme.try_build(&generators::cycle(5)).is_none());
-        assert!(scheme.try_build(&generators::random_tree(20, 1)).is_some());
+        let hints = GraphHints::none();
+        assert!(!scheme.applies_to(&generators::cycle(5), &hints));
+        assert!(matches!(
+            scheme.try_build(&generators::cycle(5), &hints),
+            Err(BuildError::NotApplicable { .. })
+        ));
+        assert!(scheme
+            .try_build(&generators::random_tree(20, 1), &hints)
+            .is_ok());
     }
 
     #[test]

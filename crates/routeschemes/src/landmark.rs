@@ -8,40 +8,67 @@
 //! Thorup–Zwick stretch-3 routing) — so the reproduction can *measure* the
 //! memory/stretch trade-off rather than only quote it:
 //!
-//! * a set `L` of `⌈√n⌉` landmarks is sampled;
+//! * a set `L` of landmarks is sampled — `⌈√n⌉` by default, or any count or
+//!   rate through [`LandmarkConfig`] (the knob the `landmark-sweep` scenario
+//!   walks to trace the bits-vs-stretch curve);
 //! * every vertex `v` has a *home landmark* `ℓ(v)` (a nearest landmark) and
 //!   the enhanced address `(v, ℓ(v))` — addresses of `O(log n)` bits, carried
 //!   in headers, which the model does not charge to router memory;
 //! * every router `w` stores a port towards every landmark, plus a direct
-//!   next-hop for every vertex of its *cluster*
-//!   `S(w) = { v ≠ w : d(w, v) ≤ d(v, L) }` (the router itself is excluded —
-//!   a message already at `w` is delivered, not forwarded; expected size
-//!   `O(√n)` under random landmarks);
+//!   next-hop for every vertex of its *cluster* (see [`ClusterRule`]);
 //! * a message for `v` is forwarded directly while the current router has `v`
-//!   in its cluster, and towards `ℓ(v)` otherwise.  Once it reaches a router
-//!   whose cluster contains `v` — at latest `ℓ(v)` itself — every subsequent
-//!   router is strictly closer to `v`, hence also has `v` in its cluster.
+//!   in its cluster, and towards `ℓ(v)` otherwise.
 //!
-//! The resulting stretch is `< 3` and the measured per-router memory on
-//! random graphs is `Õ(√n)`, reproducing the "large stretch ⇒ strong
-//! compression" row of Table 1.
+//! The resulting stretch is `< 3` under the inclusive rule and `≤ 3` under
+//! the strict rule (the boundary pairs `d(w, v) = d(v, L)` it evicts can
+//! realize the bound exactly), and the measured per-router memory on random
+//! graphs is `Õ(√n)`, reproducing the "large stretch ⇒ strong compression"
+//! row of Table 1.
+//!
+//! # Cluster rules
+//!
+//! [`ClusterRule::Inclusive`] stores `S(w) = { v ≠ w : d(w, v) ≤ d(v, L) }`.
+//! Once a message reaches a router whose cluster contains `v` — at latest
+//! `ℓ(v)` itself, whose cluster contains its whole home set — every
+//! subsequent router is strictly closer to `v`, hence also stores `v`.
+//!
+//! [`ClusterRule::Strict`] stores `S(w) = { v ≠ w : d(w, v) < d(v, L) }`
+//! (the Thorup–Zwick-style strict inequality), **plus an explicit handoff at
+//! the home landmark**: `ℓ` additionally stores a first shortest-path port
+//! for every vertex of its home set `{ v : ℓ(v) = ℓ }`.  The handoff is what
+//! keeps delivery exact — under the strict rule `v` is *not* in the cluster
+//! of `ℓ(v)` (their distance equals `d(v, L)`) — and after one handoff hop
+//! every router is strictly within `d(v, L)`, hence a strict-cluster member.
+//! Correctness of the stretch bound is unchanged: when `w` lacks a direct
+//! entry, `d(w, v) ≥ d(v, L)` and the detour over `ℓ(v)` costs at most
+//! `d(w, v) + 2·d(v, L) ≤ 3·d(w, v)`.
+//!
+//! Why a second rule: on tiny-diameter worst-case instances (the Theorem 1
+//! graphs) the `≤`-rule boundary `d(w, v) = d(v, L)` is met by *many* pairs
+//! at once, fattening the inclusive clusters far beyond `√n` (measured
+//! avg ≈ 2700 at n = 16384).  The strict rule keeps only the interior, whose
+//! expected size stays `Õ(√n)` there too, at the price of `≈ n/k` handoff
+//! entries concentrated on the landmarks.
 //!
 //! # Construction cost
 //!
-//! [`LandmarkRouting::build`] is **sparse**: it never materializes an `n × n`
-//! distance matrix.  One multi-source BFS assigns home landmarks and the
-//! distances `d(v, L)`, one BFS per landmark fills the toward-landmark ports
-//! (`O(m√n)` total), and one *pruned* BFS per vertex — truncated at radius
-//! `d(v, L)` via [`graphkit::bfs_bounded_into`] — enumerates exactly the
-//! cluster `S(w)`, in `O(Σ_w vol(S(w))) = Õ(m√n)` expected.  The result is
-//! **bit-identical** to the dense reference builder
-//! [`LandmarkRouting::build_dense`] (kept for equivalence tests and the
-//! `landmark_build` bench): the multi-source BFS claims each vertex for the
-//! smallest-id nearest landmark, and the port-order BFS reports the first
-//! shortest-path port, exactly as the dense scans do.  This is what lets the
-//! scheme join the `n ≥ 10^5` trafficlab scenarios at stretch `< 3`.
+//! [`LandmarkRouting::build_with`] is **sparse**: it never materializes an
+//! `n × n` distance matrix.  One multi-source BFS assigns home landmarks and
+//! the distances `d(v, L)`, one BFS per landmark fills the toward-landmark
+//! ports (`O(m·k)` total), and one *pruned* BFS per vertex — truncated at the
+//! per-vertex radius of the cluster rule via [`graphkit::bfs_bounded_into`] —
+//! enumerates exactly the cluster, in `O(Σ_w vol(S(w)))` expected.  The
+//! strict rule's handoff tables cost one more pruned BFS per *landmark* (the
+//! inclusive-bound traversal reports exactly the home set with the dense
+//! first shortest-path ports).  The result is **bit-identical** to the dense
+//! reference builder [`LandmarkRouting::build_dense_with`] (kept for
+//! equivalence tests and the `landmark_build` bench): the multi-source BFS
+//! claims each vertex for the smallest-id nearest landmark, and the
+//! port-order BFS reports the first shortest-path port, exactly as the dense
+//! scans do.  This is what lets the scheme join the `n ≥ 10^5` trafficlab
+//! scenarios at stretch `< 3`.
 
-use crate::scheme::{CompactScheme, SchemeInstance};
+use crate::scheme::{BuildError, CompactScheme, GraphHints, SchemeInstance};
 use graphkit::traversal::bfs_distances_into;
 use graphkit::{
     bfs_bounded_into, bfs_from_sources_into, BfsScratch, BoundedBfsScratch, Dist, DistanceMatrix,
@@ -55,13 +82,86 @@ use std::collections::HashMap;
 /// landmark" (no port exists; a valid header never asks for it).
 const NO_PORT: u32 = u32::MAX;
 
+/// The seed the registry's default landmark spec builds with (kept from the
+/// pre-spec registry so existing scenario reports stay bit-identical).
+pub const DEFAULT_SEED: u64 = 0x7AFF1C;
+
+/// How many landmarks to sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LandmarkCount {
+    /// `⌈√n⌉` — the memory-optimal default.
+    Auto,
+    /// An explicit count (clamped to `1..=n` at build time).
+    Count(usize),
+    /// A fraction of the vertices: `⌈rate · n⌉` landmarks, `0 < rate ≤ 1`.
+    Rate(f64),
+}
+
+/// Which vertices a router stores a direct next-hop for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterRule {
+    /// `S(w) = { v ≠ w : d(w, v) ≤ d(v, L) }` — the historical default.
+    Inclusive,
+    /// `S(w) = { v ≠ w : d(w, v) < d(v, L) }` plus the home-set handoff at
+    /// each landmark (see the module docs).  Keeps clusters `Õ(√n)` on
+    /// small-diameter worst-case instances.
+    Strict,
+}
+
+/// Typed construction parameters of the landmark scheme — the coordinates
+/// the `landmark-sweep` harness walks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LandmarkConfig {
+    /// Landmark sampling policy.
+    pub landmarks: LandmarkCount,
+    /// Cluster membership rule.
+    pub cluster_rule: ClusterRule,
+    /// Seed of the landmark sample.
+    pub seed: u64,
+}
+
+impl Default for LandmarkConfig {
+    fn default() -> Self {
+        LandmarkConfig {
+            landmarks: LandmarkCount::Auto,
+            cluster_rule: ClusterRule::Inclusive,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+impl LandmarkConfig {
+    /// The number of landmarks this config samples on an `n`-vertex graph.
+    pub fn landmark_count(&self, n: usize) -> usize {
+        let k = match self.landmarks {
+            LandmarkCount::Auto => (n as f64).sqrt().ceil() as usize,
+            LandmarkCount::Count(k) => k,
+            LandmarkCount::Rate(r) => (r * n as f64).ceil() as usize,
+        };
+        k.clamp(1, n.max(1))
+    }
+
+    /// Validates the config values themselves (graph-independent).
+    pub fn validate(&self) -> Result<(), String> {
+        match self.landmarks {
+            LandmarkCount::Count(0) => Err("landmark count must be >= 1".into()),
+            LandmarkCount::Rate(r) if !(r > 0.0 && r <= 1.0) => {
+                Err(format!("landmark rate must be in (0, 1], got {r}"))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
 /// The landmark routing function produced by [`LandmarkScheme`].
 ///
 /// Tables are stored flat/CSR so the `n ≥ 10^5` instances stay compact:
 /// `toward_landmark` is an `n × k` matrix of `u32` ports, and the clusters
 /// live in one CSR triple (`direct_offsets`/`direct_targets`/`direct_ports`)
 /// with members sorted by vertex id — `O(log √n)` binary-search lookups on
-/// the routing hot path instead of per-router hash maps.
+/// the routing hot path instead of per-router hash maps.  Under the strict
+/// rule the handoff entries of a landmark are merged into its CSR slice, so
+/// the routing function is rule-agnostic.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LandmarkRouting {
     /// The sampled landmark set, ascending.
@@ -85,16 +185,34 @@ pub struct LandmarkRouting {
 }
 
 impl LandmarkRouting {
-    /// Builds the scheme with `⌈√n⌉` landmarks sampled with the given seed.
-    ///
-    /// Sparse construction: no `n × n` matrix, `Õ(m√n)` work (see the module
-    /// docs).  Connectivity is checked by one cheap BFS — no dense-matrix
-    /// scan.
+    /// Builds the scheme with `⌈√n⌉` landmarks, the inclusive cluster rule
+    /// and the given seed — the pre-parameterization default, kept as the
+    /// bit-identity anchor for the spec-era builders.
     pub fn build(g: &Graph, seed: u64) -> Self {
+        Self::build_with(
+            g,
+            &LandmarkConfig {
+                seed,
+                ..LandmarkConfig::default()
+            },
+        )
+    }
+
+    /// Builds the scheme under an explicit [`LandmarkConfig`].
+    ///
+    /// Sparse construction: no `n × n` matrix, `Õ(m·(k + n/k))` work (see
+    /// the module docs).  Connectivity is checked by one cheap BFS — no
+    /// dense-matrix scan.  Panics on disconnected graphs and nonsensical
+    /// configs; [`LandmarkScheme::try_build`] surfaces both as typed
+    /// [`BuildError`]s instead.
+    pub fn build_with(g: &Graph, cfg: &LandmarkConfig) -> Self {
         let n = g.num_nodes();
         assert!(n >= 1);
-        let (landmarks, landmark_index) = Self::sample_landmarks(n, seed);
-        let k = landmarks.len();
+        if let Err(e) = cfg.validate() {
+            panic!("landmark config: {e}");
+        }
+        let k = cfg.landmark_count(n);
+        let (landmarks, landmark_index) = Self::sample_landmarks(n, k, cfg.seed);
         let mut scratch = BfsScratch::with_capacity(n);
         let mut dist_l = vec![0 as Dist; n];
 
@@ -134,19 +252,54 @@ impl LandmarkRouting {
             }
         }
 
-        // Clusters S(w) = { v ≠ w : d(w, v) ≤ d(v, L) } by pruned BFS: the
-        // bound d(·, L) is downward-closed along shortest paths, so the
-        // traversal only ever walks the cluster and its boundary.
         let mut bounded = BoundedBfsScratch::with_capacity(n);
+
+        // Strict rule only: the handoff table of each landmark, harvested by
+        // one pruned BFS per landmark with the *inclusive* bound — its visit
+        // set `{ v : d(ℓ, v) <= d(v, L) }` contains the whole home set of
+        // `ℓ` (members have d(ℓ, v) = d(v, L) exactly), and the reported
+        // first-hop ports are provably the dense "first shortest-path port"
+        // scan.
+        let mut handoff: Vec<Vec<(u32, u32)>> = Vec::new();
+        if cfg.cluster_rule == ClusterRule::Strict {
+            handoff = vec![Vec::new(); k];
+            for (i, &l) in landmarks.iter().enumerate() {
+                let list = &mut handoff[i];
+                bfs_bounded_into(g, l, &dist_to_set, &mut bounded, |v, _d, p| {
+                    if home[v] == l {
+                        list.push((v as u32, p as u32));
+                    }
+                });
+            }
+        }
+
+        // Clusters by pruned BFS.  Inclusive: S(w) = { v != w : d(w, v) <=
+        // d(v, L) }, bounded by d(·, L) itself.  Strict: d(w, v) < d(v, L),
+        // i.e. bounded by d(·, L) - 1 — still downward-closed (d(·, L) is
+        // 1-Lipschitz along edges, so any vertex on a shortest path to a
+        // strict member is itself strict), so the traversal still only walks
+        // the cluster and its boundary.
+        let bound: Vec<Dist> = match cfg.cluster_rule {
+            ClusterRule::Inclusive => dist_to_set.clone(),
+            ClusterRule::Strict => dist_to_set.iter().map(|&d| d.saturating_sub(1)).collect(),
+        };
         let mut members: Vec<(u32, u32)> = Vec::new();
         let mut direct_offsets = vec![0u32; n + 1];
         let mut direct_targets: Vec<u32> = Vec::new();
         let mut direct_ports: Vec<u32> = Vec::new();
         for w in 0..n {
             members.clear();
-            bfs_bounded_into(g, w, &dist_to_set, &mut bounded, |v, _d, p| {
+            bfs_bounded_into(g, w, &bound, &mut bounded, |v, _d, p| {
                 members.push((v as u32, p as u32));
             });
+            if let Some(&i) = landmark_index.get(&w) {
+                if cfg.cluster_rule == ClusterRule::Strict {
+                    // The handoff set { v : home[v] = w } is disjoint from
+                    // the strict cluster (its members sit exactly at
+                    // d(w, v) = d(v, L)), so this is a merge, not a dedup.
+                    members.extend_from_slice(&handoff[i]);
+                }
+            }
             members.sort_unstable();
             direct_offsets[w + 1] = direct_offsets[w] + members.len() as u32;
             for &(v, p) in &members {
@@ -167,20 +320,36 @@ impl LandmarkRouting {
         }
     }
 
-    /// Dense reference builder: identical output to [`LandmarkRouting::build`]
-    /// bit for bit, computed the quadratic way (full [`DistanceMatrix`] plus
-    /// `O(n²)` scans).  Kept for the seed-for-seed equivalence tests and the
-    /// dense-vs-sparse `landmark_build` benchmark; unusable at `n ≳ 10^4`.
+    /// Dense reference builder for the default config: identical output to
+    /// [`LandmarkRouting::build`] bit for bit, computed the quadratic way.
     pub fn build_dense(g: &Graph, seed: u64) -> Self {
+        Self::build_dense_with(
+            g,
+            &LandmarkConfig {
+                seed,
+                ..LandmarkConfig::default()
+            },
+        )
+    }
+
+    /// Dense reference builder: identical output to
+    /// [`LandmarkRouting::build_with`] bit for bit, computed the quadratic
+    /// way (full [`DistanceMatrix`] plus `O(n²)` scans).  Kept for the
+    /// seed-for-seed equivalence tests and the dense-vs-sparse
+    /// `landmark_build` benchmark; unusable at `n ≳ 10^4`.
+    pub fn build_dense_with(g: &Graph, cfg: &LandmarkConfig) -> Self {
         let n = g.num_nodes();
         assert!(n >= 1);
+        if let Err(e) = cfg.validate() {
+            panic!("landmark config: {e}");
+        }
         let dm = DistanceMatrix::all_pairs(g);
         assert!(
             dm.is_connected(),
             "landmark routing requires a connected graph"
         );
-        let (landmarks, landmark_index) = Self::sample_landmarks(n, seed);
-        let k = landmarks.len();
+        let k = cfg.landmark_count(n);
+        let (landmarks, landmark_index) = Self::sample_landmarks(n, k, cfg.seed);
 
         // Home landmark and distance to the landmark set.
         let mut home = vec![0usize; n];
@@ -213,13 +382,23 @@ impl LandmarkRouting {
             }
         }
 
-        // Clusters: S(w) = { v ≠ w : d(w, v) ≤ d(v, L) }, ascending by v.
+        // Clusters, ascending by v.  Strict additionally stores the home-set
+        // handoff at each landmark; the two sets are disjoint (home members
+        // sit exactly on the d(w, v) = d(v, L) boundary), so one ascending
+        // scan emits the merged slice already sorted.
         let mut direct_offsets = vec![0u32; n + 1];
         let mut direct_targets: Vec<u32> = Vec::new();
         let mut direct_ports: Vec<u32> = Vec::new();
         for w in 0..n {
             for v in 0..n {
-                if v != w && dm.dist(w, v) <= dist_to_set[v] {
+                if v == w {
+                    continue;
+                }
+                let keep = match cfg.cluster_rule {
+                    ClusterRule::Inclusive => dm.dist(w, v) <= dist_to_set[v],
+                    ClusterRule::Strict => dm.dist(w, v) < dist_to_set[v] || home[v] == w,
+                };
+                if keep {
                     direct_targets.push(v as u32);
                     direct_ports.push(first_port_towards(w, v));
                 }
@@ -239,9 +418,8 @@ impl LandmarkRouting {
         }
     }
 
-    /// Samples `⌈√n⌉` landmarks (ascending) and their index map.
-    fn sample_landmarks(n: usize, seed: u64) -> (Vec<NodeId>, HashMap<NodeId, usize>) {
-        let k = (n as f64).sqrt().ceil() as usize;
+    /// Samples `k` landmarks (ascending) and their index map.
+    fn sample_landmarks(n: usize, k: usize, seed: u64) -> (Vec<NodeId>, HashMap<NodeId, usize>) {
         let mut rng = Xoshiro256::new(seed);
         let mut landmarks = rng.sample_indices(n, k.min(n));
         landmarks.sort_unstable();
@@ -271,7 +449,8 @@ impl LandmarkRouting {
             .map(|e| self.direct_ports[lo + e] as Port)
     }
 
-    /// Size of the cluster stored at `w`.
+    /// Size of the cluster stored at `w` (including, under the strict rule,
+    /// a landmark's handoff entries).
     pub fn cluster_size(&self, w: NodeId) -> usize {
         (self.direct_offsets[w + 1] - self.direct_offsets[w]) as usize
     }
@@ -343,21 +522,27 @@ impl RoutingFunction for LandmarkRouting {
     }
 }
 
-/// The landmark routing scheme (universal, stretch `< 3`).
-#[derive(Debug, Clone, Copy)]
+/// The landmark routing scheme (universal, stretch `≤ 3`; strictly below 3
+/// under the inclusive cluster rule).
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct LandmarkScheme {
-    pub seed: u64,
-}
-
-impl Default for LandmarkScheme {
-    fn default() -> Self {
-        LandmarkScheme { seed: 0xC0FFEE }
-    }
+    pub config: LandmarkConfig,
 }
 
 impl LandmarkScheme {
+    /// The default config with an explicit seed.
     pub fn new(seed: u64) -> Self {
-        LandmarkScheme { seed }
+        LandmarkScheme {
+            config: LandmarkConfig {
+                seed,
+                ..LandmarkConfig::default()
+            },
+        }
+    }
+
+    /// A fully parameterized scheme.
+    pub fn with_config(config: LandmarkConfig) -> Self {
+        LandmarkScheme { config }
     }
 }
 
@@ -366,14 +551,31 @@ impl CompactScheme for LandmarkScheme {
         "landmark-routing"
     }
 
-    fn applies_to(&self, g: &Graph) -> bool {
-        graphkit::traversal::is_connected(g) && g.num_nodes() >= 1
+    fn applies_to(&self, g: &Graph, _hints: &GraphHints) -> bool {
+        g.num_nodes() >= 1 && graphkit::traversal::is_connected(g)
     }
 
-    fn build(&self, g: &Graph) -> SchemeInstance {
-        let routing = LandmarkRouting::build(g, self.seed);
+    fn try_build(&self, g: &Graph, _hints: &GraphHints) -> Result<SchemeInstance, BuildError> {
+        if let Err(reason) = self.config.validate() {
+            return Err(BuildError::InvalidConfig {
+                scheme: "landmark-routing",
+                reason,
+            });
+        }
+        if g.num_nodes() == 0 {
+            return Err(BuildError::NotApplicable {
+                scheme: "landmark-routing",
+                reason: "empty graph".into(),
+            });
+        }
+        if !graphkit::traversal::is_connected(g) {
+            return Err(BuildError::Disconnected {
+                scheme: "landmark-routing",
+            });
+        }
+        let routing = LandmarkRouting::build_with(g, &self.config);
         let memory = routing.memory(g);
-        SchemeInstance::new(Box::new(routing), memory, Some(3.0))
+        Ok(SchemeInstance::new(Box::new(routing), memory, Some(3.0)))
     }
 }
 
@@ -383,6 +585,14 @@ mod tests {
     use graphkit::generators;
     use routemodel::{route, stretch_factor, verify_stretch, RoutingError};
 
+    fn strict(seed: u64) -> LandmarkConfig {
+        LandmarkConfig {
+            cluster_rule: ClusterRule::Strict,
+            seed,
+            ..LandmarkConfig::default()
+        }
+    }
+
     #[test]
     fn landmark_routing_delivers_everywhere() {
         for g in [
@@ -391,11 +601,19 @@ mod tests {
             generators::grid(6, 7),
             generators::petersen(),
         ] {
-            let r = LandmarkRouting::build(&g, 17);
-            for s in 0..g.num_nodes() {
-                for t in 0..g.num_nodes() {
-                    let trace = route(&g, &r, s, t).unwrap();
-                    assert_eq!(*trace.path.last().unwrap(), t);
+            for cfg in [
+                LandmarkConfig {
+                    seed: 17,
+                    ..LandmarkConfig::default()
+                },
+                strict(17),
+            ] {
+                let r = LandmarkRouting::build_with(&g, &cfg);
+                for s in 0..g.num_nodes() {
+                    for t in 0..g.num_nodes() {
+                        let trace = route(&g, &r, s, t).unwrap();
+                        assert_eq!(*trace.path.last().unwrap(), t);
+                    }
                 }
             }
         }
@@ -410,14 +628,23 @@ mod tests {
             (generators::random_tree(60, 8), 4),
         ] {
             let dm = DistanceMatrix::all_pairs(&g);
-            let r = LandmarkRouting::build(&g, seed);
-            let rep = stretch_factor(&g, &dm, &r).unwrap();
-            assert!(
-                rep.max_stretch < 3.0 + 1e-9,
-                "stretch {} exceeds the guarantee",
-                rep.max_stretch
-            );
-            assert!(verify_stretch(&g, &dm, &r, 3.0).is_ok());
+            for rule in [ClusterRule::Inclusive, ClusterRule::Strict] {
+                let r = LandmarkRouting::build_with(
+                    &g,
+                    &LandmarkConfig {
+                        cluster_rule: rule,
+                        seed,
+                        ..LandmarkConfig::default()
+                    },
+                );
+                let rep = stretch_factor(&g, &dm, &r).unwrap();
+                assert!(
+                    rep.max_stretch < 3.0 + 1e-9,
+                    "{rule:?}: stretch {} exceeds the guarantee",
+                    rep.max_stretch
+                );
+                assert!(verify_stretch(&g, &dm, &r, 3.0).is_ok());
+            }
         }
     }
 
@@ -438,6 +665,84 @@ mod tests {
     }
 
     #[test]
+    fn sparse_build_matches_dense_reference_under_every_config() {
+        let counts = [
+            LandmarkCount::Auto,
+            LandmarkCount::Count(3),
+            LandmarkCount::Count(25),
+            LandmarkCount::Rate(0.2),
+        ];
+        for (g, seed) in [
+            (generators::cycle(33), 7u64),
+            (generators::grid(7, 9), 9),
+            (generators::random_connected(90, 0.06, 11), 10),
+            (generators::petersen(), 11),
+        ] {
+            for &landmarks in &counts {
+                for rule in [ClusterRule::Inclusive, ClusterRule::Strict] {
+                    let cfg = LandmarkConfig {
+                        landmarks,
+                        cluster_rule: rule,
+                        seed,
+                    };
+                    let sparse = LandmarkRouting::build_with(&g, &cfg);
+                    let dense = LandmarkRouting::build_dense_with(&g, &cfg);
+                    assert_eq!(sparse, dense, "n = {}, {cfg:?}", g.num_nodes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_count_honours_count_and_rate() {
+        let g = generators::random_connected(100, 0.07, 21);
+        for (count, expect) in [
+            (LandmarkCount::Auto, 10),
+            (LandmarkCount::Count(17), 17),
+            (LandmarkCount::Count(5000), 100), // clamped to n
+            (LandmarkCount::Rate(0.25), 25),
+            (LandmarkCount::Rate(1.0), 100),
+        ] {
+            let cfg = LandmarkConfig {
+                landmarks: count,
+                ..LandmarkConfig::default()
+            };
+            assert_eq!(cfg.landmark_count(100), expect, "{count:?}");
+            let r = LandmarkRouting::build_with(&g, &cfg);
+            assert_eq!(r.landmarks().len(), expect, "{count:?}");
+        }
+    }
+
+    #[test]
+    fn config_validation_catches_nonsense() {
+        assert!(LandmarkConfig {
+            landmarks: LandmarkCount::Count(0),
+            ..LandmarkConfig::default()
+        }
+        .validate()
+        .is_err());
+        for r in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(
+                LandmarkConfig {
+                    landmarks: LandmarkCount::Rate(r),
+                    ..LandmarkConfig::default()
+                }
+                .validate()
+                .is_err(),
+                "rate {r} must be rejected"
+            );
+        }
+        let g = generators::cycle(12);
+        let err = LandmarkScheme::with_config(LandmarkConfig {
+            landmarks: LandmarkCount::Count(0),
+            ..LandmarkConfig::default()
+        })
+        .try_build(&g, &GraphHints::none())
+        .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidConfig { .. }));
+    }
+
+    #[test]
     fn disconnected_graph_rejected_even_with_landmarks_in_both_components() {
         // Landmarks sampled in two components would satisfy "every vertex
         // reaches some landmark", so the connectivity check must be a real
@@ -454,20 +759,76 @@ mod tests {
                 msg.contains("connected"),
                 "seed {seed}: wrong panic: {msg:?}"
             );
+            // ... and the scheme-level build reports it as a typed error.
+            let err = LandmarkScheme::new(seed)
+                .try_build(&g, &GraphHints::none())
+                .unwrap_err();
+            assert!(matches!(err, BuildError::Disconnected { .. }));
         }
     }
 
     #[test]
     fn landmarks_have_their_whole_home_set_in_cluster() {
         let g = generators::random_connected(60, 0.08, 9);
-        let r = LandmarkRouting::build(&g, 33);
-        for v in 0..g.num_nodes() {
-            let home = r.home_of(v);
-            if v != home {
-                assert!(
-                    r.direct_port(home, v).is_some(),
-                    "home landmark {home} must know a direct route to {v}"
-                );
+        for cfg in [
+            LandmarkConfig {
+                seed: 33,
+                ..LandmarkConfig::default()
+            },
+            strict(33),
+        ] {
+            let r = LandmarkRouting::build_with(&g, &cfg);
+            for v in 0..g.num_nodes() {
+                let home = r.home_of(v);
+                if v != home {
+                    assert!(
+                        r.direct_port(home, v).is_some(),
+                        "{:?}: home landmark {home} must know a direct route to {v}",
+                        cfg.cluster_rule
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strict_rule_shrinks_clusters_on_small_diameter_graphs() {
+        // Dense random graphs have diameter ~2, the regime where the
+        // inclusive boundary d(w, v) = d(v, L) is hit by many pairs at once
+        // (the Theorem 1 failure mode).  The strict rule must keep only the
+        // interior.
+        let g = generators::random_connected(200, 0.2, 7);
+        let inclusive = LandmarkRouting::build(&g, 7);
+        let strict = LandmarkRouting::build_with(&g, &strict(7));
+        let (ai, as_) = (
+            inclusive.average_cluster_size(),
+            strict.average_cluster_size(),
+        );
+        assert!(
+            as_ * 2.0 < ai,
+            "strict avg {as_:.1} must be well below inclusive avg {ai:.1}"
+        );
+        // ... and the strict variant still routes with stretch < 3.
+        let dm = DistanceMatrix::all_pairs(&g);
+        let rep = stretch_factor(&g, &dm, &strict).unwrap();
+        assert!(rep.max_stretch < 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn strict_cluster_members_are_strictly_inside() {
+        let g = generators::grid(9, 9);
+        let r = LandmarkRouting::build_with(&g, &strict(5));
+        let dm = DistanceMatrix::all_pairs(&g);
+        // Recompute d(v, L) from the landmark set.
+        let dist_to_set = |v: usize| r.landmarks().iter().map(|&l| dm.dist(v, l)).min().unwrap();
+        for w in 0..g.num_nodes() {
+            for v in 0..g.num_nodes() {
+                if v == w {
+                    continue;
+                }
+                let stored = r.direct_port(w, v).is_some();
+                let expected = dm.dist(w, v) < dist_to_set(v) || r.home_of(v) == w;
+                assert_eq!(stored, expected, "w={w}, v={v}");
             }
         }
     }
@@ -538,15 +899,23 @@ mod tests {
     #[test]
     fn single_vertex_graph() {
         let g = generators::path(1);
-        let r = LandmarkRouting::build(&g, 3);
-        let trace = route(&g, &r, 0, 0).unwrap();
-        assert!(trace.is_empty());
-        // Degenerate memory report: one router of degree 0 stores 0-bit
-        // labels and 0-bit ports — well-defined, not a phantom charge.
-        let mem = r.memory(&g);
-        assert_eq!(mem.local(), 0);
-        assert_eq!(mem.global(), 0);
-        assert!(mem.average().is_finite());
+        for cfg in [
+            LandmarkConfig {
+                seed: 3,
+                ..LandmarkConfig::default()
+            },
+            strict(3),
+        ] {
+            let r = LandmarkRouting::build_with(&g, &cfg);
+            let trace = route(&g, &r, 0, 0).unwrap();
+            assert!(trace.is_empty());
+            // Degenerate memory report: one router of degree 0 stores 0-bit
+            // labels and 0-bit ports — well-defined, not a phantom charge.
+            let mem = r.memory(&g);
+            assert_eq!(mem.local(), 0);
+            assert_eq!(mem.global(), 0);
+            assert!(mem.average().is_finite());
+        }
     }
 
     #[test]
@@ -555,5 +924,22 @@ mod tests {
         let inst = LandmarkScheme::new(9).build(&g);
         assert_eq!(inst.guaranteed_stretch, Some(3.0));
         assert!(inst.memory.local() > 0);
+    }
+
+    #[test]
+    fn more_landmarks_mean_smaller_clusters() {
+        let g = generators::random_connected(256, 8.0 / 256.0, 2);
+        let cluster_avg = |k: usize| {
+            LandmarkRouting::build_with(
+                &g,
+                &LandmarkConfig {
+                    landmarks: LandmarkCount::Count(k),
+                    ..LandmarkConfig::default()
+                },
+            )
+            .average_cluster_size()
+        };
+        assert!(cluster_avg(64) < cluster_avg(16));
+        assert!(cluster_avg(16) < cluster_avg(4));
     }
 }

@@ -18,12 +18,15 @@
 //! | [`landmark`] | landmark/cluster routing | universal | `< 3` | `Õ(√n)` (expected) |
 //! | [`tree_routing`] | single spanning tree | universal | unbounded (≤ 2·depth) | `O(d log n)` |
 //!
-//! Every scheme implements the [`CompactScheme`] trait so the experiment
-//! harnesses (`analysis`, `trafficlab`) can sweep schemes × graph families ×
-//! sizes and regenerate the shape of Table 1.  The [`registry`] module names
-//! the schemes with stable short keys (`table`, `tree`, `interval`,
-//! `landmark`, `hypercube`, `grid`, `complete`) so sweeps can enumerate or
-//! parse them without touching the concrete types.
+//! Every scheme implements the [`CompactScheme`] trait — construction is
+//! fallible with typed [`BuildError`]s — so the experiment harnesses
+//! (`analysis`, `trafficlab`) can sweep schemes × graph families × sizes and
+//! regenerate the shape of Table 1.  The [`registry`] module names the
+//! scheme *families* with stable short keys (`table`, `tree`, `interval`,
+//! `landmark`, `hypercube`, `grid`, `complete`); the [`spec`] module pins a
+//! concrete family member with typed parameters and a stable string codec
+//! (`landmark?k=64&clusters=strict`), which is how sweeps walk the paper's
+//! memory-vs-stretch trade-off instead of picking from a fixed menu.
 
 pub mod complete;
 pub mod grid;
@@ -32,16 +35,18 @@ pub mod interval;
 pub mod landmark;
 pub mod registry;
 pub mod scheme;
+pub mod spec;
 pub mod table_scheme;
 pub mod tree_routing;
 
 pub use complete::{AdversarialCompleteScheme, ModularCompleteScheme};
 pub use grid::DimensionOrderScheme;
 pub use hypercube::EcubeScheme;
-pub use interval::general::KIntervalScheme;
+pub use interval::general::{KIntervalConfig, KIntervalScheme};
 pub use interval::tree::TreeIntervalScheme;
-pub use landmark::LandmarkScheme;
+pub use landmark::{ClusterRule, LandmarkConfig, LandmarkCount, LandmarkScheme};
 pub use registry::{applicable_schemes, GraphHints, SchemeKind};
-pub use scheme::{CompactScheme, SchemeInstance};
+pub use scheme::{BuildError, CompactScheme, SchemeInstance};
+pub use spec::{SchemeSpec, SpecError};
 pub use table_scheme::TableScheme;
 pub use tree_routing::SpanningTreeScheme;

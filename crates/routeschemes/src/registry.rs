@@ -2,81 +2,59 @@
 //!
 //! Sweep harnesses — the `trafficlab` scenario runner foremost — need to
 //! enumerate "every scheme that applies to this graph" and to instantiate a
-//! scheme from a name found in a config file or on a command line, without
-//! hard-coding the concrete types.  [`SchemeKind`] is that indirection: one
-//! variant per scheme of the crate, a stable string key per variant, and a
-//! uniform fallible constructor.
+//! scheme from a spec found in a config file or on a command line, without
+//! hard-coding the concrete types.  [`SchemeKind`] names the *families* with
+//! stable string keys; a [`SchemeSpec`](crate::spec::SchemeSpec) pins a
+//! concrete member of a family (key plus typed parameters) and is what
+//! actually builds — see [`crate::spec`] for the codec.
 //!
 //! Two schemes need information the bare [`Graph`] does not carry: the
-//! dimension-order scheme must know the grid shape, and (for clarity of
-//! intent) hypercube detection can be pinned instead of inferred.
-//! [`GraphHints`] transports those facts from whoever generated the graph.
+//! dimension-order scheme must know the grid shape, and hypercube detection
+//! can be pinned instead of inferred.  [`GraphHints`] transports those facts
+//! from whoever generated the graph.
 
-use crate::complete::ModularCompleteScheme;
-use crate::grid::DimensionOrderScheme;
-use crate::hypercube::EcubeScheme;
-use crate::interval::general::KIntervalScheme;
-use crate::landmark::LandmarkScheme;
-use crate::scheme::{CompactScheme, SchemeInstance};
-use crate::table_scheme::TableScheme;
-use crate::tree_routing::SpanningTreeScheme;
+use crate::spec::SchemeSpec;
 use graphkit::Graph;
 
-/// Structural facts about a graph that its generator knows but the [`Graph`]
-/// value does not expose (or only expensively).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct GraphHints {
-    /// `(rows, cols)` when the graph was generated as a grid.
-    pub grid_dims: Option<(usize, usize)>,
-}
+pub use crate::scheme::GraphHints;
 
-impl GraphHints {
-    /// No hints: only hint-free schemes can be built.
-    pub fn none() -> Self {
-        Self::default()
-    }
-
-    /// Hints for a `rows × cols` grid.
-    pub fn grid(rows: usize, cols: usize) -> Self {
-        GraphHints {
-            grid_dims: Some((rows, cols)),
-        }
-    }
-}
-
-/// Every scheme of the crate, as a value.
+/// Every scheme family of the crate, as a value.
 ///
 /// The per-variant keys (see [`SchemeKind::key`]) are the vocabulary used by
 /// scenario configs and reports: `table`, `tree`, `interval`, `landmark`,
-/// `hypercube`, `grid` and `complete`.
+/// `hypercube`, `grid` and `complete`.  A bare key is also a valid
+/// [`SchemeSpec`] string (parsing to the family defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
-    /// Full shortest-path routing tables ([`TableScheme`]): universal,
+    /// Full shortest-path routing tables ([`crate::TableScheme`]): universal,
     /// stretch 1, `O(n log n)` bits per router.
     Table,
-    /// Single spanning tree ([`SpanningTreeScheme`]): universal, unbounded
-    /// stretch, `O(d log n)` bits, near-linear construction.
+    /// Single spanning tree ([`crate::SpanningTreeScheme`]): universal,
+    /// unbounded stretch, `O(d log n)` bits, near-linear construction.
     SpanningTree,
-    /// Universal `k`-interval routing ([`KIntervalScheme`]): stretch 1,
+    /// Universal `k`-interval routing ([`crate::KIntervalScheme`]): stretch 1,
     /// compresses tables on label-coherent topologies.
     KInterval,
-    /// Landmark/cluster routing ([`LandmarkScheme`]): universal, stretch
-    /// `< 3`, `Õ(√n)` bits expected — built sparsely (one BFS per landmark
-    /// plus one pruned BFS per vertex, `Õ(m√n)`), so it joins the spanning
-    /// tree in the `n ≥ 10^5` scenarios.
+    /// Landmark/cluster routing ([`crate::LandmarkScheme`]): universal,
+    /// stretch `< 3`, `Õ(√n)` bits expected — built sparsely (one BFS per
+    /// landmark plus one pruned BFS per vertex), so it joins the spanning
+    /// tree in the `n ≥ 10^5` scenarios.  Parameterized by landmark count /
+    /// rate and cluster rule ([`crate::landmark::LandmarkConfig`]).
     Landmark,
-    /// Dimension-order routing on hypercubes ([`EcubeScheme`]).
+    /// Dimension-order routing on hypercubes ([`crate::EcubeScheme`]);
+    /// detection can be pinned through [`GraphHints::hypercube_dim`].
     Ecube,
-    /// Dimension-order routing on grids ([`DimensionOrderScheme`]); requires
-    /// [`GraphHints::grid_dims`].
+    /// Dimension-order routing on grids ([`crate::DimensionOrderScheme`]);
+    /// requires [`GraphHints::grid_dims`].
     DimensionOrder,
     /// The `O(log n)`-bit modular scheme on complete graphs
-    /// ([`ModularCompleteScheme`]); requires the modular port labeling.
+    /// ([`crate::ModularCompleteScheme`]); requires the modular port
+    /// labeling.
     ModularComplete,
 }
 
 impl SchemeKind {
-    /// Every scheme, in report order.
+    /// Every scheme family, in report order.
     pub const ALL: [SchemeKind; 7] = [
         SchemeKind::Table,
         SchemeKind::SpanningTree,
@@ -105,6 +83,11 @@ impl SchemeKind {
         SchemeKind::ALL.iter().copied().find(|k| k.key() == key)
     }
 
+    /// The family at its default parameters.
+    pub fn default_spec(&self) -> SchemeSpec {
+        SchemeSpec::default_for(*self)
+    }
+
     /// Whether the scheme's construction cost is near-linear (`Õ(m√n)` or
     /// better) in the graph size.  Schemes where this is `false` fill
     /// per-router full tables (`n²` entries, streamed but still quadratic)
@@ -118,37 +101,24 @@ impl SchemeKind {
                 | SchemeKind::DimensionOrder
         )
     }
-
-    /// Instantiates the scheme on `g`, or `None` when it does not apply (or
-    /// a required hint is missing).
-    pub fn build(&self, g: &Graph, hints: &GraphHints) -> Option<SchemeInstance> {
-        match self {
-            SchemeKind::Table => TableScheme::default().try_build(g),
-            SchemeKind::SpanningTree => SpanningTreeScheme::default().try_build(g),
-            SchemeKind::KInterval => KIntervalScheme::default().try_build(g),
-            SchemeKind::Landmark => LandmarkScheme::new(0x7AFF1C).try_build(g),
-            SchemeKind::Ecube => EcubeScheme.try_build(g),
-            SchemeKind::DimensionOrder => {
-                let (rows, cols) = hints.grid_dims?;
-                DimensionOrderScheme::new(rows, cols).try_build(g)
-            }
-            SchemeKind::ModularComplete => ModularCompleteScheme.try_build(g),
-        }
-    }
 }
 
-/// Builds every scheme of [`SchemeKind::ALL`] that applies to `g`, paired
-/// with its key, in report order.
-pub fn applicable_schemes(g: &Graph, hints: &GraphHints) -> Vec<(SchemeKind, SchemeInstance)> {
-    SchemeKind::ALL
-        .iter()
-        .filter_map(|kind| kind.build(g, hints).map(|inst| (*kind, inst)))
+/// Builds every scheme family of [`SchemeKind::ALL`] at its default spec
+/// that applies to `g`, paired with its spec, in report order.
+pub fn applicable_schemes(
+    g: &Graph,
+    hints: &GraphHints,
+) -> Vec<(SchemeSpec, crate::scheme::SchemeInstance)> {
+    SchemeSpec::all_defaults()
+        .into_iter()
+        .filter_map(|spec| spec.build(g, hints).ok().map(|inst| (spec, inst)))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::BuildError;
     use graphkit::generators;
     use routemodel::labeling::modular_complete_labeling;
 
@@ -156,6 +126,7 @@ mod tests {
     fn keys_round_trip() {
         for kind in SchemeKind::ALL {
             assert_eq!(SchemeKind::parse(kind.key()), Some(kind));
+            assert_eq!(kind.default_spec().kind(), kind);
         }
         assert_eq!(SchemeKind::parse("no-such-scheme"), None);
     }
@@ -164,7 +135,7 @@ mod tests {
     fn universal_schemes_apply_to_a_random_graph() {
         let g = generators::random_connected(48, 0.1, 3);
         let built = applicable_schemes(&g, &GraphHints::none());
-        let keys: Vec<&str> = built.iter().map(|(k, _)| k.key()).collect();
+        let keys: Vec<&str> = built.iter().map(|(s, _)| s.key()).collect();
         for key in ["table", "tree", "interval", "landmark"] {
             assert!(keys.contains(&key), "{key} missing from {keys:?}");
         }
@@ -177,26 +148,39 @@ mod tests {
     #[test]
     fn specialized_schemes_need_their_graphs() {
         let h = generators::hypercube(4);
-        assert!(SchemeKind::Ecube.build(&h, &GraphHints::none()).is_some());
+        assert!(SchemeSpec::Ecube.build(&h, &GraphHints::none()).is_ok());
 
         let g = generators::grid(4, 6);
-        assert!(SchemeKind::DimensionOrder
+        let err = SchemeSpec::DimensionOrder
             .build(&g, &GraphHints::none())
-            .is_none());
-        assert!(SchemeKind::DimensionOrder
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BuildError::MissingHint {
+                    hint: "grid_dims",
+                    ..
+                }
+            ),
+            "hint-less grid build must name the missing hint, got {err}"
+        );
+        assert!(SchemeSpec::DimensionOrder
             .build(&g, &GraphHints::grid(4, 6))
-            .is_some());
+            .is_ok());
 
         let k = modular_complete_labeling(9);
-        assert!(SchemeKind::ModularComplete
+        assert!(SchemeSpec::ModularComplete
             .build(&k, &GraphHints::none())
-            .is_some());
+            .is_ok());
         // A complete graph with the *generator's* (non-modular) labeling is
         // refused by the modular scheme.
         let plain = generators::complete(9);
-        assert!(SchemeKind::ModularComplete
-            .build(&plain, &GraphHints::none())
-            .is_none());
+        assert!(matches!(
+            SchemeSpec::ModularComplete
+                .build(&plain, &GraphHints::none())
+                .unwrap_err(),
+            BuildError::NotApplicable { .. }
+        ));
     }
 
     #[test]
@@ -215,11 +199,11 @@ mod tests {
     #[test]
     fn built_instances_report_memory() {
         let g = generators::random_connected(32, 0.15, 9);
-        for (kind, inst) in applicable_schemes(&g, &GraphHints::none()) {
+        for (spec, inst) in applicable_schemes(&g, &GraphHints::none()) {
             assert!(
                 inst.memory.local() > 0,
                 "{} reports zero local memory",
-                kind.key()
+                spec.key()
             );
         }
     }

@@ -1,7 +1,122 @@
 //! The [`CompactScheme`] trait: a routing scheme in the paper's sense.
+//!
+//! Construction is **fallible by design**: [`CompactScheme::try_build`]
+//! returns a typed [`BuildError`] instead of the historical panic/`Option`
+//! split, so sweep harnesses can distinguish "the scheme does not apply to
+//! this graph" from "a required generator hint is missing" from "a configured
+//! quality cap was not met" — and report each accordingly.
 
 use graphkit::Graph;
 use routemodel::{MemoryReport, RoutingFunction};
+
+/// Structural facts about a graph that its generator knows but the [`Graph`]
+/// value does not expose (or only expensively).
+///
+/// Hints travel alongside the graph through the registry and the `trafficlab`
+/// scenarios: the dimension-order scheme *needs* [`GraphHints::grid_dims`],
+/// and [`GraphHints::hypercube_dim`] pins hypercube detection so the e-cube
+/// scheme can skip its `O(n log n)` port-labeling scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphHints {
+    /// `(rows, cols)` when the graph was generated as a grid.
+    pub grid_dims: Option<(usize, usize)>,
+    /// The dimension when the graph was generated as a dimension-port-labeled
+    /// hypercube ([`graphkit::generators::hypercube`]).  The hint is a pin,
+    /// not a claim to verify: generators that set it guarantee the labeling.
+    pub hypercube_dim: Option<u32>,
+}
+
+impl GraphHints {
+    /// No hints: only hint-free schemes can be built.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Hints for a `rows × cols` grid.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        GraphHints {
+            grid_dims: Some((rows, cols)),
+            ..Self::default()
+        }
+    }
+
+    /// Hints for a `dim`-dimensional hypercube with the dimension-port
+    /// labeling.
+    pub fn hypercube(dim: u32) -> Self {
+        GraphHints {
+            hypercube_dim: Some(dim),
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a scheme could not be instantiated on a graph.
+///
+/// Every failure mode of construction is a variant, so harnesses can decide
+/// what is a benign skip (a partial scheme on a graph outside its class) and
+/// what deserves a loud note (a missing hint on a graph that *is* in the
+/// class, a cap the measurement refused).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The graph is outside the scheme's class (wrong structure or port
+    /// labeling).
+    NotApplicable {
+        scheme: &'static str,
+        reason: String,
+    },
+    /// The scheme needs a generator hint that [`GraphHints`] does not carry.
+    MissingHint {
+        scheme: &'static str,
+        hint: &'static str,
+    },
+    /// The scheme requires a connected graph.
+    Disconnected { scheme: &'static str },
+    /// A configuration value cannot be honoured on this graph.
+    InvalidConfig {
+        scheme: &'static str,
+        reason: String,
+    },
+    /// A configured quality cap was exceeded by the measured value (e.g. the
+    /// `k` cap of `interval?k=...`).
+    CapExceeded {
+        scheme: &'static str,
+        cap: &'static str,
+        limit: u64,
+        measured: u64,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NotApplicable { scheme, reason } => {
+                write!(f, "{scheme}: not applicable ({reason})")
+            }
+            BuildError::MissingHint { scheme, hint } => {
+                write!(f, "{scheme}: missing graph hint '{hint}'")
+            }
+            BuildError::Disconnected { scheme } => {
+                write!(f, "{scheme}: requires a connected graph")
+            }
+            BuildError::InvalidConfig { scheme, reason } => {
+                write!(f, "{scheme}: invalid config ({reason})")
+            }
+            BuildError::CapExceeded {
+                scheme,
+                cap,
+                limit,
+                measured,
+            } => {
+                write!(
+                    f,
+                    "{scheme}: cap '{cap}' exceeded (limit {limit}, measured {measured})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// The result of instantiating a scheme on one graph: a routing function plus
 /// the memory report of the encoding the scheme commits to.
@@ -46,32 +161,30 @@ impl std::fmt::Debug for SchemeInstance {
 /// router.
 ///
 /// Universal schemes accept every connected graph; partial schemes (e-cube,
-/// dimension-order, the modular complete-graph scheme) panic or return an
-/// error through [`CompactScheme::try_build`] when handed a graph outside
-/// their class.
+/// dimension-order, the modular complete-graph scheme) report a typed
+/// [`BuildError`] through [`CompactScheme::try_build`] when handed a graph
+/// outside their class.
 pub trait CompactScheme {
     /// Human-readable scheme name (used in reports and benchmarks).
     fn name(&self) -> &str;
 
-    /// Instantiates the scheme on `g`.
+    /// Fallible instantiation of the scheme on `g`.
     ///
-    /// Panics if `g` is outside the scheme's class; use
-    /// [`CompactScheme::try_build`] to probe.
-    fn build(&self, g: &Graph) -> SchemeInstance;
+    /// Hints are consulted by schemes whose class membership the generator
+    /// pins ([`GraphHints::hypercube_dim`]); hint-free schemes ignore them.
+    fn try_build(&self, g: &Graph, hints: &GraphHints) -> Result<SchemeInstance, BuildError>;
 
     /// Whether the scheme applies to `g` (universal schemes return `true` for
-    /// every connected graph).
-    fn applies_to(&self, _g: &Graph) -> bool {
+    /// every connected graph).  A cheap probe — it must not build tables.
+    fn applies_to(&self, _g: &Graph, _hints: &GraphHints) -> bool {
         true
     }
 
-    /// Fallible instantiation: `None` when the scheme does not apply.
-    fn try_build(&self, g: &Graph) -> Option<SchemeInstance> {
-        if self.applies_to(g) {
-            Some(self.build(g))
-        } else {
-            None
-        }
+    /// Infallible convenience for callers that know the scheme applies
+    /// (tests, benches).  Panics with the typed error's message otherwise.
+    fn build(&self, g: &Graph) -> SchemeInstance {
+        self.try_build(g, &GraphHints::none())
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -100,14 +213,20 @@ mod tests {
         fn name(&self) -> &str {
             "trivial-scheme"
         }
-        fn build(&self, g: &Graph) -> SchemeInstance {
-            SchemeInstance::new(
+        fn try_build(&self, g: &Graph, hints: &GraphHints) -> Result<SchemeInstance, BuildError> {
+            if !self.applies_to(g, hints) {
+                return Err(BuildError::NotApplicable {
+                    scheme: "trivial-scheme",
+                    reason: format!("needs exactly one vertex, got {}", g.num_nodes()),
+                });
+            }
+            Ok(SchemeInstance::new(
                 Box::new(TrivialRouting),
                 MemoryReport::from_fn(g.num_nodes(), |_| 1),
                 None,
-            )
+            ))
         }
-        fn applies_to(&self, g: &Graph) -> bool {
+        fn applies_to(&self, g: &Graph, _hints: &GraphHints) -> bool {
             g.num_nodes() == 1
         }
     }
@@ -115,8 +234,19 @@ mod tests {
     #[test]
     fn try_build_respects_applies_to() {
         let s = TrivialScheme;
-        assert!(s.try_build(&generators::path(1)).is_some());
-        assert!(s.try_build(&generators::path(5)).is_none());
+        let h = GraphHints::none();
+        assert!(s.try_build(&generators::path(1), &h).is_ok());
+        let err = s.try_build(&generators::path(5), &h).unwrap_err();
+        assert!(matches!(err, BuildError::NotApplicable { .. }));
+        assert!(err.to_string().contains("trivial-scheme"));
+    }
+
+    #[test]
+    fn build_panics_with_the_typed_message() {
+        let err =
+            std::panic::catch_unwind(|| TrivialScheme.build(&generators::path(3))).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("not applicable"), "panic was: {msg:?}");
     }
 
     #[test]
@@ -126,5 +256,31 @@ mod tests {
         let dbg = format!("{inst:?}");
         assert!(dbg.contains("trivial"));
         assert!(dbg.contains("local_bits"));
+    }
+
+    #[test]
+    fn build_error_messages_are_specific() {
+        let e = BuildError::MissingHint {
+            scheme: "dimension-order",
+            hint: "grid_dims",
+        };
+        assert!(e.to_string().contains("grid_dims"));
+        let e = BuildError::CapExceeded {
+            scheme: "k-interval-routing",
+            cap: "k",
+            limit: 2,
+            measured: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("limit 2") && msg.contains("measured 5"));
+    }
+
+    #[test]
+    fn hints_constructors() {
+        assert_eq!(GraphHints::none(), GraphHints::default());
+        assert_eq!(GraphHints::grid(3, 4).grid_dims, Some((3, 4)));
+        assert_eq!(GraphHints::grid(3, 4).hypercube_dim, None);
+        assert_eq!(GraphHints::hypercube(6).hypercube_dim, Some(6));
+        assert_eq!(GraphHints::hypercube(6).grid_dims, None);
     }
 }

@@ -6,7 +6,7 @@
 //! is optimal for every stretch factor `s < 2`: routing tables cannot be
 //! locally compressed in the worst case.
 
-use crate::scheme::{CompactScheme, SchemeInstance};
+use crate::scheme::{BuildError, CompactScheme, GraphHints, SchemeInstance};
 use graphkit::Graph;
 use routemodel::{TableRouting, TieBreak};
 
@@ -37,10 +37,10 @@ impl CompactScheme for TableScheme {
         "routing-tables"
     }
 
-    fn build(&self, g: &Graph) -> SchemeInstance {
+    fn try_build(&self, g: &Graph, _hints: &GraphHints) -> Result<SchemeInstance, BuildError> {
         let table = TableRouting::shortest_paths(g, self.tie);
         let memory = table.memory_raw(g);
-        SchemeInstance::new(Box::new(table), memory, Some(1.0))
+        Ok(SchemeInstance::new(Box::new(table), memory, Some(1.0)))
     }
 }
 
@@ -59,7 +59,7 @@ mod tests {
             generators::balanced_tree(3, 3),
             generators::complete(15),
         ] {
-            assert!(scheme.applies_to(&g));
+            assert!(scheme.applies_to(&g, &GraphHints::none()));
             let inst = scheme.build(&g);
             let dm = DistanceMatrix::all_pairs(&g);
             let rep = stretch_factor(&g, &dm, inst.routing.as_ref()).unwrap();

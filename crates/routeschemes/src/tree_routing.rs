@@ -8,7 +8,7 @@
 //! below 2.
 
 use crate::interval::tree::TreeIntervalRouting;
-use crate::scheme::{CompactScheme, SchemeInstance};
+use crate::scheme::{BuildError, CompactScheme, GraphHints, SchemeInstance};
 use graphkit::Graph;
 
 /// The single-spanning-tree scheme (universal, no stretch guarantee).
@@ -29,15 +29,25 @@ impl CompactScheme for SpanningTreeScheme {
         "spanning-tree-routing"
     }
 
-    fn applies_to(&self, g: &Graph) -> bool {
-        graphkit::traversal::is_connected(g) && self.root < g.num_nodes()
+    fn applies_to(&self, g: &Graph, _hints: &GraphHints) -> bool {
+        self.root < g.num_nodes() && graphkit::traversal::is_connected(g)
     }
 
-    fn build(&self, g: &Graph) -> SchemeInstance {
-        assert!(self.applies_to(g));
+    fn try_build(&self, g: &Graph, _hints: &GraphHints) -> Result<SchemeInstance, BuildError> {
+        if self.root >= g.num_nodes() {
+            return Err(BuildError::InvalidConfig {
+                scheme: "spanning-tree-routing",
+                reason: format!("root {} out of range (n = {})", self.root, g.num_nodes()),
+            });
+        }
+        if !graphkit::traversal::is_connected(g) {
+            return Err(BuildError::Disconnected {
+                scheme: "spanning-tree-routing",
+            });
+        }
         let routing = TreeIntervalRouting::build(g, self.root);
         let memory = routing.memory(g);
-        SchemeInstance::new(Box::new(routing), memory, None)
+        Ok(SchemeInstance::new(Box::new(routing), memory, None))
     }
 }
 

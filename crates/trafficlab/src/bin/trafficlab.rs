@@ -4,22 +4,34 @@
 //! trafficlab list                       # show the scenario book
 //! trafficlab run <name> [options]       # run one scenario
 //! trafficlab smoke [options]            # alias for `run smoke`
+//! trafficlab specs                      # print the scheme-spec vocabulary
 //!
 //! options:
 //!   --threads <t>    worker count (default: all cores)
 //!   --json <path>    also write the report as JSON ('-' = stdout; the
 //!                    table then moves to stderr so stdout stays parseable)
+//!   --schemes <s>    comma-separated scheme specs overriding every case's
+//!                    scheme list, e.g. landmark?k=64&clusters=strict,tree
 //! ```
+//!
+//! Scheme specs follow the `routeschemes::spec` codec; a spec that fails to
+//! parse aborts with the typed error *and* the full valid-spec vocabulary
+//! (keys + recognized parameters), rendered from the same table the parser
+//! validates against so the help can never drift from what is accepted.
 //!
 //! Exit status is non-zero when any scheme violates its guaranteed stretch,
 //! when any (case, scheme) cell fails with a routing error, or when nothing
 //! ran at all — so CI can gate on the smoke scenario.
 
+use routeschemes::spec::{vocabulary, SchemeSpec};
 use std::process::ExitCode;
 use trafficlab::{find_scenario, named_scenarios, run_scenario};
 
 fn usage() {
-    eprintln!("usage: trafficlab <list | run <scenario> | smoke> [--threads t] [--json path]");
+    eprintln!(
+        "usage: trafficlab <list | run <scenario> | smoke | specs> \
+         [--threads t] [--json path] [--schemes spec,spec]"
+    );
     eprintln!("scenarios:");
     for s in named_scenarios() {
         eprintln!("  {:<18} {}", s.name, s.description);
@@ -30,6 +42,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threads = 0usize;
     let mut json_path: Option<String> = None;
+    let mut schemes_arg: Option<String> = None;
     let mut positional: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -50,6 +63,15 @@ fn main() -> ExitCode {
                 };
                 json_path = Some(v.clone());
             }
+            "--schemes" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--schemes needs a comma-separated list of scheme specs");
+                    eprintln!("{}", vocabulary());
+                    return ExitCode::FAILURE;
+                };
+                schemes_arg = Some(v.clone());
+            }
             flag if flag.starts_with('-') => {
                 eprintln!("unknown option '{flag}'");
                 usage();
@@ -59,6 +81,31 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+
+    // Parse the scheme override up front so a typo fails fast, with the
+    // typed error and the whole vocabulary.
+    let schemes_override: Option<Vec<SchemeSpec>> = match schemes_arg {
+        None => None,
+        Some(list) => {
+            let mut specs = Vec::new();
+            for raw in list.split(',').filter(|s| !s.is_empty()) {
+                match SchemeSpec::parse(raw) {
+                    Ok(spec) => specs.push(spec),
+                    Err(e) => {
+                        eprintln!("--schemes: {e}");
+                        eprintln!("{}", vocabulary());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if specs.is_empty() {
+                eprintln!("--schemes: the list is empty");
+                eprintln!("{}", vocabulary());
+                return ExitCode::FAILURE;
+            }
+            Some(specs)
+        }
+    };
 
     match positional.as_slice() {
         ["list"] => {
@@ -72,8 +119,12 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        ["run", name] => run_named(name, threads, json_path),
-        ["smoke"] => run_named("smoke", threads, json_path),
+        ["specs"] => {
+            println!("{}", vocabulary());
+            ExitCode::SUCCESS
+        }
+        ["run", name] => run_named(name, threads, json_path, schemes_override),
+        ["smoke"] => run_named("smoke", threads, json_path, schemes_override),
         other => {
             if !other.is_empty() {
                 eprintln!("unrecognized arguments: {}", other.join(" "));
@@ -84,11 +135,23 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_named(name: &str, threads: usize, json_path: Option<String>) -> ExitCode {
-    let Some(scenario) = find_scenario(name) else {
+fn run_named(
+    name: &str,
+    threads: usize,
+    json_path: Option<String>,
+    schemes_override: Option<Vec<SchemeSpec>>,
+) -> ExitCode {
+    let Some(mut scenario) = find_scenario(name) else {
         eprintln!("unknown scenario '{name}' (try `trafficlab list`)");
         return ExitCode::FAILURE;
     };
+    if let Some(specs) = schemes_override {
+        let rendered: Vec<String> = specs.iter().map(|s| s.spec_string()).collect();
+        eprintln!("scheme override: {}", rendered.join(", "));
+        for case in &mut scenario.cases {
+            case.schemes = specs.clone();
+        }
+    }
     eprintln!("scenario {name}: {}", scenario.description);
     let report = run_scenario(&scenario, threads);
     let json_to_stdout = json_path.as_deref() == Some("-");

@@ -35,7 +35,7 @@ pub mod workload;
 pub use engine::{run_workload, stretch_factor_blocked, EngineConfig, WorkloadReport};
 pub use metrics::{CongestionCounters, CongestionReport, LengthHistogram};
 pub use scenario::{
-    find_scenario, named_scenarios, run_scenario, Case, CaseResult, CaseWorkload, GraphSpec,
-    Scenario, ScenarioReport,
+    find_scenario, landmark_strict, landmark_with_k, named_scenarios, run_scenario, Case,
+    CaseResult, CaseWorkload, GraphSpec, Scenario, ScenarioReport, LANDMARK_SWEEP_KS,
 };
 pub use workload::{SourceDests, Workload, WorkloadPlan};

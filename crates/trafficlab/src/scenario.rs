@@ -19,7 +19,8 @@ use analysis::report::{fmt_f64, json_escape, json_f64, Table};
 use constraints::theorem1::build_worst_case_instance;
 use graphkit::{generators, Graph, NodeId};
 use routemodel::labeling::modular_complete_labeling;
-use routeschemes::{GraphHints, SchemeKind};
+use routeschemes::landmark::{ClusterRule, LandmarkConfig, LandmarkCount};
+use routeschemes::{GraphHints, SchemeKind, SchemeSpec};
 use std::time::Instant;
 
 /// A graph family, concretely parameterized.
@@ -77,7 +78,15 @@ impl GraphSpec {
                 constrained: Vec::new(),
                 targets: Vec::new(),
             },
-            GraphSpec::Hypercube { dim } => plain(generators::hypercube(dim)),
+            GraphSpec::Hypercube { dim } => BuiltGraph {
+                graph: generators::hypercube(dim),
+                // Pin hypercube detection: the generator vouches for the
+                // dimension-port labeling, so e-cube skips its O(n log n)
+                // structural scan.
+                hints: GraphHints::hypercube(dim as u32),
+                constrained: Vec::new(),
+                targets: Vec::new(),
+            },
             GraphSpec::CompleteModular { n } => plain(modular_complete_labeling(n)),
             GraphSpec::RandomTree { n, seed } => plain(generators::random_tree(n, seed)),
             GraphSpec::Theorem1 { n, theta, seed } => {
@@ -127,11 +136,15 @@ impl CaseWorkload {
 }
 
 /// One graph × workload × scheme-set cell of a scenario.
+///
+/// Schemes are full [`SchemeSpec`]s, not bare kinds: a case can drive the
+/// same family at several parameter points (the `landmark-sweep` scenario is
+/// one case whose scheme list walks `k`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Case {
     pub graph: GraphSpec,
     pub workload: CaseWorkload,
-    pub schemes: Vec<SchemeKind>,
+    pub schemes: Vec<SchemeSpec>,
     /// Engine block size override (`0` = engine default).
     pub block_rows: usize,
 }
@@ -144,6 +157,31 @@ pub struct Scenario {
     pub cases: Vec<Case>,
 }
 
+/// The landmark counts the `landmark-sweep` scenario (and its bench twin)
+/// walks at n = 4096: one decade upward from the measured memory-optimal
+/// point.  On this graph the clusters average `≈ 3n/k`, which puts the
+/// minimum of `k + |S|` near `k = √(3n) ≈ 110`, not at `⌈√n⌉ = 64`; below
+/// that the cluster term dominates and per-router bits *fall* as `k` grows,
+/// from there up the landmark table dominates, so the swept curve is
+/// monotone — more landmarks, more bits, shorter detours.
+pub const LANDMARK_SWEEP_KS: [usize; 5] = [128, 256, 512, 1024, 1280];
+
+/// A landmark spec with an explicit landmark count (default rule and seed).
+pub fn landmark_with_k(k: usize) -> SchemeSpec {
+    SchemeSpec::Landmark(LandmarkConfig {
+        landmarks: LandmarkCount::Count(k),
+        ..LandmarkConfig::default()
+    })
+}
+
+/// The strict-cluster landmark spec (`landmark?clusters=strict`).
+pub fn landmark_strict() -> SchemeSpec {
+    SchemeSpec::Landmark(LandmarkConfig {
+        cluster_rule: ClusterRule::Strict,
+        ..LandmarkConfig::default()
+    })
+}
+
 /// The built-in scenario book.
 ///
 /// * `smoke` — n = 1024 graphs covering **every** registry scheme; quick.
@@ -151,20 +189,25 @@ pub struct Scenario {
 /// * `sharded-130k` — an n = 131072 graph swept block-by-block (sampled
 ///   sources); the point that cannot exist with a dense matrix (64 GiB).
 /// * `landmark-130k` — the stretch `< 3` scheme at n = 131072: landmark
-///   routing built sparsely (no dense matrix) next to the spanning tree.
+///   routing built sparsely (no dense matrix), under both cluster rules,
+///   next to the spanning tree.
+/// * `landmark-sweep` — the measured bits-vs-stretch curve: one n = 4096
+///   graph, `k` swept over [`LANDMARK_SWEEP_KS`] (Table 1's trade-off rows
+///   as data, not quotes).
 /// * `zipf-hotspot` — skewed destinations vs. uniform, congestion focus.
 /// * `broadcast` — one-to-all tree traffic.
 /// * `permutation-cube` — permutation rounds on the hypercube.
 /// * `theorem1` — constrained-vertex probes on worst-case instances, at
 ///   n = 1024 under every universal scheme and at n = 16384 under the
-///   near-linear ones (the former n = 1024 cap came from the probe
-///   evaluation building full tables).
+///   near-linear ones; the strict cluster rule rides along there because
+///   tiny-diameter instances are exactly where it beats the inclusive rule.
 pub fn named_scenarios() -> Vec<Scenario> {
+    let d = SchemeSpec::default_for;
     let universal = vec![
-        SchemeKind::Table,
-        SchemeKind::SpanningTree,
-        SchemeKind::KInterval,
-        SchemeKind::Landmark,
+        d(SchemeKind::Table),
+        d(SchemeKind::SpanningTree),
+        d(SchemeKind::KInterval),
+        d(SchemeKind::Landmark),
     ];
     vec![
         Scenario {
@@ -190,7 +233,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                         messages: 20_000,
                         seed: 2,
                     }),
-                    schemes: vec![SchemeKind::Ecube, SchemeKind::SpanningTree],
+                    schemes: vec![d(SchemeKind::Ecube), d(SchemeKind::SpanningTree)],
                     block_rows: 0,
                 },
                 Case {
@@ -199,7 +242,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                         messages: 20_000,
                         seed: 3,
                     }),
-                    schemes: vec![SchemeKind::DimensionOrder, SchemeKind::SpanningTree],
+                    schemes: vec![d(SchemeKind::DimensionOrder), d(SchemeKind::SpanningTree)],
                     block_rows: 0,
                 },
                 Case {
@@ -208,7 +251,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                         messages: 20_000,
                         seed: 4,
                     }),
-                    schemes: vec![SchemeKind::ModularComplete, SchemeKind::Table],
+                    schemes: vec![d(SchemeKind::ModularComplete), d(SchemeKind::Table)],
                     block_rows: 0,
                 },
             ],
@@ -226,7 +269,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                     messages: 1_000_000,
                     seed: 7,
                 }),
-                schemes: vec![SchemeKind::SpanningTree],
+                schemes: vec![d(SchemeKind::SpanningTree)],
                 block_rows: 0,
             }],
         },
@@ -244,7 +287,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                     dests_per_source: 256,
                     seed: 11,
                 }),
-                schemes: vec![SchemeKind::SpanningTree],
+                schemes: vec![d(SchemeKind::SpanningTree)],
                 block_rows: 1,
             }],
         },
@@ -262,8 +305,33 @@ pub fn named_scenarios() -> Vec<Scenario> {
                     dests_per_source: 256,
                     seed: 11,
                 }),
-                schemes: vec![SchemeKind::Landmark, SchemeKind::SpanningTree],
+                schemes: vec![
+                    d(SchemeKind::Landmark),
+                    landmark_strict(),
+                    d(SchemeKind::SpanningTree),
+                ],
                 block_rows: 1,
+            }],
+        },
+        Scenario {
+            name: "landmark-sweep".into(),
+            description: "bits-vs-stretch curve: landmark k swept over a decade at n = 4096".into(),
+            cases: vec![Case {
+                graph: GraphSpec::RandomConnected {
+                    n: 4096,
+                    avg_deg: 8.0,
+                    seed: 0xC5A,
+                },
+                workload: CaseWorkload::Pattern(Workload::SampledSources {
+                    sources: 128,
+                    dests_per_source: 128,
+                    seed: 21,
+                }),
+                schemes: LANDMARK_SWEEP_KS
+                    .iter()
+                    .map(|&k| landmark_with_k(k))
+                    .collect(),
+                block_rows: 0,
             }],
         },
         Scenario {
@@ -307,7 +375,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                 workload: CaseWorkload::Pattern(Workload::Broadcast {
                     roots: vec![0, 1, 2, 3],
                 }),
-                schemes: vec![SchemeKind::SpanningTree],
+                schemes: vec![d(SchemeKind::SpanningTree)],
                 block_rows: 1,
             }],
         },
@@ -320,7 +388,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                     rounds: 64,
                     seed: 13,
                 }),
-                schemes: vec![SchemeKind::Ecube, SchemeKind::Table],
+                schemes: vec![d(SchemeKind::Ecube), d(SchemeKind::Table)],
                 block_rows: 0,
             }],
         },
@@ -336,9 +404,10 @@ pub fn named_scenarios() -> Vec<Scenario> {
                     },
                     workload: CaseWorkload::ConstrainedProbes,
                     schemes: vec![
-                        SchemeKind::Table,
-                        SchemeKind::SpanningTree,
-                        SchemeKind::Landmark,
+                        d(SchemeKind::Table),
+                        d(SchemeKind::SpanningTree),
+                        d(SchemeKind::Landmark),
+                        landmark_strict(),
                     ],
                     block_rows: 0,
                 },
@@ -354,7 +423,11 @@ pub fn named_scenarios() -> Vec<Scenario> {
                         seed: 17,
                     },
                     workload: CaseWorkload::ConstrainedProbes,
-                    schemes: vec![SchemeKind::Landmark, SchemeKind::SpanningTree],
+                    schemes: vec![
+                        d(SchemeKind::Landmark),
+                        landmark_strict(),
+                        d(SchemeKind::SpanningTree),
+                    ],
                     block_rows: 8,
                 },
             ],
@@ -374,7 +447,12 @@ pub struct CaseResult {
     pub n: usize,
     pub edges: usize,
     pub workload_key: String,
+    /// The family key (`landmark`, `tree`, ...).
     pub scheme_key: String,
+    /// The full canonical spec string (`landmark?k=64&clusters=strict`); the
+    /// bare key when every parameter is at its default.  Every report row
+    /// carries it so a sweep's points stay distinguishable.
+    pub scheme_spec: String,
     pub scheme_name: String,
     /// The scheme's local (max per router) memory, in bits.
     pub local_bits: u64,
@@ -443,25 +521,27 @@ pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioReport {
             block_rows: case.block_rows,
             track_congestion: true,
         };
-        for kind in &case.schemes {
-            // Schemes with O(n²) construction would hang (or OOM) a large
+        for spec in &case.schemes {
+            // Specs whose construction is quadratic at this size — an O(n²)
+            // family, or a near-linear family driven with quadratic
+            // parameters (landmark k ≫ √n) — would hang (or OOM) a large
             // case long before the engine runs; skip them up front.
-            if n >= LARGE_GRAPH_THRESHOLD && !kind.scales_to_large_graphs() {
+            if n >= LARGE_GRAPH_THRESHOLD && !spec.scales_to_large_graphs(n) {
                 out.skipped.push(format!(
-                    "{}: scheme '{}' skipped (O(n²) construction at n = {n})",
-                    graph_label,
-                    kind.key()
+                    "{graph_label}: scheme '{spec}' skipped (construction cannot scale to n = {n})"
                 ));
                 continue;
             }
             let t0 = Instant::now();
-            let Some(instance) = kind.build(&built.graph, &built.hints) else {
-                out.skipped.push(format!(
-                    "{}: scheme '{}' does not apply",
-                    graph_label,
-                    kind.key()
-                ));
-                continue;
+            let instance = match spec.build(&built.graph, &built.hints) {
+                Ok(instance) => instance,
+                Err(e) => {
+                    // A typed build failure is a benign skip with its reason
+                    // spelled out, not an aborted sweep.
+                    out.skipped
+                        .push(format!("{graph_label}: scheme '{spec}' skipped: {e}"));
+                    continue;
+                }
             };
             let build_secs = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
@@ -476,7 +556,8 @@ pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioReport {
                         n,
                         edges: built.graph.num_edges(),
                         workload_key: case.workload.key().to_string(),
-                        scheme_key: kind.key().to_string(),
+                        scheme_key: spec.key().to_string(),
+                        scheme_spec: spec.spec_string(),
                         scheme_name: instance.routing.name().to_string(),
                         local_bits: instance.memory.local(),
                         global_bits: instance.memory.global(),
@@ -492,11 +573,9 @@ pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioReport {
                         run_secs,
                     });
                 }
-                Err(e) => out.errors.push(format!(
-                    "{}: scheme '{}' failed: {e}",
-                    graph_label,
-                    kind.key()
-                )),
+                Err(e) => out
+                    .errors
+                    .push(format!("{graph_label}: scheme '{spec}' failed: {e}")),
             }
         }
     }
@@ -524,7 +603,8 @@ impl ScenarioReport {
             t.push_row([
                 r.graph_label.clone(),
                 r.workload_key.clone(),
-                r.scheme_key.clone(),
+                // Full spec: bare key for defaults, parameters otherwise.
+                r.scheme_spec.clone(),
                 r.report.routed_messages.to_string(),
                 fmt_f64(r.report.stretch.max_stretch, 3),
                 fmt_f64(r.report.stretch.avg_stretch, 3),
@@ -563,7 +643,8 @@ impl ScenarioReport {
             out.push_str(&format!(
                 concat!(
                     "    {{\"graph\": \"{}\", \"n\": {}, \"edges\": {}, ",
-                    "\"workload\": \"{}\", \"scheme\": \"{}\", \"scheme_name\": \"{}\", ",
+                    "\"workload\": \"{}\", \"scheme\": \"{}\", \"spec\": \"{}\", ",
+                    "\"scheme_name\": \"{}\", ",
                     "\"messages\": {}, \"skipped_unreachable\": {}, ",
                     "\"max_stretch\": {}, \"avg_stretch\": {}, \"max_route_len\": {}, ",
                     "\"guaranteed_stretch\": {}, \"within_guarantee\": {}, ",
@@ -577,6 +658,7 @@ impl ScenarioReport {
                 r.edges,
                 json_escape(&r.workload_key),
                 json_escape(&r.scheme_key),
+                json_escape(&r.scheme_spec),
                 json_escape(&r.scheme_name),
                 r.report.routed_messages,
                 r.report.skipped_unreachable,
@@ -685,9 +767,9 @@ mod tests {
                     seed: 6,
                 }),
                 schemes: vec![
-                    SchemeKind::Table,
-                    SchemeKind::SpanningTree,
-                    SchemeKind::Ecube, // does not apply: becomes an error note
+                    SchemeSpec::default_for(SchemeKind::Table),
+                    SchemeSpec::default_for(SchemeKind::SpanningTree),
+                    SchemeSpec::Ecube, // does not apply: becomes a skip note
                 ],
                 block_rows: 8,
             }],
@@ -710,6 +792,125 @@ mod tests {
     }
 
     #[test]
+    fn landmark_sweep_scenario_walks_the_published_ks() {
+        let sweep = find_scenario("landmark-sweep").unwrap();
+        assert_eq!(sweep.cases.len(), 1);
+        let specs: Vec<String> = sweep.cases[0]
+            .schemes
+            .iter()
+            .map(|s| s.spec_string())
+            .collect();
+        let expected: Vec<String> = LANDMARK_SWEEP_KS
+            .iter()
+            .map(|k| format!("landmark?k={k}"))
+            .collect();
+        assert_eq!(specs, expected);
+        // The decade must start at-or-above the monotone knee (> √n): below
+        // it the bits curve falls as k grows and the sweep stops being a
+        // trade-off curve.
+        let GraphSpec::RandomConnected { n, .. } = sweep.cases[0].graph else {
+            panic!("sweep graph family changed");
+        };
+        assert!(LANDMARK_SWEEP_KS[0] * LANDMARK_SWEEP_KS[0] >= n);
+        assert!(LANDMARK_SWEEP_KS.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(
+            LANDMARK_SWEEP_KS[LANDMARK_SWEEP_KS.len() - 1],
+            LANDMARK_SWEEP_KS[0] * 10,
+            "the sweep spans exactly one decade"
+        );
+    }
+
+    #[test]
+    fn mini_landmark_sweep_bits_increase_and_stretch_holds() {
+        // The landmark-sweep acceptance shape at test size: walking k upward
+        // from the knee (≈ √(3n), above which the landmark-table term
+        // dominates) strictly increases both the max and the mean per-router
+        // bits while every point keeps the stretch promise, and every report
+        // row carries its full spec.
+        let ks = [64usize, 128, 256, 320];
+        let scenario = Scenario {
+            name: "mini-sweep".into(),
+            description: "test".into(),
+            cases: vec![Case {
+                graph: GraphSpec::RandomConnected {
+                    n: 1024,
+                    avg_deg: 8.0,
+                    seed: 0xC5A,
+                },
+                workload: CaseWorkload::Pattern(Workload::SampledSources {
+                    sources: 32,
+                    dests_per_source: 64,
+                    seed: 9,
+                }),
+                schemes: ks.iter().map(|&k| landmark_with_k(k)).collect(),
+                block_rows: 8,
+            }],
+        };
+        let rep = run_scenario(&scenario, 2);
+        assert!(rep.errors.is_empty(), "{:?}", rep.errors);
+        assert_eq!(rep.results.len(), ks.len());
+        for (r, k) in rep.results.iter().zip(ks) {
+            assert_eq!(r.scheme_key, "landmark");
+            assert_eq!(r.scheme_spec, format!("landmark?k={k}"));
+            assert_eq!(r.within_guarantee, Some(true));
+            assert!(r.report.stretch.max_stretch < 3.0 + 1e-9);
+        }
+        for w in rep.results.windows(2) {
+            assert!(
+                w[0].local_bits < w[1].local_bits,
+                "max per-router bits must increase: {} !< {} ({} vs {})",
+                w[0].local_bits,
+                w[1].local_bits,
+                w[0].scheme_spec,
+                w[1].scheme_spec
+            );
+            assert!(
+                w[0].global_bits < w[1].global_bits,
+                "total bits must increase: {} vs {}",
+                w[0].scheme_spec,
+                w[1].scheme_spec
+            );
+        }
+        // The JSON rows stay distinguishable through the spec field.
+        let json = rep.to_json();
+        for k in ks {
+            assert!(json.contains(&format!("\"spec\": \"landmark?k={k}\"")));
+        }
+    }
+
+    #[test]
+    fn build_failures_become_typed_skip_notes() {
+        // A spec whose cap cannot be met is a skip with the typed reason,
+        // not an error, and not a panic.
+        let scenario = Scenario {
+            name: "capped".into(),
+            description: "test".into(),
+            cases: vec![Case {
+                graph: GraphSpec::RandomConnected {
+                    n: 48,
+                    avg_deg: 6.0,
+                    seed: 4,
+                },
+                workload: CaseWorkload::Pattern(Workload::Uniform {
+                    messages: 200,
+                    seed: 6,
+                }),
+                schemes: vec![SchemeSpec::parse("interval?k=1").unwrap()],
+                block_rows: 8,
+            }],
+        };
+        let rep = run_scenario(&scenario, 1);
+        assert!(rep.results.is_empty());
+        assert!(rep.errors.is_empty());
+        assert_eq!(rep.skipped.len(), 1);
+        assert!(
+            rep.skipped[0].contains("cap 'k' exceeded"),
+            "note must carry the typed reason: {:?}",
+            rep.skipped[0]
+        );
+    }
+
+    #[test]
     fn theorem1_probes_route_constrained_pairs() {
         let scenario = Scenario {
             name: "t1-mini".into(),
@@ -721,7 +922,7 @@ mod tests {
                     seed: 3,
                 },
                 workload: CaseWorkload::ConstrainedProbes,
-                schemes: vec![SchemeKind::Table],
+                schemes: vec![SchemeSpec::default_for(SchemeKind::Table)],
                 block_rows: 4,
             }],
         };

@@ -71,8 +71,9 @@ pub mod prelude {
         TieBreak,
     };
     pub use routeschemes::{
-        CompactScheme, EcubeScheme, GraphHints, KIntervalScheme, LandmarkScheme, SchemeInstance,
-        SchemeKind, TableScheme, TreeIntervalScheme,
+        BuildError, ClusterRule, CompactScheme, EcubeScheme, GraphHints, KIntervalConfig,
+        KIntervalScheme, LandmarkConfig, LandmarkCount, LandmarkScheme, SchemeInstance, SchemeKind,
+        SchemeSpec, SpecError, TableScheme, TreeIntervalScheme,
     };
     pub use trafficlab::{run_workload, EngineConfig, Workload};
 }

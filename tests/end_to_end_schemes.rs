@@ -5,7 +5,7 @@
 use universal_routing::prelude::*;
 
 fn check_scheme(g: &Graph, scheme: &dyn CompactScheme) {
-    let Some(inst) = scheme.try_build(g) else {
+    let Ok(inst) = scheme.try_build(g, &GraphHints::none()) else {
         return;
     };
     let dm = DistanceMatrix::all_pairs(g);

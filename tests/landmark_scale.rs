@@ -72,8 +72,9 @@ fn registry_classifies_landmark_as_large_graph_capable() {
     // And it still builds through the registry on an ordinary graph.
     let g = generators::random_connected(256, 0.05, 1);
     assert!(SchemeKind::Landmark
+        .default_spec()
         .build(&g, &GraphHints::none())
-        .is_some());
+        .is_ok());
 }
 
 /// The acceptance point: the landmark scheme builds at `n = 131072` — no
