@@ -12,7 +12,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphkit::{generators, DistanceMatrix, Graph};
 use routemodel::{stretch_factor, TableRouting, TieBreak};
-use routeschemes::{CompactScheme, SchemeInstance, SpanningTreeScheme};
+use routeschemes::{CompactScheme, EcubeScheme, SchemeInstance, SpanningTreeScheme};
 use routing_bench::quick_criterion;
 use std::time::Instant;
 use trafficlab::{run_workload, stretch_factor_blocked, EngineConfig, Workload};
@@ -139,6 +139,34 @@ fn bench_snapshot(_c: &mut Criterion) {
             &Workload::Uniform {
                 messages: 1_000_000,
                 seed: 7,
+            },
+            &EngineConfig::default(),
+        ));
+    }
+
+    // The adversarial patterns of the spec-language refactor, on the
+    // 10-cube under e-cube routing: `bisection` pushes every message across
+    // the top-dimension cut, `worstperm` sends derangement rotations.
+    {
+        let g = generators::hypercube(10);
+        let inst = EcubeScheme.build(&g);
+        entries.push(run_entry(
+            "bisection-200k-ecube",
+            &g,
+            &inst,
+            &Workload::Bisection {
+                messages: 200_000,
+                seed: 5,
+            },
+            &EngineConfig::default(),
+        ));
+        entries.push(run_entry(
+            "worstperm-64r-ecube",
+            &g,
+            &inst,
+            &Workload::WorstPerm {
+                rounds: 64,
+                seed: 13,
             },
             &EngineConfig::default(),
         ));

@@ -32,14 +32,10 @@ use crate::{
 };
 use graphkit::Graph;
 use routemodel::TieBreak;
-
-/// One parameter of a scheme family: its name and the accepted values,
-/// rendered into help text and into [`SpecError`] messages.
-#[derive(Debug, Clone, Copy)]
-pub struct ParamDoc {
-    pub name: &'static str,
-    pub values: &'static str,
-}
+use speclang::{parse_query, render_spec, render_vocabulary, split_spec, SpecCtx};
+// The codec machinery itself lives in `speclang`, shared with the graph and
+// workload codecs; re-exported here so scheme-side callers keep one import.
+pub use speclang::{ParamDoc, SpecError};
 
 /// The parameters each scheme family accepts — the single source of truth
 /// shared by the parser, the canonical formatter and [`vocabulary`].
@@ -88,94 +84,12 @@ pub fn param_docs(kind: SchemeKind) -> &'static [ParamDoc] {
 /// The full valid-spec vocabulary, one line per scheme key — what the
 /// `trafficlab` CLI prints when a spec fails to parse.
 pub fn vocabulary() -> String {
-    let mut out = String::from("valid scheme specs (bare key = defaults):\n");
-    for kind in SchemeKind::ALL {
-        let params = param_docs(kind);
-        if params.is_empty() {
-            out.push_str(&format!("  {}\n", kind.key()));
-        } else {
-            let names: Vec<&str> = params.iter().map(|p| p.name).collect();
-            out.push_str(&format!("  {}?{}=...\n", kind.key(), names.join("=...&")));
-            for p in params {
-                out.push_str(&format!("      {:<8} {}\n", p.name, p.values));
-            }
-        }
-    }
-    out
+    let entries: Vec<(&str, &[ParamDoc])> = SchemeKind::ALL
+        .into_iter()
+        .map(|kind| (kind.key(), param_docs(kind)))
+        .collect();
+    render_vocabulary("valid scheme specs (bare key = defaults):", &entries)
 }
-
-/// Why a spec string failed to parse.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SpecError {
-    /// The key before `?` names no scheme family.
-    UnknownScheme { key: String },
-    /// The named parameter does not exist for this family; `valid` lists the
-    /// ones that do.
-    UnknownParam {
-        scheme: &'static str,
-        param: String,
-        valid: String,
-    },
-    /// The parameter exists but the value does not parse / is out of range.
-    InvalidValue {
-        scheme: &'static str,
-        param: &'static str,
-        value: String,
-        expected: &'static str,
-    },
-    /// Two parameters that exclude each other were both given.
-    ConflictingParams {
-        scheme: &'static str,
-        first: &'static str,
-        second: &'static str,
-    },
-    /// Structurally broken spec (e.g. a parameter without `=`).
-    Malformed { spec: String, reason: String },
-}
-
-impl std::fmt::Display for SpecError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SpecError::UnknownScheme { key } => write!(f, "unknown scheme key '{key}'"),
-            SpecError::UnknownParam {
-                scheme,
-                param,
-                valid,
-            } => {
-                if valid.is_empty() {
-                    write!(f, "scheme '{scheme}' takes no parameters (got '{param}')")
-                } else {
-                    write!(
-                        f,
-                        "scheme '{scheme}' has no parameter '{param}' (valid: {valid})"
-                    )
-                }
-            }
-            SpecError::InvalidValue {
-                scheme,
-                param,
-                value,
-                expected,
-            } => write!(
-                f,
-                "scheme '{scheme}': bad value '{value}' for '{param}' (expected {expected})"
-            ),
-            SpecError::ConflictingParams {
-                scheme,
-                first,
-                second,
-            } => write!(
-                f,
-                "scheme '{scheme}': parameters '{first}' and '{second}' conflict"
-            ),
-            SpecError::Malformed { spec, reason } => {
-                write!(f, "malformed spec '{spec}': {reason}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SpecError {}
 
 /// A concrete, fully parameterized scheme: the family plus its typed config.
 ///
@@ -263,21 +177,15 @@ impl SchemeSpec {
 
     /// Parses a spec string (`key` or `key?name=value&...`).
     pub fn parse(spec: &str) -> Result<SchemeSpec, SpecError> {
-        let (key, query) = match spec.split_once('?') {
-            Some((k, q)) => (k, q),
-            None => (spec, ""),
-        };
-        let kind = SchemeKind::parse(key).ok_or_else(|| SpecError::UnknownScheme {
+        let (key, query) = split_spec(spec);
+        let kind = SchemeKind::parse(key).ok_or_else(|| SpecError::UnknownKey {
+            domain: "scheme",
             key: key.to_string(),
         })?;
         let mut out = Self::default_for(kind);
         // Landmark only: which of the mutually exclusive count params was set.
         let mut count_param: Option<&'static str> = None;
-        for pair in query.split('&').filter(|p| !p.is_empty()) {
-            let (name, value) = pair.split_once('=').ok_or_else(|| SpecError::Malformed {
-                spec: spec.to_string(),
-                reason: format!("parameter '{pair}' has no '=value'"),
-            })?;
+        for (name, value) in parse_query(spec, query)? {
             apply_param(&mut out, kind, name, value, &mut count_param)?;
         }
         Ok(out)
@@ -322,11 +230,7 @@ impl SchemeSpec {
             }
             SchemeSpec::Ecube | SchemeSpec::DimensionOrder | SchemeSpec::ModularComplete => {}
         }
-        if params.is_empty() {
-            self.key().to_string()
-        } else {
-            format!("{}?{}", self.key(), params.join("&"))
-        }
+        render_spec(self.key(), &params)
     }
 
     /// Instantiates the spec on `g`, with typed failure.
@@ -366,7 +270,7 @@ fn tie_string(tie: TieBreak) -> String {
     }
 }
 
-fn parse_tie(scheme: &'static str, value: &str) -> Result<TieBreak, SpecError> {
+fn parse_tie(ctx: SpecCtx, value: &str) -> Result<TieBreak, SpecError> {
     match value {
         "lowest-port" => Ok(TieBreak::LowestPort),
         "lowest-neighbor" => Ok(TieBreak::LowestNeighbor),
@@ -377,12 +281,11 @@ fn parse_tie(scheme: &'static str, value: &str) -> Result<TieBreak, SpecError> {
                     return Ok(TieBreak::Seeded(s));
                 }
             }
-            Err(SpecError::InvalidValue {
-                scheme,
-                param: "tie",
-                value: value.to_string(),
-                expected: "lowest-port | lowest-neighbor | highest-neighbor | seeded:<u64>",
-            })
+            Err(ctx.invalid(
+                "tie",
+                value,
+                "lowest-port | lowest-neighbor | highest-neighbor | seeded:<u64>",
+            ))
         }
     }
 }
@@ -397,18 +300,14 @@ fn apply_param(
     value: &str,
     count_param: &mut Option<&'static str>,
 ) -> Result<(), SpecError> {
-    let scheme = kind.key();
+    let ctx = SpecCtx::new("scheme", kind.key());
     let mut set_count = |cfg: &mut LandmarkConfig,
                          param: &'static str,
                          landmarks: LandmarkCount|
      -> Result<(), SpecError> {
         if let Some(first) = *count_param {
             if first != param {
-                return Err(SpecError::ConflictingParams {
-                    scheme: "landmark",
-                    first,
-                    second: param,
-                });
+                return Err(ctx.conflict(first, param));
             }
         }
         *count_param = Some(param);
@@ -417,67 +316,32 @@ fn apply_param(
     };
     match (out, name) {
         (SchemeSpec::Table { tie }, "tie") => {
-            *tie = parse_tie("table", value)?;
+            *tie = parse_tie(ctx, value)?;
         }
         (SchemeSpec::SpanningTree { root }, "root") => {
-            *root = value.parse().map_err(|_| SpecError::InvalidValue {
-                scheme: "tree",
-                param: "root",
-                value: value.to_string(),
-                expected: "a vertex id (usize)",
-            })?;
+            *root = ctx.parse_int("root", value, "a vertex id (usize)")?;
         }
         (SchemeSpec::KInterval(cfg), "k") => {
-            let k: usize = value.parse().map_err(|_| SpecError::InvalidValue {
-                scheme: "interval",
-                param: "k",
-                value: value.to_string(),
-                expected: "an integer >= 1",
-            })?;
+            let k: usize = ctx.parse_int("k", value, "an integer >= 1")?;
             if k == 0 {
-                return Err(SpecError::InvalidValue {
-                    scheme: "interval",
-                    param: "k",
-                    value: value.to_string(),
-                    expected: "an integer >= 1",
-                });
+                return Err(ctx.invalid("k", value, "an integer >= 1"));
             }
             cfg.k = Some(k);
         }
         (SchemeSpec::KInterval(cfg), "tie") => {
-            cfg.tie = parse_tie("interval", value)?;
+            cfg.tie = parse_tie(ctx, value)?;
         }
         (SchemeSpec::Landmark(cfg), "k") => {
-            let k: usize = value.parse().map_err(|_| SpecError::InvalidValue {
-                scheme: "landmark",
-                param: "k",
-                value: value.to_string(),
-                expected: "an integer >= 1",
-            })?;
+            let k: usize = ctx.parse_int("k", value, "an integer >= 1")?;
             if k == 0 {
-                return Err(SpecError::InvalidValue {
-                    scheme: "landmark",
-                    param: "k",
-                    value: value.to_string(),
-                    expected: "an integer >= 1",
-                });
+                return Err(ctx.invalid("k", value, "an integer >= 1"));
             }
             set_count(cfg, "k", LandmarkCount::Count(k))?;
         }
         (SchemeSpec::Landmark(cfg), "rate") => {
-            let r: f64 = value.parse().map_err(|_| SpecError::InvalidValue {
-                scheme: "landmark",
-                param: "rate",
-                value: value.to_string(),
-                expected: "a float in (0, 1]",
-            })?;
+            let r = ctx.parse_f64("rate", value, "a float in (0, 1]")?;
             if !(r > 0.0 && r <= 1.0) {
-                return Err(SpecError::InvalidValue {
-                    scheme: "landmark",
-                    param: "rate",
-                    value: value.to_string(),
-                    expected: "a float in (0, 1]",
-                });
+                return Err(ctx.invalid("rate", value, "a float in (0, 1]"));
             }
             set_count(cfg, "rate", LandmarkCount::Rate(r))?;
         }
@@ -485,35 +349,14 @@ fn apply_param(
             cfg.cluster_rule = match value {
                 "inclusive" => ClusterRule::Inclusive,
                 "strict" => ClusterRule::Strict,
-                _ => {
-                    return Err(SpecError::InvalidValue {
-                        scheme: "landmark",
-                        param: "clusters",
-                        value: value.to_string(),
-                        expected: "inclusive | strict",
-                    })
-                }
+                _ => return Err(ctx.invalid("clusters", value, "inclusive | strict")),
             };
         }
         (SchemeSpec::Landmark(cfg), "seed") => {
-            cfg.seed = value.parse().map_err(|_| SpecError::InvalidValue {
-                scheme: "landmark",
-                param: "seed",
-                value: value.to_string(),
-                expected: "a u64",
-            })?;
+            cfg.seed = ctx.parse_int("seed", value, "a u64")?;
         }
         (_, unknown) => {
-            let valid = param_docs(kind)
-                .iter()
-                .map(|p| p.name)
-                .collect::<Vec<_>>()
-                .join(", ");
-            return Err(SpecError::UnknownParam {
-                scheme,
-                param: unknown.to_string(),
-                valid,
-            });
+            return Err(ctx.unknown_param(unknown, param_docs(kind)));
         }
     }
     Ok(())
@@ -564,7 +407,7 @@ mod tests {
     fn typed_errors_for_bad_specs() {
         assert!(matches!(
             SchemeSpec::parse("no-such-scheme"),
-            Err(SpecError::UnknownScheme { .. })
+            Err(SpecError::UnknownKey { .. })
         ));
         assert!(matches!(
             SchemeSpec::parse("landmark?bogus=1"),

@@ -1,0 +1,473 @@
+//! # speclang
+//!
+//! The shared spec-string language of the experiment stack.  Every axis of a
+//! scenario — the routing **scheme**, the **graph** family, the traffic
+//! **workload** — is named by a spec string with one grammar:
+//!
+//! ```text
+//! spec    := key [ '?' param ( '&' param )* ]
+//! param   := name '=' value
+//! ```
+//!
+//! This crate holds the machinery all three codecs are built on, extracted
+//! from `routeschemes::spec` where the grammar first appeared:
+//!
+//! * [`ParamDoc`] — the self-documenting parameter table of one family; the
+//!   single source of truth shared by each parser, its canonical formatter,
+//!   and the rendered CLI vocabulary, so help text cannot drift from what a
+//!   parser accepts;
+//! * [`SpecError`] — typed parse failures, tagged with the *domain*
+//!   (`"scheme"`, `"graph"`, `"workload"`) so the same machinery produces
+//!   `unknown scheme key 'x'` and `unknown graph key 'x'` alike;
+//! * [`SpecCtx`] + the `parse_*` helpers — one-line typed value parsing that
+//!   carries the (domain, key, param) context into every error;
+//! * [`render_vocabulary`] — the `key?a=...&b=...` help table;
+//! * [`toml`] — a minimal in-tree TOML-subset reader (the workspace builds
+//!   offline, mirroring the in-tree `criterion` shim) for declarative
+//!   scenario files.
+//!
+//! Each codec keeps the same contract: `parse ∘ spec_string = id`, with the
+//! canonical form omitting default-valued parameters.
+
+pub mod toml;
+
+/// One parameter of a spec family: its name and the accepted values,
+/// rendered into help text and into [`SpecError`] messages.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamDoc {
+    pub name: &'static str,
+    pub values: &'static str,
+}
+
+/// Why a spec string failed to parse.  Every variant carries the `domain` it
+/// came from (`"scheme"`, `"graph"`, `"workload"`), so one error type serves
+/// every codec without flattening their messages together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The key before `?` names no family of this domain.
+    UnknownKey { domain: &'static str, key: String },
+    /// The named parameter does not exist for this family; `valid` lists the
+    /// ones that do.
+    UnknownParam {
+        domain: &'static str,
+        key: &'static str,
+        param: String,
+        valid: String,
+    },
+    /// A parameter the family requires was not given.
+    MissingParam {
+        domain: &'static str,
+        key: &'static str,
+        param: &'static str,
+    },
+    /// The parameter exists but the value does not parse / is out of range.
+    InvalidValue {
+        domain: &'static str,
+        key: &'static str,
+        param: &'static str,
+        value: String,
+        expected: &'static str,
+    },
+    /// Two parameters that exclude each other were both given.
+    ConflictingParams {
+        domain: &'static str,
+        key: &'static str,
+        first: &'static str,
+        second: &'static str,
+    },
+    /// Structurally broken spec (e.g. a parameter without `=`).
+    Malformed { spec: String, reason: String },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::UnknownKey { domain, key } => write!(f, "unknown {domain} key '{key}'"),
+            SpecError::UnknownParam {
+                domain,
+                key,
+                param,
+                valid,
+            } => {
+                if valid.is_empty() {
+                    write!(f, "{domain} '{key}' takes no parameters (got '{param}')")
+                } else {
+                    write!(
+                        f,
+                        "{domain} '{key}' has no parameter '{param}' (valid: {valid})"
+                    )
+                }
+            }
+            SpecError::MissingParam { domain, key, param } => {
+                write!(f, "{domain} '{key}' requires parameter '{param}'")
+            }
+            SpecError::InvalidValue {
+                domain,
+                key,
+                param,
+                value,
+                expected,
+            } => write!(
+                f,
+                "{domain} '{key}': bad value '{value}' for '{param}' (expected {expected})"
+            ),
+            SpecError::ConflictingParams {
+                domain,
+                key,
+                first,
+                second,
+            } => write!(
+                f,
+                "{domain} '{key}': parameters '{first}' and '{second}' conflict"
+            ),
+            SpecError::Malformed { spec, reason } => {
+                write!(f, "malformed spec '{spec}': {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The (domain, family-key) context a parser threads through value parsing,
+/// so every error names exactly where it happened.
+#[derive(Debug, Clone, Copy)]
+pub struct SpecCtx {
+    pub domain: &'static str,
+    pub key: &'static str,
+}
+
+impl SpecCtx {
+    pub fn new(domain: &'static str, key: &'static str) -> Self {
+        SpecCtx { domain, key }
+    }
+
+    /// An [`SpecError::InvalidValue`] in this context.
+    pub fn invalid(&self, param: &'static str, value: &str, expected: &'static str) -> SpecError {
+        SpecError::InvalidValue {
+            domain: self.domain,
+            key: self.key,
+            param,
+            value: value.to_string(),
+            expected,
+        }
+    }
+
+    /// An [`SpecError::UnknownParam`] in this context; `valid` is rendered
+    /// from the same [`ParamDoc`] table the vocabulary prints.
+    pub fn unknown_param(&self, param: &str, docs: &[ParamDoc]) -> SpecError {
+        SpecError::UnknownParam {
+            domain: self.domain,
+            key: self.key,
+            param: param.to_string(),
+            valid: docs.iter().map(|p| p.name).collect::<Vec<_>>().join(", "),
+        }
+    }
+
+    /// An [`SpecError::MissingParam`] in this context.
+    pub fn missing(&self, param: &'static str) -> SpecError {
+        SpecError::MissingParam {
+            domain: self.domain,
+            key: self.key,
+            param,
+        }
+    }
+
+    /// An [`SpecError::ConflictingParams`] in this context.
+    pub fn conflict(&self, first: &'static str, second: &'static str) -> SpecError {
+        SpecError::ConflictingParams {
+            domain: self.domain,
+            key: self.key,
+            first,
+            second,
+        }
+    }
+
+    /// Parses an integer-typed value (`usize`, `u64`, `u32`, ...).
+    pub fn parse_int<T: std::str::FromStr>(
+        &self,
+        param: &'static str,
+        value: &str,
+        expected: &'static str,
+    ) -> Result<T, SpecError> {
+        value
+            .parse()
+            .map_err(|_| self.invalid(param, value, expected))
+    }
+
+    /// Parses a float value.
+    pub fn parse_f64(
+        &self,
+        param: &'static str,
+        value: &str,
+        expected: &'static str,
+    ) -> Result<f64, SpecError> {
+        value
+            .parse()
+            .map_err(|_| self.invalid(param, value, expected))
+    }
+
+    /// Parses a seed-like `u64`: decimal or `0x` hex (`seed=0xC5A` reads
+    /// naturally in scenario files).
+    pub fn parse_seed(
+        &self,
+        param: &'static str,
+        value: &str,
+        expected: &'static str,
+    ) -> Result<u64, SpecError> {
+        parse_u64_str(value).ok_or_else(|| self.invalid(param, value, expected))
+    }
+
+    /// Parses a message/round count: a plain integer, or float syntax with an
+    /// integral value (`1e6`, `2.5e5`) — sweep configs like `messages=1e6`
+    /// read better than six zeros.
+    pub fn parse_count(
+        &self,
+        param: &'static str,
+        value: &str,
+        expected: &'static str,
+    ) -> Result<u64, SpecError> {
+        parse_count_str(value).ok_or_else(|| self.invalid(param, value, expected))
+    }
+}
+
+/// A family's query, validated and ready for typed lookups: every name is
+/// checked against the family's [`ParamDoc`] table up front (the single
+/// rejection path for unknown names), and repeated parameters resolve
+/// last-occurrence-wins — the shared scaffolding of every codec's parser.
+pub struct ParsedParams<'a> {
+    ctx: SpecCtx,
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> ParsedParams<'a> {
+    /// Splits and validates `query` (the part after `?` of `spec`).
+    pub fn new(
+        ctx: SpecCtx,
+        spec: &str,
+        query: &'a str,
+        docs: &[ParamDoc],
+    ) -> Result<Self, SpecError> {
+        let pairs = parse_query(spec, query)?;
+        for (name, _) in &pairs {
+            if !docs.iter().any(|p| p.name == *name) {
+                return Err(ctx.unknown_param(name, docs));
+            }
+        }
+        Ok(ParsedParams { ctx, pairs })
+    }
+
+    /// The parsing context (for family-specific value checks).
+    pub fn ctx(&self) -> SpecCtx {
+        self.ctx
+    }
+
+    /// The raw value of `name`, last occurrence winning.
+    pub fn get(&self, name: &str) -> Option<&'a str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The conventional `seed` parameter: optional, default 0, `0x` hex ok.
+    pub fn seed(&self) -> Result<u64, SpecError> {
+        match self.get("seed") {
+            Some(value) => self.ctx.parse_seed("seed", value, "a u64 (0x hex ok)"),
+            None => Ok(0),
+        }
+    }
+
+    /// A required count parameter (`messages`, `rounds`, ...): `>= 1`,
+    /// scientific notation accepted.
+    pub fn count(&self, param: &'static str) -> Result<u64, SpecError> {
+        let value = self.get(param).ok_or_else(|| self.ctx.missing(param))?;
+        let v = self
+            .ctx
+            .parse_count(param, value, "a count >= 1 (1e6 ok)")?;
+        if v == 0 {
+            return Err(self.ctx.invalid(param, value, "a count >= 1 (1e6 ok)"));
+        }
+        Ok(v)
+    }
+}
+
+/// Appends the canonical `seed=<v>` parameter unless it is the default 0 —
+/// the formatter twin of [`ParsedParams::seed`].
+pub fn push_nonzero_seed(params: &mut Vec<String>, seed: u64) {
+    if seed != 0 {
+        params.push(format!("seed={seed}"));
+    }
+}
+
+/// `123` or `0x7AFF1C` → the `u64` it denotes.
+pub fn parse_u64_str(value: &str) -> Option<u64> {
+    if let Some(hex) = value
+        .strip_prefix("0x")
+        .or_else(|| value.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        value.parse().ok()
+    }
+}
+
+/// `1000`, `1e6`, `2.5e5` → the exact integer they denote; `None` for
+/// non-integral, negative or imprecise (`> 2^53`) float forms.
+pub fn parse_count_str(value: &str) -> Option<u64> {
+    if let Ok(v) = value.parse::<u64>() {
+        return Some(v);
+    }
+    let f: f64 = value.parse().ok()?;
+    // 2^53: above this, f64 cannot represent every integer, so a float-form
+    // count would silently round.
+    if f.is_finite() && (0.0..=9_007_199_254_740_992.0).contains(&f) && f.fract() == 0.0 {
+        Some(f as u64)
+    } else {
+        None
+    }
+}
+
+/// Splits a spec into its family key and raw query (`""` when absent).
+pub fn split_spec(spec: &str) -> (&str, &str) {
+    match spec.split_once('?') {
+        Some((k, q)) => (k, q),
+        None => (spec, ""),
+    }
+}
+
+/// Splits the query of `spec` into `(name, value)` pairs, rejecting
+/// parameters without `=` as [`SpecError::Malformed`].  Empty segments
+/// (trailing `&`) are skipped.
+pub fn parse_query<'a>(spec: &str, query: &'a str) -> Result<Vec<(&'a str, &'a str)>, SpecError> {
+    let mut out = Vec::new();
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (name, value) = pair.split_once('=').ok_or_else(|| SpecError::Malformed {
+            spec: spec.to_string(),
+            reason: format!("parameter '{pair}' has no '=value'"),
+        })?;
+        out.push((name, value));
+    }
+    Ok(out)
+}
+
+/// Renders a `key?name=value` list into the canonical spec string: the bare
+/// key when every parameter is at its default (`params` empty), otherwise
+/// `key?a=1&b=2`.
+pub fn render_spec(key: &str, params: &[String]) -> String {
+    if params.is_empty() {
+        key.to_string()
+    } else {
+        format!("{}?{}", key, params.join("&"))
+    }
+}
+
+/// The full valid-spec vocabulary of one domain, one block per family key —
+/// what the CLI prints on a failed parse and under `specs`.  `title` is the
+/// header line (e.g. `"valid scheme specs (bare key = defaults):"`).
+pub fn render_vocabulary(title: &str, entries: &[(&str, &[ParamDoc])]) -> String {
+    let mut out = format!("{title}\n");
+    for (key, params) in entries {
+        if params.is_empty() {
+            out.push_str(&format!("  {key}\n"));
+        } else {
+            let names: Vec<&str> = params.iter().map(|p| p.name).collect();
+            out.push_str(&format!("  {}?{}=...\n", key, names.join("=...&")));
+            for p in *params {
+                out.push_str(&format!("      {:<8} {}\n", p.name, p.values));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_query_parsing() {
+        assert_eq!(split_spec("landmark?k=64"), ("landmark", "k=64"));
+        assert_eq!(split_spec("table"), ("table", ""));
+        let pairs = parse_query("x?a=1&b=2", "a=1&b=2").unwrap();
+        assert_eq!(pairs, vec![("a", "1"), ("b", "2")]);
+        assert_eq!(parse_query("x", "").unwrap(), vec![]);
+        assert!(matches!(
+            parse_query("x?a", "a"),
+            Err(SpecError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn count_parsing_accepts_scientific_integers() {
+        assert_eq!(parse_count_str("1000"), Some(1000));
+        assert_eq!(parse_count_str("1e6"), Some(1_000_000));
+        assert_eq!(parse_count_str("2.5e5"), Some(250_000));
+        assert_eq!(parse_count_str("0"), Some(0));
+        assert_eq!(parse_count_str("1.5"), None);
+        assert_eq!(parse_count_str("-5"), None);
+        assert_eq!(parse_count_str("1e300"), None);
+        assert_eq!(parse_count_str("ten"), None);
+    }
+
+    #[test]
+    fn ctx_errors_carry_domain_and_key() {
+        let ctx = SpecCtx::new("workload", "zipf");
+        let e = ctx.invalid("s", "fast", "a float > 0");
+        assert_eq!(
+            e.to_string(),
+            "workload 'zipf': bad value 'fast' for 's' (expected a float > 0)"
+        );
+        let docs = [
+            ParamDoc {
+                name: "s",
+                values: "x",
+            },
+            ParamDoc {
+                name: "seed",
+                values: "y",
+            },
+        ];
+        let e = ctx.unknown_param("zed", &docs);
+        assert_eq!(
+            e.to_string(),
+            "workload 'zipf' has no parameter 'zed' (valid: s, seed)"
+        );
+        assert_eq!(
+            ctx.missing("messages").to_string(),
+            "workload 'zipf' requires parameter 'messages'"
+        );
+        assert_eq!(
+            ctx.conflict("k", "rate").to_string(),
+            "workload 'zipf': parameters 'k' and 'rate' conflict"
+        );
+        let e = SpecError::UnknownKey {
+            domain: "graph",
+            key: "blob".into(),
+        };
+        assert_eq!(e.to_string(), "unknown graph key 'blob'");
+    }
+
+    #[test]
+    fn vocabulary_rendering_lists_keys_and_params() {
+        let docs: &[ParamDoc] = &[ParamDoc {
+            name: "n",
+            values: "vertex count",
+        }];
+        let vocab = render_vocabulary("valid graph specs:", &[("random", docs), ("grid", &[])]);
+        assert!(vocab.starts_with("valid graph specs:\n"));
+        assert!(vocab.contains("random?n=...\n"));
+        assert!(vocab.contains("      n        vertex count\n"));
+        assert!(vocab.contains("  grid\n"));
+    }
+
+    #[test]
+    fn render_spec_canonical_forms() {
+        assert_eq!(render_spec("table", &[]), "table");
+        assert_eq!(
+            render_spec("landmark", &["k=64".into(), "seed=7".into()]),
+            "landmark?k=64&seed=7"
+        );
+    }
+}

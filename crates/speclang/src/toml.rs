@@ -1,0 +1,472 @@
+//! A minimal TOML-subset reader for declarative scenario files.
+//!
+//! The workspace builds fully offline, so — like the in-tree `criterion`
+//! shim — this is a small hand-rolled parser covering exactly the subset the
+//! scenario files use, not a general TOML implementation:
+//!
+//! * `key = value` pairs with bare keys (`[A-Za-z0-9_-]+`);
+//! * basic strings (`"..."` with `\"` `\\` `\n` `\r` `\t` escapes);
+//! * integers (decimal with optional `_` separators, or `0x` hex — scenario
+//!   seeds read naturally as `0xC5A`), floats, booleans;
+//! * arrays of scalars, which may span multiple lines;
+//! * `[table]` and `[[array-of-tables]]` headers;
+//! * `#` comments and blank lines.
+//!
+//! Order is preserved everywhere (a `Vec` of entries, not a map): scenario
+//! cases run in file order, and duplicate keys are rejected rather than
+//! last-write-wins.  Errors carry the 1-based line number.
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// The contained string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The contained integer, if this is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The contained boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The contained array, if this is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+/// An ordered `key = value` table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    pub entries: Vec<(String, Value)>,
+}
+
+impl Table {
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The keys, in file order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+}
+
+/// One `[name]` or `[[name]]` section, in file order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    pub name: String,
+    /// `true` for `[[name]]` (one entry per occurrence), `false` for `[name]`.
+    pub is_array: bool,
+    pub table: Table,
+    /// 1-based line of the header, for error reporting downstream.
+    pub line: usize,
+}
+
+/// A parsed document: the headerless root table plus every section.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Document {
+    pub root: Table,
+    pub sections: Vec<Section>,
+}
+
+impl Document {
+    /// Every `[[name]]` section of the given name, in file order.
+    pub fn array_sections<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Section> {
+        self.sections
+            .iter()
+            .filter(move |s| s.is_array && s.name == name)
+    }
+}
+
+/// A parse failure, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for TomlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TomlError> {
+    Err(TomlError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Strips the comment from one physical line and reports whether the line
+/// leaves an array open (more `[` than `]` outside strings).
+fn strip_comment(line: &str) -> (&str, i32) {
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut depth = 0i32;
+    for (i, c) in line.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '[' => depth += 1,
+            ']' => depth -= 1,
+            '#' => return (&line[..i], depth),
+            _ => {}
+        }
+    }
+    (line, depth)
+}
+
+/// Parses a document.
+pub fn parse(input: &str) -> Result<Document, TomlError> {
+    let mut doc = Document::default();
+    let lines: Vec<&str> = input.lines().collect();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let start_line = i + 1;
+        let (content, mut depth) = strip_comment(lines[i]);
+        let mut logical = content.to_string();
+        // A multi-line array: keep consuming physical lines until the
+        // brackets balance.
+        while depth > 0 {
+            i += 1;
+            if i >= lines.len() {
+                return err(start_line, "unclosed '[' at end of file");
+            }
+            let (cont, d) = strip_comment(lines[i]);
+            logical.push(' ');
+            logical.push_str(cont);
+            depth += d;
+        }
+        i += 1;
+        let trimmed = logical.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("[[") {
+            let Some(name) = rest.strip_suffix("]]") else {
+                return err(start_line, format!("malformed section header '{trimmed}'"));
+            };
+            let name = name.trim();
+            check_bare_key(name, start_line)?;
+            doc.sections.push(Section {
+                name: name.to_string(),
+                is_array: true,
+                table: Table::default(),
+                line: start_line,
+            });
+        } else if let Some(rest) = trimmed.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return err(start_line, format!("malformed section header '{trimmed}'"));
+            };
+            let name = name.trim();
+            check_bare_key(name, start_line)?;
+            doc.sections.push(Section {
+                name: name.to_string(),
+                is_array: false,
+                table: Table::default(),
+                line: start_line,
+            });
+        } else {
+            let Some((key, value)) = trimmed.split_once('=') else {
+                return err(
+                    start_line,
+                    format!("expected 'key = value', got '{trimmed}'"),
+                );
+            };
+            let key = key.trim();
+            check_bare_key(key, start_line)?;
+            let value = parse_value(value.trim(), start_line)?;
+            let table = match doc.sections.last_mut() {
+                Some(s) => &mut s.table,
+                None => &mut doc.root,
+            };
+            if table.get(key).is_some() {
+                return err(start_line, format!("duplicate key '{key}'"));
+            }
+            table.entries.push((key.to_string(), value));
+        }
+    }
+    Ok(doc)
+}
+
+fn check_bare_key(key: &str, line: usize) -> Result<(), TomlError> {
+    if key.is_empty()
+        || !key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return err(line, format!("invalid bare key '{key}'"));
+    }
+    Ok(())
+}
+
+/// Parses one complete value (the whole string must be consumed).
+fn parse_value(s: &str, line: usize) -> Result<Value, TomlError> {
+    let (v, rest) = parse_value_prefix(s, line)?;
+    if !rest.trim().is_empty() {
+        return err(
+            line,
+            format!("trailing content '{}' after value", rest.trim()),
+        );
+    }
+    Ok(v)
+}
+
+/// Parses a value at the start of `s`, returning it and the unparsed rest.
+fn parse_value_prefix(s: &str, line: usize) -> Result<(Value, &str), TomlError> {
+    let s = s.trim_start();
+    if let Some(rest) = s.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return Ok((Value::Str(out), &rest[i + 1..])),
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    other => {
+                        return err(
+                            line,
+                            format!(
+                                "unsupported escape '\\{}'",
+                                other.map(|(_, c)| c).unwrap_or(' ')
+                            ),
+                        )
+                    }
+                },
+                c => out.push(c),
+            }
+        }
+        return err(line, "unterminated string");
+    }
+    if let Some(rest) = s.strip_prefix('[') {
+        let mut items = Vec::new();
+        let mut rest = rest.trim_start();
+        loop {
+            if let Some(after) = rest.strip_prefix(']') {
+                return Ok((Value::Array(items), after));
+            }
+            let (v, r) = parse_value_prefix(rest, line)?;
+            items.push(v);
+            rest = r.trim_start();
+            if let Some(after) = rest.strip_prefix(',') {
+                rest = after.trim_start();
+            } else if !rest.starts_with(']') {
+                return err(line, "expected ',' or ']' in array");
+            }
+        }
+    }
+    // A bare scalar: runs to the next delimiter.
+    let end = s
+        .find(|c: char| c == ',' || c == ']' || c.is_whitespace())
+        .unwrap_or(s.len());
+    let (token, rest) = s.split_at(end);
+    if token.is_empty() {
+        return err(line, "expected a value");
+    }
+    let v = parse_scalar(token, line)?;
+    Ok((v, rest))
+}
+
+fn parse_scalar(token: &str, line: usize) -> Result<Value, TomlError> {
+    match token {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let (sign, mag) = match token.strip_prefix('-') {
+        Some(m) => (-1i64, m),
+        None => (1, token),
+    };
+    if let Some(hex) = mag.strip_prefix("0x").or_else(|| mag.strip_prefix("0X")) {
+        let cleaned: String = hex.chars().filter(|&c| c != '_').collect();
+        if let Ok(v) = i64::from_str_radix(&cleaned, 16) {
+            return Ok(Value::Int(sign * v));
+        }
+        return err(line, format!("invalid hex integer '{token}'"));
+    }
+    let cleaned: String = token.chars().filter(|&c| c != '_').collect();
+    if !cleaned.contains('.') && !cleaned.contains(['e', 'E']) {
+        if let Ok(v) = cleaned.parse::<i64>() {
+            return Ok(Value::Int(v));
+        }
+    }
+    if let Ok(v) = cleaned.parse::<f64>() {
+        return Ok(Value::Float(v));
+    }
+    err(line, format!("invalid value '{token}'"))
+}
+
+/// Escapes a string for a TOML basic string literal (quotes not included).
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_root_sections_and_arrays_of_tables() {
+        let doc = parse(
+            r#"
+# a scenario
+name = "smoke"   # trailing comment
+count = 20_000
+seed = 0xC5A
+theta = 0.5
+fast = true
+
+[[case]]
+graph = "grid?rows=32&cols=32"
+schemes = ["table", "tree"]
+
+[[case]]
+graph = "hypercube?dim=10"
+roots = [0, 1,
+         2, 3]   # multi-line array
+
+[engine]
+block_rows = 8
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.root.get("name").unwrap().as_str(), Some("smoke"));
+        assert_eq!(doc.root.get("count").unwrap().as_int(), Some(20_000));
+        assert_eq!(doc.root.get("seed").unwrap().as_int(), Some(0xC5A));
+        assert_eq!(doc.root.get("theta"), Some(&Value::Float(0.5)));
+        assert_eq!(doc.root.get("fast").unwrap().as_bool(), Some(true));
+        let cases: Vec<_> = doc.array_sections("case").collect();
+        assert_eq!(cases.len(), 2);
+        assert_eq!(
+            cases[0].table.get("schemes").unwrap().as_array().unwrap(),
+            &[Value::Str("table".into()), Value::Str("tree".into())]
+        );
+        assert_eq!(
+            cases[1].table.get("roots").unwrap().as_array().unwrap(),
+            &[Value::Int(0), Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+        let engine = doc
+            .sections
+            .iter()
+            .find(|s| !s.is_array && s.name == "engine")
+            .unwrap();
+        assert_eq!(engine.table.get("block_rows").unwrap().as_int(), Some(8));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "a \"quoted\"\\ value\nwith\ttabs";
+        let doc = parse(&format!("s = \"{}\"", escape_str(original))).unwrap();
+        assert_eq!(doc.root.get("s").unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse("s = \"a # b\" # real comment").unwrap();
+        assert_eq!(doc.root.get("s").unwrap().as_str(), Some("a # b"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("ok = 1\nbroken").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("key = value"));
+        let e = parse("x = \"unterminated").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse("x = [1, 2").unwrap_err();
+        assert!(e.message.contains("unclosed"));
+        let e = parse("x = 1\nx = 2").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+        let e = parse("x = 1 2").unwrap_err();
+        assert!(e.message.contains("trailing"));
+        let e = parse("[bad]extra").unwrap_err();
+        assert!(e.message.contains("malformed section"));
+        let e = parse("[never closed").unwrap_err();
+        assert!(e.message.contains("unclosed"));
+        let e = parse("x = nope").unwrap_err();
+        assert!(e.message.contains("invalid value"));
+    }
+
+    #[test]
+    fn negative_and_underscored_numbers() {
+        let doc = parse("a = -42\nb = 1_000_000\nc = -0x10\nd = 1e6").unwrap();
+        assert_eq!(doc.root.get("a").unwrap().as_int(), Some(-42));
+        assert_eq!(doc.root.get("b").unwrap().as_int(), Some(1_000_000));
+        assert_eq!(doc.root.get("c").unwrap().as_int(), Some(-16));
+        assert_eq!(doc.root.get("d"), Some(&Value::Float(1e6)));
+    }
+
+    #[test]
+    fn empty_arrays_and_nested_arrays() {
+        let doc = parse("a = []\nb = [[1, 2], [3]]").unwrap();
+        assert_eq!(doc.root.get("a").unwrap().as_array().unwrap().len(), 0);
+        let b = doc.root.get("b").unwrap().as_array().unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].as_array().unwrap(), &[Value::Int(1), Value::Int(2)]);
+    }
+}

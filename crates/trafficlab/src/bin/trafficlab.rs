@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! trafficlab list                       # show the scenario book
-//! trafficlab run <name> [options]       # run one scenario
+//! trafficlab run <name> [options]       # run one built-in scenario
+//! trafficlab --file <path> [options]    # run a scenario TOML file
 //! trafficlab smoke [options]            # alias for `run smoke`
-//! trafficlab specs                      # print the scheme-spec vocabulary
+//! trafficlab specs                      # print the spec vocabularies
+//!                                       # (schemes, graphs, workloads)
 //!
 //! options:
 //!   --threads <t>    worker count (default: all cores)
@@ -12,25 +14,35 @@
 //!                    table then moves to stderr so stdout stays parseable)
 //!   --schemes <s>    comma-separated scheme specs overriding every case's
 //!                    scheme list, e.g. landmark?k=64&clusters=strict,tree
+//!   --report <view>  extra report view: 'congestion' appends the
+//!                    congestion-vs-stretch trade-off table
 //! ```
 //!
-//! Scheme specs follow the `routeschemes::spec` codec; a spec that fails to
-//! parse aborts with the typed error *and* the full valid-spec vocabulary
-//! (keys + recognized parameters), rendered from the same table the parser
-//! validates against so the help can never drift from what is accepted.
+//! Scheme, graph and workload specs all follow the shared `speclang` codec;
+//! a spec that fails to parse aborts with the typed error *and* the valid
+//! vocabulary (keys + recognized parameters), rendered from the same
+//! `param_docs` tables the parsers validate against so the help can never
+//! drift from what is accepted.  Scenario names are matched
+//! case-insensitively, and a typo'd name gets near-miss suggestions instead
+//! of a bare list.
 //!
 //! Exit status is non-zero when any scheme violates its guaranteed stretch,
 //! when any (case, scheme) cell fails with a routing error, or when nothing
-//! ran at all — so CI can gate on the smoke scenario.
+//! ran at all — so CI can gate on the smoke scenario (built-in or via
+//! `--file examples/scenarios/smoke.toml`).
 
 use routeschemes::spec::{vocabulary, SchemeSpec};
 use std::process::ExitCode;
-use trafficlab::{find_scenario, named_scenarios, run_scenario};
+use trafficlab::{
+    find_scenario, named_scenarios, run_scenario, suggest_scenarios, GraphSpec, Scenario,
+    ScenarioSpec, WorkloadSpec,
+};
 
 fn usage() {
     eprintln!(
         "usage: trafficlab <list | run <scenario> | smoke | specs> \
-         [--threads t] [--json path] [--schemes spec,spec]"
+         [--file path.toml] [--threads t] [--json path] [--schemes spec,spec] \
+         [--report congestion]"
     );
     eprintln!("scenarios:");
     for s in named_scenarios() {
@@ -38,11 +50,19 @@ fn usage() {
     }
 }
 
+/// Which extra report views to print after the main table.
+#[derive(Default, Clone, Copy)]
+struct ReportViews {
+    congestion: bool,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threads = 0usize;
     let mut json_path: Option<String> = None;
     let mut schemes_arg: Option<String> = None;
+    let mut file_path: Option<String> = None;
+    let mut views = ReportViews::default();
     let mut positional: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -62,6 +82,27 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 json_path = Some(v.clone());
+            }
+            "--file" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--file needs a path to a scenario TOML file");
+                    return ExitCode::FAILURE;
+                };
+                file_path = Some(v.clone());
+            }
+            "--report" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("congestion") => views.congestion = true,
+                    other => {
+                        eprintln!(
+                            "--report needs a view name (valid: congestion), got {:?}",
+                            other.unwrap_or("")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             "--schemes" => {
                 i += 1;
@@ -107,6 +148,32 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = &file_path {
+        if !positional.is_empty() {
+            eprintln!(
+                "--file runs the given scenario file; drop '{}'",
+                positional.join(" ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let scenario = match ScenarioSpec::parse_toml(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                eprintln!("spec vocabularies: see `trafficlab specs`");
+                return ExitCode::FAILURE;
+            }
+        };
+        return run_one(scenario, threads, json_path, schemes_override, views);
+    }
+
     match positional.as_slice() {
         ["list"] => {
             for s in named_scenarios() {
@@ -121,10 +188,12 @@ fn main() -> ExitCode {
         }
         ["specs"] => {
             println!("{}", vocabulary());
+            println!("{}", GraphSpec::vocabulary());
+            println!("{}", WorkloadSpec::vocabulary());
             ExitCode::SUCCESS
         }
-        ["run", name] => run_named(name, threads, json_path, schemes_override),
-        ["smoke"] => run_named("smoke", threads, json_path, schemes_override),
+        ["run", name] => run_named(name, threads, json_path, schemes_override, views),
+        ["smoke"] => run_named("smoke", threads, json_path, schemes_override, views),
         other => {
             if !other.is_empty() {
                 eprintln!("unrecognized arguments: {}", other.join(" "));
@@ -140,11 +209,34 @@ fn run_named(
     threads: usize,
     json_path: Option<String>,
     schemes_override: Option<Vec<SchemeSpec>>,
+    views: ReportViews,
 ) -> ExitCode {
-    let Some(mut scenario) = find_scenario(name) else {
-        eprintln!("unknown scenario '{name}' (try `trafficlab list`)");
+    let Some(scenario) = find_scenario(name) else {
+        let suggestions = suggest_scenarios(name);
+        if suggestions.is_empty() {
+            eprintln!("unknown scenario '{name}' (try `trafficlab list`)");
+        } else {
+            eprintln!(
+                "unknown scenario '{name}' — did you mean {}? (try `trafficlab list`)",
+                suggestions
+                    .iter()
+                    .map(|s| format!("'{s}'"))
+                    .collect::<Vec<_>>()
+                    .join(" or ")
+            );
+        }
         return ExitCode::FAILURE;
     };
+    run_one(scenario, threads, json_path, schemes_override, views)
+}
+
+fn run_one(
+    mut scenario: Scenario,
+    threads: usize,
+    json_path: Option<String>,
+    schemes_override: Option<Vec<SchemeSpec>>,
+    views: ReportViews,
+) -> ExitCode {
     if let Some(specs) = schemes_override {
         let rendered: Vec<String> = specs.iter().map(|s| s.spec_string()).collect();
         eprintln!("scheme override: {}", rendered.join(", "));
@@ -152,10 +244,14 @@ fn run_named(
             case.schemes = specs.clone();
         }
     }
-    eprintln!("scenario {name}: {}", scenario.description);
+    eprintln!("scenario {}: {}", scenario.name, scenario.description);
     let report = run_scenario(&scenario, threads);
     let json_to_stdout = json_path.as_deref() == Some("-");
-    let table = report.to_table().to_plain();
+    let mut table = report.to_table().to_plain();
+    if views.congestion {
+        table.push_str("\ncongestion vs stretch:\n");
+        table.push_str(&report.to_congestion_table().to_plain());
+    }
     if json_to_stdout {
         // Keep stdout pure JSON for piping; the table is status output.
         eprintln!("{table}");
@@ -183,7 +279,7 @@ fn run_named(
     // exit status must surface (CI gates on this).
     if !report.errors.is_empty() {
         eprintln!(
-            "FAILURE: {} scheme(s) hit routing errors",
+            "FAILURE: {} (case, scheme) cell(s) failed (routing errors or invalid workloads)",
             report.errors.len()
         );
         return ExitCode::FAILURE;

@@ -19,23 +19,30 @@
 //!
 //! Layers:
 //!
-//! * [`workload`] — scenario generators: `all-pairs`, `uniform`, `zipf`,
-//!   `permutations`, `broadcast`, `sampled-sources`, explicit pair lists
-//!   (Theorem 1 probes);
+//! * [`workload`] — scenario generators behind the [`WorkloadSpec`] codec:
+//!   `all-pairs`, `uniform`, `zipf?messages=1e6&s=1.2`, `permutations`,
+//!   `broadcast`, `sampled-sources`, the adversarial `bisection` /
+//!   `worstperm` patterns, and the Theorem 1 `constrained-probes`;
 //! * [`engine`] — the batched parallel executor and its [`WorkloadReport`];
 //! * [`metrics`] — streaming congestion counters and length histograms;
-//! * [`scenario`] — named scenarios over the scheme registry, with table and
-//!   JSON reports (see the `trafficlab` binary).
+//! * [`scenario`] — declarative scenarios ([`ScenarioSpec`]: graph spec ×
+//!   workload spec × scheme specs) over the scheme registry, with table,
+//!   congestion-vs-stretch and JSON reports (see the `trafficlab` binary);
+//! * [`files`] — the TOML scenario-file codec; the built-in scenario book
+//!   itself is data under `examples/scenarios/`.
 
 pub mod engine;
+pub mod files;
 pub mod metrics;
 pub mod scenario;
 pub mod workload;
 
 pub use engine::{run_workload, stretch_factor_blocked, EngineConfig, WorkloadReport};
+pub use files::ScenarioFileError;
 pub use metrics::{CongestionCounters, CongestionReport, LengthHistogram};
 pub use scenario::{
-    find_scenario, landmark_strict, landmark_with_k, named_scenarios, run_scenario, Case,
-    CaseResult, CaseWorkload, GraphSpec, Scenario, ScenarioReport, LANDMARK_SWEEP_KS,
+    find_scenario, landmark_strict, landmark_with_k, named_scenarios, run_scenario,
+    suggest_scenarios, Case, CaseResult, CaseSpec, GraphSpec, Scenario, ScenarioReport,
+    ScenarioSpec, LANDMARK_SWEEP_KS,
 };
-pub use workload::{SourceDests, Workload, WorkloadPlan};
+pub use workload::{SourceDests, Workload, WorkloadPlan, WorkloadSpec};

@@ -170,22 +170,41 @@ impl LengthHistogram {
             .sum()
     }
 
+    /// The largest recorded route length; `None` on an empty histogram.
+    pub fn max_len(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
     /// Smallest length `l` such that at least `q` (in `[0, 1]`) of the
-    /// messages had length `≤ l`; `None` on an empty histogram.
+    /// messages had length `≤ l` (nearest-rank); `None` on an empty
+    /// histogram.  `quantile(1.0)` is exactly [`LengthHistogram::max_len`].
     pub fn quantile(&self, q: f64) -> Option<usize> {
         let total = self.total();
         if total == 0 {
             return None;
         }
-        let threshold = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        // q = 1.0 asks for the maximum outright.  Going through the float
+        // rank is off by one in both directions once `total` exceeds 2^53:
+        // `1.0 * total as f64` can round *up* past the true count (walking
+        // off the end into a fallback that silently relied on there being no
+        // trailing zero bins) or *down* below it (stopping one bin early and
+        // under-reporting the max).
+        if q >= 1.0 {
+            return self.max_len();
+        }
+        // Nearest-rank index in [1, total]; the clamp keeps float rounding
+        // of q·total from escaping the valid rank range.
+        let threshold = ((q.max(0.0) * total as f64).ceil() as u64).clamp(1, total);
         let mut acc = 0u64;
         for (len, &c) in self.counts.iter().enumerate() {
             acc += c;
-            if acc >= threshold.max(1) {
+            if acc >= threshold {
                 return Some(len);
             }
         }
-        Some(self.counts.len() - 1)
+        // Unreachable while threshold <= total, but keep the answer honest
+        // rather than panicking: the last non-empty bin.
+        self.max_len()
     }
 
     /// Heap bytes held (for the engine's peak-memory proxy).
@@ -247,5 +266,42 @@ mod tests {
         assert_eq!(h.counts()[9], 1);
         assert_eq!(h.total(), 8);
         assert_eq!(LengthHistogram::new().quantile(0.5), None);
+    }
+
+    /// The q = 1.0 pin: the top quantile is exactly the maximum recorded
+    /// length, across histogram shapes, degenerate single-bin cases, merge
+    /// growth, and totals big enough that naive `ceil(q * total)` rounding
+    /// would overshoot the bin walk.
+    #[test]
+    fn quantile_one_is_the_max_recorded_length() {
+        let mut h = LengthHistogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(1.0), Some(0));
+        assert_eq!(h.max_len(), Some(0));
+        h.record(5);
+        h.record(5);
+        assert_eq!(h.quantile(1.0), Some(5));
+        // Quantiles above 1 clamp instead of running past the end.
+        assert_eq!(h.quantile(2.0), Some(5));
+        // Merge that grows the histogram moves the max with it.
+        let mut tail = LengthHistogram::new();
+        tail.record(12);
+        h.merge(&tail);
+        assert_eq!(h.quantile(1.0), Some(12));
+        assert_eq!(h.quantile(1.0), h.max_len());
+        // A total past 2^53 is where the old float-rank path went wrong:
+        // total = 2^53 + 1 rounds DOWN in f64, so ceil(1.0 · total) lands at
+        // 2^53 and the walk stopped one bin early, reporting 1 instead of
+        // the true max 3.  (2^53 + 1 is the smallest u64 f64 cannot
+        // represent.)
+        let mut big = LengthHistogram::new();
+        big.record(1);
+        big.counts[1] = 1u64 << 53;
+        big.record(3);
+        assert_eq!(big.total(), (1u64 << 53) + 1);
+        assert_eq!(big.quantile(1.0), Some(3));
+        assert_eq!(big.quantile(1.0), big.max_len());
+        assert_eq!(LengthHistogram::new().max_len(), None);
+        assert_eq!(LengthHistogram::new().quantile(1.0), None);
     }
 }

@@ -1,36 +1,48 @@
 //! Named scenarios: graph family × traffic pattern × scheme set, and the
 //! runner that turns one into a comparative report.
 //!
-//! A [`Scenario`] is a list of [`Case`]s.  Each case names a graph family
-//! ([`GraphSpec`]), a traffic pattern (the scenario vocabulary of
-//! [`Workload`]), and the registry schemes to drive over it.  The runner
+//! A [`ScenarioSpec`] is a declarative list of [`CaseSpec`]s.  Each case
+//! names a graph family ([`GraphSpec`]), a traffic pattern
+//! ([`WorkloadSpec`]), and the scheme specs to drive over it — every axis a
+//! spec value with a stable string codec, so a whole scenario is plain data:
+//! it can be written as a TOML file (see [`crate::files`]), rendered back
+//! out, and every report row names its full coordinates.  The runner
 //! instantiates every applicable scheme, pushes the workload through the
 //! sharded engine, and reports **measured** stretch/congestion next to the
 //! scheme's **promised** `guaranteed_stretch` and `MemoryReport` — the
 //! upper-bound side of the paper's Table 1, observed under load instead of
 //! quoted.
 //!
-//! Reports render as an [`analysis::Table`] for the console and as JSON for
-//! snapshots (`ScenarioReport::to_json`).
+//! Reports render as an [`analysis::Table`] for the console (plus the
+//! congestion-vs-stretch view of [`ScenarioReport::to_congestion_table`])
+//! and as JSON for snapshots (`ScenarioReport::to_json`).
 
 use crate::engine::{run_workload, EngineConfig, WorkloadReport};
-use crate::workload::Workload;
+use crate::workload::WorkloadSpec;
 use analysis::report::{fmt_f64, json_escape, json_f64, Table};
 use constraints::theorem1::build_worst_case_instance;
 use graphkit::{generators, Graph, NodeId};
 use routemodel::labeling::modular_complete_labeling;
 use routeschemes::landmark::{ClusterRule, LandmarkConfig, LandmarkCount};
-use routeschemes::{GraphHints, SchemeKind, SchemeSpec};
+use routeschemes::{GraphHints, SchemeSpec};
+use speclang::SpecError;
+use speclang::{
+    push_nonzero_seed, render_spec, render_vocabulary, split_spec, ParamDoc, ParsedParams, SpecCtx,
+};
 use std::time::Instant;
 
 /// A graph family, concretely parameterized.
+///
+/// Like scheme and workload specs, graph specs carry a stable string codec
+/// (`grid?rows=32&cols=32`, `random?n=4096&seed=3162`) — the old ad-hoc
+/// `label()` strings were display-only and could not be parsed back.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GraphSpec {
-    /// `random_connected(n, avg_deg / n, seed)` — the default workload graph.
+    /// `random_connected(n, deg / n, seed)` — the default workload graph.
     /// Generation is `O(n²)` Bernoulli trials: keep `n ≲ 10^4`.
     RandomConnected { n: usize, avg_deg: f64, seed: u64 },
-    /// `random_regular_like(n, degree, seed)` — `O(n · degree)` generation,
-    /// the family for the `n ≥ 10^5` sharded points.
+    /// `random_regular_like(n, d, seed)` — `O(n · d)` generation, the
+    /// family for the `n ≥ 10^5` sharded points.
     RandomRegular { n: usize, degree: usize, seed: u64 },
     /// `rows × cols` grid (dimension-order routing applies).
     Grid { rows: usize, cols: usize },
@@ -101,37 +113,258 @@ impl GraphSpec {
         }
     }
 
-    /// Short label for reports.
-    pub fn label(&self) -> String {
+    /// Every graph family key, in vocabulary order.
+    pub const ALL_KEYS: [&'static str; 7] = [
+        "random",
+        "regular",
+        "grid",
+        "hypercube",
+        "complete",
+        "tree",
+        "theorem1",
+    ];
+
+    /// The vertex count this spec will build, computable without building —
+    /// what scenario loading validates workloads against (broadcast roots in
+    /// range, at least two vertices) so a bad file fails typed instead of
+    /// tripping an internal assert at run time.
+    pub fn num_nodes(&self) -> usize {
         match *self {
-            GraphSpec::RandomConnected { n, avg_deg, .. } => {
-                format!("random(n={n},deg={avg_deg})")
-            }
-            GraphSpec::RandomRegular { n, degree, .. } => format!("regular(n={n},d={degree})"),
-            GraphSpec::Grid { rows, cols } => format!("grid({rows}x{cols})"),
-            GraphSpec::Hypercube { dim } => format!("hypercube({dim})"),
-            GraphSpec::CompleteModular { n } => format!("complete(n={n})"),
-            GraphSpec::RandomTree { n, .. } => format!("tree(n={n})"),
-            GraphSpec::Theorem1 { n, theta, .. } => format!("theorem1(n={n},theta={theta})"),
+            GraphSpec::RandomConnected { n, .. }
+            | GraphSpec::RandomRegular { n, .. }
+            | GraphSpec::CompleteModular { n }
+            | GraphSpec::RandomTree { n, .. }
+            | GraphSpec::Theorem1 { n, .. } => n,
+            GraphSpec::Grid { rows, cols } => rows.saturating_mul(cols),
+            GraphSpec::Hypercube { dim } => 1usize << dim.min(usize::BITS as usize - 1),
         }
+    }
+
+    /// Short family key (`random`, `grid`, ...).
+    pub fn key(&self) -> &'static str {
+        match self {
+            GraphSpec::RandomConnected { .. } => "random",
+            GraphSpec::RandomRegular { .. } => "regular",
+            GraphSpec::Grid { .. } => "grid",
+            GraphSpec::Hypercube { .. } => "hypercube",
+            GraphSpec::CompleteModular { .. } => "complete",
+            GraphSpec::RandomTree { .. } => "tree",
+            GraphSpec::Theorem1 { .. } => "theorem1",
+        }
+    }
+
+    /// The parameters each graph family accepts — the single source of truth
+    /// shared by the parser, the canonical formatter and
+    /// [`GraphSpec::vocabulary`].
+    pub fn param_docs(key: &str) -> &'static [ParamDoc] {
+        const N: ParamDoc = ParamDoc {
+            name: "n",
+            values: "vertex count >= 2 (required)",
+        };
+        const SEED: ParamDoc = ParamDoc {
+            name: "seed",
+            values: "u64 generator seed (default 0; 0x hex ok)",
+        };
+        match key {
+            "random" => &[
+                N,
+                ParamDoc {
+                    name: "deg",
+                    values: "average degree > 0 (default 8)",
+                },
+                SEED,
+            ],
+            "regular" => &[
+                N,
+                ParamDoc {
+                    name: "d",
+                    values: "degree >= 1 (default 8)",
+                },
+                SEED,
+            ],
+            "grid" => &[
+                ParamDoc {
+                    name: "rows",
+                    values: "grid rows >= 1 (required)",
+                },
+                ParamDoc {
+                    name: "cols",
+                    values: "grid columns >= 1 (required)",
+                },
+            ],
+            "hypercube" => &[ParamDoc {
+                name: "dim",
+                values: "hypercube dimension in 1..=30 (required)",
+            }],
+            "complete" => &[N],
+            "tree" => &[N, SEED],
+            "theorem1" => &[
+                N,
+                ParamDoc {
+                    name: "theta",
+                    values: "constrained fraction in (0, 1] (default 0.5)",
+                },
+                SEED,
+            ],
+            _ => &[],
+        }
+    }
+
+    /// The full valid-spec vocabulary, one block per graph key.
+    pub fn vocabulary() -> String {
+        let entries: Vec<(&str, &[ParamDoc])> = Self::ALL_KEYS
+            .into_iter()
+            .map(|key| (key, Self::param_docs(key)))
+            .collect();
+        render_vocabulary(
+            "valid graph specs (omitted params = defaults; 'n'/dims are required):",
+            &entries,
+        )
+    }
+
+    /// Parses a spec string (`key?name=value&...`).
+    pub fn parse(spec: &str) -> Result<GraphSpec, SpecError> {
+        let (key, query) = split_spec(spec);
+        let key = Self::ALL_KEYS
+            .into_iter()
+            .find(|k| *k == key)
+            .ok_or_else(|| SpecError::UnknownKey {
+                domain: "graph",
+                key: key.to_string(),
+            })?;
+        let ctx = SpecCtx::new("graph", key);
+        let p = ParsedParams::new(ctx, spec, query, Self::param_docs(key))?;
+        // A required size parameter; `expected` states the accepted range so
+        // the error both diagnoses and teaches (matching `param_docs`).
+        let size = |param: &'static str, min: usize, expected: &'static str| {
+            let value = p.get(param).ok_or_else(|| ctx.missing(param))?;
+            let v: usize = ctx.parse_int(param, value, expected)?;
+            if v < min {
+                return Err(ctx.invalid(param, value, expected));
+            }
+            Ok(v)
+        };
+        match key {
+            "random" => {
+                let avg_deg = match p.get("deg") {
+                    Some(value) => {
+                        let d = ctx.parse_f64("deg", value, "a float > 0")?;
+                        // NaN must fail too, hence the negated form.
+                        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                        if !(d > 0.0) {
+                            return Err(ctx.invalid("deg", value, "a float > 0"));
+                        }
+                        d
+                    }
+                    None => 8.0,
+                };
+                Ok(GraphSpec::RandomConnected {
+                    n: size("n", 2, "an integer >= 2")?,
+                    avg_deg,
+                    seed: p.seed()?,
+                })
+            }
+            "regular" => {
+                let degree = match p.get("d") {
+                    Some(value) => {
+                        let d: usize = ctx.parse_int("d", value, "an integer >= 1")?;
+                        if d == 0 {
+                            return Err(ctx.invalid("d", value, "an integer >= 1"));
+                        }
+                        d
+                    }
+                    None => 8,
+                };
+                Ok(GraphSpec::RandomRegular {
+                    n: size("n", 2, "an integer >= 2")?,
+                    degree,
+                    seed: p.seed()?,
+                })
+            }
+            "grid" => Ok(GraphSpec::Grid {
+                rows: size("rows", 1, "an integer >= 1")?,
+                cols: size("cols", 1, "an integer >= 1")?,
+            }),
+            "hypercube" => {
+                let dim = size("dim", 1, "a dimension in 1..=30")?;
+                if dim > 30 {
+                    return Err(ctx.invalid("dim", &dim.to_string(), "a dimension in 1..=30"));
+                }
+                Ok(GraphSpec::Hypercube { dim })
+            }
+            "complete" => Ok(GraphSpec::CompleteModular {
+                n: size("n", 2, "an integer >= 2")?,
+            }),
+            "tree" => Ok(GraphSpec::RandomTree {
+                n: size("n", 2, "an integer >= 2")?,
+                seed: p.seed()?,
+            }),
+            "theorem1" => {
+                let theta = match p.get("theta") {
+                    Some(value) => {
+                        let t = ctx.parse_f64("theta", value, "a float in (0, 1]")?;
+                        if !(t > 0.0 && t <= 1.0) {
+                            return Err(ctx.invalid("theta", value, "a float in (0, 1]"));
+                        }
+                        t
+                    }
+                    None => 0.5,
+                };
+                Ok(GraphSpec::Theorem1 {
+                    n: size("n", 2, "an integer >= 2")?,
+                    theta,
+                    seed: p.seed()?,
+                })
+            }
+            _ => unreachable!("key validated against ALL_KEYS"),
+        }
+    }
+
+    /// The canonical string form (`key?name=value&...`, defaults omitted);
+    /// `parse` of the result reproduces `self` exactly.  This replaces the
+    /// old display-only `label()` in every report.
+    pub fn spec_string(&self) -> String {
+        let mut params: Vec<String> = Vec::new();
+        match self {
+            GraphSpec::RandomConnected { n, avg_deg, seed } => {
+                params.push(format!("n={n}"));
+                if *avg_deg != 8.0 {
+                    params.push(format!("deg={avg_deg}"));
+                }
+                push_nonzero_seed(&mut params, *seed);
+            }
+            GraphSpec::RandomRegular { n, degree, seed } => {
+                params.push(format!("n={n}"));
+                if *degree != 8 {
+                    params.push(format!("d={degree}"));
+                }
+                push_nonzero_seed(&mut params, *seed);
+            }
+            GraphSpec::Grid { rows, cols } => {
+                params.push(format!("rows={rows}"));
+                params.push(format!("cols={cols}"));
+            }
+            GraphSpec::Hypercube { dim } => params.push(format!("dim={dim}")),
+            GraphSpec::CompleteModular { n } => params.push(format!("n={n}")),
+            GraphSpec::RandomTree { n, seed } => {
+                params.push(format!("n={n}"));
+                push_nonzero_seed(&mut params, *seed);
+            }
+            GraphSpec::Theorem1 { n, theta, seed } => {
+                params.push(format!("n={n}"));
+                if *theta != 0.5 {
+                    params.push(format!("theta={theta}"));
+                }
+                push_nonzero_seed(&mut params, *seed);
+            }
+        }
+        render_spec(self.key(), &params)
     }
 }
 
-/// The traffic of one case: a standard pattern, or the Theorem 1 probe set
-/// (every constrained vertex sends to every target vertex — the pairs whose
-/// first ports the planted matrix forces).
-#[derive(Debug, Clone, PartialEq)]
-pub enum CaseWorkload {
-    Pattern(Workload),
-    ConstrainedProbes,
-}
-
-impl CaseWorkload {
-    fn key(&self) -> &'static str {
-        match self {
-            CaseWorkload::Pattern(w) => w.key(),
-            CaseWorkload::ConstrainedProbes => "constrained-probes",
-        }
+impl std::fmt::Display for GraphSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.spec_string())
     }
 }
 
@@ -141,21 +374,28 @@ impl CaseWorkload {
 /// same family at several parameter points (the `landmark-sweep` scenario is
 /// one case whose scheme list walks `k`).
 #[derive(Debug, Clone, PartialEq)]
-pub struct Case {
+pub struct CaseSpec {
     pub graph: GraphSpec,
-    pub workload: CaseWorkload,
+    pub workload: WorkloadSpec,
     pub schemes: Vec<SchemeSpec>,
     /// Engine block size override (`0` = engine default).
     pub block_rows: usize,
 }
 
-/// A named, reproducible experiment.
+/// A named, reproducible experiment — plain declarative data: every axis is
+/// a spec value with a string codec, so the whole scenario loads from (and
+/// renders back to) a TOML scenario file (see [`crate::files`]).
 #[derive(Debug, Clone, PartialEq)]
-pub struct Scenario {
+pub struct ScenarioSpec {
     pub name: String,
     pub description: String,
-    pub cases: Vec<Case>,
+    pub cases: Vec<CaseSpec>,
 }
+
+/// Pre-spec-language names, kept so existing call sites read naturally.
+pub type Case = CaseSpec;
+/// See [`Case`].
+pub type Scenario = ScenarioSpec;
 
 /// The landmark counts the `landmark-sweep` scenario (and its bench twin)
 /// walks at n = 4096: one decade upward from the measured memory-optimal
@@ -182,7 +422,9 @@ pub fn landmark_strict() -> SchemeSpec {
     })
 }
 
-/// The built-in scenario book.
+/// The built-in scenario book — loaded from the TOML files under
+/// `examples/scenarios/` (embedded at compile time; see [`crate::files`]),
+/// so the book is data in the same format `trafficlab --file` accepts.
 ///
 /// * `smoke` — n = 1024 graphs covering **every** registry scheme; quick.
 /// * `uniform-1m` — 10^6 uniform messages on an n = 4096 random graph.
@@ -201,252 +443,72 @@ pub fn landmark_strict() -> SchemeSpec {
 ///   n = 1024 under every universal scheme and at n = 16384 under the
 ///   near-linear ones; the strict cluster rule rides along there because
 ///   tiny-diameter instances are exactly where it beats the inclusive rule.
+/// * `adversarial` — the `bisection` and `worstperm` patterns on the grid
+///   and the hypercube; read with `--report congestion` for the
+///   congestion-vs-stretch trade-off across schemes.
 pub fn named_scenarios() -> Vec<Scenario> {
-    let d = SchemeSpec::default_for;
-    let universal = vec![
-        d(SchemeKind::Table),
-        d(SchemeKind::SpanningTree),
-        d(SchemeKind::KInterval),
-        d(SchemeKind::Landmark),
-    ];
-    vec![
-        Scenario {
-            name: "smoke".into(),
-            description: "every registry scheme exercised once at n = 1024".into(),
-            cases: vec![
-                Case {
-                    graph: GraphSpec::RandomConnected {
-                        n: 1024,
-                        avg_deg: 8.0,
-                        seed: 0xC5A,
-                    },
-                    workload: CaseWorkload::Pattern(Workload::Uniform {
-                        messages: 20_000,
-                        seed: 1,
-                    }),
-                    schemes: universal.clone(),
-                    block_rows: 0,
-                },
-                Case {
-                    graph: GraphSpec::Hypercube { dim: 10 },
-                    workload: CaseWorkload::Pattern(Workload::Uniform {
-                        messages: 20_000,
-                        seed: 2,
-                    }),
-                    schemes: vec![d(SchemeKind::Ecube), d(SchemeKind::SpanningTree)],
-                    block_rows: 0,
-                },
-                Case {
-                    graph: GraphSpec::Grid { rows: 32, cols: 32 },
-                    workload: CaseWorkload::Pattern(Workload::Uniform {
-                        messages: 20_000,
-                        seed: 3,
-                    }),
-                    schemes: vec![d(SchemeKind::DimensionOrder), d(SchemeKind::SpanningTree)],
-                    block_rows: 0,
-                },
-                Case {
-                    graph: GraphSpec::CompleteModular { n: 256 },
-                    workload: CaseWorkload::Pattern(Workload::Uniform {
-                        messages: 20_000,
-                        seed: 4,
-                    }),
-                    schemes: vec![d(SchemeKind::ModularComplete), d(SchemeKind::Table)],
-                    block_rows: 0,
-                },
-            ],
-        },
-        Scenario {
-            name: "uniform-1m".into(),
-            description: "one million uniform messages on an n = 4096 random graph".into(),
-            cases: vec![Case {
-                graph: GraphSpec::RandomConnected {
-                    n: 4096,
-                    avg_deg: 8.0,
-                    seed: 0xC5A,
-                },
-                workload: CaseWorkload::Pattern(Workload::Uniform {
-                    messages: 1_000_000,
-                    seed: 7,
-                }),
-                schemes: vec![d(SchemeKind::SpanningTree)],
-                block_rows: 0,
-            }],
-        },
-        Scenario {
-            name: "sharded-130k".into(),
-            description: "block-streamed sweep at n = 131072 — no dense matrix can exist".into(),
-            cases: vec![Case {
-                graph: GraphSpec::RandomRegular {
-                    n: 131_072,
-                    degree: 8,
-                    seed: 0xB16,
-                },
-                workload: CaseWorkload::Pattern(Workload::SampledSources {
-                    sources: 64,
-                    dests_per_source: 256,
-                    seed: 11,
-                }),
-                schemes: vec![d(SchemeKind::SpanningTree)],
-                block_rows: 1,
-            }],
-        },
-        Scenario {
-            name: "landmark-130k".into(),
-            description: "landmark routing (stretch < 3) built sparsely at n = 131072".into(),
-            cases: vec![Case {
-                graph: GraphSpec::RandomRegular {
-                    n: 131_072,
-                    degree: 8,
-                    seed: 0xB16,
-                },
-                workload: CaseWorkload::Pattern(Workload::SampledSources {
-                    sources: 64,
-                    dests_per_source: 256,
-                    seed: 11,
-                }),
-                schemes: vec![
-                    d(SchemeKind::Landmark),
-                    landmark_strict(),
-                    d(SchemeKind::SpanningTree),
-                ],
-                block_rows: 1,
-            }],
-        },
-        Scenario {
-            name: "landmark-sweep".into(),
-            description: "bits-vs-stretch curve: landmark k swept over a decade at n = 4096".into(),
-            cases: vec![Case {
-                graph: GraphSpec::RandomConnected {
-                    n: 4096,
-                    avg_deg: 8.0,
-                    seed: 0xC5A,
-                },
-                workload: CaseWorkload::Pattern(Workload::SampledSources {
-                    sources: 128,
-                    dests_per_source: 128,
-                    seed: 21,
-                }),
-                schemes: LANDMARK_SWEEP_KS
-                    .iter()
-                    .map(|&k| landmark_with_k(k))
-                    .collect(),
-                block_rows: 0,
-            }],
-        },
-        Scenario {
-            name: "zipf-hotspot".into(),
-            description: "Zipf-skewed destinations vs uniform on the same graph".into(),
-            cases: vec![
-                Case {
-                    graph: GraphSpec::RandomConnected {
-                        n: 2048,
-                        avg_deg: 8.0,
-                        seed: 0xC5A,
-                    },
-                    workload: CaseWorkload::Pattern(Workload::Zipf {
-                        messages: 200_000,
-                        exponent: 1.1,
-                        seed: 5,
-                    }),
-                    schemes: universal.clone(),
-                    block_rows: 0,
-                },
-                Case {
-                    graph: GraphSpec::RandomConnected {
-                        n: 2048,
-                        avg_deg: 8.0,
-                        seed: 0xC5A,
-                    },
-                    workload: CaseWorkload::Pattern(Workload::Uniform {
-                        messages: 200_000,
-                        seed: 5,
-                    }),
-                    schemes: universal,
-                    block_rows: 0,
-                },
-            ],
-        },
-        Scenario {
-            name: "broadcast".into(),
-            description: "one-to-all broadcasts; congestion concentrates near the roots".into(),
-            cases: vec![Case {
-                graph: GraphSpec::RandomTree { n: 4096, seed: 9 },
-                workload: CaseWorkload::Pattern(Workload::Broadcast {
-                    roots: vec![0, 1, 2, 3],
-                }),
-                schemes: vec![d(SchemeKind::SpanningTree)],
-                block_rows: 1,
-            }],
-        },
-        Scenario {
-            name: "permutation-cube".into(),
-            description: "random permutation rounds on the 10-cube".into(),
-            cases: vec![Case {
-                graph: GraphSpec::Hypercube { dim: 10 },
-                workload: CaseWorkload::Pattern(Workload::Permutations {
-                    rounds: 64,
-                    seed: 13,
-                }),
-                schemes: vec![d(SchemeKind::Ecube), d(SchemeKind::Table)],
-                block_rows: 0,
-            }],
-        },
-        Scenario {
-            name: "theorem1".into(),
-            description: "constrained-vertex probes on Theorem 1 worst-case instances".into(),
-            cases: vec![
-                Case {
-                    graph: GraphSpec::Theorem1 {
-                        n: 1024,
-                        theta: 0.5,
-                        seed: 17,
-                    },
-                    workload: CaseWorkload::ConstrainedProbes,
-                    schemes: vec![
-                        d(SchemeKind::Table),
-                        d(SchemeKind::SpanningTree),
-                        d(SchemeKind::Landmark),
-                        landmark_strict(),
-                    ],
-                    block_rows: 0,
-                },
-                // Past the former n = 1024 cap: probe evaluation used to
-                // build full tables; the near-linear schemes (sparse
-                // landmark + spanning tree) lift it.  Worst-case instances
-                // have tiny diameter, which inflates the `≤`-rule clusters —
-                // n = 16384 keeps the landmark build in the tens of seconds.
-                Case {
-                    graph: GraphSpec::Theorem1 {
-                        n: 16384,
-                        theta: 0.5,
-                        seed: 17,
-                    },
-                    workload: CaseWorkload::ConstrainedProbes,
-                    schemes: vec![
-                        d(SchemeKind::Landmark),
-                        landmark_strict(),
-                        d(SchemeKind::SpanningTree),
-                    ],
-                    block_rows: 8,
-                },
-            ],
-        },
-    ]
+    crate::files::builtin_scenarios()
 }
 
-/// Looks a scenario up by name.
+/// Looks a scenario up by name (ASCII case-insensitive, so a shouted
+/// `--scenario SMOKE` still runs).
 pub fn find_scenario(name: &str) -> Option<Scenario> {
-    named_scenarios().into_iter().find(|s| s.name == name)
+    named_scenarios()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+/// Levenshtein distance, for near-miss scenario suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Built-in scenario names close to a typo'd `name`, best match first: small
+/// edit distance, or a substring hit (`landmark` suggests both landmark
+/// scenarios).  Empty when nothing is plausibly meant.
+pub fn suggest_scenarios(name: &str) -> Vec<String> {
+    let needle = name.to_ascii_lowercase();
+    let mut scored: Vec<(usize, String)> = named_scenarios()
+        .into_iter()
+        .filter_map(|s| {
+            let d = edit_distance(&needle, &s.name);
+            if d <= 3 || s.name.contains(&needle) || needle.contains(&s.name) {
+                Some((d, s.name))
+            } else {
+                None
+            }
+        })
+        .collect();
+    scored.sort();
+    scored.into_iter().map(|(_, n)| n).take(3).collect()
 }
 
 /// One (case, scheme) measurement.
 #[derive(Debug, Clone)]
 pub struct CaseResult {
+    /// The graph's canonical spec string (`random?n=1024&seed=3162`).
     pub graph_label: String,
     pub n: usize,
     pub edges: usize,
+    /// The workload family key (`uniform`, `zipf`, ...).
     pub workload_key: String,
+    /// The workload's full canonical spec string
+    /// (`uniform?messages=20000&seed=1`) — like scheme specs, report rows
+    /// carry the whole pattern, not a lossy label, so two cases differing
+    /// only in seed or volume stay distinguishable.
+    pub workload_spec: String,
     /// The family key (`landmark`, `tree`, ...).
     pub scheme_key: String,
     /// The full canonical spec string (`landmark?k=64&clusters=strict`); the
@@ -501,12 +563,31 @@ pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioReport {
         ..Default::default()
     };
     for case in &scenario.cases {
+        // Scenario files make bad workload/graph combinations user input:
+        // reject them as errors here, before compile's internal asserts
+        // (programmer-facing panics) can fire.
+        if let Err(msg) = case.workload.validate(case.graph.num_nodes()) {
+            out.errors.push(format!(
+                "{}: workload '{}' invalid: {msg}",
+                case.graph.spec_string(),
+                case.workload.spec_string()
+            ));
+            continue;
+        }
         let built = case.graph.build();
         let n = built.graph.num_nodes();
-        let graph_label = case.graph.label();
+        let graph_label = case.graph.spec_string();
         let plan = match &case.workload {
-            CaseWorkload::Pattern(w) => w.compile(n),
-            CaseWorkload::ConstrainedProbes => {
+            WorkloadSpec::ConstrainedProbes => {
+                // The probe pairs live on the built instance, not the bare
+                // vertex count; on a graph without planted constraints the
+                // case is a benign skip, not an empty run.
+                if built.constrained.is_empty() || built.targets.is_empty() {
+                    out.skipped.push(format!(
+                        "{graph_label}: workload 'constrained-probes' needs a theorem1 graph"
+                    ));
+                    continue;
+                }
                 let mut pairs = Vec::with_capacity(built.constrained.len() * built.targets.len());
                 for &a in &built.constrained {
                     for &b in &built.targets {
@@ -515,6 +596,7 @@ pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioReport {
                 }
                 crate::workload::WorkloadPlan::from_pairs(n, pairs)
             }
+            w => w.compile(n),
         };
         let cfg = EngineConfig {
             threads,
@@ -556,6 +638,7 @@ pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioReport {
                         n,
                         edges: built.graph.num_edges(),
                         workload_key: case.workload.key().to_string(),
+                        workload_spec: case.workload.spec_string(),
                         scheme_key: spec.key().to_string(),
                         scheme_spec: spec.spec_string(),
                         scheme_name: instance.routing.name().to_string(),
@@ -602,8 +685,8 @@ impl ScenarioReport {
         for r in &self.results {
             t.push_row([
                 r.graph_label.clone(),
-                r.workload_key.clone(),
-                // Full spec: bare key for defaults, parameters otherwise.
+                // Full specs: bare key for defaults, parameters otherwise.
+                r.workload_spec.clone(),
                 r.scheme_spec.clone(),
                 r.report.routed_messages.to_string(),
                 fmt_f64(r.report.stretch.max_stretch, 3),
@@ -629,6 +712,54 @@ impl ScenarioReport {
         t
     }
 
+    /// The congestion-vs-stretch trade-off view (`--report congestion`): one
+    /// row per (case, scheme), load metrics next to the stretch they buy.
+    /// `imbalance` is `max_arc_load / mean_arc_load` — how far the hottest
+    /// arc sits above a perfectly spread load; `total_hops` equals the sum
+    /// of all route lengths, so lower-stretch schemes push fewer hops
+    /// through the network even when their hottest arc is hotter.
+    pub fn to_congestion_table(&self) -> Table {
+        let mut t = Table::new([
+            "graph",
+            "workload",
+            "scheme",
+            "msgs",
+            "max_stretch",
+            "avg_stretch",
+            "total_hops",
+            "max_arc_load",
+            "mean_arc_load",
+            "imbalance",
+            "loaded_arcs",
+            "local_bits",
+        ]);
+        for r in &self.results {
+            let Some(c) = r.report.congestion.as_ref() else {
+                continue;
+            };
+            let imbalance = if c.mean_arc_load > 0.0 {
+                fmt_f64(c.max_arc_load as f64 / c.mean_arc_load, 2)
+            } else {
+                "-".into()
+            };
+            t.push_row([
+                r.graph_label.clone(),
+                r.workload_spec.clone(),
+                r.scheme_spec.clone(),
+                r.report.routed_messages.to_string(),
+                fmt_f64(r.report.stretch.max_stretch, 3),
+                fmt_f64(r.report.stretch.avg_stretch, 3),
+                c.total_load.to_string(),
+                c.max_arc_load.to_string(),
+                fmt_f64(c.mean_arc_load, 2),
+                imbalance,
+                format!("{}/{}", c.loaded_arcs, c.arcs),
+                r.local_bits.to_string(),
+            ]);
+        }
+        t
+    }
+
     /// JSON rendering for snapshots and CI artifacts.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -643,7 +774,8 @@ impl ScenarioReport {
             out.push_str(&format!(
                 concat!(
                     "    {{\"graph\": \"{}\", \"n\": {}, \"edges\": {}, ",
-                    "\"workload\": \"{}\", \"scheme\": \"{}\", \"spec\": \"{}\", ",
+                    "\"workload\": \"{}\", \"workload_spec\": \"{}\", ",
+                    "\"scheme\": \"{}\", \"spec\": \"{}\", ",
                     "\"scheme_name\": \"{}\", ",
                     "\"messages\": {}, \"skipped_unreachable\": {}, ",
                     "\"max_stretch\": {}, \"avg_stretch\": {}, \"max_route_len\": {}, ",
@@ -657,6 +789,7 @@ impl ScenarioReport {
                 r.n,
                 r.edges,
                 json_escape(&r.workload_key),
+                json_escape(&r.workload_spec),
                 json_escape(&r.scheme_key),
                 json_escape(&r.scheme_spec),
                 json_escape(&r.scheme_name),
@@ -702,6 +835,7 @@ impl ScenarioReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use routeschemes::SchemeKind;
 
     #[test]
     fn scenario_names_are_unique_and_findable() {
@@ -715,6 +849,121 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), all.len());
         assert!(find_scenario("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn find_scenario_is_case_insensitive_and_suggests_near_misses() {
+        assert_eq!(find_scenario("SMOKE").map(|s| s.name), Some("smoke".into()));
+        assert_eq!(
+            find_scenario("Landmark-Sweep").map(|s| s.name),
+            Some("landmark-sweep".into())
+        );
+        // A one-character typo suggests the intended scenario first.
+        assert_eq!(suggest_scenarios("smoek")[0], "smoke");
+        assert_eq!(suggest_scenarios("theorm1")[0], "theorem1");
+        // A substring hits every matching scenario.
+        let landmarkish = suggest_scenarios("landmark");
+        assert!(landmarkish.iter().any(|n| n == "landmark-130k"));
+        assert!(landmarkish.iter().any(|n| n == "landmark-sweep"));
+        // Complete nonsense suggests nothing.
+        assert!(suggest_scenarios("qqqqqqqqqqqqqqqqq").is_empty());
+    }
+
+    #[test]
+    fn graph_specs_round_trip_through_the_codec() {
+        let specs = [
+            "random?n=1024&seed=3162",
+            "random?n=64&deg=6.5&seed=1",
+            "regular?n=131072&seed=2838",
+            "regular?n=64&d=4",
+            "grid?rows=32&cols=32",
+            "hypercube?dim=10",
+            "complete?n=256",
+            "tree?n=4096&seed=9",
+            "theorem1?n=1024&seed=17",
+            "theorem1?n=128&theta=0.25&seed=3",
+        ];
+        for s in specs {
+            let spec = GraphSpec::parse(s).unwrap();
+            assert_eq!(spec.spec_string(), s, "canonical form of '{s}'");
+            assert_eq!(GraphSpec::parse(&spec.spec_string()).unwrap(), spec);
+            assert_eq!(format!("{spec}"), s);
+        }
+        // Hex seeds and default values normalize to the canonical form.
+        let spec = GraphSpec::parse("random?n=1024&deg=8&seed=0xC5A").unwrap();
+        assert_eq!(spec.spec_string(), "random?n=1024&seed=3162");
+    }
+
+    #[test]
+    fn graph_codec_rejections_are_typed() {
+        assert!(matches!(
+            GraphSpec::parse("blob?n=4"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            GraphSpec::parse("random"),
+            Err(SpecError::MissingParam { .. })
+        ));
+        assert!(matches!(
+            GraphSpec::parse("grid?rows=4"),
+            Err(SpecError::MissingParam { .. })
+        ));
+        assert!(matches!(
+            GraphSpec::parse("random?n=4&bogus=1"),
+            Err(SpecError::UnknownParam { .. })
+        ));
+        assert!(matches!(
+            GraphSpec::parse("random?n=1"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            GraphSpec::parse("hypercube?dim=40"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            GraphSpec::parse("theorem1?n=64&theta=1.5"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn every_documented_graph_param_is_accepted() {
+        // Anti-drift: a name the docs list must never be rejected as
+        // unknown, and a name they do not list must be.
+        for key in GraphSpec::ALL_KEYS {
+            let docs = GraphSpec::param_docs(key);
+            for p in docs {
+                let all: Vec<String> = docs.iter().map(|d| format!("{}=4", d.name)).collect();
+                let spec = format!("{}?{}", key, all.join("&"));
+                match GraphSpec::parse(&spec) {
+                    Ok(_) => {}
+                    Err(SpecError::UnknownParam { .. }) => {
+                        panic!("documented param '{}' rejected: {spec}", p.name)
+                    }
+                    Err(SpecError::InvalidValue { .. }) => {} // range, not vocabulary
+                    Err(other) => panic!("documented param {spec} failed oddly: {other}"),
+                }
+            }
+            let bogus = format!("{key}?definitely-not-a-param=1");
+            assert!(
+                matches!(
+                    GraphSpec::parse(&bogus),
+                    Err(SpecError::UnknownParam { .. })
+                ),
+                "{bogus} must be rejected as unknown"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_vocabulary_covers_every_key_and_param() {
+        let vocab = GraphSpec::vocabulary();
+        for key in GraphSpec::ALL_KEYS {
+            assert!(vocab.contains(key), "missing key {key}");
+            for p in GraphSpec::param_docs(key) {
+                assert!(vocab.contains(p.name), "missing param {} of {key}", p.name);
+            }
+        }
     }
 
     #[test]
@@ -736,9 +985,9 @@ mod tests {
             GraphSpec::RandomTree { n: 40, seed: 2 },
         ] {
             let built = spec.build();
-            assert!(built.graph.num_nodes() >= 16, "{}", spec.label());
+            assert!(built.graph.num_nodes() >= 16, "{}", spec.spec_string());
             assert!(built.constrained.is_empty());
-            assert!(!spec.label().is_empty());
+            assert!(!spec.spec_string().is_empty());
         }
         let t1 = GraphSpec::Theorem1 {
             n: 128,
@@ -762,10 +1011,10 @@ mod tests {
                     avg_deg: 6.0,
                     seed: 4,
                 },
-                workload: CaseWorkload::Pattern(Workload::Uniform {
+                workload: WorkloadSpec::Uniform {
                     messages: 400,
                     seed: 6,
-                }),
+                },
                 schemes: vec![
                     SchemeSpec::default_for(SchemeKind::Table),
                     SchemeSpec::default_for(SchemeKind::SpanningTree),
@@ -837,11 +1086,11 @@ mod tests {
                     avg_deg: 8.0,
                     seed: 0xC5A,
                 },
-                workload: CaseWorkload::Pattern(Workload::SampledSources {
+                workload: WorkloadSpec::SampledSources {
                     sources: 32,
                     dests_per_source: 64,
                     seed: 9,
-                }),
+                },
                 schemes: ks.iter().map(|&k| landmark_with_k(k)).collect(),
                 block_rows: 8,
             }],
@@ -879,6 +1128,45 @@ mod tests {
     }
 
     #[test]
+    fn invalid_workloads_become_errors_not_panics() {
+        // Programmatically-built scenarios get the same guard as files: an
+        // out-of-range broadcast root is an error entry, not an assert panic.
+        let scenario = Scenario {
+            name: "bad-root".into(),
+            description: "test".into(),
+            cases: vec![Case {
+                graph: GraphSpec::Grid { rows: 4, cols: 4 },
+                workload: WorkloadSpec::Broadcast { roots: vec![0, 99] },
+                schemes: vec![SchemeSpec::default_for(SchemeKind::SpanningTree)],
+                block_rows: 0,
+            }],
+        };
+        let rep = run_scenario(&scenario, 1);
+        assert!(rep.results.is_empty());
+        assert_eq!(rep.errors.len(), 1);
+        assert!(
+            rep.errors[0].contains("broadcast root 99 is out of range"),
+            "{:?}",
+            rep.errors[0]
+        );
+        // Sub-2-vertex graphs are rejected the same way.
+        let scenario = Scenario {
+            name: "too-small".into(),
+            description: "test".into(),
+            cases: vec![Case {
+                graph: GraphSpec::Grid { rows: 1, cols: 1 },
+                workload: WorkloadSpec::AllPairs,
+                schemes: vec![SchemeSpec::default_for(SchemeKind::SpanningTree)],
+                block_rows: 0,
+            }],
+        };
+        let rep = run_scenario(&scenario, 1);
+        assert!(rep.results.is_empty());
+        assert_eq!(rep.errors.len(), 1);
+        assert!(rep.errors[0].contains("at least two vertices"));
+    }
+
+    #[test]
     fn build_failures_become_typed_skip_notes() {
         // A spec whose cap cannot be met is a skip with the typed reason,
         // not an error, and not a panic.
@@ -891,10 +1179,10 @@ mod tests {
                     avg_deg: 6.0,
                     seed: 4,
                 },
-                workload: CaseWorkload::Pattern(Workload::Uniform {
+                workload: WorkloadSpec::Uniform {
                     messages: 200,
                     seed: 6,
-                }),
+                },
                 schemes: vec![SchemeSpec::parse("interval?k=1").unwrap()],
                 block_rows: 8,
             }],
@@ -921,7 +1209,7 @@ mod tests {
                     theta: 0.5,
                     seed: 3,
                 },
-                workload: CaseWorkload::ConstrainedProbes,
+                workload: WorkloadSpec::ConstrainedProbes,
                 schemes: vec![SchemeSpec::default_for(SchemeKind::Table)],
                 block_rows: 4,
             }],

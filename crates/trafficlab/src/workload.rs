@@ -1,22 +1,34 @@
 //! Traffic-scenario generators: who sends how many messages to whom.
 //!
-//! A [`Workload`] describes a traffic pattern symbolically; compiling it
+//! A [`WorkloadSpec`] describes a traffic pattern symbolically; compiling it
 //! against a vertex count yields a [`WorkloadPlan`] — the per-source
 //! destination lists the sharded engine streams over.  Compilation is
 //! deterministic per seed: the same workload on the same graph produces the
 //! same messages on every machine and for every worker count, which is what
 //! makes the engine's reports reproducible.
 //!
-//! All patterns except [`Workload::AllPairs`] compile to an explicit
+//! Like scheme specs, workloads carry a stable string codec on the shared
+//! `speclang` grammar — `zipf?messages=1e6&s=1.2&seed=3`,
+//! `bisection?messages=200000` — with [`WorkloadSpec::param_docs`] as the
+//! single source for both the parser's rejections and the CLI vocabulary,
+//! and `parse ∘ spec_string = id` pinned by round-trip tests.  Scenario
+//! files and report rows carry these strings, so a report row always names
+//! the *full* pattern, not a lossy family label.
+//!
+//! All patterns except [`WorkloadSpec::AllPairs`] compile to an explicit
 //! CSR-shaped plan (`offsets` + flat destination array, grouped by source in
 //! source order).  `AllPairs` stays implicit — materializing `n (n − 1)`
 //! pairs would defeat the point of block streaming.
 
 use graphkit::{NodeId, Xoshiro256};
+pub use speclang::SpecError;
+use speclang::{
+    push_nonzero_seed, render_spec, render_vocabulary, split_spec, ParamDoc, ParsedParams, SpecCtx,
+};
 
 /// A traffic pattern, described symbolically.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Workload {
+pub enum WorkloadSpec {
     /// Every ordered pair of distinct vertices exactly once — the paper's
     /// "universal" regime, and the pattern whose block-streamed stretch
     /// report is bit-identical to `routemodel::stretch_factor`.
@@ -47,36 +59,91 @@ pub enum Workload {
         dests_per_source: usize,
         seed: u64,
     },
-    /// An explicit pair list (used e.g. for the Theorem 1 constrained-vertex
-    /// probes); grouped by source at compile time, list order kept within
-    /// each source.
-    Pairs(Vec<(NodeId, NodeId)>),
+    /// Adversarial: every message crosses the id-space bisection (sources in
+    /// `[0, n/2)` send to uniform destinations in `[n/2, n)` and vice versa).
+    /// On row-major grids that is the row bisection; on hypercubes the
+    /// top-dimension cut — the pattern that saturates the network's weakest
+    /// cut instead of spreading load like `uniform` does.
+    Bisection { messages: u64, seed: u64 },
+    /// Adversarial: derangement rounds by id rotation.  Round 0 rotates by
+    /// `n/2` (every vertex targets its id-space antipode, crossing the
+    /// bisection); later rounds rotate by seeded random offsets in
+    /// `[1, n-1]`.  Every round makes each router both a source and a unique
+    /// destination, so per-pair landmark detours that popularity-skewed
+    /// patterns average away all land at once, with zero fixed points.
+    WorstPerm { rounds: u32, seed: u64 },
+    /// The Theorem 1 probe set: every constrained vertex sends to every
+    /// target vertex — the pairs whose first ports the planted matrix
+    /// forces.  Compiles against a built Theorem 1 instance, not a bare
+    /// vertex count (see `scenario::run_scenario`).
+    ConstrainedProbes,
 }
 
-impl Workload {
-    /// Short key for reports.
+impl WorkloadSpec {
+    /// Every workload family key, in vocabulary order.
+    pub const ALL_KEYS: [&'static str; 9] = [
+        "all-pairs",
+        "uniform",
+        "zipf",
+        "permutations",
+        "broadcast",
+        "sampled-sources",
+        "bisection",
+        "worstperm",
+        "constrained-probes",
+    ];
+
+    /// Short family key for reports (`uniform`, `zipf`, ...).
     pub fn key(&self) -> &'static str {
         match self {
-            Workload::AllPairs => "all-pairs",
-            Workload::Uniform { .. } => "uniform",
-            Workload::Zipf { .. } => "zipf",
-            Workload::Permutations { .. } => "permutations",
-            Workload::Broadcast { .. } => "broadcast",
-            Workload::SampledSources { .. } => "sampled-sources",
-            Workload::Pairs(_) => "pairs",
+            WorkloadSpec::AllPairs => "all-pairs",
+            WorkloadSpec::Uniform { .. } => "uniform",
+            WorkloadSpec::Zipf { .. } => "zipf",
+            WorkloadSpec::Permutations { .. } => "permutations",
+            WorkloadSpec::Broadcast { .. } => "broadcast",
+            WorkloadSpec::SampledSources { .. } => "sampled-sources",
+            WorkloadSpec::Bisection { .. } => "bisection",
+            WorkloadSpec::WorstPerm { .. } => "worstperm",
+            WorkloadSpec::ConstrainedProbes => "constrained-probes",
         }
     }
 
+    /// Checks the pattern against the vertex count it will run on.
+    ///
+    /// [`WorkloadSpec::compile`] asserts these conditions (they are
+    /// programmer errors on the direct API), but scenario files make them
+    /// user-reachable — loaders and runners call this first so a typo'd
+    /// root or a one-vertex graph surfaces as a typed message, not a panic.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        if n < 2 {
+            return Err(format!(
+                "traffic needs at least two vertices (the graph has {n})"
+            ));
+        }
+        if let WorkloadSpec::Broadcast { roots } = self {
+            if let Some(&r) = roots.iter().find(|&&r| r >= n) {
+                return Err(format!(
+                    "broadcast root {r} is out of range for a graph on {n} vertices"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Compiles the pattern against a graph on `n` vertices.
+    ///
+    /// Panics on [`WorkloadSpec::ConstrainedProbes`], which needs the built
+    /// instance's constrained/target vertex sets — the scenario runner
+    /// compiles it via `WorkloadPlan::from_pairs`.
     pub fn compile(&self, n: usize) -> WorkloadPlan {
         assert!(n >= 2, "traffic needs at least two vertices");
         match self {
-            Workload::AllPairs => WorkloadPlan {
+            WorkloadSpec::AllPairs => WorkloadPlan {
                 n,
                 messages: (n as u64) * (n as u64 - 1),
                 kind: PlanKind::AllPairs,
             },
-            Workload::Uniform { messages, seed } => {
+            WorkloadSpec::Uniform { messages, seed } => {
                 compile_per_source_rng(n, *messages, *seed, |rng, s| {
                     // uniform destination != source
                     loop {
@@ -87,7 +154,7 @@ impl Workload {
                     }
                 })
             }
-            Workload::Zipf {
+            WorkloadSpec::Zipf {
                 messages,
                 exponent,
                 seed,
@@ -112,7 +179,7 @@ impl Workload {
                     }
                 })
             }
-            Workload::Permutations { rounds, seed } => {
+            WorkloadSpec::Permutations { rounds, seed } => {
                 let mut rng = Xoshiro256::new(*seed);
                 let mut pairs = Vec::with_capacity(*rounds as usize * n);
                 for _ in 0..*rounds {
@@ -125,7 +192,7 @@ impl Workload {
                 }
                 WorkloadPlan::from_pairs(n, pairs)
             }
-            Workload::Broadcast { roots } => {
+            WorkloadSpec::Broadcast { roots } => {
                 let mut pairs = Vec::with_capacity(roots.len() * (n - 1));
                 for &root in roots {
                     assert!(root < n, "broadcast root {root} out of range");
@@ -137,7 +204,7 @@ impl Workload {
                 }
                 WorkloadPlan::from_pairs(n, pairs)
             }
-            Workload::SampledSources {
+            WorkloadSpec::SampledSources {
                 sources,
                 dests_per_source,
                 seed,
@@ -160,8 +227,225 @@ impl Workload {
                 }
                 WorkloadPlan::from_pairs(n, pairs)
             }
-            Workload::Pairs(pairs) => WorkloadPlan::from_pairs(n, pairs.clone()),
+            WorkloadSpec::Bisection { messages, seed } => {
+                // Halves by vertex id: `[0, half)` vs `[half, n)`.  Sources
+                // are spread evenly like `uniform`; every destination lands
+                // in the *other* half, so every message crosses the cut.
+                let half = n / 2;
+                compile_per_source_rng(n, *messages, *seed, move |rng, s| {
+                    if s < half {
+                        (half + rng.gen_range(n - half)) as u32
+                    } else {
+                        rng.gen_range(half) as u32
+                    }
+                })
+            }
+            WorkloadSpec::WorstPerm { rounds, seed } => {
+                let mut rng = Xoshiro256::new(*seed);
+                let mut pairs = Vec::with_capacity(*rounds as usize * n);
+                for round in 0..*rounds {
+                    // Rotations by d ∈ [1, n-1] are derangements; the first
+                    // round pins the antipodal rotation n/2.
+                    let d = if round == 0 {
+                        (n / 2).max(1)
+                    } else {
+                        1 + rng.gen_range(n - 1)
+                    };
+                    for s in 0..n {
+                        pairs.push((s, (s + d) % n));
+                    }
+                }
+                WorkloadPlan::from_pairs(n, pairs)
+            }
+            WorkloadSpec::ConstrainedProbes => panic!(
+                "constrained-probes compiles against a built Theorem 1 instance, \
+                 not a bare vertex count"
+            ),
         }
+    }
+}
+
+impl WorkloadSpec {
+    /// The parameters each workload family accepts — the single source of
+    /// truth shared by the parser, the canonical formatter and
+    /// [`WorkloadSpec::vocabulary`].
+    pub fn param_docs(key: &str) -> &'static [ParamDoc] {
+        const MESSAGES: ParamDoc = ParamDoc {
+            name: "messages",
+            values: "message count >= 1 (scientific notation ok: 1e6)",
+        };
+        const SEED: ParamDoc = ParamDoc {
+            name: "seed",
+            values: "u64 seed of the pattern (default 0; 0x hex ok)",
+        };
+        const ROUNDS: ParamDoc = ParamDoc {
+            name: "rounds",
+            values: "permutation rounds >= 1",
+        };
+        match key {
+            "uniform" | "bisection" => &[MESSAGES, SEED],
+            "zipf" => &[
+                MESSAGES,
+                ParamDoc {
+                    name: "s",
+                    values: "Zipf exponent > 0 (default 1)",
+                },
+                SEED,
+            ],
+            "permutations" | "worstperm" => &[ROUNDS, SEED],
+            "broadcast" => &[ParamDoc {
+                name: "roots",
+                values: "':'-separated root vertex ids, e.g. roots=0:1:2:3",
+            }],
+            "sampled-sources" => &[
+                ParamDoc {
+                    name: "sources",
+                    values: "distinct source count >= 1",
+                },
+                ParamDoc {
+                    name: "per",
+                    values: "destinations per source >= 1",
+                },
+                SEED,
+            ],
+            _ => &[],
+        }
+    }
+
+    /// The full valid-spec vocabulary, one block per workload key.
+    pub fn vocabulary() -> String {
+        let entries: Vec<(&str, &[ParamDoc])> = Self::ALL_KEYS
+            .into_iter()
+            .map(|key| (key, Self::param_docs(key)))
+            .collect();
+        render_vocabulary(
+            "valid workload specs (omitted params = defaults; counts are required):",
+            &entries,
+        )
+    }
+
+    /// Parses a spec string (`key` or `key?name=value&...`).
+    pub fn parse(spec: &str) -> Result<WorkloadSpec, SpecError> {
+        let (key, query) = split_spec(spec);
+        let key = Self::ALL_KEYS
+            .into_iter()
+            .find(|k| *k == key)
+            .ok_or_else(|| SpecError::UnknownKey {
+                domain: "workload",
+                key: key.to_string(),
+            })?;
+        let ctx = SpecCtx::new("workload", key);
+        let p = ParsedParams::new(ctx, spec, query, Self::param_docs(key))?;
+        match key {
+            "all-pairs" => Ok(WorkloadSpec::AllPairs),
+            "constrained-probes" => Ok(WorkloadSpec::ConstrainedProbes),
+            "uniform" => Ok(WorkloadSpec::Uniform {
+                messages: p.count("messages")?,
+                seed: p.seed()?,
+            }),
+            "bisection" => Ok(WorkloadSpec::Bisection {
+                messages: p.count("messages")?,
+                seed: p.seed()?,
+            }),
+            "zipf" => {
+                let exponent = match p.get("s") {
+                    Some(value) => {
+                        let s = ctx.parse_f64("s", value, "a float > 0")?;
+                        // NaN must fail too, hence the negated form.
+                        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                        if !(s > 0.0) {
+                            return Err(ctx.invalid("s", value, "a float > 0"));
+                        }
+                        s
+                    }
+                    None => 1.0,
+                };
+                Ok(WorkloadSpec::Zipf {
+                    messages: p.count("messages")?,
+                    exponent,
+                    seed: p.seed()?,
+                })
+            }
+            "permutations" | "worstperm" => {
+                let rounds = p.count("rounds")?;
+                let rounds = u32::try_from(rounds)
+                    .map_err(|_| ctx.invalid("rounds", &rounds.to_string(), "a u32"))?;
+                let seed = p.seed()?;
+                Ok(if key == "permutations" {
+                    WorkloadSpec::Permutations { rounds, seed }
+                } else {
+                    WorkloadSpec::WorstPerm { rounds, seed }
+                })
+            }
+            "broadcast" => {
+                let value = p.get("roots").ok_or_else(|| ctx.missing("roots"))?;
+                let mut roots = Vec::new();
+                for part in value.split(':') {
+                    let root: usize = part.parse().map_err(|_| {
+                        ctx.invalid("roots", value, "':'-separated vertex ids, e.g. 0:1:2")
+                    })?;
+                    roots.push(root);
+                }
+                Ok(WorkloadSpec::Broadcast { roots })
+            }
+            "sampled-sources" => Ok(WorkloadSpec::SampledSources {
+                sources: p.count("sources")? as usize,
+                dests_per_source: p.count("per")? as usize,
+                seed: p.seed()?,
+            }),
+            _ => unreachable!("key validated against ALL_KEYS"),
+        }
+    }
+
+    /// The canonical string form: the bare key for parameterless patterns,
+    /// `key?name=value&...` otherwise, omitting default-valued parameters.
+    /// `parse` of the result reproduces `self` exactly.
+    pub fn spec_string(&self) -> String {
+        let mut params: Vec<String> = Vec::new();
+        match self {
+            WorkloadSpec::AllPairs | WorkloadSpec::ConstrainedProbes => {}
+            WorkloadSpec::Uniform { messages, seed }
+            | WorkloadSpec::Bisection { messages, seed } => {
+                params.push(format!("messages={messages}"));
+                push_nonzero_seed(&mut params, *seed);
+            }
+            WorkloadSpec::Zipf {
+                messages,
+                exponent,
+                seed,
+            } => {
+                params.push(format!("messages={messages}"));
+                if *exponent != 1.0 {
+                    params.push(format!("s={exponent}"));
+                }
+                push_nonzero_seed(&mut params, *seed);
+            }
+            WorkloadSpec::Permutations { rounds, seed }
+            | WorkloadSpec::WorstPerm { rounds, seed } => {
+                params.push(format!("rounds={rounds}"));
+                push_nonzero_seed(&mut params, *seed);
+            }
+            WorkloadSpec::Broadcast { roots } => {
+                let rendered: Vec<String> = roots.iter().map(|r| r.to_string()).collect();
+                params.push(format!("roots={}", rendered.join(":")));
+            }
+            WorkloadSpec::SampledSources {
+                sources,
+                dests_per_source,
+                seed,
+            } => {
+                params.push(format!("sources={sources}"));
+                params.push(format!("per={dests_per_source}"));
+                push_nonzero_seed(&mut params, *seed);
+            }
+        }
+        render_spec(self.key(), &params)
+    }
+}
+
+impl std::fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.spec_string())
     }
 }
 
@@ -199,6 +483,10 @@ fn compile_per_source_rng(
         kind: PlanKind::Explicit { offsets, dests },
     }
 }
+
+/// The pre-codec name of [`WorkloadSpec`], kept so existing call sites read
+/// naturally; the two are the same type.
+pub type Workload = WorkloadSpec;
 
 /// Backing of a compiled plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -457,6 +745,188 @@ mod tests {
         srcs.sort_unstable();
         srcs.dedup();
         assert_eq!(srcs.len(), 6);
+    }
+
+    #[test]
+    fn bisection_messages_all_cross_the_id_cut() {
+        for n in [2usize, 3, 16, 65] {
+            let plan = WorkloadSpec::Bisection {
+                messages: 400,
+                seed: 5,
+            }
+            .compile(n);
+            let pairs = explicit_pairs(&plan);
+            assert_eq!(pairs.len(), 400);
+            let half = n / 2;
+            for &(s, t) in &pairs {
+                assert_ne!(s, t);
+                assert_ne!(s < half, t < half, "({s},{t}) stays inside a half (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn worstperm_rounds_are_derangements_and_start_antipodal() {
+        let n = 30;
+        let rounds = 4u32;
+        let plan = WorkloadSpec::WorstPerm { rounds, seed: 7 }.compile(n);
+        let pairs = explicit_pairs(&plan);
+        // Rotations have no fixed points: every vertex sends every round.
+        assert_eq!(pairs.len(), rounds as usize * n);
+        for &(s, t) in &pairs {
+            assert_ne!(s, t);
+        }
+        for s in 0..n {
+            let sent: Vec<usize> = pairs
+                .iter()
+                .filter(|&&(a, _)| a == s)
+                .map(|&(_, t)| t)
+                .collect();
+            assert_eq!(sent.len(), rounds as usize);
+            // Round 0 is the pinned antipodal rotation.
+            assert_eq!(sent[0], (s + n / 2) % n);
+        }
+        // Each round is a permutation of the destinations.
+        for round in 0..rounds as usize {
+            let mut dests: Vec<usize> = (0..n)
+                .map(|s| {
+                    pairs
+                        .iter()
+                        .filter(|&&(a, _)| a == s)
+                        .map(|&(_, t)| t)
+                        .nth(round)
+                        .unwrap()
+                })
+                .collect();
+            dests.sort_unstable();
+            assert_eq!(dests, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn workload_specs_round_trip_through_the_codec() {
+        let specs = [
+            "all-pairs",
+            "constrained-probes",
+            "uniform?messages=20000&seed=1",
+            "uniform?messages=5",
+            "zipf?messages=200000&s=1.1&seed=5",
+            "zipf?messages=100",
+            "permutations?rounds=64&seed=13",
+            "broadcast?roots=0:1:2:3",
+            "sampled-sources?sources=64&per=256&seed=11",
+            "bisection?messages=1024&seed=2",
+            "worstperm?rounds=8&seed=3",
+        ];
+        for s in specs {
+            let spec = WorkloadSpec::parse(s).unwrap();
+            assert_eq!(spec.spec_string(), s, "canonical form of '{s}'");
+            assert_eq!(WorkloadSpec::parse(&spec.spec_string()).unwrap(), spec);
+            assert_eq!(format!("{spec}"), s);
+        }
+        // Non-canonical inputs normalize: default values drop out, counts in
+        // scientific notation parse to the same plan.
+        let spec = WorkloadSpec::parse("zipf?messages=1e6&s=1.0&seed=0").unwrap();
+        assert_eq!(spec.spec_string(), "zipf?messages=1000000");
+        assert_eq!(
+            WorkloadSpec::parse("uniform?messages=2.5e3").unwrap(),
+            WorkloadSpec::Uniform {
+                messages: 2500,
+                seed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn workload_codec_rejections_are_typed() {
+        assert!(matches!(
+            WorkloadSpec::parse("teleport"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            WorkloadSpec::parse("uniform?bogus=1"),
+            Err(SpecError::UnknownParam { .. })
+        ));
+        assert!(matches!(
+            WorkloadSpec::parse("all-pairs?seed=1"),
+            Err(SpecError::UnknownParam { .. })
+        ));
+        assert!(matches!(
+            WorkloadSpec::parse("uniform"),
+            Err(SpecError::MissingParam { .. })
+        ));
+        assert!(matches!(
+            WorkloadSpec::parse("uniform?messages=0"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            WorkloadSpec::parse("uniform?messages=1.5"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            WorkloadSpec::parse("zipf?messages=10&s=-1"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            WorkloadSpec::parse("broadcast"),
+            Err(SpecError::MissingParam { .. })
+        ));
+        assert!(matches!(
+            WorkloadSpec::parse("broadcast?roots=0:x"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            WorkloadSpec::parse("worstperm?rounds"),
+            Err(SpecError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn every_documented_workload_param_is_accepted() {
+        // Anti-drift: a name the docs list must never be rejected as
+        // unknown, and a name they do not list must be.
+        let probe_value = |name: &str| match name {
+            "roots" => "0:1",
+            _ => "3",
+        };
+        for key in WorkloadSpec::ALL_KEYS {
+            let docs = WorkloadSpec::param_docs(key);
+            for p in docs {
+                // Probe with every required param present so only the
+                // probed one can fail.
+                let all: Vec<String> = docs
+                    .iter()
+                    .map(|d| format!("{}={}", d.name, probe_value(d.name)))
+                    .collect();
+                let spec = format!("{}?{}", key, all.join("&"));
+                match WorkloadSpec::parse(&spec) {
+                    Ok(_) => {}
+                    Err(SpecError::UnknownParam { .. }) => {
+                        panic!("documented param '{}' rejected: {spec}", p.name)
+                    }
+                    Err(other) => panic!("documented param {spec} failed oddly: {other}"),
+                }
+            }
+            let bogus = format!("{key}?definitely-not-a-param=1");
+            assert!(
+                matches!(
+                    WorkloadSpec::parse(&bogus),
+                    Err(SpecError::UnknownParam { .. })
+                ),
+                "{bogus} must be rejected as unknown"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_vocabulary_covers_every_key_and_param() {
+        let vocab = WorkloadSpec::vocabulary();
+        for key in WorkloadSpec::ALL_KEYS {
+            assert!(vocab.contains(key), "missing key {key}");
+            for p in WorkloadSpec::param_docs(key) {
+                assert!(vocab.contains(p.name), "missing param {} of {key}", p.name);
+            }
+        }
     }
 
     #[test]

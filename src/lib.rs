@@ -28,9 +28,12 @@
 //! * [`analysis`] — the experiment harness that regenerates every table and
 //!   figure;
 //! * [`trafficlab`] — the sharded routing-workload engine: traffic scenarios
-//!   (uniform, Zipf, permutations, broadcast, Theorem 1 probes) driven over
-//!   the scheme registry with block-streamed stretch/congestion evaluation
-//!   that never materializes a dense `n²` distance matrix.
+//!   (uniform, Zipf, permutations, broadcast, adversarial bisection and
+//!   worst-permutation patterns, Theorem 1 probes) driven over the scheme
+//!   registry with block-streamed stretch/congestion evaluation that never
+//!   materializes a dense `n²` distance matrix.  Scenarios are declarative
+//!   ([`trafficlab::ScenarioSpec`]): graph × workload × scheme specs, every
+//!   axis a `speclang` string codec, loadable from TOML scenario files.
 //!
 //! ## Quick start
 //!
@@ -75,5 +78,8 @@ pub mod prelude {
         KIntervalScheme, LandmarkConfig, LandmarkCount, LandmarkScheme, SchemeInstance, SchemeKind,
         SchemeSpec, SpecError, TableScheme, TreeIntervalScheme,
     };
-    pub use trafficlab::{run_workload, EngineConfig, Workload};
+    pub use speclang;
+    pub use trafficlab::{
+        run_workload, EngineConfig, GraphSpec, ScenarioSpec, Workload, WorkloadSpec,
+    };
 }

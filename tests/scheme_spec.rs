@@ -108,7 +108,7 @@ fn random_specs_round_trip_through_the_codec() {
 fn codec_rejections_are_typed() {
     assert!(matches!(
         SchemeSpec::parse("warp-drive"),
-        Err(SpecError::UnknownScheme { .. })
+        Err(SpecError::UnknownKey { .. })
     ));
     assert!(matches!(
         SchemeSpec::parse("landmark?k=64&rate=0.5"),

@@ -1,0 +1,516 @@
+//! The spec language end to end: seeded-fuzz round trips for all three
+//! codecs (`parse ∘ spec_string = id` for graphs and workloads,
+//! `parse_toml ∘ to_toml = id` for scenarios), and the refactor pin — the
+//! built-in scenarios, now loaded from their TOML files, must be *exactly*
+//! the scenarios that used to be compiled into `named_scenarios()`, so every
+//! report they produce is identical to the pre-refactor output.
+
+use graphkit::Xoshiro256;
+use trafficlab::{
+    find_scenario, landmark_strict, landmark_with_k, named_scenarios, run_scenario, Case,
+    GraphSpec, Scenario, ScenarioSpec, WorkloadSpec, LANDMARK_SWEEP_KS,
+};
+
+use routeschemes::{SchemeKind, SchemeSpec};
+
+fn fuzz_graph_spec(rng: &mut Xoshiro256) -> GraphSpec {
+    let n = 2 + rng.gen_range(1 << 20);
+    let seed = rng.gen_range(1 << 30) as u64;
+    match rng.gen_range(7) {
+        0 => GraphSpec::RandomConnected {
+            n,
+            // Quarter-integer degrees exercise float formatting without
+            // hitting numbers whose shortest form is long.
+            avg_deg: (1 + rng.gen_range(64)) as f64 / 4.0,
+            seed,
+        },
+        1 => GraphSpec::RandomRegular {
+            n,
+            degree: 1 + rng.gen_range(32),
+            seed,
+        },
+        2 => GraphSpec::Grid {
+            rows: 1 + rng.gen_range(512),
+            cols: 1 + rng.gen_range(512),
+        },
+        3 => GraphSpec::Hypercube {
+            dim: 1 + rng.gen_range(30),
+        },
+        4 => GraphSpec::CompleteModular { n },
+        5 => GraphSpec::RandomTree { n, seed },
+        _ => GraphSpec::Theorem1 {
+            n,
+            theta: (1 + rng.gen_range(100)) as f64 / 100.0,
+            seed,
+        },
+    }
+}
+
+fn fuzz_workload_spec(rng: &mut Xoshiro256) -> WorkloadSpec {
+    let messages = 1 + rng.gen_range(1 << 24) as u64;
+    let seed = rng.gen_range(1 << 30) as u64;
+    match rng.gen_range(9) {
+        0 => WorkloadSpec::AllPairs,
+        1 => WorkloadSpec::Uniform { messages, seed },
+        2 => WorkloadSpec::Zipf {
+            messages,
+            exponent: (1 + rng.gen_range(300)) as f64 / 100.0,
+            seed,
+        },
+        3 => WorkloadSpec::Permutations {
+            rounds: 1 + rng.gen_range(512) as u32,
+            seed,
+        },
+        4 => {
+            let roots: Vec<usize> = (0..1 + rng.gen_range(6))
+                .map(|_| rng.gen_range(1 << 16))
+                .collect();
+            WorkloadSpec::Broadcast { roots }
+        }
+        5 => WorkloadSpec::SampledSources {
+            sources: 1 + rng.gen_range(4096),
+            dests_per_source: 1 + rng.gen_range(4096),
+            seed,
+        },
+        6 => WorkloadSpec::Bisection { messages, seed },
+        7 => WorkloadSpec::WorstPerm {
+            rounds: 1 + rng.gen_range(512) as u32,
+            seed,
+        },
+        _ => WorkloadSpec::ConstrainedProbes,
+    }
+}
+
+fn fuzz_scheme_spec(rng: &mut Xoshiro256) -> SchemeSpec {
+    match rng.gen_range(4) {
+        0 => SchemeSpec::default_for(SchemeKind::ALL[rng.gen_range(7)]),
+        1 => landmark_with_k(1 + rng.gen_range(4096)),
+        2 => landmark_strict(),
+        _ => SchemeSpec::SpanningTree {
+            root: rng.gen_range(1 << 16),
+        },
+    }
+}
+
+/// `parse ∘ spec_string = id` under seeded fuzzing, for the graph and
+/// workload codecs (the scheme codec has its own fuzz in
+/// `tests/scheme_spec.rs`).
+#[test]
+fn random_graph_and_workload_specs_round_trip() {
+    let mut rng = Xoshiro256::new(0x5CEC_1A16);
+    for _ in 0..1000 {
+        let g = fuzz_graph_spec(&mut rng);
+        let rendered = g.spec_string();
+        let reparsed = GraphSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("'{rendered}' failed to reparse: {e}"));
+        assert_eq!(reparsed, g, "graph round trip of '{rendered}'");
+
+        let w = fuzz_workload_spec(&mut rng);
+        let rendered = w.spec_string();
+        let reparsed = WorkloadSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("'{rendered}' failed to reparse: {e}"));
+        assert_eq!(reparsed, w, "workload round trip of '{rendered}'");
+    }
+}
+
+/// `parse_toml ∘ to_toml = id` for whole scenarios, including names and
+/// descriptions that need string escaping.
+#[test]
+fn random_scenario_specs_round_trip_through_toml() {
+    let mut rng = Xoshiro256::new(0x70_4D11);
+    let gnarly = [
+        "plain",
+        "with \"quotes\" inside",
+        "back\\slash",
+        "tabs\tand\nnewlines",
+        "",
+    ];
+    for iter in 0..200 {
+        let cases: Vec<Case> = (0..1 + rng.gen_range(4))
+            .map(|_| {
+                let mut graph = fuzz_graph_spec(&mut rng);
+                if graph.num_nodes() < 2 {
+                    // A 1x1 grid is a valid graph spec but no workload can
+                    // run on it, and scenario loading rejects the pair.
+                    graph = GraphSpec::Grid { rows: 2, cols: 2 };
+                }
+                let mut workload = fuzz_workload_spec(&mut rng);
+                // Scenario loading validates cross-field consistency
+                // (broadcast roots must fit the graph), so the fuzz must
+                // produce consistent cases — only per-codec round trips may
+                // range freely.
+                if let WorkloadSpec::Broadcast { roots } = &mut workload {
+                    let n = graph.num_nodes();
+                    for r in roots.iter_mut() {
+                        *r %= n;
+                    }
+                }
+                Case {
+                    graph,
+                    workload,
+                    schemes: (0..1 + rng.gen_range(4))
+                        .map(|_| fuzz_scheme_spec(&mut rng))
+                        .collect(),
+                    block_rows: [0, 0, 1, 8, 64][rng.gen_range(5)],
+                }
+            })
+            .collect();
+        let spec = ScenarioSpec {
+            name: format!("fuzz-{iter}"),
+            description: gnarly[rng.gen_range(gnarly.len())].to_string(),
+            cases,
+        };
+        let rendered = spec.to_toml();
+        let reparsed = ScenarioSpec::parse_toml(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{rendered}"));
+        assert_eq!(reparsed, spec, "scenario round trip of\n{rendered}");
+    }
+}
+
+/// The scenario book exactly as it was compiled into `named_scenarios()`
+/// before the TOML refactor (PR 4 state).  Everything the runner measures is
+/// a deterministic function of these values, so `loaded == pre_refactor`
+/// pins every built-in report bit-for-bit to its pre-refactor output.
+fn pre_refactor_scenarios() -> Vec<Scenario> {
+    let d = SchemeSpec::default_for;
+    let universal = vec![
+        d(SchemeKind::Table),
+        d(SchemeKind::SpanningTree),
+        d(SchemeKind::KInterval),
+        d(SchemeKind::Landmark),
+    ];
+    vec![
+        Scenario {
+            name: "smoke".into(),
+            description: "every registry scheme exercised once at n = 1024".into(),
+            cases: vec![
+                Case {
+                    graph: GraphSpec::RandomConnected {
+                        n: 1024,
+                        avg_deg: 8.0,
+                        seed: 0xC5A,
+                    },
+                    workload: WorkloadSpec::Uniform {
+                        messages: 20_000,
+                        seed: 1,
+                    },
+                    schemes: universal.clone(),
+                    block_rows: 0,
+                },
+                Case {
+                    graph: GraphSpec::Hypercube { dim: 10 },
+                    workload: WorkloadSpec::Uniform {
+                        messages: 20_000,
+                        seed: 2,
+                    },
+                    schemes: vec![d(SchemeKind::Ecube), d(SchemeKind::SpanningTree)],
+                    block_rows: 0,
+                },
+                Case {
+                    graph: GraphSpec::Grid { rows: 32, cols: 32 },
+                    workload: WorkloadSpec::Uniform {
+                        messages: 20_000,
+                        seed: 3,
+                    },
+                    schemes: vec![d(SchemeKind::DimensionOrder), d(SchemeKind::SpanningTree)],
+                    block_rows: 0,
+                },
+                Case {
+                    graph: GraphSpec::CompleteModular { n: 256 },
+                    workload: WorkloadSpec::Uniform {
+                        messages: 20_000,
+                        seed: 4,
+                    },
+                    schemes: vec![d(SchemeKind::ModularComplete), d(SchemeKind::Table)],
+                    block_rows: 0,
+                },
+            ],
+        },
+        Scenario {
+            name: "uniform-1m".into(),
+            description: "one million uniform messages on an n = 4096 random graph".into(),
+            cases: vec![Case {
+                graph: GraphSpec::RandomConnected {
+                    n: 4096,
+                    avg_deg: 8.0,
+                    seed: 0xC5A,
+                },
+                workload: WorkloadSpec::Uniform {
+                    messages: 1_000_000,
+                    seed: 7,
+                },
+                schemes: vec![d(SchemeKind::SpanningTree)],
+                block_rows: 0,
+            }],
+        },
+        Scenario {
+            name: "sharded-130k".into(),
+            description: "block-streamed sweep at n = 131072 — no dense matrix can exist".into(),
+            cases: vec![Case {
+                graph: GraphSpec::RandomRegular {
+                    n: 131_072,
+                    degree: 8,
+                    seed: 0xB16,
+                },
+                workload: WorkloadSpec::SampledSources {
+                    sources: 64,
+                    dests_per_source: 256,
+                    seed: 11,
+                },
+                schemes: vec![d(SchemeKind::SpanningTree)],
+                block_rows: 1,
+            }],
+        },
+        Scenario {
+            name: "landmark-130k".into(),
+            description: "landmark routing (stretch < 3) built sparsely at n = 131072".into(),
+            cases: vec![Case {
+                graph: GraphSpec::RandomRegular {
+                    n: 131_072,
+                    degree: 8,
+                    seed: 0xB16,
+                },
+                workload: WorkloadSpec::SampledSources {
+                    sources: 64,
+                    dests_per_source: 256,
+                    seed: 11,
+                },
+                schemes: vec![
+                    d(SchemeKind::Landmark),
+                    landmark_strict(),
+                    d(SchemeKind::SpanningTree),
+                ],
+                block_rows: 1,
+            }],
+        },
+        Scenario {
+            name: "landmark-sweep".into(),
+            description: "bits-vs-stretch curve: landmark k swept over a decade at n = 4096".into(),
+            cases: vec![Case {
+                graph: GraphSpec::RandomConnected {
+                    n: 4096,
+                    avg_deg: 8.0,
+                    seed: 0xC5A,
+                },
+                workload: WorkloadSpec::SampledSources {
+                    sources: 128,
+                    dests_per_source: 128,
+                    seed: 21,
+                },
+                schemes: LANDMARK_SWEEP_KS
+                    .iter()
+                    .map(|&k| landmark_with_k(k))
+                    .collect(),
+                block_rows: 0,
+            }],
+        },
+        Scenario {
+            name: "zipf-hotspot".into(),
+            description: "Zipf-skewed destinations vs uniform on the same graph".into(),
+            cases: vec![
+                Case {
+                    graph: GraphSpec::RandomConnected {
+                        n: 2048,
+                        avg_deg: 8.0,
+                        seed: 0xC5A,
+                    },
+                    workload: WorkloadSpec::Zipf {
+                        messages: 200_000,
+                        exponent: 1.1,
+                        seed: 5,
+                    },
+                    schemes: universal.clone(),
+                    block_rows: 0,
+                },
+                Case {
+                    graph: GraphSpec::RandomConnected {
+                        n: 2048,
+                        avg_deg: 8.0,
+                        seed: 0xC5A,
+                    },
+                    workload: WorkloadSpec::Uniform {
+                        messages: 200_000,
+                        seed: 5,
+                    },
+                    schemes: universal,
+                    block_rows: 0,
+                },
+            ],
+        },
+        Scenario {
+            name: "broadcast".into(),
+            description: "one-to-all broadcasts; congestion concentrates near the roots".into(),
+            cases: vec![Case {
+                graph: GraphSpec::RandomTree { n: 4096, seed: 9 },
+                workload: WorkloadSpec::Broadcast {
+                    roots: vec![0, 1, 2, 3],
+                },
+                schemes: vec![d(SchemeKind::SpanningTree)],
+                block_rows: 1,
+            }],
+        },
+        Scenario {
+            name: "permutation-cube".into(),
+            description: "random permutation rounds on the 10-cube".into(),
+            cases: vec![Case {
+                graph: GraphSpec::Hypercube { dim: 10 },
+                workload: WorkloadSpec::Permutations {
+                    rounds: 64,
+                    seed: 13,
+                },
+                schemes: vec![d(SchemeKind::Ecube), d(SchemeKind::Table)],
+                block_rows: 0,
+            }],
+        },
+        Scenario {
+            name: "theorem1".into(),
+            description: "constrained-vertex probes on Theorem 1 worst-case instances".into(),
+            cases: vec![
+                Case {
+                    graph: GraphSpec::Theorem1 {
+                        n: 1024,
+                        theta: 0.5,
+                        seed: 17,
+                    },
+                    workload: WorkloadSpec::ConstrainedProbes,
+                    schemes: vec![
+                        d(SchemeKind::Table),
+                        d(SchemeKind::SpanningTree),
+                        d(SchemeKind::Landmark),
+                        landmark_strict(),
+                    ],
+                    block_rows: 0,
+                },
+                Case {
+                    graph: GraphSpec::Theorem1 {
+                        n: 16384,
+                        theta: 0.5,
+                        seed: 17,
+                    },
+                    workload: WorkloadSpec::ConstrainedProbes,
+                    schemes: vec![
+                        d(SchemeKind::Landmark),
+                        landmark_strict(),
+                        d(SchemeKind::SpanningTree),
+                    ],
+                    block_rows: 8,
+                },
+            ],
+        },
+    ]
+}
+
+/// The refactor pin: every pre-refactor built-in, loaded from its TOML file,
+/// is structurally identical to the old in-code definition — same graphs,
+/// workloads, scheme lists (in order), and engine knobs.  The runner is a
+/// deterministic function of these values, so the reports are identical too.
+#[test]
+fn toml_builtins_match_the_pre_refactor_in_code_book() {
+    let expected = pre_refactor_scenarios();
+    for want in &expected {
+        let got = find_scenario(&want.name)
+            .unwrap_or_else(|| panic!("built-in scenario '{}' vanished", want.name));
+        assert_eq!(
+            &got, want,
+            "scenario '{}' drifted from its pre-refactor definition",
+            want.name
+        );
+    }
+    // The book may grow (the adversarial scenario is new) but never shrink.
+    let names: Vec<String> = named_scenarios().into_iter().map(|s| s.name).collect();
+    for want in &expected {
+        assert!(names.contains(&want.name));
+    }
+}
+
+/// A scenario run from TOML text measures exactly what the same scenario
+/// built in code measures: identical stretch (bit-for-bit), congestion,
+/// histograms, memory reports, skip notes — everything except wall-clock.
+#[test]
+fn toml_loaded_scenario_reports_match_in_code_definitions() {
+    let in_code = Scenario {
+        name: "mini".into(),
+        description: "toml-vs-code pin".into(),
+        cases: vec![
+            Case {
+                graph: GraphSpec::RandomConnected {
+                    n: 48,
+                    avg_deg: 6.0,
+                    seed: 4,
+                },
+                workload: WorkloadSpec::Uniform {
+                    messages: 400,
+                    seed: 6,
+                },
+                schemes: vec![
+                    SchemeSpec::default_for(SchemeKind::Table),
+                    SchemeSpec::default_for(SchemeKind::SpanningTree),
+                ],
+                block_rows: 8,
+            },
+            Case {
+                graph: GraphSpec::Grid { rows: 4, cols: 6 },
+                workload: WorkloadSpec::Bisection {
+                    messages: 300,
+                    seed: 2,
+                },
+                schemes: vec![
+                    SchemeSpec::default_for(SchemeKind::DimensionOrder),
+                    SchemeSpec::default_for(SchemeKind::SpanningTree),
+                ],
+                block_rows: 4,
+            },
+        ],
+    };
+    let toml = "\
+name = \"mini\"
+description = \"toml-vs-code pin\"
+
+[[case]]
+graph = \"random?n=48&deg=6&seed=4\"
+workload = \"uniform?messages=400&seed=6\"
+schemes = [\"table\", \"tree\"]
+block_rows = 8
+
+[[case]]
+graph = \"grid?rows=4&cols=6\"
+workload = \"bisection?messages=300&seed=2\"
+schemes = [\"grid\", \"tree\"]
+block_rows = 4
+";
+    let loaded = ScenarioSpec::parse_toml(toml).unwrap();
+    assert_eq!(loaded, in_code);
+    let rep_a = run_scenario(&in_code, 2);
+    let rep_b = run_scenario(&loaded, 2);
+    assert_eq!(rep_a.errors, rep_b.errors);
+    assert_eq!(rep_a.skipped, rep_b.skipped);
+    assert_eq!(rep_a.results.len(), rep_b.results.len());
+    assert!(!rep_a.results.is_empty());
+    for (a, b) in rep_a.results.iter().zip(&rep_b.results) {
+        assert_eq!(a.graph_label, b.graph_label);
+        assert_eq!(a.workload_spec, b.workload_spec);
+        assert_eq!(a.scheme_spec, b.scheme_spec);
+        assert_eq!(a.local_bits, b.local_bits);
+        assert_eq!(a.global_bits, b.global_bits);
+        assert_eq!(a.within_guarantee, b.within_guarantee);
+        // WorkloadReport equality covers stretch (bit-identical f64 fold),
+        // congestion counters, length histograms and block accounting.
+        assert_eq!(a.report, b.report);
+    }
+}
+
+/// The landmark-sweep TOML still walks exactly the published decade.
+#[test]
+fn toml_landmark_sweep_matches_the_published_ks() {
+    let sweep = find_scenario("landmark-sweep").unwrap();
+    let specs: Vec<String> = sweep.cases[0]
+        .schemes
+        .iter()
+        .map(|s| s.spec_string())
+        .collect();
+    let expected: Vec<String> = LANDMARK_SWEEP_KS
+        .iter()
+        .map(|k| format!("landmark?k={k}"))
+        .collect();
+    assert_eq!(specs, expected);
+}
