@@ -1,0 +1,155 @@
+//! Incremental repair vs. full rebuild after link churn.
+//!
+//! A churn event kills 0.1% of the links; the scheme must adapt.  The
+//! baseline re-runs the sparse landmark construction on the masked view;
+//! the incremental path patches only the vertices whose stored distances
+//! the dead edges actually moved, and is pinned bit-identical to the
+//! rebuild by the `routeschemes` repair tests.  The hand-timed snapshot in
+//! `BENCH_churn.json` records both at `n = 4096` and `n = 131072` — the
+//! speedup grows with `n` because damage from a fixed kill *rate* stays
+//! local while the rebuild cost does not.
+//!
+//! The criterion half times the two paths head to head at `n = 4096`; the
+//! repair routine clones the pre-churn instance each iteration (repair
+//! mutates in place), so its criterion number slightly overstates the
+//! repair cost — the snapshot times the repair call alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphkit::{generators, FailureSet, Graph, GraphView};
+use routeschemes::landmark::{LandmarkConfig, LandmarkRouting};
+use routing_bench::quick_criterion;
+use std::time::Instant;
+
+const SEED: u64 = 0x7AFF1C;
+/// Link fraction killed by one churn event.
+const KILL: f64 = 0.001;
+const FAILURE_SEED: u64 = 0xDEAD;
+
+fn workload_graph(n: usize) -> Graph {
+    if n >= 16_384 {
+        generators::random_regular_like(n, 8, 0xB16)
+    } else {
+        generators::random_connected(n, 8.0 / n as f64, 0xC5A)
+    }
+}
+
+fn bench_repair_vs_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn/repair-4096");
+    let g = workload_graph(4096);
+    let cfg = LandmarkConfig {
+        seed: SEED,
+        ..LandmarkConfig::default()
+    };
+    let base = LandmarkRouting::build_with(&g, &cfg);
+    let none = FailureSet::empty(&g);
+    let failures = FailureSet::sample(&g, KILL, FAILURE_SEED);
+    group.bench_with_input(BenchmarkId::new("rebuild", 4096), &(), |b, ()| {
+        b.iter(|| {
+            LandmarkRouting::build_on_view(GraphView::masked(&g, &failures), &cfg)
+                .landmarks()
+                .len()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("repair", 4096), &(), |b, ()| {
+        b.iter(|| {
+            let mut r = base.clone();
+            r.repair(&g, &none, &failures).unwrap().vertices_touched
+        })
+    });
+    group.finish();
+}
+
+/// One snapshot entry: repair and rebuild timed on the same churn event.
+struct Entry {
+    n: usize,
+    edges: usize,
+    dead_links: usize,
+    repair_secs: f64,
+    rebuild_secs: f64,
+    vertices_touched: usize,
+}
+
+fn run_entry(n: usize) -> Entry {
+    let g = workload_graph(n);
+    let cfg = LandmarkConfig {
+        seed: SEED,
+        ..LandmarkConfig::default()
+    };
+    let base = LandmarkRouting::build_with(&g, &cfg);
+    let none = FailureSet::empty(&g);
+    let failures = FailureSet::sample(&g, KILL, FAILURE_SEED);
+
+    let t0 = Instant::now();
+    let rebuilt = LandmarkRouting::build_on_view(GraphView::masked(&g, &failures), &cfg);
+    let rebuild_secs = t0.elapsed().as_secs_f64();
+
+    let mut repaired = base.clone();
+    let t0 = Instant::now();
+    let out = repaired.repair(&g, &none, &failures).unwrap();
+    let repair_secs = t0.elapsed().as_secs_f64();
+
+    assert!(!out.full_rebuild, "nested churn must repair incrementally");
+    assert_eq!(repaired, rebuilt, "repair must be bit-identical to rebuild");
+
+    Entry {
+        n,
+        edges: g.num_edges(),
+        dead_links: failures.dead_edges().len(),
+        repair_secs,
+        rebuild_secs,
+        vertices_touched: out.vertices_touched,
+    }
+}
+
+/// Hand-timed snapshot written to `BENCH_churn.json`.
+fn bench_snapshot(_c: &mut Criterion) {
+    let entries = [run_entry(4096), run_entry(131_072)];
+
+    let mut json = String::from("{\n  \"bench\": \"churn_repair\",\n");
+    json.push_str(&format!("  \"kill_rate\": {KILL},\n  \"entries\": [\n"));
+    for (i, e) in entries.iter().enumerate() {
+        let speedup = e.rebuild_secs / e.repair_secs.max(1e-9);
+        json.push_str(&format!(
+            concat!(
+                "    {{\"n\": {}, \"edges\": {}, \"dead_links\": {}, ",
+                "\"vertices_touched\": {}, \"repair_secs\": {:.4}, ",
+                "\"rebuild_secs\": {:.4}, \"repair_speedup\": {:.2}}}{}\n"
+            ),
+            e.n,
+            e.edges,
+            e.dead_links,
+            e.vertices_touched,
+            e.repair_secs,
+            e.rebuild_secs,
+            speedup,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+        println!(
+            "snapshot: n={:<7} edges={:<8} dead={:<4} touched={:<7} repair {:>8.4}s  rebuild {:>8.4}s  ({speedup:.2}x)",
+            e.n, e.edges, e.dead_links, e.vertices_touched, e.repair_secs, e.rebuild_secs
+        );
+    }
+    let final_speedup = entries[1].rebuild_secs / entries[1].repair_secs.max(1e-9);
+    json.push_str(&format!(
+        "  ],\n  \"repair_speedup_131072\": {final_speedup:.2}\n}}\n"
+    ));
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let out = root.join("BENCH_churn.json");
+    std::fs::write(&out, json).expect("write BENCH_churn.json");
+    println!(
+        "snapshot written to {} (repair vs rebuild at n=131072: {final_speedup:.2}x)",
+        out.display()
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_repair_vs_rebuild, bench_snapshot
+}
+criterion_main!(benches);

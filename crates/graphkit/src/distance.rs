@@ -24,6 +24,7 @@
 //! constant number of allocations regardless of `n` (and
 //! [`DistanceBlock::recompute`] recycles block buffers across blocks).
 
+use crate::failure::Adjacency;
 use crate::graph::{Graph, NodeId};
 use crate::traversal::{bfs_distances_into, bfs_distances_u8_into, BfsScratch, NARROW_INFINITY};
 use crate::{Dist, INFINITY};
@@ -119,8 +120,9 @@ impl DistanceBlock {
         }
     }
 
-    /// Computes the rows of sources `[start, start + rows)` of `g`.
-    pub fn compute(g: &Graph, start: usize, rows: usize) -> Self {
+    /// Computes the rows of sources `[start, start + rows)` of `g` (a
+    /// pristine graph or a masked [`crate::GraphView`]).
+    pub fn compute<A: Adjacency>(g: A, start: usize, rows: usize) -> Self {
         let mut block = DistanceBlock::new();
         let mut scratch = BfsScratch::with_capacity(g.num_nodes());
         block.recompute(g, start, rows, &mut scratch);
@@ -134,7 +136,13 @@ impl DistanceBlock {
     /// row holds a finite distance `>= 255` the whole block falls back to
     /// wide rows (already-computed narrow rows are widened by copy, only the
     /// overflowing row and the remaining rows are re-traversed).
-    pub fn recompute(&mut self, g: &Graph, start: usize, rows: usize, scratch: &mut BfsScratch) {
+    pub fn recompute<A: Adjacency>(
+        &mut self,
+        g: A,
+        start: usize,
+        rows: usize,
+        scratch: &mut BfsScratch,
+    ) {
         let n = g.num_nodes();
         assert!(
             start + rows <= n,
@@ -279,7 +287,6 @@ impl DistanceMatrix {
         std::thread::scope(|scope| {
             for (t, chunk) in chunks.iter_mut().enumerate() {
                 let start = t * chunk_rows;
-                let g = &g;
                 scope.spawn(move || {
                     let mut scratch = BfsScratch::with_capacity(n);
                     for (i, row) in chunk.chunks_mut(n).enumerate() {

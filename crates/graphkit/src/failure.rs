@@ -1,0 +1,450 @@
+//! Link failures: a [`FailureSet`] overlay and the masked [`GraphView`].
+//!
+//! The robustness experiments remove links from a network without rebuilding
+//! it: a [`FailureSet`] is a bitset over the CSR arc space marking dead arcs,
+//! and a [`GraphView`] pairs a borrowed [`Graph`] with an optional failure
+//! set so traversals and routing simulations skip dead arcs on the fly.
+//!
+//! Two invariants make the overlay cheap and honest:
+//!
+//! * **Port stability.**  The CSR is never rebuilt, so port labels are
+//!   untouched: port `p` of `u` names the same physical link before and after
+//!   a failure.  A routing scheme built on the pristine graph can therefore
+//!   be *run* against a view (its forwarding decisions just bounce off dead
+//!   links) and *repaired* in place.
+//! * **Symmetric links.**  The paper's networks are symmetric digraphs;
+//!   killing the link `{u, v}` kills both directed arcs, so views stay
+//!   symmetric and BFS distances on a view remain a metric.
+//!
+//! Failure sampling is deterministic ([`FailureSet::sample`]) and — because
+//! [`crate::rng::Xoshiro256::sample_indices`] is a partial Fisher–Yates whose
+//! output is a **prefix** of any longer sample from the same generator state
+//! — failure sets sampled at increasing kill rates under one seed are
+//! *nested*: `sample(g, r₁, s) ⊆ sample(g, r₂, s)` whenever `r₁ ≤ r₂`.  The
+//! churn executor leans on this to model cumulative link loss round by round.
+
+use crate::graph::{Graph, NodeId, Port};
+use crate::rng::Xoshiro256;
+
+/// A set of failed (dead) links of one graph, stored as a bitset over the
+/// directed CSR arc space plus the canonical sorted list of dead edges.
+///
+/// Arc `offsets[u] + p` is port `p` of vertex `u` — the same indexing the
+/// congestion counters use.  Links are symmetric: both directed arcs of an
+/// edge are always dead or alive together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureSet {
+    /// One bit per directed arc; set = dead.
+    words: Vec<u64>,
+    /// CSR arc offsets (copy of the graph's degree prefix sums; the graph's
+    /// own offsets are private).
+    offsets: Vec<u32>,
+    /// Dead edges as `(u, v)` with `u < v`, sorted ascending — the canonical
+    /// form used for equality, supersets and reports.
+    dead_edges: Vec<(u32, u32)>,
+}
+
+impl FailureSet {
+    fn with_offsets(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        for u in 0..n {
+            offsets.push(offsets[u] + g.degree(u) as u32);
+        }
+        let arcs = offsets[n] as usize;
+        FailureSet {
+            words: vec![0; arcs.div_ceil(64)],
+            offsets,
+            dead_edges: Vec::new(),
+        }
+    }
+
+    /// The empty failure set of `g` (no dead links).
+    pub fn empty(g: &Graph) -> Self {
+        Self::with_offsets(g)
+    }
+
+    /// Kills a deterministic sample of `round(kill_rate · m)` edges of `g`
+    /// (clamped to `[0, m]`), chosen uniformly without replacement.
+    ///
+    /// For a fixed `seed` the samples at increasing rates are nested (see the
+    /// module docs), which is what makes round-by-round churn cumulative.
+    pub fn sample(g: &Graph, kill_rate: f64, seed: u64) -> Self {
+        let m = g.num_edges();
+        let k = ((kill_rate * m as f64).round() as i64).clamp(0, m as i64) as usize;
+        let mut rng = Xoshiro256::new(seed);
+        let picked = rng.sample_indices(m, k);
+        let mut chosen = vec![false; m];
+        for &i in &picked {
+            chosen[i] = true;
+        }
+        let edges: Vec<(u32, u32)> = g
+            .edges()
+            .enumerate()
+            .filter(|&(i, _)| chosen[i])
+            .map(|(_, (u, v))| (u as u32, v as u32))
+            .collect();
+        Self::from_edges(g, &edges)
+    }
+
+    /// Kills exactly the listed edges (each `{u, v}` in either orientation).
+    ///
+    /// Panics if some listed pair is not an edge of `g` — a failure set is
+    /// only meaningful for links that exist.  Duplicates are tolerated.
+    pub fn from_edges(g: &Graph, edges: &[(u32, u32)]) -> Self {
+        let mut set = Self::with_offsets(g);
+        for &(u, v) in edges {
+            let (u, v) = (u as usize, v as usize);
+            let p = g
+                .port_to(u, v)
+                .unwrap_or_else(|| panic!("({u}, {v}) is not an edge: cannot fail it"));
+            let q = g
+                .port_to(v, u)
+                .expect("graph is symmetric: reverse arc must exist");
+            set.mark(u, p);
+            set.mark(v, q);
+            let e = (u.min(v) as u32, u.max(v) as u32);
+            set.dead_edges.push(e);
+        }
+        set.dead_edges.sort_unstable();
+        set.dead_edges.dedup();
+        set
+    }
+
+    #[inline]
+    fn mark(&mut self, u: NodeId, p: Port) {
+        let arc = self.offsets[u] as usize + p;
+        self.words[arc / 64] |= 1u64 << (arc % 64);
+    }
+
+    /// Whether port `p` of vertex `u` leads over a dead link.
+    #[inline]
+    pub fn is_dead(&self, u: NodeId, p: Port) -> bool {
+        let arc = self.offsets[u] as usize + p;
+        self.words[arc / 64] >> (arc % 64) & 1 != 0
+    }
+
+    /// The dead edges as sorted canonical `(u, v)` pairs with `u < v`.
+    pub fn dead_edges(&self) -> &[(u32, u32)] {
+        &self.dead_edges
+    }
+
+    /// Number of dead edges (undirected links, not arcs).
+    pub fn len(&self) -> usize {
+        self.dead_edges.len()
+    }
+
+    /// Whether no link is dead.
+    pub fn is_empty(&self) -> bool {
+        self.dead_edges.is_empty()
+    }
+
+    /// Whether every dead edge of `other` is also dead here (both lists are
+    /// sorted, so this is one merge walk).
+    pub fn is_superset_of(&self, other: &FailureSet) -> bool {
+        let mut it = self.dead_edges.iter();
+        'outer: for e in &other.dead_edges {
+            for f in it.by_ref() {
+                match f.cmp(e) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Heap bytes held (reports ride on this for memory accounting).
+    pub fn bytes(&self) -> u64 {
+        (self.words.capacity() * 8 + self.offsets.capacity() * 4 + self.dead_edges.capacity() * 8)
+            as u64
+    }
+}
+
+/// A borrowed graph with an optional failure mask: the object traversals and
+/// routing simulations run against.
+///
+/// A view never owns or rebuilds anything — it is two pointers.  Degrees and
+/// port labels are those of the underlying graph (port stability, see the
+/// module docs); only [`GraphView::live_target`] and the [`Adjacency`]
+/// iteration skip dead arcs.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphView<'a> {
+    graph: &'a Graph,
+    failures: Option<&'a FailureSet>,
+}
+
+impl<'a> GraphView<'a> {
+    /// The unmasked view of `g`: every link is live.
+    pub fn full(g: &'a Graph) -> Self {
+        GraphView {
+            graph: g,
+            failures: None,
+        }
+    }
+
+    /// The view of `g` with the links of `f` dead.
+    pub fn masked(g: &'a Graph, f: &'a FailureSet) -> Self {
+        GraphView {
+            graph: g,
+            failures: Some(f),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// The failure set, if any links are masked.
+    pub fn failures(&self) -> Option<&'a FailureSet> {
+        self.failures
+    }
+
+    /// Number of vertices (identical to the underlying graph).
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Structural degree of `u` — dead ports still count, because port labels
+    /// are preserved.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.graph.degree(u)
+    }
+
+    /// Whether port `p` of `u` is a live link.
+    #[inline]
+    pub fn is_live(&self, u: NodeId, p: Port) -> bool {
+        match self.failures {
+            Some(f) => !f.is_dead(u, p),
+            None => true,
+        }
+    }
+
+    /// The vertex behind port `p` of `u`, or `None` if the link is dead.
+    /// Panics (like [`Graph::port_target`]) if `p` is not a port of `u`.
+    #[inline]
+    pub fn live_target(&self, u: NodeId, p: Port) -> Option<NodeId> {
+        let v = self.graph.port_target(u, p);
+        if self.is_live(u, p) {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+impl<'a> From<&'a Graph> for GraphView<'a> {
+    fn from(g: &'a Graph) -> Self {
+        GraphView::full(g)
+    }
+}
+
+/// The adjacency abstraction traversals are generic over: a pristine
+/// [`&Graph`](Graph) or a masked [`GraphView`].
+///
+/// `Copy` keeps the generic BFS cores as cheap as the concrete ones — the
+/// `&Graph` instantiation compiles to exactly the code it replaced (the
+/// neighbour loop over the raw CSR slice), and the view instantiation adds
+/// one bitset probe per arc.
+pub trait Adjacency: Copy {
+    /// Number of vertices.
+    fn num_nodes(&self) -> usize;
+
+    /// Structural degree of `u` (ports, dead or alive).
+    fn degree(&self, u: NodeId) -> usize;
+
+    /// Calls `visit(port, target)` for every **live** arc out of `u`, in
+    /// port order.
+    fn for_each_live(&self, u: NodeId, visit: impl FnMut(Port, NodeId));
+}
+
+impl Adjacency for &Graph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        Graph::num_nodes(self)
+    }
+
+    #[inline]
+    fn degree(&self, u: NodeId) -> usize {
+        Graph::degree(self, u)
+    }
+
+    #[inline]
+    fn for_each_live(&self, u: NodeId, mut visit: impl FnMut(Port, NodeId)) {
+        for (p, &v) in self.neighbors(u).iter().enumerate() {
+            visit(p, v as usize);
+        }
+    }
+}
+
+impl Adjacency for GraphView<'_> {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        GraphView::num_nodes(self)
+    }
+
+    #[inline]
+    fn degree(&self, u: NodeId) -> usize {
+        GraphView::degree(self, u)
+    }
+
+    #[inline]
+    fn for_each_live(&self, u: NodeId, mut visit: impl FnMut(Port, NodeId)) {
+        match self.failures {
+            None => {
+                for (p, &v) in self.graph.neighbors(u).iter().enumerate() {
+                    visit(p, v as usize);
+                }
+            }
+            Some(f) => {
+                for (p, &v) in self.graph.neighbors(u).iter().enumerate() {
+                    if !f.is_dead(u, p) {
+                        visit(p, v as usize);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal::{bfs_distances, is_connected};
+    use crate::INFINITY;
+
+    #[test]
+    fn empty_failure_set_masks_nothing() {
+        let g = generators::petersen();
+        let f = FailureSet::empty(&g);
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+        let view = GraphView::masked(&g, &f);
+        for u in 0..g.num_nodes() {
+            for p in 0..g.degree(u) {
+                assert_eq!(view.live_target(u, p), Some(g.port_target(u, p)));
+            }
+        }
+    }
+
+    #[test]
+    fn from_edges_kills_both_directions_and_canonicalizes() {
+        let g = generators::cycle(5);
+        // Listed backwards and duplicated: still one canonical dead edge.
+        let f = FailureSet::from_edges(&g, &[(3, 2), (2, 3)]);
+        assert_eq!(f.dead_edges(), &[(2, 3)]);
+        assert_eq!(f.len(), 1);
+        let p = g.port_to(2, 3).unwrap();
+        let q = g.port_to(3, 2).unwrap();
+        assert!(f.is_dead(2, p));
+        assert!(f.is_dead(3, q));
+        let view = GraphView::masked(&g, &f);
+        assert_eq!(view.live_target(2, p), None);
+        assert_eq!(view.live_target(3, q), None);
+        // Degrees and the other ports are untouched.
+        assert_eq!(view.degree(2), 2);
+        assert_eq!(view.live_target(2, g.port_to(2, 1).unwrap()), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an edge")]
+    fn from_edges_rejects_non_edges() {
+        let g = generators::path(4);
+        FailureSet::from_edges(&g, &[(0, 3)]);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_respects_the_rate() {
+        let g = generators::random_connected(200, 0.05, 11);
+        let m = g.num_edges();
+        let f1 = FailureSet::sample(&g, 0.1, 42);
+        let f2 = FailureSet::sample(&g, 0.1, 42);
+        assert_eq!(f1, f2);
+        assert_eq!(f1.len(), (0.1 * m as f64).round() as usize);
+        let g3 = FailureSet::sample(&g, 0.1, 43);
+        assert_ne!(f1, g3, "different seeds should differ");
+        for &(u, v) in f1.dead_edges() {
+            assert!(g.has_edge(u as usize, v as usize));
+            assert!(u < v);
+        }
+        assert_eq!(FailureSet::sample(&g, 0.0, 42).len(), 0);
+        assert_eq!(FailureSet::sample(&g, 1.0, 42).len(), m);
+        // Rates above 1 clamp.
+        assert_eq!(FailureSet::sample(&g, 7.5, 42).len(), m);
+    }
+
+    #[test]
+    fn samples_at_increasing_rates_are_nested() {
+        let g = generators::random_connected(300, 0.03, 5);
+        let seed = 0xC0FFEE;
+        let mut prev = FailureSet::sample(&g, 0.0, seed);
+        for step in 1..=8 {
+            let cur = FailureSet::sample(&g, step as f64 * 0.02, seed);
+            assert!(
+                cur.is_superset_of(&prev),
+                "rate {} should extend rate {}",
+                step as f64 * 0.02,
+                (step - 1) as f64 * 0.02
+            );
+            assert!(cur.len() >= prev.len());
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn superset_check_is_exact() {
+        let g = generators::cycle(8);
+        let a = FailureSet::from_edges(&g, &[(0, 1), (4, 5)]);
+        let b = FailureSet::from_edges(&g, &[(0, 1)]);
+        let c = FailureSet::from_edges(&g, &[(2, 3)]);
+        assert!(a.is_superset_of(&b));
+        assert!(a.is_superset_of(&a));
+        assert!(!b.is_superset_of(&a));
+        assert!(!a.is_superset_of(&c));
+        assert!(a.is_superset_of(&FailureSet::empty(&g)));
+        assert!(FailureSet::empty(&g).is_superset_of(&FailureSet::empty(&g)));
+    }
+
+    #[test]
+    fn bfs_on_a_masked_view_reroutes_or_disconnects() {
+        // Killing one cycle edge turns C_8 into P_8: distances grow but stay
+        // finite; killing a path edge disconnects.
+        let g = generators::cycle(8);
+        let f = FailureSet::from_edges(&g, &[(0, 7)]);
+        let view = GraphView::masked(&g, &f);
+        let d = bfs_distances(view, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(is_connected(view));
+        let f2 = FailureSet::from_edges(&g, &[(0, 7), (3, 4)]);
+        let view2 = GraphView::masked(&g, &f2);
+        assert!(!is_connected(view2));
+        let d2 = bfs_distances(view2, 0);
+        assert_eq!(d2[3], 3);
+        assert_eq!(d2[4], INFINITY);
+    }
+
+    #[test]
+    fn full_view_matches_the_graph() {
+        let g = generators::grid(4, 5);
+        let view: GraphView = (&g).into();
+        assert!(view.failures().is_none());
+        assert_eq!(view.num_nodes(), g.num_nodes());
+        for u in 0..g.num_nodes() {
+            let mut seen = Vec::new();
+            view.for_each_live(u, |p, v| seen.push((p, v)));
+            let expected: Vec<(usize, usize)> = g
+                .neighbors(u)
+                .iter()
+                .enumerate()
+                .map(|(p, &v)| (p, v as usize))
+                .collect();
+            assert_eq!(seen, expected);
+        }
+        assert!(std::ptr::eq(view.graph(), &g));
+    }
+}

@@ -26,7 +26,11 @@
 //!   ([`DistanceBlock`]) so sweeps scale past what one `n²` allocation can
 //!   hold,
 //! * structural predicates and statistics ([`properties`]),
-//! * plain-text import/export ([`io`]).
+//! * plain-text import/export ([`io`]),
+//! * link-failure overlays ([`failure`]): deterministically sampled
+//!   [`FailureSet`]s and the masked [`GraphView`] every BFS core accepts via
+//!   the [`Adjacency`] abstraction — dead links are skipped on the fly, the
+//!   CSR (and with it the port labeling) is never rebuilt.
 //!
 //! Nodes are `0`-based [`NodeId`]s internally; the paper's `1`-based labels are
 //! only used when formatting reports.  Ports are `0`-based positions into the
@@ -45,6 +49,7 @@
 
 pub mod builder;
 pub mod distance;
+pub mod failure;
 pub mod generators;
 pub mod graph;
 pub mod io;
@@ -54,9 +59,12 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use distance::{DistanceBlock, DistanceMatrix, DistanceRow};
+pub use failure::{Adjacency, FailureSet, GraphView};
 pub use graph::{Graph, NodeId, Port};
 pub use rng::Xoshiro256;
-pub use traversal::{bfs_bounded_into, bfs_from_sources_into, BfsScratch, BoundedBfsScratch};
+pub use traversal::{
+    bfs_ball_into, bfs_bounded_into, bfs_from_sources_into, BfsScratch, BoundedBfsScratch,
+};
 
 /// Distance value used throughout the crate. `u32::MAX` encodes "unreachable".
 pub type Dist = u32;

@@ -12,6 +12,7 @@
 //! [`crate::distance::DistanceMatrix::all_pairs`] perform **zero heap
 //! allocations per source** after the first.
 
+use crate::failure::Adjacency;
 use crate::graph::{Graph, NodeId, Port};
 use crate::{Dist, INFINITY};
 
@@ -48,7 +49,16 @@ impl BfsScratch {
 /// `dist` must have length `g.num_nodes()`; it is fully overwritten
 /// (unreached vertices get [`INFINITY`]).  Allocation-free once `scratch` has
 /// warmed up, which is what makes the all-pairs sweep cheap.
-pub fn bfs_distances_into(g: &Graph, source: NodeId, scratch: &mut BfsScratch, dist: &mut [Dist]) {
+///
+/// Generic over [`Adjacency`]: pass `&Graph` for the pristine CSR hot path
+/// (compiles to the raw slice loop) or a [`crate::GraphView`] to traverse
+/// around dead links.
+pub fn bfs_distances_into<A: Adjacency>(
+    g: A,
+    source: NodeId,
+    scratch: &mut BfsScratch,
+    dist: &mut [Dist],
+) {
     let n = g.num_nodes();
     assert!(source < n, "BFS source out of range");
     assert_eq!(dist.len(), n, "distance buffer has the wrong length");
@@ -63,13 +73,12 @@ pub fn bfs_distances_into(g: &Graph, source: NodeId, scratch: &mut BfsScratch, d
         let u = queue[head] as usize;
         head += 1;
         let du = dist[u] + 1;
-        for &v in g.neighbors(u) {
-            let v = v as usize;
+        g.for_each_live(u, |_, v| {
             if dist[v] == INFINITY {
                 dist[v] = du;
                 queue.push(v as u32);
             }
-        }
+        });
     }
 }
 
@@ -93,8 +102,8 @@ pub const NARROW_INFINITY: u8 = u8::MAX;
 /// the caller must then redo the row with [`bfs_distances_into`].  Unreached
 /// vertices are left at [`NARROW_INFINITY`].  Allocation-free once `scratch`
 /// has warmed up.
-pub fn bfs_distances_u8_into(
-    g: &Graph,
+pub fn bfs_distances_u8_into<A: Adjacency>(
+    g: A,
     source: NodeId,
     scratch: &mut BfsScratch,
     dist: &mut [u8],
@@ -109,21 +118,25 @@ pub fn bfs_distances_u8_into(
     dist[source] = 0;
     queue.push(source as u32);
     let mut head = 0usize;
+    let mut overflow = false;
     while head < queue.len() {
         let u = queue[head] as usize;
         head += 1;
         // Visited vertices always hold a *finite* value < 255, so the
         // sentinel test below is unambiguous.
         let du = dist[u] as u16 + 1;
-        for &v in g.neighbors(u) {
-            let v = v as usize;
-            if dist[v] == NARROW_INFINITY {
+        g.for_each_live(u, |_, v| {
+            if !overflow && dist[v] == NARROW_INFINITY {
                 if du >= NARROW_INFINITY as u16 {
-                    return false;
+                    overflow = true;
+                    return;
                 }
                 dist[v] = du as u8;
                 queue.push(v as u32);
             }
+        });
+        if overflow {
+            return false;
         }
     }
     true
@@ -146,8 +159,8 @@ pub fn bfs_distances_u8_into(
 ///
 /// Duplicate sources are ignored after the first occurrence.  One BFS over
 /// the whole graph: `O(n + m)`, allocation-free once `scratch` is warm.
-pub fn bfs_from_sources_into(
-    g: &Graph,
+pub fn bfs_from_sources_into<A: Adjacency>(
+    g: A,
     sources: &[NodeId],
     scratch: &mut BfsScratch,
     dist: &mut [Dist],
@@ -174,14 +187,14 @@ pub fn bfs_from_sources_into(
         let u = queue[head] as usize;
         head += 1;
         let du = dist[u] + 1;
-        for &v in g.neighbors(u) {
-            let v = v as usize;
+        let ou = origin[u];
+        g.for_each_live(u, |_, v| {
             if dist[v] == INFINITY {
                 dist[v] = du;
-                origin[v] = origin[u];
+                origin[v] = ou;
                 queue.push(v as u32);
             }
-        }
+        });
     }
 }
 
@@ -237,8 +250,8 @@ impl BoundedBfsScratch {
 /// Vertices just outside the frontier are *touched* (discovered, never
 /// expanded, not reported); the traversal cost is the volume of the explored
 /// cluster plus its boundary.  Visit order is BFS (non-decreasing distance).
-pub fn bfs_bounded_into(
-    g: &Graph,
+pub fn bfs_bounded_into<A: Adjacency>(
+    g: A,
     source: NodeId,
     bound: &[Dist],
     scratch: &mut BoundedBfsScratch,
@@ -272,14 +285,60 @@ pub fn bfs_bounded_into(
             visit(u, du, first_hop[u] as usize);
         }
         let dv = du + 1;
-        for (p, &v) in g.neighbors(u).iter().enumerate() {
-            let v = v as usize;
+        let hop_u = first_hop[u];
+        g.for_each_live(u, |p, v| {
             if dist[v] == INFINITY {
                 dist[v] = dv;
-                first_hop[v] = if u == source { p as u32 } else { first_hop[u] };
+                first_hop[v] = if u == source { p as u32 } else { hop_u };
                 queue.push(v as u32);
             }
+        });
+    }
+    // Lazy reset: only what this traversal wrote.
+    for &u in queue.iter() {
+        dist[u as usize] = INFINITY;
+    }
+}
+
+/// Fixed-radius BFS "ball": reports every vertex `v` **including `source`**
+/// with `d(source, v) <= radius` through `visit(v, d(source, v))`, in BFS
+/// order.
+///
+/// The repair machinery uses balls to localize the set of vertices whose
+/// landmark clusters a dead link can have touched; cost is the volume of the
+/// ball (lazy scratch reset, zero allocations after warm-up), not `O(n)`.
+pub fn bfs_ball_into<A: Adjacency>(
+    g: A,
+    source: NodeId,
+    radius: Dist,
+    scratch: &mut BoundedBfsScratch,
+    mut visit: impl FnMut(NodeId, Dist),
+) {
+    let n = g.num_nodes();
+    assert!(source < n, "BFS source out of range");
+    scratch.dist.resize(n, INFINITY);
+    let BoundedBfsScratch { queue, dist, .. } = scratch;
+    debug_assert!(dist.iter().all(|&d| d == INFINITY), "stale scratch");
+    queue.clear();
+    dist[source] = 0;
+    queue.push(source as u32);
+    let mut head = 0usize;
+    while head < queue.len() {
+        let u = queue[head] as usize;
+        head += 1;
+        let du = dist[u];
+        visit(u, du);
+        if du == radius {
+            // Frontier: reported but not expanded.
+            continue;
         }
+        let dv = du + 1;
+        g.for_each_live(u, |_, v| {
+            if dist[v] == INFINITY {
+                dist[v] = dv;
+                queue.push(v as u32);
+            }
+        });
     }
     // Lazy reset: only what this traversal wrote.
     for &u in queue.iter() {
@@ -289,11 +348,11 @@ pub fn bfs_bounded_into(
 
 /// Like [`bfs_distances_into`], but reusing the scratch's own distance
 /// buffer; returns a borrow of it.
-pub fn bfs_distances_scratch<'a>(
-    g: &Graph,
+pub fn bfs_distances_scratch<A: Adjacency>(
+    g: A,
     source: NodeId,
-    scratch: &'a mut BfsScratch,
-) -> &'a [Dist] {
+    scratch: &mut BfsScratch,
+) -> &[Dist] {
     let n = g.num_nodes();
     scratch.dist.resize(n, INFINITY);
     let mut dist = std::mem::take(&mut scratch.dist);
@@ -306,7 +365,7 @@ pub fn bfs_distances_scratch<'a>(
 ///
 /// Convenience wrapper allocating fresh buffers; sweeps should use
 /// [`bfs_distances_into`] with a [`BfsScratch`] instead.
-pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Dist> {
+pub fn bfs_distances<A: Adjacency>(g: A, source: NodeId) -> Vec<Dist> {
     let mut dist = vec![INFINITY; g.num_nodes()];
     let mut scratch = BfsScratch::new();
     bfs_distances_into(g, source, &mut scratch, &mut dist);
@@ -420,8 +479,9 @@ pub fn bfs(g: &Graph, source: NodeId) -> BfsTree {
     }
 }
 
-/// Whether the graph is connected (the empty graph is considered connected).
-pub fn is_connected(g: &Graph) -> bool {
+/// Whether the graph (or masked view) is connected; the empty graph is
+/// considered connected.
+pub fn is_connected<A: Adjacency>(g: A) -> bool {
     let n = g.num_nodes();
     if n == 0 {
         return true;

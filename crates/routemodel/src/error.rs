@@ -24,6 +24,14 @@ pub enum RoutingError {
         port: Port,
         degree: usize,
     },
+    /// The message was forwarded onto a dead link (strict-mode view of the
+    /// [`crate::DeliveryOutcome::LinkDown`] outcome).
+    LinkDown {
+        source: NodeId,
+        dest: NodeId,
+        at: NodeId,
+        port: Port,
+    },
     /// The stretch bound requested by the caller is violated.
     StretchExceeded {
         source: NodeId,
@@ -54,6 +62,15 @@ impl fmt::Display for RoutingError {
             RoutingError::PortOutOfRange { node, port, degree } => {
                 write!(f, "port {port} requested at node {node} of degree {degree}")
             }
+            RoutingError::LinkDown {
+                source,
+                dest,
+                at,
+                port,
+            } => write!(
+                f,
+                "message from {source} to {dest} hit the dead link at port {port} of {at}"
+            ),
             RoutingError::StretchExceeded {
                 source,
                 dest,
@@ -112,6 +129,15 @@ mod tests {
 
         let e = RoutingError::Unreachable { source: 5, dest: 6 };
         assert!(e.to_string().contains("unreachable"));
+
+        let e = RoutingError::LinkDown {
+            source: 2,
+            dest: 8,
+            at: 5,
+            port: 1,
+        };
+        assert!(e.to_string().contains("dead link"));
+        assert!(e.to_string().contains("port 1"));
     }
 
     #[test]

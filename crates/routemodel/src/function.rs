@@ -22,7 +22,12 @@ pub enum Action {
 ///
 /// Implementations must be deterministic: the paper's memory lower bounds are
 /// statements about what any fixed local decision procedure must store.
-pub trait RoutingFunction {
+///
+/// [`std::any::Any`] is a supertrait so that owners of a boxed
+/// `dyn RoutingFunction` (the scheme instances) can recover the concrete
+/// scheme state for in-place repair after link failures; it costs
+/// implementors nothing beyond the usual `'static` bound of trait objects.
+pub trait RoutingFunction: std::any::Any {
     /// The initialization function `I(u, v)`: the header the source `u`
     /// attaches to a message for destination `v`.
     fn init(&self, source: NodeId, dest: NodeId) -> Header;
@@ -93,9 +98,9 @@ where
 
 impl<FI, FP, FH> RoutingFunction for FnRouting<FI, FP, FH>
 where
-    FI: Fn(NodeId, NodeId) -> Header,
-    FP: Fn(NodeId, &Header) -> Action,
-    FH: Fn(NodeId, &Header) -> Header,
+    FI: Fn(NodeId, NodeId) -> Header + 'static,
+    FP: Fn(NodeId, &Header) -> Action + 'static,
+    FH: Fn(NodeId, &Header) -> Header + 'static,
 {
     fn init(&self, source: NodeId, dest: NodeId) -> Header {
         (self.init_fn)(source, dest)

@@ -50,7 +50,9 @@ pub use error::RoutingError;
 pub use function::{Action, RoutingFunction};
 pub use header::Header;
 pub use memory::{MemoryReport, PortMap};
-pub use simulate::{default_hop_limit, route, route_block_into, route_with_limit_into, RouteTrace};
+pub use simulate::{
+    default_hop_limit, route, route_block_into, route_with_limit_into, DeliveryOutcome, RouteTrace,
+};
 pub use stretch::{
     stretch_factor, stretch_factor_with_threads, stretch_over_pairs, stretch_sampled,
     stretch_sampled_with_threads, verify_stretch, StretchAccumulator, StretchReport,

@@ -11,10 +11,76 @@
 //! [`route_with_limit_into`], which records the trace into a caller-owned
 //! [`RouteTrace`] buffer so that routing `n²` pairs costs zero allocations
 //! per pair.
+//!
+//! Every entry point accepts anything convertible to a [`GraphView`]: a
+//! pristine `&Graph` (every link live) or a masked view with a
+//! [`graphkit::FailureSet`].  Per-message fates are reported as a typed
+//! [`DeliveryOutcome`] — a hop onto a dead link is [`DeliveryOutcome::LinkDown`],
+//! data, not an abort — while genuine *model violations* (a port number that
+//! does not exist) remain [`RoutingError`]s.
 
 use crate::error::RoutingError;
 use crate::function::{Action, RoutingFunction};
-use graphkit::{Graph, NodeId, Port};
+use graphkit::{Graph, GraphView, NodeId, Port};
+
+/// The fate of one routed message.
+///
+/// Everything here is an *observation* about a run, not a defect of the
+/// routing function: on a degraded network a perfectly correct scheme drops
+/// messages onto dead links.  The churn executor counts these per outcome;
+/// strict sweeps convert non-delivery to a [`RoutingError`] via
+/// [`DeliveryOutcome::into_error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// The message reached its destination.
+    Delivered,
+    /// The message was forwarded onto a dead link and dropped there.
+    LinkDown {
+        /// Vertex holding the dead port.
+        at: NodeId,
+        /// The dead port.
+        port: Port,
+    },
+    /// The hop budget ran out (a forwarding loop, or a budget too small).
+    HopLimit {
+        /// Hops walked when the budget ran out.
+        hops: usize,
+    },
+    /// `P` returned `Deliver` at a node that is not the destination.
+    WrongDelivery {
+        /// Where the message actually surfaced.
+        delivered_at: NodeId,
+    },
+}
+
+impl DeliveryOutcome {
+    /// Whether the message arrived.
+    #[inline]
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, DeliveryOutcome::Delivered)
+    }
+
+    /// The strict-mode translation: `None` for a delivery, the matching
+    /// [`RoutingError`] otherwise.  `source`/`dest` identify the message for
+    /// the error report.
+    pub fn into_error(self, source: NodeId, dest: NodeId) -> Option<RoutingError> {
+        match self {
+            DeliveryOutcome::Delivered => None,
+            DeliveryOutcome::LinkDown { at, port } => Some(RoutingError::LinkDown {
+                source,
+                dest,
+                at,
+                port,
+            }),
+            DeliveryOutcome::HopLimit { hops } => Some(RoutingError::Loop { source, dest, hops }),
+            DeliveryOutcome::WrongDelivery { delivered_at } => Some(RoutingError::WrongDelivery {
+                source,
+                dest,
+                delivered_at,
+            }),
+        }
+    }
+}
 
 /// The trace of one routed message: the visited vertices and the ports taken.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -54,51 +120,59 @@ pub fn default_hop_limit(n: usize) -> usize {
     4 * n + 16
 }
 
-/// Simulates routing one message from `source` to `dest` under `r`.
-///
-/// Returns the trace, or the model violation encountered.  `source == dest`
-/// yields an empty trace without consulting the routing function.
-pub fn route<R: RoutingFunction + ?Sized>(
-    g: &Graph,
+/// Simulates routing one message from `source` to `dest` under `r`, in
+/// strict mode: any non-delivery is returned as the matching
+/// [`RoutingError`].  `source == dest` yields an empty trace without
+/// consulting the routing function.
+pub fn route<'a, R: RoutingFunction + ?Sized>(
+    g: impl Into<GraphView<'a>>,
     r: &R,
     source: NodeId,
     dest: NodeId,
 ) -> Result<RouteTrace, RoutingError> {
+    let g = g.into();
     route_with_limit(g, r, source, dest, default_hop_limit(g.num_nodes()))
 }
 
 /// Like [`route`], with an explicit hop budget.
-pub fn route_with_limit<R: RoutingFunction + ?Sized>(
-    g: &Graph,
+pub fn route_with_limit<'a, R: RoutingFunction + ?Sized>(
+    g: impl Into<GraphView<'a>>,
     r: &R,
     source: NodeId,
     dest: NodeId,
     hop_limit: usize,
 ) -> Result<RouteTrace, RoutingError> {
     let mut trace = RouteTrace::new();
-    route_with_limit_into(g, r, source, dest, hop_limit, &mut trace)?;
-    Ok(trace)
+    match route_with_limit_into(g, r, source, dest, hop_limit, &mut trace)?.into_error(source, dest)
+    {
+        None => Ok(trace),
+        Some(e) => Err(e),
+    }
 }
 
 /// Like [`route_with_limit`], but recording into a caller-provided trace
 /// buffer whose capacity is reused across calls — the allocation-free
 /// workhorse behind the stretch sweeps.
 ///
-/// The buffer is cleared first; on error its contents are the partial trace
-/// walked so far.
-pub fn route_with_limit_into<R: RoutingFunction + ?Sized>(
-    g: &Graph,
+/// The buffer is cleared first.  The returned [`DeliveryOutcome`] tells the
+/// message's fate; on a non-delivered outcome the buffer holds the partial
+/// trace walked so far.  The only `Err` is a model violation
+/// ([`RoutingError::PortOutOfRange`]) — loops, wrong deliveries and dead
+/// links are outcomes, so degraded-network sweeps keep going.
+pub fn route_with_limit_into<'a, R: RoutingFunction + ?Sized>(
+    g: impl Into<GraphView<'a>>,
     r: &R,
     source: NodeId,
     dest: NodeId,
     hop_limit: usize,
     trace: &mut RouteTrace,
-) -> Result<(), RoutingError> {
+) -> Result<DeliveryOutcome, RoutingError> {
+    let g = g.into();
     trace.path.clear();
     trace.ports.clear();
     trace.path.push(source);
     if source == dest {
-        return Ok(());
+        return Ok(DeliveryOutcome::Delivered);
     }
     let mut node = source;
     let mut header = r.init(source, dest);
@@ -106,13 +180,9 @@ pub fn route_with_limit_into<R: RoutingFunction + ?Sized>(
         match r.port(node, &header) {
             Action::Deliver => {
                 if node == dest {
-                    return Ok(());
+                    return Ok(DeliveryOutcome::Delivered);
                 }
-                return Err(RoutingError::WrongDelivery {
-                    source,
-                    dest,
-                    delivered_at: node,
-                });
+                return Ok(DeliveryOutcome::WrongDelivery { delivered_at: node });
             }
             Action::Forward(p) => {
                 let deg = g.degree(node);
@@ -123,15 +193,15 @@ pub fn route_with_limit_into<R: RoutingFunction + ?Sized>(
                         degree: deg,
                     });
                 }
-                let next = g.port_target(node, p);
+                let Some(next) = g.live_target(node, p) else {
+                    return Ok(DeliveryOutcome::LinkDown { at: node, port: p });
+                };
                 header = r.next_header(node, &header);
                 node = next;
                 trace.path.push(node);
                 trace.ports.push(p);
                 if trace.ports.len() > hop_limit {
-                    return Err(RoutingError::Loop {
-                        source,
-                        dest,
+                    return Ok(DeliveryOutcome::HopLimit {
                         hops: trace.ports.len(),
                     });
                 }
@@ -147,28 +217,30 @@ pub fn route_with_limit_into<R: RoutingFunction + ?Sized>(
 /// Destinations equal to `source` are skipped (a message to yourself routes
 /// over zero edges and carries no information).  The trace buffer is reused
 /// across the whole batch, so the batch performs zero allocations once `buf`
-/// has warmed up.  On the first routing error the batch stops and the error
-/// is returned; earlier destinations have already been delivered to
-/// `on_route` at that point.
+/// has warmed up.  Every destination is attempted: the callback receives the
+/// per-message [`DeliveryOutcome`] and the batch only aborts on a model
+/// violation ([`RoutingError::PortOutOfRange`]), so one looping or dropped
+/// message no longer poisons the rest of the block.
 ///
-/// The callback receives the destination and the trace (borrowed — copy out
-/// what you need; the next iteration overwrites it).
-pub fn route_block_into<R: RoutingFunction + ?Sized>(
-    g: &Graph,
+/// The callback receives the destination, the trace (borrowed — copy out
+/// what you need; the next iteration overwrites it) and the outcome.
+pub fn route_block_into<'a, R: RoutingFunction + ?Sized>(
+    g: impl Into<GraphView<'a>>,
     r: &R,
     source: NodeId,
     dests: &[u32],
     hop_limit: usize,
     buf: &mut RouteTrace,
-    mut on_route: impl FnMut(NodeId, &RouteTrace),
+    mut on_route: impl FnMut(NodeId, &RouteTrace, DeliveryOutcome),
 ) -> Result<(), RoutingError> {
+    let g = g.into();
     for &t in dests {
         let t = t as usize;
         if t == source {
             continue;
         }
-        route_with_limit_into(g, r, source, t, hop_limit, buf)?;
-        on_route(t, buf);
+        let outcome = route_with_limit_into(g, r, source, t, hop_limit, buf)?;
+        on_route(t, buf, outcome);
     }
     Ok(())
 }
@@ -186,7 +258,11 @@ pub fn all_pairs_route_lengths<R: RoutingFunction + ?Sized>(
     for s in 0..n {
         for t in 0..n {
             if s != t {
-                route_with_limit_into(g, r, s, t, limit, &mut trace)?;
+                if let Some(e) =
+                    route_with_limit_into(g, r, s, t, limit, &mut trace)?.into_error(s, t)
+                {
+                    return Err(e);
+                }
                 out[s][t] = trace.len() as u32;
             }
         }
@@ -270,7 +346,8 @@ mod tests {
         let mut buf = RouteTrace::new();
         for s in 0..9usize {
             for t in 0..9usize {
-                route_with_limit_into(&g, &r, s, t, limit, &mut buf).unwrap();
+                let outcome = route_with_limit_into(&g, &r, s, t, limit, &mut buf).unwrap();
+                assert!(outcome.is_delivered());
                 let fresh = route(&g, &r, s, t).unwrap();
                 assert_eq!(buf, fresh, "pair ({s},{t})");
             }
@@ -329,7 +406,8 @@ mod tests {
         let mut buf = RouteTrace::new();
         let dests: Vec<u32> = vec![3, 0, 5, 7, 1]; // includes the source itself
         let mut seen = Vec::new();
-        route_block_into(&g, &r, 3, &dests, limit, &mut buf, |t, trace| {
+        route_block_into(&g, &r, 3, &dests, limit, &mut buf, |t, trace, outcome| {
+            assert!(outcome.is_delivered());
             seen.push((t, trace.len()));
         })
         .unwrap();
@@ -342,23 +420,82 @@ mod tests {
     }
 
     #[test]
-    fn route_block_stops_at_first_error() {
+    fn route_block_reports_outcomes_without_aborting() {
+        // A looping function no longer poisons the batch: every destination
+        // is attempted and reported with its own outcome.
         let g = generators::cycle(6);
         let r = dest_address_routing("loopy", |_node, _h: &Header| Action::Forward(0));
         let mut buf = RouteTrace::new();
-        let mut delivered = 0usize;
-        let err = route_block_into(
+        let mut outcomes = Vec::new();
+        route_block_into(
             &g,
             &r,
             0,
             &[1, 2],
             default_hop_limit(6),
             &mut buf,
-            |_, _| delivered += 1,
+            |t, _, outcome| outcomes.push((t, outcome)),
+        )
+        .unwrap();
+        assert_eq!(outcomes.len(), 2);
+        for &(t, outcome) in &outcomes {
+            assert!(
+                matches!(outcome, DeliveryOutcome::HopLimit { hops } if hops > 0),
+                "destination {t}: {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn route_block_still_aborts_on_model_violations() {
+        // A port that does not exist is a defect of the routing function, not
+        // a property of the run: it stays a hard error.
+        let g = generators::path(3);
+        let r = dest_address_routing("bad-port", |_node, _h: &Header| Action::Forward(5));
+        let mut buf = RouteTrace::new();
+        let mut calls = 0usize;
+        let err = route_block_into(
+            &g,
+            &r,
+            0,
+            &[1, 2],
+            default_hop_limit(3),
+            &mut buf,
+            |_, _, _| calls += 1,
         )
         .unwrap_err();
-        assert!(matches!(err, RoutingError::Loop { dest: 1, .. }));
-        assert_eq!(delivered, 0);
+        assert!(matches!(err, RoutingError::PortOutOfRange { port: 5, .. }));
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn dead_link_is_an_outcome_not_an_abort() {
+        use graphkit::FailureSet;
+        // Clockwise routing on C_6 with the link {2, 3} dead: 0 -> 3 walks
+        // 0, 1, 2 and drops at 2, while 5 -> 2 never crosses the dead link
+        // and still delivers.
+        let (g, r) = clockwise_on_cycle(6);
+        let f = FailureSet::from_edges(&g, &[(2, 3)]);
+        let view = GraphView::masked(&g, &f);
+        let mut buf = RouteTrace::new();
+        let outcome =
+            route_with_limit_into(view, &r, 0, 3, default_hop_limit(6), &mut buf).unwrap();
+        let p = g.port_to(2, 3).unwrap();
+        assert_eq!(outcome, DeliveryOutcome::LinkDown { at: 2, port: p });
+        assert_eq!(buf.path, vec![0, 1, 2], "partial trace up to the drop");
+        // Strict mode translates the same run into a typed error.
+        match route(view, &r, 0, 3) {
+            Err(RoutingError::LinkDown {
+                source: 0,
+                dest: 3,
+                at: 2,
+                ..
+            }) => {}
+            other => panic!("expected link-down error, got {other:?}"),
+        }
+        // Routes that avoid the dead link are untouched.
+        let t = route(view, &r, 5, 2).unwrap();
+        assert_eq!(t.path, vec![5, 0, 1, 2]);
     }
 
     #[test]

@@ -136,7 +136,11 @@ fn accumulate_source<R: RoutingFunction + ?Sized>(
         if s == t || !dm.reachable(s, t) {
             continue;
         }
-        route_with_limit_into(g, r, s, t, hop_limit, buf)?;
+        // Strict mode: a pristine-graph sweep treats any non-delivery as the
+        // matching routing error.
+        if let Some(e) = route_with_limit_into(g, r, s, t, hop_limit, buf)?.into_error(s, t) {
+            return Err(e);
+        }
         acc.record(s, t, buf.len() as u32, dm.dist(s, t));
     }
     Ok(acc)
@@ -258,7 +262,9 @@ pub fn stretch_sampled_with_threads<R: RoutingFunction + Sync + ?Sized>(
             if s == t || !dm.reachable(s, t) {
                 continue;
             }
-            route_with_limit_into(g, r, s, t, hop_limit, buf)?;
+            if let Some(e) = route_with_limit_into(g, r, s, t, hop_limit, buf)?.into_error(s, t) {
+                return Err(e);
+            }
             acc.record(s, t, buf.len() as u32, dm.dist(s, t));
         }
         Ok(acc)
@@ -308,7 +314,9 @@ pub fn stretch_over_pairs<R: RoutingFunction + ?Sized>(
         if s == t || !dm.reachable(s, t) {
             continue;
         }
-        route_with_limit_into(g, r, s, t, hop_limit, &mut buf)?;
+        if let Some(e) = route_with_limit_into(g, r, s, t, hop_limit, &mut buf)?.into_error(s, t) {
+            return Err(e);
+        }
         acc.record(s, t, buf.len() as u32, dm.dist(s, t));
     }
     Ok(acc.into_report())
@@ -329,7 +337,11 @@ pub fn verify_stretch<R: RoutingFunction + ?Sized>(
             if s == t || !dm.reachable(s, t) {
                 continue;
             }
-            route_with_limit_into(g, r, s, t, hop_limit, &mut buf)?;
+            if let Some(e) =
+                route_with_limit_into(g, r, s, t, hop_limit, &mut buf)?.into_error(s, t)
+            {
+                return Err(e);
+            }
             let len = buf.len() as u32;
             let d = dm.dist(s, t);
             if (len as f64) > bound * (d as f64) + 1e-9 {

@@ -7,10 +7,11 @@
 //! `O(d log n)` bits on a router of degree `d`, with stretch 1 on the tree.
 //! This is the Table 1 entry for acyclic graphs.
 
-use crate::scheme::{BuildError, CompactScheme, GraphHints, SchemeInstance};
-use graphkit::{Graph, NodeId, Port};
+use crate::scheme::{BuildError, CompactScheme, GraphHints, RepairOutcome, SchemeInstance};
+use graphkit::{Adjacency, FailureSet, Graph, GraphView, NodeId, Port};
 use routemodel::coding::bits_for_values;
 use routemodel::{Action, Header, MemoryReport, RoutingFunction};
+use std::collections::VecDeque;
 
 /// The 1-interval routing function on a tree (or on a spanning tree of a
 /// general graph, in which case routes follow tree paths).
@@ -99,6 +100,134 @@ impl TreeIntervalRouting {
     /// Number of intervals stored at `u` (one per child arc).
     pub fn intervals_at(&self, u: NodeId) -> usize {
         self.children[u].len()
+    }
+
+    /// Repairs the tree after link failures: every subtree hanging off a dead
+    /// parent arc is re-hung onto the surviving tree through live links, and
+    /// the DFS labels/intervals are recomputed over the new parent structure
+    /// (same root).
+    ///
+    /// Unlike the landmark repair this is *not* bit-identical to a fresh
+    /// build on the masked view — the surviving parent structure is
+    /// deliberately preserved so the re-hang only moves the orphaned
+    /// subtrees — but routing on the repaired tree delivers along tree paths
+    /// of the view exactly as a fresh build would.  Pass the *complete*
+    /// failure set each time: arcs that were already dead are never tree
+    /// arcs, so cumulative calls compose.
+    pub fn repair(
+        &mut self,
+        g: &Graph,
+        failures: &FailureSet,
+    ) -> Result<RepairOutcome, BuildError> {
+        let n = g.num_nodes();
+        let view = GraphView::masked(g, failures);
+        let parent: Vec<Option<NodeId>> = (0..n)
+            .map(|v| self.parent_port[v].map(|p| g.port_target(v, p)))
+            .collect();
+        // A vertex is orphaned iff its own parent arc died or an ancestor's
+        // did; resolved by walking up to the first vertex already classified
+        // and unwinding the chain.
+        let mut detached = vec![false; n];
+        let mut known = vec![false; n];
+        known[self.root] = true;
+        let mut chain: Vec<NodeId> = Vec::new();
+        for v in 0..n {
+            let mut x = v;
+            chain.clear();
+            while !known[x] {
+                chain.push(x);
+                x = parent[x].expect("non-root vertex has a parent");
+            }
+            let mut orphaned = detached[x];
+            for &c in chain.iter().rev() {
+                orphaned = orphaned
+                    || failures.is_dead(c, self.parent_port[c].expect("chain holds non-roots"));
+                detached[c] = orphaned;
+                known[c] = true;
+            }
+        }
+        let orphans = detached.iter().filter(|&&d| d).count();
+        if orphans == 0 {
+            return Ok(RepairOutcome {
+                vertices_touched: 0,
+                landmarks_rebuilt: 0,
+                full_rebuild: false,
+            });
+        }
+
+        // Re-hang by multi-source BFS over live links from the surviving
+        // tree (sources in ascending id, neighbours in port order — the
+        // deterministic adoption rule): the first surviving-or-adopted
+        // vertex to reach an orphan becomes its parent.
+        let mut new_parent = parent;
+        let mut adopted = vec![false; n];
+        let mut queue: VecDeque<NodeId> = (0..n).filter(|&v| !detached[v]).collect();
+        let mut remaining = orphans;
+        while let Some(u) = queue.pop_front() {
+            view.for_each_live(u, |_, z| {
+                if detached[z] && !adopted[z] {
+                    adopted[z] = true;
+                    new_parent[z] = Some(u);
+                    remaining -= 1;
+                    queue.push_back(z);
+                }
+            });
+        }
+        if remaining > 0 {
+            return Err(BuildError::Disconnected {
+                scheme: "tree-interval-routing",
+            });
+        }
+
+        // Relabel over the new parent structure, visiting children in
+        // ascending port order exactly as `build` does.
+        let mut kids: Vec<Vec<(Port, NodeId)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            if let Some(p) = new_parent[v] {
+                let port_at_parent = g.port_to(p, v).expect("tree edge must exist");
+                kids[p].push((port_at_parent, v));
+            }
+        }
+        for k in kids.iter_mut() {
+            k.sort_unstable();
+        }
+        let mut label = vec![usize::MAX; n];
+        let mut subtree = vec![0usize; n];
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        let mut next_label = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(u) = stack.pop() {
+            label[u] = next_label;
+            next_label += 1;
+            order.push(u);
+            for &(_, v) in kids[u].iter().rev() {
+                stack.push(v);
+            }
+        }
+        debug_assert_eq!(order.len(), n, "re-hung structure must span the graph");
+        for &u in order.iter().rev() {
+            subtree[u] += 1;
+            if let Some(p) = new_parent[u] {
+                subtree[p] += subtree[u];
+            }
+        }
+        let mut children = vec![Vec::new(); n];
+        let mut parent_port = vec![None; n];
+        for &u in &order {
+            if let Some(p) = new_parent[u] {
+                parent_port[u] = g.port_to(u, p);
+                let port_at_parent = g.port_to(p, u).expect("tree edge must exist");
+                children[p].push((port_at_parent, label[u], label[u] + subtree[u] - 1));
+            }
+        }
+        self.label = label;
+        self.children = children;
+        self.parent_port = parent_port;
+        Ok(RepairOutcome {
+            vertices_touched: orphans,
+            landmarks_rebuilt: 0,
+            full_rebuild: false,
+        })
     }
 
     /// Memory report: every router stores its own label, one interval
@@ -275,5 +404,75 @@ mod tests {
         assert_eq!(trace.len(), 7);
         let trace = route(&g, &r, 9, 0).unwrap();
         assert_eq!(trace.len(), 9);
+    }
+
+    #[test]
+    fn repair_rehangs_orphans_and_delivers_on_the_view() {
+        let mut exercised = 0usize;
+        for seed in [5u64, 9, 21] {
+            let g = generators::random_connected(70, 0.08, seed);
+            let failures = FailureSet::sample(&g, 0.06, seed + 1);
+            let view = GraphView::masked(&g, &failures);
+            if !graphkit::traversal::is_connected(view) {
+                continue;
+            }
+            let mut r = TreeIntervalRouting::build(&g, 0);
+            let out = r.repair(&g, &failures).unwrap();
+            assert!(!out.full_rebuild);
+            // The repaired tree must only use live arcs...
+            for v in 0..g.num_nodes() {
+                if let Some(p) = r.parent_port[v] {
+                    assert!(!failures.is_dead(v, p), "tree arc of {v} is dead");
+                }
+            }
+            // ...keep a valid preorder labeling...
+            let mut labels: Vec<usize> = (0..g.num_nodes()).map(|v| r.label_of(v)).collect();
+            labels.sort_unstable();
+            assert_eq!(labels, (0..g.num_nodes()).collect::<Vec<_>>());
+            // ...and deliver every pair routing over the masked view.
+            for s in 0..g.num_nodes() {
+                for t in 0..g.num_nodes() {
+                    let trace = route(view, &r, s, t).unwrap();
+                    assert_eq!(*trace.path.last().unwrap(), t);
+                }
+            }
+            if out.vertices_touched > 0 {
+                exercised += 1;
+            }
+        }
+        assert!(exercised >= 1, "at least one run must re-hang something");
+    }
+
+    #[test]
+    fn repair_without_tree_damage_is_free() {
+        // Kill a non-tree edge: the spanning tree of the Petersen graph from
+        // root 0 never uses all 15 edges, so some failure leaves it whole.
+        let g = generators::petersen();
+        let mut r = TreeIntervalRouting::build(&g, 0);
+        let non_tree = (0..g.num_nodes())
+            .flat_map(|u| (0..g.degree(u)).map(move |p| (u, p)))
+            .find_map(|(u, p)| {
+                let v = g.port_target(u, p);
+                let tree_arc = r.parent_port[u] == Some(p)
+                    || r.parent_port[v].is_some_and(|q| g.port_target(v, q) == u);
+                (!tree_arc && u < v).then_some((u as u32, v as u32))
+            })
+            .expect("petersen has non-tree edges");
+        let before = (r.label.clone(), r.parent_port.clone());
+        let failures = FailureSet::from_edges(&g, &[non_tree]);
+        let out = r.repair(&g, &failures).unwrap();
+        assert_eq!(out.vertices_touched, 0);
+        assert_eq!((r.label, r.parent_port), before);
+    }
+
+    #[test]
+    fn repair_rejects_disconnecting_failures() {
+        let g = generators::path(8);
+        let mut r = TreeIntervalRouting::build(&g, 0);
+        let failures = FailureSet::from_edges(&g, &[(3, 4)]);
+        assert!(matches!(
+            r.repair(&g, &failures),
+            Err(BuildError::Disconnected { .. })
+        ));
     }
 }

@@ -68,15 +68,17 @@
 //! scans do.  This is what lets the scheme join the `n ≥ 10^5` trafficlab
 //! scenarios at stretch `< 3`.
 
-use crate::scheme::{BuildError, CompactScheme, GraphHints, SchemeInstance};
+use crate::scheme::{BuildError, CompactScheme, GraphHints, RepairOutcome, SchemeInstance};
 use graphkit::traversal::bfs_distances_into;
 use graphkit::{
-    bfs_bounded_into, bfs_from_sources_into, BfsScratch, BoundedBfsScratch, Dist, DistanceMatrix,
-    Graph, NodeId, Port, Xoshiro256, INFINITY,
+    bfs_ball_into, bfs_bounded_into, bfs_from_sources_into, Adjacency, BfsScratch,
+    BoundedBfsScratch, Dist, DistanceMatrix, FailureSet, Graph, GraphView, NodeId, Port,
+    Xoshiro256, INFINITY,
 };
 use routemodel::coding::bits_for_values;
 use routemodel::{Action, Header, MemoryReport, RoutingFunction};
 use std::collections::HashMap;
+use std::collections::VecDeque;
 
 /// Sentinel in the flat toward-landmark table: "this router *is* the
 /// landmark" (no port exists; a valid header never asks for it).
@@ -162,7 +164,7 @@ impl LandmarkConfig {
 /// the routing hot path instead of per-router hash maps.  Under the strict
 /// rule the handoff entries of a landmark are merged into its CSR slice, so
 /// the routing function is rule-agnostic.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct LandmarkRouting {
     /// The sampled landmark set, ascending.
     landmarks: Vec<NodeId>,
@@ -181,7 +183,49 @@ pub struct LandmarkRouting {
     direct_targets: Vec<u32>,
     /// `direct_ports[e]`: next-hop port towards `direct_targets[e]`.
     direct_ports: Vec<u32>,
+    /// The config the instance was built with; [`LandmarkRouting::repair`]
+    /// re-runs it when it must fall back to a full rebuild (the sample is
+    /// vertex-based, so the landmark set survives any link failure).
+    config: LandmarkConfig,
+    /// `d(v, L)` per vertex — the inclusive cluster bound.  Repair state (see
+    /// below), also the yardstick for detecting bound growth after failures.
+    dist_to_set: Vec<Dist>,
+    /// Flat `n × k` **column-major** distances: `toward_dist[i * n + w]` is
+    /// `d(w, landmark_i)`.  Column-major so each build/repair BFS works on
+    /// one contiguous column.
+    toward_dist: Vec<Dist>,
+    /// `direct_dists[e]`: `d(w, direct_targets[e])` for the slice owner `w`.
+    ///
+    /// The three distance arrays are *repair state*: the decremental patching
+    /// of [`LandmarkRouting::repair`] needs the distances behind every stored
+    /// port to localize damage exactly.  They are deliberately **not**
+    /// charged to [`LandmarkRouting::memory`]: the paper's memory requirement
+    /// measures the encoding the routing function needs to *forward*
+    /// (labels and ports); repairability is an operational add-on, reported
+    /// separately by the resilience harness.
+    direct_dists: Vec<Dist>,
     name: String,
+}
+
+/// Equality is over the routing function and its repair state — every
+/// table, label, and distance array — but **not** the provenance `config`:
+/// `landmark?k=⌈√n⌉` and the `Auto` default build the same scheme, and the
+/// bit-identity pins (spec-vs-default, repair-vs-rebuild) compare what the
+/// instance *does*, not how it was asked for.
+impl PartialEq for LandmarkRouting {
+    fn eq(&self, other: &Self) -> bool {
+        self.landmarks == other.landmarks
+            && self.home == other.home
+            && self.toward_landmark == other.toward_landmark
+            && self.landmark_index == other.landmark_index
+            && self.direct_offsets == other.direct_offsets
+            && self.direct_targets == other.direct_targets
+            && self.direct_ports == other.direct_ports
+            && self.dist_to_set == other.dist_to_set
+            && self.toward_dist == other.toward_dist
+            && self.direct_dists == other.direct_dists
+            && self.name == other.name
+    }
 }
 
 impl LandmarkRouting {
@@ -206,7 +250,19 @@ impl LandmarkRouting {
     /// configs; [`LandmarkScheme::try_build`] surfaces both as typed
     /// [`BuildError`]s instead.
     pub fn build_with(g: &Graph, cfg: &LandmarkConfig) -> Self {
-        let n = g.num_nodes();
+        Self::build_on_view(GraphView::full(g), cfg)
+    }
+
+    /// Builds the scheme on a (possibly failure-masked) [`GraphView`].
+    ///
+    /// This is the same sparse construction as [`LandmarkRouting::build_with`]
+    /// — on a full view the two are identical call for call — and also the
+    /// from-scratch baseline the incremental [`LandmarkRouting::repair`] is
+    /// pinned against: repair of an instance to a failure set must be
+    /// bit-identical to `build_on_view` of the masked view.  Panics when the
+    /// view is disconnected.
+    pub fn build_on_view(view: GraphView<'_>, cfg: &LandmarkConfig) -> Self {
+        let n = view.num_nodes();
         assert!(n >= 1);
         if let Err(e) = cfg.validate() {
             panic!("landmark config: {e}");
@@ -221,7 +277,7 @@ impl LandmarkRouting {
         // multi-source sweep below cannot stand in for it: with landmarks
         // sampled in two components every vertex still reaches *some*
         // landmark.
-        bfs_distances_into(g, landmarks[0], &mut scratch, &mut dist_l);
+        bfs_distances_into(view, landmarks[0], &mut scratch, &mut dist_l);
         assert!(
             dist_l.iter().all(|&d| d != INFINITY),
             "landmark routing requires a connected graph"
@@ -230,25 +286,31 @@ impl LandmarkRouting {
         // Home landmark and distance to the landmark set, in one BFS.
         let mut dist_to_set = vec![INFINITY; n];
         let mut origin = vec![0u32; n];
-        bfs_from_sources_into(g, &landmarks, &mut scratch, &mut dist_to_set, &mut origin);
+        bfs_from_sources_into(
+            view,
+            &landmarks,
+            &mut scratch,
+            &mut dist_to_set,
+            &mut origin,
+        );
         let home: Vec<NodeId> = origin.iter().map(|&o| o as usize).collect();
 
-        // Port towards every landmark: one BFS per landmark, then a scan of
-        // every arc — O(k (n + m)) total.
+        // Distance and port towards every landmark: one BFS per landmark
+        // (straight into the column of `toward_dist`), then a scan of every
+        // live arc — O(k (n + m)) total.
+        let mut toward_dist = vec![0 as Dist; n * k];
         let mut toward_landmark = vec![NO_PORT; n * k];
         for (i, &l) in landmarks.iter().enumerate() {
-            bfs_distances_into(g, l, &mut scratch, &mut dist_l);
+            let col = &mut toward_dist[i * n..(i + 1) * n];
+            bfs_distances_into(view, l, &mut scratch, col);
             for w in 0..n {
                 if w == l {
                     continue;
                 }
-                let dwl = dist_l[w];
-                let port = g
-                    .neighbors(w)
-                    .iter()
-                    .position(|&x| dist_l[x as usize] + 1 == dwl)
+                let dwl = col[w];
+                let port = min_tight_port(view, col, w, dwl)
                     .expect("connected graph: some neighbour is closer to the landmark");
-                toward_landmark[w * k + i] = port as u32;
+                toward_landmark[w * k + i] = port;
             }
         }
 
@@ -260,14 +322,14 @@ impl LandmarkRouting {
         // `ℓ` (members have d(ℓ, v) = d(v, L) exactly), and the reported
         // first-hop ports are provably the dense "first shortest-path port"
         // scan.
-        let mut handoff: Vec<Vec<(u32, u32)>> = Vec::new();
+        let mut handoff: Vec<Vec<(u32, Dist, u32)>> = Vec::new();
         if cfg.cluster_rule == ClusterRule::Strict {
             handoff = vec![Vec::new(); k];
             for (i, &l) in landmarks.iter().enumerate() {
                 let list = &mut handoff[i];
-                bfs_bounded_into(g, l, &dist_to_set, &mut bounded, |v, _d, p| {
+                bfs_bounded_into(view, l, &dist_to_set, &mut bounded, |v, d, p| {
                     if home[v] == l {
-                        list.push((v as u32, p as u32));
+                        list.push((v as u32, d, p as u32));
                     }
                 });
             }
@@ -283,14 +345,15 @@ impl LandmarkRouting {
             ClusterRule::Inclusive => dist_to_set.clone(),
             ClusterRule::Strict => dist_to_set.iter().map(|&d| d.saturating_sub(1)).collect(),
         };
-        let mut members: Vec<(u32, u32)> = Vec::new();
+        let mut members: Vec<(u32, Dist, u32)> = Vec::new();
         let mut direct_offsets = vec![0u32; n + 1];
         let mut direct_targets: Vec<u32> = Vec::new();
+        let mut direct_dists: Vec<Dist> = Vec::new();
         let mut direct_ports: Vec<u32> = Vec::new();
         for w in 0..n {
             members.clear();
-            bfs_bounded_into(g, w, &bound, &mut bounded, |v, _d, p| {
-                members.push((v as u32, p as u32));
+            bfs_bounded_into(view, w, &bound, &mut bounded, |v, d, p| {
+                members.push((v as u32, d, p as u32));
             });
             if let Some(&i) = landmark_index.get(&w) {
                 if cfg.cluster_rule == ClusterRule::Strict {
@@ -302,8 +365,9 @@ impl LandmarkRouting {
             }
             members.sort_unstable();
             direct_offsets[w + 1] = direct_offsets[w] + members.len() as u32;
-            for &(v, p) in &members {
+            for &(v, d, p) in &members {
                 direct_targets.push(v);
+                direct_dists.push(d);
                 direct_ports.push(p);
             }
         }
@@ -316,6 +380,10 @@ impl LandmarkRouting {
             direct_offsets,
             direct_targets,
             direct_ports,
+            config: cfg.clone(),
+            dist_to_set,
+            toward_dist,
+            direct_dists,
             name: "landmark-routing".to_string(),
         }
     }
@@ -364,7 +432,8 @@ impl LandmarkRouting {
             }
         }
 
-        // Port towards every landmark (first shortest-path port).
+        // Distance and port towards every landmark (first shortest-path
+        // port).
         let first_port_towards = |w: NodeId, target: NodeId| -> u32 {
             let dwt = dm.dist(w, target);
             g.neighbors(w)
@@ -373,9 +442,11 @@ impl LandmarkRouting {
                 .expect("connected graph: some neighbour is closer to the target")
                 as u32
         };
+        let mut toward_dist = vec![0 as Dist; n * k];
         let mut toward_landmark = vec![NO_PORT; n * k];
         for w in 0..n {
             for (i, &l) in landmarks.iter().enumerate() {
+                toward_dist[i * n + w] = dm.dist(w, l);
                 if l != w {
                     toward_landmark[w * k + i] = first_port_towards(w, l);
                 }
@@ -388,6 +459,7 @@ impl LandmarkRouting {
         // scan emits the merged slice already sorted.
         let mut direct_offsets = vec![0u32; n + 1];
         let mut direct_targets: Vec<u32> = Vec::new();
+        let mut direct_dists: Vec<Dist> = Vec::new();
         let mut direct_ports: Vec<u32> = Vec::new();
         for w in 0..n {
             for v in 0..n {
@@ -400,6 +472,7 @@ impl LandmarkRouting {
                 };
                 if keep {
                     direct_targets.push(v as u32);
+                    direct_dists.push(dm.dist(w, v));
                     direct_ports.push(first_port_towards(w, v));
                 }
             }
@@ -414,6 +487,10 @@ impl LandmarkRouting {
             direct_offsets,
             direct_targets,
             direct_ports,
+            config: cfg.clone(),
+            dist_to_set,
+            toward_dist,
+            direct_dists,
             name: "landmark-routing".to_string(),
         }
     }
@@ -425,6 +502,689 @@ impl LandmarkRouting {
         landmarks.sort_unstable();
         let index = landmarks.iter().enumerate().map(|(i, &l)| (l, i)).collect();
         (landmarks, index)
+    }
+
+    /// Incrementally repairs the instance after link failures: the result is
+    /// **bit-identical** to [`LandmarkRouting::build_on_view`] of the masked
+    /// view (the pinned repair tests assert exactly that), at a cost
+    /// proportional to the damage rather than to the graph.
+    ///
+    /// `adapted_to` is the failure set the tables currently account for
+    /// (empty at build time) and `failures` the complete new one.  The
+    /// incremental path requires `adapted_to ⊆ failures` (churn only kills
+    /// links) and the inclusive cluster rule; otherwise the repair is a
+    /// from-scratch rebuild on the view, reported as such.
+    ///
+    /// The incremental path leans on three facts:
+    ///
+    /// * **Ports are a function of distances.**  Every BFS in this module
+    ///   scans neighbours in port order, so each stored port is provably the
+    ///   *smallest live* port `p` with `d(target(p), v) = d(w, v) − 1`.
+    ///   Equivalently, along the cluster BFS the first hop of `v` satisfies
+    ///   `fh(v) = min { fh(z) : z a tight in-neighbour of v }` — a local
+    ///   recurrence over stored state, so ports can be re-derived exactly
+    ///   where distances moved, without re-running the BFS.
+    /// * **Clusters are metrically closed.**  Any vertex `x` on an old
+    ///   shortest path from `w` to a member `v ∈ S(w)` is itself in `S(w)`
+    ///   (`d(w, x) ≤ d(v, L) − d(x, v) ≤ d(x, L)` since `d(·, L)` is
+    ///   1-Lipschitz).  Hence a source's output can only change if some dead
+    ///   edge has *both* endpoints inside its stored cluster, at consecutive
+    ///   distances — and `{ w : x ∈ S_old(w) }` is just the old ball around
+    ///   `x` of radius `d_old(x, L)`, so the affected sources are found by
+    ///   two bounded BFS per dead edge.
+    /// * **Deletions are monotone.**  Distances and `d(·, L)` only grow, so
+    ///   each affected source is patched by a decremental worklist over its
+    ///   stored member distances; a member whose support would leave the
+    ///   stored cluster is evicted outright (its distance provably exceeds
+    ///   its bound), and membership can only *grow* around vertices whose
+    ///   `d(v, L)` grew — the gaining sources are exactly the new-view
+    ///   annulus `old bound < d(w, v) ≤ new bound`, whose discovery BFS
+    ///   already carries the new member's exact distance, so the member is
+    ///   spliced in and only first hops are re-derived.  Fresh pruned BFS is
+    ///   reserved for the dead-edge endpoints themselves.
+    ///
+    /// The tables are patched **in place**: distance and first-hop edits land
+    /// directly in the stored CSR (phase A), and one relocation sweep then
+    /// splices gains in and compacts evictions out, moving each surviving
+    /// entry at most once (phase B) — the repair never reallocates the
+    /// gigabyte-scale cluster arrays a large instance carries.
+    pub fn repair(
+        &mut self,
+        g: &Graph,
+        adapted_to: &FailureSet,
+        failures: &FailureSet,
+    ) -> Result<RepairOutcome, BuildError> {
+        let n = g.num_nodes();
+        let k = self.landmarks.len();
+        let view = GraphView::masked(g, failures);
+
+        // Fallbacks: the strict rule's handoff/boundary structure resists
+        // local patching, and a non-nested failure set means links came back
+        // (distances may shrink — the decremental machinery does not apply).
+        let nested = failures.is_superset_of(adapted_to);
+        if self.config.cluster_rule == ClusterRule::Strict || !nested {
+            if !graphkit::traversal::is_connected(view) {
+                return Err(BuildError::Disconnected {
+                    scheme: "landmark-routing",
+                });
+            }
+            let cfg = self.config.clone();
+            *self = Self::build_on_view(view, &cfg);
+            return Ok(RepairOutcome {
+                vertices_touched: n,
+                landmarks_rebuilt: k,
+                full_rebuild: true,
+            });
+        }
+
+        let delta = edge_delta(failures.dead_edges(), adapted_to.dead_edges());
+        if delta.is_empty() {
+            return Ok(RepairOutcome {
+                vertices_touched: 0,
+                landmarks_rebuilt: 0,
+                full_rebuild: false,
+            });
+        }
+        let old_view = GraphView::masked(g, adapted_to);
+
+        // Connectivity of the new view, checked before any mutation.
+        let mut scratch = BfsScratch::with_capacity(n);
+        let mut tmp = vec![0 as Dist; n];
+        bfs_distances_into(view, self.landmarks[0], &mut scratch, &mut tmp);
+        if tmp.contains(&INFINITY) {
+            return Err(BuildError::Disconnected {
+                scheme: "landmark-routing",
+            });
+        }
+
+        // New homes and d(·, L).
+        let mut new_dts = vec![INFINITY; n];
+        let mut origin = vec![0u32; n];
+        bfs_from_sources_into(
+            view,
+            &self.landmarks,
+            &mut scratch,
+            &mut new_dts,
+            &mut origin,
+        );
+
+        // Toward-landmark columns: per column, a decremental worklist seeded
+        // at the far endpoints of dead *tight* arcs (an arc supports no
+        // shortest path otherwise), then a port re-derivation over the
+        // vertices whose formula inputs moved: the changed vertices, their
+        // live neighbours, and the dead-edge endpoints (they lost an arc).
+        let mut landmarks_rebuilt = 0usize;
+        {
+            let mut queue: VecDeque<u32> = VecDeque::new();
+            let mut inq = vec![false; n];
+            let mut dirty = vec![u32::MAX; n];
+            let mut rescan: Vec<u32> = Vec::new();
+            for i in 0..k {
+                let l = self.landmarks[i];
+                let epoch = i as u32;
+                let col = &mut self.toward_dist[i * n..(i + 1) * n];
+                rescan.clear();
+                for &(u, v) in &delta {
+                    let (uu, vv) = (u as usize, v as usize);
+                    let (du, dv) = (col[uu], col[vv]);
+                    let far = if dv == du + 1 {
+                        Some(vv)
+                    } else if du == dv + 1 {
+                        Some(uu)
+                    } else {
+                        None
+                    };
+                    if let Some(f) = far {
+                        if !inq[f] {
+                            inq[f] = true;
+                            queue.push_back(f as u32);
+                        }
+                    }
+                    for e in [uu, vv] {
+                        if dirty[e] != epoch {
+                            dirty[e] = epoch;
+                            rescan.push(e as u32);
+                        }
+                    }
+                }
+                let mut changed_any = false;
+                while let Some(x) = queue.pop_front() {
+                    let xu = x as usize;
+                    inq[xu] = false;
+                    if xu == l {
+                        continue;
+                    }
+                    let mut best = INFINITY;
+                    view.for_each_live(xu, |_, z| best = best.min(col[z]));
+                    let nd = best.saturating_add(1);
+                    if nd == col[xu] {
+                        continue;
+                    }
+                    debug_assert!(nd > col[xu], "deletion-only distances cannot shrink");
+                    col[xu] = nd;
+                    changed_any = true;
+                    if dirty[xu] != epoch {
+                        dirty[xu] = epoch;
+                        rescan.push(x);
+                    }
+                    view.for_each_live(xu, |_, z| {
+                        if dirty[z] != epoch {
+                            dirty[z] = epoch;
+                            rescan.push(z as u32);
+                        }
+                        if !inq[z] {
+                            inq[z] = true;
+                            queue.push_back(z as u32);
+                        }
+                    });
+                }
+                for &w in &rescan {
+                    let wu = w as usize;
+                    if wu == l {
+                        continue;
+                    }
+                    let port = min_tight_port(view, col, wu, col[wu])
+                        .expect("connected graph: some neighbour is closer to the landmark");
+                    let slot = &mut self.toward_landmark[wu * k + i];
+                    if *slot != port {
+                        *slot = port;
+                        changed_any = true;
+                    }
+                }
+                if changed_any {
+                    landmarks_rebuilt += 1;
+                }
+            }
+        }
+
+        // Clusters.  Fresh pruned BFS only for the dead-edge endpoints (their
+        // own port structure changed).  Everything else is patched in place —
+        // including *member gains*: when a bound d(v, L) grows, the sources
+        // that newly satisfy d(w, v) ≤ d(v, L) are exactly the new-view
+        // annulus `old_dts[v] < d(w, v) ≤ new_dts[v]` around `v`, and the
+        // ball BFS that finds them already yields the exact new member
+        // distance — so the member is spliced into the stored slice and only
+        // its first hop needs the recurrence.  (A vertex whose bound did not
+        // grow cannot be gained by anyone: non-membership means
+        // `d_old(w, v) > dts[v]`, and deletions only push distances up.)
+        let old_dts = std::mem::take(&mut self.dist_to_set);
+        let mut bounded = BoundedBfsScratch::with_capacity(n);
+        let mut full_mark = vec![false; n];
+        for &(u, v) in &delta {
+            full_mark[u as usize] = true;
+            full_mark[v as usize] = true;
+        }
+        let mut gains: Vec<(u32, u32, Dist)> = Vec::new();
+        for v in 0..n {
+            if new_dts[v] != old_dts[v] {
+                debug_assert!(new_dts[v] > old_dts[v]);
+                let (old_bound, vv) = (old_dts[v], v as u32);
+                bfs_ball_into(view, v, new_dts[v], &mut bounded, |w, d| {
+                    if d <= old_bound || full_mark[w] {
+                        return;
+                    }
+                    let (lo, hi) = (
+                        self.direct_offsets[w] as usize,
+                        self.direct_offsets[w + 1] as usize,
+                    );
+                    // Already stored: the distance moved but membership did
+                    // not — that is the suspect patch's business.
+                    if self.direct_targets[lo..hi].binary_search(&vv).is_err() {
+                        gains.push((w as u32, vv, d));
+                    }
+                });
+            }
+        }
+        gains.sort_unstable();
+
+        // Damage detection, inverted per dead edge (see the doc comment):
+        // suspect sources hold both endpoints in their old cluster at
+        // consecutive distances.
+        let mut suspects: Vec<(u32, u32)> = Vec::new();
+        {
+            let mut mark = vec![u32::MAX; n];
+            let mut dx = vec![0 as Dist; n];
+            for (e, &(x, y)) in delta.iter().enumerate() {
+                let (x, y) = (x as usize, y as usize);
+                let epoch = e as u32;
+                bfs_ball_into(old_view, x, old_dts[x], &mut bounded, |w, d| {
+                    mark[w] = epoch;
+                    dx[w] = d;
+                });
+                bfs_ball_into(old_view, y, old_dts[y], &mut bounded, |w, d| {
+                    if mark[w] == epoch && dx[w].abs_diff(d) == 1 && !full_mark[w] {
+                        suspects.push((w as u32, e as u32));
+                    }
+                });
+            }
+        }
+        suspects.sort_unstable();
+
+        // Phase A — patch in place.  Cluster membership changes only at
+        // gained members (spliced during relocation) and dead members (their
+        // distance outgrew the bound); every other edit is a distance or
+        // first-hop rewrite *inside* an existing slice.  So the patch mutates
+        // `direct_dists`/`direct_ports` where the slices already sit — the
+        // decremental distance worklist, then the first-hop recurrence level
+        // by level, both over the virtual index space "stored members ++
+        // gains of this source" — records per-source structural facts (gain
+        // ranges, death counts, fresh slices for the dead-edge endpoints),
+        // and leaves every byte move to one relocation pass (Phase B).  A
+        // dead member is marked by forcing its stored distance to
+        // `INFINITY`, which excludes it from every support scan for free.
+        let mut vertices_touched = 0usize;
+        let mut new_offsets = vec![0u32; n + 1];
+        let mut grange = vec![(0u32, 0u32); n];
+        let mut gports = vec![u32::MAX; gains.len()];
+        let mut fm_start = vec![u32::MAX; n];
+        let mut fm_data: Vec<(u32, Dist, u32)> = Vec::new();
+        {
+            let mut queue: VecDeque<u32> = VecDeque::new();
+            let mut buckets: Vec<Vec<u32>> = Vec::new();
+            let (mut inqv, mut fhd): (Vec<bool>, Vec<bool>) = Default::default();
+            let mut dirty: Vec<u32> = Vec::new();
+            let mut si = 0usize;
+            let mut gi = 0usize;
+            for w in 0..n {
+                let mut sj = si;
+                while sj < suspects.len() && suspects[sj].0 as usize == w {
+                    sj += 1;
+                }
+                let edges = &suspects[si..sj];
+                si = sj;
+                let mut gj = gi;
+                while gj < gains.len() && gains[gj].0 as usize == w {
+                    gj += 1;
+                }
+                grange[w] = (gi as u32, gj as u32);
+                let (g0, g1) = (gi, gj);
+                gi = gj;
+                let (lo, hi) = (
+                    self.direct_offsets[w] as usize,
+                    self.direct_offsets[w + 1] as usize,
+                );
+                let len = hi - lo;
+                if full_mark[w] {
+                    // A dead-edge endpoint: its own port structure changed,
+                    // so its cluster is recomputed from scratch into a side
+                    // buffer (there are at most two per dead link).
+                    vertices_touched += 1;
+                    fm_start[w] = fm_data.len() as u32;
+                    let at = fm_data.len();
+                    bfs_bounded_into(view, w, &new_dts, &mut bounded, |v, d, p| {
+                        fm_data.push((v as u32, d, p as u32));
+                    });
+                    fm_data[at..].sort_unstable();
+                    new_offsets[w + 1] = (fm_data.len() - at) as u32;
+                    continue;
+                }
+                let gk = g1 - g0;
+                // Dry run over the suspect arcs: detection only knows both
+                // endpoints sat in the old cluster at consecutive distances,
+                // which makes the arc *tight*, not load-bearing.  If the far
+                // endpoint of every suspect arc keeps an alternative tight
+                // support (distance intact) and the same minimal first hop,
+                // nothing in this source's stored output can move — damage
+                // would have to originate at some far endpoint — and the
+                // expensive patch is skipped.
+                let mut damaged = false;
+                if !edges.is_empty() {
+                    let tg = &self.direct_targets[lo..hi];
+                    let dd = &self.direct_dists[lo..hi];
+                    let pp = &self.direct_ports[lo..hi];
+                    for &(_, e) in edges {
+                        let (x, y) = delta[e as usize];
+                        let (Ok(ix), Ok(iy)) = (tg.binary_search(&x), tg.binary_search(&y)) else {
+                            debug_assert!(false, "suspect edge endpoints must be stored members");
+                            damaged = true;
+                            break;
+                        };
+                        let f = if dd[iy] == dd[ix] + 1 {
+                            iy
+                        } else if dd[ix] == dd[iy] + 1 {
+                            ix
+                        } else {
+                            continue;
+                        };
+                        let (fv, df) = (tg[f] as usize, dd[f]);
+                        let mut best = INFINITY;
+                        view.for_each_live(fv, |_, z| {
+                            if z == w {
+                                best = 0;
+                            } else if let Ok(iz) = tg.binary_search(&(z as u32)) {
+                                best = best.min(dd[iz]);
+                            }
+                        });
+                        if best.saturating_add(1) != df {
+                            damaged = true;
+                            break;
+                        }
+                        let mut bp = u32::MAX;
+                        if df == 1 {
+                            for p in 0..view.degree(w) {
+                                if view.live_target(w, p) == Some(fv) {
+                                    bp = p as u32;
+                                    break;
+                                }
+                            }
+                        } else {
+                            view.for_each_live(fv, |_, z| {
+                                if z != w {
+                                    if let Ok(iz) = tg.binary_search(&(z as u32)) {
+                                        if dd[iz] + 1 == df {
+                                            bp = bp.min(pp[iz]);
+                                        }
+                                    }
+                                }
+                            });
+                        }
+                        if bp != pp[f] {
+                            damaged = true;
+                            break;
+                        }
+                    }
+                }
+                if !damaged && gk == 0 {
+                    new_offsets[w + 1] = len as u32;
+                    continue;
+                }
+                vertices_touched += 1;
+                let tg = &self.direct_targets[lo..hi];
+                let dd = &mut self.direct_dists[lo..hi];
+                let pp = &mut self.direct_ports[lo..hi];
+                let gw = &gains[g0..g1];
+                let gp = &mut gports[g0..g1];
+                let total = len + gk;
+                inqv.clear();
+                inqv.resize(total, false);
+                fhd.clear();
+                fhd.resize(total, false);
+                dirty.clear();
+                for t in 0..gk {
+                    fhd[len + t] = true;
+                    dirty.push((len + t) as u32);
+                }
+                // Seeds: far endpoints of each suspect arc (distance support
+                // lost) — which by detection are both stored members.
+                for &(_, e) in edges {
+                    let (x, y) = delta[e as usize];
+                    let (Ok(ix), Ok(iy)) = (tg.binary_search(&x), tg.binary_search(&y)) else {
+                        debug_assert!(false, "suspect edge endpoints must be stored members");
+                        continue;
+                    };
+                    let far = if dd[iy] == dd[ix] + 1 {
+                        iy
+                    } else if dd[ix] == dd[iy] + 1 {
+                        ix
+                    } else {
+                        continue;
+                    };
+                    if !fhd[far] {
+                        fhd[far] = true;
+                        dirty.push(far as u32);
+                    }
+                    if !inqv[far] {
+                        inqv[far] = true;
+                        queue.push_back(far as u32);
+                    }
+                }
+                let mut deaths = 0u32;
+                while let Some(i0) = queue.pop_front() {
+                    // Only stored members enqueue: a gained member enters at
+                    // its exact new-view distance and never moves again.
+                    let idx = i0 as usize;
+                    inqv[idx] = false;
+                    if dd[idx] == INFINITY {
+                        continue;
+                    }
+                    let v = tg[idx] as usize;
+                    let mut best = INFINITY;
+                    view.for_each_live(v, |_, z| {
+                        if z == w {
+                            best = 0;
+                        } else if let Some(iz) = cluster_find(z as u32, tg, gw) {
+                            let dz = if iz < len { dd[iz] } else { gw[iz - len].2 };
+                            best = best.min(dz);
+                        }
+                    });
+                    let nd = best.saturating_add(1);
+                    if nd <= dd[idx] {
+                        // Equal: nothing moved.  Smaller: the support scan
+                        // saw a not-yet-raised stale neighbour next to a
+                        // gained member (already at its final distance) —
+                        // deletions only push distances up, so the recompute
+                        // is a no-op, not a decrease.
+                        continue;
+                    }
+                    if nd > new_dts[v] {
+                        // Exceeds the bound (or the support left the stored
+                        // cluster, which implies the same): no longer a
+                        // member.
+                        dd[idx] = INFINITY;
+                        deaths += 1;
+                    } else {
+                        dd[idx] = nd;
+                        if !fhd[idx] {
+                            fhd[idx] = true;
+                            dirty.push(idx as u32);
+                        }
+                    }
+                    view.for_each_live(v, |_, z| {
+                        if z != w {
+                            if let Some(iz) = cluster_find(z as u32, tg, gw) {
+                                if iz < len && dd[iz] != INFINITY {
+                                    if !fhd[iz] {
+                                        fhd[iz] = true;
+                                        dirty.push(iz as u32);
+                                    }
+                                    if !inqv[iz] {
+                                        inqv[iz] = true;
+                                        queue.push_back(iz as u32);
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+                // First hops, ascending by (final) distance: fh(v) is the
+                // port of the arc w→v at distance 1, else the minimum fh
+                // over tight in-neighbours — whose own hops are final once
+                // their level has been processed.  Only the dirty members
+                // (gains, raised distances, neighbours of either) enter the
+                // buckets; the cascade extends them on demand.  Gains start
+                // at port `u32::MAX`, so their first derivation always
+                // propagates.
+                for b in buckets.iter_mut() {
+                    b.clear();
+                }
+                for &di in &dirty {
+                    let idx = di as usize;
+                    let dvi = if idx < len { dd[idx] } else { gw[idx - len].2 };
+                    if dvi == INFINITY {
+                        continue;
+                    }
+                    let du = dvi as usize;
+                    if buckets.len() <= du {
+                        buckets.resize(du + 1, Vec::new());
+                    }
+                    buckets[du].push(di);
+                }
+                let mut d = 1usize;
+                while d < buckets.len() {
+                    let mut qi = 0usize;
+                    while qi < buckets[d].len() {
+                        let idx = buckets[d][qi] as usize;
+                        qi += 1;
+                        let (v, dv) = if idx < len {
+                            (tg[idx] as usize, dd[idx])
+                        } else {
+                            (gw[idx - len].1 as usize, gw[idx - len].2)
+                        };
+                        debug_assert_eq!(dv as usize, d);
+                        let mut best = u32::MAX;
+                        if dv == 1 {
+                            for p in 0..view.degree(w) {
+                                if view.live_target(w, p) == Some(v) {
+                                    best = p as u32;
+                                    break;
+                                }
+                            }
+                        } else {
+                            view.for_each_live(v, |_, z| {
+                                if z != w {
+                                    if let Some(iz) = cluster_find(z as u32, tg, gw) {
+                                        let (dz, pz) = if iz < len {
+                                            (dd[iz], pp[iz])
+                                        } else {
+                                            (gw[iz - len].2, gp[iz - len])
+                                        };
+                                        if dz != INFINITY && dz + 1 == dv {
+                                            best = best.min(pz);
+                                        }
+                                    }
+                                }
+                            });
+                        }
+                        debug_assert_ne!(
+                            best,
+                            u32::MAX,
+                            "a live member must have a tight in-neighbour"
+                        );
+                        let cur = if idx < len { pp[idx] } else { gp[idx - len] };
+                        if cur != best {
+                            if idx < len {
+                                pp[idx] = best;
+                            } else {
+                                gp[idx - len] = best;
+                            }
+                            view.for_each_live(v, |_, z| {
+                                if z != w {
+                                    if let Some(iz) = cluster_find(z as u32, tg, gw) {
+                                        let dz = if iz < len { dd[iz] } else { gw[iz - len].2 };
+                                        if dz != INFINITY && dz == dv + 1 && !fhd[iz] {
+                                            fhd[iz] = true;
+                                            let du = (dv + 1) as usize;
+                                            if buckets.len() <= du {
+                                                buckets.resize(du + 1, Vec::new());
+                                            }
+                                            buckets[du].push(iz as u32);
+                                        }
+                                    }
+                                }
+                            });
+                        }
+                    }
+                    d += 1;
+                }
+                new_offsets[w + 1] = (len + gk) as u32 - deaths;
+            }
+        }
+
+        // Phase B — one relocation pass.  Prefix-summing the new lengths
+        // gives every slice's final position.  A slice that moves right is
+        // written in a descending sweep, one that moves left (or stays) in a
+        // following ascending sweep: a right-mover's write never reaches
+        // past the next source's final position, so it can only cover bytes
+        // the descending order has already relocated — and symmetrically for
+        // left-movers.  Unchanged slices at unchanged positions cost
+        // nothing; a moved-but-unedited slice is a bare `copy_within`; an
+        // edited slice bounces through a cache-sized scratch while the gains
+        // are spliced in and the dead members dropped.
+        for w in 0..n {
+            new_offsets[w + 1] += new_offsets[w];
+        }
+        let new_total = new_offsets[n] as usize;
+        let old_total = self.direct_targets.len();
+        if new_total > old_total {
+            self.direct_targets.resize(new_total, 0);
+            self.direct_dists.resize(new_total, 0);
+            self.direct_ports.resize(new_total, 0);
+        }
+        {
+            let direct_offsets = &self.direct_offsets;
+            let direct_targets = &mut self.direct_targets;
+            let direct_dists = &mut self.direct_dists;
+            let direct_ports = &mut self.direct_ports;
+            let (mut st, mut sd, mut sp): (Vec<u32>, Vec<Dist>, Vec<u32>) = Default::default();
+            let mut relocate = |w: usize| {
+                let nlo = new_offsets[w] as usize;
+                let nhi = new_offsets[w + 1] as usize;
+                if fm_start[w] != u32::MAX {
+                    let at = fm_start[w] as usize;
+                    for (j, &(v, d, p)) in fm_data[at..at + (nhi - nlo)].iter().enumerate() {
+                        direct_targets[nlo + j] = v;
+                        direct_dists[nlo + j] = d;
+                        direct_ports[nlo + j] = p;
+                    }
+                    return;
+                }
+                let (olo, ohi) = (direct_offsets[w] as usize, direct_offsets[w + 1] as usize);
+                let (g0, g1) = (grange[w].0 as usize, grange[w].1 as usize);
+                if g0 == g1 && nhi - nlo == ohi - olo {
+                    if nlo != olo {
+                        direct_targets.copy_within(olo..ohi, nlo);
+                        direct_dists.copy_within(olo..ohi, nlo);
+                        direct_ports.copy_within(olo..ohi, nlo);
+                    }
+                    return;
+                }
+                st.clear();
+                st.extend_from_slice(&direct_targets[olo..ohi]);
+                sd.clear();
+                sd.extend_from_slice(&direct_dists[olo..ohi]);
+                sp.clear();
+                sp.extend_from_slice(&direct_ports[olo..ohi]);
+                let mut wi = nlo;
+                let mut t = g0;
+                for j in 0..st.len() {
+                    if sd[j] == INFINITY {
+                        continue;
+                    }
+                    while t < g1 && gains[t].1 < st[j] {
+                        direct_targets[wi] = gains[t].1;
+                        direct_dists[wi] = gains[t].2;
+                        direct_ports[wi] = gports[t];
+                        wi += 1;
+                        t += 1;
+                    }
+                    direct_targets[wi] = st[j];
+                    direct_dists[wi] = sd[j];
+                    direct_ports[wi] = sp[j];
+                    wi += 1;
+                }
+                while t < g1 {
+                    direct_targets[wi] = gains[t].1;
+                    direct_dists[wi] = gains[t].2;
+                    direct_ports[wi] = gports[t];
+                    wi += 1;
+                    t += 1;
+                }
+                debug_assert_eq!(wi, nhi, "relocated slice must fill its range");
+            };
+            for w in (0..n).rev() {
+                if new_offsets[w] > direct_offsets[w] {
+                    relocate(w);
+                }
+            }
+            for w in 0..n {
+                if new_offsets[w] <= direct_offsets[w] {
+                    relocate(w);
+                }
+            }
+        }
+        if new_total < old_total {
+            self.direct_targets.truncate(new_total);
+            self.direct_dists.truncate(new_total);
+            self.direct_ports.truncate(new_total);
+        }
+        self.direct_offsets = new_offsets;
+        self.home = origin.iter().map(|&o| o as usize).collect();
+        self.dist_to_set = new_dts;
+        Ok(RepairOutcome {
+            vertices_touched,
+            landmarks_rebuilt,
+            full_rebuild: false,
+        })
     }
 
     /// The landmark set used by the scheme.
@@ -481,6 +1241,48 @@ impl LandmarkRouting {
             label_bits + landmark_entries + cluster_entries
         })
     }
+}
+
+/// The smallest live port `p` of `w` with `dist[target(w, p)] + 1 == dw` —
+/// the first-hop port every BFS in this module provably reports (neighbours
+/// are scanned in port order), re-derived directly from a distance column.
+fn min_tight_port(view: GraphView<'_>, dist: &[Dist], w: NodeId, dw: Dist) -> Option<u32> {
+    (0..view.degree(w)).find_map(|p| match view.live_target(w, p) {
+        Some(x) if dist[x] + 1 == dw => Some(p as u32),
+        _ => None,
+    })
+}
+
+/// Membership lookup over the virtual index space "stored members ++ gains"
+/// the repair patch works in: a binary search over the stored (sorted) slice,
+/// falling back to a linear scan of this source's few gained members, whose
+/// virtual indices start at `tg.len()`.
+#[inline]
+fn cluster_find(z: u32, tg: &[u32], gw: &[(u32, u32, Dist)]) -> Option<usize> {
+    match tg.binary_search(&z) {
+        Ok(i) => Some(i),
+        Err(_) => gw
+            .iter()
+            .position(|&(_, v, _)| v == z)
+            .map(|t| tg.len() + t),
+    }
+}
+
+/// Sorted-list difference `new \ old` over canonical dead-edge lists.
+fn edge_delta(new: &[(u32, u32)], old: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &e in new {
+        while j < old.len() && old[j] < e {
+            j += 1;
+        }
+        if j < old.len() && old[j] == e {
+            j += 1;
+        } else {
+            out.push(e);
+        }
+    }
+    out
 }
 
 impl RoutingFunction for LandmarkRouting {
@@ -853,10 +1655,11 @@ mod tests {
         assert_eq!(r.port(w, &Header::to_dest(dest)), Action::Deliver);
         // End to end: a wrapper that injects the stale header yields a
         // WrongDelivery error from the simulator instead of a panic.
+        let inner = r.clone();
         let stale_routing = routemodel::function::FnRouting::new(
             "stale-landmark",
             |_s, d| Header::with_data(d, vec![u64::MAX]),
-            |node, h: &Header| r.port(node, h),
+            move |node, h: &Header| inner.port(node, h),
             |_n, h: &Header| h.clone(),
         );
         match route(&g, &stale_routing, w, dest) {
@@ -941,5 +1744,155 @@ mod tests {
         };
         assert!(cluster_avg(64) < cluster_avg(16));
         assert!(cluster_avg(16) < cluster_avg(4));
+    }
+
+    /// The pinned repair guarantee: after `repair`, the instance equals —
+    /// field for field, via `PartialEq` over every table — a from-scratch
+    /// build on the masked view.  Swept over a grid of (graph seed, kill
+    /// rate), with a second cumulative round on top of the first.
+    #[test]
+    fn repair_is_bit_identical_to_rebuild_on_failed_graph() {
+        let mut exercised = 0usize;
+        for graph_seed in [3u64, 19, 40] {
+            let g = generators::random_connected(150, 0.045, graph_seed);
+            let cfg = LandmarkConfig {
+                seed: 7,
+                ..LandmarkConfig::default()
+            };
+            for kill in [0.01f64, 0.04, 0.10] {
+                let empty = FailureSet::empty(&g);
+                let round1 = FailureSet::sample(&g, kill, 42);
+                let round2 = FailureSet::sample(&g, 2.0 * kill, 42);
+                assert!(round2.is_superset_of(&round1), "samples must nest");
+                if !graphkit::traversal::is_connected(GraphView::masked(&g, &round2)) {
+                    continue;
+                }
+                exercised += 1;
+                let mut r = LandmarkRouting::build_with(&g, &cfg);
+                let out = r.repair(&g, &empty, &round1).unwrap();
+                assert!(!out.full_rebuild, "nested inclusive repair is incremental");
+                assert_eq!(
+                    r,
+                    LandmarkRouting::build_on_view(GraphView::masked(&g, &round1), &cfg),
+                    "graph_seed={graph_seed}, kill={kill}, round 1"
+                );
+                // Cumulative second round on top of the already-repaired state.
+                let out = r.repair(&g, &round1, &round2).unwrap();
+                assert!(!out.full_rebuild);
+                assert_eq!(
+                    r,
+                    LandmarkRouting::build_on_view(GraphView::masked(&g, &round2), &cfg),
+                    "graph_seed={graph_seed}, kill={kill}, round 2"
+                );
+            }
+        }
+        assert!(exercised >= 5, "the grid must actually exercise repair");
+    }
+
+    #[test]
+    fn repair_touches_few_vertices_on_local_damage() {
+        // One dead edge in a large sparse graph: the patch must stay local —
+        // that locality is the whole point of the incremental path.
+        let g = generators::random_connected(600, 0.008, 23);
+        let cfg = LandmarkConfig {
+            seed: 5,
+            ..LandmarkConfig::default()
+        };
+        let mut r = LandmarkRouting::build_with(&g, &cfg);
+        let empty = FailureSet::empty(&g);
+        let failures = FailureSet::sample(&g, 0.0008, 9);
+        assert_eq!(failures.len(), 1);
+        if !graphkit::traversal::is_connected(GraphView::masked(&g, &failures)) {
+            return;
+        }
+        let out = r.repair(&g, &empty, &failures).unwrap();
+        assert!(!out.full_rebuild);
+        assert!(
+            out.vertices_touched < g.num_nodes() / 4,
+            "one dead edge touched {}/{} routers",
+            out.vertices_touched,
+            g.num_nodes()
+        );
+        assert_eq!(
+            r,
+            LandmarkRouting::build_on_view(GraphView::masked(&g, &failures), &cfg)
+        );
+    }
+
+    #[test]
+    fn repair_falls_back_to_full_rebuild_when_it_must() {
+        let g = generators::random_connected(100, 0.06, 31);
+        let empty = FailureSet::empty(&g);
+        let failures = FailureSet::sample(&g, 0.03, 8);
+        assert!(!failures.is_empty());
+        assert!(graphkit::traversal::is_connected(GraphView::masked(
+            &g, &failures
+        )));
+
+        // Strict rule: handoff structure resists patching — always rebuilds.
+        let cfg = strict(7);
+        let mut r = LandmarkRouting::build_with(&g, &cfg);
+        let out = r.repair(&g, &empty, &failures).unwrap();
+        assert!(out.full_rebuild);
+        assert_eq!(
+            r,
+            LandmarkRouting::build_on_view(GraphView::masked(&g, &failures), &cfg)
+        );
+
+        // Non-nested failure sets (links came back): rebuild on the new view.
+        let cfg = LandmarkConfig {
+            seed: 7,
+            ..LandmarkConfig::default()
+        };
+        let mut r = LandmarkRouting::build_on_view(GraphView::masked(&g, &failures), &cfg);
+        let out = r.repair(&g, &failures, &empty).unwrap();
+        assert!(out.full_rebuild, "shrinking failure set forces a rebuild");
+        assert_eq!(r, LandmarkRouting::build_with(&g, &cfg));
+
+        // A repair with nothing new to adapt to is free.
+        let out = r.repair(&g, &empty, &empty).unwrap();
+        assert_eq!(out.vertices_touched, 0);
+        assert!(!out.full_rebuild);
+    }
+
+    #[test]
+    fn repair_rejects_disconnecting_failures_without_mutating() {
+        let g = generators::path(12);
+        let cfg = LandmarkConfig {
+            seed: 3,
+            ..LandmarkConfig::default()
+        };
+        let mut r = LandmarkRouting::build_with(&g, &cfg);
+        let before = r.clone();
+        let cut = FailureSet::from_edges(&g, &[(5, 6)]);
+        let empty = FailureSet::empty(&g);
+        assert!(matches!(
+            r.repair(&g, &empty, &cut),
+            Err(BuildError::Disconnected { .. })
+        ));
+        assert_eq!(r, before, "a failed repair must leave the tables intact");
+    }
+
+    #[test]
+    fn routing_still_delivers_after_repair() {
+        let g = generators::random_connected(90, 0.06, 17);
+        let cfg = LandmarkConfig {
+            seed: 11,
+            ..LandmarkConfig::default()
+        };
+        let mut r = LandmarkRouting::build_with(&g, &cfg);
+        let empty = FailureSet::empty(&g);
+        let failures = FailureSet::sample(&g, 0.05, 13);
+        let view = GraphView::masked(&g, &failures);
+        if !graphkit::traversal::is_connected(view) {
+            return;
+        }
+        r.repair(&g, &empty, &failures).unwrap();
+        for s in 0..g.num_nodes() {
+            for t in 0..g.num_nodes() {
+                let trace = route(view, &r, s, t).unwrap();
+                assert_eq!(*trace.path.last().unwrap(), t);
+            }
+        }
     }
 }

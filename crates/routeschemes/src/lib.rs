@@ -46,7 +46,7 @@ pub use interval::general::{KIntervalConfig, KIntervalScheme};
 pub use interval::tree::TreeIntervalScheme;
 pub use landmark::{ClusterRule, LandmarkConfig, LandmarkCount, LandmarkScheme};
 pub use registry::{applicable_schemes, GraphHints, SchemeKind};
-pub use scheme::{BuildError, CompactScheme, SchemeInstance};
+pub use scheme::{BuildError, CompactScheme, RepairOutcome, RepairStats, SchemeInstance};
 pub use spec::{SchemeSpec, SpecError};
 pub use table_scheme::TableScheme;
 pub use tree_routing::SpanningTreeScheme;

@@ -6,7 +6,7 @@
 //! this graph" from "a required generator hint is missing" from "a configured
 //! quality cap was not met" — and report each accordingly.
 
-use graphkit::Graph;
+use graphkit::{FailureSet, Graph};
 use routemodel::{MemoryReport, RoutingFunction};
 
 /// Structural facts about a graph that its generator knows but the [`Graph`]
@@ -118,6 +118,53 @@ impl std::fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
+/// What a scheme's repair routine reports back: how much of the instance it
+/// had to touch.  [`SchemeInstance::repair`] wraps this with wall-clock time
+/// into a [`RepairStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Routers whose stored state was recomputed (for a full rebuild: all of
+    /// them).
+    pub vertices_touched: usize,
+    /// Landmark columns whose distances or ports changed (landmark scheme
+    /// only; 0 for the others).
+    pub landmarks_rebuilt: usize,
+    /// Whether the repair fell back to a from-scratch rebuild on the masked
+    /// view.
+    pub full_rebuild: bool,
+}
+
+/// The cost of one [`SchemeInstance::repair`] call — the quantity the churn
+/// scenarios put next to the delivery-rate recovery in the resilience report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairStats {
+    /// Routers whose stored state was recomputed.
+    pub vertices_touched: usize,
+    /// Landmark columns whose distances or ports changed.
+    pub landmarks_rebuilt: usize,
+    /// Whether the repair fell back to a from-scratch rebuild.
+    pub full_rebuild: bool,
+    /// Wall-clock seconds the repair took.
+    pub seconds: f64,
+}
+
+impl std::fmt::Display for RepairStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} in {:.3}s ({} routers touched, {} landmark columns)",
+            if self.full_rebuild {
+                "full rebuild"
+            } else {
+                "incremental repair"
+            },
+            self.seconds,
+            self.vertices_touched,
+            self.landmarks_rebuilt,
+        )
+    }
+}
+
 /// The result of instantiating a scheme on one graph: a routing function plus
 /// the memory report of the encoding the scheme commits to.
 pub struct SchemeInstance {
@@ -128,6 +175,10 @@ pub struct SchemeInstance {
     /// The stretch bound guaranteed by the scheme's analysis (`None` when the
     /// scheme gives no uniform guarantee, e.g. single-spanning-tree routing).
     pub guaranteed_stretch: Option<f64>,
+    /// The dead edges the instance's tables currently account for (canonical
+    /// sorted `(u, v)` pairs, `u < v`): empty at build time, updated by every
+    /// successful [`SchemeInstance::repair`].
+    adapted_to: Vec<(u32, u32)>,
 }
 
 impl SchemeInstance {
@@ -141,7 +192,63 @@ impl SchemeInstance {
             routing,
             memory,
             guaranteed_stretch,
+            adapted_to: Vec::new(),
         }
+    }
+
+    /// The dead edges this instance's tables currently route around.
+    pub fn adapted_to(&self) -> &[(u32, u32)] {
+        &self.adapted_to
+    }
+
+    /// Adapts the instance's tables to the links of `failures` being dead.
+    ///
+    /// `g` must be the pristine graph the instance was built on; `failures`
+    /// is the **complete** current failure set, not a delta (pass the same
+    /// set again and the repair is a no-op).  Schemes with an incremental
+    /// strategy (landmark under the inclusive rule, spanning-tree interval
+    /// routing) patch their tables in place; the landmark scheme falls back
+    /// to a from-scratch rebuild on the masked view when the new failure set
+    /// does not contain the one it already adapted to (links resurrecting)
+    /// or under the strict cluster rule.  The memory report is refreshed to
+    /// the repaired tables.
+    ///
+    /// Errors are typed: a view split by the failures is
+    /// [`BuildError::Disconnected`]; a scheme with no repair strategy at all
+    /// (table, interval, the address-arithmetic schemes) reports
+    /// [`BuildError::NotApplicable`] — on such instances the caller's only
+    /// recourse is a fresh build, which is exactly what the churn executor
+    /// reports.
+    pub fn repair(&mut self, g: &Graph, failures: &FailureSet) -> Result<RepairStats, BuildError> {
+        let start = std::time::Instant::now();
+        let old = FailureSet::from_edges(g, &self.adapted_to);
+        let routing: &mut (dyn RoutingFunction + Send + Sync) = &mut *self.routing;
+        let any: &mut dyn std::any::Any = routing;
+        let outcome = if let Some(lm) = any.downcast_mut::<crate::landmark::LandmarkRouting>() {
+            let out = lm.repair(g, &old, failures)?;
+            self.memory = lm.memory(g);
+            out
+        } else if let Some(tree) = any.downcast_mut::<crate::interval::tree::TreeIntervalRouting>()
+        {
+            let out = tree.repair(g, failures)?;
+            self.memory = tree.memory(g);
+            out
+        } else {
+            return Err(BuildError::NotApplicable {
+                scheme: "repair",
+                reason: format!(
+                    "{} has no repair strategy (rebuild from scratch instead)",
+                    self.routing.name()
+                ),
+            });
+        };
+        self.adapted_to = failures.dead_edges().to_vec();
+        Ok(RepairStats {
+            vertices_touched: outcome.vertices_touched,
+            landmarks_rebuilt: outcome.landmarks_rebuilt,
+            full_rebuild: outcome.full_rebuild,
+            seconds: start.elapsed().as_secs_f64(),
+        })
     }
 }
 
@@ -282,5 +389,40 @@ mod tests {
         assert_eq!(GraphHints::grid(3, 4).hypercube_dim, None);
         assert_eq!(GraphHints::hypercube(6).hypercube_dim, Some(6));
         assert_eq!(GraphHints::hypercube(6).grid_dims, None);
+    }
+
+    #[test]
+    fn instance_repair_dispatches_by_concrete_scheme() {
+        let g = generators::random_connected(60, 0.08, 4);
+        let failures = FailureSet::sample(&g, 0.03, 6);
+        assert!(!failures.is_empty());
+        if !graphkit::traversal::is_connected(graphkit::GraphView::masked(&g, &failures)) {
+            return;
+        }
+
+        // Landmark: incremental path, bookkeeping of the adapted-to set.
+        let mut inst = crate::landmark::LandmarkScheme::new(3).build(&g);
+        assert!(inst.adapted_to().is_empty());
+        let stats = inst.repair(&g, &failures).unwrap();
+        assert!(!stats.full_rebuild);
+        assert!(stats.seconds >= 0.0);
+        assert_eq!(inst.adapted_to(), failures.dead_edges());
+        let shown = stats.to_string();
+        assert!(shown.contains("incremental repair"), "got {shown:?}");
+
+        // Spanning tree: repairable as well.
+        let mut inst = crate::tree_routing::SpanningTreeScheme::default().build(&g);
+        inst.repair(&g, &failures).unwrap();
+
+        // A scheme without a repair strategy reports it as a typed error.
+        let mut inst = TrivialScheme.build(&generators::path(1));
+        let err = inst
+            .repair(
+                &generators::path(1),
+                &FailureSet::empty(&generators::path(1)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, BuildError::NotApplicable { .. }));
+        assert!(err.to_string().contains("no repair strategy"));
     }
 }

@@ -14,8 +14,10 @@
 //!                    table then moves to stderr so stdout stays parseable)
 //!   --schemes <s>    comma-separated scheme specs overriding every case's
 //!                    scheme list, e.g. landmark?k=64&clusters=strict,tree
-//!   --report <view>  extra report view: 'congestion' appends the
-//!                    congestion-vs-stretch trade-off table
+//!   --report <view>  extra report view (repeatable): 'congestion' appends
+//!                    the congestion-vs-stretch trade-off table;
+//!                    'resilience' appends the per-round churn table
+//!                    (degraded delivery → repair cost → recovered delivery)
 //! ```
 //!
 //! Scheme, graph and workload specs all follow the shared `speclang` codec;
@@ -34,15 +36,15 @@
 use routeschemes::spec::{vocabulary, SchemeSpec};
 use std::process::ExitCode;
 use trafficlab::{
-    find_scenario, named_scenarios, run_scenario, suggest_scenarios, GraphSpec, Scenario,
-    ScenarioSpec, WorkloadSpec,
+    find_scenario, named_scenarios, run_scenario, suggest_scenarios, ChurnSpec, GraphSpec,
+    Scenario, ScenarioSpec, WorkloadSpec,
 };
 
 fn usage() {
     eprintln!(
         "usage: trafficlab <list | run <scenario> | smoke | specs> \
          [--file path.toml] [--threads t] [--json path] [--schemes spec,spec] \
-         [--report congestion]"
+         [--report congestion|resilience]"
     );
     eprintln!("scenarios:");
     for s in named_scenarios() {
@@ -54,6 +56,7 @@ fn usage() {
 #[derive(Default, Clone, Copy)]
 struct ReportViews {
     congestion: bool,
+    resilience: bool,
 }
 
 fn main() -> ExitCode {
@@ -95,9 +98,10 @@ fn main() -> ExitCode {
                 i += 1;
                 match args.get(i).map(String::as_str) {
                     Some("congestion") => views.congestion = true,
+                    Some("resilience") => views.resilience = true,
                     other => {
                         eprintln!(
-                            "--report needs a view name (valid: congestion), got {:?}",
+                            "--report needs a view name (valid: congestion, resilience), got {:?}",
                             other.unwrap_or("")
                         );
                         return ExitCode::FAILURE;
@@ -190,6 +194,7 @@ fn main() -> ExitCode {
             println!("{}", vocabulary());
             println!("{}", GraphSpec::vocabulary());
             println!("{}", WorkloadSpec::vocabulary());
+            println!("{}", ChurnSpec::vocabulary());
             ExitCode::SUCCESS
         }
         ["run", name] => run_named(name, threads, json_path, schemes_override, views),
@@ -251,6 +256,15 @@ fn run_one(
     if views.congestion {
         table.push_str("\ncongestion vs stretch:\n");
         table.push_str(&report.to_congestion_table().to_plain());
+    }
+    if views.resilience {
+        table.push_str("\nresilience under churn:\n");
+        table.push_str(&report.to_resilience_table().to_plain());
+        for r in &report.resilience {
+            if let Some(h) = &r.halted {
+                table.push_str(&format!("\n{} / {}: {h}", r.graph_label, r.scheme_spec));
+            }
+        }
     }
     if json_to_stdout {
         // Keep stdout pure JSON for piping; the table is status output.

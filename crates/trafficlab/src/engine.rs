@@ -25,10 +25,10 @@
 
 use crate::metrics::{CongestionCounters, CongestionReport, LengthHistogram};
 use crate::workload::{SourceDests, WorkloadPlan};
-use graphkit::{BfsScratch, DistanceBlock, Graph, INFINITY};
+use graphkit::{BfsScratch, DistanceBlock, GraphView, INFINITY};
 use routemodel::{
-    default_hop_limit, route_block_into, RouteTrace, RoutingError, RoutingFunction,
-    StretchAccumulator, StretchReport,
+    default_hop_limit, route_block_into, DeliveryOutcome, RouteTrace, RoutingError,
+    RoutingFunction, StretchAccumulator, StretchReport,
 };
 
 /// Tuning knobs of the executor.  The defaults are right for tests and
@@ -75,6 +75,60 @@ impl EngineConfig {
     }
 }
 
+/// Per-message fate counters over one workload run.
+///
+/// On a healthy graph every attempted message is delivered and the three
+/// failure buckets stay zero; on a degraded [`GraphView`] the split between
+/// [`DeliveryOutcome::LinkDown`] drops and [`DeliveryOutcome::HopLimit`]
+/// loops is the headline number of the churn reports.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Messages that reached their destination.
+    pub delivered: u64,
+    /// Messages dropped on a dead link.
+    pub link_down: u64,
+    /// Messages that exhausted the hop budget (forwarding loop).
+    pub hop_limit: u64,
+    /// Messages delivered at the wrong vertex.
+    pub wrong_delivery: u64,
+}
+
+impl OutcomeCounts {
+    /// Buckets one message's fate.
+    pub fn record(&mut self, outcome: DeliveryOutcome) {
+        match outcome {
+            DeliveryOutcome::Delivered => self.delivered += 1,
+            DeliveryOutcome::LinkDown { .. } => self.link_down += 1,
+            DeliveryOutcome::HopLimit { .. } => self.hop_limit += 1,
+            DeliveryOutcome::WrongDelivery { .. } => self.wrong_delivery += 1,
+        }
+    }
+
+    /// Integer-adds another worker's counters (order-insensitive).
+    pub fn merge(&mut self, other: &OutcomeCounts) {
+        self.delivered += other.delivered;
+        self.link_down += other.link_down;
+        self.hop_limit += other.hop_limit;
+        self.wrong_delivery += other.wrong_delivery;
+    }
+
+    /// Messages attempted (delivered or not; unreachable skips excluded).
+    pub fn attempted(&self) -> u64 {
+        self.delivered + self.link_down + self.hop_limit + self.wrong_delivery
+    }
+
+    /// Fraction of attempted messages that arrived; `1.0` on an empty run so
+    /// an idle source never reads as an outage.
+    pub fn delivery_rate(&self) -> f64 {
+        let attempted = self.attempted();
+        if attempted == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / attempted as f64
+        }
+    }
+}
+
 /// Everything one workload run measured.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadReport {
@@ -83,6 +137,8 @@ pub struct WorkloadReport {
     pub stretch: StretchReport,
     /// Messages actually routed and delivered.
     pub routed_messages: u64,
+    /// Per-message fate split (partial-delivery reporting on degraded views).
+    pub outcomes: OutcomeCounts,
     /// Planned messages dropped because the destination was unreachable.
     pub skipped_unreachable: u64,
     /// Per-arc congestion summary (when tracking was enabled).
@@ -114,7 +170,7 @@ struct Block {
 struct WorkerOut {
     congestion: Option<CongestionCounters>,
     lengths: LengthHistogram,
-    routed: u64,
+    outcomes: OutcomeCounts,
     skipped: u64,
     narrow_blocks: usize,
     max_block_bytes: u64,
@@ -122,19 +178,24 @@ struct WorkerOut {
 
 type SourcePartial = Option<Result<StretchAccumulator, RoutingError>>;
 
-/// Runs `plan` against routing function `r` on `g`.
+/// Runs `plan` against routing function `r` on `g` — a plain [`Graph`] or a
+/// degraded [`GraphView`] with dead links masked out.
 ///
-/// Fails with the earliest (in source order, then batch order) routing-model
-/// violation, exactly like the dense stretch sweep.  Unreachable
-/// destinations are skipped and counted, matching the paper's restriction to
+/// The only hard failure is a routing-*model* violation
+/// ([`RoutingError::PortOutOfRange`]); messages that loop, drop on a dead
+/// link or surface at the wrong vertex are bucketed per outcome in
+/// [`WorkloadReport::outcomes`], and stretch/length/congestion metrics cover
+/// the delivered messages only.  Unreachable destinations (under the view's
+/// distances) are skipped and counted, matching the paper's restriction to
 /// connected graphs.
-pub fn run_workload<R: RoutingFunction + Sync + ?Sized>(
-    g: &Graph,
+pub fn run_workload<'a, R: RoutingFunction + Sync + ?Sized>(
+    g: impl Into<GraphView<'a>>,
     r: &R,
     plan: &WorkloadPlan,
     cfg: &EngineConfig,
 ) -> Result<WorkloadReport, RoutingError> {
-    let n = g.num_nodes();
+    let view = g.into();
+    let n = view.num_nodes();
     assert_eq!(plan.num_nodes(), n, "plan compiled for a different graph");
     let hop_limit = default_hop_limit(n);
 
@@ -174,7 +235,16 @@ pub fn run_workload<R: RoutingFunction + Sync + ?Sized>(
     let mut worker_outs: Vec<Option<WorkerOut>> = Vec::new();
 
     if threads <= 1 {
-        let out = run_blocks(g, r, plan, &active, &blocks, &mut partials, hop_limit, cfg);
+        let out = run_blocks(
+            view,
+            r,
+            plan,
+            &active,
+            &blocks,
+            &mut partials,
+            hop_limit,
+            cfg,
+        );
         worker_outs.push(Some(out));
     } else {
         worker_outs.resize_with(threads, || None);
@@ -193,7 +263,9 @@ pub fn run_workload<R: RoutingFunction + Sync + ?Sized>(
             for ((chunk, slots), out_slot) in jobs.into_iter().zip(worker_outs.iter_mut()) {
                 let active = &active;
                 scope.spawn(move || {
-                    *out_slot = Some(run_blocks(g, r, plan, active, chunk, slots, hop_limit, cfg));
+                    *out_slot = Some(run_blocks(
+                        view, r, plan, active, chunk, slots, hop_limit, cfg,
+                    ));
                 });
             }
         });
@@ -208,9 +280,9 @@ pub fn run_workload<R: RoutingFunction + Sync + ?Sized>(
 
     let mut congestion = cfg
         .track_congestion
-        .then(|| CongestionCounters::for_graph(g));
+        .then(|| CongestionCounters::for_graph(view.graph()));
     let mut lengths = LengthHistogram::new();
-    let mut routed = 0u64;
+    let mut outcomes = OutcomeCounts::default();
     let mut skipped = 0u64;
     let mut narrow_blocks = 0usize;
     let mut peak = plan.bytes();
@@ -219,7 +291,7 @@ pub fn run_workload<R: RoutingFunction + Sync + ?Sized>(
             total_c.merge(worker_c);
         }
         lengths.merge(&out.lengths);
-        routed += out.routed;
+        outcomes.merge(&out.outcomes);
         skipped += out.skipped;
         narrow_blocks += out.narrow_blocks;
         peak += out.max_block_bytes
@@ -230,7 +302,8 @@ pub fn run_workload<R: RoutingFunction + Sync + ?Sized>(
 
     Ok(WorkloadReport {
         stretch: total.into_report(),
-        routed_messages: routed,
+        routed_messages: outcomes.delivered,
+        outcomes,
         skipped_unreachable: skipped,
         congestion: congestion.map(|c| c.summarize()),
         lengths,
@@ -244,7 +317,7 @@ pub fn run_workload<R: RoutingFunction + Sync + ?Sized>(
 /// partial slots (in rank order).
 #[allow(clippy::too_many_arguments)]
 fn run_blocks<R: RoutingFunction + Sync + ?Sized>(
-    g: &Graph,
+    view: GraphView<'_>,
     r: &R,
     plan: &WorkloadPlan,
     active: &[u32],
@@ -253,7 +326,7 @@ fn run_blocks<R: RoutingFunction + Sync + ?Sized>(
     hop_limit: usize,
     cfg: &EngineConfig,
 ) -> WorkerOut {
-    let n = g.num_nodes();
+    let n = view.num_nodes();
     let mut scratch = BfsScratch::with_capacity(n);
     let mut rows = DistanceBlock::new();
     let mut trace = RouteTrace::new();
@@ -261,16 +334,16 @@ fn run_blocks<R: RoutingFunction + Sync + ?Sized>(
     let mut out = WorkerOut {
         congestion: cfg
             .track_congestion
-            .then(|| CongestionCounters::for_graph(g)),
+            .then(|| CongestionCounters::for_graph(view.graph())),
         lengths: LengthHistogram::new(),
-        routed: 0,
+        outcomes: OutcomeCounts::default(),
         skipped: 0,
         narrow_blocks: 0,
         max_block_bytes: 0,
     };
     let mut slot_idx = 0usize;
     for b in blocks {
-        rows.recompute(g, b.src_lo, b.rows, &mut scratch);
+        rows.recompute(view, b.src_lo, b.rows, &mut scratch);
         if rows.is_narrow() {
             out.narrow_blocks += 1;
         }
@@ -310,18 +383,32 @@ fn run_blocks<R: RoutingFunction + Sync + ?Sized>(
             let mut acc = StretchAccumulator::new();
             let lengths = &mut out.lengths;
             let congestion = &mut out.congestion;
-            let routed = &mut out.routed;
-            let result = route_block_into(g, r, s, &routable, hop_limit, &mut trace, |t, tr| {
-                let len = tr.len();
-                acc.record(s, t, len as u32, row.dist(t));
-                lengths.record(len);
-                *routed += 1;
-                if let Some(c) = congestion {
-                    for (i, &p) in tr.ports.iter().enumerate() {
-                        c.record_hop(tr.path[i], p);
+            let outcomes = &mut out.outcomes;
+            let result = route_block_into(
+                view,
+                r,
+                s,
+                &routable,
+                hop_limit,
+                &mut trace,
+                |t, tr, outcome| {
+                    outcomes.record(outcome);
+                    // Metrics cover delivered messages only: a dropped
+                    // message has no meaningful length or stretch, and its
+                    // partial trace would skew the congestion picture.
+                    if !outcome.is_delivered() {
+                        return;
                     }
-                }
-            });
+                    let len = tr.len();
+                    acc.record(s, t, len as u32, row.dist(t));
+                    lengths.record(len);
+                    if let Some(c) = congestion {
+                        for (i, &p) in tr.ports.iter().enumerate() {
+                            c.record_hop(tr.path[i], p);
+                        }
+                    }
+                },
+            );
             slots[slot_idx] = Some(result.map(|()| acc));
             slot_idx += 1;
         }
@@ -334,12 +421,13 @@ fn run_blocks<R: RoutingFunction + Sync + ?Sized>(
 ///
 /// Bit-identical to `routemodel::stretch_factor` for every `threads` and
 /// `block_rows` value; peak memory `O(threads · block_rows · n)`.
-pub fn stretch_factor_blocked<R: RoutingFunction + Sync + ?Sized>(
-    g: &Graph,
+pub fn stretch_factor_blocked<'a, R: RoutingFunction + Sync + ?Sized>(
+    g: impl Into<GraphView<'a>>,
     r: &R,
     threads: usize,
     block_rows: usize,
 ) -> Result<StretchReport, RoutingError> {
+    let g = g.into();
     let plan = crate::workload::Workload::AllPairs.compile(g.num_nodes());
     let cfg = EngineConfig {
         threads,
@@ -353,7 +441,7 @@ pub fn stretch_factor_blocked<R: RoutingFunction + Sync + ?Sized>(
 mod tests {
     use super::*;
     use crate::workload::Workload;
-    use graphkit::{generators, DistanceMatrix};
+    use graphkit::{generators, DistanceMatrix, FailureSet, Graph};
     use routemodel::{stretch_factor_with_threads, Action, Header, TableRouting, TieBreak};
 
     fn table_routing(g: &Graph) -> TableRouting {
@@ -508,6 +596,89 @@ mod tests {
             let blocked = stretch_factor_blocked(&g, &r, threads, 3).unwrap_err();
             assert_eq!(blocked, dense, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn degraded_view_buckets_outcomes_instead_of_failing() {
+        // A cycle routed clockwise with one clockwise arc dead: messages
+        // whose route crosses the cut drop as LinkDown, everything else
+        // still arrives, and the engine reports both instead of erroring.
+        let n = 16usize;
+        let g = generators::cycle(n);
+        let g2 = g.clone();
+        let r = routemodel::function::dest_address_routing("cw", move |node, h: &Header| {
+            if node == h.dest {
+                Action::Deliver
+            } else {
+                Action::Forward(g2.port_to(node, (node + 1) % n).unwrap())
+            }
+        });
+        let failures = FailureSet::from_edges(&g, &[(3, 4)]);
+        let view = GraphView::masked(&g, &failures);
+        let plan = Workload::AllPairs.compile(n);
+        let rep = run_workload(view, &r, &plan, &EngineConfig::default()).unwrap();
+        // The view stays connected (it is a path), so no pair is skipped.
+        assert_eq!(rep.skipped_unreachable, 0);
+        // s -> t drops iff the clockwise walk s..t uses the arc 3 -> 4;
+        // summing over sources gives 15 + 14 + ... + 0 = 120 ordered pairs.
+        assert_eq!(rep.outcomes.link_down, 120);
+        assert_eq!(rep.outcomes.delivered, (n * (n - 1)) as u64 - 120);
+        assert_eq!(rep.outcomes.hop_limit, 0);
+        assert_eq!(rep.outcomes.wrong_delivery, 0);
+        assert_eq!(rep.routed_messages, rep.outcomes.delivered);
+        assert_eq!(rep.lengths.total(), rep.outcomes.delivered);
+        assert!(rep.outcomes.delivery_rate() < 1.0);
+        // Congestion only counts hops of delivered messages.
+        assert_eq!(rep.congestion.unwrap().total_load, rep.lengths.total_hops());
+    }
+
+    #[test]
+    fn outcome_counts_are_thread_invariant() {
+        let g = generators::random_connected(50, 0.09, 11);
+        let failures = FailureSet::sample(&g, 0.08, 7);
+        let view = GraphView::masked(&g, &failures);
+        let r = table_routing(&g); // stale: built for the full graph
+        let plan = Workload::AllPairs.compile(50);
+        let base = run_workload(
+            view,
+            &r,
+            &plan,
+            &EngineConfig {
+                threads: 1,
+                block_rows: 4,
+                track_congestion: true,
+            },
+        )
+        .unwrap();
+        assert!(base.outcomes.link_down > 0, "stale routes should hit cuts");
+        for (threads, block_rows) in [(2usize, 4usize), (3, 1), (5, 17)] {
+            let rep = run_workload(
+                view,
+                &r,
+                &plan,
+                &EngineConfig {
+                    threads,
+                    block_rows,
+                    track_congestion: true,
+                },
+            )
+            .unwrap();
+            assert_eq!(rep.outcomes, base.outcomes);
+            assert_eq!(rep.lengths, base.lengths);
+            assert_eq!(rep.congestion, base.congestion);
+            assert_reports_bit_identical(&rep.stretch, &base.stretch);
+        }
+    }
+
+    #[test]
+    fn healthy_runs_report_full_delivery() {
+        let g = generators::random_connected(40, 0.1, 3);
+        let r = table_routing(&g);
+        let plan = Workload::AllPairs.compile(40);
+        let rep = run_workload(&g, &r, &plan, &EngineConfig::default()).unwrap();
+        assert_eq!(rep.outcomes.delivered, rep.routed_messages);
+        assert_eq!(rep.outcomes.attempted(), rep.routed_messages);
+        assert_eq!(rep.outcomes.delivery_rate(), 1.0);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! workload = "uniform?messages=20000&seed=1"
 //! schemes = ["table", "tree", "interval", "landmark"]
 //! block_rows = 0          # optional engine knob (0 = engine default)
+//! churn = "churn?kill=0.01&rounds=8"   # optional failure/repair axis
 //! ```
 //!
 //! `ScenarioSpec::parse_toml` and `ScenarioSpec::to_toml` are inverse up to
@@ -25,6 +26,7 @@
 //! `include_str!` — the TOML files under `examples/scenarios/` *are* the
 //! single source of truth, not a rendering of in-code definitions.
 
+use crate::churn::ChurnSpec;
 use crate::scenario::{CaseSpec, GraphSpec, ScenarioSpec};
 use crate::workload::WorkloadSpec;
 use routeschemes::SchemeSpec;
@@ -166,6 +168,12 @@ impl ScenarioSpec {
             if case.block_rows != 0 {
                 out.push_str(&format!("block_rows = {}\n", case.block_rows));
             }
+            if let Some(churn) = &case.churn {
+                out.push_str(&format!(
+                    "churn = \"{}\"\n",
+                    escape_str(&churn.spec_string())
+                ));
+            }
         }
         out
     }
@@ -175,10 +183,13 @@ fn parse_case(section: &Section, index: usize) -> Result<CaseSpec, ScenarioFileE
     let ctx = format!("case {index} (line {})", section.line);
     let table = &section.table;
     for key in table.keys() {
-        if !matches!(key, "graph" | "workload" | "schemes" | "block_rows") {
+        if !matches!(
+            key,
+            "graph" | "workload" | "schemes" | "block_rows" | "churn"
+        ) {
             return bad(
                 &ctx,
-                format!("unknown key '{key}' (valid: graph, workload, schemes, block_rows)"),
+                format!("unknown key '{key}' (valid: graph, workload, schemes, block_rows, churn)"),
             );
         }
     }
@@ -231,17 +242,30 @@ fn parse_case(section: &Section, index: usize) -> Result<CaseSpec, ScenarioFileE
             )
         }
     };
+    let churn = match table.get("churn") {
+        None => None,
+        Some(v) => {
+            let Some(s) = v.as_str() else {
+                return bad(
+                    &ctx,
+                    format!("'churn' must be a churn spec string, got {}", v.type_name()),
+                );
+            };
+            Some(ChurnSpec::parse(s).or_else(|e| bad(format!("{ctx}, field 'churn'"), e))?)
+        }
+    };
     Ok(CaseSpec {
         graph,
         workload,
         schemes,
         block_rows,
+        churn,
     })
 }
 
 /// The built-in scenario book, embedded from `examples/scenarios/*.toml` at
 /// compile time.  Order is the `trafficlab list` order.
-const BUILTIN_SCENARIO_FILES: [(&str, &str); 10] = [
+const BUILTIN_SCENARIO_FILES: [(&str, &str); 11] = [
     (
         "smoke",
         include_str!("../../../examples/scenarios/smoke.toml"),
@@ -281,6 +305,10 @@ const BUILTIN_SCENARIO_FILES: [(&str, &str); 10] = [
     (
         "adversarial",
         include_str!("../../../examples/scenarios/adversarial.toml"),
+    ),
+    (
+        "churn",
+        include_str!("../../../examples/scenarios/churn.toml"),
     ),
 ];
 
@@ -364,6 +392,39 @@ block_rows = 8
     }
 
     #[test]
+    fn churn_field_parses_and_round_trips() {
+        let spec = ScenarioSpec::parse_toml(
+            r#"
+name = "churny"
+description = "failure axis"
+
+[[case]]
+graph = "random?n=64&seed=1"
+workload = "all-pairs"
+schemes = ["tree"]
+churn = "churn?kill=0.05&rounds=2&seed=9"
+"#,
+        )
+        .unwrap();
+        let churn = spec.cases[0].churn.as_ref().unwrap();
+        assert_eq!(
+            *churn,
+            crate::churn::ChurnSpec {
+                kill: 0.05,
+                rounds: 2,
+                seed: 9
+            }
+        );
+        let rendered = spec.to_toml();
+        assert!(rendered.contains("churn = \"churn?kill=0.05&rounds=2&seed=9\""));
+        assert_eq!(ScenarioSpec::parse_toml(&rendered).unwrap(), spec);
+        // The built-in churn scenario carries the axis.
+        let book = builtin_scenarios();
+        let churny = book.iter().find(|s| s.name == "churn").unwrap();
+        assert!(churny.cases.iter().all(|c| c.churn.is_some()));
+    }
+
+    #[test]
     fn typo_and_type_errors_are_contextual_not_silent() {
         let cases = [
             ("name = \"x\"", "at least one [[case]]"),
@@ -399,6 +460,14 @@ block_rows = 8
             (
                 "name = \"x\"\n[[case]]\ngraph = 7\nworkload = \"all-pairs\"\nschemes = [\"tree\"]",
                 "'graph' must be a string",
+            ),
+            (
+                "name = \"x\"\n[[case]]\ngraph = \"grid?rows=2&cols=2\"\nworkload = \"all-pairs\"\nschemes = [\"tree\"]\nchurn = 3",
+                "'churn' must be a churn spec string",
+            ),
+            (
+                "name = \"x\"\n[[case]]\ngraph = \"grid?rows=2&cols=2\"\nworkload = \"all-pairs\"\nschemes = [\"tree\"]\nchurn = \"churn?kill=2\"",
+                "bad value '2' for 'kill'",
             ),
             // Cross-field validation: these used to reach compile's asserts
             // as panics once --file made them user input.

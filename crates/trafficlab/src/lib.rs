@@ -24,6 +24,11 @@
 //!   `broadcast`, `sampled-sources`, the adversarial `bisection` /
 //!   `worstperm` patterns, and the Theorem 1 `constrained-probes`;
 //! * [`engine`] — the batched parallel executor and its [`WorkloadReport`];
+//!   it routes over a `graphkit::GraphView` (dead links masked), bucketing
+//!   per-message fates in [`engine::OutcomeCounts`] instead of aborting;
+//! * [`churn`] — the failure/repair axis ([`ChurnSpec`]): round-structured
+//!   fail → measure degraded → repair → measure recovered execution, the
+//!   resilience rows of a scenario report;
 //! * [`metrics`] — streaming congestion counters and length histograms;
 //! * [`scenario`] — declarative scenarios ([`ScenarioSpec`]: graph spec ×
 //!   workload spec × scheme specs) over the scheme registry, with table,
@@ -31,18 +36,22 @@
 //! * [`files`] — the TOML scenario-file codec; the built-in scenario book
 //!   itself is data under `examples/scenarios/`.
 
+pub mod churn;
 pub mod engine;
 pub mod files;
 pub mod metrics;
 pub mod scenario;
 pub mod workload;
 
-pub use engine::{run_workload, stretch_factor_blocked, EngineConfig, WorkloadReport};
+pub use churn::{run_churn, ChurnError, ChurnRound, ChurnRun, ChurnSpec};
+pub use engine::{
+    run_workload, stretch_factor_blocked, EngineConfig, OutcomeCounts, WorkloadReport,
+};
 pub use files::ScenarioFileError;
 pub use metrics::{CongestionCounters, CongestionReport, LengthHistogram};
 pub use scenario::{
     find_scenario, landmark_strict, landmark_with_k, named_scenarios, run_scenario,
-    suggest_scenarios, Case, CaseResult, CaseSpec, GraphSpec, Scenario, ScenarioReport,
-    ScenarioSpec, LANDMARK_SWEEP_KS,
+    suggest_scenarios, Case, CaseResult, CaseSpec, GraphSpec, ResilienceResult, Scenario,
+    ScenarioReport, ScenarioSpec, LANDMARK_SWEEP_KS,
 };
 pub use workload::{SourceDests, Workload, WorkloadPlan, WorkloadSpec};

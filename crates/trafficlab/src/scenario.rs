@@ -17,6 +17,7 @@
 //! congestion-vs-stretch view of [`ScenarioReport::to_congestion_table`])
 //! and as JSON for snapshots (`ScenarioReport::to_json`).
 
+use crate::churn::{run_churn, ChurnError, ChurnRound, ChurnSpec};
 use crate::engine::{run_workload, EngineConfig, WorkloadReport};
 use crate::workload::WorkloadSpec;
 use analysis::report::{fmt_f64, json_escape, json_f64, Table};
@@ -380,6 +381,10 @@ pub struct CaseSpec {
     pub schemes: Vec<SchemeSpec>,
     /// Engine block size override (`0` = engine default).
     pub block_rows: usize,
+    /// Optional churn axis: after the healthy baseline run, drive each
+    /// scheme through fail → measure → repair → measure rounds
+    /// (see [`crate::churn`]).
+    pub churn: Option<ChurnSpec>,
 }
 
 /// A named, reproducible experiment — plain declarative data: every axis is
@@ -534,11 +539,31 @@ pub struct CaseResult {
     pub messages_per_sec: f64,
 }
 
+/// The resilience record of one (case, scheme) cell under churn: the
+/// per-round fail → measure → repair → measure results.
+#[derive(Debug, Clone)]
+pub struct ResilienceResult {
+    /// The case's graph spec string.
+    pub graph_label: String,
+    /// The case's workload spec string.
+    pub workload_spec: String,
+    /// The scheme spec string.
+    pub scheme_spec: String,
+    /// The churn spec string (`churn?kill=0.01&rounds=8`).
+    pub churn_spec: String,
+    /// One record per completed round.
+    pub rounds: Vec<ChurnRound>,
+    /// Why the rounds stopped early (disconnection), if they did.
+    pub halted: Option<String>,
+}
+
 /// The outcome of one scenario run.
 #[derive(Debug, Clone, Default)]
 pub struct ScenarioReport {
     pub scenario: String,
     pub results: Vec<CaseResult>,
+    /// Churn rows: one entry per (case, scheme) cell with a churn axis.
+    pub resilience: Vec<ResilienceResult>,
     /// Routing-model failures (loops, wrong deliveries, ...) — a non-empty
     /// list means a scheme is broken, and the CLI exits non-zero on it.
     pub errors: Vec<String>,
@@ -615,7 +640,7 @@ pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioReport {
                 continue;
             }
             let t0 = Instant::now();
-            let instance = match spec.build(&built.graph, &built.hints) {
+            let mut instance = match spec.build(&built.graph, &built.hints) {
                 Ok(instance) => instance,
                 Err(e) => {
                     // A typed build failure is a benign skip with its reason
@@ -656,9 +681,35 @@ pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioReport {
                         run_secs,
                     });
                 }
-                Err(e) => out
-                    .errors
-                    .push(format!("{graph_label}: scheme '{spec}' failed: {e}")),
+                Err(e) => {
+                    out.errors
+                        .push(format!("{graph_label}: scheme '{spec}' failed: {e}"));
+                    continue;
+                }
+            }
+            // The churn axis rides after the healthy baseline: the instance
+            // built above is failed, measured, repaired in place, and
+            // measured again, round by round.
+            if let Some(churn) = &case.churn {
+                match run_churn(&built.graph, &mut instance, &plan, &cfg, churn) {
+                    Ok(run) => out.resilience.push(ResilienceResult {
+                        graph_label: graph_label.clone(),
+                        workload_spec: case.workload.spec_string(),
+                        scheme_spec: spec.spec_string(),
+                        churn_spec: churn.spec_string(),
+                        rounds: run.rounds,
+                        halted: run.halted,
+                    }),
+                    // A scheme without a repair strategy is a benign skip of
+                    // the churn axis, not a broken scenario.
+                    Err(ChurnError::Unsupported(e)) => out.skipped.push(format!(
+                        "{graph_label}: scheme '{spec}' skipped for churn: {e}"
+                    )),
+                    Err(e) => out.errors.push(format!(
+                        "{graph_label}: scheme '{spec}' failed under '{churn}': {e}",
+                        churn = churn.spec_string()
+                    )),
+                }
             }
         }
     }
@@ -760,6 +811,51 @@ impl ScenarioReport {
         t
     }
 
+    /// The resilience view (`--report resilience`): one row per churn
+    /// round of every (case, scheme) cell that ran the churn axis —
+    /// delivery rate and stretch while degraded, the repair's cost, and the
+    /// same measurements after repair.  `repair` is `incr` when the scheme
+    /// patched itself in place and `full` when it fell back to a rebuild.
+    pub fn to_resilience_table(&self) -> Table {
+        let mut t = Table::new([
+            "graph",
+            "scheme",
+            "churn",
+            "round",
+            "dead",
+            "deg_delivery",
+            "deg_stretch",
+            "repair",
+            "touched",
+            "repair_s",
+            "rec_delivery",
+            "rec_stretch",
+        ]);
+        for r in &self.resilience {
+            for round in &r.rounds {
+                t.push_row([
+                    r.graph_label.clone(),
+                    r.scheme_spec.clone(),
+                    r.churn_spec.clone(),
+                    round.round.to_string(),
+                    round.dead_links.to_string(),
+                    fmt_f64(round.degraded.delivery_rate(), 4),
+                    fmt_f64(round.degraded_max_stretch, 3),
+                    if round.repair.full_rebuild {
+                        "full".into()
+                    } else {
+                        "incr".into()
+                    },
+                    round.repair.vertices_touched.to_string(),
+                    fmt_f64(round.repair.seconds, 4),
+                    fmt_f64(round.recovered.delivery_rate(), 4),
+                    fmt_f64(round.recovered_max_stretch, 3),
+                ]);
+            }
+        }
+        t
+    }
+
     /// JSON rendering for snapshots and CI artifacts.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -812,6 +908,60 @@ impl ScenarioReport {
                 json_f64(r.run_secs),
                 json_f64(r.messages_per_sec),
                 if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"resilience\": [\n");
+        for (i, r) in self.resilience.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "    {{\"graph\": \"{}\", \"workload_spec\": \"{}\", ",
+                    "\"scheme\": \"{}\", \"churn\": \"{}\", \"halted\": {}, ",
+                    "\"rounds\": [\n"
+                ),
+                json_escape(&r.graph_label),
+                json_escape(&r.workload_spec),
+                json_escape(&r.scheme_spec),
+                json_escape(&r.churn_spec),
+                r.halted
+                    .as_ref()
+                    .map_or("null".to_string(), |h| format!("\"{}\"", json_escape(h))),
+            ));
+            for (j, round) in r.rounds.iter().enumerate() {
+                out.push_str(&format!(
+                    concat!(
+                        "      {{\"round\": {}, \"dead_links\": {}, ",
+                        "\"degraded_delivery\": {}, \"degraded_delivered\": {}, ",
+                        "\"degraded_link_down\": {}, \"degraded_hop_limit\": {}, ",
+                        "\"degraded_wrong_delivery\": {}, \"degraded_max_stretch\": {}, ",
+                        "\"repair_full_rebuild\": {}, \"repair_vertices_touched\": {}, ",
+                        "\"repair_landmarks_rebuilt\": {}, \"repair_secs\": {}, ",
+                        "\"recovered_delivery\": {}, \"recovered_max_stretch\": {}}}{}\n"
+                    ),
+                    round.round,
+                    round.dead_links,
+                    json_f64(round.degraded.delivery_rate()),
+                    round.degraded.delivered,
+                    round.degraded.link_down,
+                    round.degraded.hop_limit,
+                    round.degraded.wrong_delivery,
+                    json_f64(round.degraded_max_stretch),
+                    round.repair.full_rebuild,
+                    round.repair.vertices_touched,
+                    round.repair.landmarks_rebuilt,
+                    json_f64(round.repair.seconds),
+                    json_f64(round.recovered.delivery_rate()),
+                    json_f64(round.recovered_max_stretch),
+                    if j + 1 == r.rounds.len() { "" } else { "," }
+                ));
+            }
+            out.push_str(&format!(
+                "    ]}}{}\n",
+                if i + 1 == self.resilience.len() {
+                    ""
+                } else {
+                    ","
+                }
             ));
         }
         out.push_str("  ],\n");
@@ -1021,6 +1171,7 @@ mod tests {
                     SchemeSpec::Ecube, // does not apply: becomes a skip note
                 ],
                 block_rows: 8,
+                churn: None,
             }],
         };
         let rep = run_scenario(&scenario, 2);
@@ -1093,6 +1244,7 @@ mod tests {
                 },
                 schemes: ks.iter().map(|&k| landmark_with_k(k)).collect(),
                 block_rows: 8,
+                churn: None,
             }],
         };
         let rep = run_scenario(&scenario, 2);
@@ -1139,6 +1291,7 @@ mod tests {
                 workload: WorkloadSpec::Broadcast { roots: vec![0, 99] },
                 schemes: vec![SchemeSpec::default_for(SchemeKind::SpanningTree)],
                 block_rows: 0,
+                churn: None,
             }],
         };
         let rep = run_scenario(&scenario, 1);
@@ -1158,6 +1311,7 @@ mod tests {
                 workload: WorkloadSpec::AllPairs,
                 schemes: vec![SchemeSpec::default_for(SchemeKind::SpanningTree)],
                 block_rows: 0,
+                churn: None,
             }],
         };
         let rep = run_scenario(&scenario, 1);
@@ -1185,6 +1339,7 @@ mod tests {
                 },
                 schemes: vec![SchemeSpec::parse("interval?k=1").unwrap()],
                 block_rows: 8,
+                churn: None,
             }],
         };
         let rep = run_scenario(&scenario, 1);
@@ -1212,6 +1367,7 @@ mod tests {
                 workload: WorkloadSpec::ConstrainedProbes,
                 schemes: vec![SchemeSpec::default_for(SchemeKind::Table)],
                 block_rows: 4,
+                churn: None,
             }],
         };
         let built = GraphSpec::Theorem1 {

@@ -8,7 +8,7 @@
 use graphkit::Xoshiro256;
 use trafficlab::{
     find_scenario, landmark_strict, landmark_with_k, named_scenarios, run_scenario, Case,
-    GraphSpec, Scenario, ScenarioSpec, WorkloadSpec, LANDMARK_SWEEP_KS,
+    ChurnSpec, GraphSpec, Scenario, ScenarioSpec, WorkloadSpec, LANDMARK_SWEEP_KS,
 };
 
 use routeschemes::{SchemeKind, SchemeSpec};
@@ -92,8 +92,18 @@ fn fuzz_scheme_spec(rng: &mut Xoshiro256) -> SchemeSpec {
     }
 }
 
-/// `parse ∘ spec_string = id` under seeded fuzzing, for the graph and
-/// workload codecs (the scheme codec has its own fuzz in
+fn fuzz_churn_spec(rng: &mut Xoshiro256) -> ChurnSpec {
+    ChurnSpec {
+        // Percent-grid kills exercise float formatting while staying inside
+        // the codec's open (0, 1) validity interval.
+        kill: (1 + rng.gen_range(99)) as f64 / 100.0,
+        rounds: 1 + rng.gen_range(8),
+        seed: rng.gen_range(1 << 30) as u64,
+    }
+}
+
+/// `parse ∘ spec_string = id` under seeded fuzzing, for the graph,
+/// workload and churn codecs (the scheme codec has its own fuzz in
 /// `tests/scheme_spec.rs`).
 #[test]
 fn random_graph_and_workload_specs_round_trip() {
@@ -110,6 +120,12 @@ fn random_graph_and_workload_specs_round_trip() {
         let reparsed = WorkloadSpec::parse(&rendered)
             .unwrap_or_else(|e| panic!("'{rendered}' failed to reparse: {e}"));
         assert_eq!(reparsed, w, "workload round trip of '{rendered}'");
+
+        let c = fuzz_churn_spec(&mut rng);
+        let rendered = c.spec_string();
+        let reparsed = ChurnSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("'{rendered}' failed to reparse: {e}"));
+        assert_eq!(reparsed, c, "churn round trip of '{rendered}'");
     }
 }
 
@@ -152,6 +168,10 @@ fn random_scenario_specs_round_trip_through_toml() {
                         .map(|_| fuzz_scheme_spec(&mut rng))
                         .collect(),
                     block_rows: [0, 0, 1, 8, 64][rng.gen_range(5)],
+                    churn: match rng.gen_range(3) {
+                        0 => Some(fuzz_churn_spec(&mut rng)),
+                        _ => None,
+                    },
                 }
             })
             .collect();
@@ -196,6 +216,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     },
                     schemes: universal.clone(),
                     block_rows: 0,
+                    churn: None,
                 },
                 Case {
                     graph: GraphSpec::Hypercube { dim: 10 },
@@ -205,6 +226,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     },
                     schemes: vec![d(SchemeKind::Ecube), d(SchemeKind::SpanningTree)],
                     block_rows: 0,
+                    churn: None,
                 },
                 Case {
                     graph: GraphSpec::Grid { rows: 32, cols: 32 },
@@ -214,6 +236,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     },
                     schemes: vec![d(SchemeKind::DimensionOrder), d(SchemeKind::SpanningTree)],
                     block_rows: 0,
+                    churn: None,
                 },
                 Case {
                     graph: GraphSpec::CompleteModular { n: 256 },
@@ -223,6 +246,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     },
                     schemes: vec![d(SchemeKind::ModularComplete), d(SchemeKind::Table)],
                     block_rows: 0,
+                    churn: None,
                 },
             ],
         },
@@ -241,6 +265,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                 },
                 schemes: vec![d(SchemeKind::SpanningTree)],
                 block_rows: 0,
+                churn: None,
             }],
         },
         Scenario {
@@ -259,6 +284,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                 },
                 schemes: vec![d(SchemeKind::SpanningTree)],
                 block_rows: 1,
+                churn: None,
             }],
         },
         Scenario {
@@ -281,6 +307,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     d(SchemeKind::SpanningTree),
                 ],
                 block_rows: 1,
+                churn: None,
             }],
         },
         Scenario {
@@ -302,6 +329,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     .map(|&k| landmark_with_k(k))
                     .collect(),
                 block_rows: 0,
+                churn: None,
             }],
         },
         Scenario {
@@ -321,6 +349,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     },
                     schemes: universal.clone(),
                     block_rows: 0,
+                    churn: None,
                 },
                 Case {
                     graph: GraphSpec::RandomConnected {
@@ -334,6 +363,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     },
                     schemes: universal,
                     block_rows: 0,
+                    churn: None,
                 },
             ],
         },
@@ -347,6 +377,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                 },
                 schemes: vec![d(SchemeKind::SpanningTree)],
                 block_rows: 1,
+                churn: None,
             }],
         },
         Scenario {
@@ -360,6 +391,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                 },
                 schemes: vec![d(SchemeKind::Ecube), d(SchemeKind::Table)],
                 block_rows: 0,
+                churn: None,
             }],
         },
         Scenario {
@@ -380,6 +412,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                         landmark_strict(),
                     ],
                     block_rows: 0,
+                    churn: None,
                 },
                 Case {
                     graph: GraphSpec::Theorem1 {
@@ -394,6 +427,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                         d(SchemeKind::SpanningTree),
                     ],
                     block_rows: 8,
+                    churn: None,
                 },
             ],
         },
@@ -447,6 +481,7 @@ fn toml_loaded_scenario_reports_match_in_code_definitions() {
                     SchemeSpec::default_for(SchemeKind::SpanningTree),
                 ],
                 block_rows: 8,
+                churn: None,
             },
             Case {
                 graph: GraphSpec::Grid { rows: 4, cols: 6 },
@@ -459,6 +494,7 @@ fn toml_loaded_scenario_reports_match_in_code_definitions() {
                     SchemeSpec::default_for(SchemeKind::SpanningTree),
                 ],
                 block_rows: 4,
+                churn: None,
             },
         ],
     };
