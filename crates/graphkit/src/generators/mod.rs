@@ -21,6 +21,8 @@ mod trees;
 pub use basic::{barbell, complete, complete_bipartite, cycle, path, star, wheel};
 pub use classes::{chordal_ktree, maximal_outerplanar, unit_circular_arc, unit_interval};
 pub use product::{grid, hypercube, torus};
-pub use random::{gnp, random_connected, random_regular_like};
+pub use random::{
+    barabasi_albert, gnp, powerlaw_configuration, random_connected, random_regular_like,
+};
 pub use special::{generalized_petersen, petersen};
 pub use trees::{balanced_tree, caterpillar, random_tree, spider};

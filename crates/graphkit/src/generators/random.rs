@@ -99,6 +99,100 @@ pub fn random_regular_like(n: usize, d: usize, seed: u64) -> Graph {
     b.build()
 }
 
+/// A Barabási–Albert preferential-attachment graph: vertices arrive one at a
+/// time, each linking to `m` **distinct** earlier vertices chosen with
+/// probability proportional to their current degree (implemented by sampling
+/// the running edge-endpoint list, where a vertex appears once per incident
+/// edge).  The seed of the process is a clique on `m + 1` vertices, so every
+/// arrival can always find `m` distinct targets and the graph is connected by
+/// construction — no patching step.
+///
+/// Degrees follow the scale-free `deg^-3` tail the model is known for: the
+/// hub-and-spoke workload that stresses landmark cluster sizes and congests
+/// the high-degree core.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    assert!(m >= 1 && m < n, "attachment count must satisfy 1 <= m < n");
+    let mut rng = Xoshiro256::new(seed);
+    let mut b = GraphBuilder::new(n);
+    // One entry per edge endpoint: sampling it uniformly IS degree-biased.
+    let mut endpoints: Vec<usize> = Vec::new();
+    let seed_verts = m + 1;
+    for u in 0..seed_verts {
+        for v in (u + 1)..seed_verts {
+            b.edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut targets: Vec<usize> = Vec::with_capacity(m);
+    for v in seed_verts..n {
+        targets.clear();
+        // Rejection keeps the m targets distinct without reweighting: a
+        // duplicate draw is simply redrawn from the same distribution.
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// A power-law graph via the configuration model: vertex `v` (0-indexed by
+/// rank) asks for `⌊(n / (v + 1))^{1 / (exponent - 1)}⌋` edge stubs — the
+/// rank-based recipe whose degree distribution has a `deg^-exponent` tail —
+/// capped at `⌈√n⌉` (so the pairing stays simple-graph friendly) and floored
+/// at 1.  The stub list is shuffled and paired; self-loops and duplicate
+/// pairs are dropped, and the result is patched to be connected like
+/// [`random_connected`].
+///
+/// `exponent` must exceed `2` for the degree sum to stay near-linear;
+/// `2 < exponent ≤ 3` is the heavy-tailed "internet-like" regime.
+pub fn powerlaw_configuration(n: usize, exponent: f64, seed: u64) -> Graph {
+    assert!(n >= 2);
+    assert!(exponent > 2.0, "exponent must exceed 2");
+    let mut rng = Xoshiro256::new(seed);
+    let cap = ((n as f64).sqrt().ceil() as usize).max(1);
+    let mut stubs: Vec<usize> = Vec::new();
+    for v in 0..n {
+        let want = (n as f64 / (v + 1) as f64).powf(1.0 / (exponent - 1.0));
+        let d = (want.floor() as usize).clamp(1, cap);
+        stubs.extend(std::iter::repeat_n(v, d));
+    }
+    rng.shuffle(&mut stubs);
+    let mut b = GraphBuilder::new(n);
+    for pair in stubs.chunks_exact(2) {
+        b.edge(pair[0], pair[1]); // self-loops and repeats silently dropped
+    }
+    // Patch connectivity exactly like `random_connected`: link a
+    // representative of every stranded component to a *random* anchor in the
+    // first one, so the patch edges spread instead of minting an artificial
+    // hub on top of the heavy tail.
+    let g = b.build();
+    let (comp, count) = connected_components(&g);
+    if count <= 1 {
+        return g;
+    }
+    let mut reps = vec![usize::MAX; count];
+    for v in 0..n {
+        if reps[comp[v]] == usize::MAX {
+            reps[comp[v]] = v;
+        }
+    }
+    let members0: Vec<usize> = (0..n).filter(|&v| comp[v] == 0).collect();
+    for &rep in &reps[1..] {
+        b.edge(*rng.choose(&members0), rep);
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +264,64 @@ mod tests {
         assert!(is_connected(&g));
         let g = random_regular_like(5, 2, 4);
         assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected_and_scale_free_ish() {
+        let n = 400;
+        let m = 3;
+        let g = barabasi_albert(n, m, 9);
+        assert!(is_connected(&g));
+        assert!(g.validate().is_ok());
+        // Every arrival adds exactly m edges on top of the seed clique.
+        assert_eq!(g.num_edges(), m * (m + 1) / 2 + (n - m - 1) * m);
+        // Preferential attachment grows hubs: the max degree must clearly
+        // exceed what a degree-uniform process would concentrate at.
+        assert!(g.max_degree() > 4 * m, "max degree {}", g.max_degree());
+        // Late arrivals keep their attachment degree.
+        assert!((0..n).all(|v| g.degree(v) >= m));
+    }
+
+    #[test]
+    fn barabasi_albert_extremes_and_determinism() {
+        // n == m + 1 is exactly the seed clique.
+        let g = barabasi_albert(5, 4, 1);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(barabasi_albert(120, 2, 7), barabasi_albert(120, 2, 7));
+        assert_ne!(barabasi_albert(120, 2, 7), barabasi_albert(120, 2, 8));
+    }
+
+    #[test]
+    fn powerlaw_configuration_is_connected_and_heavy_tailed() {
+        let n = 600;
+        let g = powerlaw_configuration(n, 2.5, 3);
+        assert!(is_connected(&g));
+        assert!(g.validate().is_ok());
+        // The rank-1 vertex asks for ~n^{1/(γ-1)} stubs, capped at √n —
+        // either way far above the median vertex's single stub.
+        assert!(g.max_degree() >= 8, "max degree {}", g.max_degree());
+        // Most of the tail sits at tiny degree: the median must stay small.
+        let mut degs: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+        degs.sort_unstable();
+        assert!(degs[n / 2] <= 3, "median degree {}", degs[n / 2]);
+        // Stub cap keeps the pairing simple-graph friendly; connectivity
+        // patching may add a few spread-out edges on top.
+        assert!(g.max_degree() <= (n as f64).sqrt().ceil() as usize + 8);
+    }
+
+    #[test]
+    fn powerlaw_configuration_determinism_and_small_cases() {
+        assert_eq!(
+            powerlaw_configuration(200, 2.2, 5),
+            powerlaw_configuration(200, 2.2, 5)
+        );
+        assert_ne!(
+            powerlaw_configuration(200, 2.2, 5),
+            powerlaw_configuration(200, 2.2, 6)
+        );
+        for seed in 0..4u64 {
+            let g = powerlaw_configuration(16, 3.0, seed);
+            assert!(is_connected(&g), "seed {seed}");
+        }
     }
 }

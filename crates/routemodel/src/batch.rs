@@ -1,0 +1,426 @@
+//! Lock-step batch routing: one source, many messages, zero allocations.
+//!
+//! [`route_batch_into`] advances a whole batch of messages one hop per round
+//! instead of walking each message to completion.  Per round, every live
+//! message performs one port decision and one header rewrite; messages that
+//! deliver, drop on a dead link or exhaust the hop budget retire from the
+//! active set.  Two things make this faster than the per-message loop of
+//! [`crate::simulate::route_with_limit_into`] without changing a single
+//! observable:
+//!
+//! * **No per-hop header clone.**  The per-message loop rebuilds the header
+//!   at every hop (`h' = H(x, h)` materialized as a fresh [`Header`], one
+//!   `Vec` allocation per hop for payload-carrying schemes).  The batch keeps
+//!   one header slot per message in the [`BatchScratch`] and rewrites it via
+//!   [`RoutingFunction::next_header_into`] — a no-op for every
+//!   identity-header scheme — so a hop allocates nothing.
+//! * **Sorted batch plans.**  Messages are processed in destination order
+//!   within each round, so table rows, interval lists and cluster-CSR ranges
+//!   are walked with ascending keys — sequential, cache-friendly accesses
+//!   where the per-message loop jumped around.  Reordering is safe because
+//!   all side effects are deferred (below).
+//!
+//! **Bit-identity contract.**  The callbacks observe exactly what the
+//! per-message path would have produced, in the same order:
+//!
+//! * `on_route(dest, hops, outcome)` fires once per non-self message, in the
+//!   original `dests` order — so order-sensitive folds (the engine's f64
+//!   stretch accumulation) see the per-message sequence.
+//! * `on_hop(node, port)` fires once per hop of every **delivered** message
+//!   (the per-message engine only records congestion for deliveries); hop
+//!   counter increments commute, so replay order does not matter.
+//! * A model violation ([`RoutingError::PortOutOfRange`]) aborts the batch
+//!   with the error of the *earliest* offending message, and the callbacks
+//!   fire only for messages strictly before it — the exact partial-effect
+//!   semantics of [`crate::simulate::route_block_into`].
+
+use crate::error::RoutingError;
+use crate::function::{Action, RoutingFunction};
+use crate::header::Header;
+use crate::simulate::DeliveryOutcome;
+use graphkit::{GraphView, NodeId, Port};
+
+/// Reusable per-worker scratch of [`route_batch_into`]: header slots, message
+/// cursors and the deferred hop log.  One instance per worker thread; after
+/// the first few batches every buffer has warmed up and a batch performs zero
+/// allocations regardless of its size.
+#[derive(Default)]
+pub struct BatchScratch {
+    /// One header slot per message; payload capacity is recycled.
+    headers: Vec<Header>,
+    /// Current vertex of each message.
+    node: Vec<u32>,
+    /// Hops walked so far by each message.
+    hops: Vec<u32>,
+    /// Final fate of each message (`None` for skipped self-messages).
+    fate: Vec<Option<Result<DeliveryOutcome, RoutingError>>>,
+    /// Indices of still-walking messages, in processing (destination) order.
+    active: Vec<u32>,
+    /// Deferred `(message, node, port)` hop records for the `on_hop` replay.
+    hop_log: Vec<(u32, u32, u32)>,
+}
+
+impl BatchScratch {
+    /// A fresh scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Heap bytes currently held (for peak-memory accounting).
+    pub fn bytes(&self) -> u64 {
+        let headers: usize = self
+            .headers
+            .iter()
+            .map(|h| std::mem::size_of::<Header>() + h.data.capacity() * 8)
+            .sum();
+        (headers
+            + self.node.capacity() * 4
+            + self.hops.capacity() * 4
+            + self.fate.capacity()
+                * std::mem::size_of::<Option<Result<DeliveryOutcome, RoutingError>>>()
+            + self.active.capacity() * 4
+            + self.hop_log.capacity() * 12) as u64
+    }
+}
+
+/// Routes one source to a batch of destinations in lock-step.  Drop-in
+/// replacement for [`crate::simulate::route_block_into`] with the route trace
+/// replaced by the `(hops, on_hop)` pair; see the module docs for the
+/// bit-identity contract.
+///
+/// `track_hops` controls whether per-hop records are kept for the `on_hop`
+/// replay — pass `false` when congestion is not being tracked and the hop log
+/// is dead weight.
+#[allow(clippy::too_many_arguments)]
+pub fn route_batch_into<'a, R: RoutingFunction + ?Sized>(
+    g: impl Into<GraphView<'a>>,
+    r: &R,
+    source: NodeId,
+    dests: &[u32],
+    hop_limit: usize,
+    scratch: &mut BatchScratch,
+    track_hops: bool,
+    mut on_route: impl FnMut(NodeId, u32, DeliveryOutcome),
+    mut on_hop: impl FnMut(NodeId, Port),
+) -> Result<(), RoutingError> {
+    let g = g.into();
+    let b = dests.len();
+    let BatchScratch {
+        headers,
+        node,
+        hops,
+        fate,
+        active,
+        hop_log,
+    } = scratch;
+    if headers.len() < b {
+        headers.resize_with(b, || Header::to_dest(0));
+    }
+    node.clear();
+    node.resize(b, 0);
+    hops.clear();
+    hops.resize(b, 0);
+    fate.clear();
+    fate.resize(b, None);
+    active.clear();
+    hop_log.clear();
+
+    // Launch: encode every non-self message's header in place.
+    for (i, &t) in dests.iter().enumerate() {
+        let t = t as usize;
+        if t == source {
+            continue;
+        }
+        node[i] = source as u32;
+        r.init_into(source, t, &mut headers[i]);
+        active.push(i as u32);
+    }
+    // Destination-sorted processing order: side effects are deferred, so
+    // only the memory access pattern changes, not any observable.
+    active.sort_unstable_by_key(|&i| dests[i as usize]);
+
+    // Lock-step rounds: every live message takes one hop, retirees drop out.
+    while !active.is_empty() {
+        active.retain(|&iu| {
+            let i = iu as usize;
+            let u = node[i] as usize;
+            match r.port(u, &headers[i]) {
+                Action::Deliver => {
+                    fate[i] = Some(Ok(if u == dests[i] as usize {
+                        DeliveryOutcome::Delivered
+                    } else {
+                        DeliveryOutcome::WrongDelivery { delivered_at: u }
+                    }));
+                    false
+                }
+                Action::Forward(p) => {
+                    let deg = g.degree(u);
+                    if p >= deg {
+                        fate[i] = Some(Err(RoutingError::PortOutOfRange {
+                            node: u,
+                            port: p,
+                            degree: deg,
+                        }));
+                        return false;
+                    }
+                    let Some(next) = g.live_target(u, p) else {
+                        fate[i] = Some(Ok(DeliveryOutcome::LinkDown { at: u, port: p }));
+                        return false;
+                    };
+                    r.next_header_into(u, &mut headers[i]);
+                    node[i] = next as u32;
+                    hops[i] += 1;
+                    if track_hops {
+                        hop_log.push((iu, u as u32, p as u32));
+                    }
+                    if hops[i] as usize > hop_limit {
+                        fate[i] = Some(Ok(DeliveryOutcome::HopLimit {
+                            hops: hops[i] as usize,
+                        }));
+                        false
+                    } else {
+                        true
+                    }
+                }
+            }
+        });
+    }
+
+    // The per-message path attempts destinations in order and aborts at the
+    // first model violation, with earlier messages' effects already applied:
+    // sink exactly the prefix before the earliest error.
+    let mut stop = b;
+    let mut abort: Option<RoutingError> = None;
+    for i in 0..b {
+        if dests[i] as usize == source {
+            continue;
+        }
+        match fate[i].as_ref().expect("every launched message resolves") {
+            Err(e) => {
+                stop = i;
+                abort = Some(e.clone());
+                break;
+            }
+            Ok(outcome) => on_route(dests[i] as usize, hops[i], *outcome),
+        }
+    }
+    if track_hops {
+        for &(iu, u, p) in hop_log.iter() {
+            let i = iu as usize;
+            if i < stop && matches!(fate[i], Some(Ok(DeliveryOutcome::Delivered))) {
+                on_hop(u as usize, p as usize);
+            }
+        }
+    }
+    match abort {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::dest_address_routing;
+    use crate::simulate::{default_hop_limit, route_block_into, RouteTrace};
+    use graphkit::{generators, FailureSet, Graph};
+
+    /// `on_route` events in order plus the sorted multiset of `on_hop` events.
+    type RunRecord = (Vec<(usize, u32, DeliveryOutcome)>, Vec<(usize, usize)>);
+
+    fn clockwise_on_cycle(n: usize) -> (Graph, impl RoutingFunction) {
+        let g = generators::cycle(n);
+        let g2 = g.clone();
+        let r = dest_address_routing("clockwise", move |node, h: &Header| {
+            if node == h.dest {
+                Action::Deliver
+            } else {
+                Action::Forward(g2.port_to(node, (node + 1) % n).unwrap())
+            }
+        });
+        (g, r)
+    }
+
+    /// The observable record of one run: `on_route` events in order plus the
+    /// sorted multiset of `on_hop` events.
+    fn run_block(
+        g: GraphView,
+        r: &dyn RoutingFunction,
+        source: usize,
+        dests: &[u32],
+        limit: usize,
+    ) -> RunRecord {
+        let mut routes = Vec::new();
+        let mut hops = Vec::new();
+        let mut buf = RouteTrace::new();
+        route_block_into(g, r, source, dests, limit, &mut buf, |t, tr, outcome| {
+            routes.push((t, tr.len() as u32, outcome));
+            if outcome.is_delivered() {
+                for (i, &p) in tr.ports.iter().enumerate() {
+                    hops.push((tr.path[i], p));
+                }
+            }
+        })
+        .unwrap();
+        hops.sort_unstable();
+        (routes, hops)
+    }
+
+    fn run_batch(
+        g: GraphView,
+        r: &dyn RoutingFunction,
+        source: usize,
+        dests: &[u32],
+        limit: usize,
+    ) -> RunRecord {
+        let mut routes = Vec::new();
+        let mut hops = Vec::new();
+        let mut scratch = BatchScratch::new();
+        route_batch_into(
+            g,
+            r,
+            source,
+            dests,
+            limit,
+            &mut scratch,
+            true,
+            |t, h, outcome| routes.push((t, h, outcome)),
+            |u, p| hops.push((u, p)),
+        )
+        .unwrap();
+        hops.sort_unstable();
+        (routes, hops)
+    }
+
+    #[test]
+    fn batch_matches_block_on_the_cycle() {
+        let (g, r) = clockwise_on_cycle(9);
+        let limit = default_hop_limit(9);
+        let dests: Vec<u32> = vec![3, 0, 5, 8, 1, 5, 5, 2]; // dups + the source
+        let view = GraphView::full(&g);
+        assert_eq!(
+            run_block(view, &r, 5, &dests, limit),
+            run_batch(view, &r, 5, &dests, limit)
+        );
+    }
+
+    #[test]
+    fn batch_matches_block_under_failures() {
+        let (g, r) = clockwise_on_cycle(12);
+        let limit = default_hop_limit(12);
+        let f = FailureSet::from_edges(&g, &[(3, 4), (9, 10)]);
+        let view = GraphView::masked(&g, &f);
+        let dests: Vec<u32> = (0..12).collect();
+        for s in 0..12usize {
+            assert_eq!(
+                run_block(view, &r, s, &dests, limit),
+                run_batch(view, &r, s, &dests, limit),
+                "source {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn hop_limit_fires_at_the_same_hop_count() {
+        let g = generators::cycle(6);
+        let r = dest_address_routing("loopy", |_node, _h: &Header| Action::Forward(0));
+        let view = GraphView::full(&g);
+        for limit in [1usize, 2, 7, 24] {
+            assert_eq!(
+                run_block(view, &r, 0, &[1, 2, 3], limit),
+                run_batch(view, &r, 0, &[1, 2, 3], limit),
+                "limit {limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_violation_aborts_with_the_earliest_message_and_a_prefix_of_effects() {
+        // Port 5 does not exist at vertex 0: destination index 1 errors.
+        // Destination index 0 (= 1, one hop) must still be reported, index 2
+        // must not, and the returned error must be index 1's.
+        let g = generators::path(3);
+        let g2 = g.clone();
+        let r = dest_address_routing("bad-at-2", move |node, h: &Header| {
+            if node == h.dest {
+                Action::Deliver
+            } else if h.dest == 2 {
+                Action::Forward(5)
+            } else {
+                Action::Forward(g2.port_to(node, node + 1).unwrap())
+            }
+        });
+        let mut scratch = BatchScratch::new();
+        let mut routes = Vec::new();
+        let mut hop_calls = 0usize;
+        let err = route_batch_into(
+            &g,
+            &r,
+            0,
+            &[1, 2, 1],
+            default_hop_limit(3),
+            &mut scratch,
+            true,
+            |t, h, o| routes.push((t, h, o)),
+            |_, _| hop_calls += 1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RoutingError::PortOutOfRange { port: 5, .. }));
+        assert_eq!(routes, vec![(1, 1, DeliveryOutcome::Delivered)]);
+        assert_eq!(hop_calls, 1, "only the pre-error delivery replays hops");
+    }
+
+    #[test]
+    fn in_place_header_defaults_agree_with_the_allocating_pair() {
+        struct Rewriter;
+        impl RoutingFunction for Rewriter {
+            fn init(&self, source: NodeId, dest: NodeId) -> Header {
+                Header::with_data(dest, vec![source as u64])
+            }
+            fn port(&self, node: NodeId, h: &Header) -> Action {
+                if node == h.dest {
+                    Action::Deliver
+                } else {
+                    Action::Forward(0)
+                }
+            }
+            fn next_header(&self, node: NodeId, h: &Header) -> Header {
+                let mut data = h.data.clone();
+                data.push(node as u64);
+                Header::with_data(h.dest, data)
+            }
+        }
+        let r = Rewriter;
+        let mut h = Header::to_dest(99);
+        r.init_into(3, 7, &mut h);
+        assert_eq!(h, r.init(3, 7));
+        let expected = r.next_header(4, &h);
+        r.next_header_into(4, &mut h);
+        assert_eq!(h, expected);
+    }
+
+    #[test]
+    fn empty_and_all_self_batches_are_no_ops() {
+        let (g, r) = clockwise_on_cycle(5);
+        let mut scratch = BatchScratch::new();
+        let count_calls = |dests: &[u32], scratch: &mut BatchScratch| {
+            let mut calls = 0usize;
+            route_batch_into(
+                &g,
+                &r,
+                2,
+                dests,
+                default_hop_limit(5),
+                scratch,
+                true,
+                |_, _, _| calls += 1,
+                |_, _| {},
+            )
+            .unwrap();
+            calls
+        };
+        assert_eq!(count_calls(&[], &mut scratch), 0);
+        assert_eq!(count_calls(&[2, 2, 2], &mut scratch), 0);
+        assert!(scratch.bytes() > 0);
+    }
+}

@@ -42,6 +42,25 @@ pub trait RoutingFunction: std::any::Any {
         header.clone()
     }
 
+    /// In-place variant of [`RoutingFunction::init`]: writes `I(u, v)` into a
+    /// caller-owned header whose payload capacity is reused across messages.
+    /// The default delegates to `init`; schemes override it to make header
+    /// encoding allocation-free in batched sweeps.  Overrides must produce a
+    /// header equal to `init(source, dest)`.
+    fn init_into(&self, source: NodeId, dest: NodeId, header: &mut Header) {
+        *header = self.init(source, dest);
+    }
+
+    /// In-place variant of [`RoutingFunction::next_header`]: rewrites the
+    /// header the message carries instead of returning a fresh one.  The
+    /// default delegates to `next_header` (one clone); identity-header
+    /// schemes override it with a no-op so a hop costs zero allocations.
+    /// Overrides must leave the header equal to `next_header(node, &h)`.
+    fn next_header_into(&self, node: NodeId, header: &mut Header) {
+        let next = self.next_header(node, header);
+        *header = next;
+    }
+
     /// Human-readable name of the scheme, used in reports.
     fn name(&self) -> &str {
         "unnamed routing function"

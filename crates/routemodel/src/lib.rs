@@ -17,7 +17,9 @@
 //!   routing path (or a routing error: loop, wrong delivery, dead end);
 //!   [`simulate::route_block_into`] is the batched, allocation-free variant
 //!   that drives one source to many destinations (the entry point of the
-//!   `trafficlab` sharded workload engine);
+//!   `trafficlab` sharded workload engine), and [`batch::route_batch_into`]
+//!   the lock-step batch kernel that retires the per-hop header clone while
+//!   staying bit-identical to the per-message path;
 //! * [`stretch`] computes the **stretch factor**
 //!   `s(R, G) = max_{x≠y} d_R(x, y) / d_G(x, y)` — dense sweeps here, and a
 //!   public [`StretchAccumulator`] so block-streamed engines can reproduce
@@ -36,6 +38,7 @@
 //! * [`labeling`] produces the "good" and "adversarial" port labelings whose
 //!   contrast on the complete graph motivates the whole problem.
 
+pub mod batch;
 pub mod coding;
 pub mod error;
 pub mod function;
@@ -46,6 +49,7 @@ pub mod simulate;
 pub mod stretch;
 pub mod table;
 
+pub use batch::{route_batch_into, BatchScratch};
 pub use error::RoutingError;
 pub use function::{Action, RoutingFunction};
 pub use header::Header;

@@ -48,6 +48,14 @@ impl RoutingFunction for ModularCompleteRouting {
         Action::Forward(p)
     }
 
+    fn init_into(&self, _source: usize, dest: usize, header: &mut Header) {
+        header.dest = dest;
+        header.data.clear();
+    }
+
+    // Identity header: a hop rewrites nothing.
+    fn next_header_into(&self, _node: usize, _header: &mut Header) {}
+
     fn name(&self) -> &str {
         &self.name
     }

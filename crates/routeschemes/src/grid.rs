@@ -16,11 +16,14 @@ use routemodel::{Action, Header, MemoryReport, RoutingFunction};
 /// has index `r·cols + c` (the labeling of [`graphkit::generators::grid`]).
 #[derive(Debug, Clone)]
 pub struct DimensionOrderRouting {
-    cols: usize,
+    /// `(row, col)` of every vertex, resolved once so the per-hop decision
+    /// is table lookups instead of two integer divisions by a runtime
+    /// divisor — the dominant cost on the serving path.
+    coords: Vec<[u32; 2]>,
     /// Ports toward (east, west, south, north) neighbours for every vertex,
     /// resolved once from the graph so the routing function itself is pure
     /// arithmetic.  Conceptually each router derives these from its
-    /// coordinates; they are not charged as table memory.
+    /// coordinates; they are not charged as table memory (nor is `coords`).
     ports: Vec<[Option<usize>; 4]>,
     name: String,
 }
@@ -53,15 +56,20 @@ impl DimensionOrderRouting {
                 }
             }
         }
+        let coords = (0..g.num_nodes())
+            .map(|v| [(v / cols) as u32, (v % cols) as u32])
+            .collect();
         DimensionOrderRouting {
-            cols,
+            coords,
             ports,
             name: "dimension-order(XY)".to_string(),
         }
     }
 
+    #[inline]
     fn coords(&self, v: NodeId) -> (usize, usize) {
-        (v / self.cols, v % self.cols)
+        let [r, c] = self.coords[v];
+        (r as usize, c as usize)
     }
 }
 
@@ -91,6 +99,14 @@ impl RoutingFunction for DimensionOrderRouting {
             None => Action::Deliver, // impossible on well-formed grids
         }
     }
+
+    fn init_into(&self, _source: NodeId, dest: NodeId, header: &mut Header) {
+        header.dest = dest;
+        header.data.clear();
+    }
+
+    // Identity header: a hop rewrites nothing.
+    fn next_header_into(&self, _node: NodeId, _header: &mut Header) {}
 
     fn name(&self) -> &str {
         &self.name

@@ -47,6 +47,14 @@ impl RoutingFunction for EcubeRouting {
         Action::Forward(diff.trailing_zeros() as usize)
     }
 
+    fn init_into(&self, _source: NodeId, dest: NodeId, header: &mut Header) {
+        header.dest = dest;
+        header.data.clear();
+    }
+
+    // Identity header: a hop rewrites nothing.
+    fn next_header_into(&self, _node: NodeId, _header: &mut Header) {}
+
     fn name(&self) -> &str {
         &self.name
     }

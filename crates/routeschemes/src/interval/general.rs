@@ -133,6 +133,14 @@ impl RoutingFunction for KIntervalRouting {
         self.table.port(node, header)
     }
 
+    fn init_into(&self, source: NodeId, dest: NodeId, header: &mut Header) {
+        self.table.init_into(source, dest, header)
+    }
+
+    fn next_header_into(&self, node: NodeId, header: &mut Header) {
+        self.table.next_header_into(node, header)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -273,6 +273,15 @@ impl RoutingFunction for TreeIntervalRouting {
         }
     }
 
+    fn init_into(&self, _source: NodeId, dest: NodeId, header: &mut Header) {
+        header.dest = dest;
+        header.data.clear();
+        header.data.push(self.label[dest] as u64);
+    }
+
+    // The DFS label rides unchanged for the whole route.
+    fn next_header_into(&self, _node: NodeId, _header: &mut Header) {}
+
     fn name(&self) -> &str {
         &self.name
     }

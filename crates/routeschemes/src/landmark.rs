@@ -1319,6 +1319,15 @@ impl RoutingFunction for LandmarkRouting {
         Action::Forward(p as Port)
     }
 
+    fn init_into(&self, _source: NodeId, dest: NodeId, header: &mut Header) {
+        header.dest = dest;
+        header.data.clear();
+        header.data.push(self.home[dest] as u64);
+    }
+
+    // The home landmark rides unchanged for the whole route.
+    fn next_header_into(&self, _node: NodeId, _header: &mut Header) {}
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -37,7 +37,7 @@ use routeschemes::spec::{vocabulary, SchemeSpec};
 use std::process::ExitCode;
 use trafficlab::{
     find_scenario, named_scenarios, run_scenario, suggest_scenarios, ChurnSpec, GraphSpec,
-    Scenario, ScenarioSpec, WorkloadSpec,
+    Scenario, ScenarioSpec, StretchMode, WorkloadSpec,
 };
 
 fn usage() {
@@ -195,6 +195,7 @@ fn main() -> ExitCode {
             println!("{}", GraphSpec::vocabulary());
             println!("{}", WorkloadSpec::vocabulary());
             println!("{}", ChurnSpec::vocabulary());
+            println!("{}", StretchMode::vocabulary());
             ExitCode::SUCCESS
         }
         ["run", name] => run_named(name, threads, json_path, schemes_override, views),

@@ -8,10 +8,10 @@
 //!    block);
 //! 2. blocks are handed out to `std::thread::scope` workers in contiguous
 //!    chunks; every worker owns one [`BfsScratch`], one reusable
-//!    [`DistanceBlock`] of block-local BFS rows, one [`RouteTrace`] and its
-//!    own metric counters — after warm-up the inner loop performs **zero
-//!    allocations per message**, and peak memory is
-//!    `O(workers · block_rows · n)` instead of the dense matrix's `n²`;
+//!    [`DistanceBlock`] of block-local BFS rows, one [`BatchScratch`] for the
+//!    lock-step batch kernel and its own metric counters — after warm-up the
+//!    inner loop performs **zero allocations per message**, and peak memory
+//!    is `O(workers · block_rows · n)` instead of the dense matrix's `n²`;
 //! 3. stretch is accumulated into **one [`StretchAccumulator`] per source**
 //!    and the per-source partials are folded in source order, so for the
 //!    all-pairs workload the resulting [`StretchReport`] is **bit-identical**
@@ -27,9 +27,10 @@ use crate::metrics::{CongestionCounters, CongestionReport, LengthHistogram};
 use crate::workload::{SourceDests, WorkloadPlan};
 use graphkit::{BfsScratch, DistanceBlock, GraphView, INFINITY};
 use routemodel::{
-    default_hop_limit, route_block_into, DeliveryOutcome, RouteTrace, RoutingError,
+    default_hop_limit, route_batch_into, BatchScratch, DeliveryOutcome, RoutingError,
     RoutingFunction, StretchAccumulator, StretchReport,
 };
+use std::time::Instant;
 
 /// Tuning knobs of the executor.  The defaults are right for tests and
 /// moderate graphs; large sweeps mostly tune `block_rows` (smaller blocks for
@@ -130,7 +131,7 @@ impl OutcomeCounts {
 }
 
 /// Everything one workload run measured.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct WorkloadReport {
     /// Stretch over the delivered messages (for the all-pairs workload:
     /// bit-identical to the dense `stretch_factor` report).
@@ -150,9 +151,43 @@ pub struct WorkloadReport {
     /// Blocks whose BFS rows fit the narrow `u8` representation.
     pub narrow_blocks: usize,
     /// Peak-memory proxy: bytes of the workload plan plus, per worker, the
-    /// largest distance block, the metric counters and the BFS scratch.
-    /// This is what replaces the dense matrix's `4 n²` bytes.
+    /// largest distance block, the batch-routing scratch, the metric
+    /// counters and the BFS scratch.  This is what replaces the dense
+    /// matrix's `4 n²` bytes.
     pub peak_tracked_bytes: u64,
+    /// Wall-clock seconds the engine spent on this run (block BFS plus
+    /// routing), measured inside [`run_workload`] so every report row
+    /// carries its own throughput.
+    pub run_secs: f64,
+}
+
+impl WorkloadReport {
+    /// Delivered messages per second of engine run time (`0.0` when the run
+    /// was too fast for the clock to resolve).
+    pub fn messages_per_sec(&self) -> f64 {
+        if self.run_secs > 0.0 {
+            self.routed_messages as f64 / self.run_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Equality is over what was *measured*: `run_secs` is wall-clock noise, so
+/// the determinism tests can compare whole reports across thread and block
+/// choices without tripping on timing.
+impl PartialEq for WorkloadReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.stretch == other.stretch
+            && self.routed_messages == other.routed_messages
+            && self.outcomes == other.outcomes
+            && self.skipped_unreachable == other.skipped_unreachable
+            && self.congestion == other.congestion
+            && self.lengths == other.lengths
+            && self.blocks == other.blocks
+            && self.narrow_blocks == other.narrow_blocks
+            && self.peak_tracked_bytes == other.peak_tracked_bytes
+    }
 }
 
 /// One contiguous run of message-sending sources.
@@ -198,6 +233,7 @@ pub fn run_workload<'a, R: RoutingFunction + Sync + ?Sized>(
     let n = view.num_nodes();
     assert_eq!(plan.num_nodes(), n, "plan compiled for a different graph");
     let hop_limit = default_hop_limit(n);
+    let t0 = Instant::now();
 
     // Sources that send at least one message, ascending.
     let active: Vec<u32> = (0..n as u32)
@@ -310,6 +346,7 @@ pub fn run_workload<'a, R: RoutingFunction + Sync + ?Sized>(
         blocks: blocks.len(),
         narrow_blocks,
         peak_tracked_bytes: peak,
+        run_secs: t0.elapsed().as_secs_f64(),
     })
 }
 
@@ -329,7 +366,7 @@ fn run_blocks<R: RoutingFunction + Sync + ?Sized>(
     let n = view.num_nodes();
     let mut scratch = BfsScratch::with_capacity(n);
     let mut rows = DistanceBlock::new();
-    let mut trace = RouteTrace::new();
+    let mut batch = BatchScratch::new();
     let mut routable: Vec<u32> = Vec::new();
     let mut out = WorkerOut {
         congestion: cfg
@@ -384,14 +421,15 @@ fn run_blocks<R: RoutingFunction + Sync + ?Sized>(
             let lengths = &mut out.lengths;
             let congestion = &mut out.congestion;
             let outcomes = &mut out.outcomes;
-            let result = route_block_into(
+            let result = route_batch_into(
                 view,
                 r,
                 s,
                 &routable,
                 hop_limit,
-                &mut trace,
-                |t, tr, outcome| {
+                &mut batch,
+                congestion.is_some(),
+                |t, hops, outcome| {
                     outcomes.record(outcome);
                     // Metrics cover delivered messages only: a dropped
                     // message has no meaningful length or stretch, and its
@@ -399,13 +437,12 @@ fn run_blocks<R: RoutingFunction + Sync + ?Sized>(
                     if !outcome.is_delivered() {
                         return;
                     }
-                    let len = tr.len();
-                    acc.record(s, t, len as u32, row.dist(t));
-                    lengths.record(len);
+                    acc.record(s, t, hops, row.dist(t));
+                    lengths.record(hops as usize);
+                },
+                |u, p| {
                     if let Some(c) = congestion {
-                        for (i, &p) in tr.ports.iter().enumerate() {
-                            c.record_hop(tr.path[i], p);
-                        }
+                        c.record_hop(u, p);
                     }
                 },
             );
@@ -413,6 +450,9 @@ fn run_blocks<R: RoutingFunction + Sync + ?Sized>(
             slot_idx += 1;
         }
     }
+    // The batch scratch lives for the worker's whole run; fold it into the
+    // same per-worker peak term as the largest distance block.
+    out.max_block_bytes += batch.bytes();
     out
 }
 

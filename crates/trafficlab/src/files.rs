@@ -27,7 +27,7 @@
 //! single source of truth, not a rendering of in-code definitions.
 
 use crate::churn::ChurnSpec;
-use crate::scenario::{CaseSpec, GraphSpec, ScenarioSpec};
+use crate::scenario::{CaseSpec, GraphSpec, ScenarioSpec, StretchMode};
 use crate::workload::WorkloadSpec;
 use routeschemes::SchemeSpec;
 use speclang::toml::{self, escape_str, Section, TomlError, Value};
@@ -174,6 +174,12 @@ impl ScenarioSpec {
                     escape_str(&churn.spec_string())
                 ));
             }
+            if case.stretch != StretchMode::Auto {
+                out.push_str(&format!(
+                    "stretch = \"{}\"\n",
+                    escape_str(&case.stretch.spec_string())
+                ));
+            }
         }
         out
     }
@@ -185,11 +191,14 @@ fn parse_case(section: &Section, index: usize) -> Result<CaseSpec, ScenarioFileE
     for key in table.keys() {
         if !matches!(
             key,
-            "graph" | "workload" | "schemes" | "block_rows" | "churn"
+            "graph" | "workload" | "schemes" | "block_rows" | "churn" | "stretch"
         ) {
             return bad(
                 &ctx,
-                format!("unknown key '{key}' (valid: graph, workload, schemes, block_rows, churn)"),
+                format!(
+                    "unknown key '{key}' \
+                     (valid: graph, workload, schemes, block_rows, churn, stretch)"
+                ),
             );
         }
     }
@@ -254,12 +263,28 @@ fn parse_case(section: &Section, index: usize) -> Result<CaseSpec, ScenarioFileE
             Some(ChurnSpec::parse(s).or_else(|e| bad(format!("{ctx}, field 'churn'"), e))?)
         }
     };
+    let stretch = match table.get("stretch") {
+        None => StretchMode::Auto,
+        Some(v) => {
+            let Some(s) = v.as_str() else {
+                return bad(
+                    &ctx,
+                    format!(
+                        "'stretch' must be a stretch-mode string, got {}",
+                        v.type_name()
+                    ),
+                );
+            };
+            StretchMode::parse(s).or_else(|e| bad(format!("{ctx}, field 'stretch'"), e))?
+        }
+    };
     Ok(CaseSpec {
         graph,
         workload,
         schemes,
         block_rows,
         churn,
+        stretch,
     })
 }
 
@@ -422,6 +447,57 @@ churn = "churn?kill=0.05&rounds=2&seed=9"
         let book = builtin_scenarios();
         let churny = book.iter().find(|s| s.name == "churn").unwrap();
         assert!(churny.cases.iter().all(|c| c.churn.is_some()));
+    }
+
+    #[test]
+    fn stretch_field_parses_and_round_trips() {
+        let spec = ScenarioSpec::parse_toml(
+            r#"
+name = "sampled"
+description = "stretch axis"
+
+[[case]]
+graph = "random?n=64&seed=1"
+workload = "uniform?messages=100&seed=2"
+schemes = ["tree"]
+stretch = "sampled?pairs=4096&seed=3"
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.cases[0].stretch,
+            StretchMode::Sampled {
+                pairs: 4096,
+                seed: 3
+            }
+        );
+        let rendered = spec.to_toml();
+        assert!(rendered.contains("stretch = \"sampled?pairs=4096&seed=3\""));
+        assert_eq!(ScenarioSpec::parse_toml(&rendered).unwrap(), spec);
+        // Auto is the default: the built-in book omits the key entirely.
+        for s in builtin_scenarios() {
+            assert!(!s.to_toml().contains("stretch = "), "{}", s.name);
+        }
+        // A bad mode fails with its codec's typed error, in context.
+        let err = ScenarioSpec::parse_toml(
+            "name = \"x\"\n[[case]]\ngraph = \"grid?rows=2&cols=2\"\n\
+             workload = \"all-pairs\"\nschemes = [\"tree\"]\nstretch = \"guess\"",
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unknown stretch key 'guess'"),
+            "{err}"
+        );
+        let err = ScenarioSpec::parse_toml(
+            "name = \"x\"\n[[case]]\ngraph = \"grid?rows=2&cols=2\"\n\
+             workload = \"all-pairs\"\nschemes = [\"tree\"]\nstretch = 3",
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("'stretch' must be a stretch-mode string"),
+            "{err}"
+        );
     }
 
     #[test]

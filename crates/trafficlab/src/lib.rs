@@ -52,6 +52,7 @@ pub use metrics::{CongestionCounters, CongestionReport, LengthHistogram};
 pub use scenario::{
     find_scenario, landmark_strict, landmark_with_k, named_scenarios, run_scenario,
     suggest_scenarios, Case, CaseResult, CaseSpec, GraphSpec, ResilienceResult, Scenario,
-    ScenarioReport, ScenarioSpec, LANDMARK_SWEEP_KS,
+    ScenarioReport, ScenarioSpec, StretchMode, LANDMARK_SWEEP_KS, SAMPLED_STRETCH_PAIRS,
+    SAMPLED_STRETCH_THRESHOLD,
 };
 pub use workload::{SourceDests, Workload, WorkloadPlan, WorkloadSpec};

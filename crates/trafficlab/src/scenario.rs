@@ -19,11 +19,12 @@
 
 use crate::churn::{run_churn, ChurnError, ChurnRound, ChurnSpec};
 use crate::engine::{run_workload, EngineConfig, WorkloadReport};
-use crate::workload::WorkloadSpec;
+use crate::workload::{Workload, WorkloadSpec};
 use analysis::report::{fmt_f64, json_escape, json_f64, Table};
 use constraints::theorem1::build_worst_case_instance;
 use graphkit::{generators, Graph, NodeId};
 use routemodel::labeling::modular_complete_labeling;
+use routemodel::StretchReport;
 use routeschemes::landmark::{ClusterRule, LandmarkConfig, LandmarkCount};
 use routeschemes::{GraphHints, SchemeSpec};
 use speclang::SpecError;
@@ -56,6 +57,12 @@ pub enum GraphSpec {
     /// A Theorem 1 worst-case instance: the padded graph of constraints of a
     /// random representative matrix.
     Theorem1 { n: usize, theta: f64, seed: u64 },
+    /// `barabasi_albert(n, m, seed)` — scale-free preferential attachment:
+    /// the hub-and-spoke family that stresses landmark cluster sizes.
+    Ba { n: usize, m: usize, seed: u64 },
+    /// `powerlaw_configuration(n, gamma, seed)` — configuration-model
+    /// power-law degrees with a `deg^-gamma` tail.
+    PowerLaw { n: usize, exponent: f64, seed: u64 },
 }
 
 /// A graph spec materialized: the graph, registry hints, and (for Theorem 1
@@ -102,6 +109,10 @@ impl GraphSpec {
             },
             GraphSpec::CompleteModular { n } => plain(modular_complete_labeling(n)),
             GraphSpec::RandomTree { n, seed } => plain(generators::random_tree(n, seed)),
+            GraphSpec::Ba { n, m, seed } => plain(generators::barabasi_albert(n, m, seed)),
+            GraphSpec::PowerLaw { n, exponent, seed } => {
+                plain(generators::powerlaw_configuration(n, exponent, seed))
+            }
             GraphSpec::Theorem1 { n, theta, seed } => {
                 let (cg, _params) = build_worst_case_instance(n, theta, seed);
                 BuiltGraph {
@@ -115,9 +126,11 @@ impl GraphSpec {
     }
 
     /// Every graph family key, in vocabulary order.
-    pub const ALL_KEYS: [&'static str; 7] = [
+    pub const ALL_KEYS: [&'static str; 9] = [
         "random",
         "regular",
+        "ba",
+        "powerlaw",
         "grid",
         "hypercube",
         "complete",
@@ -135,7 +148,9 @@ impl GraphSpec {
             | GraphSpec::RandomRegular { n, .. }
             | GraphSpec::CompleteModular { n }
             | GraphSpec::RandomTree { n, .. }
-            | GraphSpec::Theorem1 { n, .. } => n,
+            | GraphSpec::Theorem1 { n, .. }
+            | GraphSpec::Ba { n, .. }
+            | GraphSpec::PowerLaw { n, .. } => n,
             GraphSpec::Grid { rows, cols } => rows.saturating_mul(cols),
             GraphSpec::Hypercube { dim } => 1usize << dim.min(usize::BITS as usize - 1),
         }
@@ -151,6 +166,8 @@ impl GraphSpec {
             GraphSpec::CompleteModular { .. } => "complete",
             GraphSpec::RandomTree { .. } => "tree",
             GraphSpec::Theorem1 { .. } => "theorem1",
+            GraphSpec::Ba { .. } => "ba",
+            GraphSpec::PowerLaw { .. } => "powerlaw",
         }
     }
 
@@ -180,6 +197,22 @@ impl GraphSpec {
                 ParamDoc {
                     name: "d",
                     values: "degree >= 1 (default 8)",
+                },
+                SEED,
+            ],
+            "ba" => &[
+                N,
+                ParamDoc {
+                    name: "m",
+                    values: "attachment edges per arrival in 1..n (default 2)",
+                },
+                SEED,
+            ],
+            "powerlaw" => &[
+                N,
+                ParamDoc {
+                    name: "gamma",
+                    values: "degree exponent > 2 (default 2.5)",
                 },
                 SEED,
             ],
@@ -282,6 +315,43 @@ impl GraphSpec {
                     seed: p.seed()?,
                 })
             }
+            "ba" => {
+                let n = size("n", 2, "an integer >= 2")?;
+                let m = match p.get("m") {
+                    Some(value) => {
+                        let m: usize = ctx.parse_int("m", value, "an integer in 1..n")?;
+                        if m == 0 || m >= n {
+                            return Err(ctx.invalid("m", value, "an integer in 1..n"));
+                        }
+                        m
+                    }
+                    None => 2.min(n - 1),
+                };
+                Ok(GraphSpec::Ba {
+                    n,
+                    m,
+                    seed: p.seed()?,
+                })
+            }
+            "powerlaw" => {
+                let exponent = match p.get("gamma") {
+                    Some(value) => {
+                        let g = ctx.parse_f64("gamma", value, "a float > 2")?;
+                        // NaN must fail too, hence the negated form.
+                        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                        if !(g > 2.0) {
+                            return Err(ctx.invalid("gamma", value, "a float > 2"));
+                        }
+                        g
+                    }
+                    None => 2.5,
+                };
+                Ok(GraphSpec::PowerLaw {
+                    n: size("n", 2, "an integer >= 2")?,
+                    exponent,
+                    seed: p.seed()?,
+                })
+            }
             "grid" => Ok(GraphSpec::Grid {
                 rows: size("rows", 1, "an integer >= 1")?,
                 cols: size("cols", 1, "an integer >= 1")?,
@@ -358,12 +428,175 @@ impl GraphSpec {
                 }
                 push_nonzero_seed(&mut params, *seed);
             }
+            GraphSpec::Ba { n, m, seed } => {
+                params.push(format!("n={n}"));
+                if *m != 2 {
+                    params.push(format!("m={m}"));
+                }
+                push_nonzero_seed(&mut params, *seed);
+            }
+            GraphSpec::PowerLaw { n, exponent, seed } => {
+                params.push(format!("n={n}"));
+                if *exponent != 2.5 {
+                    params.push(format!("gamma={exponent}"));
+                }
+                push_nonzero_seed(&mut params, *seed);
+            }
         }
         render_spec(self.key(), &params)
     }
 }
 
 impl std::fmt::Display for GraphSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.spec_string())
+    }
+}
+
+/// At-or-above this vertex count, `stretch = auto` cases whose workload is
+/// not all-pairs report a **sampled** stretch estimate instead of the
+/// workload fold: a sparse workload at n ≥ 10^5 touches a vanishing,
+/// pattern-biased fraction of pairs, so a dedicated uniform probe is the
+/// honest stretch column.
+pub const SAMPLED_STRETCH_THRESHOLD: usize = 100_000;
+
+/// Pair count of the default sampled-stretch probe.
+pub const SAMPLED_STRETCH_PAIRS: u64 = 16_384;
+
+/// Seed of the `auto`-resolved sampled probe (explicit `sampled?seed=…`
+/// overrides it).
+const SAMPLED_STRETCH_SEED: u64 = 0x57A7;
+
+/// The `stretch` axis of a case: how the report row's stretch columns are
+/// measured.
+///
+/// The engine always folds stretch over the workload's own delivered
+/// messages; `Sampled` adds a second, congestion-free engine pass over
+/// deterministically sampled pairs and reports *that* fold instead — the
+/// large-graph mode, where the workload's own pairs are too few and too
+/// pattern-shaped to estimate the stretch factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StretchMode {
+    /// `exact` below [`SAMPLED_STRETCH_THRESHOLD`] vertices (and always for
+    /// all-pairs workloads, which cover every pair by construction);
+    /// `sampled` at-or-above it.  The default.
+    #[default]
+    Auto,
+    /// The workload run's own fold: exact over the pairs actually routed.
+    Exact,
+    /// A dedicated probe over `pairs` sampled source/destination pairs
+    /// (`≈ √pairs` sources × `≈ √pairs` destinations each, deterministic
+    /// per seed), run with congestion tracking off.
+    Sampled { pairs: u64, seed: u64 },
+}
+
+impl StretchMode {
+    /// Every stretch-mode key, in vocabulary order.
+    pub const ALL_KEYS: [&'static str; 3] = ["auto", "exact", "sampled"];
+
+    /// Short mode key (`auto`, `exact`, `sampled`).
+    pub fn key(&self) -> &'static str {
+        match self {
+            StretchMode::Auto => "auto",
+            StretchMode::Exact => "exact",
+            StretchMode::Sampled { .. } => "sampled",
+        }
+    }
+
+    /// The parameters each mode accepts — shared by parser, formatter and
+    /// [`StretchMode::vocabulary`].
+    pub fn param_docs(key: &str) -> &'static [ParamDoc] {
+        match key {
+            "sampled" => &[
+                ParamDoc {
+                    name: "pairs",
+                    values: "sampled pair count >= 1 (default 16384)",
+                },
+                ParamDoc {
+                    name: "seed",
+                    values: "u64 sample seed (default 0; 0x hex ok)",
+                },
+            ],
+            _ => &[],
+        }
+    }
+
+    /// The full valid-spec vocabulary, one block per mode key.
+    pub fn vocabulary() -> String {
+        let entries: Vec<(&str, &[ParamDoc])> = Self::ALL_KEYS
+            .into_iter()
+            .map(|key| (key, Self::param_docs(key)))
+            .collect();
+        render_vocabulary("valid stretch modes (omitted params = defaults):", &entries)
+    }
+
+    /// Parses a spec string (`exact`, `sampled?pairs=65536&seed=7`).
+    pub fn parse(spec: &str) -> Result<StretchMode, SpecError> {
+        let (key, query) = split_spec(spec);
+        let key = Self::ALL_KEYS
+            .into_iter()
+            .find(|k| *k == key)
+            .ok_or_else(|| SpecError::UnknownKey {
+                domain: "stretch",
+                key: key.to_string(),
+            })?;
+        let ctx = SpecCtx::new("stretch", key);
+        let p = ParsedParams::new(ctx, spec, query, Self::param_docs(key))?;
+        match key {
+            "auto" => Ok(StretchMode::Auto),
+            "exact" => Ok(StretchMode::Exact),
+            "sampled" => {
+                let pairs = match p.get("pairs") {
+                    Some(value) => {
+                        let k: u64 = ctx.parse_int("pairs", value, "an integer >= 1")?;
+                        if k == 0 {
+                            return Err(ctx.invalid("pairs", value, "an integer >= 1"));
+                        }
+                        k
+                    }
+                    None => SAMPLED_STRETCH_PAIRS,
+                };
+                Ok(StretchMode::Sampled {
+                    pairs,
+                    seed: p.seed()?,
+                })
+            }
+            _ => unreachable!("key validated against ALL_KEYS"),
+        }
+    }
+
+    /// The canonical string form; `parse` of the result reproduces `self`.
+    pub fn spec_string(&self) -> String {
+        let mut params: Vec<String> = Vec::new();
+        if let StretchMode::Sampled { pairs, seed } = self {
+            if *pairs != SAMPLED_STRETCH_PAIRS {
+                params.push(format!("pairs={pairs}"));
+            }
+            push_nonzero_seed(&mut params, *seed);
+        }
+        render_spec(self.key(), &params)
+    }
+
+    /// The mode a case actually runs: `Auto` resolves against the case's
+    /// size and workload; the explicit modes are already concrete.
+    pub fn resolve(self, n: usize, workload: &WorkloadSpec) -> StretchMode {
+        match self {
+            StretchMode::Auto => {
+                if n >= SAMPLED_STRETCH_THRESHOLD && !matches!(workload, WorkloadSpec::AllPairs) {
+                    StretchMode::Sampled {
+                        pairs: SAMPLED_STRETCH_PAIRS,
+                        seed: SAMPLED_STRETCH_SEED,
+                    }
+                } else {
+                    StretchMode::Exact
+                }
+            }
+            mode => mode,
+        }
+    }
+}
+
+impl std::fmt::Display for StretchMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.spec_string())
     }
@@ -385,6 +618,8 @@ pub struct CaseSpec {
     /// scheme through fail → measure → repair → measure rounds
     /// (see [`crate::churn`]).
     pub churn: Option<ChurnSpec>,
+    /// How the report row's stretch is measured (see [`StretchMode`]).
+    pub stretch: StretchMode,
 }
 
 /// A named, reproducible experiment — plain declarative data: every axis is
@@ -528,14 +763,21 @@ pub struct CaseResult {
     /// The stretch bound the scheme promises (`None` = no guarantee).
     pub guaranteed_stretch: Option<f64>,
     /// Whether the measured max stretch respects the promise (`None` when no
-    /// promise was made).
+    /// promise was made).  Judged against [`CaseResult::stretch`].
     pub within_guarantee: Option<bool>,
+    /// The stretch shown in report rows: the workload run's own fold in
+    /// exact mode, the dedicated sampled probe's fold otherwise.
+    pub stretch: StretchReport,
+    /// How [`CaseResult::stretch`] was measured — `exact`, or the resolved
+    /// sampled spec (`sampled?pairs=16384&seed=…`); every report row
+    /// carries the note so an estimate can never pass as exact.
+    pub stretch_mode: String,
     pub report: WorkloadReport,
     /// Wall-clock seconds to build the scheme instance.
     pub build_secs: f64,
-    /// Wall-clock seconds to run the workload.
+    /// Engine-measured seconds of the workload run (`report.run_secs`).
     pub run_secs: f64,
-    /// Delivered messages per second of run time.
+    /// Delivered messages per second, measured inside the engine.
     pub messages_per_sec: f64,
 }
 
@@ -628,6 +870,7 @@ pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioReport {
             block_rows: case.block_rows,
             track_congestion: true,
         };
+        let resolved_stretch = case.stretch.resolve(n, &case.workload);
         for spec in &case.schemes {
             // Specs whose construction is quadratic at this size — an O(n²)
             // family, or a near-linear family driven with quadratic
@@ -651,13 +894,51 @@ pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioReport {
                 }
             };
             let build_secs = t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
             match run_workload(&built.graph, instance.routing.as_ref(), &plan, &cfg) {
                 Ok(report) => {
-                    let run_secs = t1.elapsed().as_secs_f64();
+                    // In sampled mode the displayed stretch comes from a
+                    // second, congestion-free pass over uniformly sampled
+                    // pairs — the workload's own pairs are too few (and too
+                    // pattern-shaped) to estimate the stretch factor at
+                    // n ≥ 10^5.
+                    let (stretch, stretch_mode) = match resolved_stretch {
+                        StretchMode::Sampled { pairs, seed } => {
+                            let sources = ((pairs as f64).sqrt().ceil() as usize).clamp(1, n);
+                            let probe = Workload::SampledSources {
+                                sources,
+                                dests_per_source: (pairs as usize).div_ceil(sources),
+                                seed,
+                            }
+                            .compile(n);
+                            let probe_cfg = EngineConfig {
+                                threads,
+                                block_rows: case.block_rows,
+                                track_congestion: false,
+                            };
+                            match run_workload(
+                                &built.graph,
+                                instance.routing.as_ref(),
+                                &probe,
+                                &probe_cfg,
+                            ) {
+                                Ok(p) => (p.stretch, resolved_stretch.spec_string()),
+                                Err(e) => {
+                                    // The probe hit the model violation the
+                                    // main run dodged: surface it, fall back
+                                    // to the workload fold.
+                                    out.errors.push(format!(
+                                        "{graph_label}: scheme '{spec}' failed its \
+                                         sampled-stretch probe: {e}"
+                                    ));
+                                    (report.stretch.clone(), "exact".to_string())
+                                }
+                            }
+                        }
+                        _ => (report.stretch.clone(), "exact".to_string()),
+                    };
                     let within_guarantee = instance
                         .guaranteed_stretch
-                        .map(|bound| report.stretch.max_stretch <= bound + 1e-9);
+                        .map(|bound| stretch.max_stretch <= bound + 1e-9);
                     out.results.push(CaseResult {
                         graph_label: graph_label.clone(),
                         n,
@@ -671,14 +952,12 @@ pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioReport {
                         global_bits: instance.memory.global(),
                         guaranteed_stretch: instance.guaranteed_stretch,
                         within_guarantee,
-                        messages_per_sec: if run_secs > 0.0 {
-                            report.routed_messages as f64 / run_secs
-                        } else {
-                            0.0
-                        },
+                        stretch,
+                        stretch_mode,
+                        messages_per_sec: report.messages_per_sec(),
+                        run_secs: report.run_secs,
                         report,
                         build_secs,
-                        run_secs,
                     });
                 }
                 Err(e) => {
@@ -732,6 +1011,7 @@ impl ScenarioReport {
             "local_bits",
             "narrow/blocks",
             "msgs/s",
+            "stretch_mode",
         ]);
         for r in &self.results {
             t.push_row([
@@ -740,8 +1020,8 @@ impl ScenarioReport {
                 r.workload_spec.clone(),
                 r.scheme_spec.clone(),
                 r.report.routed_messages.to_string(),
-                fmt_f64(r.report.stretch.max_stretch, 3),
-                fmt_f64(r.report.stretch.avg_stretch, 3),
+                fmt_f64(r.stretch.max_stretch, 3),
+                fmt_f64(r.stretch.avg_stretch, 3),
                 match (r.guaranteed_stretch, r.within_guarantee) {
                     (Some(b), Some(true)) => format!("<={} ok", fmt_f64(b, 1)),
                     (Some(b), Some(false)) => format!("<={} VIOLATED", fmt_f64(b, 1)),
@@ -758,6 +1038,7 @@ impl ScenarioReport {
                 r.local_bits.to_string(),
                 format!("{}/{}", r.report.narrow_blocks, r.report.blocks),
                 format!("{:.0}", r.messages_per_sec),
+                r.stretch_mode.clone(),
             ]);
         }
         t
@@ -798,8 +1079,8 @@ impl ScenarioReport {
                 r.workload_spec.clone(),
                 r.scheme_spec.clone(),
                 r.report.routed_messages.to_string(),
-                fmt_f64(r.report.stretch.max_stretch, 3),
-                fmt_f64(r.report.stretch.avg_stretch, 3),
+                fmt_f64(r.stretch.max_stretch, 3),
+                fmt_f64(r.stretch.avg_stretch, 3),
                 c.total_load.to_string(),
                 c.max_arc_load.to_string(),
                 fmt_f64(c.mean_arc_load, 2),
@@ -875,6 +1156,7 @@ impl ScenarioReport {
                     "\"scheme_name\": \"{}\", ",
                     "\"messages\": {}, \"skipped_unreachable\": {}, ",
                     "\"max_stretch\": {}, \"avg_stretch\": {}, \"max_route_len\": {}, ",
+                    "\"stretch_mode\": \"{}\", ",
                     "\"guaranteed_stretch\": {}, \"within_guarantee\": {}, ",
                     "\"max_arc_load\": {}, \"mean_arc_load\": {}, ",
                     "\"local_bits\": {}, \"global_bits\": {}, ",
@@ -891,9 +1173,10 @@ impl ScenarioReport {
                 json_escape(&r.scheme_name),
                 r.report.routed_messages,
                 r.report.skipped_unreachable,
-                json_f64(r.report.stretch.max_stretch),
-                json_f64(r.report.stretch.avg_stretch),
-                r.report.stretch.max_route_len,
+                json_f64(r.stretch.max_stretch),
+                json_f64(r.stretch.avg_stretch),
+                r.stretch.max_route_len,
+                json_escape(&r.stretch_mode),
                 r.guaranteed_stretch.map_or("null".into(), json_f64),
                 r.within_guarantee
                     .map_or("null".to_string(), |b| b.to_string()),
@@ -1026,6 +1309,10 @@ mod tests {
             "random?n=64&deg=6.5&seed=1",
             "regular?n=131072&seed=2838",
             "regular?n=64&d=4",
+            "ba?n=4096&seed=5",
+            "ba?n=64&m=4",
+            "powerlaw?n=4096&seed=2",
+            "powerlaw?n=256&gamma=2.2&seed=1",
             "grid?rows=32&cols=32",
             "hypercube?dim=10",
             "complete?n=256",
@@ -1072,6 +1359,19 @@ mod tests {
         ));
         assert!(matches!(
             GraphSpec::parse("theorem1?n=64&theta=1.5"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        // BA needs room for m distinct targets; power-law tails need γ > 2.
+        assert!(matches!(
+            GraphSpec::parse("ba?n=8&m=8"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            GraphSpec::parse("ba?n=8&m=0"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            GraphSpec::parse("powerlaw?n=8&gamma=2"),
             Err(SpecError::InvalidValue { .. })
         ));
     }
@@ -1133,6 +1433,16 @@ mod tests {
             GraphSpec::Hypercube { dim: 5 },
             GraphSpec::CompleteModular { n: 16 },
             GraphSpec::RandomTree { n: 40, seed: 2 },
+            GraphSpec::Ba {
+                n: 48,
+                m: 3,
+                seed: 5,
+            },
+            GraphSpec::PowerLaw {
+                n: 48,
+                exponent: 2.5,
+                seed: 5,
+            },
         ] {
             let built = spec.build();
             assert!(built.graph.num_nodes() >= 16, "{}", spec.spec_string());
@@ -1172,6 +1482,7 @@ mod tests {
                 ],
                 block_rows: 8,
                 churn: None,
+                stretch: StretchMode::Auto,
             }],
         };
         let rep = run_scenario(&scenario, 2);
@@ -1245,6 +1556,7 @@ mod tests {
                 schemes: ks.iter().map(|&k| landmark_with_k(k)).collect(),
                 block_rows: 8,
                 churn: None,
+                stretch: StretchMode::Auto,
             }],
         };
         let rep = run_scenario(&scenario, 2);
@@ -1280,6 +1592,129 @@ mod tests {
     }
 
     #[test]
+    fn stretch_modes_round_trip_and_resolve() {
+        for s in ["auto", "exact", "sampled", "sampled?pairs=1024&seed=7"] {
+            let mode = StretchMode::parse(s).unwrap();
+            assert_eq!(mode.spec_string(), s, "canonical form of '{s}'");
+            assert_eq!(StretchMode::parse(&mode.spec_string()).unwrap(), mode);
+        }
+        // Defaults normalize away.
+        assert_eq!(
+            StretchMode::parse("sampled?pairs=16384")
+                .unwrap()
+                .spec_string(),
+            "sampled"
+        );
+        assert!(matches!(
+            StretchMode::parse("approximate"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            StretchMode::parse("sampled?pairs=0"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            StretchMode::parse("exact?pairs=4"),
+            Err(SpecError::UnknownParam { .. })
+        ));
+        // Auto: exact below the threshold, sampled above — except for
+        // all-pairs workloads, whose fold already covers every pair.
+        let uniform = WorkloadSpec::Uniform {
+            messages: 10,
+            seed: 0,
+        };
+        assert_eq!(
+            StretchMode::Auto.resolve(1024, &uniform),
+            StretchMode::Exact
+        );
+        assert!(matches!(
+            StretchMode::Auto.resolve(SAMPLED_STRETCH_THRESHOLD, &uniform),
+            StretchMode::Sampled { .. }
+        ));
+        assert_eq!(
+            StretchMode::Auto.resolve(SAMPLED_STRETCH_THRESHOLD, &WorkloadSpec::AllPairs),
+            StretchMode::Exact
+        );
+        // Explicit modes resolve to themselves.
+        assert_eq!(
+            StretchMode::Exact.resolve(SAMPLED_STRETCH_THRESHOLD, &uniform),
+            StretchMode::Exact
+        );
+        let vocab = StretchMode::vocabulary();
+        for key in StretchMode::ALL_KEYS {
+            assert!(vocab.contains(key), "missing key {key}");
+        }
+        assert!(vocab.contains("pairs"));
+    }
+
+    #[test]
+    fn sampled_stretch_mode_probes_and_notes_the_row() {
+        // An explicitly sampled case: the displayed stretch comes from the
+        // dedicated probe (deterministic per seed), the row carries the
+        // resolved spec as its note, and the guarantee is judged against
+        // the probe's fold.
+        let case = |stretch| Case {
+            graph: GraphSpec::RandomConnected {
+                n: 96,
+                avg_deg: 6.0,
+                seed: 4,
+            },
+            workload: WorkloadSpec::Uniform {
+                messages: 500,
+                seed: 6,
+            },
+            schemes: vec![SchemeSpec::default_for(SchemeKind::Landmark)],
+            block_rows: 8,
+            churn: None,
+            stretch,
+        };
+        let scenario = |stretch| Scenario {
+            name: "probe".into(),
+            description: "test".into(),
+            cases: vec![case(stretch)],
+        };
+        let sampled = run_scenario(
+            &scenario(StretchMode::Sampled {
+                pairs: 2048,
+                seed: 11,
+            }),
+            2,
+        );
+        assert!(sampled.errors.is_empty(), "{:?}", sampled.errors);
+        let row = &sampled.results[0];
+        assert_eq!(row.stretch_mode, "sampled?pairs=2048&seed=11");
+        assert_eq!(row.within_guarantee, Some(true));
+        // The probe's pair count is its own, not the workload's.
+        assert_ne!(row.stretch.pairs, row.report.stretch.pairs);
+        assert!(row.stretch.pairs >= 2048 - 64, "{}", row.stretch.pairs);
+        // Same probe, different thread count: bit-identical estimate.
+        let again = run_scenario(
+            &scenario(StretchMode::Sampled {
+                pairs: 2048,
+                seed: 11,
+            }),
+            1,
+        );
+        assert_eq!(
+            again.results[0].stretch.avg_stretch.to_bits(),
+            row.stretch.avg_stretch.to_bits()
+        );
+        // Exact mode: the displayed stretch IS the workload fold.
+        let exact = run_scenario(&scenario(StretchMode::Exact), 2);
+        let row = &exact.results[0];
+        assert_eq!(row.stretch_mode, "exact");
+        assert_eq!(
+            row.stretch.avg_stretch.to_bits(),
+            row.report.stretch.avg_stretch.to_bits()
+        );
+        // The note lands in both renderings.
+        let json = sampled.to_json();
+        assert!(json.contains("\"stretch_mode\": \"sampled?pairs=2048&seed=11\""));
+        assert!(exact.to_json().contains("\"stretch_mode\": \"exact\""));
+        assert!(sampled.to_table().to_plain().contains("sampled?pairs=2048"));
+    }
+
+    #[test]
     fn invalid_workloads_become_errors_not_panics() {
         // Programmatically-built scenarios get the same guard as files: an
         // out-of-range broadcast root is an error entry, not an assert panic.
@@ -1292,6 +1727,7 @@ mod tests {
                 schemes: vec![SchemeSpec::default_for(SchemeKind::SpanningTree)],
                 block_rows: 0,
                 churn: None,
+                stretch: StretchMode::Auto,
             }],
         };
         let rep = run_scenario(&scenario, 1);
@@ -1312,6 +1748,7 @@ mod tests {
                 schemes: vec![SchemeSpec::default_for(SchemeKind::SpanningTree)],
                 block_rows: 0,
                 churn: None,
+                stretch: StretchMode::Auto,
             }],
         };
         let rep = run_scenario(&scenario, 1);
@@ -1340,6 +1777,7 @@ mod tests {
                 schemes: vec![SchemeSpec::parse("interval?k=1").unwrap()],
                 block_rows: 8,
                 churn: None,
+                stretch: StretchMode::Auto,
             }],
         };
         let rep = run_scenario(&scenario, 1);
@@ -1368,6 +1806,7 @@ mod tests {
                 schemes: vec![SchemeSpec::default_for(SchemeKind::Table)],
                 block_rows: 4,
                 churn: None,
+                stretch: StretchMode::Auto,
             }],
         };
         let built = GraphSpec::Theorem1 {

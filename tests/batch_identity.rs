@@ -1,0 +1,176 @@
+//! Bit-identity of the lock-step batch kernel against the per-message path.
+//!
+//! `routemodel::route_batch_into` promises that everything an engine folds
+//! from its callbacks — outcome counts, the order-sensitive f64 stretch
+//! accumulation, per-arc congestion counters — is indistinguishable from
+//! driving `route_with_limit_into` one message at a time.  This matrix pins
+//! that promise for **every registry scheme**, batch sizes 1 / 7 / 256 /
+//! 4096, and failed `GraphView`s (the churn interaction: stale tables
+//! bouncing off dead links must produce the same `LinkDown`/`HopLimit`
+//! outcomes either way).  Thread invariance of the batched engine is pinned
+//! separately in `tests/trafficlab_pipeline.rs`.
+
+use graphkit::{generators, FailureSet, Graph, GraphView, Xoshiro256};
+use routemodel::labeling::modular_complete_labeling;
+use routemodel::{
+    default_hop_limit, route_batch_into, route_block_into, BatchScratch, DeliveryOutcome,
+    RouteTrace, StretchAccumulator,
+};
+use routeschemes::{GraphHints, SchemeInstance, SchemeKind, SchemeSpec};
+
+/// Every registry family on a graph it applies to.
+fn registry_instances() -> Vec<(String, Graph, SchemeInstance)> {
+    let mut out = Vec::new();
+    let random = generators::random_connected(96, 0.08, 11);
+    for kind in SchemeKind::ALL {
+        let (g, hints) = match kind {
+            SchemeKind::Ecube => (generators::hypercube(6), GraphHints::hypercube(6)),
+            SchemeKind::DimensionOrder => (generators::grid(8, 8), GraphHints::grid(8, 8)),
+            SchemeKind::ModularComplete => (modular_complete_labeling(24), GraphHints::none()),
+            _ => (random.clone(), GraphHints::none()),
+        };
+        let spec = SchemeSpec::default_for(kind);
+        let inst = spec
+            .build(&g, &hints)
+            .unwrap_or_else(|e| panic!("{} must build: {e}", spec.spec_string()));
+        out.push((spec.spec_string(), g, inst));
+    }
+    out
+}
+
+/// The full observable record of routing one batch: the ordered `on_route`
+/// events (whose ordered lengths determine every f64 stretch fold
+/// bit-for-bit), a stretch fold over them, and the sorted hop multiset
+/// (which determines every congestion counter).
+struct Observed {
+    routes: Vec<(usize, u32, DeliveryOutcome)>,
+    stretch_bits: u64,
+    hops: Vec<(usize, usize)>,
+}
+
+fn observe_block(g: GraphView, inst: &SchemeInstance, source: usize, dests: &[u32]) -> Observed {
+    let limit = default_hop_limit(g.num_nodes());
+    let mut routes = Vec::new();
+    let mut hops = Vec::new();
+    let mut acc = StretchAccumulator::new();
+    let mut buf = RouteTrace::new();
+    route_block_into(
+        g,
+        inst.routing.as_ref(),
+        source,
+        dests,
+        limit,
+        &mut buf,
+        |t, tr, outcome| {
+            routes.push((t, tr.len() as u32, outcome));
+            if outcome.is_delivered() {
+                acc.record(source, t, tr.len() as u32, 1);
+                for (i, &p) in tr.ports.iter().enumerate() {
+                    hops.push((tr.path[i], p));
+                }
+            }
+        },
+    )
+    .unwrap();
+    hops.sort_unstable();
+    Observed {
+        routes,
+        stretch_bits: acc.into_report().avg_stretch.to_bits(),
+        hops,
+    }
+}
+
+fn observe_batch(
+    g: GraphView,
+    inst: &SchemeInstance,
+    source: usize,
+    dests: &[u32],
+    scratch: &mut BatchScratch,
+) -> Observed {
+    let limit = default_hop_limit(g.num_nodes());
+    let mut routes = Vec::new();
+    let mut hops = Vec::new();
+    let mut acc = StretchAccumulator::new();
+    route_batch_into(
+        g,
+        inst.routing.as_ref(),
+        source,
+        dests,
+        limit,
+        scratch,
+        true,
+        |t, h, outcome| {
+            routes.push((t, h, outcome));
+            if outcome.is_delivered() {
+                acc.record(source, t, h, 1);
+            }
+        },
+        |u, p| hops.push((u, p)),
+    )
+    .unwrap();
+    hops.sort_unstable();
+    Observed {
+        routes,
+        stretch_bits: acc.into_report().avg_stretch.to_bits(),
+        hops,
+    }
+}
+
+/// `batch_size` destinations sampled with repetition (self-destinations
+/// included on purpose: both paths must skip them identically).
+fn sampled_dests(n: usize, batch_size: usize, seed: u64) -> Vec<u32> {
+    let mut rng = Xoshiro256::new(seed);
+    (0..batch_size).map(|_| rng.gen_range(n) as u32).collect()
+}
+
+fn assert_identical(
+    view: GraphView,
+    label: &str,
+    inst: &SchemeInstance,
+    scratch: &mut BatchScratch,
+) {
+    let n = view.num_nodes();
+    for (bi, &batch_size) in [1usize, 7, 256, 4096].iter().enumerate() {
+        // A few sources per batch size keeps the matrix fast while still
+        // crossing the interesting source/landmark/corner cases.
+        for (si, source) in [0usize, n / 2, n - 1].into_iter().enumerate() {
+            let dests = sampled_dests(n, batch_size, 0xBA7C * (bi as u64 + 1) + si as u64);
+            let block = observe_block(view, inst, source, &dests);
+            let batch = observe_batch(view, inst, source, &dests, scratch);
+            assert_eq!(
+                block.routes, batch.routes,
+                "{label}: batch {batch_size}, source {source}: route events diverge"
+            );
+            assert_eq!(
+                block.stretch_bits, batch.stretch_bits,
+                "{label}: batch {batch_size}, source {source}: stretch fold diverges"
+            );
+            assert_eq!(
+                block.hops, batch.hops,
+                "{label}: batch {batch_size}, source {source}: hop multiset diverges"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_routing_is_bit_identical_on_every_registry_scheme() {
+    let mut scratch = BatchScratch::new();
+    for (spec, g, inst) in registry_instances() {
+        assert_identical(GraphView::full(&g), &spec, &inst, &mut scratch);
+    }
+}
+
+#[test]
+fn batched_routing_is_bit_identical_on_failed_views() {
+    // Stale schemes routing over dead links: the per-message path turns
+    // these into LinkDown / HopLimit outcomes; the batch must agree
+    // event-for-event.  Kill 10% of links, scheme tables stay pristine.
+    let mut scratch = BatchScratch::new();
+    for (spec, g, inst) in registry_instances() {
+        let f = FailureSet::sample(&g, 0.1, 0xDEAD ^ g.num_nodes() as u64);
+        assert!(!f.is_empty(), "{spec}: failure sample must kill something");
+        let view = GraphView::masked(&g, &f);
+        assert_identical(view, &format!("{spec} (failed view)"), &inst, &mut scratch);
+    }
+}

@@ -8,7 +8,8 @@
 use graphkit::Xoshiro256;
 use trafficlab::{
     find_scenario, landmark_strict, landmark_with_k, named_scenarios, run_scenario, Case,
-    ChurnSpec, GraphSpec, Scenario, ScenarioSpec, WorkloadSpec, LANDMARK_SWEEP_KS,
+    ChurnSpec, GraphSpec, Scenario, ScenarioSpec, StretchMode, WorkloadSpec, LANDMARK_SWEEP_KS,
+    SAMPLED_STRETCH_PAIRS,
 };
 
 use routeschemes::{SchemeKind, SchemeSpec};
@@ -16,7 +17,7 @@ use routeschemes::{SchemeKind, SchemeSpec};
 fn fuzz_graph_spec(rng: &mut Xoshiro256) -> GraphSpec {
     let n = 2 + rng.gen_range(1 << 20);
     let seed = rng.gen_range(1 << 30) as u64;
-    match rng.gen_range(7) {
+    match rng.gen_range(9) {
         0 => GraphSpec::RandomConnected {
             n,
             // Quarter-integer degrees exercise float formatting without
@@ -38,6 +39,16 @@ fn fuzz_graph_spec(rng: &mut Xoshiro256) -> GraphSpec {
         },
         4 => GraphSpec::CompleteModular { n },
         5 => GraphSpec::RandomTree { n, seed },
+        6 => GraphSpec::Ba {
+            n,
+            m: 1 + rng.gen_range((n - 1).min(8)),
+            seed,
+        },
+        7 => GraphSpec::PowerLaw {
+            n,
+            exponent: (201 + rng.gen_range(100)) as f64 / 100.0,
+            seed,
+        },
         _ => GraphSpec::Theorem1 {
             n,
             theta: (1 + rng.gen_range(100)) as f64 / 100.0,
@@ -99,6 +110,19 @@ fn fuzz_churn_spec(rng: &mut Xoshiro256) -> ChurnSpec {
         kill: (1 + rng.gen_range(99)) as f64 / 100.0,
         rounds: 1 + rng.gen_range(8),
         seed: rng.gen_range(1 << 30) as u64,
+    }
+}
+
+fn fuzz_stretch_mode(rng: &mut Xoshiro256) -> StretchMode {
+    match rng.gen_range(4) {
+        0 => StretchMode::Exact,
+        1 => StretchMode::Sampled {
+            // The default pair count rides along sometimes, so the fuzz
+            // covers the canonical form that omits it.
+            pairs: [SAMPLED_STRETCH_PAIRS, 1, 1024, 1 << 20][rng.gen_range(4)],
+            seed: rng.gen_range(1 << 30) as u64,
+        },
+        _ => StretchMode::Auto,
     }
 }
 
@@ -172,6 +196,7 @@ fn random_scenario_specs_round_trip_through_toml() {
                         0 => Some(fuzz_churn_spec(&mut rng)),
                         _ => None,
                     },
+                    stretch: fuzz_stretch_mode(&mut rng),
                 }
             })
             .collect();
@@ -217,6 +242,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     schemes: universal.clone(),
                     block_rows: 0,
                     churn: None,
+                    stretch: StretchMode::Auto,
                 },
                 Case {
                     graph: GraphSpec::Hypercube { dim: 10 },
@@ -227,6 +253,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     schemes: vec![d(SchemeKind::Ecube), d(SchemeKind::SpanningTree)],
                     block_rows: 0,
                     churn: None,
+                    stretch: StretchMode::Auto,
                 },
                 Case {
                     graph: GraphSpec::Grid { rows: 32, cols: 32 },
@@ -237,6 +264,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     schemes: vec![d(SchemeKind::DimensionOrder), d(SchemeKind::SpanningTree)],
                     block_rows: 0,
                     churn: None,
+                    stretch: StretchMode::Auto,
                 },
                 Case {
                     graph: GraphSpec::CompleteModular { n: 256 },
@@ -247,6 +275,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     schemes: vec![d(SchemeKind::ModularComplete), d(SchemeKind::Table)],
                     block_rows: 0,
                     churn: None,
+                    stretch: StretchMode::Auto,
                 },
             ],
         },
@@ -266,6 +295,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                 schemes: vec![d(SchemeKind::SpanningTree)],
                 block_rows: 0,
                 churn: None,
+                stretch: StretchMode::Auto,
             }],
         },
         Scenario {
@@ -285,6 +315,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                 schemes: vec![d(SchemeKind::SpanningTree)],
                 block_rows: 1,
                 churn: None,
+                stretch: StretchMode::Auto,
             }],
         },
         Scenario {
@@ -308,6 +339,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                 ],
                 block_rows: 1,
                 churn: None,
+                stretch: StretchMode::Auto,
             }],
         },
         Scenario {
@@ -330,6 +362,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     .collect(),
                 block_rows: 0,
                 churn: None,
+                stretch: StretchMode::Auto,
             }],
         },
         Scenario {
@@ -350,6 +383,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     schemes: universal.clone(),
                     block_rows: 0,
                     churn: None,
+                    stretch: StretchMode::Auto,
                 },
                 Case {
                     graph: GraphSpec::RandomConnected {
@@ -364,6 +398,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     schemes: universal,
                     block_rows: 0,
                     churn: None,
+                    stretch: StretchMode::Auto,
                 },
             ],
         },
@@ -378,6 +413,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                 schemes: vec![d(SchemeKind::SpanningTree)],
                 block_rows: 1,
                 churn: None,
+                stretch: StretchMode::Auto,
             }],
         },
         Scenario {
@@ -392,6 +428,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                 schemes: vec![d(SchemeKind::Ecube), d(SchemeKind::Table)],
                 block_rows: 0,
                 churn: None,
+                stretch: StretchMode::Auto,
             }],
         },
         Scenario {
@@ -413,6 +450,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     ],
                     block_rows: 0,
                     churn: None,
+                    stretch: StretchMode::Auto,
                 },
                 Case {
                     graph: GraphSpec::Theorem1 {
@@ -428,6 +466,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     ],
                     block_rows: 8,
                     churn: None,
+                    stretch: StretchMode::Auto,
                 },
             ],
         },
@@ -482,6 +521,7 @@ fn toml_loaded_scenario_reports_match_in_code_definitions() {
                 ],
                 block_rows: 8,
                 churn: None,
+                stretch: StretchMode::Auto,
             },
             Case {
                 graph: GraphSpec::Grid { rows: 4, cols: 6 },
@@ -495,6 +535,7 @@ fn toml_loaded_scenario_reports_match_in_code_definitions() {
                 ],
                 block_rows: 4,
                 churn: None,
+                stretch: StretchMode::Auto,
             },
         ],
     };
