@@ -3,6 +3,9 @@
 //!
 //! Usage: `cargo run --release -p analysis --bin enumerate_classes`
 
+// Binaries are the console front door; printing is their contract.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use analysis::lemma::{default_lemma1_grid, lemma1_table, run_lemma1};
 use constraints::enumerate::enumerate_canonical_matrices;
 

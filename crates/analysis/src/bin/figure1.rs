@@ -3,6 +3,9 @@
 //!
 //! Usage: `cargo run --release -p analysis --bin figure1`
 
+// Binaries are the console front door; printing is their contract.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use analysis::figure1::{figure_dot, matrix_table, run_figure1};
 
 fn main() {

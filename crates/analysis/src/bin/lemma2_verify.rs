@@ -4,6 +4,9 @@
 //!
 //! Usage: `cargo run --release -p analysis --bin lemma2_verify [instances]`
 
+// Binaries are the console front door; printing is their contract.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use analysis::lemma::run_lemma2;
 
 fn main() {

@@ -5,6 +5,9 @@
 //!
 //! Usage: `cargo run --release -p analysis --bin stated_bounds [n...]`
 
+// Binaries are the console front door; printing is their contract.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use analysis::report::{fmt_bits, Table};
 use constraints::bounds::{peleg_upfal_global_lower_bits, stated_rows};
 

@@ -4,6 +4,9 @@
 //! Usage: `cargo run --release -p analysis --bin table1 [sizes...]`
 //! (default sizes: 64 128 256).
 
+// Binaries are the console front door; printing is their contract.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use analysis::table1::{check_table1_shape, run_table1, to_table};
 
 fn main() {

@@ -5,6 +5,9 @@
 //! (default n: 1024 4096 16384 for the analytic part; the empirical part uses
 //! smaller instances since it routes all pairs).
 
+// Binaries are the console front door; printing is their contract.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use analysis::theorem1::{bounds_table, empirical_table, run_bounds, run_empirical};
 
 fn main() {

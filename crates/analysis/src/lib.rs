@@ -21,6 +21,8 @@
 //! print them, and the Criterion benches in the `routing-bench` crate time
 //! the underlying constructions.
 
+#![forbid(unsafe_code)]
+
 pub mod figure1;
 pub mod lemma;
 pub mod report;

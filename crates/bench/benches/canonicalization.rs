@@ -1,6 +1,9 @@
 //! Ablation bench: cost of the `MC` canonicalization routine — the exact
 //! (column-factorial) algorithm versus the invariant-sorting heuristic.
 
+// Bench targets report to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use constraints::canonical::{canonical_form, canonical_form_heuristic};
 use constraints::matrix::ConstraintMatrix;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -11,7 +14,7 @@ fn bench_exact(c: &mut Criterion) {
     for q in [4usize, 6, 8] {
         let m = ConstraintMatrix::random(6, q, 4, 11);
         group.bench_with_input(BenchmarkId::from_parameter(format!("q{q}")), &m, |b, m| {
-            b.iter(|| canonical_form(m).max_entry())
+            b.iter(|| canonical_form(m).max_entry());
         });
     }
     group.finish();
@@ -22,7 +25,7 @@ fn bench_heuristic(c: &mut Criterion) {
     for q in [8usize, 32, 128, 512] {
         let m = ConstraintMatrix::random(16, q, 8, 13);
         group.bench_with_input(BenchmarkId::from_parameter(format!("q{q}")), &m, |b, m| {
-            b.iter(|| canonical_form_heuristic(m).max_entry())
+            b.iter(|| canonical_form_heuristic(m).max_entry());
         });
     }
     group.finish();
@@ -34,7 +37,7 @@ fn bench_equivalence_check(c: &mut Criterion) {
         .permute_columns(&[6, 0, 5, 1, 4, 2, 3])
         .permute_rows(&[4, 3, 2, 1, 0]);
     c.bench_function("canonicalization/are-equivalent-5x7", |bch| {
-        bch.iter(|| constraints::canonical::are_equivalent(&a, &b_))
+        bch.iter(|| constraints::canonical::are_equivalent(&a, &b_));
     });
 }
 

@@ -14,6 +14,9 @@
 //! mutates in place), so its criterion number slightly overstates the
 //! repair cost — the snapshot times the repair call alone.
 
+// Bench targets report to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphkit::{generators, FailureSet, Graph, GraphView};
 use routeschemes::landmark::{LandmarkConfig, LandmarkRouting};
@@ -48,13 +51,13 @@ fn bench_repair_vs_rebuild(c: &mut Criterion) {
             LandmarkRouting::build_on_view(GraphView::masked(&g, &failures), &cfg)
                 .landmarks()
                 .len()
-        })
+        });
     });
     group.bench_with_input(BenchmarkId::new("repair", 4096), &(), |b, ()| {
         b.iter(|| {
             let mut r = base.clone();
             r.repair(&g, &none, &failures).unwrap().vertices_touched
-        })
+        });
     });
     group.finish();
 }

@@ -18,6 +18,9 @@
 //! "all-pairs distances + exact stretch" pipeline at n = 1024, which must
 //! stay ≥ 2× faster than the naive baseline.
 
+// Bench targets report to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphkit::{generators, DistanceMatrix, Graph};
 use routemodel::stretch::{sampled_pairs, stretch_factor, stretch_sampled};
@@ -104,7 +107,7 @@ fn naive_stretch(g: &NaiveGraph, dist: &[u32], r: &TableRouting, pairs: &[(usize
                 }
             }
         }
-        let stretch = ports.len() as f64 / dist[s * n + t] as f64;
+        let stretch = ports.len() as f64 / f64::from(dist[s * n + t]);
         max_stretch = max_stretch.max(stretch);
     }
     max_stretch
@@ -132,10 +135,10 @@ fn bench_all_pairs(c: &mut Criterion) {
         let g = workload(n);
         let naive = NaiveGraph::from_graph(&g);
         group.bench_with_input(BenchmarkId::new("naive", n), &naive, |b, naive| {
-            b.iter(|| naive_all_pairs(naive)[1])
+            b.iter(|| naive_all_pairs(naive)[1]);
         });
         group.bench_with_input(BenchmarkId::new("csr", n), &g, |b, g| {
-            b.iter(|| DistanceMatrix::all_pairs(g).dist(0, 1))
+            b.iter(|| DistanceMatrix::all_pairs(g).dist(0, 1));
         });
     }
     group.finish();
@@ -153,10 +156,10 @@ fn bench_exact_stretch(c: &mut Criterion) {
             b.iter(|| {
                 let pairs = all_ordered_pairs(n);
                 naive_stretch(&naive, &flat, &table, &pairs)
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("csr", n), &(), |b, ()| {
-            b.iter(|| stretch_factor(&g, &dm, &table).unwrap().max_stretch)
+            b.iter(|| stretch_factor(&g, &dm, &table).unwrap().max_stretch);
         });
     }
     group.finish();
@@ -175,10 +178,10 @@ fn bench_sampled_stretch(c: &mut Criterion) {
         b.iter(|| {
             let pairs = sampled_pairs(n, k, 9);
             naive_stretch(&naive, &flat, &table, &pairs)
-        })
+        });
     });
     group.bench_with_input(BenchmarkId::new("csr", n), &(), |b, ()| {
-        b.iter(|| stretch_sampled(&g, &dm, &table, k, 9).unwrap().max_stretch)
+        b.iter(|| stretch_sampled(&g, &dm, &table, k, 9).unwrap().max_stretch);
     });
     group.finish();
 }

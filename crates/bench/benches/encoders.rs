@@ -2,6 +2,9 @@
 //! fixed-width tables, run-length/interval compression, and the
 //! self-delimiting bit encoding.
 
+// Bench targets report to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphkit::generators;
 use routemodel::memory::PortMap;
@@ -20,13 +23,13 @@ fn bench_encoders(c: &mut Criterion) {
         let (g, r) = port_maps_for(n);
         let maps: Vec<PortMap> = (0..g.num_nodes()).map(|u| r.port_map(&g, u)).collect();
         group.bench_with_input(BenchmarkId::new("raw-table", n), &maps, |b, maps| {
-            b.iter(|| maps.iter().map(|m| m.raw_table_bits()).sum::<u64>())
+            b.iter(|| maps.iter().map(|m| m.raw_table_bits()).sum::<u64>());
         });
         group.bench_with_input(BenchmarkId::new("interval", n), &maps, |b, maps| {
-            b.iter(|| maps.iter().map(|m| m.interval_bits()).sum::<u64>())
+            b.iter(|| maps.iter().map(|m| m.interval_bits()).sum::<u64>());
         });
         group.bench_with_input(BenchmarkId::new("self-delimiting", n), &maps, |b, maps| {
-            b.iter(|| maps.iter().map(|m| m.encoded_bits()).sum::<u64>())
+            b.iter(|| maps.iter().map(|m| m.encoded_bits()).sum::<u64>());
         });
     }
     group.finish();
@@ -42,7 +45,7 @@ fn bench_memory_reports(c: &mut Criterion) {
             |b, (g, r)| b.iter(|| r.memory_raw(g).global()),
         );
         group.bench_with_input(BenchmarkId::new("interval", n), &(g, r), |b, (g, r)| {
-            b.iter(|| r.memory_interval(g).global())
+            b.iter(|| r.memory_interval(g).global());
         });
     }
     group.finish();

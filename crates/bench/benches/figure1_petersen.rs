@@ -1,6 +1,9 @@
 //! Bench for the Figure 1 reproduction: extracting the forced shortest-path
 //! constraint matrix of the Petersen graph and verifying it against routing.
 
+// Bench targets report to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use constraints::petersen::{petersen_figure, petersen_figure_for};
 use constraints::verify::constraint_matrix_of_shortest_paths;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -10,19 +13,19 @@ use routing_bench::quick_criterion;
 
 fn bench_figure1(c: &mut Criterion) {
     c.bench_function("figure1/extract-petersen-matrix", |b| {
-        b.iter(|| petersen_figure().matrix.max_entry())
+        b.iter(|| petersen_figure().matrix.max_entry());
     });
 
     c.bench_function("figure1/extract-arbitrary-subsets", |b| {
         b.iter(|| {
             petersen_figure_for(&[0, 2, 4, 6, 8], &[1, 3, 5, 7, 9]).map(|f| f.matrix.max_entry())
-        })
+        });
     });
 
     c.bench_function("figure1/verify-against-routing", |b| {
         let fig = petersen_figure();
         let r = TableRouting::shortest_paths(&fig.graph, TieBreak::LowestPort);
-        b.iter(|| constraints::petersen::verify_figure_against_routing(&fig, &r).is_ok())
+        b.iter(|| constraints::petersen::verify_figure_against_routing(&fig, &r).is_ok());
     });
 
     c.bench_function("figure1/forced-matrix-on-generalized-petersen-10-3", |b| {
@@ -30,11 +33,11 @@ fn bench_figure1(c: &mut Criterion) {
         let g = generators::generalized_petersen(10, 3);
         let a: Vec<usize> = (0..10).collect();
         let t: Vec<usize> = (10..20).collect();
-        b.iter(|| constraint_matrix_of_shortest_paths(&g, &a, &t).map(|m| m.num_rows()))
+        b.iter(|| constraint_matrix_of_shortest_paths(&g, &a, &t).map(|m| m.num_rows()));
     });
 
     c.bench_function("figure1/full-report", |b| {
-        b.iter(|| analysis::figure1::run_figure1().all_pairs_forced)
+        b.iter(|| analysis::figure1::run_figure1().all_pairs_forced);
     });
 }
 

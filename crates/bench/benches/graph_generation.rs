@@ -1,6 +1,9 @@
 //! Ablation bench for the graph substrate: generator cost and sequential
 //! versus parallel all-pairs shortest paths.
 
+// Bench targets report to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphkit::{generators, DistanceMatrix};
 use routing_bench::quick_criterion;
@@ -9,16 +12,16 @@ fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("graphs/generators");
     for &n in &[256usize, 1024] {
         group.bench_with_input(BenchmarkId::new("random-connected", n), &n, |b, &n| {
-            b.iter(|| generators::random_connected(n, 8.0 / n as f64, 1).num_edges())
+            b.iter(|| generators::random_connected(n, 8.0 / n as f64, 1).num_edges());
         });
         group.bench_with_input(BenchmarkId::new("outerplanar", n), &n, |b, &n| {
-            b.iter(|| generators::maximal_outerplanar(n, 1).num_edges())
+            b.iter(|| generators::maximal_outerplanar(n, 1).num_edges());
         });
         group.bench_with_input(BenchmarkId::new("chordal-3-tree", n), &n, |b, &n| {
-            b.iter(|| generators::chordal_ktree(n, 3, 1).num_edges())
+            b.iter(|| generators::chordal_ktree(n, 3, 1).num_edges());
         });
         group.bench_with_input(BenchmarkId::new("random-tree", n), &n, |b, &n| {
-            b.iter(|| generators::random_tree(n, 1).num_edges())
+            b.iter(|| generators::random_tree(n, 1).num_edges());
         });
     }
     group.finish();
@@ -29,10 +32,10 @@ fn bench_apsp(c: &mut Criterion) {
     for &n in &[256usize, 512, 1024] {
         let g = generators::random_connected(n, 8.0 / n as f64, 2);
         group.bench_with_input(BenchmarkId::new("sequential", n), &g, |b, g| {
-            b.iter(|| DistanceMatrix::all_pairs_sequential(g).diameter())
+            b.iter(|| DistanceMatrix::all_pairs_sequential(g).diameter());
         });
         group.bench_with_input(BenchmarkId::new("parallel", n), &g, |b, g| {
-            b.iter(|| DistanceMatrix::all_pairs(g).diameter())
+            b.iter(|| DistanceMatrix::all_pairs(g).diameter());
         });
     }
     group.finish();

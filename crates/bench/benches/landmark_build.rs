@@ -8,6 +8,9 @@
 //! graph on which the dense builder cannot run at all (its distance matrix
 //! alone is 64 GiB).
 
+// Bench targets report to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphkit::{generators, Graph};
 use routeschemes::landmark::LandmarkRouting;
@@ -28,10 +31,10 @@ fn bench_dense_vs_sparse(c: &mut Criterion) {
     let mut group = c.benchmark_group("landmark/build-1024");
     let g = workload_graph(1024);
     group.bench_with_input(BenchmarkId::new("dense", 1024), &(), |b, ()| {
-        b.iter(|| LandmarkRouting::build_dense(&g, SEED).landmarks().len())
+        b.iter(|| LandmarkRouting::build_dense(&g, SEED).landmarks().len());
     });
     group.bench_with_input(BenchmarkId::new("sparse", 1024), &(), |b, ()| {
-        b.iter(|| LandmarkRouting::build(&g, SEED).landmarks().len())
+        b.iter(|| LandmarkRouting::build(&g, SEED).landmarks().len());
     });
     group.finish();
 }

@@ -8,6 +8,9 @@
 //! `BENCH_landmark_sweep.json` in the workspace root; the companion scenario
 //! (`trafficlab run landmark-sweep`) gates the same curve in CI.
 
+// Bench targets report to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use graphkit::{generators, Graph};
 use routeschemes::{GraphHints, LandmarkConfig, LandmarkCount, SchemeSpec};

@@ -1,6 +1,9 @@
 //! Bench for Lemma 2: building the generalized graph of constraints of a
 //! matrix and verifying the stretch-<2 forcing property.
 
+// Bench targets report to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use constraints::graph_of_constraints::ConstraintGraph;
 use constraints::matrix::ConstraintMatrix;
 use constraints::verify::{verify_forcing_structure, verify_routing_respects_constraints};
@@ -54,7 +57,7 @@ fn bench_verify_routing(c: &mut Criterion) {
 
 fn bench_full_sweep(c: &mut Criterion) {
     c.bench_function("lemma2/analysis-sweep-5-instances", |b| {
-        b.iter(|| analysis::lemma::run_lemma2(4, 8, 3, 5, 9).routings_ok)
+        b.iter(|| analysis::lemma::run_lemma2(4, 8, 3, 5, 9).routings_ok);
     });
 }
 

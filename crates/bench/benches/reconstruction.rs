@@ -2,6 +2,9 @@
 //! routers of a worst-case instance, rebuilding the matrix, and computing the
 //! canonical representative.
 
+// Bench targets report to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use constraints::canonical::canonical_form_heuristic;
 use constraints::reconstruct::{describe_encoding_cost, reconstruct_matrix};
 use constraints::theorem1::build_worst_case_instance;
@@ -28,7 +31,7 @@ fn bench_canonicalization_of_probe(c: &mut Criterion) {
     let r = TableRouting::shortest_paths(&cg.graph, TieBreak::LowestPort);
     let probed = reconstruct_matrix(&cg, &r);
     c.bench_function("reconstruction/heuristic-canonical-form-n256", |b| {
-        b.iter(|| canonical_form_heuristic(&probed).num_cols())
+        b.iter(|| canonical_form_heuristic(&probed).num_cols());
     });
 }
 
@@ -36,7 +39,7 @@ fn bench_encoding_cost(c: &mut Criterion) {
     let (cg, _) = build_worst_case_instance(256, 0.5, 17);
     let r = TableRouting::shortest_paths(&cg.graph, TieBreak::LowestPort);
     c.bench_function("reconstruction/encoding-cost-n256", |b| {
-        b.iter(|| describe_encoding_cost(&cg, &r).constrained_router_bits)
+        b.iter(|| describe_encoding_cost(&cg, &r).constrained_router_bits);
     });
 }
 

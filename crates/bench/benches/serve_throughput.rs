@@ -8,6 +8,9 @@
 //! `n = 4096`, the speedup ratio, and one landmark point at `n = 131072`
 //! where table-per-node schemes cannot even build.
 
+// Bench targets report to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphkit::{generators, Graph, GraphView};
 use routeschemes::spec::SchemeSpec;
@@ -42,7 +45,7 @@ fn bench_kernels(c: &mut Criterion) {
                     .unwrap()
                     .outcomes
                     .delivered
-            })
+            });
         });
     }
     group.finish();

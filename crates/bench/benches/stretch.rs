@@ -1,6 +1,9 @@
 //! Bench for the stretch-factor machinery: routing every pair and comparing
 //! against the distance matrix (the measurement every table entry rests on).
 
+// Bench targets report to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphkit::{generators, DistanceMatrix};
 use routemodel::stretch::{sampled_pairs, stretch_over_pairs};
@@ -16,7 +19,7 @@ fn bench_exact_stretch(c: &mut Criterion) {
         let dm = DistanceMatrix::all_pairs(&g);
         let tables = TableRouting::shortest_paths(&g, TieBreak::LowestPort);
         group.bench_with_input(BenchmarkId::new("tables", n), &(), |b, _| {
-            b.iter(|| stretch_factor(&g, &dm, &tables).unwrap().max_stretch)
+            b.iter(|| stretch_factor(&g, &dm, &tables).unwrap().max_stretch);
         });
         let lm = LandmarkScheme::new(5).build(&g);
         group.bench_with_input(BenchmarkId::new("landmark", n), &(), |b, _| {
@@ -24,7 +27,7 @@ fn bench_exact_stretch(c: &mut Criterion) {
                 stretch_factor(&g, &dm, lm.routing.as_ref())
                     .unwrap()
                     .max_stretch
-            })
+            });
         });
     }
     group.finish();
@@ -40,7 +43,7 @@ fn bench_sampled_stretch(c: &mut Criterion) {
             stretch_over_pairs(&g, &dm, &tables, pairs.iter().copied())
                 .unwrap()
                 .max_stretch
-        })
+        });
     });
 }
 

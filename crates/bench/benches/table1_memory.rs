@@ -6,6 +6,9 @@
 //! `O(n log n)` (tables) versus `O(log n)` (e-cube / modular complete) versus
 //! `Õ(√n)` (landmark) behaviours are visible as build-time scaling as well.
 
+// Bench targets report to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphkit::generators;
 use routemodel::labeling::modular_complete_labeling;
@@ -20,16 +23,16 @@ fn bench_universal_schemes(c: &mut Criterion) {
     for &n in &FAMILY_SIZES {
         let g = generators::random_connected(n, 8.0 / n as f64, 42);
         group.bench_with_input(BenchmarkId::new("routing-tables", n), &g, |b, g| {
-            b.iter(|| TableScheme::default().build(g).memory.global())
+            b.iter(|| TableScheme::default().build(g).memory.global());
         });
         group.bench_with_input(BenchmarkId::new("k-interval", n), &g, |b, g| {
-            b.iter(|| KIntervalScheme::default().build(g).memory.global())
+            b.iter(|| KIntervalScheme::default().build(g).memory.global());
         });
         group.bench_with_input(BenchmarkId::new("landmark", n), &g, |b, g| {
-            b.iter(|| LandmarkScheme::new(7).build(g).memory.global())
+            b.iter(|| LandmarkScheme::new(7).build(g).memory.global());
         });
         group.bench_with_input(BenchmarkId::new("spanning-tree", n), &g, |b, g| {
-            b.iter(|| SpanningTreeScheme::default().build(g).memory.global())
+            b.iter(|| SpanningTreeScheme::default().build(g).memory.global());
         });
     }
     group.finish();
@@ -47,7 +50,7 @@ fn bench_class_specific_schemes(c: &mut Criterion) {
         );
         let tree = generators::random_tree(n, 3);
         group.bench_with_input(BenchmarkId::new("tree-interval", n), &tree, |b, g| {
-            b.iter(|| TreeIntervalScheme.build(g).memory.global())
+            b.iter(|| TreeIntervalScheme.build(g).memory.global());
         });
         let complete = modular_complete_labeling(n);
         group.bench_with_input(
@@ -63,7 +66,7 @@ fn bench_table1_harness(c: &mut Criterion) {
     // The full measurement pipeline at the smallest size (it routes every
     // pair under every scheme, so keep it to one size here).
     c.bench_function("table1/full-harness-n64", |b| {
-        b.iter(|| analysis::table1::run_table1(64, 11).len())
+        b.iter(|| analysis::table1::run_table1(64, 11).len());
     });
 }
 

@@ -1,6 +1,9 @@
 //! Bench for Theorem 1: the analytic lower-bound evaluation and the
 //! construction of worst-case instances of the family `G_n`.
 
+// Bench targets report to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use constraints::theorem1::{build_worst_case_instance, lower_bound};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use routing_bench::{quick_criterion, THEOREM1_GRID};
@@ -36,7 +39,7 @@ fn bench_worst_case_construction(c: &mut Criterion) {
 
 fn bench_empirical_point(c: &mut Criterion) {
     c.bench_function("theorem1/empirical-point-n128", |b| {
-        b.iter(|| analysis::theorem1::run_empirical(&[128], &[0.5], 3).len())
+        b.iter(|| analysis::theorem1::run_empirical(&[128], &[0.5], 3).len());
     });
 }
 

@@ -9,6 +9,9 @@
 //! on which the dense pipeline cannot run at all (the matrix alone is
 //! 64 GiB).
 
+// Bench targets report to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphkit::{generators, DistanceMatrix, Graph};
 use routemodel::{stretch_factor, TableRouting, TieBreak};
@@ -40,7 +43,7 @@ fn bench_uniform_throughput(c: &mut Criterion) {
                 run_workload(&g, inst.routing.as_ref(), &plan, &EngineConfig::default())
                     .unwrap()
                     .routed_messages
-            })
+            });
         });
     }
     group.finish();
@@ -58,14 +61,14 @@ fn bench_blocked_vs_dense_stretch(c: &mut Criterion) {
         b.iter(|| {
             let dm = DistanceMatrix::all_pairs(&g);
             stretch_factor(&g, &dm, &table).unwrap().max_stretch
-        })
+        });
     });
     group.bench_with_input(BenchmarkId::new("blocked", n), &(), |b, ()| {
         b.iter(|| {
             stretch_factor_blocked(&g, &table, 0, 64)
                 .unwrap()
                 .max_stretch
-        })
+        });
     });
     group.finish();
 }

@@ -9,6 +9,8 @@
 //!
 //! Common helpers shared by the bench targets live here.
 
+#![forbid(unsafe_code)]
+
 use criterion::Criterion;
 
 /// A Criterion configuration tuned for the repository's CI-style runs:

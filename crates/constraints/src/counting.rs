@@ -21,11 +21,11 @@ use routemodel::coding::log2_factorial;
 pub fn lemma1_lower_bound_log2(p: usize, q: usize, d: u32) -> f64 {
     let p_ = p as f64;
     let q_ = q as f64;
-    let d_ = d as f64;
+    let d_ = f64::from(d);
     p_ * q_ * d_.log2()
         - log2_factorial(p as u64)
         - log2_factorial(q as u64)
-        - p_ * log2_factorial(d as u64)
+        - p_ * log2_factorial(u64::from(d))
 }
 
 /// The Lemma 1 bound as a count (`2^log₂`), saturating at `f64::INFINITY`
@@ -42,7 +42,7 @@ pub fn lemma1_lower_bound_count(p: usize, q: usize, d: u32) -> f64 {
 pub fn lemma1_asymptotic_log2(p: usize, q: usize, d: u32) -> f64 {
     let p_ = p as f64;
     let q_ = q as f64;
-    let d_ = d as f64;
+    let d_ = f64::from(d);
     let log_d = if d <= 1 { 0.0 } else { d_.log2() };
     let log_q = if q <= 1 { 0.0 } else { q_.log2() };
     let log_p = if p <= 1 { 0.0 } else { p_.log2() };
@@ -53,7 +53,7 @@ pub fn lemma1_asymptotic_log2(p: usize, q: usize, d: u32) -> f64 {
 /// tiny parameters where everything fits in `u128`.  Returns `None` when an
 /// intermediate value overflows.
 pub fn lemma1_exact_floor(p: usize, q: usize, d: u32) -> Option<u128> {
-    let num = (d as u128).checked_pow((p * q) as u32)?;
+    let num = u128::from(d).checked_pow((p * q) as u32)?;
     let fact = |x: u128| -> Option<u128> {
         let mut acc: u128 = 1;
         for k in 2..=x {
@@ -62,7 +62,7 @@ pub fn lemma1_exact_floor(p: usize, q: usize, d: u32) -> Option<u128> {
         Some(acc)
     };
     let mut den = fact(p as u128)?.checked_mul(fact(q as u128)?)?;
-    let dfact = fact(d as u128)?;
+    let dfact = fact(u128::from(d))?;
     for _ in 0..p {
         den = den.checked_mul(dfact)?;
     }

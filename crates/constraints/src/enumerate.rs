@@ -37,8 +37,8 @@ pub fn enumerate_canonical_matrices(p: usize, q: usize, d: u32) -> Vec<Constrain
         .map(|x| x.get())
         .unwrap_or(1);
     // Don't spin up workers that would each see only a handful of matrices.
-    let total = (d as u128).saturating_pow((p * q) as u32);
-    let cap = (total / MIN_MATRICES_PER_WORKER as u128).max(1);
+    let total = u128::from(d).saturating_pow((p * q) as u32);
+    let cap = (total / u128::from(MIN_MATRICES_PER_WORKER)).max(1);
     let threads = threads.min(cap.min(usize::MAX as u128) as usize);
     enumerate_canonical_matrices_with_threads(p, q, d, threads)
 }
@@ -54,7 +54,7 @@ pub fn enumerate_canonical_matrices_with_threads(
 ) -> Vec<ConstraintMatrix> {
     assert!(p >= 1 && q >= 1 && d >= 1);
     let cells = p * q;
-    let total = (d as u128)
+    let total = u128::from(d)
         .checked_pow(cells as u32)
         .expect("d^(pq) overflow");
     assert!(
@@ -103,8 +103,8 @@ fn enumerate_range(p: usize, q: usize, d: u32, lo: u64, hi: u64) -> BTreeSet<Con
     let mut digits = vec![0u32; cells];
     let mut rest = lo;
     for slot in digits.iter_mut() {
-        *slot = (rest % d as u64) as u32;
-        rest /= d as u64;
+        *slot = (rest % u64::from(d)) as u32;
+        rest /= u64::from(d);
     }
     for _ in lo..hi {
         let entries: Vec<u32> = digits.iter().map(|&x| x + 1).collect();
@@ -244,7 +244,7 @@ mod tests {
         // full sweep — the invariant behind the parallel decomposition.
         let (p, q, d) = (2usize, 3usize, 2u32);
         let full = enumerate_canonical_matrices_with_threads(p, q, d, 1);
-        let total = (d as u64).pow((p * q) as u32);
+        let total = u64::from(d).pow((p * q) as u32);
         for split in [1u64, 7, 13, total - 1] {
             let mut acc = super::enumerate_range(p, q, d, 0, split);
             acc.extend(super::enumerate_range(p, q, d, split, total));

@@ -26,6 +26,8 @@
 //! * Figure 1 (a shortest-path matrix of constraints on the Petersen graph)
 //!   → [`petersen`].
 
+#![forbid(unsafe_code)]
+
 pub mod bounds;
 pub mod canonical;
 pub mod counting;

@@ -105,11 +105,11 @@ pub fn describe_encoding_cost<R: RoutingFunction + ?Sized>(
             let restricted: Vec<Option<usize>> =
                 cg.targets.iter().map(|&b| full.ports[b]).collect();
             PortMap::new(a, g.degree(a), restricted).raw_table_bits()
-                + routemodel::coding::bits_for_values(n) as u64 // its own label
+                + u64::from(routemodel::coding::bits_for_values(n)) // its own label
         })
         .sum();
     let mb_bits = log2_binomial(n, q).ceil() as u64;
-    let mc_bits = 4 * routemodel::coding::bits_for_values(n) as u64;
+    let mc_bits = 4 * u64::from(routemodel::coding::bits_for_values(n));
     let class_information_bits =
         crate::counting::lemma1_lower_bound_log2(cg.p(), cg.q(), cg.matrix.max_entry());
     EncodingCost {

@@ -139,7 +139,8 @@ pub fn lower_bound_for_params(params: Theorem1Params) -> LowerBoundReport {
     let overhead_bits = 3.0 * log_n;
     let total_lower_bits = (log2_classes - mb_bits - mc_bits - overhead_bits).max(0.0);
     let per_router_lower_bits = total_lower_bits / p as f64;
-    let table_upper_bits_per_router = (n as u64 - 1) * bits_for_values(n as u64 - 1).max(1) as u64;
+    let table_upper_bits_per_router =
+        (n as u64 - 1) * u64::from(bits_for_values(n as u64 - 1).max(1));
     let guaranteed_high_memory_routers = if table_upper_bits_per_router == 0 {
         0
     } else {

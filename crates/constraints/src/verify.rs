@@ -73,11 +73,11 @@ pub fn forcing_stretch_bound(cg: &ConstraintGraph) -> f64 {
         for i in 0..cg.p() {
             let a = cg.constrained[i];
             let forced_middle = g.port_target(a, cg.forced_port(i, j));
-            let d = dist_from_b[a] as f64;
+            let d = f64::from(dist_from_b[a]);
             for &x in g.neighbors(a) {
                 let x = x as usize;
                 if x != forced_middle {
-                    let alt = 1.0 + dist_from_b[x] as f64;
+                    let alt = 1.0 + f64::from(dist_from_b[x]);
                     bound = bound.min(alt / d);
                 }
             }
@@ -128,7 +128,7 @@ pub fn verify_routing_respects_constraints_with_stretch<R: RoutingFunction + ?Si
             let a = cg.constrained[i];
             let b = cg.targets[j];
             let trace = routemodel::route(g, r, a, b).map_err(|e| e.to_string())?;
-            let d = graphkit::traversal::bfs_distances(g, a)[b] as f64;
+            let d = f64::from(graphkit::traversal::bfs_distances(g, a)[b]);
             if (trace.len() as f64) >= 2.0 * d {
                 return Err(format!(
                     "routing function has stretch >= 2 on the pair (a_{i}, b_{j}); \

@@ -14,6 +14,8 @@
 //!
 //! [`criterion`]: https://crates.io/crates/criterion
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
@@ -227,6 +229,8 @@ impl Bencher {
     }
 }
 
+// Console reporting is the shim's whole purpose, mirroring real criterion.
+#[allow(clippy::print_stdout)]
 fn run_one<F>(
     id: &str,
     sample_size: usize,

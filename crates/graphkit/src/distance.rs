@@ -35,7 +35,7 @@ fn widen(b: u8) -> Dist {
     if b == NARROW_INFINITY {
         INFINITY
     } else {
-        b as Dist
+        Dist::from(b)
     }
 }
 
@@ -363,7 +363,7 @@ impl DistanceMatrix {
                 if u != v {
                     let d = self.dist(u, v);
                     if d != INFINITY {
-                        sum += d as u64;
+                        sum += u64::from(d);
                         count += 1;
                     }
                 }

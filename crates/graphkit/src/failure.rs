@@ -384,12 +384,12 @@ mod tests {
         let seed = 0xC0FFEE;
         let mut prev = FailureSet::sample(&g, 0.0, seed);
         for step in 1..=8 {
-            let cur = FailureSet::sample(&g, step as f64 * 0.02, seed);
+            let cur = FailureSet::sample(&g, f64::from(step) * 0.02, seed);
             assert!(
                 cur.is_superset_of(&prev),
                 "rate {} should extend rate {}",
-                step as f64 * 0.02,
-                (step - 1) as f64 * 0.02
+                f64::from(step) * 0.02,
+                f64::from(step - 1) * 0.02
             );
             assert!(cur.len() >= prev.len());
             prev = cur;

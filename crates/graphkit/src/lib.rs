@@ -47,6 +47,8 @@
 //! assert_eq!(d.diameter(), Some(2));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod distance;
 pub mod failure;

@@ -88,7 +88,7 @@ impl Xoshiro256 {
         let bound = bound as u64;
         loop {
             let x = self.next_u64();
-            let m = (x as u128).wrapping_mul(bound as u128);
+            let m = u128::from(x).wrapping_mul(u128::from(bound));
             let low = m as u64;
             if low >= bound {
                 return (m >> 64) as usize;
@@ -223,7 +223,7 @@ mod tests {
         let mut rng = Xoshiro256::new(17);
         let trials = 20_000;
         let hits = (0..trials).filter(|_| rng.gen_bool(0.25)).count();
-        let frac = hits as f64 / trials as f64;
+        let frac = hits as f64 / f64::from(trials);
         assert!((frac - 0.25).abs() < 0.02, "empirical frequency {frac}");
     }
 

@@ -124,10 +124,10 @@ pub fn bfs_distances_u8_into<A: Adjacency>(
         head += 1;
         // Visited vertices always hold a *finite* value < 255, so the
         // sentinel test below is unambiguous.
-        let du = dist[u] as u16 + 1;
+        let du = u16::from(dist[u]) + 1;
         g.for_each_live(u, |_, v| {
             if !overflow && dist[v] == NARROW_INFINITY {
-                if du >= NARROW_INFINITY as u16 {
+                if du >= u16::from(NARROW_INFINITY) {
                     overflow = true;
                     return;
                 }
@@ -684,7 +684,7 @@ mod tests {
                     let widened = if narrow[v] == NARROW_INFINITY {
                         INFINITY
                     } else {
-                        narrow[v] as Dist
+                        Dist::from(narrow[v])
                     };
                     assert_eq!(widened, wide[v], "source {s}, vertex {v}");
                 }

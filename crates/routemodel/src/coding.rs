@@ -108,7 +108,7 @@ impl BitWriter {
     pub fn push_elias_delta(&mut self, value: u64) {
         assert!(value >= 1, "Elias delta encodes positive integers");
         let nbits = 64 - value.leading_zeros();
-        self.push_elias_gamma(nbits as u64);
+        self.push_elias_gamma(u64::from(nbits));
         if nbits > 1 {
             // remaining nbits-1 low bits of value
             let low = value & ((1u64 << (nbits - 1)) - 1);
@@ -156,7 +156,7 @@ impl<'a> BitReader<'a> {
         }
         let mut v = 0u64;
         for _ in 0..width {
-            v = (v << 1) | (self.read_bit()? as u64);
+            v = (v << 1) | u64::from(self.read_bit()?);
         }
         Some(v)
     }
@@ -191,7 +191,7 @@ impl<'a> BitReader<'a> {
 /// Length in bits of the Elias gamma code of `value ≥ 1` (without writing it).
 pub fn elias_gamma_len(value: u64) -> u64 {
     assert!(value >= 1);
-    let nbits = 64 - value.leading_zeros() as u64;
+    let nbits = 64 - u64::from(value.leading_zeros());
     2 * nbits - 1
 }
 
@@ -295,7 +295,7 @@ mod tests {
             255,
             256,
             1 << 20,
-            u32::MAX as u64,
+            u64::from(u32::MAX),
         ];
         let mut w = BitWriter::new();
         for &v in &values {
@@ -368,7 +368,9 @@ mod proptests {
         let mut rng = Xoshiro256::new(0x0DD5);
         for case in 0..CASES {
             let len = rng.gen_range_inclusive(1, 49);
-            let values: Vec<u64> = (0..len).map(|_| rng.next_u64() % u32::MAX as u64).collect();
+            let values: Vec<u64> = (0..len)
+                .map(|_| rng.next_u64() % u64::from(u32::MAX))
+                .collect();
             let mut w = BitWriter::new();
             for &v in &values {
                 w.push_uint(v, 32);

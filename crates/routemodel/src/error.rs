@@ -44,6 +44,21 @@ pub enum RoutingError {
     Unreachable { source: NodeId, dest: NodeId },
 }
 
+impl RoutingError {
+    /// Stable snake_case machine code of the error variant, for JSON output
+    /// and skip notes that need a grep-able key next to the human message.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RoutingError::Loop { .. } => "loop",
+            RoutingError::WrongDelivery { .. } => "wrong_delivery",
+            RoutingError::PortOutOfRange { .. } => "port_out_of_range",
+            RoutingError::LinkDown { .. } => "link_down",
+            RoutingError::StretchExceeded { .. } => "stretch_exceeded",
+            RoutingError::Unreachable { .. } => "unreachable",
+        }
+    }
+}
+
 impl fmt::Display for RoutingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -65,6 +65,18 @@ pub trait RoutingFunction: std::any::Any {
     fn name(&self) -> &str {
         "unnamed routing function"
     }
+
+    /// The scheme's declared bound on header payload size, in 64-bit words.
+    ///
+    /// The model allows unbounded headers, but every concrete scheme commits
+    /// to a finite encoding (all the registry schemes carry at most one
+    /// payload word).  Static verifiers treat a walk whose header payload
+    /// grows past this bound as a `HeaderOverflow` instead of chasing an
+    /// unbounded state space.  The default is generous; schemes with larger
+    /// legitimate payloads must override it.
+    fn declared_header_words(&self) -> usize {
+        8
+    }
 }
 
 /// A routing function defined by closures; convenient in tests and in the

@@ -38,6 +38,8 @@
 //! * [`labeling`] produces the "good" and "adversarial" port labelings whose
 //!   contrast on the complete graph motivates the whole problem.
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod coding;
 pub mod error;

@@ -56,7 +56,7 @@ impl PortMap {
     /// `(n − 1) · ⌈log₂ deg⌉` bits.  This is the `O(n log n)` upper bound the
     /// paper repeatedly refers to as "routing tables".
     pub fn raw_table_bits(&self) -> u64 {
-        let w = bits_for_values(self.degree as u64) as u64;
+        let w = u64::from(bits_for_values(self.degree as u64));
         (self.ports.iter().flatten().count() as u64) * w
     }
 
@@ -68,7 +68,7 @@ impl PortMap {
     pub fn interval_bits(&self) -> u64 {
         let n = self.ports.len() as u64;
         let runs = self.count_runs() as u64;
-        runs * (bits_for_values(n) as u64 + bits_for_values(self.degree as u64) as u64)
+        runs * (u64::from(bits_for_values(n)) + u64::from(bits_for_values(self.degree as u64)))
     }
 
     /// Number of maximal cyclic runs of equal ports in label order (skipping
@@ -190,7 +190,7 @@ pub fn counting_lower_bound_bits(behaviours: f64) -> f64 {
 /// The classical routing-table upper bound for one router of degree `deg` in
 /// an `n`-node network: `(n − 1) ⌈log₂ deg⌉ ≤ n ⌈log₂ n⌉` bits.
 pub fn table_upper_bound_bits(n: usize, deg: usize) -> u64 {
-    ((n.saturating_sub(1)) as u64) * bits_for_values(deg as u64) as u64
+    ((n.saturating_sub(1)) as u64) * u64::from(bits_for_values(deg as u64))
 }
 
 #[cfg(test)]

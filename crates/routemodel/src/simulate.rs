@@ -54,6 +54,23 @@ pub enum DeliveryOutcome {
 }
 
 impl DeliveryOutcome {
+    /// Every machine code a [`DeliveryOutcome`] can render to, in declaration
+    /// order.  Table renderers, JSON emitters and their anti-drift tests all
+    /// iterate this list instead of hand-writing the strings.
+    pub const ALL_CODES: [&'static str; 4] =
+        ["delivered", "link_down", "hop_limit", "wrong_delivery"];
+
+    /// Stable snake_case machine code of the outcome, shared between table
+    /// and JSON output (satellite of the `routecheck` soundness verdicts).
+    pub fn code(&self) -> &'static str {
+        match self {
+            DeliveryOutcome::Delivered => "delivered",
+            DeliveryOutcome::LinkDown { .. } => "link_down",
+            DeliveryOutcome::HopLimit { .. } => "hop_limit",
+            DeliveryOutcome::WrongDelivery { .. } => "wrong_delivery",
+        }
+    }
+
     /// Whether the message arrived.
     #[inline]
     pub fn is_delivered(&self) -> bool {

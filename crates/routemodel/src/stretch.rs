@@ -77,7 +77,7 @@ impl StretchAccumulator {
     /// iteration order decides the reported argmax pair.  `dist` must be the
     /// true distance `d_G(s, t)` (finite and positive).
     pub fn record(&mut self, s: NodeId, t: NodeId, len: u32, dist: u32) {
-        let stretch = len as f64 / dist as f64;
+        let stretch = f64::from(len) / f64::from(dist);
         self.sum += stretch;
         self.count += 1;
         self.max_len = self.max_len.max(len);
@@ -344,7 +344,7 @@ pub fn verify_stretch<R: RoutingFunction + ?Sized>(
             }
             let len = buf.len() as u32;
             let d = dm.dist(s, t);
-            if (len as f64) > bound * (d as f64) + 1e-9 {
+            if f64::from(len) > bound * f64::from(d) + 1e-9 {
                 return Err(RoutingError::StretchExceeded {
                     source: s,
                     dest: t,
@@ -486,7 +486,7 @@ mod tests {
                 distance,
                 ..
             }) => {
-                assert!(route_len as f64 > 1.5 * distance as f64);
+                assert!(f64::from(route_len) > 1.5 * f64::from(distance));
             }
             other => panic!("expected stretch violation, got {other:?}"),
         }

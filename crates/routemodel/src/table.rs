@@ -200,6 +200,39 @@ impl TableRouting {
         PortMap::new(u, g.degree(u), ports)
     }
 
+    /// Structural audit of the stored table against `g`: row shapes and port
+    /// validity.  Returns human-readable findings; empty means clean.  The
+    /// diagonal and `NO_PORT` entries are exempt — both mean "deliver here".
+    pub fn audit(&self, g: &Graph) -> Vec<String> {
+        let n = g.num_nodes();
+        let mut findings = Vec::new();
+        if self.next_port.len() != n {
+            findings.push(format!(
+                "table has {} rows for {n} vertices",
+                self.next_port.len()
+            ));
+            return findings;
+        }
+        for (u, row) in self.next_port.iter().enumerate() {
+            if row.len() != n {
+                findings.push(format!(
+                    "row {u} has {} entries for {n} vertices",
+                    row.len()
+                ));
+                continue;
+            }
+            for (v, &p) in row.iter().enumerate() {
+                if u != v && p != NO_PORT && p >= g.degree(u) {
+                    findings.push(format!(
+                        "port {p} stored at node {u} towards {v} exceeds degree {}",
+                        g.degree(u)
+                    ));
+                }
+            }
+        }
+        findings
+    }
+
     /// Memory report under the raw routing-table encoding
     /// (`(n−1)⌈log₂ deg⌉` bits per router).
     pub fn memory_raw(&self, g: &Graph) -> MemoryReport {

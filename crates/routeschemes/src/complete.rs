@@ -84,7 +84,7 @@ impl CompactScheme for ModularCompleteScheme {
         let n = g.num_nodes();
         let routing = ModularCompleteRouting::new(n);
         // Each router stores its own label and n.
-        let bits = 2 * bits_for_values(n as u64) as u64;
+        let bits = 2 * u64::from(bits_for_values(n as u64));
         let memory = MemoryReport::from_fn(n, |_| bits);
         Ok(SchemeInstance::new(Box::new(routing), memory, Some(1.0)))
     }

@@ -71,6 +71,27 @@ impl DimensionOrderRouting {
         let [r, c] = self.coords[v];
         (r as usize, c as usize)
     }
+
+    /// Fault injection for the mutation harness: overwrite the direction
+    /// entry the decision logic takes at router `v` for `dest` with a raw,
+    /// unvalidated port.  Deliberately breaks the instance; exists so the
+    /// static checker can prove it catches broken tables.
+    pub fn corrupt_step(&mut self, v: NodeId, dest: NodeId, port: usize) -> String {
+        let (r, c) = self.coords(v);
+        let (dr, dc) = self.coords(dest);
+        let dir = if dc > c {
+            EAST
+        } else if dc < c {
+            WEST
+        } else if dr > r {
+            SOUTH
+        } else {
+            NORTH
+        };
+        self.ports[v][dir] = Some(port);
+        const NAMES: [&str; 4] = ["east", "west", "south", "north"];
+        format!("{} port of router {v}", NAMES[dir])
+    }
 }
 
 impl RoutingFunction for DimensionOrderRouting {
@@ -152,8 +173,8 @@ impl CompactScheme for DimensionOrderScheme {
         }
         let routing = DimensionOrderRouting::build(g, self.rows, self.cols);
         // Each router stores its coordinates and the grid dimensions.
-        let bits = 2 * bits_for_values(self.rows as u64) as u64
-            + 2 * bits_for_values(self.cols as u64) as u64;
+        let bits = 2 * u64::from(bits_for_values(self.rows as u64))
+            + 2 * u64::from(bits_for_values(self.cols as u64));
         let memory = MemoryReport::from_fn(g.num_nodes(), |_| bits.max(1));
         Ok(SchemeInstance::new(Box::new(routing), memory, Some(1.0)))
     }

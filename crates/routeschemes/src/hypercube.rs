@@ -138,7 +138,7 @@ impl CompactScheme for EcubeScheme {
         let routing = EcubeRouting::new(k);
         // Each router stores its own k-bit address plus the value of k.
         let n = g.num_nodes();
-        let bits = k as u64 + bits_for_values(k as u64 + 1) as u64;
+        let bits = k as u64 + u64::from(bits_for_values(k as u64 + 1));
         let memory = MemoryReport::from_fn(n, |_| bits);
         Ok(SchemeInstance::new(Box::new(routing), memory, Some(1.0)))
     }

@@ -111,13 +111,50 @@ impl KIntervalRouting {
         self.intervals.iter().flat_map(|r| r.iter()).sum()
     }
 
+    /// Structural audit against `g`: labels a permutation, the interval-count
+    /// matrix shaped like the port space, and the underlying next-port table
+    /// clean under [`TableRouting::audit`].  Returns human-readable findings;
+    /// empty means clean.
+    pub fn audit(&self, g: &Graph) -> Vec<String> {
+        let n = g.num_nodes();
+        let mut f = self.table.audit(g);
+        let mut seen = vec![false; n];
+        for (v, &l) in self.label.iter().enumerate() {
+            if l >= n {
+                f.push(format!("label {l} of vertex {v} out of range"));
+            } else if seen[l] {
+                f.push(format!("label {l} assigned to two vertices"));
+            } else {
+                seen[l] = true;
+            }
+        }
+        for (u, row) in self.intervals.iter().enumerate() {
+            if row.len() != g.degree(u) {
+                f.push(format!(
+                    "interval counts at router {u} cover {} arcs of {}",
+                    row.len(),
+                    g.degree(u)
+                ));
+            }
+        }
+        f
+    }
+
+    /// Fault injection for the mutation harness: overwrite the next-port
+    /// entry `(u, v)` of the underlying table with a raw, unvalidated port.
+    /// Deliberately breaks the instance; exists so the static checker can
+    /// prove it catches broken tables.
+    pub fn corrupt_next_port(&mut self, u: NodeId, v: NodeId, p: Port) {
+        self.table.set_next_port(u, v, p);
+    }
+
     /// Memory report: every interval costs two labels, every arc additionally
     /// names its port, and the router stores its own label.
     pub fn memory(&self, g: &Graph) -> MemoryReport {
         let n = g.num_nodes();
-        let label_bits = bits_for_values(n as u64) as u64;
+        let label_bits = u64::from(bits_for_values(n as u64));
         MemoryReport::from_fn(n, |u| {
-            let port_bits = bits_for_values(g.degree(u) as u64) as u64;
+            let port_bits = u64::from(bits_for_values(g.degree(u) as u64));
             let iv: u64 = self.intervals[u].iter().map(|&c| c as u64).sum();
             label_bits + iv * 2 * label_bits + g.degree(u) as u64 * port_bits
         })
@@ -134,11 +171,11 @@ impl RoutingFunction for KIntervalRouting {
     }
 
     fn init_into(&self, source: NodeId, dest: NodeId, header: &mut Header) {
-        self.table.init_into(source, dest, header)
+        self.table.init_into(source, dest, header);
     }
 
     fn next_header_into(&self, node: NodeId, header: &mut Header) {
-        self.table.next_header_into(node, header)
+        self.table.next_header_into(node, header);
     }
 
     fn name(&self) -> &str {

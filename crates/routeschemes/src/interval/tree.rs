@@ -230,13 +230,102 @@ impl TreeIntervalRouting {
         })
     }
 
+    /// Structural audit of the stored tree against `g`: labels a permutation,
+    /// parent/child ports in range, the root parentless, every child interval
+    /// well-formed (`lo ≤ hi`, in label range) and disjoint from its
+    /// siblings.  Returns human-readable findings; empty means clean.
+    pub fn audit(&self, g: &Graph) -> Vec<String> {
+        let n = g.num_nodes();
+        let mut f = Vec::new();
+        let mut seen = vec![false; n];
+        for (v, &l) in self.label.iter().enumerate() {
+            if l >= n {
+                f.push(format!("label {l} of vertex {v} out of range"));
+            } else if seen[l] {
+                f.push(format!("label {l} assigned to two vertices"));
+            } else {
+                seen[l] = true;
+            }
+        }
+        if self.root >= n {
+            f.push(format!("root {} out of range", self.root));
+        } else if self.parent_port[self.root].is_some() {
+            f.push("root has a parent port".to_string());
+        }
+        for u in 0..n {
+            if let Some(p) = self.parent_port[u] {
+                if p >= g.degree(u) {
+                    f.push(format!(
+                        "parent port {p} at router {u} exceeds degree {}",
+                        g.degree(u)
+                    ));
+                }
+            }
+            let mut spans: Vec<(usize, usize)> = Vec::new();
+            for &(port, lo, hi) in &self.children[u] {
+                if port >= g.degree(u) {
+                    f.push(format!(
+                        "child port {port} at router {u} exceeds degree {}",
+                        g.degree(u)
+                    ));
+                }
+                if lo > hi || hi >= n {
+                    f.push(format!(
+                        "malformed child interval [{lo}, {hi}] at router {u}"
+                    ));
+                } else {
+                    spans.push((lo, hi));
+                }
+            }
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                if w[1].0 <= w[0].1 {
+                    f.push(format!(
+                        "overlapping child intervals [{}, {}] and [{}, {}] at router {u}",
+                        w[0].0, w[0].1, w[1].0, w[1].1
+                    ));
+                }
+            }
+        }
+        f
+    }
+
+    /// Fault injection for the mutation harness: shrink the `child`-th
+    /// interval stored at router `v` by one from the top (`hi -= 1`), so the
+    /// subtree vertex whose DFS label was the old `hi` falls through to the
+    /// parent arc.  Returns the graph vertex whose delivery the corruption
+    /// breaks.  Deliberately breaks the instance; exists so the static
+    /// checker can prove it catches broken tables.
+    pub fn corrupt_child_interval(&mut self, v: NodeId, child: usize) -> NodeId {
+        let (_, _, hi) = self.children[v][child];
+        assert!(hi >= 1, "child intervals never contain the root label 0");
+        self.children[v][child].2 = hi - 1;
+        self.label
+            .iter()
+            .position(|&l| l == hi)
+            .expect("labels form a permutation")
+    }
+
+    /// Fault injection for the mutation harness: overwrite the port of the
+    /// `child`-th arc stored at router `v` with a raw, unvalidated port.
+    /// Returns the subtree vertex whose DFS label tops the child's interval
+    /// (one of the destinations the corruption strands).
+    pub fn corrupt_child_port(&mut self, v: NodeId, child: usize, port: Port) -> NodeId {
+        let (_, _, hi) = self.children[v][child];
+        self.children[v][child].0 = port;
+        self.label
+            .iter()
+            .position(|&l| l == hi)
+            .expect("labels form a permutation")
+    }
+
     /// Memory report: every router stores its own label, one interval
     /// (two labels) per child arc and the parent port.
     pub fn memory(&self, g: &Graph) -> MemoryReport {
         let n = g.num_nodes();
-        let label_bits = bits_for_values(n as u64) as u64;
+        let label_bits = u64::from(bits_for_values(n as u64));
         MemoryReport::from_fn(n, |u| {
-            let port_bits = bits_for_values(g.degree(u) as u64) as u64;
+            let port_bits = u64::from(bits_for_values(g.degree(u) as u64));
             let child_bits = self.children[u].len() as u64 * (2 * label_bits + port_bits);
             let parent_bits = if self.parent_port[u].is_some() {
                 port_bits
@@ -365,7 +454,7 @@ mod tests {
         let scheme = TreeIntervalScheme;
         let inst = scheme.build(&g);
         let n = g.num_nodes() as u64;
-        let log_n = 64 - (n - 1).leading_zeros() as u64;
+        let log_n = 64 - u64::from((n - 1).leading_zeros());
         // centre: 63 child intervals * (2*6 + 6) bits + own label
         assert_eq!(inst.memory.per_node[0], log_n + 63 * (2 * log_n + 6));
         // a leaf stores only its label and the parent port (degree 1 -> 0 bits)

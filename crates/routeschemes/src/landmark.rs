@@ -1221,10 +1221,114 @@ impl LandmarkRouting {
         self.direct_targets.len() as f64 / n.max(1) as f64
     }
 
+    /// Structural audit of the stored tables against `g`: landmark set
+    /// ascending/unique/indexed, homes pointing at landmarks, the
+    /// toward-landmark matrix shaped `n × k` with `NO_PORT` exactly on the
+    /// diagonal landmarks, cluster CSR offsets monotone with members sorted
+    /// and deduped, every stored port below the router's degree.  Returns
+    /// human-readable findings; empty means clean.
+    pub fn audit(&self, g: &Graph) -> Vec<String> {
+        let n = g.num_nodes();
+        let k = self.landmarks.len();
+        let mut f = Vec::new();
+        if !self.landmarks.windows(2).all(|w| w[0] < w[1]) {
+            f.push("landmark set is not strictly ascending".to_string());
+        }
+        for (i, &l) in self.landmarks.iter().enumerate() {
+            if l >= n {
+                f.push(format!("landmark {l} out of range for {n} vertices"));
+            }
+            if self.landmark_index.get(&l) != Some(&i) {
+                f.push(format!("landmark_index of {l} disagrees with position {i}"));
+            }
+        }
+        for (v, &h) in self.home.iter().enumerate() {
+            if !self.landmark_index.contains_key(&h) {
+                f.push(format!("home of {v} ({h}) is not a landmark"));
+            }
+        }
+        if self.toward_landmark.len() != n * k {
+            f.push(format!(
+                "toward-landmark table has {} entries for n*k = {}",
+                self.toward_landmark.len(),
+                n * k
+            ));
+            return f;
+        }
+        for w in 0..n {
+            for (i, &l) in self.landmarks.iter().enumerate() {
+                let p = self.toward_landmark[w * k + i];
+                if p == NO_PORT {
+                    if w != l {
+                        f.push(format!(
+                            "router {w} has no toward-landmark port for landmark {l}"
+                        ));
+                    }
+                } else if p as usize >= g.degree(w) {
+                    f.push(format!(
+                        "toward-landmark port {p} at router {w} exceeds degree {}",
+                        g.degree(w)
+                    ));
+                }
+            }
+        }
+        let shape_ok = self.direct_offsets.len() == n + 1
+            && self.direct_targets.len() == self.direct_ports.len()
+            && self.direct_offsets.last().map(|&e| e as usize) == Some(self.direct_targets.len())
+            && self.direct_offsets.windows(2).all(|w| w[0] <= w[1]);
+        if !shape_ok {
+            f.push("cluster CSR shape inconsistent".to_string());
+            return f;
+        }
+        for w in 0..n {
+            let lo = self.direct_offsets[w] as usize;
+            let hi = self.direct_offsets[w + 1] as usize;
+            let members = &self.direct_targets[lo..hi];
+            if !members.windows(2).all(|m| m[0] < m[1]) {
+                f.push(format!("cluster members of router {w} not sorted/deduped"));
+            }
+            for (e, &v) in members.iter().enumerate() {
+                if v as usize >= n {
+                    f.push(format!("cluster member {v} of router {w} out of range"));
+                }
+                let p = self.direct_ports[lo + e];
+                if p as usize >= g.degree(w) {
+                    f.push(format!(
+                        "cluster port {p} at router {w} towards {v} exceeds degree {}",
+                        g.degree(w)
+                    ));
+                }
+            }
+        }
+        f
+    }
+
+    /// Fault injection for the mutation harness: overwrite the single table
+    /// entry that governs routing of `dest` at router `v` with a raw,
+    /// unvalidated `port` — the cluster entry when `dest ∈ S(v)`, the
+    /// toward-landmark entry for `dest`'s home otherwise (the same priority
+    /// [`RoutingFunction::port`] uses).  Returns a description of the entry
+    /// hit.  This deliberately breaks the instance; it exists so the static
+    /// checker can prove it catches broken tables.
+    pub fn corrupt_entry_for(&mut self, v: NodeId, dest: NodeId, port: u32) -> String {
+        let lo = self.direct_offsets[v] as usize;
+        let hi = self.direct_offsets[v + 1] as usize;
+        if let Ok(e) = self.direct_targets[lo..hi].binary_search(&(dest as u32)) {
+            self.direct_ports[lo + e] = port;
+            return format!("cluster entry of router {v} for destination {dest}");
+        }
+        let idx = self.landmark_index[&self.home[dest]];
+        self.toward_landmark[v * self.landmarks.len() + idx] = port;
+        format!(
+            "toward-landmark entry of router {v} for landmark {}",
+            self.home[dest]
+        )
+    }
+
     /// Memory report: landmark table + cluster table + own address.
     pub fn memory(&self, g: &Graph) -> MemoryReport {
         let n = g.num_nodes();
-        let label_bits = bits_for_values(n as u64) as u64;
+        let label_bits = u64::from(bits_for_values(n as u64));
         MemoryReport::from_fn(n, |w| {
             // A port names one of `degree` values; an isolated router (the
             // single-vertex graph is the one connected case) has no ports at
@@ -1234,7 +1338,7 @@ impl LandmarkRouting {
             let port_bits = if degree == 0 {
                 0
             } else {
-                bits_for_values(degree) as u64
+                u64::from(bits_for_values(degree))
             };
             let landmark_entries = self.landmarks.len() as u64 * (label_bits + port_bits);
             let cluster_entries = self.cluster_size(w) as u64 * (label_bits + port_bits);

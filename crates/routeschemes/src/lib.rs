@@ -28,11 +28,14 @@
 //! (`landmark?k=64&clusters=strict`), which is how sweeps walk the paper's
 //! memory-vs-stretch trade-off instead of picking from a fixed menu.
 
+#![forbid(unsafe_code)]
+
 pub mod complete;
 pub mod grid;
 pub mod hypercube;
 pub mod interval;
 pub mod landmark;
+pub mod mutate;
 pub mod registry;
 pub mod scheme;
 pub mod spec;
@@ -45,6 +48,7 @@ pub use hypercube::EcubeScheme;
 pub use interval::general::{KIntervalConfig, KIntervalScheme};
 pub use interval::tree::TreeIntervalScheme;
 pub use landmark::{ClusterRule, LandmarkConfig, LandmarkCount, LandmarkScheme};
+pub use mutate::{corrupt_instance, Mutation, MutationKind};
 pub use registry::{applicable_schemes, GraphHints, SchemeKind};
 pub use scheme::{BuildError, CompactScheme, RepairOutcome, RepairStats, SchemeInstance};
 pub use spec::{SchemeSpec, SpecError};

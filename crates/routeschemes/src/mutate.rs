@@ -1,0 +1,362 @@
+//! Seeded fault injection for the static checker's mutation harness.
+//!
+//! A verifier that passes everything is worthless, so this module produces
+//! *provably delivery-breaking* single-entry corruptions of built scheme
+//! instances and the `routecheck` test-suite pins that the checker flags
+//! every one of them.  Two corruption kinds are offered:
+//!
+//! * [`MutationKind::Misroute`] — redirect the one table entry that governs
+//!   routing of some destination `d` at an intermediate router `v` back
+//!   toward the previous hop `u`, closing a guaranteed `u ↔ v` forwarding
+//!   cycle for the pair `(u, d)` (a livelock no dynamic sample is guaranteed
+//!   to hit, but a static sweep must).
+//! * [`MutationKind::OutOfRange`] — overwrite the same entry with a port
+//!   beyond the router's degree (caught both by the structural audits and by
+//!   the sweep's `DeadPort` class).
+//!
+//! Table-backed schemes (routing tables, k-interval, landmark, the grid's
+//! direction table) are corrupted *in their stored tables* via the
+//! fault-injection hooks each scheme exposes; the tree-interval scheme gets
+//! a structural corruption (one child interval bound shrunk, so a subtree
+//! destination falls through to the parent arc and bounces).  Schemes with
+//! no stored tables at all (e-cube, the modular complete labeling — pure
+//! address arithmetic) are corrupted *pointwise*: the boxed routing function
+//! is wrapped so exactly one `(router, destination)` decision is flipped,
+//! which is the closest analogue of a single-entry corruption a closed-form
+//! scheme admits.
+
+use crate::interval::general::KIntervalRouting;
+use crate::interval::tree::TreeIntervalRouting;
+use crate::landmark::LandmarkRouting;
+use crate::scheme::SchemeInstance;
+use graphkit::{Graph, NodeId};
+use routemodel::{Action, Header, RoutingFunction, TableRouting};
+
+/// Which corruption to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Redirect one entry so a forwarding cycle (or a premature delivery)
+    /// appears.
+    Misroute,
+    /// Overwrite one entry with a port beyond the router's degree.
+    OutOfRange,
+}
+
+/// What [`corrupt_instance`] did: the entry it hit and a source/destination
+/// pair whose delivery the corruption provably breaks.
+#[derive(Debug, Clone)]
+pub struct Mutation {
+    /// The corruption kind applied.
+    pub kind: MutationKind,
+    /// Name of the corrupted routing function.
+    pub scheme: String,
+    /// Which table entry (or pointwise decision) was overwritten.
+    pub description: String,
+    /// A source whose message to [`Mutation::dest`] no longer arrives.
+    pub source: NodeId,
+    /// The destination whose routing state was corrupted.
+    pub dest: NodeId,
+}
+
+/// The routing function kept in the instance while the original box is being
+/// wrapped (never invoked).
+struct Placeholder;
+
+impl RoutingFunction for Placeholder {
+    fn init(&self, _source: NodeId, dest: NodeId) -> Header {
+        Header::to_dest(dest)
+    }
+    fn port(&self, _node: NodeId, _header: &Header) -> Action {
+        Action::Deliver
+    }
+}
+
+/// Pointwise corruption wrapper for closed-form schemes: delegates every
+/// decision to the wrapped function except the one `(node, dest)` pair.
+struct CorruptAt {
+    inner: Box<dyn RoutingFunction + Send + Sync>,
+    node: NodeId,
+    dest: NodeId,
+    action: Action,
+    name: String,
+}
+
+impl RoutingFunction for CorruptAt {
+    fn init(&self, source: NodeId, dest: NodeId) -> Header {
+        self.inner.init(source, dest)
+    }
+    fn port(&self, node: NodeId, header: &Header) -> Action {
+        if node == self.node && header.dest == self.dest {
+            self.action
+        } else {
+            self.inner.port(node, header)
+        }
+    }
+    fn next_header(&self, node: NodeId, header: &Header) -> Header {
+        self.inner.next_header(node, header)
+    }
+    fn init_into(&self, source: NodeId, dest: NodeId, header: &mut Header) {
+        self.inner.init_into(source, dest, header);
+    }
+    fn next_header_into(&self, node: NodeId, header: &mut Header) {
+        self.inner.next_header_into(node, header);
+    }
+    fn declared_header_words(&self) -> usize {
+        self.inner.declared_header_words()
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The first hop `R` takes from `u` toward `d` on the pristine graph, if it
+/// forwards through a valid port.
+fn first_hop(
+    r: &(dyn RoutingFunction + Send + Sync),
+    g: &Graph,
+    u: NodeId,
+    d: NodeId,
+    h: &mut Header,
+) -> Option<NodeId> {
+    r.init_into(u, d, h);
+    match r.port(u, h) {
+        Action::Forward(p) if p < g.degree(u) => Some(g.port_target(u, p)),
+        _ => None,
+    }
+}
+
+/// A seeded `(source, first_hop, dest)` triple whose route has length ≥ 2
+/// (the first hop is neither endpoint), or `None` when the instance routes
+/// every pair in one hop (complete graphs).
+fn pick_two_hop_pair(
+    r: &(dyn RoutingFunction + Send + Sync),
+    g: &Graph,
+    seed: u64,
+) -> Option<(NodeId, NodeId, NodeId)> {
+    let n = g.num_nodes();
+    let mut h = Header::to_dest(0);
+    for i in 0..n {
+        let d = (seed as usize + i) % n;
+        for j in 0..n {
+            let u = ((seed >> 16) as usize + j) % n;
+            if u == d {
+                continue;
+            }
+            if let Some(v) = first_hop(r, g, u, d, &mut h) {
+                if v != d && v != u {
+                    return Some((u, v, d));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Which in-table fault-injection hook the instance's concrete type offers.
+enum Target {
+    Table,
+    KInterval,
+    Landmark,
+    Grid,
+    Tree,
+    Opaque,
+}
+
+/// Applies one seeded single-entry corruption of `kind` to the instance.
+///
+/// On success the returned [`Mutation`] names the corrupted entry and a
+/// `(source, dest)` pair whose delivery is now provably broken — the pair the
+/// checker-catches-mutant tests feed to `routecheck`.  Errors only on graphs
+/// too small to host a corruption.
+pub fn corrupt_instance(
+    inst: &mut SchemeInstance,
+    g: &Graph,
+    seed: u64,
+    kind: MutationKind,
+) -> Result<Mutation, String> {
+    let n = g.num_nodes();
+    if n < 2 {
+        return Err("graph too small to corrupt".to_string());
+    }
+    let scheme = inst.routing.name().to_string();
+    let target = {
+        let routing: &(dyn RoutingFunction + Send + Sync) = &*inst.routing;
+        let any: &dyn std::any::Any = routing;
+        if any.is::<TableRouting>() {
+            Target::Table
+        } else if any.is::<KIntervalRouting>() {
+            Target::KInterval
+        } else if any.is::<LandmarkRouting>() {
+            Target::Landmark
+        } else if any.is::<crate::grid::DimensionOrderRouting>() {
+            Target::Grid
+        } else if any.is::<TreeIntervalRouting>() {
+            Target::Tree
+        } else {
+            Target::Opaque
+        }
+    };
+
+    // The tree scheme routes by interval containment, not per-destination
+    // entries: shrink one stored child interval (or break one child port)
+    // so a subtree destination misroutes at its ancestor.
+    if matches!(target, Target::Tree) {
+        return corrupt_tree(inst, g, seed, kind, scheme);
+    }
+
+    let pair = pick_two_hop_pair(&*inst.routing, g, seed);
+    let routing: &mut (dyn RoutingFunction + Send + Sync) = &mut *inst.routing;
+    let any: &mut dyn std::any::Any = routing;
+    let with_pair = |(u, _, d): (NodeId, NodeId, NodeId), description: String| Mutation {
+        kind,
+        scheme: scheme.clone(),
+        description,
+        source: u,
+        dest: d,
+    };
+    match target {
+        Target::Table | Target::KInterval | Target::Landmark | Target::Grid => {
+            let (u, v, d) = pair.ok_or_else(|| "no multi-hop pair to corrupt".to_string())?;
+            // Redirect v's entry for d back toward u (a guaranteed 2-cycle:
+            // u still forwards to v), or past the port space.
+            let port = match kind {
+                MutationKind::Misroute => g
+                    .port_to(v, u)
+                    .expect("u reached v over an edge, the reverse arc exists"),
+                MutationKind::OutOfRange => g.degree(v) + 7,
+            };
+            let description = match target {
+                Target::Table => {
+                    let t = any.downcast_mut::<TableRouting>().expect("probed above");
+                    t.set_next_port(v, d, port);
+                    format!("next-port entry ({v}, {d})")
+                }
+                Target::KInterval => {
+                    let k = any
+                        .downcast_mut::<KIntervalRouting>()
+                        .expect("probed above");
+                    k.corrupt_next_port(v, d, port);
+                    format!("next-port entry ({v}, {d}) behind the interval sets")
+                }
+                Target::Landmark => {
+                    let lm = any.downcast_mut::<LandmarkRouting>().expect("probed above");
+                    lm.corrupt_entry_for(v, d, port as u32)
+                }
+                Target::Grid => {
+                    let dor = any
+                        .downcast_mut::<crate::grid::DimensionOrderRouting>()
+                        .expect("probed above");
+                    dor.corrupt_step(v, d, port)
+                }
+                Target::Tree | Target::Opaque => unreachable!("handled elsewhere"),
+            };
+            Ok(with_pair((u, v, d), description))
+        }
+        Target::Opaque => {
+            // Closed-form scheme: flip exactly one (router, destination)
+            // decision by wrapping the boxed function.
+            let (node, source, dest, action, what) = match (pair, kind) {
+                (Some((u, v, d)), MutationKind::Misroute) => {
+                    let back = g
+                        .port_to(v, u)
+                        .expect("u reached v over an edge, the reverse arc exists");
+                    (v, u, d, Action::Forward(back), "redirected back")
+                }
+                (Some((u, v, d)), MutationKind::OutOfRange) => (
+                    v,
+                    u,
+                    d,
+                    Action::Forward(g.degree(v) + 7),
+                    "sent out of range",
+                ),
+                (None, MutationKind::Misroute) => {
+                    // One-hop world (complete graph): the only single-decision
+                    // break is a premature delivery at the source.
+                    let s = seed as usize % n;
+                    (s, s, (s + 1) % n, Action::Deliver, "delivered prematurely")
+                }
+                (None, MutationKind::OutOfRange) => {
+                    let s = seed as usize % n;
+                    let d = (s + 1) % n;
+                    (
+                        s,
+                        s,
+                        d,
+                        Action::Forward(g.degree(s) + 7),
+                        "sent out of range",
+                    )
+                }
+            };
+            let inner = std::mem::replace(
+                &mut inst.routing,
+                Box::new(Placeholder) as Box<dyn RoutingFunction + Send + Sync>,
+            );
+            let name = format!("corrupted({scheme})");
+            inst.routing = Box::new(CorruptAt {
+                inner,
+                node,
+                dest,
+                action,
+                name,
+            });
+            Ok(Mutation {
+                kind,
+                scheme,
+                description: format!("decision of router {node} for destination {dest} {what}"),
+                source,
+                dest,
+            })
+        }
+        Target::Tree => unreachable!("handled above"),
+    }
+}
+
+/// Tree-interval corruption: pick a seeded non-root router with children and
+/// break the routing of the top vertex of one child interval.
+fn corrupt_tree(
+    inst: &mut SchemeInstance,
+    g: &Graph,
+    seed: u64,
+    kind: MutationKind,
+    scheme: String,
+) -> Result<Mutation, String> {
+    let n = g.num_nodes();
+    let routing: &mut (dyn RoutingFunction + Send + Sync) = &mut *inst.routing;
+    let any: &mut dyn std::any::Any = routing;
+    let tree = any
+        .downcast_mut::<TreeIntervalRouting>()
+        .expect("caller probed the type");
+    let root = tree.root();
+    // Seeded scan for an internal non-root vertex.
+    let v = (0..n)
+        .map(|i| (seed as usize + i) % n)
+        .find(|&v| v != root && tree.intervals_at(v) > 0)
+        .ok_or_else(|| "tree has no internal non-root vertex".to_string())?;
+    let child = seed as usize % tree.intervals_at(v);
+    let (description, dest) = match kind {
+        MutationKind::Misroute => {
+            // The subtree vertex with the old top label now falls through to
+            // the parent arc at v; the parent still routes it down to v.
+            let dest = tree.corrupt_child_interval(v, child);
+            (
+                format!("child interval {child} of router {v} shrunk by one"),
+                dest,
+            )
+        }
+        MutationKind::OutOfRange => {
+            let dest = tree.corrupt_child_port(v, child, g.degree(v) + 7);
+            (
+                format!("child port {child} of router {v} sent out of range"),
+                dest,
+            )
+        }
+    };
+    // Every route from the root to `dest` passes its ancestor `v`.
+    Ok(Mutation {
+        kind,
+        scheme,
+        description,
+        source: root,
+        dest,
+    })
+}

@@ -86,6 +86,20 @@ pub enum BuildError {
     },
 }
 
+impl BuildError {
+    /// Stable snake_case machine code of the variant, for JSON output and
+    /// skip notes that need a grep-able key next to the human message.
+    pub fn code(&self) -> &'static str {
+        match self {
+            BuildError::NotApplicable { .. } => "not_applicable",
+            BuildError::MissingHint { .. } => "missing_hint",
+            BuildError::Disconnected { .. } => "disconnected",
+            BuildError::InvalidConfig { .. } => "invalid_config",
+            BuildError::CapExceeded { .. } => "cap_exceeded",
+        }
+    }
+}
+
 impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -249,6 +263,46 @@ impl SchemeInstance {
             full_rebuild: outcome.full_rebuild,
             seconds: start.elapsed().as_secs_f64(),
         })
+    }
+
+    /// Structural audit of the instance's stored tables against the graph it
+    /// was built on: per-scheme table invariants (cluster CSR sorted and
+    /// deduped, ports in range, intervals well-formed) plus a
+    /// memory-accounting cross-check of [`SchemeInstance::memory`] against a
+    /// recount from the tables, for the schemes with a canonical per-instance
+    /// accounting.  Address-arithmetic schemes (e-cube, modular complete)
+    /// store no tables and always audit clean.  Returns human-readable
+    /// findings; empty means clean.
+    pub fn audit(&self, g: &Graph) -> Vec<String> {
+        let routing: &(dyn RoutingFunction + Send + Sync) = &*self.routing;
+        let any: &dyn std::any::Any = routing;
+        if let Some(lm) = any.downcast_ref::<crate::landmark::LandmarkRouting>() {
+            let mut f = lm.audit(g);
+            if lm.memory(g) != self.memory {
+                f.push("memory accounting drifted from the stored tables".to_string());
+            }
+            f
+        } else if let Some(tree) = any.downcast_ref::<crate::interval::tree::TreeIntervalRouting>()
+        {
+            let mut f = tree.audit(g);
+            if tree.memory(g) != self.memory {
+                f.push("memory accounting drifted from the stored tables".to_string());
+            }
+            f
+        } else if let Some(kir) = any.downcast_ref::<crate::interval::general::KIntervalRouting>() {
+            let mut f = kir.audit(g);
+            if kir.memory(g) != self.memory {
+                f.push("memory accounting drifted from the stored tables".to_string());
+            }
+            f
+        } else if let Some(t) = any.downcast_ref::<routemodel::TableRouting>() {
+            // Structural only: table instances are encoded either raw or
+            // run-length depending on the scheme, so the stored report is not
+            // uniquely recomputable from the table alone.
+            t.audit(g)
+        } else {
+            Vec::new()
+        }
     }
 }
 

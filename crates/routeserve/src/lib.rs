@@ -32,6 +32,8 @@
 //! thread count and chunk scheduling; wall-clock numbers (`secs`,
 //! percentiles) are measurements and vary run to run.
 
+#![forbid(unsafe_code)]
+
 use graphkit::GraphView;
 use routemodel::{
     route_batch_into, route_with_limit_into, BatchScratch, RouteTrace, RoutingError,

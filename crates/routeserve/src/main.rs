@@ -22,7 +22,11 @@
 //! under `--compare` — when the batched kernel fails to at least match the
 //! baseline.
 
+// Binaries are the console front door; printing is their contract.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use graphkit::GraphView;
+use routemodel::DeliveryOutcome;
 use routeschemes::spec::{vocabulary, SchemeSpec};
 use routeserve::{parse_queries, serve, ServeConfig, ServeMode, ServeStats};
 use std::io::Read;
@@ -86,17 +90,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--batch" => {
                 args.batch = value()?
                     .parse()
-                    .map_err(|_| "--batch needs an integer".to_string())?
+                    .map_err(|_| "--batch needs an integer".to_string())?;
             }
             "--threads" => {
                 args.threads = value()?
                     .parse()
-                    .map_err(|_| "--threads needs an integer".to_string())?
+                    .map_err(|_| "--threads needs an integer".to_string())?;
             }
             "--hop-limit" => {
                 args.hop_limit = value()?
                     .parse()
-                    .map_err(|_| "--hop-limit needs an integer".to_string())?
+                    .map_err(|_| "--hop-limit needs an integer".to_string())?;
             }
             "--compare" => args.compare = true,
             "--per-message" => args.per_message = true,
@@ -354,16 +358,20 @@ fn render_json(
             "      \"messages\": {},\n",
             r.outcomes.attempted()
         ));
-        out.push_str(&format!("      \"delivered\": {},\n", r.outcomes.delivered));
-        out.push_str(&format!("      \"link_down\": {},\n", r.outcomes.link_down));
-        out.push_str(&format!(
-            "      \"hop_limit_drops\": {},\n",
-            r.outcomes.hop_limit
-        ));
-        out.push_str(&format!(
-            "      \"wrong_delivery\": {},\n",
-            r.outcomes.wrong_delivery
-        ));
+        // Outcome keys come from the model's code vocabulary, not string
+        // literals, so they cannot drift from `DeliveryOutcome::code()`.
+        out.push_str("      \"outcomes\": {");
+        for (j, code) in DeliveryOutcome::ALL_CODES.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let count = r
+                .outcomes
+                .by_code(code)
+                .expect("every model code has a bucket");
+            out.push_str(&format!("\"{code}\": {count}"));
+        }
+        out.push_str("},\n");
         out.push_str(&format!(
             "      \"delivery_rate\": {:.6},\n",
             r.delivery_rate()

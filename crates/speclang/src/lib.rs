@@ -29,6 +29,8 @@
 //! Each codec keeps the same contract: `parse ∘ spec_string = id`, with the
 //! canonical form omitting default-valued parameters.
 
+#![forbid(unsafe_code)]
+
 pub mod toml;
 
 /// One parameter of a spec family: its name and the accepted values,

@@ -33,6 +33,9 @@
 //! ran at all — so CI can gate on the smoke scenario (built-in or via
 //! `--file examples/scenarios/smoke.toml`).
 
+// Binaries are the console front door; printing is their contract.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use routeschemes::spec::{vocabulary, SchemeSpec};
 use std::process::ExitCode;
 use trafficlab::{
@@ -196,6 +199,7 @@ fn main() -> ExitCode {
             println!("{}", WorkloadSpec::vocabulary());
             println!("{}", ChurnSpec::vocabulary());
             println!("{}", StretchMode::vocabulary());
+            println!("{}", trafficlab::files::case_key_vocabulary());
             ExitCode::SUCCESS
         }
         ["run", name] => run_named(name, threads, json_path, schemes_override, views),

@@ -113,6 +113,20 @@ impl OutcomeCounts {
         self.wrong_delivery += other.wrong_delivery;
     }
 
+    /// The bucket named by a [`DeliveryOutcome`] machine code (see
+    /// [`DeliveryOutcome::ALL_CODES`]); `None` for an unknown code.  JSON
+    /// renderers iterate the codes through this accessor so their keys
+    /// cannot drift from the model's vocabulary.
+    pub fn by_code(&self, code: &str) -> Option<u64> {
+        match code {
+            "delivered" => Some(self.delivered),
+            "link_down" => Some(self.link_down),
+            "hop_limit" => Some(self.hop_limit),
+            "wrong_delivery" => Some(self.wrong_delivery),
+            _ => None,
+        }
+    }
+
     /// Messages attempted (delivered or not; unreachable skips excluded).
     pub fn attempted(&self) -> u64 {
         self.delivered + self.link_down + self.hop_limit + self.wrong_delivery
@@ -487,6 +501,26 @@ mod tests {
     fn table_routing(g: &Graph) -> TableRouting {
         let dm = DistanceMatrix::all_pairs_sequential(g);
         TableRouting::from_distances(g, &dm, TieBreak::LowestPort)
+    }
+
+    #[test]
+    fn outcome_codes_cover_every_bucket() {
+        // Anti-drift: every machine code of the model resolves to exactly
+        // one counter bucket, and together they partition `attempted()`.
+        let counts = OutcomeCounts {
+            delivered: 1,
+            link_down: 2,
+            hop_limit: 4,
+            wrong_delivery: 8,
+        };
+        let mut sum = 0;
+        for code in DeliveryOutcome::ALL_CODES {
+            sum += counts
+                .by_code(code)
+                .unwrap_or_else(|| panic!("code '{code}' has no bucket"));
+        }
+        assert_eq!(sum, counts.attempted());
+        assert_eq!(counts.by_code("proven"), None);
     }
 
     fn assert_reports_bit_identical(a: &StretchReport, b: &StretchReport) {

@@ -180,6 +180,9 @@ impl ScenarioSpec {
                     escape_str(&case.stretch.spec_string())
                 ));
             }
+            if case.verify {
+                out.push_str("verify = true\n");
+            }
         }
         out
     }
@@ -191,13 +194,13 @@ fn parse_case(section: &Section, index: usize) -> Result<CaseSpec, ScenarioFileE
     for key in table.keys() {
         if !matches!(
             key,
-            "graph" | "workload" | "schemes" | "block_rows" | "churn" | "stretch"
+            "graph" | "workload" | "schemes" | "block_rows" | "churn" | "stretch" | "verify"
         ) {
             return bad(
                 &ctx,
                 format!(
                     "unknown key '{key}' \
-                     (valid: graph, workload, schemes, block_rows, churn, stretch)"
+                     (valid: graph, workload, schemes, block_rows, churn, stretch, verify)"
                 ),
             );
         }
@@ -278,6 +281,16 @@ fn parse_case(section: &Section, index: usize) -> Result<CaseSpec, ScenarioFileE
             StretchMode::parse(s).or_else(|e| bad(format!("{ctx}, field 'stretch'"), e))?
         }
     };
+    let verify = match table.get("verify") {
+        None => false,
+        Some(Value::Bool(v)) => *v,
+        Some(v) => {
+            return bad(
+                &ctx,
+                format!("'verify' must be a boolean, got {}", v.type_name()),
+            )
+        }
+    };
     Ok(CaseSpec {
         graph,
         workload,
@@ -285,7 +298,40 @@ fn parse_case(section: &Section, index: usize) -> Result<CaseSpec, ScenarioFileE
         block_rows,
         churn,
         stretch,
+        verify,
     })
+}
+
+/// The `[[case]]` key vocabulary of scenario files, for `trafficlab specs` —
+/// kept next to [`parse_case`] so the printed keys cannot drift from the
+/// parsed ones (the CI specs-sync gate greps this output).
+pub fn case_key_vocabulary() -> String {
+    let mut out = String::from("valid case keys ([[case]] sections of a scenario file):\n");
+    let keys: [(&str, &str); 7] = [
+        ("graph", "graph spec string (required)"),
+        ("workload", "workload spec string (required)"),
+        (
+            "schemes",
+            "array of scheme spec strings (required, non-empty)",
+        ),
+        (
+            "block_rows",
+            "engine block-rows override (0 = engine default)",
+        ),
+        (
+            "churn",
+            "churn spec string: failure/repair rounds after the baseline",
+        ),
+        ("stretch", "stretch-mode string (default: auto)"),
+        (
+            "verify",
+            "boolean: statically verify built schemes (routecheck) before measuring",
+        ),
+    ];
+    for (key, doc) in keys {
+        out.push_str(&format!("  {key:<12}{doc}\n"));
+    }
+    out
 }
 
 /// The built-in scenario book, embedded from `examples/scenarios/*.toml` at
@@ -498,6 +544,49 @@ stretch = "sampled?pairs=4096&seed=3"
                 .contains("'stretch' must be a stretch-mode string"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn verify_field_parses_and_round_trips() {
+        let spec = ScenarioSpec::parse_toml(
+            r#"
+name = "verified"
+description = "static-verification axis"
+
+[[case]]
+graph = "random?n=64&seed=1"
+workload = "uniform?messages=100&seed=2"
+schemes = ["tree"]
+verify = true
+"#,
+        )
+        .unwrap();
+        assert!(spec.cases[0].verify);
+        let rendered = spec.to_toml();
+        assert!(rendered.contains("verify = true"));
+        assert_eq!(ScenarioSpec::parse_toml(&rendered).unwrap(), spec);
+        // false is the default and the canonical rendering omits the key.
+        let off = ScenarioSpec::parse_toml(
+            "name = \"x\"\n[[case]]\ngraph = \"grid?rows=2&cols=2\"\n\
+             workload = \"all-pairs\"\nschemes = [\"tree\"]",
+        )
+        .unwrap();
+        assert!(!off.cases[0].verify);
+        assert!(!off.to_toml().contains("verify"));
+        // A mistyped value is a contextual error, not a silent default.
+        let err = ScenarioSpec::parse_toml(
+            "name = \"x\"\n[[case]]\ngraph = \"grid?rows=2&cols=2\"\n\
+             workload = \"all-pairs\"\nschemes = [\"tree\"]\nverify = \"yes\"",
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("'verify' must be a boolean"),
+            "{err}"
+        );
+        // The smoke scenario gates every scheme it measures.
+        let book = builtin_scenarios();
+        let smoke = book.iter().find(|s| s.name == "smoke").unwrap();
+        assert!(smoke.cases.iter().all(|c| c.verify));
     }
 
     #[test]

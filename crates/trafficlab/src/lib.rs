@@ -36,6 +36,8 @@
 //! * [`files`] — the TOML scenario-file codec; the built-in scenario book
 //!   itself is data under `examples/scenarios/`.
 
+#![forbid(unsafe_code)]
+
 pub mod churn;
 pub mod engine;
 pub mod files;

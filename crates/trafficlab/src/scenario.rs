@@ -620,6 +620,10 @@ pub struct CaseSpec {
     pub churn: Option<ChurnSpec>,
     /// How the report row's stretch is measured (see [`StretchMode`]).
     pub stretch: StretchMode,
+    /// Statically verify every built scheme with `routecheck` before
+    /// measuring: unsound instances become typed skip notes instead of
+    /// polluting the measurement columns.
+    pub verify: bool,
 }
 
 /// A named, reproducible experiment — plain declarative data: every axis is
@@ -894,6 +898,29 @@ pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioReport {
                 }
             };
             let build_secs = t0.elapsed().as_secs_f64();
+            // The verify axis: prove the instance sound (structural audits +
+            // all-pairs static sweep) before spending engine time on it.  An
+            // unsound scheme is a typed skip, not a measurement row.
+            if case.verify {
+                let soundness = routecheck::verify_instance(
+                    &built.graph,
+                    None,
+                    &instance,
+                    &graph_label,
+                    threads,
+                );
+                if soundness.verdict != routecheck::Verdict::Sound {
+                    let why = soundness
+                        .failure_note()
+                        .unwrap_or_else(|| "unsound".to_string());
+                    out.skipped.push(format!(
+                        "{graph_label}: scheme '{spec}' skipped: static verification failed \
+                         [{}]: {why}",
+                        soundness.verdict.code()
+                    ));
+                    continue;
+                }
+            }
             match run_workload(&built.graph, instance.routing.as_ref(), &plan, &cfg) {
                 Ok(report) => {
                     // In sampled mode the displayed stretch comes from a
@@ -1483,6 +1510,7 @@ mod tests {
                 block_rows: 8,
                 churn: None,
                 stretch: StretchMode::Auto,
+                verify: false,
             }],
         };
         let rep = run_scenario(&scenario, 2);
@@ -1500,6 +1528,51 @@ mod tests {
         let json = rep.to_json();
         assert!(json.contains("\"scenario\": \"mini\""));
         assert!(json.contains("\"within_guarantee\": true"));
+    }
+
+    #[test]
+    fn verify_axis_passes_sound_schemes_through_unchanged() {
+        let case = |verify| Case {
+            graph: GraphSpec::RandomConnected {
+                n: 48,
+                avg_deg: 6.0,
+                seed: 4,
+            },
+            workload: WorkloadSpec::Uniform {
+                messages: 400,
+                seed: 6,
+            },
+            schemes: vec![
+                SchemeSpec::default_for(SchemeKind::Table),
+                SchemeSpec::default_for(SchemeKind::Landmark),
+            ],
+            block_rows: 8,
+            churn: None,
+            stretch: StretchMode::Auto,
+            verify,
+        };
+        let run = |verify| {
+            run_scenario(
+                &Scenario {
+                    name: "verified".into(),
+                    description: "test".into(),
+                    cases: vec![case(verify)],
+                },
+                2,
+            )
+        };
+        let gated = run(true);
+        assert_eq!(gated.results.len(), 2, "{:?}", gated.skipped);
+        assert!(gated.skipped.is_empty() && gated.errors.is_empty());
+        // The gate only filters: measurements of sound schemes are the ones
+        // the ungated run produces.
+        let ungated = run(false);
+        for (a, b) in gated.results.iter().zip(&ungated.results) {
+            assert_eq!(a.scheme_spec, b.scheme_spec);
+            assert_eq!(a.report.routed_messages, b.report.routed_messages);
+            assert_eq!(a.report.outcomes.delivered, b.report.outcomes.delivered);
+            assert_eq!(a.stretch.max_stretch, b.stretch.max_stretch);
+        }
     }
 
     #[test]
@@ -1557,6 +1630,7 @@ mod tests {
                 block_rows: 8,
                 churn: None,
                 stretch: StretchMode::Auto,
+                verify: false,
             }],
         };
         let rep = run_scenario(&scenario, 2);
@@ -1667,6 +1741,7 @@ mod tests {
             block_rows: 8,
             churn: None,
             stretch,
+            verify: false,
         };
         let scenario = |stretch| Scenario {
             name: "probe".into(),
@@ -1728,6 +1803,7 @@ mod tests {
                 block_rows: 0,
                 churn: None,
                 stretch: StretchMode::Auto,
+                verify: false,
             }],
         };
         let rep = run_scenario(&scenario, 1);
@@ -1749,6 +1825,7 @@ mod tests {
                 block_rows: 0,
                 churn: None,
                 stretch: StretchMode::Auto,
+                verify: false,
             }],
         };
         let rep = run_scenario(&scenario, 1);
@@ -1778,6 +1855,7 @@ mod tests {
                 block_rows: 8,
                 churn: None,
                 stretch: StretchMode::Auto,
+                verify: false,
             }],
         };
         let rep = run_scenario(&scenario, 1);
@@ -1807,6 +1885,7 @@ mod tests {
                 block_rows: 4,
                 churn: None,
                 stretch: StretchMode::Auto,
+                verify: false,
             }],
         };
         let built = GraphSpec::Theorem1 {

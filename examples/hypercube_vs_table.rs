@@ -6,6 +6,9 @@
 //!
 //! Run with `cargo run --release --example hypercube_vs_table [k]`.
 
+// Examples narrate their output to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use routemodel::labeling::{adversarial_port_labeling, modular_complete_labeling};
 use routeschemes::complete::adversarial_lower_bound_bits;
 use universal_routing::prelude::*;

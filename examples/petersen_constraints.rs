@@ -4,6 +4,9 @@
 //!
 //! Run with `cargo run --example petersen_constraints`.
 
+// Examples narrate their output to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use universal_routing::prelude::*;
 
 fn main() {

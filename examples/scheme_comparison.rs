@@ -3,6 +3,9 @@
 //!
 //! Run with `cargo run --release --example scheme_comparison [size]`.
 
+// Examples narrate their output to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use analysis::table1::{check_table1_shape, run_table1, to_table};
 
 fn main() {

@@ -5,6 +5,9 @@
 //!
 //! Run with `cargo run --release --example worst_case_family [n] [theta]`.
 
+// Examples narrate their output to the console by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use universal_routing::prelude::*;
 
 fn main() {

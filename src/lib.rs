@@ -56,6 +56,8 @@
 //! assert_eq!(params.p, cg.constrained.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use analysis;
 pub use constraints;
 pub use graphkit;

@@ -1,0 +1,140 @@
+//! Allocation discipline, pinned by a counting global allocator.
+//!
+//! The workload engine and the static checker both promise *warm* hot loops
+//! that never touch the heap: `route_batch_into` reuses its `BatchScratch`
+//! across batches, and `Checker::check_dest` reuses its epoch-stamped arrays
+//! across destinations.  Those promises are load-bearing — the throughput
+//! and sweep numbers in CI assume them — so this test counts every
+//! `alloc`/`realloc` crossing the global allocator and fails if a warm
+//! iteration performs even one.
+//!
+//! Everything runs in a single `#[test]` because the counter is global:
+//! Rust runs integration tests in threads, and a second concurrently
+//! running test would bleed its allocations into our deltas.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use graphkit::{generators, GraphView};
+use routecheck::Checker;
+use routemodel::{default_hop_limit, route_batch_into, BatchScratch};
+use routeschemes::{GraphHints, SchemeKind};
+
+/// Pass-through to the system allocator that counts every allocation.
+/// The single `unsafe` block in this repository: every crate's library
+/// code is `#![forbid(unsafe_code)]`, but `GlobalAlloc` is an unsafe
+/// trait and a counting shim is the only way to observe the heap.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_hot_loops_do_not_allocate() {
+    let n = 256;
+    let g = generators::random_connected(n, 0.03, 17);
+    let hints = GraphHints::none();
+    let view = GraphView::from(&g);
+
+    let inst = SchemeKind::Table
+        .default_spec()
+        .build(&g, &hints)
+        .expect("table scheme builds on any connected graph");
+    let r = &*inst.routing;
+
+    // --- route_batch_into: zero allocations per message once warm -------
+    let dests: Vec<u32> = (0..n as u32).collect();
+    let hop_limit = default_hop_limit(n);
+    let mut scratch = BatchScratch::new();
+    let mut sink = 0u64;
+    let run_batch = |scratch: &mut BatchScratch, sink: &mut u64, source: usize| {
+        route_batch_into(
+            view,
+            r,
+            source,
+            &dests,
+            hop_limit,
+            scratch,
+            true,
+            |_, hops, outcome| {
+                assert!(outcome.is_delivered(), "table routing must deliver");
+                *sink += u64::from(hops);
+            },
+            |node, port| {
+                std::hint::black_box((node, port));
+            },
+        )
+        .expect("batch routing cannot fail on a live view");
+    };
+
+    // Warm-up: buffers (headers, cursors, hop log) grow to steady state.
+    for s in 0..8 {
+        run_batch(&mut scratch, &mut sink, s);
+    }
+
+    let before = allocations();
+    let mut messages = 0u64;
+    for s in 8..40 {
+        run_batch(&mut scratch, &mut sink, s);
+        messages += (n - 1) as u64;
+    }
+    let batch_allocs = allocations() - before;
+    assert!(messages > 8_000, "the measured window must be non-trivial");
+    assert_eq!(
+        batch_allocs, 0,
+        "warm route_batch_into allocated {batch_allocs} times across \
+         {messages} messages; the steady state must be allocation-free"
+    );
+
+    // --- Checker::check_dest: zero allocations per destination once warm
+    let mut checker = Checker::new();
+    for d in 0..8 {
+        let report = checker.check_dest(view, r, d);
+        assert_eq!(report.counts.total(), (n - 1) as u64);
+    }
+
+    let before = allocations();
+    let mut proven = 0u64;
+    for d in 8..n {
+        let report = checker.check_dest(view, r, d);
+        proven += report.counts.get(routecheck::SourceClass::Proven);
+    }
+    let sweep_allocs = allocations() - before;
+    assert_eq!(
+        proven,
+        (n as u64 - 8) * (n as u64 - 1),
+        "the warm sweep must still prove every pair"
+    );
+    assert_eq!(
+        sweep_allocs,
+        0,
+        "warm check_dest allocated {sweep_allocs} times across {} \
+         destinations; the sweep must be allocation-free per destination",
+        n - 8
+    );
+
+    // Keep the routed work observable so nothing above is optimised away.
+    assert!(sink > 0);
+}

@@ -73,7 +73,7 @@ fn claim_upper_bound_routing_tables_match_on_the_worst_case_family() {
     let (cg, params) = constraints::theorem1::build_worst_case_instance(256, 0.5, 13);
     let tables = TableScheme::default().build(&cg.graph);
     let n = cg.graph.num_nodes() as u64;
-    let upper = (n - 1) * (64 - (n - 1).leading_zeros() as u64);
+    let upper = (n - 1) * (64 - u64::from((n - 1).leading_zeros()));
     for &a in &cg.constrained {
         assert!(tables.memory.per_node[a] <= upper);
     }

@@ -197,6 +197,7 @@ fn random_scenario_specs_round_trip_through_toml() {
                         _ => None,
                     },
                     stretch: fuzz_stretch_mode(&mut rng),
+                    verify: rng.gen_range(2) == 1,
                 }
             })
             .collect();
@@ -215,7 +216,9 @@ fn random_scenario_specs_round_trip_through_toml() {
 /// The scenario book exactly as it was compiled into `named_scenarios()`
 /// before the TOML refactor (PR 4 state).  Everything the runner measures is
 /// a deterministic function of these values, so `loaded == pre_refactor`
-/// pins every built-in report bit-for-bit to its pre-refactor output.
+/// pins every built-in report bit-for-bit to its pre-refactor output.  The
+/// one later addition is the static-verification axis: smoke's cases carry
+/// `verify: true`, which gates (but never changes) the measurement.
 fn pre_refactor_scenarios() -> Vec<Scenario> {
     let d = SchemeSpec::default_for;
     let universal = vec![
@@ -243,6 +246,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     block_rows: 0,
                     churn: None,
                     stretch: StretchMode::Auto,
+                    verify: true,
                 },
                 Case {
                     graph: GraphSpec::Hypercube { dim: 10 },
@@ -254,6 +258,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     block_rows: 0,
                     churn: None,
                     stretch: StretchMode::Auto,
+                    verify: true,
                 },
                 Case {
                     graph: GraphSpec::Grid { rows: 32, cols: 32 },
@@ -265,6 +270,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     block_rows: 0,
                     churn: None,
                     stretch: StretchMode::Auto,
+                    verify: true,
                 },
                 Case {
                     graph: GraphSpec::CompleteModular { n: 256 },
@@ -276,6 +282,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     block_rows: 0,
                     churn: None,
                     stretch: StretchMode::Auto,
+                    verify: true,
                 },
             ],
         },
@@ -296,6 +303,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                 block_rows: 0,
                 churn: None,
                 stretch: StretchMode::Auto,
+                verify: false,
             }],
         },
         Scenario {
@@ -316,6 +324,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                 block_rows: 1,
                 churn: None,
                 stretch: StretchMode::Auto,
+                verify: false,
             }],
         },
         Scenario {
@@ -340,6 +349,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                 block_rows: 1,
                 churn: None,
                 stretch: StretchMode::Auto,
+                verify: false,
             }],
         },
         Scenario {
@@ -363,6 +373,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                 block_rows: 0,
                 churn: None,
                 stretch: StretchMode::Auto,
+                verify: false,
             }],
         },
         Scenario {
@@ -384,6 +395,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     block_rows: 0,
                     churn: None,
                     stretch: StretchMode::Auto,
+                    verify: false,
                 },
                 Case {
                     graph: GraphSpec::RandomConnected {
@@ -399,6 +411,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     block_rows: 0,
                     churn: None,
                     stretch: StretchMode::Auto,
+                    verify: false,
                 },
             ],
         },
@@ -414,6 +427,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                 block_rows: 1,
                 churn: None,
                 stretch: StretchMode::Auto,
+                verify: false,
             }],
         },
         Scenario {
@@ -429,6 +443,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                 block_rows: 0,
                 churn: None,
                 stretch: StretchMode::Auto,
+                verify: false,
             }],
         },
         Scenario {
@@ -451,6 +466,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     block_rows: 0,
                     churn: None,
                     stretch: StretchMode::Auto,
+                    verify: false,
                 },
                 Case {
                     graph: GraphSpec::Theorem1 {
@@ -467,6 +483,7 @@ fn pre_refactor_scenarios() -> Vec<Scenario> {
                     block_rows: 8,
                     churn: None,
                     stretch: StretchMode::Auto,
+                    verify: false,
                 },
             ],
         },
@@ -522,6 +539,7 @@ fn toml_loaded_scenario_reports_match_in_code_definitions() {
                 block_rows: 8,
                 churn: None,
                 stretch: StretchMode::Auto,
+                verify: false,
             },
             Case {
                 graph: GraphSpec::Grid { rows: 4, cols: 6 },
@@ -536,6 +554,7 @@ fn toml_loaded_scenario_reports_match_in_code_definitions() {
                 block_rows: 4,
                 churn: None,
                 stretch: StretchMode::Auto,
+                verify: false,
             },
         ],
     };
